@@ -1,0 +1,126 @@
+//! Experiment B4 — 2PC rollback vs. compensation on the abort path.
+//!
+//! Both mechanisms undo a vital member after a sibling aborts (the §3.3
+//! scenario). 2PC rollback discards a prepared transaction; compensation
+//! executes a user-supplied inverse statement against already-committed
+//! state. Expected shape: compensation costs an extra statement execution,
+//! so its abort path is somewhat slower — the price of admitting
+//! autocommit-only participants.
+
+use bench::workloads::uniform_latency;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldbs::profile::DbmsProfile;
+use mdbs::Federation;
+use netsim::Network;
+use std::hint::black_box;
+
+/// db0 is the member under test; db1 always fails, forcing the abort path.
+fn federation(db0_profile: DbmsProfile) -> Federation {
+    let net = Network::new();
+    uniform_latency(&net, 1);
+    let mut fed = Federation::with_network(net);
+    fed.add_service("svc0", "site0", bench::workloads::airline_engine(0, 50, db0_profile))
+        .unwrap();
+    fed.add_service(
+        "svc1",
+        "site1",
+        bench::workloads::airline_engine(1, 50, DbmsProfile::oracle_like()),
+    )
+    .unwrap();
+    fed.execute("IMPORT DATABASE db0 FROM SERVICE svc0").unwrap();
+    fed.execute("IMPORT DATABASE db1 FROM SERVICE svc1").unwrap();
+    fed.engine("svc1").unwrap().lock().failure_policy_mut().fail_writes_to("flights");
+    fed.execute("USE db0 VITAL db1 VITAL").unwrap();
+    fed
+}
+
+fn bench_abort_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_abort_path");
+    group.sample_size(10);
+
+    // 2PC member: prepared then rolled back.
+    let mut fed_2pc = federation(DbmsProfile::oracle_like());
+    group.bench_function("rollback_2pc", |b| {
+        b.iter(|| {
+            let r = fed_2pc
+                .execute("UPDATE flights SET rate = rate * 1.1 WHERE source = 'Houston'")
+                .unwrap()
+                .into_update()
+                .unwrap();
+            assert!(!r.success);
+            black_box(r)
+        })
+    });
+
+    // Autocommit-only member: committed then compensated.
+    let mut fed_comp = federation(DbmsProfile::autocommit_only());
+    group.bench_function("compensation", |b| {
+        b.iter(|| {
+            let r = fed_comp
+                .execute(
+                    "UPDATE flights SET rate = rate * 1.1 WHERE source = 'Houston'
+                     COMP db0
+                     UPDATE flights SET rate = rate / 1.1 WHERE source = 'Houston'",
+                )
+                .unwrap()
+                .into_update()
+                .unwrap();
+            assert!(!r.success);
+            black_box(r)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_happy_paths(c: &mut Criterion) {
+    // For contrast: the success path with the same profiles (no failures).
+    let mut group = c.benchmark_group("b4_success_path");
+    group.sample_size(10);
+
+    let build = |profile: DbmsProfile| {
+        let net = Network::new();
+        uniform_latency(&net, 1);
+        let mut fed = Federation::with_network(net);
+        fed.add_service("svc0", "site0", bench::workloads::airline_engine(0, 50, profile))
+            .unwrap();
+        fed.execute("IMPORT DATABASE db0 FROM SERVICE svc0").unwrap();
+        fed.execute("USE db0 VITAL").unwrap();
+        fed
+    };
+
+    let mut fed_2pc = build(DbmsProfile::oracle_like());
+    group.bench_function("prepared_commit", |b| {
+        b.iter(|| {
+            black_box(
+                fed_2pc
+                    .execute("UPDATE flights SET rate = rate WHERE source = 'Houston'")
+                    .unwrap(),
+            )
+        })
+    });
+
+    let mut fed_auto = build(DbmsProfile::autocommit_only());
+    group.bench_function("autocommit_with_unused_comp", |b| {
+        b.iter(|| {
+            black_box(
+                fed_auto
+                    .execute(
+                        "UPDATE flights SET rate = rate WHERE source = 'Houston'
+                         COMP db0
+                         UPDATE flights SET rate = rate WHERE source = 'Houston'",
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_abort_paths, bench_happy_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Experiment B2 — query-graph decomposition vs. join width.
+//!
+//! Decomposes cross-database joins of growing width (K tables in K
+//! databases) into largest local subqueries plus the modified global query.
+//! Expected shape: roughly linear in the number of join terms/conjuncts.
+
+use bench::workloads::synthetic_gdd;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs::scope::SessionScope;
+use mdbs::translate::decompose;
+use msql_lang::{parse_statement, QueryBody, Select, Statement};
+use std::hint::black_box;
+
+fn scope_over(n: usize) -> SessionScope {
+    let mut scope = SessionScope::new();
+    let names: Vec<String> = (0..n).map(|i| format!("db{i}")).collect();
+    let Statement::Use(u) = parse_statement(&format!("USE {}", names.join(" "))).unwrap() else {
+        unreachable!()
+    };
+    scope.apply_use(&u).unwrap();
+    scope
+}
+
+/// A chain join over K databases with one local predicate per table:
+/// `SELECT t0.flnu, ... FROM db0.flights0 t0, db1.flights0 t1, ...
+///  WHERE t0.rate = t1.rate AND ... AND t_i.source = 'Houston' ...`
+fn chain_join(k: usize) -> Select {
+    let mut from = Vec::new();
+    let mut items = Vec::new();
+    let mut conjuncts = Vec::new();
+    for i in 0..k {
+        from.push(format!("db{i}.flights0 t{i}"));
+        items.push(format!("t{i}.flnu"));
+        conjuncts.push(format!("t{i}.source = 'Houston'"));
+        if i > 0 {
+            conjuncts.push(format!("t{}.rate = t{i}.rate", i - 1));
+        }
+    }
+    let sql = format!(
+        "SELECT {} FROM {} WHERE {}",
+        items.join(", "),
+        from.join(", "),
+        conjuncts.join(" AND ")
+    );
+    let Statement::Query(q) = parse_statement(&sql).unwrap() else { unreachable!() };
+    let QueryBody::Select(sel) = q.body else { unreachable!() };
+    sel
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_decompose");
+    for k in [2usize, 4, 8, 16] {
+        let gdd = synthetic_gdd(k, 1, 8);
+        let scope = scope_over(k);
+        let sel = chain_join(k);
+        group.bench_with_input(BenchmarkId::new("join_width", k), &k, |b, _| {
+            b.iter(|| {
+                let d = decompose(black_box(&sel), &scope, &gdd).unwrap();
+                assert_eq!(d.subqueries.len(), k);
+                d
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompose_wide_projection(c: &mut Criterion) {
+    // Wider tables → more needed columns to route.
+    let mut group = c.benchmark_group("b2_decompose_wide");
+    for cols in [4usize, 16, 64] {
+        let gdd = synthetic_gdd(2, 1, cols);
+        let scope = scope_over(2);
+        let sql = "SELECT * FROM db0.flights0 a, db1.flights0 b WHERE a.rate = b.rate";
+        let Statement::Query(q) = parse_statement(sql).unwrap() else { unreachable!() };
+        let QueryBody::Select(sel) = q.body else { unreachable!() };
+        group.bench_with_input(BenchmarkId::new("columns", cols), &cols, |b, _| {
+            b.iter(|| decompose(black_box(&sel), &scope, &gdd).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_decompose, bench_decompose_wide_projection
+}
+criterion_main!(benches);

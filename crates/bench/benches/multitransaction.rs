@@ -1,0 +1,113 @@
+//! Experiment B5 — multitransactions: function replication and acceptable
+//! states.
+//!
+//! A reservation multitransaction over 2·A databases (A flight candidates,
+//! A car candidates) with A acceptable states. Two sweeps:
+//!
+//! * latency vs. number of alternatives (more subqueries + a longer state
+//!   chain);
+//! * success rate vs. per-database failure probability, for A ∈ {1, 2, 4} —
+//!   the shape the flexible-transaction argument predicts: more replicated
+//!   alternatives → markedly higher success rate (reported via eprintln).
+
+use bench::workloads::{airline_engine, scaled_federation_on};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldbs::profile::DbmsProfile;
+use mdbs::Federation;
+use netsim::Network;
+use std::hint::black_box;
+
+/// Builds a multitransaction over databases `db0..db{2a-1}`: odd ones are
+/// "car" databases, even ones "flight" databases; acceptable state i pairs
+/// flight i with car i.
+fn mtx_sql(a: usize) -> String {
+    let mut queries = Vec::new();
+    let flights: Vec<String> = (0..a).map(|i| format!("db{}", 2 * i)).collect();
+    let cars: Vec<String> = (0..a).map(|i| format!("db{}", 2 * i + 1)).collect();
+    queries.push(format!(
+        "USE {}\nUPDATE seats SET sstat = 'TAKEN', client = 'wenders'
+         WHERE snu = (SELECT MIN(snu) FROM seats WHERE sstat = 'FREE');",
+        flights.join(" ")
+    ));
+    queries.push(format!(
+        "USE {}\nUPDATE seats SET sstat = 'TAKEN', client = 'wenders'
+         WHERE snu = (SELECT MIN(snu) FROM seats WHERE sstat = 'FREE');",
+        cars.join(" ")
+    ));
+    let states: Vec<String> = (0..a)
+        .map(|i| format!("db{} AND db{}", 2 * i, 2 * i + 1))
+        .collect();
+    format!(
+        "BEGIN MULTITRANSACTION\n{}\nCOMMIT\n{}\nEND MULTITRANSACTION",
+        queries.join("\n"),
+        states.join(",\n")
+    )
+}
+
+fn bench_alternatives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_alternatives");
+    group.sample_size(10);
+    for a in [1usize, 2, 4] {
+        let mut fed =
+            scaled_federation_on(Network::new(), 2 * a, 16, DbmsProfile::oracle_like());
+        let sql = mtx_sql(a);
+        group.bench_with_input(BenchmarkId::new("alternatives", a), &a, |b, _| {
+            b.iter(|| {
+                let report = fed.execute(&sql).unwrap().into_mtx().unwrap();
+                assert!(report.achieved_state.is_some());
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn success_rate(a: usize, fail_p: f64, trials: usize) -> f64 {
+    let mut successes = 0usize;
+    for trial in 0..trials {
+        let mut fed = Federation::with_network(Network::new());
+        for i in 0..2 * a {
+            let mut engine = airline_engine(i, 4, DbmsProfile::oracle_like());
+            engine.set_failure_policy(ldbs::failure::FailurePolicy::with_probabilities(
+                (trial * 31 + i) as u64,
+                fail_p,
+                0.0,
+            ));
+            fed.add_service(&format!("svc{i}"), &format!("site{i}"), engine).unwrap();
+            fed.execute(&format!("IMPORT DATABASE db{i} FROM SERVICE svc{i}")).unwrap();
+        }
+        let report = fed.execute(&mtx_sql(a)).unwrap().into_mtx().unwrap();
+        if report.achieved_state.is_some() {
+            successes += 1;
+        }
+    }
+    successes as f64 / trials as f64
+}
+
+fn bench_success_rate_report(c: &mut Criterion) {
+    // Not a timing benchmark: a deterministic sweep reported once, kept here
+    // so `cargo bench` regenerates the experiment's numbers.
+    for fail_p in [0.2f64, 0.4] {
+        for a in [1usize, 2, 4] {
+            let rate = success_rate(a, fail_p, 24);
+            eprintln!(
+                "b5: alternatives={a} failure_p={fail_p}: success rate {:.0}%",
+                rate * 100.0
+            );
+        }
+    }
+    // A token measurement so criterion registers the group.
+    let mut group = c.benchmark_group("b5_success_rate");
+    group.sample_size(10);
+    group.bench_function("single_trial_a2_p02", |b| {
+        b.iter(|| black_box(success_rate(2, 0.2, 1)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_alternatives, bench_success_rate_report
+}
+criterion_main!(benches);

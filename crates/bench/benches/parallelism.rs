@@ -1,0 +1,73 @@
+//! Experiment B7 — parallel vs. serial subquery execution.
+//!
+//! The paper closes by arguing that global-query optimisation in a loosely
+//! coupled federation "will be related more to data flow control and
+//! parallelism in execution of queries at different sites than to individual
+//! database operations." This benchmark quantifies that: with per-link
+//! latency L and N sites, a parallel task batch costs ≈L while a serial one
+//! costs ≈N·L.
+
+use bench::workloads::{scaled_federation_on, scaled_use, uniform_latency};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldbs::profile::DbmsProfile;
+use netsim::Network;
+use std::hint::black_box;
+
+const QUERY: &str = "SELECT flnu, rate FROM flights WHERE source = 'Houston'";
+
+fn bench_parallel_vs_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b7_parallelism");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        for parallel in [true, false] {
+            let net = Network::new();
+            uniform_latency(&net, 3);
+            let mut fed = scaled_federation_on(net, n, 50, DbmsProfile::oracle_like());
+            fed.parallel = parallel;
+            fed.execute(&scaled_use(n, 0)).unwrap();
+            let label = if parallel { "parallel" } else { "serial" };
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mt = fed.execute(QUERY).unwrap().into_multitable().unwrap();
+                        assert_eq!(mt.tables.len(), n);
+                        black_box(mt)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_latency_sweep(c: &mut Criterion) {
+    // Fixed fan-out, growing one-way latency: the parallel/serial gap widens
+    // linearly with L.
+    let mut group = c.benchmark_group("b7_latency_sweep");
+    group.sample_size(10);
+    for latency_ms in [1u64, 5, 10] {
+        for parallel in [true, false] {
+            let net = Network::new();
+            uniform_latency(&net, latency_ms);
+            let mut fed = scaled_federation_on(net, 4, 50, DbmsProfile::oracle_like());
+            fed.parallel = parallel;
+            fed.execute(&scaled_use(4, 0)).unwrap();
+            let label = if parallel { "parallel" } else { "serial" };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{latency_ms}ms")),
+                &latency_ms,
+                |b, _| b.iter(|| black_box(fed.execute(QUERY).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_vs_serial, bench_latency_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Experiment B1 — translation throughput vs. number of databases in scope.
+//!
+//! Measures the front half of the §4.3 pipeline: MSQL parsing, and
+//! multiple-identifier substitution + disambiguation over GDDs of growing
+//! width. Expected shape: parsing is flat; expansion grows linearly with the
+//! number of scope databases.
+
+use bench::workloads::synthetic_gdd;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs::scope::SessionScope;
+use mdbs::translate::{self, Translated};
+use msql_lang::{parse_statement, Statement};
+use std::hint::black_box;
+
+const QUERY: &str = "UPDATE flights% SET rate = rate * 1.1
+    WHERE source = 'Houston' AND destination = 'Dallas'";
+
+fn scope_over(n: usize) -> SessionScope {
+    let mut scope = SessionScope::new();
+    let names: Vec<String> = (0..n).map(|i| format!("db{i}")).collect();
+    let Statement::Use(u) = parse_statement(&format!("USE {}", names.join(" "))).unwrap() else {
+        unreachable!()
+    };
+    scope.apply_use(&u).unwrap();
+    scope
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_parse");
+    group.bench_function("section2_query", |b| {
+        b.iter(|| {
+            parse_statement(black_box(
+                "USE avis national
+                 LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+                 SELECT %code, type, ~rate FROM car WHERE status = 'available'",
+            ))
+            .unwrap()
+        })
+    });
+    group.bench_function("vital_update", |b| {
+        b.iter(|| {
+            parse_statement(black_box(
+                "USE continental VITAL delta united VITAL
+                 UPDATE flight% SET rate% = rate% * 1.1
+                 WHERE sour% = 'Houston' AND dest% = 'San Antonio'",
+            ))
+            .unwrap()
+        })
+    });
+    group.bench_function("multitransaction", |b| {
+        b.iter(|| {
+            parse_statement(black_box(
+                "BEGIN MULTITRANSACTION
+                 USE continental delta
+                 UPDATE fltab SET sstat = 'TAKEN'
+                 WHERE snu = (SELECT MIN(snu) FROM fltab WHERE sstat = 'FREE');
+                 COMMIT continental AND national, delta AND avis
+                 END MULTITRANSACTION",
+            ))
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_expand");
+    let Statement::Query(q) = parse_statement(QUERY).unwrap() else { unreachable!() };
+    for n in [1usize, 4, 16, 64] {
+        let gdd = synthetic_gdd(n, 1, 8);
+        let scope = scope_over(n);
+        group.bench_with_input(BenchmarkId::new("databases", n), &n, |b, _| {
+            b.iter(|| {
+                let t = translate::translate_body(black_box(&q.body), &scope, &gdd).unwrap();
+                let Translated::PerDb(locals) = t else { unreachable!() };
+                assert_eq!(locals.len(), n);
+                locals
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_expand_wild_tables(c: &mut Criterion) {
+    // Wild table names multiply the substitution space: each database
+    // exports `tables` matching tables.
+    let mut group = c.benchmark_group("b1_expand_wild_tables");
+    let Statement::Query(q) =
+        parse_statement("SELECT flnu, rate FROM flights% WHERE source = 'Houston'").unwrap()
+    else {
+        unreachable!()
+    };
+    for tables in [1usize, 4, 8] {
+        let gdd = synthetic_gdd(4, tables, 8);
+        let scope = scope_over(4);
+        group.bench_with_input(BenchmarkId::new("matches_per_db", tables), &tables, |b, _| {
+            b.iter(|| translate::translate_body(black_box(&q.body), &scope, &gdd).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parse, bench_expand, bench_expand_wild_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Experiment B3 — vital-set commitment cost.
+//!
+//! End-to-end latency of a multiple update as the vital set grows: all
+//! NON VITAL (pure autocommit tasks), half vital, all VITAL (2PC prepare +
+//! decide round for every member). With per-message latency, the vital
+//! variants pay the extra commit round; the message counts (printed once
+//! per configuration) show ≈2 extra messages per vital member.
+
+use bench::workloads::{scaled_federation_on, scaled_use, uniform_latency};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldbs::profile::DbmsProfile;
+use netsim::Network;
+use std::hint::black_box;
+
+const UPDATE: &str = "UPDATE flights SET rate = rate WHERE source = 'Houston'";
+
+fn bench_vital_fraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b3_vital_fraction");
+    group.sample_size(10);
+    for n in [3usize, 6] {
+        for (label, vital_every) in [("non_vital", 0usize), ("half_vital", 2), ("all_vital", 1)] {
+            let net = Network::new();
+            uniform_latency(&net, 1);
+            let mut fed = scaled_federation_on(net.clone(), n, 50, DbmsProfile::oracle_like());
+            fed.execute(&scaled_use(n, vital_every)).unwrap();
+
+            // Report the 2PC message overhead once per configuration.
+            net.reset_stats();
+            fed.execute(UPDATE).unwrap();
+            let msgs = net.stats().messages;
+            eprintln!("b3: n={n} {label}: {msgs} messages per statement");
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_n{n}"), n),
+                &n,
+                |b, _| b.iter(|| black_box(fed.execute(UPDATE).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_vital_under_failures(c: &mut Criterion) {
+    // Abort-path latency: with failure probability p the vital set keeps
+    // rolling back; the query still terminates quickly.
+    let mut group = c.benchmark_group("b3_vital_failures");
+    group.sample_size(10);
+    for p in [0.0f64, 0.1, 0.3] {
+        let net = Network::new();
+        let mut fed = scaled_federation_on(net, 4, 50, DbmsProfile::oracle_like());
+        fed.execute(&scaled_use(4, 1)).unwrap();
+        for i in 0..4 {
+            fed.engine(&format!("svc{i}"))
+                .unwrap()
+                .lock()
+                .set_failure_policy(ldbs::failure::FailurePolicy::with_probabilities(
+                    42 + i as u64,
+                    p,
+                    0.0,
+                ));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("abort_probability", format!("{p}")),
+            &p,
+            |b, _| b.iter(|| black_box(fed.execute(UPDATE).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vital_fraction, bench_vital_under_failures
+}
+criterion_main!(benches);

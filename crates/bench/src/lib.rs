@@ -1,0 +1,6 @@
+//! Shared workload builders and fixtures for the benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one experiment from
+//! EXPERIMENTS.md; this library holds the federation fixtures they share.
+
+pub mod workloads;

@@ -1,0 +1,146 @@
+//! Workload builders shared by the benchmark targets.
+//!
+//! Two families:
+//!
+//! * the *paper federation* (appendix schemas, five databases) for
+//!   fidelity-oriented benchmarks;
+//! * *scaled federations* — N identically-shaped airline databases, each on
+//!   its own service and site — for the parameter sweeps of experiments
+//!   B1–B5 and B7.
+
+use catalog::{GddColumn, GddTable, GlobalDataDictionary};
+use ldbs::profile::DbmsProfile;
+use ldbs::Engine;
+use mdbs::Federation;
+use msql_lang::TypeName;
+use netsim::{LatencyModel, Network};
+use std::time::Duration;
+
+/// Builds one airline-like engine: database `db<i>` with a `flights` table
+/// holding `rows` seeded rows and a `seats` reservation table.
+pub fn airline_engine(index: usize, rows: usize, profile: DbmsProfile) -> Engine {
+    let db = format!("db{index}");
+    let mut e = Engine::new(format!("svc{index}"), profile);
+    e.create_database(&db).unwrap();
+    e.execute(
+        &db,
+        "CREATE TABLE flights (flnu INT, source CHAR(20), destination CHAR(20), rate FLOAT)",
+    )
+    .unwrap();
+    e.execute(&db, "CREATE TABLE seats (snu INT, sstat CHAR(8), client CHAR(20))").unwrap();
+    let cities = ["Houston", "Dallas", "Austin", "El Paso"];
+    for r in 0..rows {
+        let src = cities[r % cities.len()];
+        let dst = cities[(r + 1) % cities.len()];
+        let rate = 50.0 + (r % 100) as f64;
+        e.execute(
+            &db,
+            &format!("INSERT INTO flights VALUES ({r}, '{src}', '{dst}', {rate})"),
+        )
+        .unwrap();
+    }
+    for s in 0..8 {
+        e.execute(&db, &format!("INSERT INTO seats VALUES ({s}, 'FREE', NULL)")).unwrap();
+    }
+    e
+}
+
+/// A federation of `n` scaled airline databases (`db0..dbN-1` at
+/// `site0..siteN-1`), all with the given profile, schemas imported.
+pub fn scaled_federation(n: usize, rows: usize, profile: DbmsProfile) -> Federation {
+    scaled_federation_on(Network::new(), n, rows, profile)
+}
+
+/// Same, on a caller-provided network (latency models, seeds).
+pub fn scaled_federation_on(
+    net: Network,
+    n: usize,
+    rows: usize,
+    profile: DbmsProfile,
+) -> Federation {
+    let mut fed = Federation::with_network(net);
+    fed.timeout = Duration::from_secs(30);
+    for i in 0..n {
+        fed.add_service(&format!("svc{i}"), &format!("site{i}"), airline_engine(i, rows, profile.clone()))
+            .unwrap();
+        fed.execute(&format!("IMPORT DATABASE db{i} FROM SERVICE svc{i}")).unwrap();
+    }
+    fed
+}
+
+/// A `USE` statement over the first `n` scaled databases; `vital_every`
+/// designates every k-th database VITAL (0 = none).
+pub fn scaled_use(n: usize, vital_every: usize) -> String {
+    let mut parts = Vec::with_capacity(n);
+    for i in 0..n {
+        if vital_every > 0 && i % vital_every == 0 {
+            parts.push(format!("db{i} VITAL"));
+        } else {
+            parts.push(format!("db{i}"));
+        }
+    }
+    format!("USE {}", parts.join(" "))
+}
+
+/// A synthetic GDD with `n` databases, each exporting `tables` tables of
+/// `cols` columns — for translator-only benchmarks (no engines, no network).
+pub fn synthetic_gdd(n: usize, tables: usize, cols: usize) -> GlobalDataDictionary {
+    let mut gdd = GlobalDataDictionary::new();
+    for i in 0..n {
+        let db = format!("db{i}");
+        gdd.register_database(&db, &format!("svc{i}")).unwrap();
+        for t in 0..tables {
+            let mut columns = vec![
+                GddColumn::new("flnu", TypeName::Int),
+                GddColumn::new("source", TypeName::Char(20)),
+                GddColumn::new("destination", TypeName::Char(20)),
+                GddColumn::new("rate", TypeName::Float),
+            ];
+            for c in 0..cols.saturating_sub(4) {
+                columns.push(GddColumn::new(format!("extra{c}"), TypeName::Int));
+            }
+            gdd.put_table(&db, GddTable::new(format!("flights{t}"), columns)).unwrap();
+        }
+    }
+    gdd
+}
+
+/// Installs a uniform latency model on a network.
+pub fn uniform_latency(net: &Network, millis: u64) {
+    net.set_latency(LatencyModel::uniform(Duration::from_millis(millis)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_federation_builds_and_answers() {
+        let mut fed = scaled_federation(3, 10, DbmsProfile::oracle_like());
+        fed.execute(&scaled_use(3, 0)).unwrap();
+        let mt = fed
+            .execute("SELECT COUNT(*) AS n FROM flights")
+            .unwrap()
+            .into_multitable()
+            .unwrap();
+        assert_eq!(mt.tables.len(), 3);
+        for t in &mt.tables {
+            assert_eq!(t.result.rows[0][0], ldbs::value::Value::Int(10));
+        }
+    }
+
+    #[test]
+    fn scaled_use_marks_vitals() {
+        assert_eq!(scaled_use(3, 0), "USE db0 db1 db2");
+        assert_eq!(scaled_use(3, 1), "USE db0 VITAL db1 VITAL db2 VITAL");
+        assert_eq!(scaled_use(4, 2), "USE db0 VITAL db1 db2 VITAL db3");
+    }
+
+    #[test]
+    fn synthetic_gdd_shape() {
+        let gdd = synthetic_gdd(4, 2, 6);
+        assert_eq!(gdd.database_names().len(), 4);
+        assert_eq!(gdd.tables("db0").unwrap().len(), 2);
+        assert_eq!(gdd.table("db0", "flights0").unwrap().columns.len(), 6);
+    }
+}

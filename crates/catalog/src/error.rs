@@ -1,0 +1,69 @@
+//! Catalog errors.
+
+use std::fmt;
+
+/// Errors raised by the dictionaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The service is not incorporated.
+    UnknownService(String),
+    /// The database is not registered in the GDD.
+    UnknownDatabase(String),
+    /// The table is not registered in the GDD.
+    UnknownTable {
+        /// The owning database.
+        database: String,
+        /// The missing table.
+        table: String,
+    },
+    /// A requested column does not exist in the exported definition.
+    UnknownColumn {
+        /// The owning table.
+        table: String,
+        /// The missing column.
+        column: String,
+    },
+    /// A database name collides across services — the paper assumes database
+    /// names are unique inside the federation.
+    DatabaseNameCollision {
+        /// The colliding database name.
+        database: String,
+        /// The service that already exports it.
+        existing_service: String,
+    },
+    /// A service with that name is already incorporated.
+    ServiceExists(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownService(s) => write!(f, "service `{s}` is not incorporated"),
+            CatalogError::UnknownDatabase(d) => write!(f, "database `{d}` is not in the GDD"),
+            CatalogError::UnknownTable { database, table } => {
+                write!(f, "table `{database}.{table}` is not in the GDD")
+            }
+            CatalogError::UnknownColumn { table, column } => {
+                write!(f, "column `{table}.{column}` is not exported")
+            }
+            CatalogError::DatabaseNameCollision { database, existing_service } => write!(
+                f,
+                "database name `{database}` already belongs to service `{existing_service}`"
+            ),
+            CatalogError::ServiceExists(s) => write!(f, "service `{s}` already incorporated"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_names() {
+        let e = CatalogError::UnknownTable { database: "avis".into(), table: "cars".into() };
+        assert!(e.to_string().contains("avis.cars"));
+    }
+}

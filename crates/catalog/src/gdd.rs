@@ -1,0 +1,307 @@
+//! The Global Data Dictionary: names visible at the multidatabase level.
+//!
+//! The GDD stores, per database, the exported table definitions (names,
+//! types, widths — §3.1). It answers the two questions the translator asks:
+//!
+//! * which concrete tables/columns match a *multiple identifier* such as
+//!   `flight%` or `%code` within the current query scope;
+//! * what is the exported definition of a given table.
+
+use crate::error::CatalogError;
+use msql_lang::{TypeName, WildName};
+use std::collections::BTreeMap;
+
+/// An exported column: name, type, width (width lives inside
+/// [`TypeName::Char`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GddColumn {
+    /// Column name (lowercase).
+    pub name: String,
+    /// Declared type.
+    pub type_name: TypeName,
+}
+
+impl GddColumn {
+    /// Creates a column entry.
+    pub fn new(name: impl Into<String>, type_name: TypeName) -> Self {
+        GddColumn { name: name.into().to_ascii_lowercase(), type_name }
+    }
+}
+
+/// An exported table (or view) definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GddTable {
+    /// Table name (lowercase).
+    pub name: String,
+    /// Exported columns in declaration order (may be a subset of the local
+    /// definition after a partial IMPORT).
+    pub columns: Vec<GddColumn>,
+    /// True when the object is a view.
+    pub is_view: bool,
+}
+
+impl GddTable {
+    /// Creates a table entry.
+    pub fn new(name: impl Into<String>, columns: Vec<GddColumn>) -> Self {
+        GddTable { name: name.into().to_ascii_lowercase(), columns, is_view: false }
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Option<&GddColumn> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().find(|c| c.name == lower)
+    }
+}
+
+/// One database's exported schema plus the service that hosts it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GddDatabase {
+    /// Hosting service name.
+    pub service: String,
+    /// Exported tables by name.
+    pub tables: BTreeMap<String, GddTable>,
+}
+
+/// The Global Data Dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalDataDictionary {
+    databases: BTreeMap<String, GddDatabase>,
+}
+
+impl GlobalDataDictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        GlobalDataDictionary::default()
+    }
+
+    /// Registers a database as hosted by `service`. Database names must be
+    /// unique inside the federation (paper §3.1); registering the same
+    /// database for the same service is idempotent.
+    pub fn register_database(
+        &mut self,
+        database: &str,
+        service: &str,
+    ) -> Result<(), CatalogError> {
+        let db = database.to_ascii_lowercase();
+        let svc = service.to_ascii_lowercase();
+        if let Some(existing) = self.databases.get(&db) {
+            if existing.service != svc {
+                return Err(CatalogError::DatabaseNameCollision {
+                    database: db,
+                    existing_service: existing.service.clone(),
+                });
+            }
+            return Ok(());
+        }
+        self.databases.insert(db, GddDatabase { service: svc, tables: BTreeMap::new() });
+        Ok(())
+    }
+
+    /// Removes a database and its exported schema.
+    pub fn drop_database(&mut self, database: &str) -> Result<(), CatalogError> {
+        self.databases
+            .remove(&database.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| CatalogError::UnknownDatabase(database.to_string()))
+    }
+
+    /// Installs (or replaces — "The IMPORT operation replaces the definition
+    /// of previously imported database objects") a table definition.
+    pub fn put_table(&mut self, database: &str, table: GddTable) -> Result<(), CatalogError> {
+        let db = self
+            .databases
+            .get_mut(&database.to_ascii_lowercase())
+            .ok_or_else(|| CatalogError::UnknownDatabase(database.to_string()))?;
+        db.tables.insert(table.name.clone(), table);
+        Ok(())
+    }
+
+    /// Removes one exported table.
+    pub fn drop_table(&mut self, database: &str, table: &str) -> Result<(), CatalogError> {
+        let db = self
+            .databases
+            .get_mut(&database.to_ascii_lowercase())
+            .ok_or_else(|| CatalogError::UnknownDatabase(database.to_string()))?;
+        db.tables
+            .remove(&table.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| CatalogError::UnknownTable {
+                database: database.to_string(),
+                table: table.to_string(),
+            })
+    }
+
+    /// The service hosting a database.
+    pub fn service_of(&self, database: &str) -> Result<&str, CatalogError> {
+        self.databases
+            .get(&database.to_ascii_lowercase())
+            .map(|d| d.service.as_str())
+            .ok_or_else(|| CatalogError::UnknownDatabase(database.to_string()))
+    }
+
+    /// True when the database is registered.
+    pub fn has_database(&self, database: &str) -> bool {
+        self.databases.contains_key(&database.to_ascii_lowercase())
+    }
+
+    /// All registered database names, sorted.
+    pub fn database_names(&self) -> Vec<&str> {
+        self.databases.keys().map(|k| k.as_str()).collect()
+    }
+
+    /// The exported tables of a database, sorted by name.
+    pub fn tables(&self, database: &str) -> Result<Vec<&GddTable>, CatalogError> {
+        self.databases
+            .get(&database.to_ascii_lowercase())
+            .map(|d| d.tables.values().collect())
+            .ok_or_else(|| CatalogError::UnknownDatabase(database.to_string()))
+    }
+
+    /// One exported table definition.
+    pub fn table(&self, database: &str, table: &str) -> Result<&GddTable, CatalogError> {
+        self.databases
+            .get(&database.to_ascii_lowercase())
+            .ok_or_else(|| CatalogError::UnknownDatabase(database.to_string()))?
+            .tables
+            .get(&table.to_ascii_lowercase())
+            .ok_or_else(|| CatalogError::UnknownTable {
+                database: database.to_string(),
+                table: table.to_string(),
+            })
+    }
+
+    /// Tables matching a (possibly wild) name within one database.
+    pub fn match_tables(
+        &self,
+        database: &str,
+        pattern: &WildName,
+    ) -> Result<Vec<&GddTable>, CatalogError> {
+        Ok(self
+            .tables(database)?
+            .into_iter()
+            .filter(|t| pattern.matches(&t.name))
+            .collect())
+    }
+
+    /// Columns of one table matching a (possibly wild) name.
+    pub fn match_columns<'a>(
+        &'a self,
+        table: &'a GddTable,
+        pattern: &WildName,
+    ) -> Vec<&'a GddColumn> {
+        table.columns.iter().filter(|c| pattern.matches(&c.name)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict_with_appendix_schemas() -> GlobalDataDictionary {
+        // The paper's appendix: avis.cars and national.vehicle.
+        let mut gdd = GlobalDataDictionary::new();
+        gdd.register_database("avis", "ingres1").unwrap();
+        gdd.register_database("national", "oracle1").unwrap();
+        gdd.put_table(
+            "avis",
+            GddTable::new(
+                "cars",
+                vec![
+                    GddColumn::new("code", TypeName::Int),
+                    GddColumn::new("cartype", TypeName::Char(16)),
+                    GddColumn::new("rate", TypeName::Float),
+                    GddColumn::new("carst", TypeName::Char(10)),
+                ],
+            ),
+        )
+        .unwrap();
+        gdd.put_table(
+            "national",
+            GddTable::new(
+                "vehicle",
+                vec![
+                    GddColumn::new("vcode", TypeName::Int),
+                    GddColumn::new("vty", TypeName::Char(16)),
+                    GddColumn::new("vstat", TypeName::Char(10)),
+                ],
+            ),
+        )
+        .unwrap();
+        gdd
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let gdd = dict_with_appendix_schemas();
+        assert_eq!(gdd.service_of("avis").unwrap(), "ingres1");
+        assert_eq!(gdd.table("avis", "cars").unwrap().columns.len(), 4);
+        assert!(gdd.table("avis", "vehicle").is_err());
+        assert_eq!(gdd.database_names(), vec!["avis", "national"]);
+    }
+
+    #[test]
+    fn database_name_collision_rejected() {
+        let mut gdd = dict_with_appendix_schemas();
+        assert!(matches!(
+            gdd.register_database("avis", "different_svc"),
+            Err(CatalogError::DatabaseNameCollision { .. })
+        ));
+        // Same service: idempotent.
+        gdd.register_database("avis", "ingres1").unwrap();
+    }
+
+    #[test]
+    fn percent_code_matches_code_and_vcode() {
+        // The paper's §2 implicit semantic variable.
+        let gdd = dict_with_appendix_schemas();
+        let pattern = WildName::new("%code");
+        let cars = gdd.table("avis", "cars").unwrap();
+        let vehicle = gdd.table("national", "vehicle").unwrap();
+        let cars_hits: Vec<&str> =
+            gdd.match_columns(cars, &pattern).iter().map(|c| c.name.as_str()).collect();
+        let vehicle_hits: Vec<&str> =
+            gdd.match_columns(vehicle, &pattern).iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(cars_hits, vec!["code"]);
+        assert_eq!(vehicle_hits, vec!["vcode"]);
+    }
+
+    #[test]
+    fn match_tables_with_wildcard() {
+        let mut gdd = dict_with_appendix_schemas();
+        gdd.register_database("continental", "svc3").unwrap();
+        gdd.put_table(
+            "continental",
+            GddTable::new("flights", vec![GddColumn::new("flnu", TypeName::Int)]),
+        )
+        .unwrap();
+        gdd.put_table(
+            "continental",
+            GddTable::new("f838", vec![GddColumn::new("seatnu", TypeName::Int)]),
+        )
+        .unwrap();
+        let hits = gdd.match_tables("continental", &WildName::new("flight%")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "flights");
+    }
+
+    #[test]
+    fn put_table_replaces_definition() {
+        let mut gdd = dict_with_appendix_schemas();
+        gdd.put_table(
+            "avis",
+            GddTable::new("cars", vec![GddColumn::new("code", TypeName::Int)]),
+        )
+        .unwrap();
+        assert_eq!(gdd.table("avis", "cars").unwrap().columns.len(), 1);
+    }
+
+    #[test]
+    fn drop_table_and_database() {
+        let mut gdd = dict_with_appendix_schemas();
+        gdd.drop_table("avis", "cars").unwrap();
+        assert!(gdd.table("avis", "cars").is_err());
+        gdd.drop_database("avis").unwrap();
+        assert!(!gdd.has_database("avis"));
+        assert!(matches!(gdd.drop_database("avis"), Err(CatalogError::UnknownDatabase(_))));
+    }
+}

@@ -1,0 +1,221 @@
+//! `IMPORT DATABASE` execution.
+//!
+//! §3.1: *"If the table name is not specified, the information about the
+//! structure of all tables designated as public, is imported. If the table
+//! name is specified, but column names are not, the whole table definition is
+//! imported. Finally, if column names are specified, partial table
+//! definitions can be imported. ... The IMPORT operation replaces the
+//! definition of previously imported database objects, if necessary."*
+//!
+//! The exporting service's Local Conceptual Schema is handed in as a slice of
+//! [`GddTable`]s (the multidatabase layer fetches it over the network); this
+//! module is a pure function from that schema plus the IMPORT statement to
+//! GDD updates.
+
+use crate::error::CatalogError;
+use crate::gdd::{GddTable, GlobalDataDictionary};
+use msql_lang::{Import, ImportItem};
+
+/// Applies an IMPORT statement. `local_schema` is the exporting database's
+/// public Local Conceptual Schema. Returns the names of the tables imported.
+pub fn apply_import(
+    gdd: &mut GlobalDataDictionary,
+    import: &Import,
+    local_schema: &[GddTable],
+) -> Result<Vec<String>, CatalogError> {
+    gdd.register_database(&import.database, &import.service)?;
+    let find = |name: &str, want_view: bool| -> Result<GddTable, CatalogError> {
+        let lower = name.to_ascii_lowercase();
+        local_schema
+            .iter()
+            .find(|t| t.name == lower && t.is_view == want_view)
+            .cloned()
+            .ok_or_else(|| CatalogError::UnknownTable {
+                database: import.database.clone(),
+                table: name.to_string(),
+            })
+    };
+
+    let mut imported = Vec::new();
+    match &import.item {
+        ImportItem::AllPublicTables => {
+            for t in local_schema {
+                gdd.put_table(&import.database, t.clone())?;
+                imported.push(t.name.clone());
+            }
+        }
+        ImportItem::Table { table, columns } => {
+            let def = restrict(find(table, false)?, columns)?;
+            imported.push(def.name.clone());
+            gdd.put_table(&import.database, def)?;
+        }
+        ImportItem::View { view, columns } => {
+            let def = restrict(find(view, true)?, columns)?;
+            imported.push(def.name.clone());
+            gdd.put_table(&import.database, def)?;
+        }
+    }
+    Ok(imported)
+}
+
+/// Restricts a definition to the requested columns (empty = all).
+fn restrict(mut table: GddTable, columns: &[String]) -> Result<GddTable, CatalogError> {
+    if columns.is_empty() {
+        return Ok(table);
+    }
+    let mut kept = Vec::with_capacity(columns.len());
+    for want in columns {
+        let lower = want.to_ascii_lowercase();
+        match table.columns.iter().find(|c| c.name == lower) {
+            Some(c) => kept.push(c.clone()),
+            None => {
+                return Err(CatalogError::UnknownColumn {
+                    table: table.name.clone(),
+                    column: want.clone(),
+                })
+            }
+        }
+    }
+    table.columns = kept;
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gdd::GddColumn;
+    use msql_lang::{parse_statement, Statement, TypeName};
+
+    fn import_stmt(sql: &str) -> Import {
+        let Statement::Import(i) = parse_statement(sql).unwrap() else { panic!() };
+        i
+    }
+
+    fn avis_lcs() -> Vec<GddTable> {
+        let mut view = GddTable::new(
+            "available_cars",
+            vec![GddColumn::new("code", TypeName::Int)],
+        );
+        view.is_view = true;
+        vec![
+            GddTable::new(
+                "cars",
+                vec![
+                    GddColumn::new("code", TypeName::Int),
+                    GddColumn::new("cartype", TypeName::Char(16)),
+                    GddColumn::new("rate", TypeName::Float),
+                ],
+            ),
+            GddTable::new("clients", vec![GddColumn::new("name", TypeName::Char(30))]),
+            view,
+        ]
+    }
+
+    #[test]
+    fn import_all_public_tables() {
+        let mut gdd = GlobalDataDictionary::new();
+        let imported = apply_import(
+            &mut gdd,
+            &import_stmt("IMPORT DATABASE avis FROM SERVICE ingres1"),
+            &avis_lcs(),
+        )
+        .unwrap();
+        assert_eq!(imported.len(), 3);
+        assert_eq!(gdd.service_of("avis").unwrap(), "ingres1");
+        assert!(gdd.table("avis", "cars").is_ok());
+        assert!(gdd.table("avis", "clients").is_ok());
+    }
+
+    #[test]
+    fn import_single_table() {
+        let mut gdd = GlobalDataDictionary::new();
+        apply_import(
+            &mut gdd,
+            &import_stmt("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars"),
+            &avis_lcs(),
+        )
+        .unwrap();
+        assert!(gdd.table("avis", "cars").is_ok());
+        assert!(gdd.table("avis", "clients").is_err());
+    }
+
+    #[test]
+    fn partial_column_import() {
+        let mut gdd = GlobalDataDictionary::new();
+        apply_import(
+            &mut gdd,
+            &import_stmt(
+                "IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars COLUMN (code, rate)",
+            ),
+            &avis_lcs(),
+        )
+        .unwrap();
+        let t = gdd.table("avis", "cars").unwrap();
+        assert_eq!(t.columns.len(), 2);
+        assert_eq!(t.columns[0].name, "code");
+        assert_eq!(t.columns[1].name, "rate");
+    }
+
+    #[test]
+    fn import_view() {
+        let mut gdd = GlobalDataDictionary::new();
+        apply_import(
+            &mut gdd,
+            &import_stmt("IMPORT DATABASE avis FROM SERVICE ingres1 VIEW available_cars"),
+            &avis_lcs(),
+        )
+        .unwrap();
+        assert!(gdd.table("avis", "available_cars").unwrap().is_view);
+    }
+
+    #[test]
+    fn import_replaces_previous_definition() {
+        let mut gdd = GlobalDataDictionary::new();
+        apply_import(
+            &mut gdd,
+            &import_stmt("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars"),
+            &avis_lcs(),
+        )
+        .unwrap();
+        assert_eq!(gdd.table("avis", "cars").unwrap().columns.len(), 3);
+        apply_import(
+            &mut gdd,
+            &import_stmt("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars COLUMN (code)"),
+            &avis_lcs(),
+        )
+        .unwrap();
+        assert_eq!(gdd.table("avis", "cars").unwrap().columns.len(), 1);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let mut gdd = GlobalDataDictionary::new();
+        assert!(matches!(
+            apply_import(
+                &mut gdd,
+                &import_stmt("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE ghost"),
+                &avis_lcs(),
+            ),
+            Err(CatalogError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            apply_import(
+                &mut gdd,
+                &import_stmt("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars COLUMN (ghost)"),
+                &avis_lcs(),
+            ),
+            Err(CatalogError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn importing_a_view_as_table_fails() {
+        let mut gdd = GlobalDataDictionary::new();
+        assert!(apply_import(
+            &mut gdd,
+            &import_stmt("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE available_cars"),
+            &avis_lcs(),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # catalog — Auxiliary Directory and Global Data Dictionary
+//!
+//! The two multidatabase-level dictionaries of the paper (§3.1, §4.2):
+//!
+//! * the **Auxiliary Directory** ([`ad::AuxiliaryDirectory`]) stores, per
+//!   service, "the information needed to access the service, including its
+//!   name, the address of the service site, the information about the access
+//!   protocol and the information about the commit mode for the DML and DDL
+//!   statements" — maintained by `INCORPORATE SERVICE`;
+//! * the **Global Data Dictionary** ([`gdd::GlobalDataDictionary`]) is "a
+//!   repository for the names of the database objects that are visible at the
+//!   multidatabase level ... the names of tables together with the names,
+//!   types and widths of their columns", used "to detect multiple identifiers
+//!   in MSQL queries and to perform the substitution of implicit semantic
+//!   variables" — populated by `IMPORT DATABASE`.
+//!
+//! Neither dictionary knows about the execution engine; `IMPORT` execution
+//! is therefore a pure function from an import statement plus the exporting
+//! service's local conceptual schema to GDD updates ([`import::apply_import`]).
+
+pub mod ad;
+pub mod error;
+pub mod gdd;
+pub mod import;
+
+pub use ad::{AuxiliaryDirectory, ServiceEntry};
+pub use error::CatalogError;
+pub use gdd::{GddColumn, GddTable, GlobalDataDictionary};
+pub use import::apply_import;

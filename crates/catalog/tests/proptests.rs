@@ -1,0 +1,122 @@
+//! Property tests for the dictionaries: IMPORT laws (idempotence,
+//! replacement, restriction) over arbitrary Local Conceptual Schemas.
+
+use catalog::{apply_import, GddColumn, GddTable, GlobalDataDictionary};
+use msql_lang::{parse_statement, Import, Statement, TypeName};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn lcs_strategy() -> impl Strategy<Value = Vec<GddTable>> {
+    proptest::collection::vec(
+        (ident(), proptest::collection::vec(ident(), 1..6)),
+        1..5,
+    )
+    .prop_map(|tables| {
+        let mut seen_tables = Vec::new();
+        tables
+            .into_iter()
+            .filter(|(name, _)| {
+                if seen_tables.contains(name) {
+                    false
+                } else {
+                    seen_tables.push(name.clone());
+                    true
+                }
+            })
+            .map(|(name, cols)| {
+                let mut seen = Vec::new();
+                let columns = cols
+                    .into_iter()
+                    .filter(|c| {
+                        if seen.contains(c) {
+                            false
+                        } else {
+                            seen.push(c.clone());
+                            true
+                        }
+                    })
+                    .map(|c| GddColumn::new(c, TypeName::Char(0)))
+                    .collect();
+                GddTable::new(name, columns)
+            })
+            .collect()
+    })
+}
+
+fn import_all() -> Import {
+    let Statement::Import(i) =
+        parse_statement("IMPORT DATABASE db FROM SERVICE svc").unwrap()
+    else {
+        unreachable!()
+    };
+    i
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn import_all_is_idempotent(lcs in lcs_strategy()) {
+        let mut gdd = GlobalDataDictionary::new();
+        apply_import(&mut gdd, &import_all(), &lcs).unwrap();
+        let first: Vec<GddTable> =
+            gdd.tables("db").unwrap().into_iter().cloned().collect();
+        apply_import(&mut gdd, &import_all(), &lcs).unwrap();
+        let second: Vec<GddTable> =
+            gdd.tables("db").unwrap().into_iter().cloned().collect();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn import_all_exports_exactly_the_lcs(lcs in lcs_strategy()) {
+        let mut gdd = GlobalDataDictionary::new();
+        let imported = apply_import(&mut gdd, &import_all(), &lcs).unwrap();
+        prop_assert_eq!(imported.len(), lcs.len());
+        for t in &lcs {
+            let exported = gdd.table("db", &t.name).unwrap();
+            prop_assert_eq!(exported, t);
+        }
+    }
+
+    #[test]
+    fn partial_import_restricts_then_full_import_restores(lcs in lcs_strategy()) {
+        let table = &lcs[0];
+        prop_assume!(!table.columns.is_empty());
+        let first_col = table.columns[0].name.clone();
+        let mut gdd = GlobalDataDictionary::new();
+
+        let Statement::Import(partial) = parse_statement(&format!(
+            "IMPORT DATABASE db FROM SERVICE svc TABLE {} COLUMN ({first_col})",
+            table.name
+        ))
+        .unwrap() else { unreachable!() };
+        apply_import(&mut gdd, &partial, &lcs).unwrap();
+        prop_assert_eq!(gdd.table("db", &table.name).unwrap().columns.len(), 1);
+
+        let Statement::Import(full) = parse_statement(&format!(
+            "IMPORT DATABASE db FROM SERVICE svc TABLE {}",
+            table.name
+        ))
+        .unwrap() else { unreachable!() };
+        apply_import(&mut gdd, &full, &lcs).unwrap();
+        prop_assert_eq!(gdd.table("db", &table.name).unwrap(), table);
+    }
+
+    #[test]
+    fn wildcard_matching_over_gdd_is_complete(lcs in lcs_strategy()) {
+        let mut gdd = GlobalDataDictionary::new();
+        apply_import(&mut gdd, &import_all(), &lcs).unwrap();
+        // `%` matches every exported table.
+        let all = gdd.match_tables("db", &msql_lang::WildName::new("%")).unwrap();
+        prop_assert_eq!(all.len(), lcs.len());
+        // Each table's exact name matches exactly itself.
+        for t in &lcs {
+            let hits = gdd.match_tables("db", &msql_lang::WildName::new(t.name.clone())).unwrap();
+            prop_assert_eq!(hits.len(), 1);
+            prop_assert_eq!(&hits[0].name, &t.name);
+        }
+    }
+}

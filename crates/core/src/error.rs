@@ -1,0 +1,127 @@
+//! Unified error type for the multidatabase layer.
+
+use std::fmt;
+
+/// Errors raised by the multidatabase system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MdbsError {
+    /// MSQL parse error.
+    Parse(String),
+    /// Catalog (AD/GDD) error.
+    Catalog(String),
+    /// The query references a database that is not in the current scope.
+    NotInScope(String),
+    /// The current scope is empty but the statement needs one.
+    EmptyScope,
+    /// No pertinent substitution exists for the query in any scope database.
+    NotPertinent(String),
+    /// A semantic variable is unusable (wrong arity, no binding for a scope
+    /// database, ...).
+    BadSemanticVariable(String),
+    /// A VITAL database's service does not support 2PC and no COMP clause
+    /// was given — the condition under which the paper's prototype "raises
+    /// an error condition and refuses to process the query" (§3.3).
+    VitalWithoutCompensation {
+        /// The offending database.
+        database: String,
+    },
+    /// A COMP clause names a database that is not in scope or not vital.
+    BadCompClause(String),
+    /// DOL translation/execution error.
+    Dol(String),
+    /// Network error talking to a LAM.
+    Net(String),
+    /// A LAM reported a local database error.
+    Local {
+        /// The service that failed.
+        service: String,
+        /// The underlying error.
+        message: String,
+    },
+    /// A malformed wire message.
+    Wire(String),
+    /// Multitransaction error (e.g. acceptable state names unknown database).
+    Mtx(String),
+    /// Statement not supported at this level.
+    Unsupported(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for MdbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdbsError::Parse(m) => write!(f, "MSQL parse error: {m}"),
+            MdbsError::Catalog(m) => write!(f, "catalog error: {m}"),
+            MdbsError::NotInScope(db) => {
+                write!(f, "database `{db}` is not in the current USE scope")
+            }
+            MdbsError::EmptyScope => write!(f, "no USE scope is active"),
+            MdbsError::NotPertinent(m) => {
+                write!(f, "query is not pertinent to any database in scope: {m}")
+            }
+            MdbsError::BadSemanticVariable(m) => write!(f, "bad semantic variable: {m}"),
+            MdbsError::VitalWithoutCompensation { database } => write!(
+                f,
+                "database `{database}` is VITAL but its service supports only automatic \
+                 commit; provide a COMP clause (paper §3.3)"
+            ),
+            MdbsError::BadCompClause(m) => write!(f, "bad COMP clause: {m}"),
+            MdbsError::Dol(m) => write!(f, "DOL error: {m}"),
+            MdbsError::Net(m) => write!(f, "network error: {m}"),
+            MdbsError::Local { service, message } => {
+                write!(f, "local error at `{service}`: {message}")
+            }
+            MdbsError::Wire(m) => write!(f, "wire protocol error: {m}"),
+            MdbsError::Mtx(m) => write!(f, "multitransaction error: {m}"),
+            MdbsError::Unsupported(m) => write!(f, "unsupported statement: {m}"),
+            MdbsError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MdbsError {}
+
+impl From<msql_lang::ParseError> for MdbsError {
+    fn from(e: msql_lang::ParseError) -> Self {
+        MdbsError::Parse(e.to_string())
+    }
+}
+
+impl From<catalog::CatalogError> for MdbsError {
+    fn from(e: catalog::CatalogError) -> Self {
+        MdbsError::Catalog(e.to_string())
+    }
+}
+
+impl From<dol::DolError> for MdbsError {
+    fn from(e: dol::DolError) -> Self {
+        MdbsError::Dol(e.to_string())
+    }
+}
+
+impl From<netsim::NetError> for MdbsError {
+    fn from(e: netsim::NetError) -> Self {
+        MdbsError::Net(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: MdbsError = netsim::NetError::UnknownSite("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        let e: MdbsError = dol::DolError::UnknownTask("T9".into()).into();
+        assert!(e.to_string().contains("T9"));
+    }
+
+    #[test]
+    fn vital_without_compensation_cites_paper() {
+        let e = MdbsError::VitalWithoutCompensation { database: "continental".into() };
+        assert!(e.to_string().contains("COMP"));
+        assert!(e.to_string().contains("continental"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Plan execution and outcome reporting.
+//!
+//! The executor drives generated DOL programs through [`dol::DolEngine`]
+//! with [`crate::lamclient::LamFactory`] services, then shapes the raw task
+//! statuses/results into user-facing reports:
+//!
+//! * retrievals become [`Multitable`]s (one table per database, §2);
+//! * cross-database joins are executed by shipping partial results to the
+//!   coordinator (the "partial results are collected in one database,
+//!   acting as the coordinator" flow of §4.1) and return a single table;
+//! * updates and multitransactions report per-database termination states
+//!   and the DOL return code.
+
+use crate::error::MdbsError;
+use crate::lamclient::{decode_task_result, LamClient, LamFactory};
+use crate::multitable::{Multitable, MultitableEntry};
+use crate::proto::{Request, Response, TaskMode};
+use crate::translate::{DbRoute, Decomposition, GeneratedPlan, MTX_FAILED};
+use crate::wire;
+use dol::{DolEngine, DolOutcome, TaskStatus};
+use ldbs::engine::ResultSet;
+use msql_lang::printer::print_select;
+use netsim::Network;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Per-database outcome of a modification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbOutcome {
+    /// The database.
+    pub database: String,
+    /// Its scope key.
+    pub key: String,
+    /// Terminal status of its subquery.
+    pub status: TaskStatus,
+    /// Rows affected (0 when the subquery aborted).
+    pub affected: u64,
+    /// Local error, if the subquery failed.
+    pub error: Option<String>,
+}
+
+/// Outcome of a vital multiple update (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// True when all vital subqueries committed.
+    pub success: bool,
+    /// The DOL return code.
+    pub return_code: i32,
+    /// Per-database outcomes, in plan order.
+    pub outcomes: Vec<DbOutcome>,
+}
+
+/// Outcome of a multitransaction (§3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MtxReport {
+    /// Index of the achieved acceptable state (0 = preferred), or `None`
+    /// when the multitransaction failed.
+    pub achieved_state: Option<usize>,
+    /// The DOL return code.
+    pub return_code: i32,
+    /// Per-database outcomes.
+    pub outcomes: Vec<DbOutcome>,
+}
+
+/// The result of executing one MSQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MsqlOutcome {
+    /// A multiple retrieval: a set of tables.
+    Multitable(Multitable),
+    /// A cross-database join: a single table evaluated at the coordinator.
+    Table(ResultSet),
+    /// A (vital) multiple update.
+    Update(UpdateReport),
+    /// A multitransaction.
+    Mtx(MtxReport),
+    /// Scope/dictionary/DDL administration.
+    Admin(String),
+}
+
+impl MsqlOutcome {
+    /// Unwraps a multitable outcome.
+    pub fn into_multitable(self) -> Result<Multitable, MdbsError> {
+        match self {
+            MsqlOutcome::Multitable(mt) => Ok(mt),
+            other => Err(MdbsError::Internal(format!("expected a multitable, got {other:?}"))),
+        }
+    }
+
+    /// Unwraps a single-table outcome.
+    pub fn into_table(self) -> Result<ResultSet, MdbsError> {
+        match self {
+            MsqlOutcome::Table(rs) => Ok(rs),
+            other => Err(MdbsError::Internal(format!("expected a table, got {other:?}"))),
+        }
+    }
+
+    /// Unwraps an update report.
+    pub fn into_update(self) -> Result<UpdateReport, MdbsError> {
+        match self {
+            MsqlOutcome::Update(u) => Ok(u),
+            other => Err(MdbsError::Internal(format!("expected an update report, got {other:?}"))),
+        }
+    }
+
+    /// Unwraps a multitransaction report.
+    pub fn into_mtx(self) -> Result<MtxReport, MdbsError> {
+        match self {
+            MsqlOutcome::Mtx(m) => Ok(m),
+            other => Err(MdbsError::Internal(format!("expected an mtx report, got {other:?}"))),
+        }
+    }
+}
+
+/// Executes generated plans against the federation's network.
+pub struct Executor {
+    /// The shared network.
+    pub net: Network,
+    /// Whether DOL task batches run in parallel (one thread per service).
+    pub parallel: bool,
+    /// Per-request timeout.
+    pub timeout: Duration,
+}
+
+impl Executor {
+    fn run_program(&self, plan: &GeneratedPlan) -> Result<DolOutcome, MdbsError> {
+        let factory = LamFactory { net: self.net.clone(), timeout: self.timeout };
+        let engine = if self.parallel {
+            DolEngine::new(&factory)
+        } else {
+            DolEngine::serial(&factory)
+        };
+        Ok(engine.execute(&plan.program)?)
+    }
+
+    fn outcomes(&self, plan: &GeneratedPlan, out: &DolOutcome) -> Vec<DbOutcome> {
+        plan.tasks
+            .iter()
+            .map(|t| {
+                let status = out.status(&t.task).unwrap_or(TaskStatus::Error);
+                let affected = out
+                    .task_results
+                    .get(&t.task)
+                    .and_then(|r| decode_task_result(r).ok())
+                    .map(|(a, _)| a)
+                    .unwrap_or(0);
+                DbOutcome {
+                    database: t.database.clone(),
+                    key: t.key.clone(),
+                    status,
+                    affected,
+                    error: None,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs a retrieval plan, assembling a multitable from the per-database
+    /// partial results. A database whose task failed contributes no table;
+    /// if every database failed the query fails.
+    pub fn run_retrieval(&self, plan: &GeneratedPlan) -> Result<Multitable, MdbsError> {
+        let out = self.run_program(plan)?;
+        let mut tables = Vec::new();
+        let mut last_error: Option<String> = None;
+        for t in &plan.tasks {
+            match out.status(&t.task) {
+                Some(TaskStatus::Committed) => {
+                    let result = out
+                        .task_results
+                        .get(&t.task)
+                        .ok_or_else(|| MdbsError::Internal(format!("task {} lost its result", t.task)))?;
+                    let (_, payload) = decode_task_result(result)?;
+                    let rs = match payload {
+                        Some(p) => wire::decode_result_set(&p)?,
+                        None => ResultSet::default(),
+                    };
+                    tables.push(MultitableEntry { database: t.database.clone(), result: rs });
+                }
+                _ => {
+                    last_error = Some(format!("retrieval failed at `{}`", t.database));
+                }
+            }
+        }
+        if tables.is_empty() {
+            if let Some(e) = last_error {
+                return Err(MdbsError::Local { service: "retrieval".into(), message: e });
+            }
+        }
+        Ok(Multitable { tables })
+    }
+
+    /// Runs a vital update plan.
+    pub fn run_update(&self, plan: &GeneratedPlan) -> Result<UpdateReport, MdbsError> {
+        let out = self.run_program(plan)?;
+        Ok(UpdateReport {
+            success: out.dolstatus == 0,
+            return_code: out.dolstatus,
+            outcomes: self.outcomes(plan, &out),
+        })
+    }
+
+    /// Runs a multitransaction plan. `n_states` is the number of acceptable
+    /// states (to map the DOL return code back to a state index).
+    pub fn run_mtx(&self, plan: &GeneratedPlan, n_states: usize) -> Result<MtxReport, MdbsError> {
+        let out = self.run_program(plan)?;
+        let achieved_state = if out.dolstatus >= 0
+            && (out.dolstatus as usize) < n_states
+            && out.dolstatus != MTX_FAILED
+        {
+            Some(out.dolstatus as usize)
+        } else {
+            None
+        };
+        Ok(MtxReport {
+            achieved_state,
+            return_code: out.dolstatus,
+            outcomes: self.outcomes(plan, &out),
+        })
+    }
+
+    /// Executes a decomposed cross-database join: runs each local subquery,
+    /// ships the partial results to the coordinator, evaluates the modified
+    /// global query there, and cleans up the temporaries.
+    pub fn run_cross_db(
+        &self,
+        dec: &Decomposition,
+        routes: &HashMap<String, DbRoute>,
+    ) -> Result<ResultSet, MdbsError> {
+        // 1. Evaluate the largest local subquery at each database.
+        let mut partials: Vec<(String, String)> = Vec::new(); // (part_table, payload)
+        for sub in &dec.subqueries {
+            let route = routes.get(&sub.database).ok_or_else(|| {
+                MdbsError::Catalog(format!("no route for database `{}`", sub.database))
+            })?;
+            let client =
+                LamClient::connect(&self.net, &route.site, &sub.database, self.timeout)?;
+            let sql = print_select(&sub.select);
+            let resp = client.call(Request::Task {
+                name: format!("QD_{}", sub.database),
+                mode: TaskMode::Auto,
+                database: sub.database.clone(),
+                commands: vec![sql],
+            })?;
+            let payload = match resp {
+                Response::TaskDone { status: 'C', payload: Some(p), .. } => p,
+                Response::TaskDone { status: 'C', payload: None, .. } => {
+                    wire::encode_result_set(&ResultSet::default())
+                }
+                Response::TaskDone { error, .. } => {
+                    return Err(MdbsError::Local {
+                        service: sub.database.clone(),
+                        message: error.unwrap_or_else(|| "subquery failed".into()),
+                    })
+                }
+                other => {
+                    return Err(MdbsError::Wire(format!("unexpected reply: {other:?}")))
+                }
+            };
+            partials.push((sub.part_table.clone(), payload));
+        }
+
+        // 2. Collect the partial results at the coordinator.
+        let route = routes.get(&dec.coordinator).ok_or_else(|| {
+            MdbsError::Catalog(format!("no route for coordinator `{}`", dec.coordinator))
+        })?;
+        let coord = LamClient::connect(&self.net, &route.site, &dec.coordinator, self.timeout)?;
+        for (table, payload) in &partials {
+            coord.load_partial(table, payload)?;
+        }
+
+        // 3. Evaluate the modified global query Q' and clean up.
+        let sql = print_select(&dec.global_query);
+        let resp = coord.call(Request::Task {
+            name: "QGLOBAL".into(),
+            mode: TaskMode::Auto,
+            database: dec.coordinator.clone(),
+            commands: vec![sql],
+        });
+        for (table, _) in &partials {
+            let _ = coord.drop_temp(table);
+        }
+        match resp? {
+            Response::TaskDone { status: 'C', payload: Some(p), .. } => {
+                wire::decode_result_set(&p)
+            }
+            Response::TaskDone { status: 'C', payload: None, .. } => Ok(ResultSet::default()),
+            Response::TaskDone { error, .. } => Err(MdbsError::Local {
+                service: dec.coordinator.clone(),
+                message: error.unwrap_or_else(|| "global query failed".into()),
+            }),
+            other => Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_unwrappers_reject_wrong_kind() {
+        let admin = MsqlOutcome::Admin("ok".into());
+        assert!(admin.clone().into_multitable().is_err());
+        assert!(admin.clone().into_update().is_err());
+        assert!(admin.clone().into_mtx().is_err());
+        assert!(admin.into_table().is_err());
+        let mt = MsqlOutcome::Multitable(Multitable::default());
+        assert!(mt.into_multitable().is_ok());
+    }
+}

@@ -1,0 +1,825 @@
+//! The public facade: a loosely coupled federation executing extended MSQL.
+
+use crate::error::MdbsError;
+use crate::executor::{DbOutcome, Executor, MsqlOutcome, UpdateReport};
+use crate::gtxn::GlobalTransaction;
+use crate::lam::{spawn_lam, LamHandle};
+use crate::lamclient::LamClient;
+use crate::scope::SessionScope;
+use crate::translate::{
+    self, multitransaction_plan, retrieval_plan, update_plan, DbRoute, MtxQueryPlan, Translated,
+};
+use catalog::{apply_import, AuxiliaryDirectory, GddColumn, GddTable, GlobalDataDictionary, ServiceEntry};
+use ldbs::profile::StatementClass;
+use ldbs::Engine;
+use msql_lang::printer::print;
+use msql_lang::{
+    CreateTable, DropTable, Multitransaction, MsqlQuery, QueryBody, Statement,
+};
+use netsim::Network;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One registered interdatabase trigger.
+#[derive(Debug, Clone)]
+struct TriggerDef {
+    name: String,
+    database: msql_lang::WildName,
+    table: msql_lang::WildName,
+    event: msql_lang::TriggerEvent,
+    action: Statement,
+}
+
+/// A running federation: incorporated services (each a LAM thread wrapping a
+/// local engine), the two dictionaries, and a session scope.
+pub struct Federation {
+    net: Network,
+    ad: AuxiliaryDirectory,
+    gdd: GlobalDataDictionary,
+    /// Pending vital subqueries in deferred-commit mode. Declared before
+    /// `lams` so a drop-time rollback still finds live LAM threads.
+    gtxn: GlobalTransaction,
+    /// §3.2.2 deferred-commit mode: vital subqueries stay prepared across
+    /// statements until a synchronization point.
+    deferred: bool,
+    lams: HashMap<String, LamHandle>,
+    scope: SessionScope,
+    /// Interdatabase triggers (MSQL §2), fired after committed
+    /// modifications in immediate (non-deferred) mode.
+    triggers: Vec<TriggerDef>,
+    /// Recursion guard for cascading triggers.
+    trigger_depth: u32,
+    /// Run DOL task batches in parallel (default true).
+    pub parallel: bool,
+    /// Per-request network timeout.
+    pub timeout: Duration,
+}
+
+impl Default for Federation {
+    fn default() -> Self {
+        Federation::new()
+    }
+}
+
+impl Federation {
+    /// Creates an empty federation on a fresh (zero-latency) network.
+    pub fn new() -> Self {
+        Federation::with_network(Network::new())
+    }
+
+    /// Creates a federation on an existing network (latency/failure models
+    /// installed by the caller).
+    pub fn with_network(net: Network) -> Self {
+        Federation {
+            net,
+            ad: AuxiliaryDirectory::new(),
+            gdd: GlobalDataDictionary::new(),
+            gtxn: GlobalTransaction::default(),
+            deferred: false,
+            lams: HashMap::new(),
+            scope: SessionScope::new(),
+            triggers: Vec::new(),
+            trigger_depth: 0,
+            parallel: true,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// The shared network (to install latency models or read traffic stats).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The Global Data Dictionary.
+    pub fn gdd(&self) -> &GlobalDataDictionary {
+        &self.gdd
+    }
+
+    /// The Auxiliary Directory.
+    pub fn ad(&self) -> &AuxiliaryDirectory {
+        &self.ad
+    }
+
+    /// The current session scope.
+    pub fn scope(&self) -> &SessionScope {
+        &self.scope
+    }
+
+    /// The shared engine of a service (tests and fixtures seed data and
+    /// inject failures through this).
+    pub fn engine(&self, service: &str) -> Option<Arc<Mutex<Engine>>> {
+        self.lams.get(&service.to_ascii_lowercase()).map(|l| Arc::clone(&l.engine))
+    }
+
+    /// Registers a service: spawns its LAM at `site` and records an
+    /// Auxiliary Directory entry derived from the engine's capability
+    /// profile (equivalent to the INCORPORATE statement an administrator
+    /// would issue).
+    pub fn add_service(
+        &mut self,
+        service: &str,
+        site: &str,
+        engine: Engine,
+    ) -> Result<(), MdbsError> {
+        let service = service.to_ascii_lowercase();
+        if self.lams.contains_key(&service) {
+            return Err(MdbsError::Catalog(format!("service `{service}` already added")));
+        }
+        let profile = engine.profile.clone();
+        let lam = spawn_lam(&self.net, &service, site, engine)?;
+        self.ad.insert(ServiceEntry {
+            name: service.clone(),
+            site: site.to_string(),
+            multi_database: profile.multi_database,
+            commit_mode: profile.capability_for(StatementClass::Dml),
+            create_mode: Some(profile.capability_for(StatementClass::Create)),
+            insert_mode: Some(profile.capability_for(StatementClass::Insert)),
+            drop_mode: Some(profile.capability_for(StatementClass::Drop)),
+        });
+        self.lams.insert(service, lam);
+        Ok(())
+    }
+
+    /// Creates a database on a service and registers it in the GDD.
+    pub fn create_database(&mut self, service: &str, database: &str) -> Result<(), MdbsError> {
+        let service = service.to_ascii_lowercase();
+        let lam = self
+            .lams
+            .get(&service)
+            .ok_or_else(|| MdbsError::Catalog(format!("unknown service `{service}`")))?;
+        lam.engine
+            .lock()
+            .create_database(database)
+            .map_err(|e| MdbsError::Local { service: service.clone(), message: e.to_string() })?;
+        self.gdd.register_database(database, &service)?;
+        Ok(())
+    }
+
+    /// Builds the `database → route` map the planner and executor need.
+    fn routes(&self) -> Result<HashMap<String, DbRoute>, MdbsError> {
+        let mut out = HashMap::new();
+        for db in self.gdd.database_names() {
+            let service = self.gdd.service_of(db)?;
+            let entry = self.ad.service(service)?;
+            out.insert(
+                db.to_string(),
+                DbRoute {
+                    database: db.to_string(),
+                    site: entry.site.clone(),
+                    supports_2pc: entry.supports_2pc(),
+                },
+            );
+        }
+        Ok(out)
+    }
+
+    fn executor(&self) -> Executor {
+        Executor { net: self.net.clone(), parallel: self.parallel, timeout: self.timeout }
+    }
+
+    /// Parses and executes a raw DOL program against the federation's
+    /// services — the paper's intermediate language, exposed directly for
+    /// hand-written evaluation plans and tooling. `OPEN <database> AT
+    /// <site>` statements resolve against the live network.
+    pub fn execute_dol(&mut self, program: &str) -> Result<dol::DolOutcome, MdbsError> {
+        let parsed = dol::parse_program(program)?;
+        let factory =
+            crate::lamclient::LamFactory { net: self.net.clone(), timeout: self.timeout };
+        let engine = if self.parallel {
+            dol::DolEngine::new(&factory)
+        } else {
+            dol::DolEngine::serial(&factory)
+        };
+        Ok(engine.execute(&parsed)?)
+    }
+
+    /// Switches §3.2.2 deferred-commit mode on or off. In deferred mode,
+    /// vital subqueries stay prepared across statements and are resolved
+    /// together at the next synchronization point (`COMMIT`, `ROLLBACK`, a
+    /// `USE` scope change, or session end). Turning the mode off is itself a
+    /// synchronization point.
+    pub fn set_deferred_commit(&mut self, deferred: bool) -> Option<UpdateReport> {
+        let report =
+            if !deferred && !self.gtxn.is_empty() { Some(self.gtxn.resolve(false)) } else { None };
+        self.deferred = deferred;
+        report
+    }
+
+    /// Number of vital subqueries currently pending in the global
+    /// transaction (deferred-commit mode).
+    pub fn pending_vital_subqueries(&self) -> usize {
+        self.gtxn.len()
+    }
+
+    /// Parses and executes one MSQL statement.
+    pub fn execute(&mut self, msql: &str) -> Result<MsqlOutcome, MdbsError> {
+        let stmt = msql_lang::parse_statement(msql)
+            .map_err(|e| MdbsError::Parse(e.display_with_source(msql)))?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Parses and executes a script, returning one outcome per statement.
+    pub fn execute_script(&mut self, msql: &str) -> Result<Vec<MsqlOutcome>, MdbsError> {
+        let script = msql_lang::parse_script(msql)
+            .map_err(|e| MdbsError::Parse(e.display_with_source(msql)))?;
+        let mut out = Vec::with_capacity(script.statements.len());
+        for stmt in &script.statements {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Executes a pre-parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<MsqlOutcome, MdbsError> {
+        match stmt {
+            Statement::Use(u) => {
+                // A scope change is a synchronization point (§3.2.2).
+                if self.deferred && !self.gtxn.is_empty() {
+                    let report = self.gtxn.resolve(false);
+                    self.scope.apply_use(u)?;
+                    return Ok(MsqlOutcome::Update(report));
+                }
+                self.scope.apply_use(u)?;
+                Ok(MsqlOutcome::Admin(format!(
+                    "scope: {}",
+                    self.scope
+                        .databases
+                        .iter()
+                        .map(|d| if d.vital {
+                            format!("{} VITAL", d.key())
+                        } else {
+                            d.key().to_string()
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )))
+            }
+            Statement::Let(l) => {
+                self.scope.apply_let(l)?;
+                Ok(MsqlOutcome::Admin(format!(
+                    "{} semantic variable(s) declared",
+                    l.variables.len()
+                )))
+            }
+            Statement::Incorporate(inc) => {
+                let entry = self.ad.incorporate(inc);
+                Ok(MsqlOutcome::Admin(format!(
+                    "service `{}` incorporated at site `{}`",
+                    entry.name, entry.site
+                )))
+            }
+            Statement::Import(imp) => {
+                let entry = self.ad.service(&imp.service)?.clone();
+                let client =
+                    LamClient::connect(&self.net, &entry.site, &imp.database, self.timeout)?;
+                let schema = client.fetch_schema()?;
+                let imported = apply_import(&mut self.gdd, imp, &schema)?;
+                Ok(MsqlOutcome::Admin(format!(
+                    "imported {} object(s) from `{}`: {}",
+                    imported.len(),
+                    imp.database,
+                    imported.join(", ")
+                )))
+            }
+            Statement::Query(q) => self.execute_query(q),
+            Statement::Multitransaction(m) => self.execute_multitransaction(m),
+            Statement::CreateTable(ct) => self.execute_create_table(ct),
+            Statement::DropTable(dt) => self.execute_drop_table(dt),
+            Statement::CreateDatabase(_) | Statement::DropDatabase(_) => {
+                Err(MdbsError::Unsupported(
+                    "CREATE/DROP DATABASE must name a service; use \
+                     Federation::create_database(service, name)"
+                        .into(),
+                ))
+            }
+            Statement::CreateTrigger(t) => {
+                if self.triggers.iter().any(|existing| existing.name == t.name) {
+                    return Err(MdbsError::Catalog(format!(
+                        "trigger `{}` already exists",
+                        t.name
+                    )));
+                }
+                self.triggers.push(TriggerDef {
+                    name: t.name.clone(),
+                    database: t.database.clone(),
+                    table: t.table.clone(),
+                    event: t.event,
+                    action: (*t.action).clone(),
+                });
+                Ok(MsqlOutcome::Admin(format!(
+                    "trigger `{}` created on {}.{} AFTER {}",
+                    t.name,
+                    t.database,
+                    t.table,
+                    t.event.name()
+                )))
+            }
+            Statement::DropTrigger(name) => {
+                let before = self.triggers.len();
+                self.triggers.retain(|t| &t.name != name);
+                if self.triggers.len() == before {
+                    return Err(MdbsError::Catalog(format!("unknown trigger `{name}`")));
+                }
+                Ok(MsqlOutcome::Admin(format!("trigger `{name}` dropped")))
+            }
+            Statement::Commit => {
+                if self.deferred && !self.gtxn.is_empty() {
+                    return Ok(MsqlOutcome::Update(self.gtxn.resolve(false)));
+                }
+                Ok(MsqlOutcome::Admin(
+                    "synchronization point: nothing pending (each MSQL statement commits or \
+                     aborts its vital set when it terminates, §3.2.2)"
+                        .into(),
+                ))
+            }
+            Statement::Rollback => {
+                if self.deferred && !self.gtxn.is_empty() {
+                    return Ok(MsqlOutcome::Update(self.gtxn.resolve(true)));
+                }
+                Ok(MsqlOutcome::Admin(
+                    "synchronization point: nothing pending to roll back".into(),
+                ))
+            }
+        }
+    }
+
+    fn execute_query(&mut self, q: &MsqlQuery) -> Result<MsqlOutcome, MdbsError> {
+        // USE/LET attached to the query update the session scope, which then
+        // persists (interactive MSQL behaviour).
+        if let Some(u) = &q.use_clause {
+            self.scope.apply_use(u)?;
+        }
+        for l in &q.lets {
+            self.scope.apply_let(l)?;
+        }
+        // Inter-database data transfer (an MSQL §2 capability): INSERT INTO
+        // a table of one database from a SELECT over other databases.
+        if let QueryBody::Insert(ins) = &q.body {
+            if let Some(target) = self.transfer_target(ins)? {
+                return self.execute_data_transfer(ins, &target);
+            }
+        }
+        let routes = self.routes()?;
+        match translate::translate_body(&q.body, &self.scope, &self.gdd)? {
+            Translated::PerDb(locals) => match &q.body {
+                QueryBody::Select(_) => {
+                    if !q.comps.is_empty() {
+                        return Err(MdbsError::BadCompClause(
+                            "COMP applies to modification statements".into(),
+                        ));
+                    }
+                    let plan = retrieval_plan(&locals, &routes)?;
+                    Ok(MsqlOutcome::Multitable(self.executor().run_retrieval(&plan)?))
+                }
+                _ => {
+                    let comps = self.comp_map(q, &locals)?;
+                    if self.deferred {
+                        return self.run_deferred_update(&locals, &comps, &routes);
+                    }
+                    let plan = update_plan(&locals, &comps, &routes)?;
+                    let report = self.executor().run_update(&plan)?;
+                    // Fire interdatabase triggers for committed subqueries.
+                    let mut events = Vec::new();
+                    for (local, outcome) in locals.iter().zip(&report.outcomes) {
+                        if outcome.status != dol::TaskStatus::Committed || outcome.affected == 0 {
+                            continue;
+                        }
+                        if let Statement::Query(inner) = &local.statement {
+                            let (event, table) = match &inner.body {
+                                QueryBody::Update(u) => {
+                                    (msql_lang::TriggerEvent::Update, u.table.table.clone())
+                                }
+                                QueryBody::Insert(i) => {
+                                    (msql_lang::TriggerEvent::Insert, i.table.table.clone())
+                                }
+                                QueryBody::Delete(d) => {
+                                    (msql_lang::TriggerEvent::Delete, d.table.table.clone())
+                                }
+                                QueryBody::Select(_) => continue,
+                            };
+                            events.push((local.database.clone(), table, event));
+                        }
+                    }
+                    self.fire_triggers(&events)?;
+                    Ok(MsqlOutcome::Update(report))
+                }
+            },
+            Translated::CrossDb(dec) => {
+                Ok(MsqlOutcome::Table(self.executor().run_cross_db(&dec, &routes)?))
+            }
+        }
+    }
+
+    /// Validates COMP clauses against the locals and renders their
+    /// compensating statements as SQL.
+    fn comp_map(
+        &self,
+        q: &MsqlQuery,
+        locals: &[translate::LocalQuery],
+    ) -> Result<HashMap<String, Vec<String>>, MdbsError> {
+        let mut out: HashMap<String, Vec<String>> = HashMap::new();
+        for comp in &q.comps {
+            let name = comp.database.as_str();
+            let Some(scope_db) = self.scope.resolve(name) else {
+                return Err(MdbsError::BadCompClause(format!(
+                    "`{name}` is not in the current scope"
+                )));
+            };
+            let key = scope_db.key().to_string();
+            if !locals.iter().any(|l| l.key == key) {
+                return Err(MdbsError::BadCompClause(format!(
+                    "`{name}` has no pertinent subquery to compensate"
+                )));
+            }
+            let sql = match comp.statement.as_ref() {
+                Statement::Query(inner) => print(&Statement::Query(inner.clone())),
+                other => print(other),
+            };
+            out.entry(key).or_default().push(sql);
+        }
+        Ok(out)
+    }
+
+    /// Detects an inter-database transfer: an `INSERT ... SELECT` whose
+    /// explicitly qualified target database differs from every database the
+    /// source SELECT reads. Returns the target database name.
+    fn transfer_target(&self, ins: &msql_lang::Insert) -> Result<Option<String>, MdbsError> {
+        let Some(tq) = &ins.table.database else { return Ok(None) };
+        let msql_lang::InsertSource::Select(sel) = &ins.source else { return Ok(None) };
+        let target = match self.scope.resolve(tq.as_str()) {
+            Some(d) => d.database.clone(),
+            None if self.gdd.has_database(tq.as_str()) => tq.as_str().to_string(),
+            None => return Err(MdbsError::NotInScope(tq.as_str().to_string())),
+        };
+        // Does the source read the target database? Then it is a local
+        // insert-select, handled by the ordinary pipeline.
+        for tref in &sel.from {
+            let owner = match &tref.database {
+                Some(q) => self.scope.resolve(q.as_str()).map(|d| d.database.clone()),
+                None => {
+                    let mut found = None;
+                    for d in &self.scope.databases {
+                        if self.gdd.table(&d.database, tref.table.as_str()).is_ok() {
+                            found = Some(d.database.clone());
+                            break;
+                        }
+                    }
+                    found
+                }
+            };
+            if owner.as_deref() == Some(target.as_str()) {
+                return Ok(None);
+            }
+        }
+        Ok(Some(target))
+    }
+
+    /// Executes an inter-database transfer: evaluates the source SELECT
+    /// (single database or cross-database join), then ships the rows to the
+    /// target as batched multi-row INSERTs.
+    fn execute_data_transfer(
+        &mut self,
+        ins: &msql_lang::Insert,
+        target: &str,
+    ) -> Result<MsqlOutcome, MdbsError> {
+        let msql_lang::InsertSource::Select(sel) = &ins.source else {
+            return Err(MdbsError::Internal("transfer without a SELECT source".into()));
+        };
+        let routes = self.routes()?;
+        // 1. Evaluate the source.
+        let rows = match translate::translate_body(
+            &QueryBody::Select((**sel).clone()),
+            &self.scope,
+            &self.gdd,
+        )? {
+            Translated::PerDb(locals) => {
+                let sources: Vec<&str> =
+                    locals.iter().map(|l| l.database.as_str()).collect();
+                if sources.len() != 1 {
+                    return Err(MdbsError::Unsupported(format!(
+                        "the transfer source must resolve to a single database; it is \
+                         pertinent to {sources:?} — qualify the source tables"
+                    )));
+                }
+                let plan = retrieval_plan(&locals, &routes)?;
+                let mt = self.executor().run_retrieval(&plan)?;
+                mt.tables.into_iter().next().map(|t| t.result).unwrap_or_default()
+            }
+            Translated::CrossDb(dec) => self.executor().run_cross_db(&dec, &routes)?,
+        };
+
+        // 2. Ship the rows as batched INSERT statements.
+        let route = routes
+            .get(target)
+            .ok_or_else(|| MdbsError::Catalog(format!("no route for `{target}`")))?;
+        let columns: Vec<msql_lang::WildName> = ins.columns.clone();
+        let mut commands = Vec::new();
+        for chunk in rows.rows.chunks(64) {
+            let values: Vec<Vec<msql_lang::Expr>> = chunk
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|v| msql_lang::Expr::Literal(ldbs::eval::value_literal(v)))
+                        .collect()
+                })
+                .collect();
+            let insert = msql_lang::Insert {
+                table: msql_lang::TableRef {
+                    database: None,
+                    table: ins.table.table.clone(),
+                    alias: None,
+                },
+                columns: columns.clone(),
+                source: msql_lang::InsertSource::Values(values),
+            };
+            commands.push(print(&Statement::Query(MsqlQuery {
+                use_clause: None,
+                lets: Vec::new(),
+                body: QueryBody::Insert(insert),
+                comps: Vec::new(),
+            })));
+        }
+        let transferred = rows.rows.len() as u64;
+        if !commands.is_empty() {
+            let client = LamClient::connect(&self.net, &route.site, target, self.timeout)?;
+            let resp = client.call(crate::proto::Request::Task {
+                name: "TRANSFER".into(),
+                mode: crate::proto::TaskMode::Auto,
+                database: target.to_string(),
+                commands,
+            })?;
+            match resp {
+                crate::proto::Response::TaskDone { status: 'C', .. } => {}
+                crate::proto::Response::TaskDone { error, .. } => {
+                    return Err(MdbsError::Local {
+                        service: target.to_string(),
+                        message: error.unwrap_or_else(|| "transfer failed".into()),
+                    })
+                }
+                other => return Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
+            }
+        }
+        Ok(MsqlOutcome::Update(crate::executor::UpdateReport {
+            success: true,
+            return_code: 0,
+            outcomes: vec![crate::executor::DbOutcome {
+                database: target.to_string(),
+                key: target.to_string(),
+                status: dol::TaskStatus::Committed,
+                affected: transferred,
+                error: None,
+            }],
+        }))
+    }
+
+    /// Deferred-mode execution of a modification: vital subqueries are held
+    /// open by the global transaction; non-vital ones autocommit
+    /// immediately, as always.
+    fn run_deferred_update(
+        &mut self,
+        locals: &[translate::LocalQuery],
+        comps: &HashMap<String, Vec<String>>,
+        routes: &HashMap<String, DbRoute>,
+    ) -> Result<MsqlOutcome, MdbsError> {
+        let mut outcomes = Vec::with_capacity(locals.len());
+        for l in locals {
+            let route = routes
+                .get(&l.database)
+                .ok_or_else(|| MdbsError::Catalog(format!("no route for `{}`", l.database)))?;
+            let sql = print(&l.statement);
+            if l.vital {
+                let compensation = comps.get(&l.key).cloned().unwrap_or_default();
+                if !route.supports_2pc && compensation.is_empty() {
+                    return Err(MdbsError::VitalWithoutCompensation { database: l.key.clone() });
+                }
+                let client =
+                    LamClient::connect(&self.net, &route.site, &l.database, self.timeout)?;
+                let (status, affected) = self.gtxn.execute_held(
+                    client,
+                    &l.key,
+                    &l.database,
+                    sql,
+                    route.supports_2pc,
+                    compensation,
+                )?;
+                outcomes.push(DbOutcome {
+                    database: l.database.clone(),
+                    key: l.key.clone(),
+                    status,
+                    affected,
+                    error: None,
+                });
+            } else {
+                let client =
+                    LamClient::connect(&self.net, &route.site, &l.database, self.timeout)?;
+                let resp = client.call(crate::proto::Request::Task {
+                    name: format!("NV_{}", l.key),
+                    mode: crate::proto::TaskMode::Auto,
+                    database: l.database.clone(),
+                    commands: vec![sql],
+                })?;
+                let (status, affected, error) = match resp {
+                    crate::proto::Response::TaskDone { status: 'C', affected, .. } => {
+                        (dol::TaskStatus::Committed, affected, None)
+                    }
+                    crate::proto::Response::TaskDone { error, .. } => {
+                        (dol::TaskStatus::Aborted, 0, error)
+                    }
+                    other => {
+                        return Err(MdbsError::Wire(format!("unexpected reply: {other:?}")))
+                    }
+                };
+                outcomes.push(DbOutcome {
+                    database: l.database.clone(),
+                    key: l.key.clone(),
+                    status,
+                    affected,
+                    error,
+                });
+            }
+        }
+        // Interim report: success means the global transaction can still
+        // commit; vital members show their held (Prepared/Committed) status.
+        let committable = self.gtxn.all_committable();
+        Ok(MsqlOutcome::Update(UpdateReport {
+            success: committable,
+            return_code: if committable { 0 } else { 1 },
+            outcomes,
+        }))
+    }
+
+    /// Fires the interdatabase triggers matching the given
+    /// `(database, table, event)` occurrences. Cascades are bounded to depth
+    /// 4; a failing action fails the calling statement (the local updates
+    /// have already committed — exactly the loose coupling the paper's
+    /// compensation machinery exists for).
+    fn fire_triggers(
+        &mut self,
+        events: &[(String, msql_lang::WildName, msql_lang::TriggerEvent)],
+    ) -> Result<usize, MdbsError> {
+        if events.is_empty() || self.trigger_depth >= 4 {
+            return Ok(0);
+        }
+        let mut actions = Vec::new();
+        for (db, table, event) in events {
+            for t in &self.triggers {
+                if t.event == *event
+                    && t.database.matches(db)
+                    && t.table.matches(table.as_str())
+                {
+                    actions.push(t.action.clone());
+                }
+            }
+        }
+        // Actions run in their own scope (they usually start with USE);
+        // the interrupted session scope is restored afterwards.
+        let saved_scope = self.scope.clone();
+        self.trigger_depth += 1;
+        let run = (|| {
+            for action in &actions {
+                self.execute_statement(action)?;
+            }
+            Ok(actions.len())
+        })();
+        self.trigger_depth -= 1;
+        self.scope = saved_scope;
+        run
+    }
+
+    fn execute_multitransaction(&mut self, m: &Multitransaction) -> Result<MsqlOutcome, MdbsError> {
+        let routes = self.routes()?;
+        // Each component query manages its own scope; the session scope is
+        // untouched by the block.
+        let mut working = self.scope.clone();
+        let mut queries = Vec::with_capacity(m.queries.len());
+        for q in &m.queries {
+            if let Some(u) = &q.use_clause {
+                working.apply_use(u)?;
+            }
+            for l in &q.lets {
+                working.apply_let(l)?;
+            }
+            let locals = match translate::translate_body(&q.body, &working, &self.gdd)? {
+                Translated::PerDb(locals) => locals,
+                Translated::CrossDb(_) => {
+                    return Err(MdbsError::Mtx(
+                        "cross-database joins are not allowed inside a multitransaction".into(),
+                    ))
+                }
+            };
+            // COMP validation against this component's scope.
+            let mut comps: HashMap<String, Vec<String>> = HashMap::new();
+            for comp in &q.comps {
+                let name = comp.database.as_str();
+                let Some(scope_db) = working.resolve(name) else {
+                    return Err(MdbsError::BadCompClause(format!(
+                        "`{name}` is not in the component query's scope"
+                    )));
+                };
+                let sql = print(comp.statement.as_ref());
+                comps.entry(scope_db.key().to_string()).or_default().push(sql);
+            }
+            queries.push(MtxQueryPlan { locals, comps });
+        }
+        let states: Vec<Vec<String>> = m
+            .acceptable_states
+            .iter()
+            .map(|s| s.databases.iter().map(|d| d.as_str().to_string()).collect())
+            .collect();
+        let plan = multitransaction_plan(&queries, &states, &routes)?;
+        Ok(MsqlOutcome::Mtx(self.executor().run_mtx(&plan, states.len())?))
+    }
+
+    fn execute_create_table(&mut self, ct: &CreateTable) -> Result<MsqlOutcome, MdbsError> {
+        let database = self.ddl_target(&ct.table)?;
+        let routes = self.routes()?;
+        let route = routes
+            .get(&database)
+            .ok_or_else(|| MdbsError::Catalog(format!("no route for `{database}`")))?;
+        // Ship the CREATE with the qualifier stripped.
+        let mut local = ct.clone();
+        local.table.database = None;
+        let client = LamClient::connect(&self.net, &route.site, &database, self.timeout)?;
+        let resp = client.call(crate::proto::Request::Task {
+            name: "DDL".into(),
+            mode: crate::proto::TaskMode::Auto,
+            database: database.clone(),
+            commands: vec![print(&Statement::CreateTable(local))],
+        })?;
+        match resp {
+            crate::proto::Response::TaskDone { status: 'C', .. } => {
+                // Export the new table to the multidatabase level.
+                let columns = ct
+                    .columns
+                    .iter()
+                    .map(|c| GddColumn::new(c.name.clone(), c.type_name))
+                    .collect();
+                self.gdd.put_table(&database, GddTable::new(ct.table.table.as_str(), columns))?;
+                Ok(MsqlOutcome::Admin(format!(
+                    "table `{}` created in `{database}`",
+                    ct.table.table
+                )))
+            }
+            crate::proto::Response::TaskDone { error, .. } => Err(MdbsError::Local {
+                service: database,
+                message: error.unwrap_or_else(|| "CREATE TABLE failed".into()),
+            }),
+            other => Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    fn execute_drop_table(&mut self, dt: &DropTable) -> Result<MsqlOutcome, MdbsError> {
+        let database = self.ddl_target(&dt.table)?;
+        let routes = self.routes()?;
+        let route = routes
+            .get(&database)
+            .ok_or_else(|| MdbsError::Catalog(format!("no route for `{database}`")))?;
+        let mut local = dt.clone();
+        local.table.database = None;
+        let client = LamClient::connect(&self.net, &route.site, &database, self.timeout)?;
+        let resp = client.call(crate::proto::Request::Task {
+            name: "DDL".into(),
+            mode: crate::proto::TaskMode::Auto,
+            database: database.clone(),
+            commands: vec![print(&Statement::DropTable(local))],
+        })?;
+        match resp {
+            crate::proto::Response::TaskDone { status: 'C', .. } => {
+                let _ = self.gdd.drop_table(&database, dt.table.table.as_str());
+                Ok(MsqlOutcome::Admin(format!(
+                    "table `{}` dropped from `{database}`",
+                    dt.table.table
+                )))
+            }
+            crate::proto::Response::TaskDone { error, .. } => Err(MdbsError::Local {
+                service: database,
+                message: error.unwrap_or_else(|| "DROP TABLE failed".into()),
+            }),
+            other => Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// The database a DDL statement targets: the explicit qualifier, or the
+    /// single database in scope.
+    fn ddl_target(&self, table: &msql_lang::TableRef) -> Result<String, MdbsError> {
+        if let Some(q) = &table.database {
+            if let Some(d) = self.scope.resolve(q.as_str()) {
+                return Ok(d.database.clone());
+            }
+            // DDL may target an imported database outside the scope too.
+            if self.gdd.has_database(q.as_str()) {
+                return Ok(q.as_str().to_string());
+            }
+            return Err(MdbsError::NotInScope(q.as_str().to_string()));
+        }
+        match self.scope.databases.as_slice() {
+            [only] => Ok(only.database.clone()),
+            [] => Err(MdbsError::EmptyScope),
+            _ => Err(MdbsError::Unsupported(
+                "DDL over a multi-database scope is ambiguous; qualify the table name".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! Local Access Managers — the server side.
+//!
+//! A LAM (paper §4.1) runs at a site, wraps one local DBMS engine, executes
+//! the commands the DOL engine ships to it, and sends partial results back.
+//! "LAMs execute local commands and produce partial results, which are sent
+//! either to the engine or to other LAMs." Here each LAM is a thread
+//! servicing a [`netsim`] mailbox with the [`crate::proto`] protocol.
+
+use crate::error::MdbsError;
+use crate::proto::{Request, Response, TaskMode};
+use crate::wire;
+use catalog::{GddColumn, GddTable};
+use ldbs::engine::{Engine, ExecOutcome};
+use ldbs::schema::{ColumnSchema, TableSchema};
+use ldbs::table::Table;
+use ldbs::txn::TxnId;
+use ldbs::value::DataType;
+use msql_lang::TypeName;
+use netsim::{NetError, Network};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Converts an engine data type to the GDD's type representation.
+fn to_type_name(t: DataType) -> TypeName {
+    match t {
+        DataType::Int => TypeName::Int,
+        DataType::Float => TypeName::Float,
+        DataType::Char(w) => TypeName::Char(w),
+        DataType::Bool => TypeName::Bool,
+        DataType::Date => TypeName::Date,
+    }
+}
+
+/// The public Local Conceptual Schema of a database, as GDD entries.
+pub fn local_conceptual_schema(engine: &Engine, database: &str) -> Result<Vec<GddTable>, MdbsError> {
+    let db = engine
+        .database(database)
+        .map_err(|e| MdbsError::Local { service: engine.service_name.clone(), message: e.to_string() })?;
+    let mut out = Vec::new();
+    for name in db.table_names() {
+        let table = db.table(&name).expect("listed table exists");
+        if !table.schema.public {
+            continue;
+        }
+        let columns = table
+            .schema
+            .columns
+            .iter()
+            .map(|c| GddColumn::new(c.name.clone(), to_type_name(c.data_type)))
+            .collect();
+        out.push(GddTable::new(name, columns));
+    }
+    Ok(out)
+}
+
+/// A running LAM: owns the server thread and shares the engine with the
+/// test/benchmark harness (so fixtures can seed data and inspect outcomes).
+pub struct LamHandle {
+    /// Service name (as incorporated).
+    pub service: String,
+    /// Site the LAM listens at.
+    pub site: String,
+    /// The wrapped engine, shared with the harness.
+    pub engine: Arc<Mutex<Engine>>,
+    net: Network,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl LamHandle {
+    /// Stops the server thread and deregisters the site.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let ctl_name = format!("__ctl_{}", self.site);
+            if let Ok(ctl) = self.net.register(&ctl_name) {
+                let _ = ctl.send(&self.site, Request::Shutdown.encode());
+                let _ = ctl.recv_timeout(Duration::from_secs(2));
+                self.net.deregister(&ctl_name);
+            }
+            let _ = thread.join();
+            self.net.deregister(&self.site);
+        }
+    }
+}
+
+impl Drop for LamHandle {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+/// Spawns a LAM serving `engine` at `site`.
+pub fn spawn_lam(
+    net: &Network,
+    service: &str,
+    site: &str,
+    engine: Engine,
+) -> Result<LamHandle, MdbsError> {
+    let endpoint = net.register(site)?;
+    let engine = Arc::new(Mutex::new(engine));
+    let server_engine = Arc::clone(&engine);
+    let thread = std::thread::Builder::new()
+        .name(format!("lam-{site}"))
+        .spawn(move || {
+            let mut server = LamServer {
+                engine: server_engine,
+                tasks: HashMap::new(),
+                task_dbs: HashMap::new(),
+            };
+            loop {
+                let msg = match endpoint.recv_timeout(Duration::from_millis(200)) {
+                    Ok(m) => m,
+                    Err(NetError::Timeout) => continue,
+                    Err(_) => break,
+                };
+                let request = Request::decode(&msg.body);
+                let (response, stop) = match request {
+                    Ok(Request::Shutdown) => (Response::Ok, true),
+                    Ok(req) => (server.handle(req), false),
+                    Err(e) => (Response::Err { message: e.to_string() }, false),
+                };
+                let _ = endpoint.send(&msg.from, response.encode());
+                if stop {
+                    break;
+                }
+            }
+        })
+        .map_err(|e| MdbsError::Internal(format!("failed to spawn LAM thread: {e}")))?;
+    Ok(LamHandle {
+        service: service.to_string(),
+        site: site.to_string(),
+        engine,
+        net: net.clone(),
+        thread: Some(thread),
+    })
+}
+
+struct LamServer {
+    engine: Arc<Mutex<Engine>>,
+    /// Open/prepared transactions by task name.
+    tasks: HashMap<String, TxnId>,
+    /// Database each open transaction was begun on.
+    task_dbs: HashMap<TxnId, String>,
+}
+
+impl LamServer {
+    fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Begin { name, database } => {
+                if self.tasks.contains_key(&name) {
+                    return Response::Err { message: format!("task `{name}` already open") };
+                }
+                let mut engine = self.engine.lock();
+                if engine.database(&database).is_err() {
+                    return Response::Err { message: format!("unknown database `{database}`") };
+                }
+                let txn = engine.begin();
+                drop(engine);
+                self.tasks.insert(name, txn);
+                self.task_dbs.insert(txn, database);
+                Response::Ok
+            }
+            Request::Exec { task, commands } => {
+                let Some(&txn) = self.tasks.get(&task) else {
+                    return Response::Err { message: format!("unknown open task `{task}`") };
+                };
+                let database = self.task_dbs.get(&txn).cloned().unwrap_or_default();
+                let mut engine = self.engine.lock();
+                let mut affected = 0u64;
+                let mut payload = None;
+                for cmd in &commands {
+                    match engine.execute_in(txn, &database, cmd) {
+                        Ok(ExecOutcome::Affected(n)) => affected += n as u64,
+                        Ok(ExecOutcome::Rows(rs)) => {
+                            payload = Some(wire::encode_result_set(&rs));
+                        }
+                        Err(e) => {
+                            // The transaction stays open: statement-level
+                            // atomicity holds, the caller decides whether to
+                            // continue or roll back.
+                            return Response::TaskDone {
+                                status: 'A',
+                                affected,
+                                payload: None,
+                                error: Some(e.to_string()),
+                            };
+                        }
+                    }
+                }
+                Response::TaskDone { status: 'E', affected, payload, error: None }
+            }
+            Request::Prepare { task } => {
+                let Some(&txn) = self.tasks.get(&task) else {
+                    return Response::Err { message: format!("unknown open task `{task}`") };
+                };
+                let mut engine = self.engine.lock();
+                match engine.prepare(txn) {
+                    Ok(()) => Response::TaskDone {
+                        status: 'P',
+                        affected: 0,
+                        payload: None,
+                        error: None,
+                    },
+                    Err(e) => {
+                        // prepare() rolled the transaction back on failure.
+                        self.tasks.remove(&task);
+                        Response::TaskDone {
+                            status: 'A',
+                            affected: 0,
+                            payload: None,
+                            error: Some(e.to_string()),
+                        }
+                    }
+                }
+            }
+            Request::Task { name, mode, database, commands } => {
+                self.run_task(&name, mode, &database, &commands)
+            }
+            Request::Commit { task } => self.finish_task(&task, true),
+            Request::Abort { task } => self.finish_task(&task, false),
+            Request::Compensate { task: _, database, commands } => {
+                let mut engine = self.engine.lock();
+                for cmd in &commands {
+                    if let Err(e) = engine.execute(&database, cmd) {
+                        return Response::Err { message: e.to_string() };
+                    }
+                }
+                Response::Ok
+            }
+            Request::Schema { database } => {
+                let engine = self.engine.lock();
+                match local_conceptual_schema(&engine, &database) {
+                    Ok(tables) => {
+                        Response::OkPayload { payload: wire::encode_schema(&tables) }
+                    }
+                    Err(e) => Response::Err { message: e.to_string() },
+                }
+            }
+            Request::Load { database, table, payload } => self.load(&database, &table, &payload),
+            Request::DropTemp { database, table } => {
+                let mut engine = self.engine.lock();
+                match engine.database_mut(&database) {
+                    Ok(db) => {
+                        let _ = db.remove_table(&table);
+                        Response::Ok
+                    }
+                    Err(e) => Response::Err { message: e.to_string() },
+                }
+            }
+            Request::Ping => Response::Ok,
+            Request::Shutdown => Response::Ok,
+        }
+    }
+
+    fn run_task(
+        &mut self,
+        name: &str,
+        mode: TaskMode,
+        database: &str,
+        commands: &[String],
+    ) -> Response {
+        let mut engine = self.engine.lock();
+        match mode {
+            TaskMode::NoCommit => {
+                if !engine.profile.supports_2pc {
+                    return Response::TaskDone {
+                        status: 'A',
+                        affected: 0,
+                        payload: None,
+                        error: Some(format!(
+                            "service `{}` supports automatic commit only",
+                            engine.service_name
+                        )),
+                    };
+                }
+                let txn = engine.begin();
+                let mut affected = 0u64;
+                let mut payload = None;
+                for cmd in commands {
+                    match engine.execute_in(txn, database, cmd) {
+                        Ok(ExecOutcome::Affected(n)) => affected += n as u64,
+                        Ok(ExecOutcome::Rows(rs)) => {
+                            payload = Some(wire::encode_result_set(&rs));
+                        }
+                        Err(e) => {
+                            let _ = engine.rollback(txn);
+                            return Response::TaskDone {
+                                status: 'A',
+                                affected: 0,
+                                payload: None,
+                                error: Some(e.to_string()),
+                            };
+                        }
+                    }
+                }
+                if let Err(e) = engine.prepare(txn) {
+                    // prepare() rolls back on injected failure.
+                    return Response::TaskDone {
+                        status: 'A',
+                        affected: 0,
+                        payload: None,
+                        error: Some(e.to_string()),
+                    };
+                }
+                self.tasks.insert(name.to_string(), txn);
+                Response::TaskDone { status: 'P', affected, payload, error: None }
+            }
+            TaskMode::Auto => {
+                let mut affected = 0u64;
+                let mut payload = None;
+                for cmd in commands {
+                    match engine.execute(database, cmd) {
+                        Ok(ExecOutcome::Affected(n)) => affected += n as u64,
+                        Ok(ExecOutcome::Rows(rs)) => {
+                            payload = Some(wire::encode_result_set(&rs));
+                        }
+                        Err(e) => {
+                            // Earlier commands have already autocommitted —
+                            // exactly the hazard §3.3's compensation exists
+                            // to handle.
+                            return Response::TaskDone {
+                                status: 'A',
+                                affected,
+                                payload: None,
+                                error: Some(e.to_string()),
+                            };
+                        }
+                    }
+                }
+                Response::TaskDone { status: 'C', affected, payload, error: None }
+            }
+        }
+    }
+
+    fn finish_task(&mut self, task: &str, commit: bool) -> Response {
+        let Some(txn) = self.tasks.remove(task) else {
+            return Response::Err { message: format!("unknown prepared task `{task}`") };
+        };
+        let mut engine = self.engine.lock();
+        let result = if commit { engine.commit(txn) } else { engine.rollback(txn) };
+        match result {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Err { message: e.to_string() },
+        }
+    }
+
+    fn load(&mut self, database: &str, table: &str, payload: &str) -> Response {
+        let rs = match wire::decode_result_set(payload) {
+            Ok(rs) => rs,
+            Err(e) => return Response::Err { message: e.to_string() },
+        };
+        let mut engine = self.engine.lock();
+        let db = match engine.database_mut(database) {
+            Ok(db) => db,
+            Err(e) => return Response::Err { message: e.to_string() },
+        };
+        let columns = rs
+            .columns
+            .iter()
+            .map(|c| ColumnSchema::new(c.name.clone(), c.data_type))
+            .collect();
+        let mut schema = TableSchema::new(table, columns);
+        schema.public = false; // temp tables are not exported
+        let mut t = Table::new(schema);
+        for row in rs.rows {
+            if let Err(e) = t.insert(row) {
+                return Response::Err { message: e.to_string() };
+            }
+        }
+        let _ = db.remove_table(table);
+        db.insert_table(t);
+        Response::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldbs::profile::DbmsProfile;
+
+    fn setup() -> (Network, LamHandle, netsim::Endpoint) {
+        let net = Network::new();
+        let mut engine = Engine::new("svc", DbmsProfile::oracle_like());
+        engine.create_database("avis").unwrap();
+        engine
+            .execute("avis", "CREATE TABLE cars (code INT, rate FLOAT, carst CHAR(10))")
+            .unwrap();
+        engine.execute("avis", "INSERT INTO cars VALUES (1, 40.0, 'available')").unwrap();
+        engine.execute("avis", "INSERT INTO cars VALUES (2, 60.0, 'rented')").unwrap();
+        let lam = spawn_lam(&net, "svc", "site1", engine).unwrap();
+        let client = net.register("engine").unwrap();
+        (net, lam, client)
+    }
+
+    fn call(client: &netsim::Endpoint, req: Request) -> Response {
+        client.send("site1", req.encode()).unwrap();
+        let msg = client.recv().unwrap();
+        Response::decode(&msg.body).unwrap()
+    }
+
+    #[test]
+    fn ping_and_shutdown() {
+        let (_net, lam, client) = setup();
+        assert_eq!(call(&client, Request::Ping), Response::Ok);
+        lam.shutdown();
+    }
+
+    #[test]
+    fn auto_task_selects() {
+        let (_net, _lam, client) = setup();
+        let resp = call(
+            &client,
+            Request::Task {
+                name: "Q1".into(),
+                mode: TaskMode::Auto,
+                database: "avis".into(),
+                commands: vec!["SELECT code FROM cars WHERE carst = 'available'".into()],
+            },
+        );
+        let Response::TaskDone { status: 'C', payload: Some(p), .. } = resp else {
+            panic!("{resp:?}");
+        };
+        let rs = wire::decode_result_set(&p).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn nocommit_task_prepares_then_commits() {
+        let (_net, lam, client) = setup();
+        let resp = call(
+            &client,
+            Request::Task {
+                name: "T1".into(),
+                mode: TaskMode::NoCommit,
+                database: "avis".into(),
+                commands: vec!["UPDATE cars SET rate = 99 WHERE code = 1".into()],
+            },
+        );
+        let Response::TaskDone { status: 'P', affected: 1, .. } = resp else { panic!("{resp:?}") };
+        assert_eq!(call(&client, Request::Commit { task: "T1".into() }), Response::Ok);
+        let rate = {
+            let mut e = lam.engine.lock();
+            e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+                .unwrap()
+                .into_result_set()
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(rate, ldbs::value::Value::Float(99.0));
+    }
+
+    #[test]
+    fn nocommit_task_abort_restores() {
+        let (_net, lam, client) = setup();
+        call(
+            &client,
+            Request::Task {
+                name: "T1".into(),
+                mode: TaskMode::NoCommit,
+                database: "avis".into(),
+                commands: vec!["UPDATE cars SET rate = 99".into()],
+            },
+        );
+        assert_eq!(call(&client, Request::Abort { task: "T1".into() }), Response::Ok);
+        let rate = {
+            let mut e = lam.engine.lock();
+            e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+                .unwrap()
+                .into_result_set()
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(rate, ldbs::value::Value::Float(40.0));
+    }
+
+    #[test]
+    fn failing_command_reports_abort_status() {
+        let (_net, _lam, client) = setup();
+        let resp = call(
+            &client,
+            Request::Task {
+                name: "T1".into(),
+                mode: TaskMode::NoCommit,
+                database: "avis".into(),
+                commands: vec!["UPDATE cars SET nonexistent = 1".into()],
+            },
+        );
+        let Response::TaskDone { status: 'A', error: Some(e), .. } = resp else {
+            panic!("{resp:?}")
+        };
+        assert!(e.contains("nonexistent"));
+    }
+
+    #[test]
+    fn schema_request_returns_public_lcs() {
+        let (_net, _lam, client) = setup();
+        let resp = call(&client, Request::Schema { database: "avis".into() });
+        let Response::OkPayload { payload } = resp else { panic!("{resp:?}") };
+        let tables = wire::decode_schema(&payload).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].name, "cars");
+        assert_eq!(tables[0].columns.len(), 3);
+    }
+
+    #[test]
+    fn load_and_droptemp() {
+        let (_net, _lam, client) = setup();
+        let payload = "COLS x:int|y:char(0)\nR I:7|S:hello\n";
+        let resp = call(
+            &client,
+            Request::Load {
+                database: "avis".into(),
+                table: "part_t".into(),
+                payload: payload.into(),
+            },
+        );
+        assert_eq!(resp, Response::Ok);
+        let resp = call(
+            &client,
+            Request::Task {
+                name: "Q".into(),
+                mode: TaskMode::Auto,
+                database: "avis".into(),
+                commands: vec!["SELECT x, y FROM part_t".into()],
+            },
+        );
+        let Response::TaskDone { payload: Some(p), .. } = resp else { panic!("{resp:?}") };
+        let rs = wire::decode_result_set(&p).unwrap();
+        assert_eq!(rs.rows[0][0], ldbs::value::Value::Int(7));
+        assert_eq!(
+            call(&client, Request::DropTemp { database: "avis".into(), table: "part_t".into() }),
+            Response::Ok
+        );
+    }
+
+    #[test]
+    fn compensate_runs_commands() {
+        let (_net, lam, client) = setup();
+        call(
+            &client,
+            Request::Task {
+                name: "T1".into(),
+                mode: TaskMode::Auto,
+                database: "avis".into(),
+                commands: vec!["UPDATE cars SET rate = rate * 2 WHERE code = 1".into()],
+            },
+        );
+        let resp = call(
+            &client,
+            Request::Compensate {
+                task: "T1".into(),
+                database: "avis".into(),
+                commands: vec!["UPDATE cars SET rate = rate / 2 WHERE code = 1".into()],
+            },
+        );
+        assert_eq!(resp, Response::Ok);
+        let rate = {
+            let mut e = lam.engine.lock();
+            e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+                .unwrap()
+                .into_result_set()
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(rate, ldbs::value::Value::Float(40.0));
+    }
+
+    #[test]
+    fn unknown_prepared_task_errors() {
+        let (_net, _lam, client) = setup();
+        let resp = call(&client, Request::Commit { task: "ghost".into() });
+        assert!(matches!(resp, Response::Err { .. }));
+    }
+
+    #[test]
+    fn malformed_request_gets_err_response() {
+        let (_net, _lam, client) = setup();
+        client.send("site1", "GARBAGE").unwrap();
+        let msg = client.recv().unwrap();
+        assert!(matches!(Response::decode(&msg.body).unwrap(), Response::Err { .. }));
+    }
+}

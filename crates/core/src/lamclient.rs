@@ -1,0 +1,390 @@
+//! Local Access Managers — the client side.
+//!
+//! A [`LamClient`] is one open connection from the DOL engine to a remote
+//! LAM: it implements [`dol::DolService`] by shipping [`crate::proto`]
+//! requests over the simulated network, and adds the data-flow operations
+//! the executor needs (schema fetch, partial-result loading at the
+//! coordinator).
+
+use crate::error::MdbsError;
+use crate::proto::{Request, Response, TaskMode};
+use dol::{DolError, DolService, ServiceFactory};
+use dol::engine::TaskExecution;
+use dol::TaskStatus;
+use netsim::{Endpoint, Network};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Packs a task's affected-row count and optional result payload into the
+/// single result string [`dol::engine::TaskExecution`] carries.
+pub fn encode_task_result(affected: u64, payload: Option<&str>) -> String {
+    match payload {
+        Some(p) => format!("AFFECTED {affected}\n{p}"),
+        None => format!("AFFECTED {affected}\n"),
+    }
+}
+
+/// Reverses [`encode_task_result`]; returns `(affected, payload)`.
+pub fn decode_task_result(result: &str) -> Result<(u64, Option<String>), MdbsError> {
+    let (header, payload) = result
+        .split_once('\n')
+        .ok_or_else(|| MdbsError::Wire("missing task result header".into()))?;
+    let affected = header
+        .strip_prefix("AFFECTED ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| MdbsError::Wire(format!("bad task result header `{header}`")))?;
+    let payload = if payload.is_empty() { None } else { Some(payload.to_string()) };
+    Ok((affected, payload))
+}
+
+/// One connection to a LAM, bound to a database on that service.
+pub struct LamClient {
+    endpoint: Endpoint,
+    net: Network,
+    site: String,
+    /// The database this connection is opened on.
+    pub database: String,
+    timeout: Duration,
+}
+
+impl LamClient {
+    /// Opens a connection: registers a unique client endpoint and pings the
+    /// LAM to verify it is reachable.
+    pub fn connect(
+        net: &Network,
+        site: &str,
+        database: &str,
+        timeout: Duration,
+    ) -> Result<Self, MdbsError> {
+        let name = format!("__cli_{}_{}", site, CLIENT_SEQ.fetch_add(1, Ordering::Relaxed));
+        let endpoint = net.register(&name)?;
+        let client = LamClient {
+            endpoint,
+            net: net.clone(),
+            site: site.to_string(),
+            database: database.to_string(),
+            timeout,
+        };
+        match client.call(Request::Ping)? {
+            Response::Ok => Ok(client),
+            other => Err(MdbsError::Net(format!("unexpected ping reply: {other:?}"))),
+        }
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn call(&self, req: Request) -> Result<Response, MdbsError> {
+        self.endpoint.send(&self.site, req.encode())?;
+        let msg = self.endpoint.recv_timeout(self.timeout)?;
+        Response::decode(&msg.body)
+    }
+
+
+    /// Opens a persistent local transaction under `name` (deferred global
+    /// transactions).
+    pub fn begin_task(&self, name: &str) -> Result<(), MdbsError> {
+        match self.call(Request::Begin { name: name.to_string(), database: self.database.clone() })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected begin reply: {other:?}"))),
+        }
+    }
+
+    /// Executes commands inside an open task. Returns `(status, affected,
+    /// error)` where status `'E'` means still active and `'A'` means the
+    /// statement failed (the transaction stays open).
+    pub fn exec_in_task(
+        &self,
+        task: &str,
+        commands: Vec<String>,
+    ) -> Result<(char, u64, Option<String>), MdbsError> {
+        match self.call(Request::Exec { task: task.to_string(), commands })? {
+            Response::TaskDone { status, affected, error, .. } => Ok((status, affected, error)),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected exec reply: {other:?}"))),
+        }
+    }
+
+    /// Moves an open task to prepared-to-commit. Returns `'P'` on success or
+    /// `'A'` (with the error) when the vote failed and the local transaction
+    /// was rolled back.
+    pub fn prepare_task(&self, task: &str) -> Result<(char, Option<String>), MdbsError> {
+        match self.call(Request::Prepare { task: task.to_string() })? {
+            Response::TaskDone { status, error, .. } => Ok((status, error)),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected prepare reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches the public Local Conceptual Schema of this connection's
+    /// database (for IMPORT).
+    pub fn fetch_schema(&self) -> Result<Vec<catalog::GddTable>, MdbsError> {
+        match self.call(Request::Schema { database: self.database.clone() })? {
+            Response::OkPayload { payload } => crate::wire::decode_schema(&payload),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected schema reply: {other:?}"))),
+        }
+    }
+
+    /// Loads a serialized partial result as a temporary table (coordinator
+    /// collection).
+    pub fn load_partial(&self, table: &str, payload: &str) -> Result<(), MdbsError> {
+        match self.call(Request::Load {
+            database: self.database.clone(),
+            table: table.to_string(),
+            payload: payload.to_string(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected load reply: {other:?}"))),
+        }
+    }
+
+    /// Drops a temporary table.
+    pub fn drop_temp(&self, table: &str) -> Result<(), MdbsError> {
+        match self.call(Request::DropTemp {
+            database: self.database.clone(),
+            table: table.to_string(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected drop reply: {other:?}"))),
+        }
+    }
+}
+
+impl Drop for LamClient {
+    fn drop(&mut self) {
+        self.net.deregister(self.endpoint.name());
+    }
+}
+
+impl DolService for LamClient {
+    fn execute_task(&mut self, task: &dol::TaskDef) -> TaskExecution {
+        let mode = if task.nocommit { TaskMode::NoCommit } else { TaskMode::Auto };
+        let req = Request::Task {
+            name: task.name.clone(),
+            mode,
+            database: self.database.clone(),
+            commands: task.commands.clone(),
+        };
+        match self.call(req) {
+            Ok(Response::TaskDone { status, affected, payload, error }) => {
+                let status = match status {
+                    'P' => TaskStatus::Prepared,
+                    'C' => TaskStatus::Committed,
+                    'A' => TaskStatus::Aborted,
+                    _ => TaskStatus::Error,
+                };
+                TaskExecution {
+                    status,
+                    result: Some(encode_task_result(affected, payload.as_deref())),
+                    error,
+                }
+            }
+            Ok(other) => TaskExecution {
+                status: TaskStatus::Error,
+                result: None,
+                error: Some(format!("unexpected reply: {other:?}")),
+            },
+            // Timeouts and partitions surface as errors — the global plan
+            // treats them like local aborts (paper §3.2: "one or more LDBMSs
+            // may be forced to abort").
+            Err(e) => TaskExecution {
+                status: TaskStatus::Error,
+                result: None,
+                error: Some(e.to_string()),
+            },
+        }
+    }
+
+    fn commit_task(&mut self, task_name: &str) -> Result<(), DolError> {
+        match self.call(Request::Commit { task: task_name.to_string() }) {
+            Ok(Response::Ok) => Ok(()),
+            Ok(Response::Err { message }) => Err(DolError::Service(message)),
+            Ok(other) => Err(DolError::Service(format!("unexpected reply: {other:?}"))),
+            Err(e) => Err(DolError::Service(e.to_string())),
+        }
+    }
+
+    fn abort_task(&mut self, task_name: &str) -> Result<(), DolError> {
+        match self.call(Request::Abort { task: task_name.to_string() }) {
+            Ok(Response::Ok) => Ok(()),
+            Ok(Response::Err { message }) => Err(DolError::Service(message)),
+            Ok(other) => Err(DolError::Service(format!("unexpected reply: {other:?}"))),
+            Err(e) => Err(DolError::Service(e.to_string())),
+        }
+    }
+
+    fn compensate_task(&mut self, task: &dol::TaskDef) -> Result<(), DolError> {
+        match self.call(Request::Compensate {
+            task: task.name.clone(),
+            database: self.database.clone(),
+            commands: task.compensation.clone(),
+        }) {
+            Ok(Response::Ok) => Ok(()),
+            Ok(Response::Err { message }) => Err(DolError::Service(message)),
+            Ok(other) => Err(DolError::Service(format!("unexpected reply: {other:?}"))),
+            Err(e) => Err(DolError::Service(e.to_string())),
+        }
+    }
+
+    fn close(&mut self) {
+        // Connection teardown happens in Drop (endpoint deregistration).
+    }
+}
+
+/// [`ServiceFactory`] for DOL programs: `OPEN <database> AT <site>` becomes
+/// a [`LamClient`] bound to that database.
+pub struct LamFactory {
+    /// The shared network.
+    pub net: Network,
+    /// Per-request timeout.
+    pub timeout: Duration,
+}
+
+impl ServiceFactory for LamFactory {
+    fn connect(&self, service: &str, site: &str) -> Result<Box<dyn DolService>, DolError> {
+        let client = LamClient::connect(&self.net, site, service, self.timeout).map_err(|e| {
+            DolError::OpenFailed { service: service.to_string(), reason: e.to_string() }
+        })?;
+        Ok(Box::new(client))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lam::spawn_lam;
+    use ldbs::profile::DbmsProfile;
+    use ldbs::Engine;
+
+    fn setup() -> (Network, crate::lam::LamHandle) {
+        let net = Network::new();
+        let mut engine = Engine::new("svc", DbmsProfile::oracle_like());
+        engine.create_database("avis").unwrap();
+        engine.execute("avis", "CREATE TABLE cars (code INT, rate FLOAT)").unwrap();
+        engine.execute("avis", "INSERT INTO cars VALUES (1, 40.0)").unwrap();
+        let lam = spawn_lam(&net, "svc", "site1", engine).unwrap();
+        (net, lam)
+    }
+
+    #[test]
+    fn task_result_roundtrip() {
+        let enc = encode_task_result(5, Some("COLS x:int\nR I:1\n"));
+        let (affected, payload) = decode_task_result(&enc).unwrap();
+        assert_eq!(affected, 5);
+        assert!(payload.unwrap().starts_with("COLS"));
+        let (a2, p2) = decode_task_result(&encode_task_result(0, None)).unwrap();
+        assert_eq!(a2, 0);
+        assert!(p2.is_none());
+    }
+
+    #[test]
+    fn client_executes_select_task() {
+        let (net, _lam) = setup();
+        let mut client =
+            LamClient::connect(&net, "site1", "avis", Duration::from_secs(5)).unwrap();
+        let task = dol::TaskDef {
+            name: "Q1".into(),
+            service: "a".into(),
+            nocommit: false,
+            commands: vec!["SELECT code FROM cars".into()],
+            compensation: vec![],
+        };
+        let exec = client.execute_task(&task);
+        assert_eq!(exec.status, TaskStatus::Committed);
+        let (_, payload) = decode_task_result(&exec.result.unwrap()).unwrap();
+        let rs = crate::wire::decode_result_set(&payload.unwrap()).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn client_prepare_commit_cycle() {
+        let (net, lam) = setup();
+        let mut client =
+            LamClient::connect(&net, "site1", "avis", Duration::from_secs(5)).unwrap();
+        let task = dol::TaskDef {
+            name: "T1".into(),
+            service: "a".into(),
+            nocommit: true,
+            commands: vec!["UPDATE cars SET rate = 50 WHERE code = 1".into()],
+            compensation: vec![],
+        };
+        let exec = client.execute_task(&task);
+        assert_eq!(exec.status, TaskStatus::Prepared);
+        client.commit_task("T1").unwrap();
+        let rate = {
+            let mut e = lam.engine.lock();
+            e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+                .unwrap()
+                .into_result_set()
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(rate, ldbs::value::Value::Float(50.0));
+    }
+
+    #[test]
+    fn connect_to_missing_site_fails() {
+        let net = Network::new();
+        assert!(LamClient::connect(&net, "nowhere", "db", Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn partitioned_site_yields_error_status() {
+        let (net, _lam) = setup();
+        let mut client =
+            LamClient::connect(&net, "site1", "avis", Duration::from_millis(200)).unwrap();
+        net.partition(client.endpoint.name(), "site1");
+        let task = dol::TaskDef {
+            name: "T1".into(),
+            service: "a".into(),
+            nocommit: false,
+            commands: vec!["SELECT code FROM cars".into()],
+            compensation: vec![],
+        };
+        let exec = client.execute_task(&task);
+        assert_eq!(exec.status, TaskStatus::Error);
+        assert!(exec.error.unwrap().contains("partition"));
+    }
+
+    #[test]
+    fn schema_fetch_via_client() {
+        let (net, _lam) = setup();
+        let client = LamClient::connect(&net, "site1", "avis", Duration::from_secs(5)).unwrap();
+        let tables = client.fetch_schema().unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].name, "cars");
+    }
+
+    #[test]
+    fn factory_builds_working_service() {
+        let (net, _lam) = setup();
+        let factory = LamFactory { net: net.clone(), timeout: Duration::from_secs(5) };
+        let mut svc = factory.connect("avis", "site1").unwrap();
+        let task = dol::TaskDef {
+            name: "Q".into(),
+            service: "a".into(),
+            nocommit: false,
+            commands: vec!["SELECT code FROM cars".into()],
+            compensation: vec![],
+        };
+        assert_eq!(svc.execute_task(&task).status, TaskStatus::Committed);
+        assert!(factory.connect("avis", "ghost_site").is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Acceptable-termination-state evaluation (paper §3.4).
+//!
+//! "The acceptable states will be checked in the order in which they are
+//! specified ... The first acceptable state that can be reached from the
+//! execution state of the four subqueries will be the final state produced
+//! by the multitransaction. If neither of the acceptable states can be
+//! reached the multitransaction fails and all subqueries will be rolled back
+//! or compensated."
+//!
+//! The planner compiles this rule into nested DOL `IF`s; the functions here
+//! provide the same rule as a direct computation, used by the executor to
+//! cross-check DOL outcomes and by property tests as an independent oracle.
+
+use dol::TaskStatus;
+use std::collections::HashMap;
+
+/// Is a subquery in a state from which it can still commit?
+fn can_commit(status: TaskStatus) -> bool {
+    matches!(status, TaskStatus::Prepared | TaskStatus::Committed)
+}
+
+/// The first acceptable state (by index) reachable from the given execution
+/// statuses. `None` when no state is reachable.
+pub fn reachable_state(
+    states: &[Vec<String>],
+    statuses: &HashMap<String, TaskStatus>,
+) -> Option<usize> {
+    states.iter().position(|state| {
+        state
+            .iter()
+            .all(|member| statuses.get(member).copied().map(can_commit).unwrap_or(false))
+    })
+}
+
+/// Verifies a *final* execution against the §3.4 contract: returns the index
+/// of the acceptable state the outcome realises, or `None` if the outcome
+/// realises no acceptable state (every subquery must then be rolled back or
+/// compensated).
+pub fn realised_state(
+    states: &[Vec<String>],
+    statuses: &HashMap<String, TaskStatus>,
+) -> Option<usize> {
+    states.iter().position(|state| {
+        let members_committed = state
+            .iter()
+            .all(|m| statuses.get(m).copied() == Some(TaskStatus::Committed));
+        let others_undone = statuses.iter().all(|(key, status)| {
+            state.contains(key)
+                || matches!(
+                    status,
+                    TaskStatus::Aborted | TaskStatus::Compensated | TaskStatus::Error
+                )
+        });
+        members_committed && others_undone
+    })
+}
+
+/// True when a final execution is *consistent*: it realises some acceptable
+/// state, or every subquery was undone.
+pub fn is_consistent_outcome(
+    states: &[Vec<String>],
+    statuses: &HashMap<String, TaskStatus>,
+) -> bool {
+    if realised_state(states, statuses).is_some() {
+        return true;
+    }
+    statuses.values().all(|s| {
+        matches!(s, TaskStatus::Aborted | TaskStatus::Compensated | TaskStatus::Error)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn statuses(entries: &[(&str, TaskStatus)]) -> HashMap<String, TaskStatus> {
+        entries.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn travel_states() -> Vec<Vec<String>> {
+        vec![
+            vec!["continental".into(), "national".into()],
+            vec!["delta".into(), "avis".into()],
+        ]
+    }
+
+    #[test]
+    fn preferred_state_wins_when_reachable() {
+        let st = statuses(&[
+            ("continental", TaskStatus::Prepared),
+            ("delta", TaskStatus::Prepared),
+            ("avis", TaskStatus::Prepared),
+            ("national", TaskStatus::Prepared),
+        ]);
+        assert_eq!(reachable_state(&travel_states(), &st), Some(0));
+    }
+
+    #[test]
+    fn falls_back_to_second_state() {
+        let st = statuses(&[
+            ("continental", TaskStatus::Aborted),
+            ("delta", TaskStatus::Prepared),
+            ("avis", TaskStatus::Prepared),
+            ("national", TaskStatus::Prepared),
+        ]);
+        assert_eq!(reachable_state(&travel_states(), &st), Some(1));
+    }
+
+    #[test]
+    fn no_state_reachable() {
+        let st = statuses(&[
+            ("continental", TaskStatus::Aborted),
+            ("delta", TaskStatus::Aborted),
+            ("avis", TaskStatus::Prepared),
+            ("national", TaskStatus::Prepared),
+        ]);
+        assert_eq!(reachable_state(&travel_states(), &st), None);
+    }
+
+    #[test]
+    fn committed_autocommit_member_counts_as_reachable() {
+        let st = statuses(&[
+            ("continental", TaskStatus::Committed),
+            ("delta", TaskStatus::Aborted),
+            ("avis", TaskStatus::Aborted),
+            ("national", TaskStatus::Prepared),
+        ]);
+        assert_eq!(reachable_state(&travel_states(), &st), Some(0));
+    }
+
+    #[test]
+    fn realised_state_checks_exclusions() {
+        // continental+national committed, delta/avis rolled back → state 0.
+        let good = statuses(&[
+            ("continental", TaskStatus::Committed),
+            ("national", TaskStatus::Committed),
+            ("delta", TaskStatus::Aborted),
+            ("avis", TaskStatus::Compensated),
+        ]);
+        assert_eq!(realised_state(&travel_states(), &good), Some(0));
+        assert!(is_consistent_outcome(&travel_states(), &good));
+
+        // delta also committed → the exclusion constraint is violated.
+        let bad = statuses(&[
+            ("continental", TaskStatus::Committed),
+            ("national", TaskStatus::Committed),
+            ("delta", TaskStatus::Committed),
+            ("avis", TaskStatus::Aborted),
+        ]);
+        assert_eq!(realised_state(&travel_states(), &bad), None);
+        assert!(!is_consistent_outcome(&travel_states(), &bad));
+    }
+
+    #[test]
+    fn all_undone_is_consistent_failure() {
+        let st = statuses(&[
+            ("continental", TaskStatus::Aborted),
+            ("national", TaskStatus::Aborted),
+            ("delta", TaskStatus::Compensated),
+            ("avis", TaskStatus::Error),
+        ]);
+        assert_eq!(realised_state(&travel_states(), &st), None);
+        assert!(is_consistent_outcome(&travel_states(), &st));
+    }
+}

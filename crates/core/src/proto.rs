@@ -1,0 +1,394 @@
+//! The engine ↔ LAM request/response protocol.
+//!
+//! One request message yields exactly one response message. Requests carry a
+//! header line plus optional payload lines; SQL commands are escaped (so
+//! they occupy one line each) with [`crate::wire::escape`].
+
+use crate::error::MdbsError;
+use crate::wire::{escape, unescape};
+
+/// How a task's commands are committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskMode {
+    /// Run inside one transaction and stop in prepared-to-commit.
+    NoCommit,
+    /// Autocommit each command.
+    Auto,
+}
+
+impl TaskMode {
+    fn as_str(&self) -> &'static str {
+        match self {
+            TaskMode::NoCommit => "NOCOMMIT",
+            TaskMode::Auto => "AUTO",
+        }
+    }
+}
+
+/// A request to a LAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open a persistent local transaction under a task name (deferred
+    /// global transactions, §3.2.2).
+    Begin {
+        /// Task name for later Exec/Prepare/Commit/Abort.
+        name: String,
+        /// Target database.
+        database: String,
+    },
+    /// Execute more commands inside a transaction opened with Begin.
+    Exec {
+        /// The task.
+        task: String,
+        /// SQL commands.
+        commands: Vec<String>,
+    },
+    /// Vote: move a Begin-opened transaction to prepared-to-commit.
+    Prepare {
+        /// The task.
+        task: String,
+    },
+    /// Execute a task's commands against a database.
+    Task {
+        /// Task name (used later by Commit/Abort).
+        name: String,
+        /// Commit discipline.
+        mode: TaskMode,
+        /// Target database on the service.
+        database: String,
+        /// SQL commands in order.
+        commands: Vec<String>,
+    },
+    /// Second commit phase for a prepared task.
+    Commit {
+        /// The task.
+        task: String,
+    },
+    /// Roll a prepared task back.
+    Abort {
+        /// The task.
+        task: String,
+    },
+    /// Run compensating commands (autocommit) for a committed task.
+    Compensate {
+        /// The task being compensated (for logging).
+        task: String,
+        /// Target database.
+        database: String,
+        /// The compensating SQL commands.
+        commands: Vec<String>,
+    },
+    /// Fetch the public Local Conceptual Schema of a database.
+    Schema {
+        /// The database.
+        database: String,
+    },
+    /// Create a temporary table from a serialized result set and load its
+    /// rows (coordinator collection of partial results).
+    Load {
+        /// Target database.
+        database: String,
+        /// Temp table name.
+        table: String,
+        /// `wire::encode_result_set` payload.
+        payload: String,
+    },
+    /// Drop a temporary table.
+    DropTemp {
+        /// Target database.
+        database: String,
+        /// Temp table name.
+        table: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Stop the LAM server thread.
+    Shutdown,
+}
+
+/// A response from a LAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Task execution finished with a status code (`P`/`C`/`A`/`E`), an
+    /// affected-row count, and an optional serialized result set.
+    TaskDone {
+        /// Status code.
+        status: char,
+        /// Rows affected by DML commands.
+        affected: u64,
+        /// Serialized result set of the last SELECT, if any.
+        payload: Option<String>,
+        /// Error description when the status is not `P`/`C`.
+        error: Option<String>,
+    },
+    /// Generic success.
+    Ok,
+    /// Success with a payload (schema replies).
+    OkPayload {
+        /// The payload.
+        payload: String,
+    },
+    /// Failure.
+    Err {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Request {
+    /// Encodes the request as a message body.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Begin { name, database } => format!("BEGIN {name} {database}"),
+            Request::Exec { task, commands } => {
+                let mut out = format!("EXEC {task}\n");
+                for c in commands {
+                    out.push_str(&escape(c));
+                    out.push('\n');
+                }
+                out
+            }
+            Request::Prepare { task } => format!("PREPARE {task}"),
+            Request::Task { name, mode, database, commands } => {
+                let mut out = format!("TASK {name} {} {database}\n", mode.as_str());
+                for c in commands {
+                    out.push_str(&escape(c));
+                    out.push('\n');
+                }
+                out
+            }
+            Request::Commit { task } => format!("COMMIT {task}"),
+            Request::Abort { task } => format!("ABORT {task}"),
+            Request::Compensate { task, database, commands } => {
+                let mut out = format!("COMP {task} {database}\n");
+                for c in commands {
+                    out.push_str(&escape(c));
+                    out.push('\n');
+                }
+                out
+            }
+            Request::Schema { database } => format!("SCHEMA {database}"),
+            Request::Load { database, table, payload } => {
+                format!("LOAD {database} {table}\n{payload}")
+            }
+            Request::DropTemp { database, table } => format!("DROPTEMP {database} {table}"),
+            Request::Ping => "PING".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+
+    /// Decodes a message body into a request.
+    pub fn decode(body: &str) -> Result<Request, MdbsError> {
+        let (header, payload) = match body.split_once('\n') {
+            Some((h, p)) => (h, p),
+            None => (body, ""),
+        };
+        let words: Vec<&str> = header.split_whitespace().collect();
+        let decode_commands = |payload: &str| -> Result<Vec<String>, MdbsError> {
+            payload
+                .lines()
+                .filter(|l| !l.is_empty())
+                .map(unescape)
+                .collect()
+        };
+        match words.as_slice() {
+            ["BEGIN", name, database] => Ok(Request::Begin {
+                name: name.to_string(),
+                database: database.to_string(),
+            }),
+            ["EXEC", task] => Ok(Request::Exec {
+                task: task.to_string(),
+                commands: decode_commands(payload)?,
+            }),
+            ["PREPARE", task] => Ok(Request::Prepare { task: task.to_string() }),
+            ["TASK", name, mode, database] => {
+                let mode = match *mode {
+                    "NOCOMMIT" => TaskMode::NoCommit,
+                    "AUTO" => TaskMode::Auto,
+                    other => {
+                        return Err(MdbsError::Wire(format!("unknown task mode `{other}`")));
+                    }
+                };
+                Ok(Request::Task {
+                    name: name.to_string(),
+                    mode,
+                    database: database.to_string(),
+                    commands: decode_commands(payload)?,
+                })
+            }
+            ["COMMIT", task] => Ok(Request::Commit { task: task.to_string() }),
+            ["ABORT", task] => Ok(Request::Abort { task: task.to_string() }),
+            ["COMP", task, database] => Ok(Request::Compensate {
+                task: task.to_string(),
+                database: database.to_string(),
+                commands: decode_commands(payload)?,
+            }),
+            ["SCHEMA", database] => Ok(Request::Schema { database: database.to_string() }),
+            ["LOAD", database, table] => Ok(Request::Load {
+                database: database.to_string(),
+                table: table.to_string(),
+                payload: payload.to_string(),
+            }),
+            ["DROPTEMP", database, table] => Ok(Request::DropTemp {
+                database: database.to_string(),
+                table: table.to_string(),
+            }),
+            ["PING"] => Ok(Request::Ping),
+            ["SHUTDOWN"] => Ok(Request::Shutdown),
+            _ => Err(MdbsError::Wire(format!("unknown request `{header}`"))),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as a message body.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::TaskDone { status, affected, payload, error } => {
+                let err = match error {
+                    Some(e) => escape(e),
+                    None => "-".to_string(),
+                };
+                let mut out = format!("OK TASK {status} {affected} {err}\n");
+                if let Some(p) = payload {
+                    out.push_str(p);
+                }
+                out
+            }
+            Response::Ok => "OK".to_string(),
+            Response::OkPayload { payload } => format!("OK PAYLOAD\n{payload}"),
+            Response::Err { message } => format!("ERR {}", escape(message)),
+        }
+    }
+
+    /// Decodes a message body into a response.
+    pub fn decode(body: &str) -> Result<Response, MdbsError> {
+        let (header, payload) = match body.split_once('\n') {
+            Some((h, p)) => (h, p),
+            None => (body, ""),
+        };
+        if let Some(msg) = header.strip_prefix("ERR ") {
+            return Ok(Response::Err { message: unescape(msg)? });
+        }
+        if header == "OK" {
+            return Ok(Response::Ok);
+        }
+        if header == "OK PAYLOAD" {
+            return Ok(Response::OkPayload { payload: payload.to_string() });
+        }
+        if let Some(rest) = header.strip_prefix("OK TASK ") {
+            // `<status> <affected> <error-or-dash>`; the error is the tail of
+            // the line (it may contain spaces).
+            let mut parts = rest.splitn(3, ' ');
+            let status_text = parts.next().unwrap_or("");
+            let affected_text = parts.next().unwrap_or("");
+            let err = parts.next().unwrap_or("-");
+            let status = status_text
+                .chars()
+                .next()
+                .filter(|_| status_text.len() == 1)
+                .ok_or_else(|| MdbsError::Wire(format!("bad status `{status_text}`")))?;
+            let affected: u64 = affected_text
+                .parse()
+                .map_err(|_| MdbsError::Wire(format!("bad affected count `{affected_text}`")))?;
+            let error = if err == "-" { None } else { Some(unescape(err)?) };
+            let payload = if payload.is_empty() { None } else { Some(payload.to_string()) };
+            return Ok(Response::TaskDone { status, affected, payload, error });
+        }
+        Err(MdbsError::Wire(format!("unknown response `{header}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(r: Request) {
+        let enc = r.encode();
+        assert_eq!(Request::decode(&enc).unwrap(), r, "encoded: {enc}");
+    }
+
+    fn roundtrip_response(r: Response) {
+        let enc = r.encode();
+        assert_eq!(Response::decode(&enc).unwrap(), r, "encoded: {enc}");
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Task {
+            name: "T1".into(),
+            mode: TaskMode::NoCommit,
+            database: "continental".into(),
+            commands: vec![
+                "UPDATE flights SET rate = rate * 1.1 WHERE source = 'Houston'".into(),
+                "SELECT 'multi\nline | literal' FROM flights".into(),
+            ],
+        });
+        roundtrip_request(Request::Commit { task: "T1".into() });
+        roundtrip_request(Request::Abort { task: "T1".into() });
+        roundtrip_request(Request::Compensate {
+            task: "T1".into(),
+            database: "continental".into(),
+            commands: vec!["UPDATE flights SET rate = rate / 1.1".into()],
+        });
+        roundtrip_request(Request::Schema { database: "avis".into() });
+        roundtrip_request(Request::Load {
+            database: "avis".into(),
+            table: "part_national".into(),
+            payload: "COLS code:int\nR I:1\n".into(),
+        });
+        roundtrip_request(Request::DropTemp { database: "avis".into(), table: "t".into() });
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Begin { name: "G1".into(), database: "avis".into() });
+        roundtrip_request(Request::Exec {
+            task: "G1".into(),
+            commands: vec!["UPDATE cars SET rate = 1".into()],
+        });
+        roundtrip_request(Request::Prepare { task: "G1".into() });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Ok);
+        roundtrip_response(Response::OkPayload { payload: "TABLE t x:int\n".into() });
+        roundtrip_response(Response::Err { message: "lock conflict | details\nline2".into() });
+        roundtrip_response(Response::TaskDone {
+            status: 'P',
+            affected: 3,
+            payload: None,
+            error: None,
+        });
+        roundtrip_response(Response::TaskDone {
+            status: 'C',
+            affected: 0,
+            payload: Some("COLS code:int\nR I:1\n".into()),
+            error: None,
+        });
+        roundtrip_response(Response::TaskDone {
+            status: 'A',
+            affected: 0,
+            payload: None,
+            error: Some("simulated deadlock".into()),
+        });
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Request::decode("FROB x").is_err());
+        assert!(Request::decode("TASK t BADMODE db").is_err());
+        assert!(Response::decode("NOPE").is_err());
+        assert!(Response::decode("OK TASK PP 3 -").is_err());
+        assert!(Response::decode("OK TASK P x -").is_err());
+    }
+
+    #[test]
+    fn task_with_no_commands_roundtrips() {
+        roundtrip_request(Request::Task {
+            name: "T".into(),
+            mode: TaskMode::Auto,
+            database: "d".into(),
+            commands: vec![],
+        });
+    }
+}

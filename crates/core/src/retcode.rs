@@ -1,0 +1,47 @@
+//! MSQL return codes.
+//!
+//! "The translator receives back DOL return codes, which describe the
+//! execution status reached by the engine. These codes are used as MSQL
+//! return codes" (paper §4.1).
+
+use crate::translate::MTX_FAILED;
+
+/// Successful execution (for multitransactions: the preferred state).
+pub const SUCCESS: i32 = 0;
+
+/// A vital update was rolled back (successfully aborted, in the paper's
+/// terms: consistent, but the work was not done).
+pub const ABORTED: i32 = 1;
+
+/// Human-readable meaning of a return code in the context it was produced.
+pub fn describe(code: i32, multitransaction: bool) -> String {
+    if multitransaction {
+        match code {
+            MTX_FAILED => "multitransaction failed: no acceptable state reachable; all \
+                           subqueries rolled back or compensated"
+                .to_string(),
+            n if n >= 0 => format!("multitransaction committed acceptable state #{n}"),
+            other => format!("unknown return code {other}"),
+        }
+    } else {
+        match code {
+            SUCCESS => "query successful: all vital subqueries committed".to_string(),
+            ABORTED => "query aborted: vital subqueries rolled back or compensated".to_string(),
+            other => format!("unknown return code {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptions_distinguish_contexts() {
+        assert!(describe(SUCCESS, false).contains("successful"));
+        assert!(describe(ABORTED, false).contains("aborted"));
+        assert!(describe(0, true).contains("state #0"));
+        assert!(describe(1, true).contains("state #1"));
+        assert!(describe(MTX_FAILED, true).contains("no acceptable state"));
+    }
+}

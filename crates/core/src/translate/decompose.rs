@@ -1,0 +1,741 @@
+//! Decomposition (paper §4.3, phase 3).
+//!
+//! *"Each global fully qualified elementary query Q is decomposed into SQL
+//! subqueries q1 ... qn and a global modified query Q'. The decomposition of
+//! Q is based on the location of the accessed data items and is performed
+//! using query graph analysis. The global query is transformed into a set of
+//! the largest possible local subqueries, one for each involved LDBS. One of
+//! the LDBSs is designated as the coordinator and will evaluate the modified
+//! global query."*
+//!
+//! Given a SELECT whose FROM spans several databases, this module:
+//!
+//! 1. resolves each table to its owning database (explicit qualifier, or a
+//!    unique GDD match within the scope);
+//! 2. splits the WHERE conjunction into *local* conjuncts (all columns from
+//!    one database — pushed down) and *global* conjuncts (cross-database —
+//!    kept in Q');
+//! 3. builds, per database, the largest local subquery projecting exactly
+//!    the columns the global phase needs (renamed `b_<binding>_<column>` so
+//!    partial results cannot collide);
+//! 4. builds Q' over the partial-result tables `part_<db>`, and picks the
+//!    database with the most bindings as coordinator.
+
+use crate::error::MdbsError;
+use crate::scope::SessionScope;
+use catalog::{GddTable, GlobalDataDictionary};
+use msql_lang::*;
+
+/// One local subquery of a decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbSubquery {
+    /// The database that evaluates it.
+    pub database: String,
+    /// The largest local subquery.
+    pub select: Select,
+    /// Name of the partial-result table at the coordinator.
+    pub part_table: String,
+}
+
+/// A decomposed global query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Per-database subqueries (the coordinator's own included).
+    pub subqueries: Vec<DbSubquery>,
+    /// The database that evaluates the modified global query.
+    pub coordinator: String,
+    /// The modified global query Q' over the `part_<db>` tables.
+    pub global_query: Select,
+}
+
+#[derive(Debug, Clone)]
+struct Binding {
+    /// Name the query knows this table by (alias or table name).
+    name: String,
+    /// Owning database.
+    database: String,
+    /// Original table reference (db qualifier stripped).
+    tref: TableRef,
+    /// Exported definition.
+    def: GddTable,
+}
+
+/// Decomposes a (fully qualified, wildcard-free) SELECT.
+pub fn decompose(
+    sel: &Select,
+    scope: &SessionScope,
+    gdd: &GlobalDataDictionary,
+) -> Result<Decomposition, MdbsError> {
+    if sel.from.is_empty() {
+        return Err(MdbsError::Unsupported(
+            "decomposition requires at least one table".into(),
+        ));
+    }
+    // Resolve bindings.
+    let mut bindings: Vec<Binding> = Vec::with_capacity(sel.from.len());
+    for tref in &sel.from {
+        if tref.table.is_multiple() {
+            return Err(MdbsError::Unsupported(format!(
+                "wildcard table `{}` cannot be combined with cross-database joins",
+                tref.table
+            )));
+        }
+        let database = match &tref.database {
+            Some(q) => scope
+                .resolve(q.as_str())
+                .map(|d| d.database.clone())
+                .ok_or_else(|| MdbsError::NotInScope(q.as_str().to_string()))?,
+            None => {
+                // A unique scope database exporting this table.
+                let mut owners = Vec::new();
+                for d in &scope.databases {
+                    if gdd.table(&d.database, tref.table.as_str()).is_ok() {
+                        owners.push(d.database.clone());
+                    }
+                }
+                match owners.len() {
+                    1 => owners.remove(0),
+                    0 => {
+                        return Err(MdbsError::NotPertinent(format!(
+                            "no database in scope exports table `{}`",
+                            tref.table
+                        )))
+                    }
+                    _ => {
+                        return Err(MdbsError::NotPertinent(format!(
+                            "table `{}` is exported by several databases in scope; \
+                             qualify it",
+                            tref.table
+                        )))
+                    }
+                }
+            }
+        };
+        let def = gdd
+            .table(&database, tref.table.as_str())
+            .map_err(|e| MdbsError::Catalog(e.to_string()))?
+            .clone();
+        let name = tref.binding_name().to_ascii_lowercase();
+        if bindings.iter().any(|b| b.name == name) {
+            return Err(MdbsError::NotPertinent(format!("duplicate binding `{name}`")));
+        }
+        bindings.push(Binding {
+            name,
+            database,
+            tref: TableRef {
+                database: None,
+                table: tref.table.clone(),
+                alias: tref.alias.clone(),
+            },
+            def,
+        });
+    }
+
+    // Involved databases in first-appearance order.
+    let mut databases: Vec<String> = Vec::new();
+    for b in &bindings {
+        if !databases.contains(&b.database) {
+            databases.push(b.database.clone());
+        }
+    }
+
+    // Split WHERE into conjuncts and classify them.
+    let mut local_conjuncts: Vec<(String, Expr)> = Vec::new();
+    let mut global_conjuncts: Vec<Expr> = Vec::new();
+    if let Some(w) = &sel.where_clause {
+        for conjunct in split_conjuncts(w) {
+            let used = used_databases(&conjunct, &bindings)?;
+            match used.as_slice() {
+                [] | [_] if !contains_subquery(&conjunct) => {
+                    if let [db] = used.as_slice() {
+                        local_conjuncts.push((db.clone(), strip_db_qualifiers(&conjunct)));
+                    } else {
+                        // Constant conjunct: give it to the global query.
+                        global_conjuncts.push(conjunct.clone());
+                    }
+                }
+                _ => {
+                    if contains_subquery(&conjunct) {
+                        return Err(MdbsError::Unsupported(
+                            "subqueries are not supported in cross-database joins".into(),
+                        ));
+                    }
+                    global_conjuncts.push(conjunct.clone());
+                }
+            }
+        }
+    }
+
+    // Needed columns per binding: everything the global phase references.
+    let mut needed: Vec<(String, String)> = Vec::new(); // (binding, column)
+    let mut pending: Vec<ColumnRef> = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for b in &bindings {
+                    for c in &b.def.columns {
+                        let pair = (b.name.clone(), c.name.clone());
+                        if !needed.contains(&pair) {
+                            needed.push(pair);
+                        }
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let target = t.as_str();
+                let b = bindings
+                    .iter()
+                    .find(|b| b.name == target || b.def.name == target)
+                    .ok_or_else(|| MdbsError::NotPertinent(format!("unknown binding `{target}`")))?;
+                for c in &b.def.columns {
+                    let pair = (b.name.clone(), c.name.clone());
+                    if !needed.contains(&pair) {
+                        needed.push(pair);
+                    }
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                expr.walk_columns(&mut |c| pending.push(c.clone()));
+            }
+        }
+    }
+    for g in &global_conjuncts {
+        g.walk_columns(&mut |c| pending.push(c.clone()));
+    }
+    for g in &sel.group_by {
+        g.walk_columns(&mut |c| pending.push(c.clone()));
+    }
+    if let Some(h) = &sel.having {
+        h.walk_columns(&mut |c| pending.push(c.clone()));
+    }
+    for o in &sel.order_by {
+        o.expr.walk_columns(&mut |c| pending.push(c.clone()));
+    }
+    for c in &pending {
+        let (b, col) = resolve_column(c, &bindings)?;
+        let pair = (b.name.clone(), col);
+        if !needed.contains(&pair) {
+            needed.push(pair);
+        }
+    }
+
+    // Local subqueries.
+    let mut subqueries = Vec::with_capacity(databases.len());
+    for db in &databases {
+        let db_bindings: Vec<&Binding> =
+            bindings.iter().filter(|b| b.database == *db).collect();
+        let mut items = Vec::new();
+        for (bname, col) in &needed {
+            if db_bindings.iter().any(|b| b.name == *bname) {
+                items.push(SelectItem::Expr {
+                    expr: Expr::Column(ColumnRef::with_table(bname.clone(), col.clone())),
+                    alias: Some(part_column(bname, col)),
+                    optional: false,
+                });
+            }
+        }
+        if items.is_empty() {
+            // The global phase needs nothing from this database (it only
+            // filters locally); project a constant so the subquery is valid.
+            items.push(SelectItem::Expr {
+                expr: Expr::Literal(Literal::Int(1)),
+                alias: Some("one".into()),
+                optional: false,
+            });
+        }
+        let mut where_clause: Option<Expr> = None;
+        for (cdb, conj) in &local_conjuncts {
+            if cdb == db {
+                where_clause = Some(match where_clause {
+                    Some(acc) => acc.and(conj.clone()),
+                    None => conj.clone(),
+                });
+            }
+        }
+        subqueries.push(DbSubquery {
+            database: db.clone(),
+            select: Select {
+                distinct: false,
+                items,
+                from: db_bindings.iter().map(|b| b.tref.clone()).collect(),
+                where_clause,
+                group_by: Vec::new(),
+                having: None,
+                order_by: Vec::new(),
+            },
+            part_table: format!("part_{db}"),
+        });
+    }
+
+    // Coordinator: most bindings; ties by first appearance.
+    let coordinator = databases
+        .iter()
+        .max_by_key(|db| {
+            (
+                bindings.iter().filter(|b| &b.database == *db).count(),
+                // invert index so earlier databases win ties
+                usize::MAX - databases.iter().position(|d| d == *db).unwrap(),
+            )
+        })
+        .unwrap()
+        .clone();
+
+    // The modified global query Q'.
+    let rewrite = |e: &Expr| rewrite_global(e, &bindings);
+    let mut items = Vec::with_capacity(sel.items.len());
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for b in &bindings {
+                    for c in &b.def.columns {
+                        items.push(SelectItem::Expr {
+                            expr: Expr::Column(ColumnRef::with_table(
+                                format!("part_{}", b.database),
+                                part_column(&b.name, &c.name),
+                            )),
+                            alias: Some(c.name.clone()),
+                            optional: false,
+                        });
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let target = t.as_str();
+                let b = bindings
+                    .iter()
+                    .find(|b| b.name == target || b.def.name == target)
+                    .expect("validated above");
+                for c in &b.def.columns {
+                    items.push(SelectItem::Expr {
+                        expr: Expr::Column(ColumnRef::with_table(
+                            format!("part_{}", b.database),
+                            part_column(&b.name, &c.name),
+                        )),
+                        alias: Some(c.name.clone()),
+                        optional: false,
+                    });
+                }
+            }
+            SelectItem::Expr { expr, alias, .. } => {
+                let alias = alias.clone().or_else(|| {
+                    // Preserve the user-visible name of plain column items.
+                    match expr {
+                        Expr::Column(c) => Some(c.column.as_str().to_string()),
+                        _ => None,
+                    }
+                });
+                items.push(SelectItem::Expr { expr: rewrite(expr)?, alias, optional: false });
+            }
+        }
+    }
+    let mut where_clause: Option<Expr> = None;
+    for g in &global_conjuncts {
+        let rewritten = rewrite(g)?;
+        where_clause = Some(match where_clause {
+            Some(acc) => acc.and(rewritten),
+            None => rewritten,
+        });
+    }
+    let global_query = Select {
+        distinct: sel.distinct,
+        items,
+        from: subqueries
+            .iter()
+            .map(|s| TableRef::named(s.part_table.clone()))
+            .collect(),
+        where_clause,
+        group_by: sel.group_by.iter().map(&rewrite).collect::<Result<_, _>>()?,
+        having: sel.having.as_ref().map(&rewrite).transpose()?,
+        order_by: sel
+            .order_by
+            .iter()
+            .map(|o| Ok(OrderByItem { expr: rewrite(&o.expr)?, order: o.order }))
+            .collect::<Result<_, MdbsError>>()?,
+    };
+
+    Ok(Decomposition { subqueries, coordinator, global_query })
+}
+
+/// `b_<binding>_<column>` — the renamed projection of a needed column.
+fn part_column(binding: &str, column: &str) -> String {
+    format!("b_{binding}_{column}")
+}
+
+/// Flattens an AND tree into conjuncts.
+fn split_conjuncts(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Binary { left, op: BinaryOp::And, right } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+fn contains_subquery(e: &Expr) -> bool {
+    match e {
+        Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => true,
+        Expr::Unary { expr, .. } => contains_subquery(expr),
+        Expr::Binary { left, right, .. } => contains_subquery(left) || contains_subquery(right),
+        Expr::Aggregate { arg: Some(a), .. } => contains_subquery(a),
+        Expr::Function { args, .. } => args.iter().any(contains_subquery),
+        Expr::InList { expr, list, .. } => {
+            contains_subquery(expr) || list.iter().any(contains_subquery)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            contains_subquery(expr) || contains_subquery(low) || contains_subquery(high)
+        }
+        Expr::IsNull { expr, .. } => contains_subquery(expr),
+        Expr::Like { expr, pattern, .. } => contains_subquery(expr) || contains_subquery(pattern),
+        _ => false,
+    }
+}
+
+/// Resolves a column reference to its binding.
+fn resolve_column<'b>(
+    c: &ColumnRef,
+    bindings: &'b [Binding],
+) -> Result<(&'b Binding, String), MdbsError> {
+    if c.column.is_multiple() {
+        return Err(MdbsError::Unsupported(format!(
+            "wildcard column `{}` cannot be combined with cross-database joins",
+            c.column
+        )));
+    }
+    let col = c.column.as_str().to_string();
+    if let Some(t) = &c.table {
+        let target = t.as_str();
+        let b = bindings
+            .iter()
+            .find(|b| b.name == target || b.def.name == target)
+            .ok_or_else(|| MdbsError::NotPertinent(format!("unknown table `{target}`")))?;
+        if b.def.column(&col).is_none() {
+            return Err(MdbsError::NotPertinent(format!("unknown column `{target}.{col}`")));
+        }
+        return Ok((b, col));
+    }
+    let mut owner = None;
+    for b in bindings {
+        if b.def.column(&col).is_some() {
+            if owner.is_some() {
+                return Err(MdbsError::NotPertinent(format!("ambiguous column `{col}`")));
+            }
+            owner = Some(b);
+        }
+    }
+    owner
+        .map(|b| (b, col.clone()))
+        .ok_or_else(|| MdbsError::NotPertinent(format!("unknown column `{col}`")))
+}
+
+/// Databases referenced by an expression.
+fn used_databases(e: &Expr, bindings: &[Binding]) -> Result<Vec<String>, MdbsError> {
+    let mut out: Vec<String> = Vec::new();
+    let mut err = None;
+    e.walk_columns(&mut |c| {
+        if err.is_some() {
+            return;
+        }
+        match resolve_column(c, bindings) {
+            Ok((b, _)) => {
+                if !out.contains(&b.database) {
+                    out.push(b.database.clone());
+                }
+            }
+            Err(e) => err = Some(e),
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Strips database qualifiers from column references (for pushdown).
+fn strip_db_qualifiers(e: &Expr) -> Expr {
+    match e {
+        Expr::Column(c) => Expr::Column(ColumnRef {
+            database: None,
+            table: c.table.clone(),
+            column: c.column.clone(),
+        }),
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(strip_db_qualifiers(expr)) }
+        }
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(strip_db_qualifiers(left)),
+            op: *op,
+            right: Box::new(strip_db_qualifiers(right)),
+        },
+        Expr::Aggregate { kind, arg, distinct } => Expr::Aggregate {
+            kind: *kind,
+            arg: arg.as_ref().map(|a| Box::new(strip_db_qualifiers(a))),
+            distinct: *distinct,
+        },
+        Expr::Function { name, args } => Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(strip_db_qualifiers).collect(),
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(strip_db_qualifiers(expr)),
+            list: list.iter().map(strip_db_qualifiers).collect(),
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(strip_db_qualifiers(expr)),
+            low: Box::new(strip_db_qualifiers(low)),
+            high: Box::new(strip_db_qualifiers(high)),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(strip_db_qualifiers(expr)), negated: *negated }
+        }
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(strip_db_qualifiers(expr)),
+            pattern: Box::new(strip_db_qualifiers(pattern)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Rewrites an expression for the global query: every column becomes
+/// `part_<db>.b_<binding>_<column>`.
+fn rewrite_global(e: &Expr, bindings: &[Binding]) -> Result<Expr, MdbsError> {
+    Ok(match e {
+        Expr::Column(c) => {
+            let (b, col) = resolve_column(c, bindings)?;
+            Expr::Column(ColumnRef::with_table(
+                format!("part_{}", b.database),
+                part_column(&b.name, &col),
+            ))
+        }
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(rewrite_global(expr, bindings)?) }
+        }
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(rewrite_global(left, bindings)?),
+            op: *op,
+            right: Box::new(rewrite_global(right, bindings)?),
+        },
+        Expr::Aggregate { kind, arg, distinct } => Expr::Aggregate {
+            kind: *kind,
+            arg: match arg {
+                Some(a) => Some(Box::new(rewrite_global(a, bindings)?)),
+                None => None,
+            },
+            distinct: *distinct,
+        },
+        Expr::Function { name, args } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| rewrite_global(a, bindings))
+                .collect::<Result<_, _>>()?,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(rewrite_global(expr, bindings)?),
+            list: list
+                .iter()
+                .map(|x| rewrite_global(x, bindings))
+                .collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(rewrite_global(expr, bindings)?),
+            low: Box::new(rewrite_global(low, bindings)?),
+            high: Box::new(rewrite_global(high, bindings)?),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(rewrite_global(expr, bindings)?), negated: *negated }
+        }
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(rewrite_global(expr, bindings)?),
+            pattern: Box::new(rewrite_global(pattern, bindings)?),
+            negated: *negated,
+        },
+        Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => {
+            return Err(MdbsError::Unsupported(
+                "subqueries are not supported in cross-database joins".into(),
+            ))
+        }
+        other => other.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalog::GddColumn;
+    use msql_lang::printer::print_select;
+    use msql_lang::TypeName;
+
+    fn gdd() -> GlobalDataDictionary {
+        let mut g = GlobalDataDictionary::new();
+        g.register_database("avis", "svc4").unwrap();
+        g.put_table(
+            "avis",
+            GddTable::new(
+                "cars",
+                ["code", "cartype", "rate", "carst"]
+                    .iter()
+                    .map(|c| GddColumn::new(*c, TypeName::Char(0)))
+                    .collect(),
+            ),
+        )
+        .unwrap();
+        g.register_database("continental", "svc1").unwrap();
+        g.put_table(
+            "continental",
+            GddTable::new(
+                "flights",
+                ["flnu", "source", "destination", "rate"]
+                    .iter()
+                    .map(|c| GddColumn::new(*c, TypeName::Char(0)))
+                    .collect(),
+            ),
+        )
+        .unwrap();
+        g
+    }
+
+    fn scope() -> SessionScope {
+        let mut s = SessionScope::new();
+        let Statement::Use(u) =
+            msql_lang::parse_statement("USE avis continental").unwrap()
+        else {
+            panic!()
+        };
+        s.apply_use(&u).unwrap();
+        s
+    }
+
+    fn select(sql: &str) -> Select {
+        let Statement::Query(q) = msql_lang::parse_statement(sql).unwrap() else { panic!() };
+        let QueryBody::Select(s) = q.body else { panic!() };
+        s
+    }
+
+    #[test]
+    fn cross_db_join_splits_local_and_global_predicates() {
+        let d = decompose(
+            &select(
+                "SELECT c.code, f.flnu FROM avis.cars c, continental.flights f
+                 WHERE c.carst = 'available' AND f.source = 'Houston' AND c.rate < f.rate",
+            ),
+            &scope(),
+            &gdd(),
+        )
+        .unwrap();
+        assert_eq!(d.subqueries.len(), 2);
+        let avis = d.subqueries.iter().find(|s| s.database == "avis").unwrap();
+        let cont = d.subqueries.iter().find(|s| s.database == "continental").unwrap();
+        // Local predicates pushed down.
+        let avis_sql = print_select(&avis.select);
+        assert!(avis_sql.contains("carst = 'available'"), "{avis_sql}");
+        assert!(!avis_sql.contains("Houston"), "{avis_sql}");
+        let cont_sql = print_select(&cont.select);
+        assert!(cont_sql.contains("source = 'Houston'"), "{cont_sql}");
+        // Projections renamed.
+        assert!(avis_sql.contains("AS b_c_code"), "{avis_sql}");
+        assert!(avis_sql.contains("AS b_c_rate"), "{avis_sql}");
+        // Global query joins the parts on the cross-db predicate.
+        let g = print_select(&d.global_query);
+        assert!(g.contains("part_avis"), "{g}");
+        assert!(g.contains("part_continental"), "{g}");
+        assert!(g.contains("part_avis.b_c_rate < part_continental.b_f_rate"), "{g}");
+    }
+
+    #[test]
+    fn unqualified_tables_resolve_through_gdd() {
+        let d = decompose(
+            &select("SELECT code, flnu FROM cars, flights WHERE rate = 1"),
+            &scope(),
+            &gdd(),
+        );
+        // `rate` exists in both → ambiguous.
+        assert!(matches!(d, Err(MdbsError::NotPertinent(_))));
+
+        let d = decompose(
+            &select("SELECT code, flnu FROM cars, flights WHERE cars.rate = flights.rate"),
+            &scope(),
+            &gdd(),
+        )
+        .unwrap();
+        assert_eq!(d.subqueries.len(), 2);
+    }
+
+    #[test]
+    fn coordinator_has_most_bindings() {
+        let d = decompose(
+            &select(
+                "SELECT a.code FROM avis.cars a, avis.cars b, continental.flights f
+                 WHERE a.code = b.code AND a.rate = f.rate",
+            ),
+            &scope(),
+            &gdd(),
+        )
+        .unwrap();
+        assert_eq!(d.coordinator, "avis");
+        // avis' subquery joins its two bindings locally.
+        let avis = d.subqueries.iter().find(|s| s.database == "avis").unwrap();
+        assert_eq!(avis.select.from.len(), 2);
+    }
+
+    #[test]
+    fn single_db_decomposition_is_trivial() {
+        let d = decompose(
+            &select("SELECT code FROM avis.cars WHERE rate > 10"),
+            &scope(),
+            &gdd(),
+        )
+        .unwrap();
+        assert_eq!(d.subqueries.len(), 1);
+        assert_eq!(d.coordinator, "avis");
+    }
+
+    #[test]
+    fn subqueries_in_join_are_unsupported() {
+        let err = decompose(
+            &select(
+                "SELECT c.code FROM avis.cars c, continental.flights f
+                 WHERE c.rate = f.rate AND c.code IN (SELECT code FROM cars)",
+            ),
+            &scope(),
+            &gdd(),
+        );
+        assert!(matches!(err, Err(MdbsError::Unsupported(_))));
+    }
+
+    #[test]
+    fn aggregates_stay_in_global_query() {
+        let d = decompose(
+            &select(
+                "SELECT COUNT(*), MAX(c.rate) FROM avis.cars c, continental.flights f
+                 WHERE c.rate < f.rate",
+            ),
+            &scope(),
+            &gdd(),
+        )
+        .unwrap();
+        let g = print_select(&d.global_query);
+        assert!(g.contains("COUNT(*)"), "{g}");
+        assert!(g.contains("MAX(part_avis.b_c_rate)"), "{g}");
+        // Local subqueries have no aggregates.
+        for s in &d.subqueries {
+            assert!(!print_select(&s.select).contains("MAX("));
+        }
+    }
+
+    #[test]
+    fn unknown_qualifier_is_error() {
+        let err = decompose(
+            &select("SELECT x FROM delta.flight"),
+            &scope(),
+            &gdd(),
+        );
+        assert!(matches!(err, Err(MdbsError::NotInScope(_))));
+    }
+}

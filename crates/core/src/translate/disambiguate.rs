@@ -1,0 +1,117 @@
+//! Disambiguation (paper §4.3, phase 2).
+//!
+//! "All possible substitutions of multiple identifiers are generated and non
+//! pertinent queries are discarded during disambiguation." GDD-invalid
+//! substitutions are already pruned during expansion; this phase finishes
+//! the job:
+//!
+//! * duplicate candidates (identical statements for the same database) are
+//!   merged;
+//! * databases with no pertinent candidate simply do not participate;
+//! * if *no* database has a pertinent candidate the query is rejected;
+//! * for modification statements, at most one subquery per database is
+//!   enforced — the assumption §3.4 states explicitly ("MSQL queries are
+//!   assumed to generate at most one subquery per database"), which the
+//!   commitment machinery relies on.
+
+use crate::error::MdbsError;
+use crate::translate::expand::LocalQuery;
+use msql_lang::printer::print;
+use msql_lang::{QueryBody, Statement};
+
+/// Is the statement a modification (vs. retrieval)?
+fn is_modification(stmt: &Statement) -> bool {
+    match stmt {
+        Statement::Query(q) => !matches!(q.body, QueryBody::Select(_)),
+        _ => true,
+    }
+}
+
+/// Prunes and validates expanded candidates.
+pub fn disambiguate(candidates: Vec<LocalQuery>) -> Result<Vec<LocalQuery>, MdbsError> {
+    let mut out: Vec<LocalQuery> = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        let duplicate = out.iter().any(|existing| {
+            existing.database == c.database && existing.statement == c.statement
+        });
+        if !duplicate {
+            out.push(c);
+        }
+    }
+    if out.is_empty() {
+        return Err(MdbsError::NotPertinent(
+            "no database in scope exports the referenced objects".into(),
+        ));
+    }
+    // One subquery per database for modifications.
+    for (i, a) in out.iter().enumerate() {
+        if !is_modification(&a.statement) {
+            continue;
+        }
+        for b in &out[i + 1..] {
+            if a.database == b.database {
+                return Err(MdbsError::NotPertinent(format!(
+                    "ambiguous substitution: database `{}` received two modification \
+                     subqueries ({} / {})",
+                    a.database,
+                    print(&a.statement),
+                    print(&b.statement),
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msql_lang::parse_statement;
+
+    fn local(db: &str, sql: &str) -> LocalQuery {
+        LocalQuery {
+            database: db.to_string(),
+            key: db.to_string(),
+            vital: false,
+            statement: parse_statement(sql).unwrap(),
+        }
+    }
+
+    #[test]
+    fn dedups_identical_candidates() {
+        let out = disambiguate(vec![
+            local("avis", "SELECT code FROM cars"),
+            local("avis", "SELECT code FROM cars"),
+            local("national", "SELECT vcode FROM vehicle"),
+        ])
+        .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_result_is_an_error() {
+        assert!(matches!(
+            disambiguate(Vec::new()),
+            Err(MdbsError::NotPertinent(_))
+        ));
+    }
+
+    #[test]
+    fn two_selects_per_db_are_allowed() {
+        let out = disambiguate(vec![
+            local("avis", "SELECT code FROM cars"),
+            local("avis", "SELECT rate FROM cars"),
+        ])
+        .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn two_updates_per_db_are_rejected() {
+        let err = disambiguate(vec![
+            local("avis", "UPDATE cars SET rate = 1"),
+            local("avis", "UPDATE cars SET rate = 2"),
+        ]);
+        assert!(matches!(err, Err(MdbsError::NotPertinent(_))));
+    }
+}

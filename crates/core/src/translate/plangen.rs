@@ -1,0 +1,631 @@
+//! DOL plan generation (paper §4.3, phase 4).
+//!
+//! Turns disambiguated local queries into DOL programs:
+//!
+//! * **retrieval plans** — one autocommit task per database, results
+//!   collected by the engine into a multitable;
+//! * **update plans** — the §3.2 vital-set semantics: vital subqueries on
+//!   2PC services run `NOCOMMIT` and are committed only when *all* vital
+//!   subqueries succeeded, otherwise all are rolled back; vital subqueries
+//!   on autocommit-only services require a COMP clause (§3.3) and are
+//!   compensated on the abort path; non-vital subqueries autocommit and
+//!   never affect the outcome;
+//! * **multitransaction plans** — the §3.4 acceptable-termination-state
+//!   machinery: all subqueries execute (prepared where possible), then the
+//!   states are tested in preference order; the first reachable one is
+//!   installed by committing its members and aborting/compensating
+//!   everything else.
+//!
+//! `DOLSTATUS` conventions: `0` = success (for multitransactions: the
+//! preferred state), `1..` = index of the achieved acceptable state,
+//! [`MTX_FAILED`] = no acceptable state reachable, `1` = vital update
+//! aborted.
+
+use crate::error::MdbsError;
+use crate::translate::expand::LocalQuery;
+use dol::{DolCond, DolProgram, DolStmt, TaskDef, TaskStatus};
+use msql_lang::printer::print;
+use std::collections::HashMap;
+
+/// DOLSTATUS for a failed multitransaction (no acceptable state reachable).
+pub const MTX_FAILED: i32 = 99;
+
+/// Where a database lives and what its service can do — derived from the
+/// GDD (service) and the Auxiliary Directory (site, commit mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbRoute {
+    /// Database name.
+    pub database: String,
+    /// Network site of its LAM.
+    pub site: String,
+    /// Whether the service offers a prepared-to-commit state for DML.
+    pub supports_2pc: bool,
+}
+
+/// One task of a generated plan, with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanTask {
+    /// DOL task name.
+    pub task: String,
+    /// Target database.
+    pub database: String,
+    /// Scope key (alias or database name).
+    pub key: String,
+    /// VITAL designation.
+    pub vital: bool,
+    /// True when the task carries a compensation block.
+    pub compensated: bool,
+}
+
+/// A generated DOL program plus task provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedPlan {
+    /// The program.
+    pub program: DolProgram,
+    /// Task metadata in task order.
+    pub tasks: Vec<PlanTask>,
+}
+
+fn route_for<'r>(
+    routes: &'r HashMap<String, DbRoute>,
+    database: &str,
+) -> Result<&'r DbRoute, MdbsError> {
+    routes.get(database).ok_or_else(|| {
+        MdbsError::Catalog(format!("no route (service/site) known for database `{database}`"))
+    })
+}
+
+fn open_statements(
+    locals: &[&LocalQuery],
+    routes: &HashMap<String, DbRoute>,
+) -> Result<(Vec<DolStmt>, Vec<String>), MdbsError> {
+    let mut opens = Vec::new();
+    let mut aliases = Vec::new();
+    for l in locals {
+        if aliases.contains(&l.key) {
+            continue;
+        }
+        let route = route_for(routes, &l.database)?;
+        opens.push(DolStmt::Open {
+            service: l.database.clone(),
+            site: route.site.clone(),
+            alias: l.key.clone(),
+        });
+        aliases.push(l.key.clone());
+    }
+    Ok((opens, aliases))
+}
+
+/// Generates a retrieval plan: one autocommit task per local query.
+pub fn retrieval_plan(
+    locals: &[LocalQuery],
+    routes: &HashMap<String, DbRoute>,
+) -> Result<GeneratedPlan, MdbsError> {
+    let refs: Vec<&LocalQuery> = locals.iter().collect();
+    let (mut statements, aliases) = open_statements(&refs, routes)?;
+    let mut tasks = Vec::new();
+    for (i, l) in locals.iter().enumerate() {
+        let name = format!("Q{}", i + 1);
+        statements.push(DolStmt::Task(TaskDef {
+            name: name.clone(),
+            service: l.key.clone(),
+            nocommit: false,
+            commands: vec![print(&l.statement)],
+            compensation: Vec::new(),
+        }));
+        tasks.push(PlanTask {
+            task: name,
+            database: l.database.clone(),
+            key: l.key.clone(),
+            vital: l.vital,
+            compensated: false,
+        });
+    }
+    statements.push(DolStmt::SetStatus(0));
+    statements.push(DolStmt::Close { aliases });
+    Ok(GeneratedPlan { program: DolProgram { statements }, tasks })
+}
+
+/// Generates the §3.2/§3.3 vital-update plan.
+///
+/// `comps` maps scope keys to compensating SQL commands (from COMP clauses).
+pub fn update_plan(
+    locals: &[LocalQuery],
+    comps: &HashMap<String, Vec<String>>,
+    routes: &HashMap<String, DbRoute>,
+) -> Result<GeneratedPlan, MdbsError> {
+    let refs: Vec<&LocalQuery> = locals.iter().collect();
+    let (mut statements, aliases) = open_statements(&refs, routes)?;
+    let mut tasks = Vec::new();
+    // Vital tasks that run prepared (2PC) vs. compensated (autocommit-only).
+    let mut prepared_vitals: Vec<String> = Vec::new();
+    let mut compensated_vitals: Vec<String> = Vec::new();
+
+    for (i, l) in locals.iter().enumerate() {
+        let name = format!("T{}", i + 1);
+        let route = route_for(routes, &l.database)?;
+        let compensation = comps.get(&l.key).cloned().unwrap_or_default();
+        let nocommit = l.vital && route.supports_2pc;
+        if l.vital && !route.supports_2pc {
+            if compensation.is_empty() {
+                // §3.3: "our prototype MDBS raises an error condition and
+                // refuses to process the query".
+                return Err(MdbsError::VitalWithoutCompensation { database: l.key.clone() });
+            }
+            compensated_vitals.push(name.clone());
+        } else if l.vital {
+            prepared_vitals.push(name.clone());
+        }
+        statements.push(DolStmt::Task(TaskDef {
+            name: name.clone(),
+            service: l.key.clone(),
+            nocommit,
+            commands: vec![print(&l.statement)],
+            compensation: compensation.clone(),
+        }));
+        tasks.push(PlanTask {
+            task: name,
+            database: l.database.clone(),
+            key: l.key.clone(),
+            vital: l.vital,
+            compensated: !compensation.is_empty(),
+        });
+    }
+
+    if prepared_vitals.is_empty() && compensated_vitals.is_empty() {
+        // "If all subqueries are NON VITAL the multiple query is always
+        // successful."
+        statements.push(DolStmt::SetStatus(0));
+    } else {
+        let mut cond: Option<DolCond> = None;
+        for t in &prepared_vitals {
+            let c = DolCond::StatusEq { task: t.clone(), status: TaskStatus::Prepared };
+            cond = Some(match cond {
+                Some(acc) => DolCond::And(Box::new(acc), Box::new(c)),
+                None => c,
+            });
+        }
+        for t in &compensated_vitals {
+            let c = DolCond::StatusEq { task: t.clone(), status: TaskStatus::Committed };
+            cond = Some(match cond {
+                Some(acc) => DolCond::And(Box::new(acc), Box::new(c)),
+                None => c,
+            });
+        }
+        let mut then_branch = Vec::new();
+        if !prepared_vitals.is_empty() {
+            then_branch.push(DolStmt::Commit { tasks: prepared_vitals.clone() });
+        }
+        then_branch.push(DolStmt::SetStatus(0));
+        let mut else_branch = Vec::new();
+        if !prepared_vitals.is_empty() {
+            // ABORT is a no-op for tasks that already aborted locally.
+            else_branch.push(DolStmt::Abort { tasks: prepared_vitals.clone() });
+        }
+        for t in &compensated_vitals {
+            // Compensate only the ones that actually committed.
+            else_branch.push(DolStmt::If {
+                cond: DolCond::StatusEq { task: t.clone(), status: TaskStatus::Committed },
+                then_branch: vec![DolStmt::Compensate { task: t.clone() }],
+                else_branch: Vec::new(),
+            });
+        }
+        else_branch.push(DolStmt::SetStatus(1));
+        statements.push(DolStmt::If {
+            cond: cond.expect("vital set non-empty"),
+            then_branch,
+            else_branch,
+        });
+    }
+    statements.push(DolStmt::Close { aliases });
+    Ok(GeneratedPlan { program: DolProgram { statements }, tasks })
+}
+
+/// One component query of a multitransaction, ready for planning.
+#[derive(Debug, Clone)]
+pub struct MtxQueryPlan {
+    /// The disambiguated local queries of this component.
+    pub locals: Vec<LocalQuery>,
+    /// COMP clauses of this component, keyed by scope key.
+    pub comps: HashMap<String, Vec<String>>,
+}
+
+/// Generates the §3.4 multitransaction plan.
+///
+/// `states` lists the acceptable termination states in preference order,
+/// each a conjunction of scope keys. Task names are the scope keys
+/// themselves (the paper refers to subqueries by database name/alias).
+pub fn multitransaction_plan(
+    queries: &[MtxQueryPlan],
+    states: &[Vec<String>],
+    routes: &HashMap<String, DbRoute>,
+) -> Result<GeneratedPlan, MdbsError> {
+    // Flatten and check key uniqueness ("The aliasing mechanism in the USE
+    // statement allows database names to be unique inside a
+    // multitransaction specification").
+    let mut all: Vec<(&LocalQuery, &HashMap<String, Vec<String>>)> = Vec::new();
+    for q in queries {
+        for l in &q.locals {
+            if all.iter().any(|(existing, _)| existing.key == l.key) {
+                return Err(MdbsError::Mtx(format!(
+                    "scope key `{}` is used by two subqueries; alias the databases so keys \
+                     are unique inside the multitransaction",
+                    l.key
+                )));
+            }
+            all.push((l, &q.comps));
+        }
+    }
+    if all.is_empty() {
+        return Err(MdbsError::Mtx("multitransaction has no pertinent subqueries".into()));
+    }
+
+    // Validate acceptable states.
+    for state in states {
+        if state.is_empty() {
+            return Err(MdbsError::Mtx("empty acceptable state".into()));
+        }
+        for member in state {
+            if !all.iter().any(|(l, _)| &l.key == member) {
+                return Err(MdbsError::Mtx(format!(
+                    "acceptable state references `{member}`, which is not a subquery of this \
+                     multitransaction"
+                )));
+            }
+        }
+    }
+
+    let refs: Vec<&LocalQuery> = all.iter().map(|(l, _)| *l).collect();
+    let (mut statements, aliases) = open_statements(&refs, routes)?;
+    let mut tasks = Vec::new();
+    for (l, comps) in &all {
+        let route = route_for(routes, &l.database)?;
+        let compensation = comps.get(&l.key).cloned().unwrap_or_default();
+        let nocommit = route.supports_2pc;
+        if !route.supports_2pc && compensation.is_empty() {
+            // §3.4: "If some of the accessed databases do not support 2PC,
+            // compensation must be specified for all subqueries that are
+            // executed on those databases."
+            return Err(MdbsError::Mtx(format!(
+                "database `{}` supports automatic commit only; its subquery needs a COMP clause",
+                l.key
+            )));
+        }
+        statements.push(DolStmt::Task(TaskDef {
+            name: l.key.clone(),
+            service: l.key.clone(),
+            nocommit,
+            commands: vec![print(&l.statement)],
+            compensation: compensation.clone(),
+        }));
+        tasks.push(PlanTask {
+            task: l.key.clone(),
+            database: l.database.clone(),
+            key: l.key.clone(),
+            vital: true, // every subquery matters to state selection
+            compensated: !compensation.is_empty(),
+        });
+    }
+
+    // Nested IF chain over acceptable states, in preference order.
+    let all_keys: Vec<String> = all.iter().map(|(l, _)| l.key.clone()).collect();
+    let comp_map: HashMap<String, bool> = all
+        .iter()
+        .map(|(l, comps)| (l.key.clone(), comps.get(&l.key).map(|c| !c.is_empty()).unwrap_or(false)))
+        .collect();
+
+    // Failure branch: undo everything.
+    let mut chain = settle_branch(&all_keys, &[], &comp_map);
+    chain.push(DolStmt::SetStatus(MTX_FAILED));
+
+    for (idx, state) in states.iter().enumerate().rev() {
+        let mut cond: Option<DolCond> = None;
+        for member in state {
+            // Reachable when the member prepared (2PC) or already committed
+            // (autocommit + COMP).
+            let c = DolCond::Or(
+                Box::new(DolCond::StatusEq {
+                    task: member.clone(),
+                    status: TaskStatus::Prepared,
+                }),
+                Box::new(DolCond::StatusEq {
+                    task: member.clone(),
+                    status: TaskStatus::Committed,
+                }),
+            );
+            cond = Some(match cond {
+                Some(acc) => DolCond::And(Box::new(acc), Box::new(c)),
+                None => c,
+            });
+        }
+        let mut branch = settle_branch(&all_keys, state, &comp_map);
+        branch.push(DolStmt::SetStatus(idx as i32));
+        chain = vec![DolStmt::If {
+            cond: cond.expect("state non-empty"),
+            then_branch: branch,
+            else_branch: chain,
+        }];
+    }
+    statements.extend(chain);
+    statements.push(DolStmt::Close { aliases });
+    Ok(GeneratedPlan { program: DolProgram { statements }, tasks })
+}
+
+/// Statements that install one termination state: commit the members,
+/// abort/compensate every other subquery.
+fn settle_branch(
+    all_keys: &[String],
+    members: &[String],
+    comp_map: &HashMap<String, bool>,
+) -> Vec<DolStmt> {
+    let mut out = Vec::new();
+    for key in all_keys {
+        if members.contains(key) {
+            // A prepared member commits; an autocommitted member is already
+            // C and COMMIT is idempotent there.
+            out.push(DolStmt::If {
+                cond: DolCond::StatusEq { task: key.clone(), status: TaskStatus::Prepared },
+                then_branch: vec![DolStmt::Commit { tasks: vec![key.clone()] }],
+                else_branch: Vec::new(),
+            });
+        } else {
+            out.push(DolStmt::If {
+                cond: DolCond::StatusEq { task: key.clone(), status: TaskStatus::Prepared },
+                then_branch: vec![DolStmt::Abort { tasks: vec![key.clone()] }],
+                else_branch: Vec::new(),
+            });
+            if comp_map.get(key).copied().unwrap_or(false) {
+                out.push(DolStmt::If {
+                    cond: DolCond::StatusEq { task: key.clone(), status: TaskStatus::Committed },
+                    then_branch: vec![DolStmt::Compensate { task: key.clone() }],
+                    else_branch: Vec::new(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol::print_program;
+    use msql_lang::parse_statement;
+
+    fn local(db: &str, key: &str, vital: bool, sql: &str) -> LocalQuery {
+        LocalQuery {
+            database: db.to_string(),
+            key: key.to_string(),
+            vital,
+            statement: parse_statement(sql).unwrap(),
+        }
+    }
+
+    fn routes(entries: &[(&str, bool)]) -> HashMap<String, DbRoute> {
+        entries
+            .iter()
+            .enumerate()
+            .map(|(i, (db, twopc))| {
+                (
+                    db.to_string(),
+                    DbRoute {
+                        database: db.to_string(),
+                        site: format!("site{}", i + 1),
+                        supports_2pc: *twopc,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn paper_locals() -> Vec<LocalQuery> {
+        vec![
+            local(
+                "continental",
+                "continental",
+                true,
+                "UPDATE flights SET rate = rate * 1.1 WHERE source = 'Houston' AND destination = 'San Antonio'",
+            ),
+            local(
+                "delta",
+                "delta",
+                false,
+                "UPDATE flight SET rate = rate * 1.1 WHERE source = 'Houston' AND dest = 'San Antonio'",
+            ),
+            local(
+                "united",
+                "united",
+                true,
+                "UPDATE flight SET rates = rates * 1.1 WHERE sour = 'Houston' AND dest = 'San Antonio'",
+            ),
+        ]
+    }
+
+    #[test]
+    fn paper_update_plan_shape() {
+        // The §4.3 golden program: T1/T3 NOCOMMIT, T2 plain, IF (T1=P) AND
+        // (T3=P) THEN COMMIT/0 ELSE ABORT/1, CLOSE.
+        let plan = update_plan(
+            &paper_locals(),
+            &HashMap::new(),
+            &routes(&[("continental", true), ("delta", true), ("united", true)]),
+        )
+        .unwrap();
+        let text = print_program(&plan.program);
+        assert!(text.contains("OPEN continental AT site1 AS continental;"), "{text}");
+        assert!(text.contains("TASK T1 NOCOMMIT FOR continental"), "{text}");
+        assert!(text.contains("TASK T2 FOR delta"), "{text}");
+        assert!(!text.contains("TASK T2 NOCOMMIT"), "{text}");
+        assert!(text.contains("TASK T3 NOCOMMIT FOR united"), "{text}");
+        assert!(text.contains("IF (T1=P) AND (T3=P) THEN"), "{text}");
+        assert!(text.contains("COMMIT T1, T3;"), "{text}");
+        assert!(text.contains("DOLSTATUS=0;"), "{text}");
+        assert!(text.contains("ABORT T1, T3;"), "{text}");
+        assert!(text.contains("DOLSTATUS=1;"), "{text}");
+        assert!(text.contains("CLOSE continental delta united;"), "{text}");
+        // And it reparses.
+        assert!(dol::parse_program(&text).is_ok());
+    }
+
+    #[test]
+    fn vital_on_autocommit_service_requires_comp() {
+        let err = update_plan(
+            &paper_locals(),
+            &HashMap::new(),
+            &routes(&[("continental", false), ("delta", true), ("united", true)]),
+        );
+        assert!(matches!(err, Err(MdbsError::VitalWithoutCompensation { .. })));
+    }
+
+    #[test]
+    fn comp_clause_enables_vital_on_autocommit_service() {
+        let mut comps = HashMap::new();
+        comps.insert(
+            "continental".to_string(),
+            vec!["UPDATE flights SET rate = rate / 1.1 WHERE source = 'Houston' AND destination = 'San Antonio'".to_string()],
+        );
+        let plan = update_plan(
+            &paper_locals(),
+            &comps,
+            &routes(&[("continental", false), ("delta", true), ("united", true)]),
+        )
+        .unwrap();
+        let text = print_program(&plan.program);
+        // Continental runs autocommit with a COMP block.
+        assert!(text.contains("TASK T1 FOR continental"), "{text}");
+        assert!(text.contains("rate / 1.1"), "{text}");
+        // Success now requires T1 committed and T3 prepared.
+        assert!(text.contains("IF (T3=P) AND (T1=C) THEN"), "{text}");
+        // The abort path compensates T1 only if it committed.
+        assert!(text.contains("IF (T1=C) THEN"), "{text}");
+        assert!(text.contains("COMPENSATE T1;"), "{text}");
+        assert!(dol::parse_program(&text).is_ok());
+    }
+
+    #[test]
+    fn all_non_vital_is_always_successful() {
+        let locals = vec![
+            local("delta", "delta", false, "UPDATE flight SET rate = 1"),
+            local("united", "united", false, "UPDATE flight SET rates = 1"),
+        ];
+        let plan = update_plan(&locals, &HashMap::new(), &routes(&[("delta", true), ("united", true)])).unwrap();
+        let text = print_program(&plan.program);
+        assert!(!text.contains("IF"), "{text}");
+        assert!(text.contains("DOLSTATUS=0;"), "{text}");
+    }
+
+    #[test]
+    fn retrieval_plan_uses_autocommit_tasks() {
+        let locals = vec![
+            local("avis", "avis", false, "SELECT code FROM cars"),
+            local("national", "national", false, "SELECT vcode FROM vehicle"),
+        ];
+        let plan =
+            retrieval_plan(&locals, &routes(&[("avis", true), ("national", false)])).unwrap();
+        let text = print_program(&plan.program);
+        assert!(text.contains("TASK Q1 FOR avis"), "{text}");
+        assert!(text.contains("TASK Q2 FOR national"), "{text}");
+        assert!(!text.contains("NOCOMMIT"), "{text}");
+        assert_eq!(plan.tasks.len(), 2);
+    }
+
+    #[test]
+    fn missing_route_is_a_catalog_error() {
+        let locals = vec![local("ghost", "ghost", false, "SELECT x FROM t")];
+        assert!(matches!(
+            retrieval_plan(&locals, &HashMap::new()),
+            Err(MdbsError::Catalog(_))
+        ));
+    }
+
+    fn travel_agent_queries() -> Vec<MtxQueryPlan> {
+        vec![
+            MtxQueryPlan {
+                locals: vec![
+                    local("continental", "continental", false,
+                        "UPDATE f838 SET seatstatus = 'TAKEN' WHERE seatnu = 1"),
+                    local("delta", "delta", false,
+                        "UPDATE f747 SET sstat = 'TAKEN' WHERE snu = 1"),
+                ],
+                comps: HashMap::new(),
+            },
+            MtxQueryPlan {
+                locals: vec![
+                    local("avis", "avis", false, "UPDATE cars SET carst = 'TAKEN' WHERE code = 1"),
+                    local("national", "national", false,
+                        "UPDATE vehicle SET vstat = 'TAKEN' WHERE vcode = 1"),
+                ],
+                comps: HashMap::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn multitransaction_plan_tests_states_in_order() {
+        let plan = multitransaction_plan(
+            &travel_agent_queries(),
+            &[
+                vec!["continental".into(), "national".into()],
+                vec!["delta".into(), "avis".into()],
+            ],
+            &routes(&[
+                ("continental", true),
+                ("delta", true),
+                ("avis", true),
+                ("national", true),
+            ]),
+        )
+        .unwrap();
+        let text = print_program(&plan.program);
+        // All four subqueries run NOCOMMIT.
+        for key in ["continental", "delta", "avis", "national"] {
+            assert!(text.contains(&format!("TASK {key} NOCOMMIT FOR {key}")), "{text}");
+        }
+        // Preferred state first.
+        let first = text.find("((continental=P) OR (continental=C)) AND ((national=P) OR (national=C))").unwrap();
+        let second = text.find("((delta=P) OR (delta=C)) AND ((avis=P) OR (avis=C))").unwrap();
+        assert!(first < second, "{text}");
+        // Preferred branch sets DOLSTATUS=0, alternative 1, failure 99.
+        assert!(text.contains("DOLSTATUS=0;"), "{text}");
+        assert!(text.contains("DOLSTATUS=1;"), "{text}");
+        assert!(text.contains(&format!("DOLSTATUS={MTX_FAILED};")), "{text}");
+        assert!(dol::parse_program(&text).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_across_queries_rejected() {
+        let mut queries = travel_agent_queries();
+        queries[1].locals[0].key = "continental".into();
+        let err = multitransaction_plan(
+            &queries,
+            &[vec!["continental".into()]],
+            &routes(&[("continental", true), ("delta", true), ("avis", true), ("national", true)]),
+        );
+        assert!(matches!(err, Err(MdbsError::Mtx(_))));
+    }
+
+    #[test]
+    fn state_referencing_unknown_key_rejected() {
+        let err = multitransaction_plan(
+            &travel_agent_queries(),
+            &[vec!["hertz".into()]],
+            &routes(&[("continental", true), ("delta", true), ("avis", true), ("national", true)]),
+        );
+        assert!(matches!(err, Err(MdbsError::Mtx(_))));
+    }
+
+    #[test]
+    fn non_2pc_subquery_needs_comp_in_multitransaction() {
+        let err = multitransaction_plan(
+            &travel_agent_queries(),
+            &[vec!["continental".into(), "national".into()]],
+            &routes(&[
+                ("continental", false),
+                ("delta", true),
+                ("avis", true),
+                ("national", true),
+            ]),
+        );
+        assert!(matches!(err, Err(MdbsError::Mtx(_))));
+    }
+}

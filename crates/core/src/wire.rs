@@ -1,0 +1,399 @@
+//! Text wire format for values, result sets and exported schemas.
+//!
+//! The paper's components exchange "messages, data and command files"; this
+//! module defines the line-oriented text encodings used between the engine
+//! and the LAMs:
+//!
+//! * result sets (partial query results shipped to the coordinator and final
+//!   results returned to the user);
+//! * Local Conceptual Schemas (answering `SCHEMA` requests for IMPORT).
+//!
+//! Encodings are escaped so arbitrary strings (including `|`, newlines and
+//! backslashes) survive a round trip; every encoder has a matching decoder
+//! and the pair is covered by tests.
+
+use crate::error::MdbsError;
+use catalog::{GddColumn, GddTable};
+use ldbs::engine::{ColumnMeta, ResultSet};
+use ldbs::value::{DataType, Value};
+use msql_lang::TypeName;
+
+// ----------------------------------------------------------------- escaping
+
+/// Escapes `\`, `|` and newlines.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\p"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+pub fn unescape(s: &str) -> Result<String, MdbsError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('p') => out.push('|'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(MdbsError::Wire(format!("bad escape sequence `\\{other:?}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------------- values
+
+/// Encodes one value.
+pub fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "N".to_string(),
+        Value::Int(i) => format!("I:{i}"),
+        Value::Float(f) => format!("F:{f:?}"),
+        Value::Str(s) => format!("S:{}", escape(s)),
+        Value::Bool(b) => format!("B:{}", u8::from(*b)),
+    }
+}
+
+/// Decodes one value.
+pub fn decode_value(s: &str) -> Result<Value, MdbsError> {
+    if s == "N" {
+        return Ok(Value::Null);
+    }
+    let (tag, rest) = s
+        .split_once(':')
+        .ok_or_else(|| MdbsError::Wire(format!("bad value encoding `{s}`")))?;
+    match tag {
+        "I" => rest
+            .parse()
+            .map(Value::Int)
+            .map_err(|_| MdbsError::Wire(format!("bad int `{rest}`"))),
+        "F" => rest
+            .parse()
+            .map(Value::Float)
+            .map_err(|_| MdbsError::Wire(format!("bad float `{rest}`"))),
+        "S" => Ok(Value::Str(unescape(rest)?)),
+        "B" => match rest {
+            "0" => Ok(Value::Bool(false)),
+            "1" => Ok(Value::Bool(true)),
+            _ => Err(MdbsError::Wire(format!("bad bool `{rest}`"))),
+        },
+        _ => Err(MdbsError::Wire(format!("unknown value tag `{tag}`"))),
+    }
+}
+
+// -------------------------------------------------------------- data types
+
+/// Encodes a data type.
+pub fn encode_type(t: DataType) -> String {
+    match t {
+        DataType::Int => "int".to_string(),
+        DataType::Float => "float".to_string(),
+        DataType::Char(w) => format!("char({w})"),
+        DataType::Bool => "bool".to_string(),
+        DataType::Date => "date".to_string(),
+    }
+}
+
+/// Decodes a data type.
+pub fn decode_type(s: &str) -> Result<DataType, MdbsError> {
+    match s {
+        "int" => Ok(DataType::Int),
+        "float" => Ok(DataType::Float),
+        "bool" => Ok(DataType::Bool),
+        "date" => Ok(DataType::Date),
+        other => {
+            if let Some(w) = other.strip_prefix("char(").and_then(|r| r.strip_suffix(')')) {
+                let width: u32 = w
+                    .parse()
+                    .map_err(|_| MdbsError::Wire(format!("bad char width `{w}`")))?;
+                return Ok(DataType::Char(width));
+            }
+            Err(MdbsError::Wire(format!("unknown type `{other}`")))
+        }
+    }
+}
+
+// ------------------------------------------------------------- result sets
+
+/// Serializes a result set.
+///
+/// ```text
+/// COLS name:type|name:type
+/// R v|v|v
+/// R v|v|v
+/// ```
+pub fn encode_result_set(rs: &ResultSet) -> String {
+    let mut out = String::from("COLS ");
+    let cols: Vec<String> = rs
+        .columns
+        .iter()
+        .map(|c| format!("{}:{}", escape(&c.name), encode_type(c.data_type)))
+        .collect();
+    out.push_str(&cols.join("|"));
+    out.push('\n');
+    for row in &rs.rows {
+        out.push_str("R ");
+        let vals: Vec<String> = row.iter().map(encode_value).collect();
+        out.push_str(&vals.join("|"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits an encoded record on unescaped `|`.
+fn split_fields(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut escaped = false;
+    for c in line.chars() {
+        if escaped {
+            current.push('\\');
+            current.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '|' {
+            fields.push(std::mem::take(&mut current));
+        } else {
+            current.push(c);
+        }
+    }
+    if escaped {
+        current.push('\\');
+    }
+    fields.push(current);
+    fields
+}
+
+/// Deserializes a result set.
+pub fn decode_result_set(text: &str) -> Result<ResultSet, MdbsError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| MdbsError::Wire("empty result set payload".into()))?;
+    let cols_text = header
+        .strip_prefix("COLS ")
+        .or_else(|| (header == "COLS").then_some(""))
+        .ok_or_else(|| MdbsError::Wire(format!("bad result header `{header}`")))?;
+    let mut columns = Vec::new();
+    if !cols_text.is_empty() {
+        for field in split_fields(cols_text) {
+            let (name, ty) = field
+                .rsplit_once(':')
+                .ok_or_else(|| MdbsError::Wire(format!("bad column `{field}`")))?;
+            columns.push(ColumnMeta { name: unescape(name)?, data_type: decode_type(ty)? });
+        }
+    }
+    let mut rows = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let row_text = line
+            .strip_prefix("R ")
+            .or_else(|| (line == "R").then_some(""))
+            .ok_or_else(|| MdbsError::Wire(format!("bad row line `{line}`")))?;
+        let mut row = Vec::new();
+        if !row_text.is_empty() {
+            for field in split_fields(row_text) {
+                row.push(decode_value(&field)?);
+            }
+        }
+        if row.len() != columns.len() {
+            return Err(MdbsError::Wire(format!(
+                "row has {} values for {} columns",
+                row.len(),
+                columns.len()
+            )));
+        }
+        rows.push(row);
+    }
+    Ok(ResultSet { columns, rows })
+}
+
+// ------------------------------------------------------------------ schemas
+
+fn encode_type_name(t: TypeName) -> String {
+    match t {
+        TypeName::Int => "int".to_string(),
+        TypeName::Float => "float".to_string(),
+        TypeName::Char(w) => format!("char({w})"),
+        TypeName::Bool => "bool".to_string(),
+        TypeName::Date => "date".to_string(),
+    }
+}
+
+fn decode_type_name(s: &str) -> Result<TypeName, MdbsError> {
+    Ok(match decode_type(s)? {
+        DataType::Int => TypeName::Int,
+        DataType::Float => TypeName::Float,
+        DataType::Char(w) => TypeName::Char(w),
+        DataType::Bool => TypeName::Bool,
+        DataType::Date => TypeName::Date,
+    })
+}
+
+/// Serializes a Local Conceptual Schema (the answer to a `SCHEMA` request).
+///
+/// ```text
+/// TABLE cars code:int|cartype:char(16)
+/// VIEW available code:int
+/// ```
+pub fn encode_schema(tables: &[GddTable]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        out.push_str(if t.is_view { "VIEW " } else { "TABLE " });
+        out.push_str(&escape(&t.name));
+        out.push(' ');
+        let cols: Vec<String> = t
+            .columns
+            .iter()
+            .map(|c| format!("{}:{}", escape(&c.name), encode_type_name(c.type_name)))
+            .collect();
+        out.push_str(&cols.join("|"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Deserializes a Local Conceptual Schema.
+pub fn decode_schema(text: &str) -> Result<Vec<GddTable>, MdbsError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let (is_view, rest) = if let Some(r) = line.strip_prefix("TABLE ") {
+            (false, r)
+        } else if let Some(r) = line.strip_prefix("VIEW ") {
+            (true, r)
+        } else {
+            return Err(MdbsError::Wire(format!("bad schema line `{line}`")));
+        };
+        let (name, cols_text) = rest
+            .split_once(' ')
+            .ok_or_else(|| MdbsError::Wire(format!("bad schema line `{line}`")))?;
+        let mut columns = Vec::new();
+        for field in split_fields(cols_text) {
+            let (cname, ty) = field
+                .rsplit_once(':')
+                .ok_or_else(|| MdbsError::Wire(format!("bad schema column `{field}`")))?;
+            columns.push(GddColumn::new(unescape(cname)?, decode_type_name(ty)?));
+        }
+        let mut table = GddTable::new(unescape(name)?, columns);
+        table.is_view = is_view;
+        out.push(table);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(1.25),
+            Value::Float(1.0 / 3.0),
+            Value::Str("plain".into()),
+            Value::Str("pipes | and \\ slashes\nnewlines".into()),
+            Value::Str(String::new()),
+            Value::Bool(true),
+            Value::Bool(false),
+        ] {
+            let enc = encode_value(&v);
+            assert_eq!(decode_value(&enc).unwrap(), v, "encoded: {enc}");
+        }
+    }
+
+    #[test]
+    fn type_roundtrip() {
+        for t in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Char(0),
+            DataType::Char(255),
+            DataType::Bool,
+            DataType::Date,
+        ] {
+            assert_eq!(decode_type(&encode_type(t)).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn result_set_roundtrip() {
+        let rs = ResultSet {
+            columns: vec![
+                ColumnMeta { name: "code".into(), data_type: DataType::Int },
+                ColumnMeta { name: "weird|name".into(), data_type: DataType::Char(10) },
+            ],
+            rows: vec![
+                vec![Value::Int(1), Value::Str("a|b".into())],
+                vec![Value::Null, Value::Str("line\nbreak".into())],
+            ],
+        };
+        let enc = encode_result_set(&rs);
+        assert_eq!(decode_result_set(&enc).unwrap(), rs);
+    }
+
+    #[test]
+    fn empty_result_set_roundtrip() {
+        let rs = ResultSet { columns: vec![], rows: vec![] };
+        let enc = encode_result_set(&rs);
+        let back = decode_result_set(&enc).unwrap();
+        assert!(back.columns.is_empty() && back.rows.is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let bad = "COLS a:int|b:int\nR I:1\n";
+        assert!(matches!(decode_result_set(bad), Err(MdbsError::Wire(_))));
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let mut view = GddTable::new("avail", vec![GddColumn::new("code", TypeName::Int)]);
+        view.is_view = true;
+        let tables = vec![
+            GddTable::new(
+                "cars",
+                vec![
+                    GddColumn::new("code", TypeName::Int),
+                    GddColumn::new("cartype", TypeName::Char(16)),
+                    GddColumn::new("rate", TypeName::Float),
+                ],
+            ),
+            view,
+        ];
+        let enc = encode_schema(&tables);
+        assert_eq!(decode_schema(&enc).unwrap(), tables);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decode_value("X:1").is_err());
+        assert!(decode_value("I:notanint").is_err());
+        assert!(decode_result_set("nonsense").is_err());
+        assert!(decode_schema("GRBL x y").is_err());
+        assert!(decode_type("char(abc)").is_err());
+    }
+}

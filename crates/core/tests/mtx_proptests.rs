@@ -1,0 +1,116 @@
+//! Property tests for acceptable-termination-state evaluation (§3.4):
+//! the direct-rule oracle in `mdbs::mtx` is internally consistent and
+//! agrees with basic laws of the specification.
+
+use dol::TaskStatus;
+use mdbs::mtx::{is_consistent_outcome, reachable_state, realised_state};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn status_strategy() -> impl Strategy<Value = TaskStatus> {
+    prop_oneof![
+        Just(TaskStatus::Prepared),
+        Just(TaskStatus::Committed),
+        Just(TaskStatus::Aborted),
+        Just(TaskStatus::Error),
+        Just(TaskStatus::Compensated),
+    ]
+}
+
+const DBS: [&str; 4] = ["continental", "delta", "avis", "national"];
+
+fn statuses_strategy() -> impl Strategy<Value = HashMap<String, TaskStatus>> {
+    proptest::array::uniform4(status_strategy()).prop_map(|arr| {
+        DBS.iter().map(|d| d.to_string()).zip(arr).collect()
+    })
+}
+
+fn states_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    // 1–3 acceptable states, each a non-empty subset of the databases.
+    proptest::collection::vec(
+        proptest::collection::vec(prop::sample::select(DBS.to_vec()), 1..4).prop_map(|mut v| {
+            v.dedup();
+            v.into_iter().map(String::from).collect::<Vec<String>>()
+        }),
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reachable_state_is_the_first_matching_index(
+        states in states_strategy(),
+        statuses in statuses_strategy(),
+    ) {
+        if let Some(idx) = reachable_state(&states, &statuses) {
+            // Every member of the chosen state can commit.
+            for member in &states[idx] {
+                let s = statuses[member];
+                prop_assert!(matches!(s, TaskStatus::Prepared | TaskStatus::Committed));
+            }
+            // No earlier state is reachable.
+            for earlier in &states[..idx] {
+                let all = earlier.iter().all(|m| {
+                    matches!(statuses[m], TaskStatus::Prepared | TaskStatus::Committed)
+                });
+                prop_assert!(!all, "earlier state {earlier:?} was also reachable");
+            }
+        } else {
+            for state in &states {
+                let all = state.iter().all(|m| {
+                    matches!(statuses[m], TaskStatus::Prepared | TaskStatus::Committed)
+                });
+                prop_assert!(!all);
+            }
+        }
+    }
+
+    #[test]
+    fn realised_state_implies_consistency(
+        states in states_strategy(),
+        statuses in statuses_strategy(),
+    ) {
+        if realised_state(&states, &statuses).is_some() {
+            prop_assert!(is_consistent_outcome(&states, &statuses));
+        }
+    }
+
+    #[test]
+    fn all_undone_is_always_consistent(states in states_strategy()) {
+        let statuses: HashMap<String, TaskStatus> =
+            DBS.iter().map(|d| (d.to_string(), TaskStatus::Aborted)).collect();
+        prop_assert!(is_consistent_outcome(&states, &statuses));
+        prop_assert_eq!(realised_state(&states, &statuses), None);
+    }
+
+    #[test]
+    fn realising_a_state_requires_exact_exclusions(
+        states in states_strategy(),
+        statuses in statuses_strategy(),
+    ) {
+        if let Some(idx) = realised_state(&states, &statuses) {
+            // Members committed, non-members undone.
+            for (db, status) in &statuses {
+                if states[idx].contains(db) {
+                    prop_assert_eq!(*status, TaskStatus::Committed);
+                } else {
+                    prop_assert!(matches!(
+                        status,
+                        TaskStatus::Aborted | TaskStatus::Compensated | TaskStatus::Error
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_fully_prepared_execution_always_reaches_the_preferred_state(
+        states in states_strategy(),
+    ) {
+        let statuses: HashMap<String, TaskStatus> =
+            DBS.iter().map(|d| (d.to_string(), TaskStatus::Prepared)).collect();
+        prop_assert_eq!(reachable_state(&states, &statuses), Some(0));
+    }
+}

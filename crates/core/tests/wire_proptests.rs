@@ -1,0 +1,142 @@
+//! Property tests for the wire formats and the LAM protocol: every encoder
+//! must roundtrip through its decoder for arbitrary content (including
+//! pipes, newlines, backslashes and non-ASCII text).
+
+use catalog::{GddColumn, GddTable};
+use ldbs::engine::{ColumnMeta, ResultSet};
+use ldbs::value::{DataType, Value};
+use mdbs::proto::{Request, Response, TaskMode};
+use mdbs::wire;
+use msql_lang::TypeName;
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks equality, infinity never occurs in
+        // engine output (division by zero yields NULL).
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        ".*".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn type_strategy() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Int),
+        Just(DataType::Float),
+        (0u32..1000).prop_map(DataType::Char),
+        Just(DataType::Bool),
+        Just(DataType::Date),
+    ]
+}
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}".prop_map(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_roundtrip(v in value_strategy()) {
+        let enc = wire::encode_value(&v);
+        prop_assert_eq!(wire::decode_value(&enc).unwrap(), v);
+    }
+
+    #[test]
+    fn result_set_roundtrip(
+        names in proptest::collection::vec(ident_strategy(), 1..5),
+        types in proptest::collection::vec(type_strategy(), 1..5),
+        nrows in 0usize..8,
+        values in proptest::collection::vec(value_strategy(), 0..40),
+    ) {
+        let ncols = names.len().min(types.len());
+        let columns: Vec<ColumnMeta> = names
+            .iter()
+            .take(ncols)
+            .zip(types.iter().take(ncols))
+            .map(|(n, t)| ColumnMeta { name: n.clone(), data_type: *t })
+            .collect();
+        let mut rows = Vec::new();
+        let mut vi = 0;
+        for _ in 0..nrows {
+            let mut row = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                row.push(values.get(vi).cloned().unwrap_or(Value::Null));
+                vi += 1;
+            }
+            rows.push(row);
+        }
+        let rs = ResultSet { columns, rows };
+        let enc = wire::encode_result_set(&rs);
+        prop_assert_eq!(wire::decode_result_set(&enc).unwrap(), rs);
+    }
+
+    #[test]
+    fn schema_roundtrip(
+        tables in proptest::collection::vec(
+            (ident_strategy(), proptest::collection::vec(ident_strategy(), 1..5), any::<bool>()),
+            0..5,
+        )
+    ) {
+        let schema: Vec<GddTable> = tables
+            .into_iter()
+            .map(|(name, cols, is_view)| {
+                let mut seen = Vec::new();
+                let columns = cols
+                    .into_iter()
+                    .filter(|c| {
+                        if seen.contains(c) {
+                            false
+                        } else {
+                            seen.push(c.clone());
+                            true
+                        }
+                    })
+                    .map(|c| GddColumn::new(c, TypeName::Char(0)))
+                    .collect();
+                let mut t = GddTable::new(name, columns);
+                t.is_view = is_view;
+                t
+            })
+            .collect();
+        let enc = wire::encode_schema(&schema);
+        prop_assert_eq!(wire::decode_schema(&enc).unwrap(), schema);
+    }
+
+    #[test]
+    fn request_roundtrip(
+        name in ident_strategy(),
+        db in ident_strategy(),
+        nocommit in any::<bool>(),
+        commands in proptest::collection::vec(".{1,60}", 0..4),
+    ) {
+        // Commands may contain anything; blank-only commands are dropped by
+        // the line codec, so filter them like the translator would.
+        let commands: Vec<String> = commands
+            .into_iter()
+            .filter(|c: &String| !c.trim().is_empty() && !c.contains('\r'))
+            .collect();
+        let req = Request::Task {
+            name: name.clone(),
+            mode: if nocommit { TaskMode::NoCommit } else { TaskMode::Auto },
+            database: db,
+            commands,
+        };
+        let enc = req.encode();
+        prop_assert_eq!(Request::decode(&enc).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip(
+        status in prop::sample::select(vec!['P', 'C', 'A', 'E']),
+        affected in any::<u64>(),
+        error in proptest::option::of("[^\\r]{1,40}"),
+    ) {
+        let resp = Response::TaskDone { status, affected, payload: None, error };
+        let enc = resp.encode();
+        prop_assert_eq!(Response::decode(&enc).unwrap(), resp);
+    }
+}

@@ -1,0 +1,199 @@
+//! DOL abstract syntax.
+
+/// Observable status of a DOL task, matching the codes tested in the paper's
+/// §4.3 listing (`IF (T1=P) AND (T3=P) ...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskStatus {
+    /// Executed under NOCOMMIT and reached prepared-to-commit.
+    Prepared,
+    /// Executed and committed (autocommit tasks, or after phase 2).
+    Committed,
+    /// Aborted / rolled back.
+    Aborted,
+    /// Failed with an error before producing a vote.
+    Error,
+    /// Committed, then semantically undone by its compensating action.
+    Compensated,
+}
+
+impl TaskStatus {
+    /// One-letter code used in DOL conditions.
+    pub fn code(&self) -> char {
+        match self {
+            TaskStatus::Prepared => 'P',
+            TaskStatus::Committed => 'C',
+            TaskStatus::Aborted => 'A',
+            TaskStatus::Error => 'E',
+            TaskStatus::Compensated => 'K',
+        }
+    }
+
+    /// Parses a one-letter status code.
+    pub fn from_code(c: char) -> Option<TaskStatus> {
+        match c.to_ascii_uppercase() {
+            'P' => Some(TaskStatus::Prepared),
+            'C' => Some(TaskStatus::Committed),
+            'A' => Some(TaskStatus::Aborted),
+            'E' => Some(TaskStatus::Error),
+            'K' => Some(TaskStatus::Compensated),
+            _ => None,
+        }
+    }
+}
+
+/// A task definition: commands shipped to one service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDef {
+    /// Task name (`T1`).
+    pub name: String,
+    /// Service alias the task runs on (`FOR cont`).
+    pub service: String,
+    /// `NOCOMMIT`: run under 2PC and stop in the prepared state; otherwise
+    /// the task autocommits on success.
+    pub nocommit: bool,
+    /// SQL statements to execute, in order.
+    pub commands: Vec<String>,
+    /// Compensating statements (the §3.3 extension), executed by
+    /// `COMPENSATE <task>` after the task has committed.
+    pub compensation: Vec<String>,
+}
+
+/// A status condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DolCond {
+    /// `(T1 = P)`.
+    StatusEq {
+        /// Task name.
+        task: String,
+        /// Expected status.
+        status: TaskStatus,
+    },
+    /// Conjunction.
+    And(Box<DolCond>, Box<DolCond>),
+    /// Disjunction.
+    Or(Box<DolCond>, Box<DolCond>),
+    /// Negation.
+    Not(Box<DolCond>),
+}
+
+/// One DOL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DolStmt {
+    /// `OPEN <service> AT <site> AS <alias>;` — connect to a known service.
+    Open {
+        /// Service (database) name as known to the resource directory.
+        service: String,
+        /// Site where the service listens.
+        site: String,
+        /// Alias used by TASK/CLOSE statements.
+        alias: String,
+    },
+    /// `TASK ... ENDTASK;`
+    Task(TaskDef),
+    /// `IF <cond> THEN BEGIN ... END; [ELSE BEGIN ... END;]`
+    If {
+        /// The condition over task statuses.
+        cond: DolCond,
+        /// Statements executed when the condition holds.
+        then_branch: Vec<DolStmt>,
+        /// Statements executed otherwise.
+        else_branch: Vec<DolStmt>,
+    },
+    /// `COMMIT T1, T3;` — second commit phase for prepared tasks.
+    Commit {
+        /// The tasks to commit.
+        tasks: Vec<String>,
+    },
+    /// `ABORT T1, T3;` — roll prepared tasks back.
+    Abort {
+        /// The tasks to abort.
+        tasks: Vec<String>,
+    },
+    /// `COMPENSATE T1;` — run a committed task's compensating action
+    /// (the §3.3 extension).
+    Compensate {
+        /// The task to compensate.
+        task: String,
+    },
+    /// `DOLSTATUS = <n>;` — set the program's return code.
+    SetStatus(i32),
+    /// `CLOSE a b c;` — disconnect service aliases.
+    Close {
+        /// The aliases to close.
+        aliases: Vec<String>,
+    },
+}
+
+/// A full DOL program (`DOLBEGIN ... DOLEND`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DolProgram {
+    /// Top-level statements in order.
+    pub statements: Vec<DolStmt>,
+}
+
+impl DolProgram {
+    /// All task definitions (recursively, including branches), in program
+    /// order.
+    pub fn tasks(&self) -> Vec<&TaskDef> {
+        fn walk<'a>(stmts: &'a [DolStmt], out: &mut Vec<&'a TaskDef>) {
+            for s in stmts {
+                match s {
+                    DolStmt::Task(t) => out.push(t),
+                    DolStmt::If { then_branch, else_branch, .. } => {
+                        walk(then_branch, out);
+                        walk(else_branch, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.statements, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for s in [
+            TaskStatus::Prepared,
+            TaskStatus::Committed,
+            TaskStatus::Aborted,
+            TaskStatus::Error,
+            TaskStatus::Compensated,
+        ] {
+            assert_eq!(TaskStatus::from_code(s.code()), Some(s));
+        }
+        assert_eq!(TaskStatus::from_code('x'), None);
+        assert_eq!(TaskStatus::from_code('p'), Some(TaskStatus::Prepared));
+    }
+
+    #[test]
+    fn tasks_walks_branches() {
+        let t = |n: &str| {
+            DolStmt::Task(TaskDef {
+                name: n.into(),
+                service: "s".into(),
+                nocommit: false,
+                commands: vec![],
+                compensation: vec![],
+            })
+        };
+        let prog = DolProgram {
+            statements: vec![
+                t("T1"),
+                DolStmt::If {
+                    cond: DolCond::StatusEq { task: "T1".into(), status: TaskStatus::Prepared },
+                    then_branch: vec![t("T2")],
+                    else_branch: vec![t("T3")],
+                },
+            ],
+        };
+        let names: Vec<&str> = prog.tasks().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["T1", "T2", "T3"]);
+    }
+}

@@ -1,0 +1,687 @@
+//! The DOL execution engine.
+//!
+//! The engine plays the role of Narada's distributed engine (paper §4.1): it
+//! opens services through a [`ServiceFactory`], submits `TASK` blocks to
+//! them, records the status each task reaches (`P`/`C`/`A`/`E`), evaluates
+//! the status conditions of `IF` statements, and drives the second commit
+//! phase (`COMMIT`/`ABORT` task lists) and compensation.
+//!
+//! Consecutive `TASK` statements form a *batch*. In parallel mode (the
+//! default, matching the paper's emphasis on data-flow parallelism) a batch
+//! runs with one thread per service; in serial mode tasks run one after
+//! another — benchmark B7 measures the difference.
+
+use crate::ast::{DolCond, DolProgram, DolStmt, TaskDef, TaskStatus};
+use crate::error::DolError;
+use std::collections::HashMap;
+
+/// Result of running one task on a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskExecution {
+    /// The status the task reached.
+    pub status: TaskStatus,
+    /// Serialized partial result (for retrieval tasks), if any.
+    pub result: Option<String>,
+    /// Error description when the status is `Aborted`/`Error`.
+    pub error: Option<String>,
+}
+
+impl TaskExecution {
+    /// A successful prepared execution.
+    pub fn prepared() -> Self {
+        TaskExecution { status: TaskStatus::Prepared, result: None, error: None }
+    }
+
+    /// A successful committed execution.
+    pub fn committed(result: Option<String>) -> Self {
+        TaskExecution { status: TaskStatus::Committed, result, error: None }
+    }
+
+    /// A failed execution.
+    pub fn aborted(error: impl Into<String>) -> Self {
+        TaskExecution { status: TaskStatus::Aborted, result: None, error: Some(error.into()) }
+    }
+}
+
+/// A connected service a DOL program can drive. Implemented by the
+/// multidatabase layer's LAM client (over the simulated network) and by mock
+/// services in tests.
+pub trait DolService: Send {
+    /// Executes a task's commands. `nocommit` tasks must stop in the
+    /// prepared state; others autocommit. Failures are reported through the
+    /// returned status, not an `Err` — a local abort is a normal outcome for
+    /// the plan logic.
+    fn execute_task(&mut self, task: &TaskDef) -> TaskExecution;
+
+    /// Second commit phase for a prepared task.
+    fn commit_task(&mut self, task_name: &str) -> Result<(), DolError>;
+
+    /// Rolls a prepared task back.
+    fn abort_task(&mut self, task_name: &str) -> Result<(), DolError>;
+
+    /// Executes a committed task's compensating commands (autocommit).
+    fn compensate_task(&mut self, task: &TaskDef) -> Result<(), DolError>;
+
+    /// Releases the connection.
+    fn close(&mut self);
+}
+
+/// Connects service names (from `OPEN service AT site`) to live services.
+pub trait ServiceFactory {
+    /// Opens a connection to `service` at `site`.
+    fn connect(&self, service: &str, site: &str) -> Result<Box<dyn DolService>, DolError>;
+}
+
+/// Outcome of one DOL program run.
+#[derive(Debug, Clone, Default)]
+pub struct DolOutcome {
+    /// Final `DOLSTATUS` (0 = success by the paper's convention).
+    pub dolstatus: i32,
+    /// Status reached by every executed task.
+    pub task_statuses: HashMap<String, TaskStatus>,
+    /// Serialized partial results of retrieval tasks.
+    pub task_results: HashMap<String, String>,
+}
+
+impl DolOutcome {
+    /// Status of a task, if it ran.
+    pub fn status(&self, task: &str) -> Option<TaskStatus> {
+        self.task_statuses.get(task).copied()
+    }
+}
+
+/// The DOL engine.
+pub struct DolEngine<'f> {
+    factory: &'f dyn ServiceFactory,
+    /// Run task batches with one thread per service (default true).
+    pub parallel: bool,
+}
+
+struct RunState {
+    services: HashMap<String, Box<dyn DolService>>,
+    defs: HashMap<String, TaskDef>,
+    outcome: DolOutcome,
+}
+
+impl<'f> DolEngine<'f> {
+    /// Creates an engine over a service factory (parallel batches enabled).
+    pub fn new(factory: &'f dyn ServiceFactory) -> Self {
+        DolEngine { factory, parallel: true }
+    }
+
+    /// Creates an engine that executes task batches serially.
+    pub fn serial(factory: &'f dyn ServiceFactory) -> Self {
+        DolEngine { factory, parallel: false }
+    }
+
+    /// Executes a program to completion.
+    pub fn execute(&self, program: &DolProgram) -> Result<DolOutcome, DolError> {
+        let mut state = RunState {
+            services: HashMap::new(),
+            defs: HashMap::new(),
+            outcome: DolOutcome::default(),
+        };
+        self.run_block(&program.statements, &mut state)?;
+        // Drop any service still open.
+        for (_, mut svc) in state.services.drain() {
+            svc.close();
+        }
+        Ok(state.outcome)
+    }
+
+    fn run_block(&self, stmts: &[DolStmt], state: &mut RunState) -> Result<(), DolError> {
+        let mut i = 0;
+        while i < stmts.len() {
+            match &stmts[i] {
+                DolStmt::Task(_) => {
+                    // Collect the whole consecutive batch.
+                    let mut batch = Vec::new();
+                    while i < stmts.len() {
+                        if let DolStmt::Task(t) = &stmts[i] {
+                            batch.push(t.clone());
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.run_batch(batch, state)?;
+                }
+                other => {
+                    self.run_stmt(other, state)?;
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_stmt(&self, stmt: &DolStmt, state: &mut RunState) -> Result<(), DolError> {
+        match stmt {
+            DolStmt::Open { service, site, alias } => {
+                if state.services.contains_key(alias) {
+                    return Err(DolError::Duplicate(alias.clone()));
+                }
+                let svc = self.factory.connect(service, site)?;
+                state.services.insert(alias.clone(), svc);
+                Ok(())
+            }
+            DolStmt::Task(_) => unreachable!("tasks are batched in run_block"),
+            DolStmt::If { cond, then_branch, else_branch } => {
+                if eval_cond(cond, &state.outcome.task_statuses)? {
+                    self.run_block(then_branch, state)
+                } else {
+                    self.run_block(else_branch, state)
+                }
+            }
+            DolStmt::Commit { tasks } => {
+                for name in tasks {
+                    self.commit_task(name, state)?;
+                }
+                Ok(())
+            }
+            DolStmt::Abort { tasks } => {
+                for name in tasks {
+                    self.abort_task(name, state)?;
+                }
+                Ok(())
+            }
+            DolStmt::Compensate { task } => self.compensate_task(task, state),
+            DolStmt::SetStatus(code) => {
+                state.outcome.dolstatus = *code;
+                Ok(())
+            }
+            DolStmt::Close { aliases } => {
+                for alias in aliases {
+                    if let Some(mut svc) = state.services.remove(alias) {
+                        svc.close();
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn run_batch(&self, batch: Vec<TaskDef>, state: &mut RunState) -> Result<(), DolError> {
+        for (i, t) in batch.iter().enumerate() {
+            if state.defs.contains_key(&t.name)
+                || batch[..i].iter().any(|prev| prev.name == t.name)
+            {
+                return Err(DolError::Duplicate(t.name.clone()));
+            }
+            if !state.services.contains_key(&t.service) {
+                return Err(DolError::UnknownService(t.service.clone()));
+            }
+        }
+        for t in &batch {
+            state.defs.insert(t.name.clone(), t.clone());
+        }
+
+        // Group tasks by service alias; tasks on the same service run in
+        // order on that service's connection.
+        let mut groups: Vec<(String, Vec<TaskDef>)> = Vec::new();
+        for t in batch {
+            match groups.iter_mut().find(|(alias, _)| *alias == t.service) {
+                Some((_, tasks)) => tasks.push(t),
+                None => groups.push((t.service.clone(), vec![t])),
+            }
+        }
+
+        let mut executions: Vec<(String, TaskExecution)> = Vec::new();
+        if self.parallel && groups.len() > 1 {
+            // One thread per service; each thread owns its service box.
+            let mut taken: Vec<(String, Box<dyn DolService>, Vec<TaskDef>)> = Vec::new();
+            for (alias, tasks) in groups {
+                let svc = state.services.remove(&alias).expect("checked above");
+                taken.push((alias, svc, tasks));
+            }
+            type Finished = Vec<(String, Box<dyn DolService>, Vec<(String, TaskExecution)>)>;
+            let finished: Finished =
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (alias, mut svc, tasks) in taken.drain(..) {
+                        handles.push(scope.spawn(move || {
+                            let mut local = Vec::new();
+                            for task in &tasks {
+                                let exec = svc.execute_task(task);
+                                local.push((task.name.clone(), exec));
+                            }
+                            (alias, svc, local)
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("task thread panicked"))
+                        .collect()
+                });
+            for (alias, svc, local) in finished {
+                state.services.insert(alias, svc);
+                executions.extend(local);
+            }
+        } else {
+            for (alias, tasks) in groups {
+                let svc = state.services.get_mut(&alias).expect("checked above");
+                for task in &tasks {
+                    let exec = svc.execute_task(task);
+                    executions.push((task.name.clone(), exec));
+                }
+            }
+        }
+
+        for (name, exec) in executions {
+            state.outcome.task_statuses.insert(name.clone(), exec.status);
+            if let Some(result) = exec.result {
+                state.outcome.task_results.insert(name, result);
+            }
+        }
+        Ok(())
+    }
+
+    fn commit_task(&self, name: &str, state: &mut RunState) -> Result<(), DolError> {
+        let def = state
+            .defs
+            .get(name)
+            .ok_or_else(|| DolError::UnknownTask(name.to_string()))?
+            .clone();
+        let status = state.outcome.task_statuses[name];
+        match status {
+            TaskStatus::Prepared => {
+                let svc = state
+                    .services
+                    .get_mut(&def.service)
+                    .ok_or_else(|| DolError::UnknownService(def.service.clone()))?;
+                svc.commit_task(name)?;
+                state.outcome.task_statuses.insert(name.to_string(), TaskStatus::Committed);
+                Ok(())
+            }
+            TaskStatus::Committed => Ok(()), // idempotent
+            other => Err(DolError::BadTaskStatus {
+                task: name.to_string(),
+                action: "commit",
+                status: other.code(),
+            }),
+        }
+    }
+
+    fn abort_task(&self, name: &str, state: &mut RunState) -> Result<(), DolError> {
+        let def = state
+            .defs
+            .get(name)
+            .ok_or_else(|| DolError::UnknownTask(name.to_string()))?
+            .clone();
+        let status = state.outcome.task_statuses[name];
+        match status {
+            TaskStatus::Prepared => {
+                let svc = state
+                    .services
+                    .get_mut(&def.service)
+                    .ok_or_else(|| DolError::UnknownService(def.service.clone()))?;
+                svc.abort_task(name)?;
+                state.outcome.task_statuses.insert(name.to_string(), TaskStatus::Aborted);
+                Ok(())
+            }
+            // Already failed locally: aborting is a no-op (the paper's else
+            // branch aborts the whole vital set, members of which may have
+            // aborted on their own).
+            TaskStatus::Aborted | TaskStatus::Error => Ok(()),
+            other => Err(DolError::BadTaskStatus {
+                task: name.to_string(),
+                action: "abort",
+                status: other.code(),
+            }),
+        }
+    }
+
+    fn compensate_task(&self, name: &str, state: &mut RunState) -> Result<(), DolError> {
+        let def = state
+            .defs
+            .get(name)
+            .ok_or_else(|| DolError::UnknownTask(name.to_string()))?
+            .clone();
+        if def.compensation.is_empty() {
+            return Err(DolError::NoCompensation(name.to_string()));
+        }
+        let status = state.outcome.task_statuses[name];
+        match status {
+            TaskStatus::Committed => {
+                let svc = state
+                    .services
+                    .get_mut(&def.service)
+                    .ok_or_else(|| DolError::UnknownService(def.service.clone()))?;
+                svc.compensate_task(&def)?;
+                state.outcome.task_statuses.insert(name.to_string(), TaskStatus::Compensated);
+                Ok(())
+            }
+            other => Err(DolError::BadTaskStatus {
+                task: name.to_string(),
+                action: "compensate",
+                status: other.code(),
+            }),
+        }
+    }
+}
+
+/// Evaluates a status condition.
+pub fn eval_cond(
+    cond: &DolCond,
+    statuses: &HashMap<String, TaskStatus>,
+) -> Result<bool, DolError> {
+    match cond {
+        DolCond::StatusEq { task, status } => statuses
+            .get(task)
+            .map(|s| s == status)
+            .ok_or_else(|| DolError::UnknownTask(task.clone())),
+        DolCond::And(a, b) => Ok(eval_cond(a, statuses)? && eval_cond(b, statuses)?),
+        DolCond::Or(a, b) => Ok(eval_cond(a, statuses)? || eval_cond(b, statuses)?),
+        DolCond::Not(a) => Ok(!eval_cond(a, statuses)?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// A scripted in-memory service for engine tests.
+    #[derive(Default)]
+    struct MockState {
+        fail_tasks: Vec<String>,
+        log: Vec<String>,
+        delay: Option<Duration>,
+    }
+
+    #[derive(Clone, Default)]
+    struct MockFactory {
+        state: Arc<Mutex<MockState>>,
+    }
+
+    struct MockService {
+        service: String,
+        state: Arc<Mutex<MockState>>,
+    }
+
+    impl ServiceFactory for MockFactory {
+        fn connect(&self, service: &str, _site: &str) -> Result<Box<dyn DolService>, DolError> {
+            if service == "unreachable" {
+                return Err(DolError::OpenFailed {
+                    service: service.into(),
+                    reason: "no route".into(),
+                });
+            }
+            self.state.lock().log.push(format!("open {service}"));
+            Ok(Box::new(MockService { service: service.into(), state: Arc::clone(&self.state) }))
+        }
+    }
+
+    impl DolService for MockService {
+        fn execute_task(&mut self, task: &TaskDef) -> TaskExecution {
+            let delay = self.state.lock().delay;
+            if let Some(d) = delay {
+                std::thread::sleep(d);
+            }
+            let mut st = self.state.lock();
+            st.log.push(format!("exec {} on {}", task.name, self.service));
+            if st.fail_tasks.contains(&task.name) {
+                return TaskExecution::aborted("scripted failure");
+            }
+            if task.nocommit {
+                TaskExecution::prepared()
+            } else {
+                TaskExecution::committed(Some(format!("result-of-{}", task.name)))
+            }
+        }
+
+        fn commit_task(&mut self, task_name: &str) -> Result<(), DolError> {
+            self.state.lock().log.push(format!("commit {task_name}"));
+            Ok(())
+        }
+
+        fn abort_task(&mut self, task_name: &str) -> Result<(), DolError> {
+            self.state.lock().log.push(format!("abort {task_name}"));
+            Ok(())
+        }
+
+        fn compensate_task(&mut self, task: &TaskDef) -> Result<(), DolError> {
+            self.state.lock().log.push(format!("compensate {}", task.name));
+            Ok(())
+        }
+
+        fn close(&mut self) {
+            self.state.lock().log.push(format!("close {}", self.service));
+        }
+    }
+
+    const PAPER: &str = "
+        DOLBEGIN
+        OPEN continental AT site1 AS cont;
+        OPEN delta AT site2 AS delta;
+        OPEN united AT site3 AS unit;
+        TASK T1 NOCOMMIT FOR cont { UPDATE flights SET rate = rate } ENDTASK;
+        TASK T2 FOR delta { UPDATE flight SET rate = rate } ENDTASK;
+        TASK T3 NOCOMMIT FOR unit { UPDATE flight SET rates = rates } ENDTASK;
+        IF (T1=P) AND (T3=P) THEN
+        BEGIN COMMIT T1, T3; DOLSTATUS=0; END;
+        ELSE
+        BEGIN ABORT T1, T3; DOLSTATUS=1; END;
+        CLOSE cont delta unit;
+        DOLEND";
+
+    #[test]
+    fn happy_path_commits_vital_tasks() {
+        let factory = MockFactory::default();
+        let engine = DolEngine::new(&factory);
+        let out = engine.execute(&parse_program(PAPER).unwrap()).unwrap();
+        assert_eq!(out.dolstatus, 0);
+        assert_eq!(out.status("T1"), Some(TaskStatus::Committed));
+        assert_eq!(out.status("T2"), Some(TaskStatus::Committed));
+        assert_eq!(out.status("T3"), Some(TaskStatus::Committed));
+        let log = factory.state.lock().log.clone();
+        assert!(log.contains(&"commit T1".to_string()));
+        assert!(log.contains(&"commit T3".to_string()));
+        assert!(log.contains(&"close united".to_string()));
+    }
+
+    #[test]
+    fn vital_failure_takes_else_branch() {
+        let factory = MockFactory::default();
+        factory.state.lock().fail_tasks.push("T3".into());
+        let engine = DolEngine::new(&factory);
+        let out = engine.execute(&parse_program(PAPER).unwrap()).unwrap();
+        assert_eq!(out.dolstatus, 1);
+        assert_eq!(out.status("T1"), Some(TaskStatus::Aborted));
+        assert_eq!(out.status("T3"), Some(TaskStatus::Aborted));
+        // Non-vital T2 autocommitted regardless.
+        assert_eq!(out.status("T2"), Some(TaskStatus::Committed));
+        let log = factory.state.lock().log.clone();
+        assert!(log.contains(&"abort T1".to_string()));
+        // T3 failed locally; no abort message needed for it.
+        assert!(!log.contains(&"abort T3".to_string()));
+    }
+
+    #[test]
+    fn task_results_are_collected() {
+        let factory = MockFactory::default();
+        let engine = DolEngine::new(&factory);
+        let out = engine
+            .execute(
+                &parse_program(
+                    "DOLBEGIN
+                     OPEN avis AT s1 AS a;
+                     TASK Q1 FOR a { SELECT code FROM cars } ENDTASK;
+                     DOLEND",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(out.task_results["Q1"], "result-of-Q1");
+    }
+
+    #[test]
+    fn compensate_requires_comp_block_and_committed_status() {
+        let factory = MockFactory::default();
+        let engine = DolEngine::new(&factory);
+        // No COMP block → error.
+        let err = engine.execute(
+            &parse_program(
+                "DOLBEGIN
+                 OPEN c AT s AS c;
+                 TASK T1 FOR c { UPDATE x SET y = 1 } ENDTASK;
+                 COMPENSATE T1;
+                 DOLEND",
+            )
+            .unwrap(),
+        );
+        assert!(matches!(err, Err(DolError::NoCompensation(_))));
+
+        // With COMP block on a committed task → status becomes Compensated.
+        let out = engine
+            .execute(
+                &parse_program(
+                    "DOLBEGIN
+                     OPEN c AT s AS c;
+                     TASK T1 FOR c { UPDATE x SET y = 1 } COMP { UPDATE x SET y = 0 } ENDTASK;
+                     COMPENSATE T1;
+                     DOLEND",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(out.status("T1"), Some(TaskStatus::Compensated));
+        assert!(factory.state.lock().log.contains(&"compensate T1".to_string()));
+    }
+
+    #[test]
+    fn commit_non_prepared_task_is_an_error() {
+        let factory = MockFactory::default();
+        factory.state.lock().fail_tasks.push("T1".into());
+        let engine = DolEngine::new(&factory);
+        let err = engine.execute(
+            &parse_program(
+                "DOLBEGIN
+                 OPEN c AT s AS c;
+                 TASK T1 NOCOMMIT FOR c { UPDATE x SET y = 1 } ENDTASK;
+                 COMMIT T1;
+                 DOLEND",
+            )
+            .unwrap(),
+        );
+        assert!(matches!(err, Err(DolError::BadTaskStatus { action: "commit", .. })));
+    }
+
+    #[test]
+    fn open_failure_propagates() {
+        let factory = MockFactory::default();
+        let engine = DolEngine::new(&factory);
+        let err = engine.execute(
+            &parse_program("DOLBEGIN OPEN unreachable AT s AS u; DOLEND").unwrap(),
+        );
+        assert!(matches!(err, Err(DolError::OpenFailed { .. })));
+    }
+
+    #[test]
+    fn task_on_unopened_alias_is_an_error() {
+        let factory = MockFactory::default();
+        let engine = DolEngine::new(&factory);
+        let err = engine.execute(
+            &parse_program("DOLBEGIN TASK T1 FOR ghost { SELECT 1 } ENDTASK; DOLEND").unwrap(),
+        );
+        assert!(matches!(err, Err(DolError::UnknownService(_))));
+    }
+
+    #[test]
+    fn duplicate_task_name_is_an_error() {
+        let factory = MockFactory::default();
+        let engine = DolEngine::new(&factory);
+        let err = engine.execute(
+            &parse_program(
+                "DOLBEGIN
+                 OPEN a AT s AS a;
+                 TASK T1 FOR a { SELECT 1 } ENDTASK;
+                 TASK T1 FOR a { SELECT 2 } ENDTASK;
+                 DOLEND",
+            )
+            .unwrap(),
+        );
+        assert!(matches!(err, Err(DolError::Duplicate(_))));
+    }
+
+    #[test]
+    fn condition_over_unknown_task_is_an_error() {
+        let factory = MockFactory::default();
+        let engine = DolEngine::new(&factory);
+        let err = engine.execute(
+            &parse_program("DOLBEGIN IF T9=P THEN DOLSTATUS=0; DOLEND").unwrap(),
+        );
+        assert!(matches!(err, Err(DolError::UnknownTask(_))));
+    }
+
+    #[test]
+    fn parallel_batch_overlaps_task_latency() {
+        let factory = MockFactory::default();
+        factory.state.lock().delay = Some(Duration::from_millis(40));
+        let program = parse_program(
+            "DOLBEGIN
+             OPEN a AT s1 AS a;
+             OPEN b AT s2 AS b;
+             OPEN c AT s3 AS c;
+             TASK T1 FOR a { SELECT 1 } ENDTASK;
+             TASK T2 FOR b { SELECT 1 } ENDTASK;
+             TASK T3 FOR c { SELECT 1 } ENDTASK;
+             DOLEND",
+        )
+        .unwrap();
+
+        let start = std::time::Instant::now();
+        DolEngine::new(&factory).execute(&program).unwrap();
+        let parallel_time = start.elapsed();
+
+        let start = std::time::Instant::now();
+        DolEngine::serial(&factory).execute(&program).unwrap();
+        let serial_time = start.elapsed();
+
+        assert!(parallel_time < Duration::from_millis(100), "parallel: {parallel_time:?}");
+        assert!(serial_time >= Duration::from_millis(110), "serial: {serial_time:?}");
+    }
+
+    #[test]
+    fn tasks_on_same_service_run_in_order_even_in_parallel_mode() {
+        let factory = MockFactory::default();
+        let program = parse_program(
+            "DOLBEGIN
+             OPEN a AT s1 AS a;
+             TASK T1 FOR a { SELECT 1 } ENDTASK;
+             TASK T2 FOR a { SELECT 2 } ENDTASK;
+             DOLEND",
+        )
+        .unwrap();
+        DolEngine::new(&factory).execute(&program).unwrap();
+        let log = factory.state.lock().log.clone();
+        let i1 = log.iter().position(|l| l == "exec T1 on a").unwrap();
+        let i2 = log.iter().position(|l| l == "exec T2 on a").unwrap();
+        assert!(i1 < i2);
+    }
+
+    #[test]
+    fn abort_is_idempotent_for_already_aborted() {
+        let factory = MockFactory::default();
+        factory.state.lock().fail_tasks.push("T1".into());
+        let engine = DolEngine::new(&factory);
+        let out = engine
+            .execute(
+                &parse_program(
+                    "DOLBEGIN
+                     OPEN a AT s AS a;
+                     TASK T1 NOCOMMIT FOR a { UPDATE x SET y = 1 } ENDTASK;
+                     ABORT T1;
+                     DOLSTATUS=1;
+                     DOLEND",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(out.status("T1"), Some(TaskStatus::Aborted));
+        assert_eq!(out.dolstatus, 1);
+    }
+}

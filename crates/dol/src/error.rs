@@ -1,0 +1,76 @@
+//! DOL errors.
+
+use std::fmt;
+
+/// Errors raised while parsing or executing DOL programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DolError {
+    /// Syntax error in a DOL program.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Line number (1-based).
+        line: usize,
+    },
+    /// A task name was used before being defined.
+    UnknownTask(String),
+    /// A service alias was used before OPEN.
+    UnknownService(String),
+    /// OPEN failed (service not registered / unreachable).
+    OpenFailed {
+        /// The service name.
+        service: String,
+        /// Why.
+        reason: String,
+    },
+    /// A task was committed/aborted in an incompatible status.
+    BadTaskStatus {
+        /// The task.
+        task: String,
+        /// What was attempted.
+        action: &'static str,
+        /// Its current status code.
+        status: char,
+    },
+    /// COMPENSATE was issued for a task without a compensation block.
+    NoCompensation(String),
+    /// A duplicate task or alias name.
+    Duplicate(String),
+    /// Error reported by the underlying service.
+    Service(String),
+}
+
+impl fmt::Display for DolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DolError::Parse { message, line } => write!(f, "DOL parse error (line {line}): {message}"),
+            DolError::UnknownTask(t) => write!(f, "unknown task `{t}`"),
+            DolError::UnknownService(s) => write!(f, "unknown service alias `{s}`"),
+            DolError::OpenFailed { service, reason } => {
+                write!(f, "OPEN {service} failed: {reason}")
+            }
+            DolError::BadTaskStatus { task, action, status } => {
+                write!(f, "cannot {action} task `{task}` in status {status}")
+            }
+            DolError::NoCompensation(t) => {
+                write!(f, "task `{t}` has no compensating action")
+            }
+            DolError::Duplicate(n) => write!(f, "duplicate name `{n}`"),
+            DolError::Service(m) => write!(f, "service error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_context() {
+        let e = DolError::BadTaskStatus { task: "T1".into(), action: "commit", status: 'A' };
+        let s = e.to_string();
+        assert!(s.contains("T1") && s.contains("commit") && s.contains('A'));
+    }
+}

@@ -1,0 +1,35 @@
+//! # dol — the DOL task-specification language and its execution engine
+//!
+//! DOL is the intermediate language of the Narada environment (paper §4.1):
+//! MSQL queries are translated into DOL programs, which "specify different
+//! actions, their logical dependencies, data paths among them, and the
+//! possible concurrency". This crate provides:
+//!
+//! * the DOL AST ([`ast`]) covering the constructs the paper's §4.3 program
+//!   uses — `DOLBEGIN/DOLEND`, `OPEN ... AT ... AS ...`, `TASK ... NOCOMMIT
+//!   FOR ... { sql } ENDTASK`, status tests `(T1=P)`, `IF/THEN/ELSE`,
+//!   `COMMIT`/`ABORT` task lists, `DOLSTATUS` return codes, `CLOSE` — plus
+//!   the compensation extension (`COMP { sql }` blocks on tasks and the
+//!   `COMPENSATE` statement) the paper's §3.3 semantics require;
+//! * a parser ([`parser`]) and printer ([`printer`]) for the concrete syntax
+//!   used in the paper's listings (task bodies are literal SQL between
+//!   braces);
+//! * the engine ([`engine::DolEngine`]): opens services, runs consecutive
+//!   `TASK` blocks serially or in parallel (the data-flow parallelism the
+//!   paper says global optimization should exploit), tracks task statuses
+//!   (`P`/`C`/`A`/`E`), evaluates status conditions, and drives
+//!   commit/abort/compensate against an abstract [`engine::DolService`] —
+//!   implemented over the network by the multidatabase layer's Local Access
+//!   Managers.
+
+pub mod ast;
+pub mod engine;
+pub mod error;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{DolCond, DolProgram, DolStmt, TaskDef, TaskStatus};
+pub use engine::{DolEngine, DolOutcome, DolService, ServiceFactory};
+pub use error::DolError;
+pub use parser::parse_program;
+pub use printer::print_program;

@@ -1,0 +1,782 @@
+//! The engine facade: databases, sessions, transactions, 2PC.
+//!
+//! One [`Engine`] models one LDBMS *service* in the paper's sense — it hosts
+//! one or more databases (per `CONNECTMODE`), executes local SQL, and exposes
+//! whatever commit interface its [`DbmsProfile`] advertises. The
+//! multidatabase layer never touches tables directly; it drives engines
+//! through this API exactly the way a DOL `TASK` block drives a remote
+//! service.
+
+use crate::error::DbError;
+use crate::exec::{ddl, dml, select};
+use crate::failure::FailurePolicy;
+use crate::profile::{DbmsProfile, StatementClass};
+use crate::table::{Row, Table};
+use crate::txn::{Transaction, TxnId, TxnState, UndoOp};
+use crate::value::DataType;
+use msql_lang::{parse_statement, QueryBody, Statement};
+use std::collections::HashMap;
+
+/// Output column metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    /// Column display name.
+    pub name: String,
+    /// Best-effort data type.
+    pub data_type: DataType,
+}
+
+/// A query result: column metadata plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// The output columns.
+    pub columns: Vec<ColumnMeta>,
+    /// The output rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+}
+
+/// Outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// A SELECT produced rows.
+    Rows(ResultSet),
+    /// A DML/DDL statement affected this many rows.
+    Affected(usize),
+}
+
+impl ExecOutcome {
+    /// Unwraps a row outcome.
+    pub fn into_result_set(self) -> Result<ResultSet, DbError> {
+        match self {
+            ExecOutcome::Rows(rs) => Ok(rs),
+            ExecOutcome::Affected(_) => {
+                Err(DbError::Internal("statement did not produce rows".into()))
+            }
+        }
+    }
+
+    /// Number of affected rows (0 for SELECT).
+    pub fn affected(&self) -> usize {
+        match self {
+            ExecOutcome::Rows(_) => 0,
+            ExecOutcome::Affected(n) => *n,
+        }
+    }
+}
+
+/// One named database hosted by a service: a set of tables.
+#[derive(Debug, Default)]
+pub struct Database {
+    /// Database name (lowercase).
+    pub name: String,
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database { name: name.into().to_ascii_lowercase(), tables: HashMap::new() }
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Looks up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn insert_table(&mut self, table: Table) {
+        self.tables.insert(table.schema.name.clone(), table);
+    }
+
+    /// Removes a table, returning it.
+    pub fn remove_table(&mut self, name: &str) -> Result<Table, DbError> {
+        self.tables
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all tables, sorted (deterministic for IMPORT).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Execution statistics, used by benchmarks and the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Statements executed (any kind).
+    pub statements: u64,
+    /// Transactions committed (including autocommits).
+    pub commits: u64,
+    /// Transactions rolled back or failed.
+    pub aborts: u64,
+    /// Successful prepares (votes of YES).
+    pub prepares: u64,
+}
+
+/// An LDBMS service: named databases plus transactional machinery.
+#[derive(Debug)]
+pub struct Engine {
+    /// Service name (as registered in the Auxiliary Directory).
+    pub service_name: String,
+    /// Capability profile.
+    pub profile: DbmsProfile,
+    databases: HashMap<String, Database>,
+    txns: HashMap<TxnId, Transaction>,
+    locks: HashMap<(String, String), TxnId>,
+    failure: FailurePolicy,
+    next_txn: TxnId,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Creates a service with the given profile and no databases.
+    pub fn new(service_name: impl Into<String>, profile: DbmsProfile) -> Self {
+        Engine {
+            service_name: service_name.into(),
+            profile,
+            databases: HashMap::new(),
+            txns: HashMap::new(),
+            locks: HashMap::new(),
+            failure: FailurePolicy::none(),
+            next_txn: 1,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Replaces the failure-injection policy.
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.failure = policy;
+    }
+
+    /// Mutable access to the failure policy (to arm per-table failures).
+    pub fn failure_policy_mut(&mut self) -> &mut FailurePolicy {
+        &mut self.failure
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Creates a database on this service, respecting `CONNECTMODE`.
+    pub fn create_database(&mut self, name: &str) -> Result<(), DbError> {
+        let lower = name.to_ascii_lowercase();
+        if self.databases.contains_key(&lower) {
+            return Err(DbError::AlreadyExists(lower));
+        }
+        if !self.profile.multi_database && !self.databases.is_empty() {
+            return Err(DbError::Internal(format!(
+                "service `{}` is CONNECTMODE NOCONNECT and already hosts its default database",
+                self.service_name
+            )));
+        }
+        self.databases.insert(lower.clone(), Database::new(lower));
+        Ok(())
+    }
+
+    /// Drops a database.
+    pub fn drop_database(&mut self, name: &str) -> Result<(), DbError> {
+        self.databases
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| DbError::UnknownDatabase(name.to_string()))
+    }
+
+    /// Immutable access to a database (used by IMPORT and tests).
+    pub fn database(&self, name: &str) -> Result<&Database, DbError> {
+        self.databases
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownDatabase(name.to_string()))
+    }
+
+    /// Mutable access to a database (fixtures/seeding).
+    pub fn database_mut(&mut self, name: &str) -> Result<&mut Database, DbError> {
+        self.databases
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownDatabase(name.to_string()))
+    }
+
+    /// Names of hosted databases, sorted.
+    pub fn database_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.databases.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    // ------------------------------------------------------------ autocommit
+
+    /// Executes one SQL statement in autocommit mode: an implicit transaction
+    /// that commits on success and rolls back on failure.
+    pub fn execute(&mut self, database: &str, sql: &str) -> Result<ExecOutcome, DbError> {
+        let stmt = parse_local_sql(sql)?;
+        self.execute_stmt(database, &stmt)
+    }
+
+    /// Executes a pre-parsed statement in autocommit mode.
+    pub fn execute_stmt(
+        &mut self,
+        database: &str,
+        stmt: &Statement,
+    ) -> Result<ExecOutcome, DbError> {
+        let txn = self.begin();
+        match self.execute_stmt_in(txn, database, stmt) {
+            Ok(out) => {
+                self.commit(txn)?;
+                Ok(out)
+            }
+            Err(e) => {
+                let _ = self.rollback(txn);
+                Err(e)
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- transactions
+
+    /// Starts an explicit transaction.
+    pub fn begin(&mut self) -> TxnId {
+        let id = self.next_txn;
+        self.next_txn += 1;
+        self.txns.insert(id, Transaction::new(id));
+        id
+    }
+
+    /// Executes one SQL statement inside a transaction.
+    pub fn execute_in(
+        &mut self,
+        txn: TxnId,
+        database: &str,
+        sql: &str,
+    ) -> Result<ExecOutcome, DbError> {
+        let stmt = parse_local_sql(sql)?;
+        self.execute_stmt_in(txn, database, &stmt)
+    }
+
+    /// Executes a pre-parsed statement inside a transaction.
+    pub fn execute_stmt_in(
+        &mut self,
+        txn: TxnId,
+        database: &str,
+        stmt: &Statement,
+    ) -> Result<ExecOutcome, DbError> {
+        self.require_state(txn, TxnState::Active, "execute in")?;
+        self.stats.statements += 1;
+        let dbname = database.to_ascii_lowercase();
+
+        match stmt {
+            Statement::Query(q) => {
+                match &q.body {
+                    QueryBody::Select(sel) => {
+                        let db = self.database(&dbname)?;
+                        let rs = select::execute_select(db, sel, &[])?;
+                        Ok(ExecOutcome::Rows(rs))
+                    }
+                    QueryBody::Insert(ins) => {
+                        let table = ins.table.table.as_str().to_string();
+                        self.write_guard(txn, &dbname, &table)?;
+                        let mut undo = Vec::new();
+                        let db = self
+                            .databases
+                            .get_mut(&dbname)
+                            .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                        let out = dml::execute_insert(db, ins, &mut undo);
+                        self.absorb_stmt_undo(txn, undo, &out);
+                        out.map(ExecOutcome::Affected)
+                    }
+                    QueryBody::Update(up) => {
+                        let table = up.table.table.as_str().to_string();
+                        self.write_guard(txn, &dbname, &table)?;
+                        let mut undo = Vec::new();
+                        let db = self
+                            .databases
+                            .get_mut(&dbname)
+                            .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                        let out = dml::execute_update(db, up, &mut undo);
+                        self.absorb_stmt_undo(txn, undo, &out);
+                        out.map(ExecOutcome::Affected)
+                    }
+                    QueryBody::Delete(del) => {
+                        let table = del.table.table.as_str().to_string();
+                        self.write_guard(txn, &dbname, &table)?;
+                        let mut undo = Vec::new();
+                        let db = self
+                            .databases
+                            .get_mut(&dbname)
+                            .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                        let out = dml::execute_delete(db, del, &mut undo);
+                        self.absorb_stmt_undo(txn, undo, &out);
+                        out.map(ExecOutcome::Affected)
+                    }
+                }
+            }
+            Statement::CreateTable(ct) => {
+                let table = ct.table.table.as_str().to_string();
+                self.write_guard(txn, &dbname, &table)?;
+                self.ddl_prologue(txn);
+                let log_undo = self.profile.ddl_rollbackable;
+                let db = self
+                    .databases
+                    .get_mut(&dbname)
+                    .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                let mut undo = Vec::new();
+                let out = ddl::execute_create_table(db, ct, log_undo.then_some(&mut undo));
+                self.absorb_stmt_undo(txn, undo, &out.as_ref().map(|_| 0usize).map_err(Clone::clone));
+                out.map(|_| ExecOutcome::Affected(0))
+            }
+            Statement::DropTable(dt) => {
+                let table = dt.table.table.as_str().to_string();
+                self.write_guard(txn, &dbname, &table)?;
+                self.ddl_prologue(txn);
+                let log_undo = self.profile.ddl_rollbackable;
+                let db = self
+                    .databases
+                    .get_mut(&dbname)
+                    .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                let mut undo = Vec::new();
+                let out = ddl::execute_drop_table(db, dt, log_undo.then_some(&mut undo));
+                self.absorb_stmt_undo(txn, undo, &out.as_ref().map(|_| 0usize).map_err(Clone::clone));
+                out.map(|_| ExecOutcome::Affected(0))
+            }
+            Statement::CreateDatabase(name) => {
+                self.ddl_prologue(txn);
+                self.create_database(name)?;
+                Ok(ExecOutcome::Affected(0))
+            }
+            Statement::DropDatabase(name) => {
+                self.ddl_prologue(txn);
+                self.drop_database(name)?;
+                Ok(ExecOutcome::Affected(0))
+            }
+            other => Err(DbError::NotLocalSql(format!(
+                "statement is handled at the multidatabase level: {other:?}"
+            ))),
+        }
+    }
+
+    /// Injected-failure and lock check before a write statement. The failure
+    /// check runs before any mutation, so a failed statement has no effects.
+    fn write_guard(&mut self, txn: TxnId, dbname: &str, table: &str) -> Result<(), DbError> {
+        if let Some(reason) = self.failure.check_statement(table) {
+            return Err(DbError::InjectedFailure(reason));
+        }
+        let key = (dbname.to_string(), table.to_ascii_lowercase());
+        match self.locks.get(&key) {
+            Some(holder) if *holder != txn => {
+                Err(DbError::LockConflict { table: table.to_string() })
+            }
+            Some(_) => Ok(()),
+            None => {
+                self.locks.insert(key.clone(), txn);
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.locks.push(key);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Models Oracle-style "DDL commits all previously issued uncommitted
+    /// statements": the transaction's undo log so far is discarded.
+    fn ddl_prologue(&mut self, txn: TxnId) {
+        if self.profile.ddl_autocommits_prior {
+            if let Some(t) = self.txns.get_mut(&txn) {
+                t.flush_undo();
+            }
+        }
+    }
+
+    fn absorb_stmt_undo<T>(
+        &mut self,
+        txn: TxnId,
+        mut undo: Vec<UndoOp>,
+        outcome: &Result<T, DbError>,
+    ) {
+        match outcome {
+            Ok(_) => {
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.undo.append(&mut undo);
+                }
+            }
+            Err(_) => {
+                // Statement-level atomicity: undo partial effects immediately.
+                self.apply_undo(undo);
+            }
+        }
+    }
+
+    /// Votes to commit: Active → Prepared. Only 2PC-capable profiles expose
+    /// this; an injected prepare failure aborts the transaction.
+    pub fn prepare(&mut self, txn: TxnId) -> Result<(), DbError> {
+        if !self.profile.supports_2pc {
+            return Err(DbError::TwoPhaseNotSupported(self.service_name.clone()));
+        }
+        self.require_state(txn, TxnState::Active, "prepare")?;
+        if let Some(reason) = self.failure.check_prepare() {
+            self.rollback(txn)?;
+            return Err(DbError::InjectedFailure(reason));
+        }
+        self.txns.get_mut(&txn).unwrap().state = TxnState::Prepared;
+        self.stats.prepares += 1;
+        Ok(())
+    }
+
+    /// Commits a transaction (from Active for one-phase, or Prepared for the
+    /// second phase of 2PC).
+    pub fn commit(&mut self, txn: TxnId) -> Result<(), DbError> {
+        let t = self
+            .txns
+            .get_mut(&txn)
+            .ok_or(DbError::UnknownTransaction(txn))?;
+        match t.state {
+            TxnState::Active | TxnState::Prepared => {
+                t.state = TxnState::Committed;
+                t.undo.clear();
+                let locks = std::mem::take(&mut t.locks);
+                for key in locks {
+                    self.locks.remove(&key);
+                }
+                self.stats.commits += 1;
+                Ok(())
+            }
+            state => Err(DbError::InvalidTxnState { action: "commit", state: state.name() }),
+        }
+    }
+
+    /// Rolls a transaction back (from Active or Prepared), restoring all
+    /// undone state.
+    pub fn rollback(&mut self, txn: TxnId) -> Result<(), DbError> {
+        let t = self
+            .txns
+            .get_mut(&txn)
+            .ok_or(DbError::UnknownTransaction(txn))?;
+        match t.state {
+            TxnState::Active | TxnState::Prepared => {
+                t.state = TxnState::Aborted;
+                let undo = std::mem::take(&mut t.undo);
+                let locks = std::mem::take(&mut t.locks);
+                self.apply_undo(undo);
+                for key in locks {
+                    self.locks.remove(&key);
+                }
+                self.stats.aborts += 1;
+                Ok(())
+            }
+            state => Err(DbError::InvalidTxnState { action: "rollback", state: state.name() }),
+        }
+    }
+
+    /// The observable state of a transaction.
+    pub fn txn_state(&self, txn: TxnId) -> Result<TxnState, DbError> {
+        self.txns.get(&txn).map(|t| t.state).ok_or(DbError::UnknownTransaction(txn))
+    }
+
+    fn require_state(
+        &self,
+        txn: TxnId,
+        expected: TxnState,
+        action: &'static str,
+    ) -> Result<(), DbError> {
+        let t = self.txns.get(&txn).ok_or(DbError::UnknownTransaction(txn))?;
+        if t.state != expected {
+            return Err(DbError::InvalidTxnState { action, state: t.state.name() });
+        }
+        Ok(())
+    }
+
+    /// Applies undo operations newest-first.
+    fn apply_undo(&mut self, undo: Vec<UndoOp>) {
+        for op in undo.into_iter().rev() {
+            match op {
+                UndoOp::Insert { database, table, id } => {
+                    if let Some(db) = self.databases.get_mut(&database) {
+                        if let Ok(t) = db.table_mut(&table) {
+                            t.remove(id);
+                        }
+                    }
+                }
+                UndoOp::Delete { database, table, id, row } => {
+                    if let Some(db) = self.databases.get_mut(&database) {
+                        if let Ok(t) = db.table_mut(&table) {
+                            t.restore(id, row);
+                        }
+                    }
+                }
+                UndoOp::Update { database, table, id, old } => {
+                    if let Some(db) = self.databases.get_mut(&database) {
+                        if let Ok(t) = db.table_mut(&table) {
+                            let _ = t.replace(id, old);
+                        }
+                    }
+                }
+                UndoOp::CreateTable { database, table } => {
+                    if let Some(db) = self.databases.get_mut(&database) {
+                        let _ = db.remove_table(&table);
+                    }
+                }
+                UndoOp::DropTable { database, table } => {
+                    if let Some(db) = self.databases.get_mut(&database) {
+                        db.insert_table(*table);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Commit capability this service advertises for a statement class.
+    pub fn capability_for(&self, class: StatementClass) -> msql_lang::CommitCapability {
+        self.profile.capability_for(class)
+    }
+}
+
+/// Parses SQL and checks it is *local*: no USE/LET/COMP attachments.
+fn parse_local_sql(sql: &str) -> Result<Statement, DbError> {
+    let stmt = parse_statement(sql)?;
+    if let Statement::Query(q) = &stmt {
+        if q.use_clause.is_some() || !q.lets.is_empty() || !q.comps.is_empty() {
+            return Err(DbError::NotLocalSql(
+                "USE/LET/COMP clauses must be resolved by the multidatabase layer".into(),
+            ));
+        }
+    }
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn engine_with_cars(profile: DbmsProfile) -> Engine {
+        let mut e = Engine::new("svc", profile);
+        e.create_database("avis").unwrap();
+        e.execute("avis", "CREATE TABLE cars (code INT, rate FLOAT, carst CHAR(10))").unwrap();
+        e.execute("avis", "INSERT INTO cars VALUES (1, 40.0, 'available')").unwrap();
+        e.execute("avis", "INSERT INTO cars VALUES (2, 60.0, 'rented')").unwrap();
+        e
+    }
+
+    #[test]
+    fn autocommit_select_and_update() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let out = e.execute("avis", "UPDATE cars SET rate = rate * 2 WHERE code = 1").unwrap();
+        assert_eq!(out.affected(), 1);
+        let rs = e
+            .execute("avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(80.0));
+    }
+
+    #[test]
+    fn explicit_txn_rollback_restores_state() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "UPDATE cars SET rate = 0").unwrap();
+        e.execute_in(txn, "avis", "INSERT INTO cars VALUES (3, 10.0, 'available')").unwrap();
+        e.execute_in(txn, "avis", "DELETE FROM cars WHERE code = 2").unwrap();
+        e.rollback(txn).unwrap();
+        let rs = e
+            .execute("avis", "SELECT code, rate FROM cars ORDER BY code")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Float(40.0)]);
+        assert_eq!(rs.rows[1], vec![Value::Int(2), Value::Float(60.0)]);
+        assert_eq!(e.txn_state(txn).unwrap(), TxnState::Aborted);
+    }
+
+    #[test]
+    fn two_phase_commit_happy_path() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "UPDATE cars SET rate = 99 WHERE code = 1").unwrap();
+        e.prepare(txn).unwrap();
+        assert_eq!(e.txn_state(txn).unwrap(), TxnState::Prepared);
+        e.commit(txn).unwrap();
+        assert_eq!(e.txn_state(txn).unwrap(), TxnState::Committed);
+        let rs = e
+            .execute("avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(99.0));
+    }
+
+    #[test]
+    fn prepared_transaction_can_still_roll_back() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "UPDATE cars SET rate = 99 WHERE code = 1").unwrap();
+        e.prepare(txn).unwrap();
+        e.rollback(txn).unwrap();
+        let rs = e
+            .execute("avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(40.0));
+    }
+
+    #[test]
+    fn autocommit_only_profile_rejects_prepare() {
+        let mut e = engine_with_cars(DbmsProfile::autocommit_only());
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "UPDATE cars SET rate = 1 WHERE code = 1").unwrap();
+        assert!(matches!(e.prepare(txn), Err(DbError::TwoPhaseNotSupported(_))));
+    }
+
+    #[test]
+    fn terminal_states_reject_further_transitions() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let txn = e.begin();
+        e.commit(txn).unwrap();
+        assert!(matches!(e.rollback(txn), Err(DbError::InvalidTxnState { .. })));
+        assert!(matches!(e.commit(txn), Err(DbError::InvalidTxnState { .. })));
+        assert!(matches!(e.prepare(txn), Err(DbError::InvalidTxnState { .. })));
+    }
+
+    #[test]
+    fn lock_conflict_between_transactions() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.execute_in(t1, "avis", "UPDATE cars SET rate = 1 WHERE code = 1").unwrap();
+        let err = e.execute_in(t2, "avis", "UPDATE cars SET rate = 2 WHERE code = 2");
+        assert!(matches!(err, Err(DbError::LockConflict { .. })));
+        // After t1 terminates, t2 can proceed.
+        e.rollback(t1).unwrap();
+        e.execute_in(t2, "avis", "UPDATE cars SET rate = 2 WHERE code = 2").unwrap();
+        e.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn injected_failure_aborts_statement_without_effects() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        e.failure_policy_mut().fail_writes_to("cars");
+        let err = e.execute("avis", "UPDATE cars SET rate = 0");
+        assert!(matches!(err, Err(DbError::InjectedFailure(_))));
+        let rs = e
+            .execute("avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(40.0));
+    }
+
+    #[test]
+    fn injected_prepare_failure_auto_rolls_back() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        e.set_failure_policy(FailurePolicy::with_probabilities(1, 0.0, 1.0));
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "UPDATE cars SET rate = 0 WHERE code = 1").unwrap();
+        assert!(matches!(e.prepare(txn), Err(DbError::InjectedFailure(_))));
+        assert_eq!(e.txn_state(txn).unwrap(), TxnState::Aborted);
+        let rs = e
+            .execute("avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(40.0));
+    }
+
+    #[test]
+    fn ingres_like_rolls_back_ddl() {
+        let mut e = engine_with_cars(DbmsProfile::ingres_like());
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "CREATE TABLE extras (x INT)").unwrap();
+        e.execute_in(txn, "avis", "INSERT INTO extras VALUES (1)").unwrap();
+        e.rollback(txn).unwrap();
+        assert!(e.execute("avis", "SELECT x FROM extras").is_err());
+    }
+
+    #[test]
+    fn oracle_like_ddl_autocommits_prior_work() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "UPDATE cars SET rate = 0 WHERE code = 1").unwrap();
+        // DDL flushes the undo log: the update becomes permanent.
+        e.execute_in(txn, "avis", "CREATE TABLE extras (x INT)").unwrap();
+        e.rollback(txn).unwrap();
+        let rs = e
+            .execute("avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(0.0));
+        // And the created table also survives the rollback.
+        assert!(e.execute("avis", "SELECT x FROM extras").is_ok());
+    }
+
+    #[test]
+    fn noconnect_service_hosts_single_database() {
+        let mut e = Engine::new("small", DbmsProfile::autocommit_only());
+        e.create_database("main").unwrap();
+        assert!(e.create_database("second").is_err());
+    }
+
+    #[test]
+    fn failed_statement_in_txn_keeps_prior_work() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "UPDATE cars SET rate = 5 WHERE code = 1").unwrap();
+        // This statement fails (unknown column) but must not poison the txn.
+        assert!(e.execute_in(txn, "avis", "UPDATE cars SET nope = 1").is_err());
+        e.commit(txn).unwrap();
+        let rs = e
+            .execute("avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(5.0));
+    }
+
+    #[test]
+    fn stats_count_outcomes() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let base = e.stats();
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "UPDATE cars SET rate = 1 WHERE code = 1").unwrap();
+        e.prepare(txn).unwrap();
+        e.commit(txn).unwrap();
+        let s = e.stats();
+        assert_eq!(s.prepares, base.prepares + 1);
+        assert_eq!(s.commits, base.commits + 1);
+    }
+
+    #[test]
+    fn msql_constructs_rejected_as_local_sql() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        assert!(matches!(
+            e.execute("avis", "USE avis SELECT code FROM cars"),
+            Err(DbError::NotLocalSql(_))
+        ));
+        assert!(matches!(
+            e.execute("avis", "SELECT %code FROM cars"),
+            Err(DbError::NotLocalSql(_)) | Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    use crate::failure::FailurePolicy;
+}

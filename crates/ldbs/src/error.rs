@@ -1,0 +1,105 @@
+//! Error type for the local database engine.
+
+use std::fmt;
+
+/// Errors raised by the local engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Unknown database name.
+    UnknownDatabase(String),
+    /// Unknown table name.
+    UnknownTable(String),
+    /// Unknown column name.
+    UnknownColumn(String),
+    /// A column reference matched more than one binding.
+    AmbiguousColumn(String),
+    /// Type error during evaluation or insertion.
+    TypeError(String),
+    /// An object with that name already exists.
+    AlreadyExists(String),
+    /// Transaction handle is unknown or already terminated.
+    UnknownTransaction(u64),
+    /// Illegal transaction state transition (e.g. committing an aborted
+    /// transaction).
+    InvalidTxnState {
+        /// What was attempted.
+        action: &'static str,
+        /// The state the transaction was in.
+        state: &'static str,
+    },
+    /// The local system does not expose a prepared-to-commit state
+    /// (autocommit-only LDBMS).
+    TwoPhaseNotSupported(String),
+    /// A write lock was held by another transaction (simulated local
+    /// conflict).
+    LockConflict {
+        /// The contended table.
+        table: String,
+    },
+    /// An injected local failure (crash, deadlock victim, media error).
+    InjectedFailure(String),
+    /// A scalar subquery produced more than one row.
+    SubqueryCardinality,
+    /// SQL that reached the engine still contained MSQL constructs (wildcards
+    /// or multidatabase scope) — the translator must resolve those first.
+    NotLocalSql(String),
+    /// A parse error from the SQL front end.
+    Parse(String),
+    /// NOT NULL constraint violation.
+    NullViolation(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownDatabase(n) => write!(f, "unknown database `{n}`"),
+            DbError::UnknownTable(n) => write!(f, "unknown table `{n}`"),
+            DbError::UnknownColumn(n) => write!(f, "unknown column `{n}`"),
+            DbError::AmbiguousColumn(n) => write!(f, "ambiguous column `{n}`"),
+            DbError::TypeError(m) => write!(f, "type error: {m}"),
+            DbError::AlreadyExists(n) => write!(f, "`{n}` already exists"),
+            DbError::UnknownTransaction(id) => write!(f, "unknown transaction {id}"),
+            DbError::InvalidTxnState { action, state } => {
+                write!(f, "cannot {action} a transaction in state {state}")
+            }
+            DbError::TwoPhaseNotSupported(svc) => {
+                write!(f, "service `{svc}` does not support two-phase commit")
+            }
+            DbError::LockConflict { table } => {
+                write!(f, "write lock conflict on table `{table}`")
+            }
+            DbError::InjectedFailure(m) => write!(f, "injected local failure: {m}"),
+            DbError::SubqueryCardinality => {
+                write!(f, "scalar subquery returned more than one row")
+            }
+            DbError::NotLocalSql(m) => write!(f, "statement is not local SQL: {m}"),
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::NullViolation(c) => write!(f, "column `{c}` is NOT NULL"),
+            DbError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<msql_lang::ParseError> for DbError {
+    fn from(e: msql_lang::ParseError) -> Self {
+        DbError::Parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DbError::UnknownTable("cars".into()).to_string().contains("cars"));
+        assert!(DbError::LockConflict { table: "flights".into() }.to_string().contains("flights"));
+        let e = DbError::InvalidTxnState { action: "commit", state: "Aborted" };
+        assert!(e.to_string().contains("commit"));
+        assert!(e.to_string().contains("Aborted"));
+    }
+}

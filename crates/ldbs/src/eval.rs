@@ -1,0 +1,629 @@
+//! Expression evaluation with SQL three-valued logic and correlated
+//! subquery support.
+
+use crate::engine::Database;
+use crate::error::DbError;
+use crate::schema::TableSchema;
+use crate::table::Row;
+use crate::value::Value;
+use msql_lang::{BinaryOp, ColumnRef, Expr, Literal, UnaryOp};
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Statement-scoped cache for *uncorrelated* scalar subqueries.
+///
+/// The reservation pattern of §3.4 (`WHERE snu = (SELECT MIN(snu) ...)`)
+/// re-evaluates the same subquery for every candidate row; when the subquery
+/// does not reference the outer row, one evaluation serves them all. Keys
+/// are the printed subquery text.
+#[derive(Debug, Default)]
+pub struct SubqueryCache {
+    entries: RefCell<HashMap<String, Value>>,
+}
+
+impl SubqueryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SubqueryCache::default()
+    }
+
+    fn get(&self, key: &str) -> Option<Value> {
+        self.entries.borrow().get(key).cloned()
+    }
+
+    fn put(&self, key: String, value: Value) {
+        self.entries.borrow_mut().insert(key, value);
+    }
+
+    /// Number of cached subquery results (for tests).
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+}
+
+/// One FROM binding visible to expressions: a named row of a known schema.
+#[derive(Debug)]
+pub struct Binding<'a> {
+    /// Binding name: the table alias if given, else the table name.
+    pub name: String,
+    /// The row's schema.
+    pub schema: &'a TableSchema,
+    /// The current row.
+    pub row: &'a Row,
+}
+
+/// One scope of bindings (one query block's FROM clause).
+#[derive(Debug, Default)]
+pub struct Env<'a> {
+    /// The bindings of this scope.
+    pub bindings: Vec<Binding<'a>>,
+}
+
+impl<'a> Env<'a> {
+    /// Looks a column up in this scope. `Ok(None)` means "not bound here";
+    /// ambiguity within one scope is an error.
+    fn lookup(&self, table: Option<&str>, column: &str) -> Result<Option<Value>, DbError> {
+        if let Some(t) = table {
+            for b in &self.bindings {
+                if b.name == t || b.schema.name == t {
+                    return match b.schema.column_index(column) {
+                        Some(i) => Ok(Some(b.row[i].clone())),
+                        None => Ok(None),
+                    };
+                }
+            }
+            return Ok(None);
+        }
+        let mut found: Option<Value> = None;
+        for b in &self.bindings {
+            if let Some(i) = b.schema.column_index(column) {
+                if found.is_some() {
+                    return Err(DbError::AmbiguousColumn(column.to_string()));
+                }
+                found = Some(b.row[i].clone());
+            }
+        }
+        Ok(found)
+    }
+}
+
+/// Expression evaluator: a database for subqueries plus a stack of binding
+/// scopes, innermost last (correlated subqueries search outward).
+pub struct Evaluator<'a> {
+    /// Database used to execute nested subqueries.
+    pub db: &'a Database,
+    /// Scope stack; the last element is the innermost query block.
+    pub scopes: Vec<&'a Env<'a>>,
+    /// Optional statement-scoped cache for uncorrelated scalar subqueries.
+    pub cache: Option<&'a SubqueryCache>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with a single scope.
+    pub fn new(db: &'a Database, env: &'a Env<'a>) -> Self {
+        Evaluator { db, scopes: vec![env], cache: None }
+    }
+
+    /// Creates an evaluator with no row bindings (constant expressions,
+    /// VALUES lists).
+    pub fn constant(db: &'a Database) -> Self {
+        Evaluator { db, scopes: Vec::new(), cache: None }
+    }
+
+    /// Attaches a statement-scoped subquery cache.
+    pub fn with_cache(mut self, cache: &'a SubqueryCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Evaluates an expression to a value.
+    pub fn eval(&self, e: &Expr) -> Result<Value, DbError> {
+        match e {
+            Expr::Literal(l) => Ok(literal_value(l)),
+            Expr::Column(c) => self.eval_column(c),
+            Expr::Unary { op, expr } => {
+                let v = self.eval(expr)?;
+                match op {
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::Not => match v.as_truth()? {
+                        Some(b) => Ok(Value::Bool(!b)),
+                        None => Ok(Value::Null),
+                    },
+                }
+            }
+            Expr::Binary { left, op, right } => self.eval_binary(left, *op, right),
+            Expr::Aggregate { .. } => Err(DbError::Internal(
+                "aggregate reached the row evaluator; the select executor must substitute it"
+                    .into(),
+            )),
+            Expr::Function { name, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                eval_function(name, &vals)
+            }
+            Expr::Subquery(sel) => {
+                // Uncorrelated subqueries are evaluated once per statement:
+                // try it with no outer scopes; an unknown/ambiguous column
+                // means it is correlated and must see the current row.
+                if let Some(cache) = self.cache {
+                    let key = msql_lang::printer::print_select(sel);
+                    if let Some(v) = cache.get(&key) {
+                        return Ok(v);
+                    }
+                    match crate::exec::select::execute_select(self.db, sel, &[]) {
+                        Ok(rs) => {
+                            let v = scalar_result(rs)?;
+                            cache.put(key, v.clone());
+                            return Ok(v);
+                        }
+                        Err(DbError::UnknownColumn(_)) | Err(DbError::AmbiguousColumn(_)) => {
+                            // Correlated (or genuinely wrong — the normal
+                            // path will report that).
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                let rs = crate::exec::select::execute_select(self.db, sel, &self.scopes)?;
+                scalar_result(rs)
+            }
+            Expr::Exists { subquery, negated } => {
+                let rs = crate::exec::select::execute_select(self.db, subquery, &self.scopes)?;
+                let exists = !rs.rows.is_empty();
+                Ok(Value::Bool(exists != *negated))
+            }
+            Expr::InList { expr, list, negated } => {
+                let probe = self.eval(expr)?;
+                let mut candidates = Vec::with_capacity(list.len());
+                for item in list {
+                    candidates.push(self.eval(item)?);
+                }
+                in_semantics(&probe, &candidates, *negated)
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                let probe = self.eval(expr)?;
+                let rs = crate::exec::select::execute_select(self.db, subquery, &self.scopes)?;
+                if rs.columns.len() != 1 {
+                    return Err(DbError::TypeError(
+                        "IN subquery must return one column".into(),
+                    ));
+                }
+                let candidates: Vec<Value> =
+                    rs.rows.into_iter().map(|mut r| r.remove(0)).collect();
+                in_semantics(&probe, &candidates, *negated)
+            }
+            Expr::Between { expr, low, high, negated } => {
+                let v = self.eval(expr)?;
+                let lo = self.eval(low)?;
+                let hi = self.eval(high)?;
+                let ge = cmp_to_bool(v.sql_cmp(&lo), |o| o != Ordering::Less);
+                let le = cmp_to_bool(v.sql_cmp(&hi), |o| o != Ordering::Greater);
+                let both = three_and(ge, le);
+                Ok(truth_value(negate_if(both, *negated)))
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Like { expr, pattern, negated } => {
+                let v = self.eval(expr)?;
+                let p = self.eval(pattern)?;
+                match v.sql_like(&p)? {
+                    Value::Bool(b) => Ok(Value::Bool(b != *negated)),
+                    other => Ok(other),
+                }
+            }
+        }
+    }
+
+    fn eval_column(&self, c: &ColumnRef) -> Result<Value, DbError> {
+        if c.is_multiple() {
+            return Err(DbError::NotLocalSql(format!(
+                "column reference `{}` still contains a wildcard",
+                c.column
+            )));
+        }
+        if let Some(db) = &c.database {
+            if db.as_str() != self.db.name {
+                return Err(DbError::NotLocalSql(format!(
+                    "reference to remote database `{db}` inside local SQL"
+                )));
+            }
+        }
+        let table = c.table.as_ref().map(|t| t.as_str());
+        let column = c.column.as_str();
+        for env in self.scopes.iter().rev() {
+            if let Some(v) = env.lookup(table, column)? {
+                return Ok(v);
+            }
+        }
+        Err(DbError::UnknownColumn(match table {
+            Some(t) => format!("{t}.{column}"),
+            None => column.to_string(),
+        }))
+    }
+
+    fn eval_binary(&self, left: &Expr, op: BinaryOp, right: &Expr) -> Result<Value, DbError> {
+        // AND/OR get SQL three-valued logic with short-circuiting.
+        if op == BinaryOp::And || op == BinaryOp::Or {
+            let l = self.eval(left)?.as_truth()?;
+            match (op, l) {
+                (BinaryOp::And, Some(false)) => return Ok(Value::Bool(false)),
+                (BinaryOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+                _ => {}
+            }
+            let r = self.eval(right)?.as_truth()?;
+            let out = match op {
+                BinaryOp::And => three_and(l, r),
+                _ => three_or(l, r),
+            };
+            return Ok(truth_value(out));
+        }
+        let l = self.eval(left)?;
+        let r = self.eval(right)?;
+        match op {
+            BinaryOp::Add => l.add(&r),
+            BinaryOp::Sub => l.sub(&r),
+            BinaryOp::Mul => l.mul(&r),
+            BinaryOp::Div => l.div(&r),
+            BinaryOp::Concat => l.concat(&r),
+            BinaryOp::Eq => Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o == Ordering::Equal))),
+            BinaryOp::NotEq => {
+                Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o != Ordering::Equal)))
+            }
+            BinaryOp::Lt => Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o == Ordering::Less))),
+            BinaryOp::LtEq => {
+                Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o != Ordering::Greater)))
+            }
+            BinaryOp::Gt => {
+                Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o == Ordering::Greater)))
+            }
+            BinaryOp::GtEq => {
+                Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o != Ordering::Less)))
+            }
+            BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+        }
+    }
+}
+
+/// Extracts the single value of a scalar subquery result.
+fn scalar_result(rs: crate::engine::ResultSet) -> Result<Value, DbError> {
+    if rs.columns.len() != 1 {
+        return Err(DbError::TypeError(format!(
+            "scalar subquery must return one column, returned {}",
+            rs.columns.len()
+        )));
+    }
+    match rs.rows.len() {
+        0 => Ok(Value::Null),
+        1 => Ok(rs.rows.into_iter().next().unwrap().into_iter().next().unwrap()),
+        _ => Err(DbError::SubqueryCardinality),
+    }
+}
+
+/// Converts a parsed literal to a runtime value.
+pub fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Null => Value::Null,
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Float(v) => Value::Float(*v),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+    }
+}
+
+/// Converts a runtime value back to a literal (used when the select executor
+/// substitutes computed aggregates into expressions).
+pub fn value_literal(v: &Value) -> Literal {
+    match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(*i),
+        Value::Float(f) => Literal::Float(*f),
+        Value::Str(s) => Literal::Str(s.clone()),
+        Value::Bool(b) => Literal::Bool(*b),
+    }
+}
+
+fn cmp_to_bool(cmp: Option<Ordering>, f: impl Fn(Ordering) -> bool) -> Option<bool> {
+    cmp.map(f)
+}
+
+fn three_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn three_or(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn negate_if(v: Option<bool>, negate: bool) -> Option<bool> {
+    if negate {
+        v.map(|b| !b)
+    } else {
+        v
+    }
+}
+
+fn truth_value(v: Option<bool>) -> Value {
+    match v {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+/// SQL IN semantics: TRUE if any candidate equals the probe; otherwise
+/// UNKNOWN if the probe or any candidate is NULL; otherwise FALSE.
+fn in_semantics(probe: &Value, candidates: &[Value], negated: bool) -> Result<Value, DbError> {
+    if probe.is_null() {
+        return Ok(Value::Null);
+    }
+    let mut saw_null = false;
+    for c in candidates {
+        if c.is_null() {
+            saw_null = true;
+            continue;
+        }
+        if probe.sql_cmp(c) == Some(Ordering::Equal) {
+            return Ok(Value::Bool(!negated));
+        }
+    }
+    if saw_null {
+        Ok(Value::Null)
+    } else {
+        Ok(Value::Bool(negated))
+    }
+}
+
+/// Built-in scalar functions.
+fn eval_function(name: &str, args: &[Value]) -> Result<Value, DbError> {
+    let arity = |n: usize| -> Result<(), DbError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(DbError::TypeError(format!("{name} expects {n} argument(s), got {}", args.len())))
+        }
+    };
+    match name {
+        "upper" | "lower" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Str(if name == "upper" {
+                    s.to_uppercase()
+                } else {
+                    s.to_lowercase()
+                })),
+                other => Err(DbError::TypeError(format!("{name} requires a string, got {other}"))),
+            }
+        }
+        "length" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(DbError::TypeError(format!("length requires a string, got {other}"))),
+            }
+        }
+        "abs" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(v) => Ok(Value::Int(v.abs())),
+                Value::Float(v) => Ok(Value::Float(v.abs())),
+                other => Err(DbError::TypeError(format!("abs requires a number, got {other}"))),
+            }
+        }
+        "round" => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(DbError::TypeError("round expects 1 or 2 arguments".into()));
+            }
+            let digits = match args.get(1) {
+                None => 0i64,
+                Some(Value::Int(d)) => *d,
+                Some(other) => {
+                    return Err(DbError::TypeError(format!(
+                        "round digits must be an integer, got {other}"
+                    )));
+                }
+            };
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(v) => Ok(Value::Int(*v)),
+                Value::Float(v) => {
+                    let scale = 10f64.powi(digits as i32);
+                    Ok(Value::Float((v * scale).round() / scale))
+                }
+                other => Err(DbError::TypeError(format!("round requires a number, got {other}"))),
+            }
+        }
+        "coalesce" => {
+            for a in args {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        "substr" | "substring" => {
+            if args.len() < 2 || args.len() > 3 {
+                return Err(DbError::TypeError("substr expects 2 or 3 arguments".into()));
+            }
+            let (s, start) = match (&args[0], &args[1]) {
+                (Value::Null, _) | (_, Value::Null) => return Ok(Value::Null),
+                (Value::Str(s), Value::Int(i)) => (s, *i),
+                _ => return Err(DbError::TypeError("substr(string, int[, int])".into())),
+            };
+            let chars: Vec<char> = s.chars().collect();
+            let start_idx = (start.max(1) - 1) as usize;
+            let len = match args.get(2) {
+                None => chars.len().saturating_sub(start_idx),
+                Some(Value::Int(l)) => (*l).max(0) as usize,
+                Some(Value::Null) => return Ok(Value::Null),
+                Some(_) => return Err(DbError::TypeError("substr length must be int".into())),
+            };
+            Ok(Value::Str(chars.iter().skip(start_idx).take(len).collect()))
+        }
+        "trim" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Str(s.trim().to_string())),
+                other => Err(DbError::TypeError(format!("trim requires a string, got {other}"))),
+            }
+        }
+        other => Err(DbError::TypeError(format!("unknown function `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Database;
+    use msql_lang::parse_expr;
+
+    fn eval_const(src: &str) -> Result<Value, DbError> {
+        let db = Database::new("testdb");
+        let e = parse_expr(src).unwrap();
+        Evaluator::constant(&db).eval(&e)
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval_const("1 + 2 * 3").unwrap(), Value::Int(7));
+        assert_eq!(eval_const("(1 + 2) * 3").unwrap(), Value::Int(9));
+        assert_eq!(eval_const("10 / 4").unwrap(), Value::Float(2.5));
+        assert_eq!(eval_const("-(2 + 3)").unwrap(), Value::Int(-5));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(eval_const("NULL AND FALSE").unwrap(), Value::Bool(false));
+        assert_eq!(eval_const("NULL AND TRUE").unwrap(), Value::Null);
+        assert_eq!(eval_const("NULL OR TRUE").unwrap(), Value::Bool(true));
+        assert_eq!(eval_const("NULL OR FALSE").unwrap(), Value::Null);
+        assert_eq!(eval_const("NOT NULL IS NULL").unwrap(), Value::Bool(false));
+        assert_eq!(eval_const("NULL = NULL").unwrap(), Value::Null);
+        assert_eq!(eval_const("NULL IS NULL").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        assert_eq!(eval_const("1 IN (1, 2)").unwrap(), Value::Bool(true));
+        assert_eq!(eval_const("3 IN (1, 2)").unwrap(), Value::Bool(false));
+        assert_eq!(eval_const("3 IN (1, NULL)").unwrap(), Value::Null);
+        assert_eq!(eval_const("1 IN (1, NULL)").unwrap(), Value::Bool(true));
+        assert_eq!(eval_const("1 NOT IN (2, NULL)").unwrap(), Value::Null);
+        assert_eq!(eval_const("NULL IN (1)").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn between_and_like() {
+        assert_eq!(eval_const("5 BETWEEN 1 AND 10").unwrap(), Value::Bool(true));
+        assert_eq!(eval_const("5 NOT BETWEEN 1 AND 10").unwrap(), Value::Bool(false));
+        assert_eq!(eval_const("NULL BETWEEN 1 AND 10").unwrap(), Value::Null);
+        assert_eq!(eval_const("'Houston' LIKE 'Hou%'").unwrap(), Value::Bool(true));
+        assert_eq!(eval_const("'Houston' NOT LIKE '%x%'").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(eval_const("UPPER('abc')").unwrap(), Value::Str("ABC".into()));
+        assert_eq!(eval_const("length('héllo')").unwrap(), Value::Int(5));
+        assert_eq!(eval_const("abs(-(3))").unwrap(), Value::Int(3));
+        assert_eq!(eval_const("round(2.567, 1)").unwrap(), Value::Float(2.6));
+        assert_eq!(eval_const("coalesce(NULL, NULL, 7)").unwrap(), Value::Int(7));
+        assert_eq!(eval_const("substr('Houston', 1, 3)").unwrap(), Value::Str("Hou".into()));
+        assert_eq!(eval_const("substr('Houston', 4)").unwrap(), Value::Str("ston".into()));
+        assert_eq!(eval_const("trim('  hi ')").unwrap(), Value::Str("hi".into()));
+        assert!(eval_const("frobnicate(1)").is_err());
+    }
+
+    #[test]
+    fn concat_operator() {
+        assert_eq!(eval_const("'a' || 'b' || 'c'").unwrap(), Value::Str("abc".into()));
+        assert_eq!(eval_const("'a' || NULL").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn column_against_env() {
+        use crate::schema::{ColumnSchema, TableSchema};
+        let db = Database::new("avis");
+        let schema = TableSchema::new(
+            "cars",
+            vec![
+                ColumnSchema::new("code", crate::value::DataType::Int),
+                ColumnSchema::new("rate", crate::value::DataType::Float),
+            ],
+        );
+        let row = vec![Value::Int(7), Value::Float(39.5)];
+        let env = Env {
+            bindings: vec![Binding { name: "cars".into(), schema: &schema, row: &row }],
+        };
+        let ev = Evaluator::new(&db, &env);
+        assert_eq!(ev.eval(&parse_expr("code").unwrap()).unwrap(), Value::Int(7));
+        assert_eq!(ev.eval(&parse_expr("cars.rate").unwrap()).unwrap(), Value::Float(39.5));
+        assert_eq!(
+            ev.eval(&parse_expr("rate * 1.1").unwrap()).unwrap(),
+            Value::Float(39.5 * 1.1)
+        );
+        assert!(matches!(
+            ev.eval(&parse_expr("missing").unwrap()),
+            Err(DbError::UnknownColumn(_))
+        ));
+        // Remote qualifier is rejected.
+        assert!(matches!(
+            ev.eval(&parse_expr("national.cars.rate").unwrap()),
+            Err(DbError::NotLocalSql(_))
+        ));
+        // Same-database qualifier is accepted.
+        assert_eq!(ev.eval(&parse_expr("avis.cars.code").unwrap()).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn ambiguous_column_is_error() {
+        use crate::schema::{ColumnSchema, TableSchema};
+        let db = Database::new("d");
+        let s1 = TableSchema::new("a", vec![ColumnSchema::new("x", crate::value::DataType::Int)]);
+        let s2 = TableSchema::new("b", vec![ColumnSchema::new("x", crate::value::DataType::Int)]);
+        let r1 = vec![Value::Int(1)];
+        let r2 = vec![Value::Int(2)];
+        let env = Env {
+            bindings: vec![
+                Binding { name: "a".into(), schema: &s1, row: &r1 },
+                Binding { name: "b".into(), schema: &s2, row: &r2 },
+            ],
+        };
+        let ev = Evaluator::new(&db, &env);
+        assert!(matches!(
+            ev.eval(&parse_expr("x").unwrap()),
+            Err(DbError::AmbiguousColumn(_))
+        ));
+        assert_eq!(ev.eval(&parse_expr("a.x").unwrap()).unwrap(), Value::Int(1));
+        assert_eq!(ev.eval(&parse_expr("b.x").unwrap()).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn wildcard_column_is_rejected_locally() {
+        let db = Database::new("d");
+        let e = parse_expr("rate%").unwrap();
+        assert!(matches!(
+            Evaluator::constant(&db).eval(&e),
+            Err(DbError::NotLocalSql(_))
+        ));
+    }
+}

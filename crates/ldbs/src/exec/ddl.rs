@@ -1,0 +1,165 @@
+//! CREATE / DROP TABLE execution.
+//!
+//! Whether the undo log receives an entry is decided by the caller (the
+//! engine) from the [`crate::profile::DbmsProfile`]: Ingres-like systems log
+//! DDL (rollbackable), Oracle-like systems do not (DDL autocommits).
+
+use crate::engine::Database;
+use crate::error::DbError;
+use crate::schema::{ColumnSchema, TableSchema};
+use crate::table::Table;
+use crate::txn::UndoOp;
+use crate::value::DataType;
+use msql_lang::{CreateTable, DropTable};
+
+/// Creates a table. When `undo` is `Some`, the creation is recorded so
+/// rollback can drop it again.
+pub fn execute_create_table(
+    db: &mut Database,
+    ct: &CreateTable,
+    undo: Option<&mut Vec<UndoOp>>,
+) -> Result<(), DbError> {
+    if ct.table.table.is_multiple() {
+        return Err(DbError::NotLocalSql(format!(
+            "table name `{}` contains a wildcard",
+            ct.table.table
+        )));
+    }
+    if let Some(d) = &ct.table.database {
+        if d.as_str() != db.name {
+            return Err(DbError::NotLocalSql(format!("remote database `{d}` in CREATE TABLE")));
+        }
+    }
+    let name = ct.table.table.as_str().to_string();
+    if db.table(&name).is_ok() {
+        return Err(DbError::AlreadyExists(name));
+    }
+    if ct.columns.is_empty() {
+        return Err(DbError::TypeError("a table needs at least one column".into()));
+    }
+    let mut cols = Vec::with_capacity(ct.columns.len());
+    for c in &ct.columns {
+        let mut col = ColumnSchema::new(c.name.clone(), DataType::from_type_name(c.type_name));
+        col.not_null = c.not_null;
+        if cols.iter().any(|existing: &ColumnSchema| existing.name == col.name) {
+            return Err(DbError::AlreadyExists(format!("column `{}`", col.name)));
+        }
+        cols.push(col);
+    }
+    let schema = TableSchema::new(name.clone(), cols);
+    db.insert_table(Table::new(schema));
+    if let Some(undo) = undo {
+        undo.push(UndoOp::CreateTable { database: db.name.clone(), table: name });
+    }
+    Ok(())
+}
+
+/// Drops a table. When `undo` is `Some`, the full table (schema and rows) is
+/// retained so rollback can restore it.
+pub fn execute_drop_table(
+    db: &mut Database,
+    dt: &DropTable,
+    undo: Option<&mut Vec<UndoOp>>,
+) -> Result<(), DbError> {
+    if dt.table.table.is_multiple() {
+        return Err(DbError::NotLocalSql(format!(
+            "table name `{}` contains a wildcard",
+            dt.table.table
+        )));
+    }
+    if let Some(d) = &dt.table.database {
+        if d.as_str() != db.name {
+            return Err(DbError::NotLocalSql(format!("remote database `{d}` in DROP TABLE")));
+        }
+    }
+    let name = dt.table.table.as_str();
+    let table = db.remove_table(name)?;
+    if let Some(undo) = undo {
+        undo.push(UndoOp::DropTable { database: db.name.clone(), table: Box::new(table) });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msql_lang::{parse_statement, Statement};
+
+    fn as_create(sql: &str) -> CreateTable {
+        let Statement::CreateTable(ct) = parse_statement(sql).unwrap() else { panic!() };
+        ct
+    }
+
+    fn as_drop(sql: &str) -> DropTable {
+        let Statement::DropTable(dt) = parse_statement(sql).unwrap() else { panic!() };
+        dt
+    }
+
+    #[test]
+    fn create_and_drop_roundtrip() {
+        let mut db = Database::new("avis");
+        let ct = as_create("CREATE TABLE cars (code INT NOT NULL, rate FLOAT)");
+        execute_create_table(&mut db, &ct, None).unwrap();
+        let schema = &db.table("cars").unwrap().schema;
+        assert_eq!(schema.arity(), 2);
+        assert!(schema.columns[0].not_null);
+
+        let dt = as_drop("DROP TABLE cars");
+        execute_drop_table(&mut db, &dt, None).unwrap();
+        assert!(db.table("cars").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new("avis");
+        let ct = as_create("CREATE TABLE cars (code INT)");
+        execute_create_table(&mut db, &ct, None).unwrap();
+        assert!(matches!(
+            execute_create_table(&mut db, &ct, None),
+            Err(DbError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut db = Database::new("avis");
+        let ct = as_create("CREATE TABLE t (x INT, x FLOAT)");
+        assert!(matches!(
+            execute_create_table(&mut db, &ct, None),
+            Err(DbError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn drop_unknown_table_errors() {
+        let mut db = Database::new("avis");
+        let dt = as_drop("DROP TABLE ghost");
+        assert!(matches!(
+            execute_drop_table(&mut db, &dt, None),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn undo_entries_capture_enough_to_restore() {
+        let mut db = Database::new("avis");
+        let ct = as_create("CREATE TABLE cars (code INT)");
+        let mut undo = Vec::new();
+        execute_create_table(&mut db, &ct, Some(&mut undo)).unwrap();
+        assert!(matches!(&undo[0], UndoOp::CreateTable { table, .. } if table == "cars"));
+
+        let dt = as_drop("DROP TABLE cars");
+        execute_drop_table(&mut db, &dt, Some(&mut undo)).unwrap();
+        assert!(matches!(&undo[1], UndoOp::DropTable { table, .. } if table.schema.name == "cars"));
+    }
+
+    #[test]
+    fn remote_qualifier_rejected() {
+        let mut db = Database::new("avis");
+        let ct = as_create("CREATE TABLE national.vehicle (x INT)");
+        assert!(matches!(
+            execute_create_table(&mut db, &ct, None),
+            Err(DbError::NotLocalSql(_))
+        ));
+    }
+}

@@ -1,0 +1,6 @@
+//! Statement execution: retrieval ([`select`]), modification ([`dml`]) and
+//! schema changes ([`ddl`]).
+
+pub mod ddl;
+pub mod dml;
+pub mod select;

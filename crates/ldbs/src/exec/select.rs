@@ -1,0 +1,836 @@
+//! SELECT execution: cross joins, filtering, aggregation, sorting,
+//! projection.
+//!
+//! The executor is a straightforward iterate-and-filter engine (SQL-89 style
+//! implicit joins, as in all of the paper's examples). Aggregates are
+//! computed per group and *substituted* into the projection/HAVING/ORDER BY
+//! expressions as literals, after which the ordinary row evaluator finishes
+//! the job — this keeps a single evaluator implementation.
+
+use crate::engine::{ColumnMeta, Database, ResultSet};
+use crate::error::DbError;
+use crate::eval::{literal_value, value_literal, Binding, Env, Evaluator, SubqueryCache};
+use crate::schema::TableSchema;
+use crate::table::Row;
+use crate::value::{DataType, Value};
+use msql_lang::printer::print_expr;
+use msql_lang::{
+    AggregateKind, Expr, OrderByItem, Select, SelectItem, SortOrder, TableRef,
+};
+use std::cmp::Ordering;
+
+/// Executes a SELECT against `db`. `outer` carries the binding scopes of
+/// enclosing query blocks (for correlated subqueries); top-level queries pass
+/// an empty slice.
+pub fn execute_select(
+    db: &Database,
+    sel: &Select,
+    outer: &[&Env<'_>],
+) -> Result<ResultSet, DbError> {
+    // Statement-scoped cache for uncorrelated scalar subqueries.
+    let subq_cache = SubqueryCache::new();
+    // Resolve FROM tables.
+    let mut sources: Vec<(&TableSchema, Vec<&Row>, String)> = Vec::with_capacity(sel.from.len());
+    for tref in &sel.from {
+        let table = resolve_table(db, tref)?;
+        let binding = tref.binding_name().to_ascii_lowercase();
+        if sources.iter().any(|(_, _, b)| *b == binding) {
+            return Err(DbError::AmbiguousColumn(format!("duplicate FROM binding `{binding}`")));
+        }
+        sources.push((&table.schema, table.iter().map(|(_, r)| r).collect(), binding));
+    }
+
+    // Enumerate the cross product, filter by WHERE. An empty FROM clause
+    // (e.g. `SELECT 1`) contributes exactly one empty combination; an empty
+    // table anywhere makes the product empty.
+    let mut combos: Vec<Vec<&Row>> = Vec::new();
+    let keep_combo = |combo: &Vec<&Row>| -> Result<bool, DbError> {
+        match &sel.where_clause {
+            None => Ok(true),
+            Some(pred) => {
+                let env = make_env(&sources, combo);
+                let ev = evaluator(db, outer, &env, &subq_cache);
+                Ok(ev.eval(pred)?.as_truth()? == Some(true))
+            }
+        }
+    };
+    if sources.is_empty() {
+        let combo = Vec::new();
+        if keep_combo(&combo)? {
+            combos.push(combo);
+        }
+    } else if sources.iter().all(|(_, rows, _)| !rows.is_empty()) {
+        let mut idx = vec![0usize; sources.len()];
+        'product: loop {
+            let combo: Vec<&Row> =
+                sources.iter().zip(&idx).map(|((_, rows, _), i)| rows[*i]).collect();
+            if keep_combo(&combo)? {
+                combos.push(combo);
+            }
+            // Advance the odometer, rightmost position fastest.
+            let mut k = sources.len() - 1;
+            loop {
+                idx[k] += 1;
+                if idx[k] < sources[k].1.len() {
+                    break;
+                }
+                idx[k] = 0;
+                if k == 0 {
+                    break 'product;
+                }
+                k -= 1;
+            }
+        }
+    }
+
+    let aggregate_mode = !sel.group_by.is_empty()
+        || sel.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+        || sel.having.as_ref().map(Expr::contains_aggregate).unwrap_or(false);
+
+    let (mut names, mut rows, order_keys) = if aggregate_mode {
+        run_aggregate(db, sel, outer, &sources, combos, &subq_cache)?
+    } else {
+        run_rowwise(db, sel, outer, &sources, combos, &subq_cache)?
+    };
+
+    // ORDER BY: keys were computed alongside each output row.
+    if !sel.order_by.is_empty() {
+        let mut perm: Vec<usize> = (0..rows.len()).collect();
+        perm.sort_by(|&a, &b| compare_keys(&order_keys[a], &order_keys[b], &sel.order_by));
+        rows = perm.iter().map(|&i| rows[i].clone()).collect();
+    }
+
+    // DISTINCT: stable dedup via sorted view.
+    if sel.distinct {
+        let mut seen: Vec<Row> = Vec::new();
+        rows.retain(|r| {
+            if seen.iter().any(|s| rows_equal(s, r)) {
+                false
+            } else {
+                seen.push(r.clone());
+                true
+            }
+        });
+    }
+
+    // Column metadata: static inference refined by the first non-null value.
+    let columns = build_column_meta(&mut names, &sources, sel, &rows);
+    Ok(ResultSet { columns, rows })
+}
+
+fn resolve_table<'a>(
+    db: &'a Database,
+    tref: &TableRef,
+) -> Result<&'a crate::table::Table, DbError> {
+    if tref.table.is_multiple() || tref.database.as_ref().map(|d| d.is_multiple()).unwrap_or(false)
+    {
+        return Err(DbError::NotLocalSql(format!(
+            "table reference `{}` still contains a wildcard",
+            tref.table
+        )));
+    }
+    if let Some(d) = &tref.database {
+        if d.as_str() != db.name {
+            return Err(DbError::NotLocalSql(format!(
+                "reference to remote database `{d}` inside local SQL"
+            )));
+        }
+    }
+    db.table(tref.table.as_str())
+}
+
+fn make_env<'a>(
+    sources: &'a [(&'a TableSchema, Vec<&'a Row>, String)],
+    combo: &[&'a Row],
+) -> Env<'a> {
+    Env {
+        bindings: sources
+            .iter()
+            .zip(combo)
+            .map(|((schema, _, binding), row)| Binding {
+                name: binding.clone(),
+                schema,
+                row,
+            })
+            .collect(),
+    }
+}
+
+fn evaluator<'a>(
+    db: &'a Database,
+    outer: &[&'a Env<'a>],
+    env: &'a Env<'a>,
+    cache: &'a SubqueryCache,
+) -> Evaluator<'a> {
+    let mut scopes: Vec<&Env> = outer.to_vec();
+    scopes.push(env);
+    Evaluator { db, scopes, cache: Some(cache) }
+}
+
+/// Expands `*` / `t.*` items into concrete column expressions, returning
+/// `(display name, expr-or-direct-index)` pairs.
+enum ProjItem {
+    /// Evaluate this expression.
+    Expr { expr: Expr, name: String },
+    /// Copy the column directly from a binding (for wildcards).
+    Direct { source: usize, column: usize, name: String },
+}
+
+fn expand_items(
+    sel: &Select,
+    sources: &[(&TableSchema, Vec<&Row>, String)],
+) -> Result<Vec<ProjItem>, DbError> {
+    let mut out = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (si, (schema, _, _)) in sources.iter().enumerate() {
+                    for (ci, col) in schema.columns.iter().enumerate() {
+                        out.push(ProjItem::Direct { source: si, column: ci, name: col.name.clone() });
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let target = t.as_str();
+                let si = sources
+                    .iter()
+                    .position(|(schema, _, binding)| binding == target || schema.name == target)
+                    .ok_or_else(|| DbError::UnknownTable(target.to_string()))?;
+                for (ci, col) in sources[si].0.columns.iter().enumerate() {
+                    out.push(ProjItem::Direct { source: si, column: ci, name: col.name.clone() });
+                }
+            }
+            SelectItem::Expr { expr, alias, .. } => {
+                let name = alias.clone().unwrap_or_else(|| derive_name(expr));
+                out.push(ProjItem::Expr { expr: expr.clone(), name });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn derive_name(expr: &Expr) -> String {
+    match expr {
+        Expr::Column(c) => c.column.as_str().to_string(),
+        Expr::Aggregate { kind, .. } => kind.name().to_ascii_lowercase(),
+        other => print_expr(other),
+    }
+}
+
+type RowsAndKeys = (Vec<String>, Vec<Row>, Vec<Vec<Value>>);
+
+fn run_rowwise(
+    db: &Database,
+    sel: &Select,
+    outer: &[&Env<'_>],
+    sources: &[(&TableSchema, Vec<&Row>, String)],
+    combos: Vec<Vec<&Row>>,
+    subq_cache: &SubqueryCache,
+) -> Result<RowsAndKeys, DbError> {
+    let items = expand_items(sel, sources)?;
+    let names: Vec<String> = items
+        .iter()
+        .map(|i| match i {
+            ProjItem::Expr { name, .. } | ProjItem::Direct { name, .. } => name.clone(),
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(combos.len());
+    let mut keys = Vec::with_capacity(combos.len());
+    for combo in combos {
+        let env = make_env(sources, &combo);
+        let ev = evaluator(db, outer, &env, subq_cache);
+        let mut row = Vec::with_capacity(items.len());
+        for item in &items {
+            match item {
+                ProjItem::Expr { expr, .. } => row.push(ev.eval(expr)?),
+                ProjItem::Direct { source, column, .. } => {
+                    row.push(combo[*source][*column].clone())
+                }
+            }
+        }
+        let mut key = Vec::with_capacity(sel.order_by.len());
+        for o in &sel.order_by {
+            key.push(ev.eval(&o.expr)?);
+        }
+        rows.push(row);
+        keys.push(key);
+    }
+    Ok((names, rows, keys))
+}
+
+fn run_aggregate(
+    db: &Database,
+    sel: &Select,
+    outer: &[&Env<'_>],
+    sources: &[(&TableSchema, Vec<&Row>, String)],
+    combos: Vec<Vec<&Row>>,
+    subq_cache: &SubqueryCache,
+) -> Result<RowsAndKeys, DbError> {
+    for item in &sel.items {
+        if matches!(item, SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)) {
+            return Err(DbError::TypeError(
+                "`*` projection cannot be combined with aggregation".into(),
+            ));
+        }
+    }
+
+    // Group combos by the GROUP BY key.
+    let mut groups: Vec<(Vec<Value>, Vec<Vec<&Row>>)> = Vec::new();
+    for combo in combos {
+        let env = make_env(sources, &combo);
+        let ev = evaluator(db, outer, &env, subq_cache);
+        let mut key = Vec::with_capacity(sel.group_by.len());
+        for g in &sel.group_by {
+            key.push(ev.eval(g)?);
+        }
+        match groups.iter_mut().find(|(k, _)| keys_equal(k, &key)) {
+            Some((_, members)) => members.push(combo),
+            None => groups.push((key, vec![combo])),
+        }
+    }
+    // A global aggregate over an empty input still produces one row.
+    if groups.is_empty() && sel.group_by.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let names: Vec<String> = sel
+        .items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Expr { expr, alias, .. } => {
+                alias.clone().unwrap_or_else(|| derive_name(expr))
+            }
+            _ => unreachable!("wildcards rejected above"),
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut keys = Vec::new();
+    for (_, members) in &groups {
+        // HAVING.
+        if let Some(h) = &sel.having {
+            let hv = eval_group_expr(db, sel, outer, sources, members, h, subq_cache)?;
+            if hv.as_truth()? != Some(true) {
+                continue;
+            }
+        }
+        let mut row = Vec::with_capacity(sel.items.len());
+        for item in &sel.items {
+            let SelectItem::Expr { expr, .. } = item else { unreachable!() };
+            row.push(eval_group_expr(db, sel, outer, sources, members, expr, subq_cache)?);
+        }
+        let mut key = Vec::with_capacity(sel.order_by.len());
+        for o in &sel.order_by {
+            key.push(eval_group_expr(db, sel, outer, sources, members, &o.expr, subq_cache)?);
+        }
+        rows.push(row);
+        keys.push(key);
+    }
+    Ok((names, rows, keys))
+}
+
+/// Evaluates an expression over one group: aggregate subexpressions are
+/// computed over the group's rows and substituted as literals, then the
+/// rewritten expression is evaluated on the group's first row (or no row for
+/// an empty global group).
+fn eval_group_expr(
+    db: &Database,
+    _sel: &Select,
+    outer: &[&Env<'_>],
+    sources: &[(&TableSchema, Vec<&Row>, String)],
+    members: &[Vec<&Row>],
+    expr: &Expr,
+    subq_cache: &SubqueryCache,
+) -> Result<Value, DbError> {
+    let rewritten = substitute_aggregates(expr, &mut |kind, arg, distinct| {
+        compute_aggregate(db, outer, sources, members, kind, arg, distinct, subq_cache)
+    })?;
+    if let Some(first) = members.first() {
+        let env = make_env(sources, first);
+        let ev = evaluator(db, outer, &env, subq_cache);
+        ev.eval(&rewritten)
+    } else {
+        let env = Env::default();
+        let ev = evaluator(db, outer, &env, subq_cache);
+        ev.eval(&rewritten)
+    }
+}
+
+fn substitute_aggregates(
+    expr: &Expr,
+    compute: &mut impl FnMut(AggregateKind, Option<&Expr>, bool) -> Result<Value, DbError>,
+) -> Result<Expr, DbError> {
+    Ok(match expr {
+        Expr::Aggregate { kind, arg, distinct } => {
+            let v = compute(*kind, arg.as_deref(), *distinct)?;
+            Expr::Literal(value_literal(&v))
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute_aggregates(expr, compute)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(substitute_aggregates(left, compute)?),
+            op: *op,
+            right: Box::new(substitute_aggregates(right, compute)?),
+        },
+        Expr::Function { name, args } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| substitute_aggregates(a, compute))
+                .collect::<Result<_, _>>()?,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(substitute_aggregates(expr, compute)?),
+            list: list
+                .iter()
+                .map(|a| substitute_aggregates(a, compute))
+                .collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(substitute_aggregates(expr, compute)?),
+            low: Box::new(substitute_aggregates(low, compute)?),
+            high: Box::new(substitute_aggregates(high, compute)?),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(substitute_aggregates(expr, compute)?),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(substitute_aggregates(expr, compute)?),
+            pattern: Box::new(substitute_aggregates(pattern, compute)?),
+            negated: *negated,
+        },
+        other => other.clone(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compute_aggregate(
+    db: &Database,
+    outer: &[&Env<'_>],
+    sources: &[(&TableSchema, Vec<&Row>, String)],
+    members: &[Vec<&Row>],
+    kind: AggregateKind,
+    arg: Option<&Expr>,
+    distinct: bool,
+    subq_cache: &SubqueryCache,
+) -> Result<Value, DbError> {
+    // COUNT(*) counts group members.
+    let Some(arg) = arg else {
+        return Ok(Value::Int(members.len() as i64));
+    };
+    let mut values = Vec::with_capacity(members.len());
+    for combo in members {
+        let env = make_env(sources, combo);
+        let ev = evaluator(db, outer, &env, subq_cache);
+        let v = ev.eval(arg)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut unique: Vec<Value> = Vec::new();
+        for v in values {
+            if !unique.iter().any(|u| u.sql_cmp(&v) == Some(Ordering::Equal)) {
+                unique.push(v);
+            }
+        }
+        values = unique;
+    }
+    match kind {
+        AggregateKind::Count => Ok(Value::Int(values.len() as i64)),
+        AggregateKind::Min => Ok(values
+            .into_iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        AggregateKind::Max => Ok(values
+            .into_iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        AggregateKind::Sum | AggregateKind::Avg => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let n = values.len();
+            let mut acc = Value::Int(0);
+            for v in values {
+                acc = acc.add(&v)?;
+            }
+            if kind == AggregateKind::Sum {
+                Ok(acc)
+            } else {
+                acc.div(&Value::Int(n as i64))
+            }
+        }
+    }
+}
+
+fn keys_equal(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.total_cmp(y) == Ordering::Equal)
+}
+
+fn rows_equal(a: &Row, b: &Row) -> bool {
+    keys_equal(a, b)
+}
+
+fn compare_keys(a: &[Value], b: &[Value], order: &[OrderByItem]) -> Ordering {
+    for (i, o) in order.iter().enumerate() {
+        let cmp = a[i].total_cmp(&b[i]);
+        let cmp = if o.order == SortOrder::Desc { cmp.reverse() } else { cmp };
+        if cmp != Ordering::Equal {
+            return cmp;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Static type inference with dynamic refinement from the produced rows.
+fn build_column_meta(
+    names: &mut Vec<String>,
+    sources: &[(&TableSchema, Vec<&Row>, String)],
+    sel: &Select,
+    rows: &[Row],
+) -> Vec<ColumnMeta> {
+    // Static guesses per output column, where derivable from the AST.
+    let mut static_types: Vec<Option<DataType>> = Vec::new();
+    let mut expanded_names: Vec<String> = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (schema, _, _) in sources {
+                    for c in &schema.columns {
+                        static_types.push(Some(c.data_type));
+                        expanded_names.push(c.name.clone());
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                for (schema, _, binding) in sources {
+                    if binding == t.as_str() || schema.name == t.as_str() {
+                        for c in &schema.columns {
+                            static_types.push(Some(c.data_type));
+                            expanded_names.push(c.name.clone());
+                        }
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias, .. } => {
+                static_types.push(infer_type(expr, sources));
+                expanded_names
+                    .push(alias.clone().unwrap_or_else(|| derive_name(expr)));
+            }
+        }
+    }
+    if expanded_names.len() == names.len() {
+        *names = expanded_names;
+    }
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let ty = static_types
+                .get(i)
+                .copied()
+                .flatten()
+                .or_else(|| {
+                    rows.iter().find_map(|r| r.get(i).and_then(|v| v.data_type()))
+                })
+                .unwrap_or(DataType::Char(0));
+            ColumnMeta { name: name.clone(), data_type: ty }
+        })
+        .collect()
+}
+
+fn infer_type(
+    expr: &Expr,
+    sources: &[(&TableSchema, Vec<&Row>, String)],
+) -> Option<DataType> {
+    match expr {
+        Expr::Column(c) => {
+            let table = c.table.as_ref().map(|t| t.as_str());
+            for (schema, _, binding) in sources {
+                if let Some(t) = table {
+                    if binding != t && schema.name != t {
+                        continue;
+                    }
+                }
+                if let Ok(col) = schema.column(c.column.as_str()) {
+                    return Some(col.data_type);
+                }
+            }
+            None
+        }
+        Expr::Literal(l) => literal_value(l).data_type(),
+        Expr::Aggregate { kind: AggregateKind::Count, .. } => Some(DataType::Int),
+        Expr::Aggregate { kind: AggregateKind::Avg, .. } => Some(DataType::Float),
+        Expr::Aggregate { arg: Some(a), .. } => infer_type(a, sources),
+        Expr::Binary { left, op, right } => match op {
+            op if op.is_comparison() => Some(DataType::Bool),
+            msql_lang::BinaryOp::And | msql_lang::BinaryOp::Or => Some(DataType::Bool),
+            msql_lang::BinaryOp::Concat => Some(DataType::Char(0)),
+            msql_lang::BinaryOp::Div => Some(DataType::Float),
+            _ => match (infer_type(left, sources), infer_type(right, sources)) {
+                (Some(DataType::Int), Some(DataType::Int)) => Some(DataType::Int),
+                (Some(_), Some(_)) => Some(DataType::Float),
+                _ => None,
+            },
+        },
+        Expr::Unary { op, expr } => match op {
+            msql_lang::UnaryOp::Neg => infer_type(expr, sources),
+            msql_lang::UnaryOp::Not => Some(DataType::Bool),
+        },
+        Expr::IsNull { .. }
+        | Expr::Like { .. }
+        | Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Exists { .. } => Some(DataType::Bool),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Database;
+    use crate::schema::ColumnSchema;
+    use crate::table::Table;
+    use msql_lang::parse_statement;
+
+    fn avis() -> Database {
+        let mut db = Database::new("avis");
+        let mut cars = Table::new(TableSchema::new(
+            "cars",
+            vec![
+                ColumnSchema::new("code", DataType::Int),
+                ColumnSchema::new("cartype", DataType::Char(16)),
+                ColumnSchema::new("rate", DataType::Float),
+                ColumnSchema::new("carst", DataType::Char(10)),
+            ],
+        ));
+        for (code, ty, rate, st) in [
+            (1, "sedan", 39.5, "available"),
+            (2, "suv", 59.0, "rented"),
+            (3, "sedan", 35.0, "available"),
+            (4, "compact", 25.0, "available"),
+        ] {
+            cars.insert(vec![
+                Value::Int(code),
+                Value::Str(ty.into()),
+                Value::Float(rate),
+                Value::Str(st.into()),
+            ])
+            .unwrap();
+        }
+        let mut rentals = Table::new(TableSchema::new(
+            "rentals",
+            vec![
+                ColumnSchema::new("code", DataType::Int),
+                ColumnSchema::new("client", DataType::Char(20)),
+            ],
+        ));
+        rentals.insert(vec![Value::Int(2), Value::Str("wenders".into())]).unwrap();
+        db.insert_table(cars);
+        db.insert_table(rentals);
+        db
+    }
+
+    fn select(db: &Database, sql: &str) -> ResultSet {
+        let stmt = parse_statement(sql).unwrap();
+        let msql_lang::Statement::Query(q) = stmt else { panic!() };
+        let msql_lang::QueryBody::Select(sel) = q.body else { panic!() };
+        execute_select(db, &sel, &[]).unwrap()
+    }
+
+    #[test]
+    fn simple_filter_and_projection() {
+        let db = avis();
+        let rs = select(&db, "SELECT code, rate FROM cars WHERE carst = 'available'");
+        assert_eq!(rs.columns.len(), 2);
+        assert_eq!(rs.columns[0].name, "code");
+        assert_eq!(rs.columns[1].data_type, DataType::Float);
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn star_projection() {
+        let db = avis();
+        let rs = select(&db, "SELECT * FROM cars");
+        assert_eq!(rs.columns.len(), 4);
+        assert_eq!(rs.rows.len(), 4);
+        assert_eq!(rs.columns[1].name, "cartype");
+    }
+
+    #[test]
+    fn cross_join_with_predicate() {
+        let db = avis();
+        let rs = select(
+            &db,
+            "SELECT cars.code, client FROM cars, rentals WHERE cars.code = rentals.code",
+        );
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][1], Value::Str("wenders".into()));
+    }
+
+    #[test]
+    fn order_by_desc_and_asc() {
+        let db = avis();
+        let rs = select(&db, "SELECT code FROM cars ORDER BY rate DESC, code");
+        let codes: Vec<_> = rs.rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(codes, vec![Value::Int(2), Value::Int(1), Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let db = avis();
+        let rs = select(&db, "SELECT DISTINCT cartype FROM cars");
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let db = avis();
+        let rs = select(&db, "SELECT COUNT(*), MIN(rate), MAX(rate), AVG(rate), SUM(code) FROM cars");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(4));
+        assert_eq!(rs.rows[0][1], Value::Float(25.0));
+        assert_eq!(rs.rows[0][2], Value::Float(59.0));
+        assert_eq!(rs.rows[0][4], Value::Int(10));
+    }
+
+    #[test]
+    fn aggregate_on_empty_input_returns_one_row() {
+        let db = avis();
+        let rs = select(&db, "SELECT COUNT(*), MIN(rate) FROM cars WHERE code > 99");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+        assert_eq!(rs.rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn group_by_with_having() {
+        let db = avis();
+        let rs = select(
+            &db,
+            "SELECT cartype, COUNT(*) AS n FROM cars GROUP BY cartype HAVING COUNT(*) > 1",
+        );
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Str("sedan".into()));
+        assert_eq!(rs.rows[0][1], Value::Int(2));
+        assert_eq!(rs.columns[1].name, "n");
+    }
+
+    #[test]
+    fn scalar_subquery_in_where() {
+        let db = avis();
+        let rs = select(&db, "SELECT code FROM cars WHERE rate = (SELECT MIN(rate) FROM cars)");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn paper_min_free_seat_pattern() {
+        // The §3.4 reservation pattern: pick the row with the lowest key
+        // among those in a given state.
+        let db = avis();
+        let rs = select(
+            &db,
+            "SELECT code FROM cars WHERE code = (SELECT MIN(code) FROM cars WHERE carst = 'available')",
+        );
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn correlated_subquery() {
+        let db = avis();
+        // Cars that appear in rentals (correlated EXISTS).
+        let rs = select(
+            &db,
+            "SELECT code FROM cars WHERE EXISTS (SELECT 1 FROM rentals WHERE rentals.code = cars.code)",
+        );
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn in_subquery() {
+        let db = avis();
+        let rs = select(&db, "SELECT code FROM cars WHERE code NOT IN (SELECT code FROM rentals)");
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = avis();
+        let rs = select(&db, "SELECT COUNT(DISTINCT cartype) FROM cars");
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn empty_from_table_yields_no_rows() {
+        let mut db = avis();
+        db.insert_table(Table::new(TableSchema::new(
+            "empty",
+            vec![ColumnSchema::new("x", DataType::Int)],
+        )));
+        let rs = select(&db, "SELECT cars.code FROM cars, empty");
+        assert_eq!(rs.rows.len(), 0);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let db = avis();
+        let try_select = |sql: &str| {
+            let stmt = parse_statement(sql).unwrap();
+            let msql_lang::Statement::Query(q) = stmt else { panic!() };
+            let msql_lang::QueryBody::Select(sel) = q.body else { panic!() };
+            execute_select(&db, &sel, &[])
+        };
+        assert!(matches!(
+            try_select("SELECT x FROM nonexistent"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            try_select("SELECT nonexistent FROM cars"),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_subquery_cardinality_error() {
+        let db = avis();
+        let stmt = parse_statement("SELECT code FROM cars WHERE rate = (SELECT rate FROM cars)")
+            .unwrap();
+        let msql_lang::Statement::Query(q) = stmt else { panic!() };
+        let msql_lang::QueryBody::Select(sel) = q.body else { panic!() };
+        assert!(matches!(
+            execute_select(&db, &sel, &[]),
+            Err(DbError::SubqueryCardinality)
+        ));
+    }
+
+    #[test]
+    fn table_alias_binding() {
+        let db = avis();
+        let rs = select(&db, "SELECT c.code FROM cars c WHERE c.carst = 'rented'");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn qualified_star() {
+        let db = avis();
+        let rs = select(&db, "SELECT r.* FROM cars c, rentals r WHERE c.code = r.code");
+        assert_eq!(rs.columns.len(), 2);
+        assert_eq!(rs.columns[0].name, "code");
+        assert_eq!(rs.columns[1].name, "client");
+    }
+}

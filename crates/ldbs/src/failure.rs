@@ -1,0 +1,155 @@
+//! Local failure injection.
+//!
+//! §3.2: *"For some reasons (local conflicts, failure, deadlock, etc.) one or
+//! more LDBMSs may be forced to abort their local subqueries."* The
+//! multidatabase semantics (vital sets, compensation, acceptable states) only
+//! become observable under such aborts, so the engine lets tests and
+//! benchmarks inject them: deterministically (fail the next statement, fail
+//! any statement touching a given table) or stochastically with a seeded RNG
+//! (for failure-probability sweeps).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Failure injection policy for one engine.
+#[derive(Debug)]
+pub struct FailurePolicy {
+    /// Probability that a DML statement aborts with a simulated local
+    /// conflict.
+    pub statement_abort_probability: f64,
+    /// Probability that entering the prepared state fails.
+    pub prepare_abort_probability: f64,
+    /// Tables on which every write fails (simulated lock victim).
+    fail_tables: HashSet<String>,
+    /// Countdown: when `Some(0)` the next statement fails once.
+    fail_after: Option<u32>,
+    rng: StdRng,
+}
+
+impl FailurePolicy {
+    /// A policy that never fails.
+    pub fn none() -> Self {
+        FailurePolicy {
+            statement_abort_probability: 0.0,
+            prepare_abort_probability: 0.0,
+            fail_tables: HashSet::new(),
+            fail_after: None,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// A seeded stochastic policy.
+    pub fn with_probabilities(seed: u64, statement_p: f64, prepare_p: f64) -> Self {
+        FailurePolicy {
+            statement_abort_probability: statement_p,
+            prepare_abort_probability: prepare_p,
+            fail_tables: HashSet::new(),
+            fail_after: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Arranges for every write to `table` to fail.
+    pub fn fail_writes_to(&mut self, table: &str) {
+        self.fail_tables.insert(table.to_ascii_lowercase());
+    }
+
+    /// Clears a per-table failure.
+    pub fn heal_table(&mut self, table: &str) {
+        self.fail_tables.remove(&table.to_ascii_lowercase());
+    }
+
+    /// Arranges for the statement `n` statements from now to fail once
+    /// (`n = 0` fails the next statement).
+    pub fn fail_statement_in(&mut self, n: u32) {
+        self.fail_after = Some(n);
+    }
+
+    /// Consulted by the engine before each write statement. Returns the
+    /// failure description when the statement must abort.
+    pub fn check_statement(&mut self, table: &str) -> Option<String> {
+        if self.fail_tables.contains(&table.to_ascii_lowercase()) {
+            return Some(format!("simulated lock conflict on `{table}`"));
+        }
+        match self.fail_after {
+            Some(0) => {
+                self.fail_after = None;
+                return Some("simulated deadlock victim".to_string());
+            }
+            Some(n) => self.fail_after = Some(n - 1),
+            None => {}
+        }
+        if self.statement_abort_probability > 0.0
+            && self.rng.gen_bool(self.statement_abort_probability.clamp(0.0, 1.0))
+        {
+            return Some("stochastic local abort".to_string());
+        }
+        None
+    }
+
+    /// Consulted when a transaction attempts to enter the prepared state.
+    pub fn check_prepare(&mut self) -> Option<String> {
+        if self.prepare_abort_probability > 0.0
+            && self.rng.gen_bool(self.prepare_abort_probability.clamp(0.0, 1.0))
+        {
+            return Some("prepare failed (simulated crash before vote)".to_string());
+        }
+        None
+    }
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let mut p = FailurePolicy::none();
+        for _ in 0..100 {
+            assert!(p.check_statement("t").is_none());
+            assert!(p.check_prepare().is_none());
+        }
+    }
+
+    #[test]
+    fn fail_table_is_sticky_until_healed() {
+        let mut p = FailurePolicy::none();
+        p.fail_writes_to("Flights");
+        assert!(p.check_statement("flights").is_some());
+        assert!(p.check_statement("flights").is_some());
+        assert!(p.check_statement("cars").is_none());
+        p.heal_table("FLIGHTS");
+        assert!(p.check_statement("flights").is_none());
+    }
+
+    #[test]
+    fn fail_after_counts_down_and_fires_once() {
+        let mut p = FailurePolicy::none();
+        p.fail_statement_in(2);
+        assert!(p.check_statement("t").is_none());
+        assert!(p.check_statement("t").is_none());
+        assert!(p.check_statement("t").is_some());
+        assert!(p.check_statement("t").is_none());
+    }
+
+    #[test]
+    fn probability_one_always_fails_and_is_deterministic_per_seed() {
+        let mut p = FailurePolicy::with_probabilities(42, 1.0, 1.0);
+        assert!(p.check_statement("t").is_some());
+        assert!(p.check_prepare().is_some());
+
+        // Same seed → same sequence of stochastic outcomes.
+        let outcomes = |seed: u64| {
+            let mut p = FailurePolicy::with_probabilities(seed, 0.5, 0.0);
+            (0..32).map(|_| p.check_statement("t").is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(outcomes(7), outcomes(7));
+    }
+}

@@ -1,0 +1,139 @@
+//! DBMS capability profiles — the heterogeneity axis of the paper.
+//!
+//! §3.2.2: *"LDBMSs supporting automatic commit and LDBMSs supporting
+//! user-controlled 2PC may be involved in the same query. LDBMSs which
+//! support 2PC may adopt different protocols. For example, in our
+//! implementation both Ingres and Oracle provide 2PC, but with different
+//! protocols. One of the DBMSs allows DDL commands to be rolled back while
+//! another automatically commits them together with all previously issued
+//! uncommitted statements."*
+//!
+//! A [`DbmsProfile`] captures exactly these observable differences; the
+//! multidatabase layer reads them through the Auxiliary Directory and plans
+//! accordingly (2PC tasks vs. autocommit tasks vs. compensation).
+
+use msql_lang::CommitCapability;
+
+/// Statement classes whose commit behaviour the Auxiliary Directory records
+/// separately (the `CREATE/INSERT/DROP COMMIT|NOCOMMIT` lines of the
+/// INCORPORATE grammar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatementClass {
+    /// SELECT/INSERT/UPDATE/DELETE.
+    Dml,
+    /// CREATE TABLE / CREATE DATABASE.
+    Create,
+    /// INSERT specifically (some systems autocommit bulk loads).
+    Insert,
+    /// DROP TABLE / DROP DATABASE.
+    Drop,
+}
+
+/// Observable capabilities of a local DBMS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbmsProfile {
+    /// Marketing name of the flavour ("oracle-like", ...), for diagnostics.
+    pub flavor: String,
+    /// Whether the system exposes a visible prepared-to-commit state.
+    pub supports_2pc: bool,
+    /// Whether DDL statements participate in transactions and can be rolled
+    /// back (the Ingres behaviour).
+    pub ddl_rollbackable: bool,
+    /// Whether issuing DDL inside a transaction silently commits all
+    /// previously issued uncommitted statements (the Oracle behaviour).
+    pub ddl_autocommits_prior: bool,
+    /// `CONNECTMODE CONNECT`: the service hosts multiple named databases;
+    /// `NOCONNECT`: exactly one default database.
+    pub multi_database: bool,
+}
+
+impl DbmsProfile {
+    /// Oracle-flavoured: 2PC for DML, but DDL autocommits itself *and* all
+    /// prior uncommitted work.
+    pub fn oracle_like() -> Self {
+        DbmsProfile {
+            flavor: "oracle-like".into(),
+            supports_2pc: true,
+            ddl_rollbackable: false,
+            ddl_autocommits_prior: true,
+            multi_database: true,
+        }
+    }
+
+    /// Ingres-flavoured: 2PC for DML and rollbackable DDL.
+    pub fn ingres_like() -> Self {
+        DbmsProfile {
+            flavor: "ingres-like".into(),
+            supports_2pc: true,
+            ddl_rollbackable: true,
+            ddl_autocommits_prior: false,
+            multi_database: true,
+        }
+    }
+
+    /// Sybase-flavoured stand-in for an autocommit-only system: no visible
+    /// prepared state at all; every statement commits on success. These are
+    /// the systems for which the paper requires COMP clauses when VITAL.
+    pub fn autocommit_only() -> Self {
+        DbmsProfile {
+            flavor: "autocommit-only".into(),
+            supports_2pc: false,
+            ddl_rollbackable: false,
+            ddl_autocommits_prior: true,
+            multi_database: false,
+        }
+    }
+
+    /// The commit capability the service advertises for a statement class —
+    /// this is what INCORPORATE records into the Auxiliary Directory.
+    pub fn capability_for(&self, class: StatementClass) -> CommitCapability {
+        if !self.supports_2pc {
+            return CommitCapability::AutoCommit;
+        }
+        match class {
+            StatementClass::Dml | StatementClass::Insert => CommitCapability::TwoPhase,
+            StatementClass::Create | StatementClass::Drop => {
+                if self.ddl_rollbackable {
+                    CommitCapability::TwoPhase
+                } else {
+                    CommitCapability::AutoCommit
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_autocommits_ddl() {
+        let p = DbmsProfile::oracle_like();
+        assert!(p.supports_2pc);
+        assert_eq!(p.capability_for(StatementClass::Dml), CommitCapability::TwoPhase);
+        assert_eq!(p.capability_for(StatementClass::Create), CommitCapability::AutoCommit);
+        assert_eq!(p.capability_for(StatementClass::Drop), CommitCapability::AutoCommit);
+    }
+
+    #[test]
+    fn ingres_rolls_back_ddl() {
+        let p = DbmsProfile::ingres_like();
+        assert_eq!(p.capability_for(StatementClass::Create), CommitCapability::TwoPhase);
+        assert!(!p.ddl_autocommits_prior);
+    }
+
+    #[test]
+    fn autocommit_only_advertises_autocommit_everywhere() {
+        let p = DbmsProfile::autocommit_only();
+        for class in [
+            StatementClass::Dml,
+            StatementClass::Create,
+            StatementClass::Insert,
+            StatementClass::Drop,
+        ] {
+            assert_eq!(p.capability_for(class), CommitCapability::AutoCommit);
+        }
+        assert!(!p.multi_database);
+    }
+}

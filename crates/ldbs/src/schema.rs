@@ -1,0 +1,114 @@
+//! Table and column schemas.
+//!
+//! Schema objects double as the *Local Conceptual Schema* of the paper's
+//! architecture (Figure 2): tables marked [`TableSchema::public`] are the
+//! ones an `IMPORT DATABASE` statement may pull into the Global Data
+//! Dictionary.
+
+use crate::error::DbError;
+use crate::value::DataType;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSchema {
+    /// Column name (stored lowercase; SQL identifiers are case-insensitive).
+    pub name: String,
+    /// Data type, including the advertised width for CHAR columns — the GDD
+    /// stores "names, types and widths" (paper §3.1).
+    pub data_type: DataType,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+}
+
+impl ColumnSchema {
+    /// Creates a nullable column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnSchema { name: name.into().to_ascii_lowercase(), data_type, not_null: false }
+    }
+
+    /// Creates a NOT NULL column.
+    pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnSchema { name: name.into().to_ascii_lowercase(), data_type, not_null: true }
+    }
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (lowercase).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnSchema>,
+    /// Whether the table is exported to the multidatabase level.
+    pub public: bool,
+}
+
+impl TableSchema {
+    /// Creates a public table schema.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnSchema>) -> Self {
+        TableSchema { name: name.into().to_ascii_lowercase(), columns, public: true }
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// The column schema for `name`, or an error.
+    pub fn column(&self, name: &str) -> Result<&ColumnSchema, DbError> {
+        self.column_index(name)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| DbError::UnknownColumn(format!("{}.{}", self.name, name)))
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cars() -> TableSchema {
+        TableSchema::new(
+            "Cars",
+            vec![
+                ColumnSchema::not_null("Code", DataType::Int),
+                ColumnSchema::new("CarType", DataType::Char(16)),
+                ColumnSchema::new("rate", DataType::Float),
+            ],
+        )
+    }
+
+    #[test]
+    fn names_are_normalised() {
+        let t = cars();
+        assert_eq!(t.name, "cars");
+        assert_eq!(t.columns[0].name, "code");
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let t = cars();
+        assert_eq!(t.column_index("CODE"), Some(0));
+        assert_eq!(t.column_index("cartype"), Some(1));
+        assert_eq!(t.column_index("missing"), None);
+        assert!(t.column("RATE").is_ok());
+        assert!(matches!(t.column("nope"), Err(DbError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn arity_and_names() {
+        let t = cars();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.column_names(), vec!["code", "cartype", "rate"]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Row storage.
+//!
+//! Rows carry stable identifiers so the undo log can refer to them across
+//! updates and deletes; a `BTreeMap` keeps iteration order deterministic,
+//! which makes query results and benchmarks reproducible.
+
+use crate::error::DbError;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Stable identifier of a stored row.
+pub type RowId = u64;
+
+/// A stored row: one value per schema column.
+pub type Row = Vec<Value>;
+
+/// A heap table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The table schema.
+    pub schema: TableSchema,
+    rows: BTreeMap<RowId, Row>,
+    next_id: RowId,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: BTreeMap::new(), next_id: 1 }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validates a row against the schema (arity, NOT NULL, type coercion)
+    /// and returns the coerced row.
+    pub fn validate(&self, row: Row) -> Result<Row, DbError> {
+        if row.len() != self.schema.arity() {
+            return Err(DbError::TypeError(format!(
+                "table `{}` expects {} values, got {}",
+                self.schema.name,
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (value, col) in row.into_iter().zip(&self.schema.columns) {
+            if value.is_null() && col.not_null {
+                return Err(DbError::NullViolation(col.name.clone()));
+            }
+            out.push(value.coerce_to(col.data_type).map_err(|_| {
+                DbError::TypeError(format!(
+                    "value {value} does not fit column `{}` ({})",
+                    col.name, col.data_type
+                ))
+            })?);
+        }
+        Ok(out)
+    }
+
+    /// Inserts a validated row, returning its id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId, DbError> {
+        let row = self.validate(row)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.rows.insert(id, row);
+        Ok(id)
+    }
+
+    /// Re-inserts a row under a previously assigned id (undo of a delete).
+    pub fn restore(&mut self, id: RowId, row: Row) {
+        self.rows.insert(id, row);
+        if id >= self.next_id {
+            self.next_id = id + 1;
+        }
+    }
+
+    /// Removes a row, returning it.
+    pub fn remove(&mut self, id: RowId) -> Option<Row> {
+        self.rows.remove(&id)
+    }
+
+    /// Reads a row.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.rows.get(&id)
+    }
+
+    /// Replaces a row in place, returning the previous contents.
+    pub fn replace(&mut self, id: RowId, row: Row) -> Result<Row, DbError> {
+        let row = self.validate(row)?;
+        match self.rows.get_mut(&id) {
+            Some(slot) => Ok(std::mem::replace(slot, row)),
+            None => Err(DbError::Internal(format!("row {id} vanished during update"))),
+        }
+    }
+
+    /// Iterates `(id, row)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows.iter().map(|(id, row)| (*id, row))
+    }
+
+    /// Snapshot of all rows in id order (used by tests and result building).
+    pub fn rows_snapshot(&self) -> Vec<Row> {
+        self.rows.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnSchema;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(TableSchema::new(
+            "cars",
+            vec![
+                ColumnSchema::not_null("code", DataType::Int),
+                ColumnSchema::new("rate", DataType::Float),
+            ],
+        ))
+    }
+
+    #[test]
+    fn insert_assigns_increasing_ids() {
+        let mut t = table();
+        let a = t.insert(vec![Value::Int(1), Value::Float(10.0)]).unwrap();
+        let b = t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        assert!(b > a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rows() {
+        let mut t = table();
+        assert!(matches!(
+            t.insert(vec![Value::Int(1)]),
+            Err(DbError::TypeError(_))
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::Null, Value::Null]),
+            Err(DbError::NullViolation(_))
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::Str("x".into()), Value::Null]),
+            Err(DbError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Int(1), Value::Int(10)]).unwrap();
+        assert_eq!(t.get(id).unwrap()[1], Value::Float(10.0));
+    }
+
+    #[test]
+    fn remove_restore_roundtrip() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Int(1), Value::Float(10.0)]).unwrap();
+        let row = t.remove(id).unwrap();
+        assert!(t.is_empty());
+        t.restore(id, row);
+        assert_eq!(t.get(id).unwrap()[0], Value::Int(1));
+        // next_id moves past restored ids
+        let id2 = t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        assert!(id2 > id);
+    }
+
+    #[test]
+    fn replace_returns_old_row() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Int(1), Value::Float(10.0)]).unwrap();
+        let old = t.replace(id, vec![Value::Int(1), Value::Float(11.0)]).unwrap();
+        assert_eq!(old[1], Value::Float(10.0));
+        assert_eq!(t.get(id).unwrap()[1], Value::Float(11.0));
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let mut t = table();
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), Value::Null]).unwrap();
+        }
+        let codes: Vec<i64> = t
+            .iter()
+            .map(|(_, r)| match r[0] {
+                Value::Int(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(codes, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the local engine's transactional invariants.
+//!
+//! * **Rollback restores state**: any sequence of INSERT/UPDATE/DELETE inside
+//!   a transaction, followed by ROLLBACK, leaves the database exactly as it
+//!   was — including after a prepare.
+//! * **Commit persists state**: the same sequence followed by COMMIT is
+//!   equivalent to running the statements in autocommit mode.
+//! * **Statement atomicity**: a failing statement inside a transaction has no
+//!   effect at all.
+
+use ldbs::profile::DbmsProfile;
+use ldbs::value::Value;
+use ldbs::Engine;
+use proptest::prelude::*;
+
+/// A randomly generated DML statement over the fixture table.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { code: i64, rate: f64 },
+    UpdateRate { threshold: i64, factor: i64 },
+    Delete { threshold: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..50, 0u32..10_000).prop_map(|(code, r)| Op::Insert { code, rate: r as f64 / 100.0 }),
+        (0i64..50, 1i64..4).prop_map(|(threshold, factor)| Op::UpdateRate { threshold, factor }),
+        (0i64..50).prop_map(|threshold| Op::Delete { threshold }),
+    ]
+}
+
+fn fixture() -> Engine {
+    let mut e = Engine::new("svc", DbmsProfile::oracle_like());
+    e.create_database("db").unwrap();
+    e.execute("db", "CREATE TABLE cars (code INT, rate FLOAT)").unwrap();
+    for code in 0..10 {
+        e.execute("db", &format!("INSERT INTO cars VALUES ({code}, {})", code * 10)).unwrap();
+    }
+    e
+}
+
+fn snapshot(e: &mut Engine) -> Vec<Vec<Value>> {
+    e.execute("db", "SELECT code, rate FROM cars ORDER BY code, rate")
+        .unwrap()
+        .into_result_set()
+        .unwrap()
+        .rows
+}
+
+fn sql_for(op: &Op) -> String {
+    match op {
+        Op::Insert { code, rate } => format!("INSERT INTO cars VALUES ({code}, {rate})"),
+        Op::UpdateRate { threshold, factor } => {
+            format!("UPDATE cars SET rate = rate * {factor} WHERE code < {threshold}")
+        }
+        Op::Delete { threshold } => format!("DELETE FROM cars WHERE code >= {threshold}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rollback_restores_exact_state(ops in proptest::collection::vec(op_strategy(), 1..12),
+                                     prepare_first in any::<bool>()) {
+        let mut e = fixture();
+        let before = snapshot(&mut e);
+        let txn = e.begin();
+        for op in &ops {
+            e.execute_in(txn, "db", &sql_for(op)).unwrap();
+        }
+        if prepare_first {
+            e.prepare(txn).unwrap();
+        }
+        e.rollback(txn).unwrap();
+        let after = snapshot(&mut e);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn commit_equals_autocommit(ops in proptest::collection::vec(op_strategy(), 1..12)) {
+        // Transactional run.
+        let mut tx_engine = fixture();
+        let txn = tx_engine.begin();
+        for op in &ops {
+            tx_engine.execute_in(txn, "db", &sql_for(op)).unwrap();
+        }
+        tx_engine.prepare(txn).unwrap();
+        tx_engine.commit(txn).unwrap();
+
+        // Autocommit run.
+        let mut auto_engine = fixture();
+        for op in &ops {
+            auto_engine.execute("db", &sql_for(op)).unwrap();
+        }
+
+        prop_assert_eq!(snapshot(&mut tx_engine), snapshot(&mut auto_engine));
+    }
+
+    #[test]
+    fn injected_failure_leaves_no_trace(ops in proptest::collection::vec(op_strategy(), 1..8),
+                                        fail_at in 0u32..8) {
+        let mut e = fixture();
+        let before = snapshot(&mut e);
+        e.failure_policy_mut().fail_statement_in(fail_at.min(ops.len() as u32 - 1));
+        let txn = e.begin();
+        let mut failed = false;
+        for op in &ops {
+            if e.execute_in(txn, "db", &sql_for(op)).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        prop_assert!(failed, "the armed failure must fire within the sequence");
+        e.rollback(txn).unwrap();
+        prop_assert_eq!(before, snapshot(&mut e));
+    }
+}

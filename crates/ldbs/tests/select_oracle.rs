@@ -1,0 +1,145 @@
+//! Differential property test: the SELECT executor against a naive Rust
+//! reference over randomly generated tables and predicates.
+
+use ldbs::profile::DbmsProfile;
+use ldbs::value::Value;
+use ldbs::Engine;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Pred {
+    LtX(i64),
+    EqY(i64),
+    XltY,
+    BetweenX(i64, i64),
+    And(i64, i64), // x < a AND y >= b
+    Or(i64, i64),  // x = a OR y = b
+}
+
+impl Pred {
+    fn sql(&self) -> String {
+        match self {
+            Pred::LtX(c) => format!("x < {c}"),
+            Pred::EqY(c) => format!("y = {c}"),
+            Pred::XltY => "x < y".to_string(),
+            Pred::BetweenX(a, b) => format!("x BETWEEN {a} AND {b}"),
+            Pred::And(a, b) => format!("x < {a} AND y >= {b}"),
+            Pred::Or(a, b) => format!("x = {a} OR y = {b}"),
+        }
+    }
+
+    fn eval(&self, x: i64, y: i64) -> bool {
+        match self {
+            Pred::LtX(c) => x < *c,
+            Pred::EqY(c) => y == *c,
+            Pred::XltY => x < y,
+            Pred::BetweenX(a, b) => x >= *a && x <= *b,
+            Pred::And(a, b) => x < *a && y >= *b,
+            Pred::Or(a, b) => x == *a || y == *b,
+        }
+    }
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    let c = -20i64..20;
+    prop_oneof![
+        c.clone().prop_map(Pred::LtX),
+        c.clone().prop_map(Pred::EqY),
+        Just(Pred::XltY),
+        (c.clone(), c.clone()).prop_map(|(a, b)| Pred::BetweenX(a.min(b), a.max(b))),
+        (c.clone(), c.clone()).prop_map(|(a, b)| Pred::And(a, b)),
+        (c.clone(), c).prop_map(|(a, b)| Pred::Or(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn filter_agrees_with_reference(
+        rows in proptest::collection::vec((-20i64..20, -20i64..20), 0..40),
+        pred in pred_strategy(),
+    ) {
+        let mut e = Engine::new("svc", DbmsProfile::oracle_like());
+        e.create_database("db").unwrap();
+        e.execute("db", "CREATE TABLE t (x INT, y INT)").unwrap();
+        for (x, y) in &rows {
+            e.execute("db", &format!("INSERT INTO t VALUES ({x}, {y})")).unwrap();
+        }
+        let got = e
+            .execute("db", &format!("SELECT x, y FROM t WHERE {} ORDER BY x, y", pred.sql()))
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        let mut expected: Vec<(i64, i64)> =
+            rows.iter().copied().filter(|(x, y)| pred.eval(*x, *y)).collect();
+        expected.sort();
+        let got_pairs: Vec<(i64, i64)> = got
+            .rows
+            .iter()
+            .map(|r| match (&r[0], &r[1]) {
+                (Value::Int(x), Value::Int(y)) => (*x, *y),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        prop_assert_eq!(got_pairs, expected, "predicate: {}", pred.sql());
+    }
+
+    #[test]
+    fn aggregates_agree_with_reference(
+        rows in proptest::collection::vec((-20i64..20, -20i64..20), 0..40),
+    ) {
+        let mut e = Engine::new("svc", DbmsProfile::oracle_like());
+        e.create_database("db").unwrap();
+        e.execute("db", "CREATE TABLE t (x INT, y INT)").unwrap();
+        for (x, y) in &rows {
+            e.execute("db", &format!("INSERT INTO t VALUES ({x}, {y})")).unwrap();
+        }
+        let got = e
+            .execute("db", "SELECT COUNT(*), SUM(x), MIN(y), MAX(y) FROM t")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        prop_assert_eq!(&got.rows[0][0], &Value::Int(rows.len() as i64));
+        if rows.is_empty() {
+            prop_assert_eq!(&got.rows[0][1], &Value::Null);
+            prop_assert_eq!(&got.rows[0][2], &Value::Null);
+        } else {
+            let sum: i64 = rows.iter().map(|(x, _)| x).sum();
+            let min = rows.iter().map(|(_, y)| *y).min().unwrap();
+            let max = rows.iter().map(|(_, y)| *y).max().unwrap();
+            prop_assert_eq!(&got.rows[0][1], &Value::Int(sum));
+            prop_assert_eq!(&got.rows[0][2], &Value::Int(min));
+            prop_assert_eq!(&got.rows[0][3], &Value::Int(max));
+        }
+    }
+
+    #[test]
+    fn group_by_agrees_with_reference(
+        rows in proptest::collection::vec((0i64..5, -20i64..20), 0..40),
+    ) {
+        let mut e = Engine::new("svc", DbmsProfile::oracle_like());
+        e.create_database("db").unwrap();
+        e.execute("db", "CREATE TABLE t (g INT, v INT)").unwrap();
+        for (g, v) in &rows {
+            e.execute("db", &format!("INSERT INTO t VALUES ({g}, {v})")).unwrap();
+        }
+        let got = e
+            .execute("db", "SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g ORDER BY g")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        let mut expected: std::collections::BTreeMap<i64, (i64, i64)> = Default::default();
+        for (g, v) in &rows {
+            let e = expected.entry(*g).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += v;
+        }
+        prop_assert_eq!(got.rows.len(), expected.len());
+        for (row, (g, (count, sum))) in got.rows.iter().zip(expected) {
+            prop_assert_eq!(&row[0], &Value::Int(g));
+            prop_assert_eq!(&row[1], &Value::Int(count));
+            prop_assert_eq!(&row[2], &Value::Int(sum));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Parse errors and source spans.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`, used for end-of-input errors.
+    pub fn point(pos: usize) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Extracts the spanned slice of `source`, clamped to the source length.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        let start = self.start.min(source.len());
+        let end = self.end.min(source.len());
+        &source[start..end]
+    }
+
+    /// 1-based (line, column) of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// An error produced by the lexer or parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the input the problem was detected.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates an error with the given message and location.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError { message: message.into(), span }
+    }
+
+    /// Renders the error with line/column information for `source`.
+    pub fn display_with_source(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        let snippet = self.span.slice(source);
+        if snippet.is_empty() {
+            format!("{} at line {line}, column {col}", self.message)
+        } else {
+            format!("{} at line {line}, column {col} (near {snippet:?})", self.message)
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_slice_clamps() {
+        let s = Span::new(2, 100);
+        assert_eq!(s.slice("hello"), "llo");
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        let sp = Span::new(6, 7); // 'e'
+        assert_eq!(sp.line_col(src), (3, 1));
+        let sp2 = Span::new(4, 5); // 'd'
+        assert_eq!(sp2.line_col(src), (2, 2));
+    }
+
+    #[test]
+    fn error_display_includes_snippet() {
+        let err = ParseError::new("unexpected token", Span::new(0, 3));
+        let msg = err.display_with_source("FOO bar");
+        assert!(msg.contains("unexpected token"));
+        assert!(msg.contains("FOO"));
+        assert!(msg.contains("line 1"));
+    }
+
+    #[test]
+    fn point_span_is_empty() {
+        let sp = Span::point(4);
+        assert_eq!(sp.slice("abcdefg"), "");
+    }
+}

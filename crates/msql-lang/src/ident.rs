@@ -1,0 +1,208 @@
+//! MSQL *multiple identifiers*.
+//!
+//! In MSQL an identifier may contain the wild character `%`, which "stands
+//! for any sequence of zero or more characters" (paper §2). A name containing
+//! `%` is a **multiple identifier**: during query expansion it is matched
+//! against the names registered in the Global Data Dictionary and replaced by
+//! each matching concrete name. Identifier matching is ASCII
+//! case-insensitive, as in SQL.
+
+use std::fmt;
+
+/// An identifier that may contain `%` wildcards.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WildName(String);
+
+impl WildName {
+    /// Wraps a raw identifier, normalising to lowercase (SQL identifiers are
+    /// case-insensitive; MSQL's dictionaries store lowercase names).
+    pub fn new(name: impl Into<String>) -> Self {
+        WildName(name.into().to_ascii_lowercase())
+    }
+
+    /// The normalised text of the identifier, wildcards included.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True if this is a *multiple* identifier (contains at least one `%`).
+    pub fn is_multiple(&self) -> bool {
+        self.0.contains('%')
+    }
+
+    /// Matches a concrete name against this possibly-wild identifier.
+    ///
+    /// `%` matches any (possibly empty) character sequence; all other
+    /// characters must match exactly (case-insensitively).
+    pub fn matches(&self, candidate: &str) -> bool {
+        let cand = candidate.to_ascii_lowercase();
+        wild_match(self.0.as_bytes(), cand.as_bytes())
+    }
+
+    /// Returns the concrete name if this identifier has no wildcard.
+    pub fn as_concrete(&self) -> Option<&str> {
+        if self.is_multiple() {
+            None
+        } else {
+            Some(&self.0)
+        }
+    }
+}
+
+impl fmt::Display for WildName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for WildName {
+    fn from(s: &str) -> Self {
+        WildName::new(s)
+    }
+}
+
+impl From<String> for WildName {
+    fn from(s: String) -> Self {
+        WildName::new(s)
+    }
+}
+
+/// Iterative wildcard matcher: `%` matches any sequence of bytes.
+///
+/// Uses the classic two-pointer backtracking algorithm, which is linear in
+/// practice and never recurses (so adversarial patterns cannot blow the
+/// stack).
+fn wild_match(pattern: &[u8], text: &[u8]) -> bool {
+    let (mut p, mut t) = (0usize, 0usize);
+    let mut star: Option<usize> = None;
+    let mut star_t = 0usize;
+    while t < text.len() {
+        if p < pattern.len() && pattern[p] == b'%' {
+            star = Some(p);
+            star_t = t;
+            p += 1;
+        } else if p < pattern.len() && pattern[p] == text[t] {
+            p += 1;
+            t += 1;
+        } else if let Some(sp) = star {
+            // Backtrack: let the last `%` absorb one more character.
+            p = sp + 1;
+            star_t += 1;
+            t = star_t;
+        } else {
+            return false;
+        }
+    }
+    while p < pattern.len() && pattern[p] == b'%' {
+        p += 1;
+    }
+    p == pattern.len()
+}
+
+/// Reference implementation of the wildcard match, used by property tests.
+/// Exponential in the worst case; correct by construction.
+pub fn wild_match_reference(pattern: &str, text: &str) -> bool {
+    fn go(p: &[u8], t: &[u8]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some(b'%') => (0..=t.len()).any(|k| go(&p[1..], &t[k..])),
+            Some(&c) => t.first() == Some(&c) && go(&p[1..], &t[1..]),
+        }
+    }
+    go(
+        pattern.to_ascii_lowercase().as_bytes(),
+        text.to_ascii_lowercase().as_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_names_match_exactly() {
+        let n = WildName::new("code");
+        assert!(n.matches("code"));
+        assert!(n.matches("CODE"));
+        assert!(!n.matches("vcode"));
+        assert!(!n.is_multiple());
+        assert_eq!(n.as_concrete(), Some("code"));
+    }
+
+    #[test]
+    fn paper_example_percent_code() {
+        // §2: `%code` refers to both `code` and `vcode`.
+        let n = WildName::new("%code");
+        assert!(n.matches("code"));
+        assert!(n.matches("vcode"));
+        assert!(!n.matches("codex"));
+        assert!(n.is_multiple());
+        assert_eq!(n.as_concrete(), None);
+    }
+
+    #[test]
+    fn paper_example_flight_percent() {
+        // §3.2: `flight%` matches `flights`, `flight` across the airline DBs.
+        let n = WildName::new("flight%");
+        assert!(n.matches("flight"));
+        assert!(n.matches("flights"));
+        assert!(!n.matches("fligh"));
+        assert!(!n.matches("aflight"));
+    }
+
+    #[test]
+    fn interior_and_multiple_wildcards() {
+        let n = WildName::new("s%t%");
+        assert!(n.matches("st"));
+        assert!(n.matches("sxt"));
+        assert!(n.matches("sxty"));
+        assert!(n.matches("seatstatus")); // s...t...
+        assert!(!n.matches("ts"));
+    }
+
+    #[test]
+    fn bare_percent_matches_everything() {
+        let n = WildName::new("%");
+        assert!(n.matches(""));
+        assert!(n.matches("anything"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty() {
+        let n = WildName::new("");
+        assert!(n.matches(""));
+        assert!(!n.matches("x"));
+    }
+
+    #[test]
+    fn adjacent_percents_collapse() {
+        let n = WildName::new("a%%b");
+        assert!(n.matches("ab"));
+        assert!(n.matches("axxb"));
+        assert!(!n.matches("a"));
+    }
+
+    #[test]
+    fn matcher_agrees_with_reference_on_corner_cases() {
+        for (p, t) in [
+            ("%a%a%", "aa"),
+            ("%a%a%", "a"),
+            ("a%b%c", "abc"),
+            ("a%b%c", "aXbYc"),
+            ("a%b%c", "ac"),
+            ("%%%", ""),
+            ("x%", ""),
+        ] {
+            assert_eq!(
+                WildName::new(p).matches(t),
+                wild_match_reference(p, t),
+                "pattern={p} text={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_shows_normalised_text() {
+        assert_eq!(WildName::new("Flight%").to_string(), "flight%");
+    }
+}

@@ -1,0 +1,471 @@
+//! Hand-written lexer for MSQL.
+//!
+//! The only departure from a plain SQL lexer is that `%` is an identifier
+//! character whenever it is adjacent to an identifier (or starts one followed
+//! by an identifier character): `%code`, `flight%`, `ra%te` are single
+//! *multiple identifier* tokens. A `%` that stands alone is an error — MSQL
+//! has no modulo operator and `LIKE` patterns keep their `%` inside string
+//! literals.
+
+use crate::error::{ParseError, Span};
+use crate::token::{Token, TokenKind};
+
+/// Streaming lexer over a source string.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b'%'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'%' || b == b'$' || b == b'#'
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// Tokenizes the entire input, ending with an [`TokenKind::Eof`] token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // `--` line comment
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // `{ ... }` comment, as used in DOL program listings
+                Some(b'{') => {
+                    let start = self.pos;
+                    self.pos += 1;
+                    loop {
+                        match self.bump() {
+                            Some(b'}') => break,
+                            Some(_) => {}
+                            None => {
+                                return Err(ParseError::new(
+                                    "unterminated `{ }` comment",
+                                    Span::new(start, self.pos),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token::new(TokenKind::Eof, Span::point(self.pos)));
+        };
+
+        // String literal.
+        if b == b'\'' {
+            return self.lex_string(start);
+        }
+        // Number.
+        if b.is_ascii_digit() {
+            return self.lex_number(start);
+        }
+        // Identifier / multiple identifier. A leading `%` only starts an
+        // identifier when followed by an identifier character (so `%code`
+        // lexes as one token) — a bare `%` is rejected below.
+        if is_ident_start(b) && (b != b'%' || self.peek2().map(is_ident_continue).unwrap_or(false))
+        {
+            while let Some(c) = self.peek() {
+                if is_ident_continue(c) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &self.src[start..self.pos];
+            return Ok(Token::new(TokenKind::Ident(text.to_string()), Span::new(start, self.pos)));
+        }
+
+        // Punctuation and operators.
+        self.pos += 1;
+        let kind = match b {
+            b',' => TokenKind::Comma,
+            b'.' => TokenKind::Dot,
+            b';' => TokenKind::Semicolon,
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'*' => TokenKind::Star,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'/' => TokenKind::Slash,
+            b'~' => TokenKind::Tilde,
+            b'=' => TokenKind::Eq,
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::NotEq
+                } else {
+                    return Err(ParseError::new("expected `=` after `!`", Span::new(start, self.pos)));
+                }
+            }
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.pos += 1;
+                    TokenKind::LtEq
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    TokenKind::NotEq
+                }
+                _ => TokenKind::Lt,
+            },
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                    TokenKind::Concat
+                } else {
+                    return Err(ParseError::new("expected `||`", Span::new(start, self.pos)));
+                }
+            }
+            b'%' => {
+                return Err(ParseError::new(
+                    "stray `%`: the wildcard must be part of an identifier (e.g. `%code`)",
+                    Span::new(start, self.pos),
+                ))
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character {:?}", other as char),
+                    Span::new(start, self.pos),
+                ))
+            }
+        };
+        Ok(Token::new(kind, Span::new(start, self.pos)))
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<Token, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'\''));
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(b'\'') => {
+                    self.pos += 1;
+                    // `''` escapes a quote.
+                    if self.peek() == Some(b'\'') {
+                        self.pos += 1;
+                        value.push('\'');
+                    } else {
+                        return Ok(Token::new(
+                            TokenKind::StringLit(value),
+                            Span::new(start, self.pos),
+                        ));
+                    }
+                }
+                Some(b) if b < 0x80 => {
+                    value.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 character: decode it whole.
+                    let ch = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .expect("peek guaranteed a byte");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => {
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        Span::new(start, self.pos),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<Token, ParseError> {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let mut is_float = false;
+        // Fractional part — only when the dot is followed by a digit, so that
+        // `avis.cars` does not swallow the dot.
+        if self.peek() == Some(b'.') && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            is_float = true;
+            self.pos += 1;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut look = self.pos + 1;
+            if matches!(self.bytes.get(look), Some(b'+') | Some(b'-')) {
+                look += 1;
+            }
+            if self.bytes.get(look).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                is_float = true;
+                self.pos = look;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start, self.pos);
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| ParseError::new(format!("invalid float literal {text:?}"), span))?;
+            Ok(Token::new(TokenKind::Float(v), span))
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| ParseError::new(format!("integer literal {text:?} out of range"), span))?;
+            Ok(Token::new(TokenKind::Int(v), span))
+        }
+    }
+}
+
+/// Convenience: tokenize `src` in one call.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let ks = kinds("SELECT a, b FROM t WHERE x = 1");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Int(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn multiple_identifiers_lex_as_single_tokens() {
+        assert_eq!(
+            kinds("%code flight% ra%te"),
+            vec![
+                TokenKind::Ident("%code".into()),
+                TokenKind::Ident("flight%".into()),
+                TokenKind::Ident("ra%te".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn stray_percent_is_an_error() {
+        let err = tokenize("a % b").unwrap_err();
+        assert!(err.message.contains("stray"));
+    }
+
+    #[test]
+    fn tilde_is_its_own_token() {
+        assert_eq!(
+            kinds("~rate"),
+            vec![TokenKind::Tilde, TokenKind::Ident("rate".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn string_literals_unescape_quotes() {
+        assert_eq!(
+            kinds("'San Antonio' 'it''s'"),
+            vec![
+                TokenKind::StringLit("San Antonio".into()),
+                TokenKind::StringLit("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(
+            kinds("42 1.1 2e3 7.5e-2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(1.1),
+                TokenKind::Float(2e3),
+                TokenKind::Float(7.5e-2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_name_keeps_dots_separate() {
+        assert_eq!(
+            kinds("avis.cars.rate"),
+            vec![
+                TokenKind::Ident("avis".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("cars".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("rate".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_dot_ident_does_not_merge() {
+        // `t1.c` style where table ends with a digit is handled by ident rules;
+        // `1.x` lexes as Int(1), Dot, Ident(x).
+        assert_eq!(
+            kinds("1.x"),
+            vec![TokenKind::Int(1), TokenKind::Dot, TokenKind::Ident("x".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= <> != ="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        assert_eq!(
+            kinds("a -- comment here\n b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn brace_comments_are_skipped() {
+        assert_eq!(
+            kinds("a { update for continental } b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_brace_comment_errors() {
+        assert!(tokenize("a { oops").is_err());
+    }
+
+    #[test]
+    fn spans_point_at_source() {
+        let toks = tokenize("SELECT x").unwrap();
+        assert_eq!(toks[0].span.slice("SELECT x"), "SELECT");
+        assert_eq!(toks[1].span.slice("SELECT x"), "x");
+    }
+
+    #[test]
+    fn concat_operator() {
+        assert_eq!(
+            kinds("a || b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Concat,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lone_pipe_is_error() {
+        assert!(tokenize("a | b").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # msql-lang
+//!
+//! Lexer, AST, parser and printer for **MSQL** — the multidatabase extension
+//! of SQL described in Litwin's *"MSQL: A Multidatabase Language"* and
+//! extended by Suardi, Rusinkiewicz & Litwin in *"Execution of Extended
+//! Multidatabase SQL"* (ICDE 1993).
+//!
+//! The crate covers:
+//!
+//! * plain SQL: `SELECT` (joins, aggregates, scalar subqueries, `ORDER BY`,
+//!   `GROUP BY`/`HAVING`), `INSERT`, `UPDATE`, `DELETE`, `CREATE`/`DROP
+//!   TABLE`, `CREATE`/`DROP DATABASE`;
+//! * MSQL scoping and naming: `USE` (with aliases and `VITAL` designators),
+//!   `LET ... BE ...` semantic variables, implicit semantic variables built
+//!   from `%` wildcards (`%code`, `flight%`), optional columns (`~rate`),
+//!   database-qualified names (`avis.cars.rate`);
+//! * the ICDE'93 transactional extensions: `COMP` compensation clauses,
+//!   `BEGIN MULTITRANSACTION ... COMMIT <acceptable states> ... END
+//!   MULTITRANSACTION`, `INCORPORATE SERVICE`, `IMPORT DATABASE`, and global
+//!   `COMMIT`/`ROLLBACK`.
+//!
+//! The parser is a hand-written recursive-descent parser over a hand-written
+//! lexer; both track byte spans so that errors point at the offending source.
+//! [`print`] renders any AST node back to canonical text, and for every
+//! fully-qualified (wildcard-free) statement the output is plain SQL that a
+//! local database system can execute — this is how the multidatabase layer
+//! ships subqueries to LDBSs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use msql_lang::parse_script;
+//!
+//! let script = parse_script(
+//!     "USE avis national
+//!      LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+//!      SELECT %code, type, ~rate FROM car WHERE status = 'available'",
+//! ).unwrap();
+//! assert_eq!(script.statements.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod ident;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::*;
+pub use error::{ParseError, Span};
+pub use ident::WildName;
+pub use lexer::Lexer;
+pub use parser::{parse_expr, parse_script, parse_statement, Parser};
+pub use printer::print;

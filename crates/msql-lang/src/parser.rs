@@ -1,0 +1,1414 @@
+//! Recursive-descent parser for MSQL.
+//!
+//! Grammar notes (following the paper's examples and the grammar fragments it
+//! gives in §3.1–§3.4):
+//!
+//! * a *manipulation statement* is `[USE ...] [LET ...]* <body> [COMP ...]*`;
+//!   a `USE`/`LET` not followed by a body stands alone and updates the
+//!   session scope;
+//! * `USE [CURRENT] ( db alias ) VITAL db2 ...` — parentheses introduce an
+//!   alias; `VITAL` follows the element it designates;
+//! * `LET a.b.c BE x.y.z u.v.w` — one binding path per database in scope;
+//! * `COMP <db|alias> <statement>` attaches a compensating statement;
+//! * `BEGIN MULTITRANSACTION <queries> COMMIT <state> [, <state>]* END
+//!   MULTITRANSACTION` where each state is `db AND db AND ...`;
+//! * keywords are contextual: any keyword can be used as an identifier where
+//!   no ambiguity arises (the paper's schemas use column names like `day`).
+
+use crate::ast::*;
+use crate::error::{ParseError, Span};
+use crate::ident::WildName;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Keywords that terminate an alias position or a binding list.
+const RESERVED_CONTINUATIONS: &[&str] = &[
+    "where", "group", "having", "order", "from", "set", "values", "and", "or", "not",
+    "use", "let", "select", "insert", "update", "delete", "comp", "begin", "end",
+    "commit", "rollback", "create", "drop", "incorporate", "import", "union", "vital",
+    "be", "as", "on", "into", "limit",
+];
+
+/// The MSQL parser.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Statements already produced but not yet returned (a standalone
+    /// `USE ... LET ...` pair yields two statements).
+    pending: std::collections::VecDeque<Statement>,
+}
+
+impl Parser {
+    /// Creates a parser for `src`.
+    pub fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser { tokens: tokenize(src)?, pos: 0, pending: std::collections::VecDeque::new() })
+    }
+
+    // ---------------------------------------------------------------- cursor
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected `{kind}`, found `{}`", self.peek()), self.span()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected keyword `{}`, found `{}`", kw.to_uppercase(), self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_kw(kw)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => {
+                Err(ParseError::new(format!("expected identifier, found `{other}`"), self.span()))
+            }
+        }
+    }
+
+    /// An identifier usable as an alias: an Ident that is not a reserved
+    /// continuation keyword.
+    fn try_alias(&mut self) -> Option<String> {
+        if let TokenKind::Ident(s) = self.peek() {
+            let lower = s.to_ascii_lowercase();
+            if !RESERVED_CONTINUATIONS.contains(&lower.as_str()) && !s.contains('%') {
+                let s = s.clone();
+                self.bump();
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------ top level
+
+    /// Parses a whole script.
+    pub fn parse_script(&mut self) -> Result<Script, ParseError> {
+        let mut statements = Vec::new();
+        loop {
+            while self.eat(&TokenKind::Semicolon) {}
+            if self.at_eof() && self.pending.is_empty() {
+                break;
+            }
+            statements.push(self.parse_statement()?);
+        }
+        Ok(Script { statements })
+    }
+
+    /// Parses one top-level statement.
+    pub fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        if let Some(stmt) = self.pending.pop_front() {
+            return Ok(stmt);
+        }
+        if self.peek_kw("use") || self.peek_kw("let") {
+            return self.parse_scoped_query_or_scope_change();
+        }
+        if self.peek_kw("select")
+            || self.peek_kw("insert")
+            || self.peek_kw("update")
+            || self.peek_kw("delete")
+        {
+            let q = self.parse_msql_query(None, Vec::new())?;
+            return Ok(Statement::Query(q));
+        }
+        if self.peek_kw("begin") {
+            return self.parse_multitransaction();
+        }
+        if self.peek_kw("incorporate") {
+            return self.parse_incorporate();
+        }
+        if self.peek_kw("import") {
+            return self.parse_import();
+        }
+        if self.peek_kw("create") {
+            return self.parse_create();
+        }
+        if self.peek_kw("drop") {
+            return self.parse_drop();
+        }
+        if self.eat_kw("commit") {
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("rollback") {
+            return Ok(Statement::Rollback);
+        }
+        Err(ParseError::new(format!("unexpected token `{}`", self.peek()), self.span()))
+    }
+
+    /// `USE`/`LET` either prefix a manipulation statement or stand alone.
+    fn parse_scoped_query_or_scope_change(&mut self) -> Result<Statement, ParseError> {
+        let use_clause = if self.peek_kw("use") { Some(self.parse_use()?) } else { None };
+        let mut lets = Vec::new();
+        while self.peek_kw("let") {
+            lets.push(self.parse_let()?);
+        }
+        let has_body = self.peek_kw("select")
+            || self.peek_kw("insert")
+            || self.peek_kw("update")
+            || self.peek_kw("delete");
+        if has_body {
+            let q = self.parse_msql_query(use_clause, lets)?;
+            return Ok(Statement::Query(q));
+        }
+        // Standalone scope manipulation: USE and each LET become separate
+        // statements (extra ones are queued).
+        let mut produced: Vec<Statement> = Vec::new();
+        if let Some(u) = use_clause {
+            produced.push(Statement::Use(u));
+        }
+        for l in lets {
+            produced.push(Statement::Let(l));
+        }
+        let mut it = produced.into_iter();
+        let first = it
+            .next()
+            .ok_or_else(|| ParseError::new("expected USE or LET", self.span()))?;
+        self.pending.extend(it);
+        Ok(first)
+    }
+
+    fn parse_msql_query(
+        &mut self,
+        use_clause: Option<UseStatement>,
+        lets: Vec<LetStatement>,
+    ) -> Result<MsqlQuery, ParseError> {
+        let body = if self.peek_kw("select") {
+            QueryBody::Select(self.parse_select()?)
+        } else if self.peek_kw("insert") {
+            QueryBody::Insert(self.parse_insert()?)
+        } else if self.peek_kw("update") {
+            QueryBody::Update(self.parse_update()?)
+        } else if self.peek_kw("delete") {
+            QueryBody::Delete(self.parse_delete()?)
+        } else {
+            return Err(ParseError::new("expected SELECT, INSERT, UPDATE or DELETE", self.span()));
+        };
+        self.eat(&TokenKind::Semicolon);
+        let mut comps = Vec::new();
+        while self.peek_kw("comp") {
+            comps.push(self.parse_comp()?);
+            self.eat(&TokenKind::Semicolon);
+        }
+        Ok(MsqlQuery { use_clause, lets, body, comps })
+    }
+
+    // ----------------------------------------------------------------- USE
+
+    fn parse_use(&mut self) -> Result<UseStatement, ParseError> {
+        self.expect_kw("use")?;
+        let current = self.eat_kw("current");
+        let mut elements = Vec::new();
+        loop {
+            if self.eat(&TokenKind::LParen) {
+                let database = WildName::new(self.expect_ident()?);
+                let alias = self.try_alias();
+                self.expect(&TokenKind::RParen)?;
+                let vital = self.eat_kw("vital");
+                elements.push(UseElement { database, alias, vital });
+            } else if matches!(self.peek(), TokenKind::Ident(_)) && !self.starts_statement() {
+                let database = WildName::new(self.expect_ident()?);
+                let vital = self.eat_kw("vital");
+                elements.push(UseElement { database, alias: None, vital });
+            } else {
+                break;
+            }
+        }
+        if elements.is_empty() {
+            return Err(ParseError::new("USE requires at least one database", self.span()));
+        }
+        Ok(UseStatement { current, elements })
+    }
+
+    fn starts_statement(&self) -> bool {
+        for kw in [
+            "select", "insert", "update", "delete", "let", "use", "begin", "commit", "rollback",
+            "create", "drop", "incorporate", "import", "comp", "end",
+        ] {
+            if self.peek_kw(kw) {
+                return true;
+            }
+        }
+        false
+    }
+
+    // ----------------------------------------------------------------- LET
+
+    fn parse_let(&mut self) -> Result<LetStatement, ParseError> {
+        self.expect_kw("let")?;
+        let mut variables = Vec::new();
+        loop {
+            let names = self.parse_dotted_path()?;
+            self.expect_kw("be")?;
+            let mut bindings = Vec::new();
+            loop {
+                bindings.push(self.parse_dotted_path()?);
+                // Binding lists end at a statement keyword, comma, or EOF.
+                if self.at_eof()
+                    || self.starts_statement()
+                    || self.peek() == &TokenKind::Comma
+                    || !matches!(self.peek(), TokenKind::Ident(_))
+                {
+                    break;
+                }
+            }
+            if bindings.is_empty() {
+                return Err(ParseError::new("LET requires at least one binding", self.span()));
+            }
+            variables.push(SemanticVariable { names, bindings });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(LetStatement { variables })
+    }
+
+    fn parse_dotted_path(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut parts = vec![self.expect_ident()?];
+        while self.eat(&TokenKind::Dot) {
+            parts.push(self.expect_ident()?);
+        }
+        Ok(parts)
+    }
+
+    // ---------------------------------------------------------------- COMP
+
+    fn parse_comp(&mut self) -> Result<CompClause, ParseError> {
+        self.expect_kw("comp")?;
+        let database = WildName::new(self.expect_ident()?);
+        let statement = if self.peek_kw("select") {
+            Statement::select(self.parse_select()?)
+        } else if self.peek_kw("update") {
+            Statement::update(self.parse_update()?)
+        } else if self.peek_kw("insert") {
+            Statement::Query(MsqlQuery {
+                use_clause: None,
+                lets: Vec::new(),
+                body: QueryBody::Insert(self.parse_insert()?),
+                comps: Vec::new(),
+            })
+        } else if self.peek_kw("delete") {
+            Statement::Query(MsqlQuery {
+                use_clause: None,
+                lets: Vec::new(),
+                body: QueryBody::Delete(self.parse_delete()?),
+                comps: Vec::new(),
+            })
+        } else {
+            return Err(ParseError::new("COMP requires a compensating statement", self.span()));
+        };
+        Ok(CompClause { database, statement: Box::new(statement) })
+    }
+
+    // ------------------------------------------------------ multitransaction
+
+    fn parse_multitransaction(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("begin")?;
+        self.expect_kw("multitransaction")?;
+        let mut queries = Vec::new();
+        loop {
+            while self.eat(&TokenKind::Semicolon) {}
+            if self.peek_kw("commit") {
+                break;
+            }
+            if self.at_eof() {
+                return Err(ParseError::new(
+                    "multitransaction is missing its COMMIT statement",
+                    self.span(),
+                ));
+            }
+            let use_clause =
+                if self.peek_kw("use") { Some(self.parse_use()?) } else { None };
+            let mut lets = Vec::new();
+            while self.peek_kw("let") {
+                lets.push(self.parse_let()?);
+            }
+            queries.push(self.parse_msql_query(use_clause, lets)?);
+        }
+        self.expect_kw("commit")?;
+        let mut acceptable_states = Vec::new();
+        while !self.peek_kw("end") {
+            if self.at_eof() {
+                return Err(ParseError::new(
+                    "multitransaction is missing END MULTITRANSACTION",
+                    self.span(),
+                ));
+            }
+            let mut databases = vec![WildName::new(self.expect_ident()?)];
+            while self.eat_kw("and") {
+                databases.push(WildName::new(self.expect_ident()?));
+            }
+            acceptable_states.push(AcceptableState { databases });
+            self.eat(&TokenKind::Comma);
+            while self.eat(&TokenKind::Semicolon) {}
+        }
+        self.expect_kw("end")?;
+        self.expect_kw("multitransaction")?;
+        if acceptable_states.is_empty() {
+            return Err(ParseError::new(
+                "COMMIT requires at least one acceptable termination state",
+                self.span(),
+            ));
+        }
+        Ok(Statement::Multitransaction(Multitransaction { queries, acceptable_states }))
+    }
+
+    // ----------------------------------------------------------- incorporate
+
+    fn parse_commit_capability(&mut self) -> Result<CommitCapability, ParseError> {
+        if self.eat_kw("commit") {
+            Ok(CommitCapability::AutoCommit)
+        } else if self.eat_kw("nocommit") {
+            Ok(CommitCapability::TwoPhase)
+        } else {
+            Err(ParseError::new("expected COMMIT or NOCOMMIT", self.span()))
+        }
+    }
+
+    fn parse_incorporate(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("incorporate")?;
+        self.expect_kw("service")?;
+        let service = self.expect_ident()?;
+        let site = if self.eat_kw("site") { Some(self.expect_ident()?) } else { None };
+        self.expect_kw("connectmode")?;
+        let multi_database = if self.eat_kw("connect") {
+            true
+        } else if self.eat_kw("noconnect") {
+            false
+        } else {
+            return Err(ParseError::new("expected CONNECT or NOCONNECT", self.span()));
+        };
+        self.expect_kw("commitmode")?;
+        let commit_mode = self.parse_commit_capability()?;
+        let mut create_mode = None;
+        let mut insert_mode = None;
+        let mut drop_mode = None;
+        loop {
+            if self.eat_kw("create") {
+                create_mode = Some(self.parse_commit_capability()?);
+            } else if self.eat_kw("insert") {
+                insert_mode = Some(self.parse_commit_capability()?);
+            } else if self.eat_kw("drop") {
+                drop_mode = Some(self.parse_commit_capability()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::Incorporate(Incorporate {
+            service,
+            site,
+            multi_database,
+            commit_mode,
+            create_mode,
+            insert_mode,
+            drop_mode,
+        }))
+    }
+
+    // ---------------------------------------------------------------- import
+
+    fn parse_import(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("import")?;
+        self.expect_kw("database")?;
+        let database = self.expect_ident()?;
+        self.expect_kw("from")?;
+        self.expect_kw("service")?;
+        let service = self.expect_ident()?;
+        let item = if self.eat_kw("table") {
+            let table = self.expect_ident()?;
+            let columns = self.parse_import_columns()?;
+            ImportItem::Table { table, columns }
+        } else if self.eat_kw("view") {
+            let view = self.expect_ident()?;
+            let columns = self.parse_import_columns()?;
+            ImportItem::View { view, columns }
+        } else {
+            ImportItem::AllPublicTables
+        };
+        Ok(Statement::Import(Import { database, service, item }))
+    }
+
+    fn parse_import_columns(&mut self) -> Result<Vec<String>, ParseError> {
+        if !self.eat_kw("column") {
+            return Ok(Vec::new());
+        }
+        let mut cols = Vec::new();
+        // Either a parenthesised list or a bare sequence.
+        if self.eat(&TokenKind::LParen) {
+            loop {
+                cols.push(self.expect_ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        } else {
+            loop {
+                cols.push(self.expect_ident()?);
+                let comma = self.eat(&TokenKind::Comma);
+                let next_is_column =
+                    matches!(self.peek(), TokenKind::Ident(_)) && !self.starts_statement();
+                if !comma && !next_is_column {
+                    break;
+                }
+            }
+        }
+        Ok(cols)
+    }
+
+    // ------------------------------------------------------------------ DDL
+
+    fn parse_create(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("create")?;
+        if self.eat_kw("database") {
+            let name = self.expect_ident()?;
+            return Ok(Statement::CreateDatabase(name));
+        }
+        if self.eat_kw("trigger") {
+            let name = self.expect_ident()?;
+            self.expect_kw("on")?;
+            let database = WildName::new(self.expect_ident()?);
+            self.expect(&TokenKind::Dot)?;
+            let table = WildName::new(self.expect_ident()?);
+            self.expect_kw("after")?;
+            let event = if self.eat_kw("update") {
+                TriggerEvent::Update
+            } else if self.eat_kw("insert") {
+                TriggerEvent::Insert
+            } else if self.eat_kw("delete") {
+                TriggerEvent::Delete
+            } else {
+                return Err(ParseError::new(
+                    "expected UPDATE, INSERT or DELETE",
+                    self.span(),
+                ));
+            };
+            self.expect_kw("execute")?;
+            let action = Box::new(self.parse_statement()?);
+            return Ok(Statement::CreateTrigger(CreateTrigger {
+                name,
+                database,
+                table,
+                event,
+                action,
+            }));
+        }
+        self.expect_kw("table")?;
+        let table = self.parse_table_ref()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let type_name = self.parse_type_name()?;
+            let mut not_null = false;
+            if self.eat_kw("not") {
+                self.expect_kw("null")?;
+                not_null = true;
+            }
+            columns.push(ColumnDef { name, type_name, not_null });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Statement::CreateTable(CreateTable { table, columns }))
+    }
+
+    fn parse_type_name(&mut self) -> Result<TypeName, ParseError> {
+        let name = self.expect_ident()?.to_ascii_lowercase();
+        match name.as_str() {
+            "int" | "integer" | "smallint" | "bigint" => Ok(TypeName::Int),
+            "float" | "real" | "double" | "numeric" | "decimal" => {
+                // optional (p[,s]) precision, ignored
+                if self.eat(&TokenKind::LParen) {
+                    self.expect_number()?;
+                    if self.eat(&TokenKind::Comma) {
+                        self.expect_number()?;
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                Ok(TypeName::Float)
+            }
+            "char" | "varchar" | "character" | "text" | "string" => {
+                let mut width = 0u32;
+                if self.eat(&TokenKind::LParen) {
+                    width = self.expect_number()? as u32;
+                    self.expect(&TokenKind::RParen)?;
+                }
+                Ok(TypeName::Char(width))
+            }
+            "bool" | "boolean" => Ok(TypeName::Bool),
+            "date" => Ok(TypeName::Date),
+            other => {
+                Err(ParseError::new(format!("unknown type name `{other}`"), self.span()))
+            }
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<i64, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            other => Err(ParseError::new(format!("expected number, found `{other}`"), self.span())),
+        }
+    }
+
+    fn parse_drop(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("drop")?;
+        if self.eat_kw("database") {
+            let name = self.expect_ident()?;
+            return Ok(Statement::DropDatabase(name));
+        }
+        if self.eat_kw("trigger") {
+            let name = self.expect_ident()?;
+            return Ok(Statement::DropTrigger(name));
+        }
+        self.expect_kw("table")?;
+        let table = self.parse_table_ref()?;
+        Ok(Statement::DropTable(DropTable { table }))
+    }
+
+    // ---------------------------------------------------------------- SELECT
+
+    /// Parses a SELECT statement (entry point also used for subqueries).
+    pub fn parse_select(&mut self) -> Result<Select, ParseError> {
+        self.expect_kw("select")?;
+        let distinct = if self.eat_kw("distinct") {
+            true
+        } else {
+            let _ = self.eat_kw("all");
+            false
+        };
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            items.push(self.parse_select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            from.push(self.parse_table_ref()?);
+            while self.eat(&TokenKind::Comma) {
+                from.push(self.parse_table_ref()?);
+            }
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.parse_expr()?);
+            while self.eat(&TokenKind::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.eat_kw("having") { Some(self.parse_expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let order = if self.eat_kw("desc") {
+                    SortOrder::Desc
+                } else {
+                    let _ = self.eat_kw("asc");
+                    SortOrder::Asc
+                };
+                order_by.push(OrderByItem { expr, order });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(Select { distinct, items, from, where_clause, group_by, having, order_by })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `t.*`
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if self.peek_at(1) == &TokenKind::Dot && self.peek_at(2) == &TokenKind::Star {
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::QualifiedWildcard(WildName::new(name)));
+            }
+        }
+        let optional = self.eat(&TokenKind::Tilde);
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("as") { Some(self.expect_ident()?) } else { self.try_alias() };
+        Ok(SelectItem::Expr { expr, alias, optional })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let first = WildName::new(self.expect_ident()?);
+        let (database, table) = if self.eat(&TokenKind::Dot) {
+            (Some(first), WildName::new(self.expect_ident()?))
+        } else {
+            (None, first)
+        };
+        let alias = self.try_alias();
+        Ok(TableRef { database, table, alias })
+    }
+
+    // ------------------------------------------------------------------ DML
+
+    fn parse_insert(&mut self) -> Result<Insert, ParseError> {
+        self.expect_kw("insert")?;
+        let _ = self.eat_kw("into");
+        let table = self.parse_table_ref()?;
+        let mut columns = Vec::new();
+        if self.peek() == &TokenKind::LParen && !self.peek_at(1).is_kw("select") {
+            self.expect(&TokenKind::LParen)?;
+            loop {
+                columns.push(WildName::new(self.expect_ident()?));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let source = if self.eat_kw("values") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&TokenKind::LParen)?;
+                let mut row = vec![self.parse_expr()?];
+                while self.eat(&TokenKind::Comma) {
+                    row.push(self.parse_expr()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                rows.push(row);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.peek_kw("select") {
+            InsertSource::Select(Box::new(self.parse_select()?))
+        } else if self.peek() == &TokenKind::LParen && self.peek_at(1).is_kw("select") {
+            self.expect(&TokenKind::LParen)?;
+            let sel = self.parse_select()?;
+            self.expect(&TokenKind::RParen)?;
+            InsertSource::Select(Box::new(sel))
+        } else {
+            return Err(ParseError::new("expected VALUES or SELECT", self.span()));
+        };
+        Ok(Insert { table, columns, source })
+    }
+
+    fn parse_update(&mut self) -> Result<Update, ParseError> {
+        self.expect_kw("update")?;
+        let table = self.parse_table_ref()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = WildName::new(self.expect_ident()?);
+            self.expect(&TokenKind::Eq)?;
+            let value = self.parse_expr()?;
+            assignments.push(Assignment { column, value });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        Ok(Update { table, assignments, where_clause })
+    }
+
+    fn parse_delete(&mut self) -> Result<Delete, ParseError> {
+        self.expect_kw("delete")?;
+        let _ = self.eat_kw("from");
+        let table = self.parse_table_ref()?;
+        let where_clause = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        Ok(Delete { table, where_clause })
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    /// Parses an expression (public entry point for tests and tools).
+    pub fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.peek_kw("and") {
+            // Do not consume the AND of `BETWEEN x AND y` — handled there.
+            self.bump();
+            let right = self.parse_not()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("not") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        // [NOT] IN / BETWEEN / LIKE
+        let negated = self.eat_kw("not");
+        if self.eat_kw("in") {
+            self.expect(&TokenKind::LParen)?;
+            if self.peek_kw("select") {
+                let sub = self.parse_select()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(sub),
+                    negated,
+                });
+            }
+            let mut list = vec![self.parse_expr()?];
+            while self.eat(&TokenKind::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("between") {
+            let low = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("like") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if negated {
+            return Err(ParseError::new("expected IN, BETWEEN or LIKE after NOT", self.span()));
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::NotEq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LtEq => BinaryOp::LtEq,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_additive()?;
+        Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) })
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                TokenKind::Concat => BinaryOp::Concat,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            TokenKind::StringLit(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.peek_kw("select") {
+                    let sel = self.parse_select()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(sel)));
+                }
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                let lower = name.to_ascii_lowercase();
+                // Structural keywords can never begin an expression; treating
+                // them as column names would swallow a missing operand (e.g.
+                // `SELECT FROM t`).
+                if matches!(
+                    lower.as_str(),
+                    "from" | "where" | "group" | "having" | "order" | "set" | "values" | "select"
+                ) {
+                    return Err(ParseError::new(
+                        format!("expected expression, found keyword `{name}`"),
+                        self.span(),
+                    ));
+                }
+                if lower == "null" {
+                    self.bump();
+                    return Ok(Expr::Literal(Literal::Null));
+                }
+                if lower == "true" {
+                    self.bump();
+                    return Ok(Expr::Literal(Literal::Bool(true)));
+                }
+                if lower == "false" {
+                    self.bump();
+                    return Ok(Expr::Literal(Literal::Bool(false)));
+                }
+                if lower == "exists" && self.peek_at(1) == &TokenKind::LParen {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let sub = self.parse_select()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Exists { subquery: Box::new(sub), negated: false });
+                }
+                // Function or aggregate call.
+                if self.peek_at(1) == &TokenKind::LParen {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    if let Some(kind) = AggregateKind::from_name(&lower) {
+                        if self.eat(&TokenKind::Star) {
+                            self.expect(&TokenKind::RParen)?;
+                            return Ok(Expr::Aggregate { kind, arg: None, distinct: false });
+                        }
+                        let distinct = self.eat_kw("distinct");
+                        let arg = self.parse_expr()?;
+                        self.expect(&TokenKind::RParen)?;
+                        return Ok(Expr::Aggregate { kind, arg: Some(Box::new(arg)), distinct });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::RParen {
+                        args.push(self.parse_expr()?);
+                        while self.eat(&TokenKind::Comma) {
+                            args.push(self.parse_expr()?);
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Function { name: lower, args });
+                }
+                // Column reference: up to three dotted components.
+                self.bump();
+                let mut parts = vec![name];
+                while self.eat(&TokenKind::Dot) && parts.len() < 3 {
+                    parts.push(self.expect_ident()?);
+                }
+                let col = match parts.len() {
+                    1 => ColumnRef::bare(parts.remove(0)),
+                    2 => {
+                        let c = parts.pop().unwrap();
+                        let t = parts.pop().unwrap();
+                        ColumnRef::with_table(t, c)
+                    }
+                    _ => {
+                        let c = parts.pop().unwrap();
+                        let t = parts.pop().unwrap();
+                        let d = parts.pop().unwrap();
+                        ColumnRef::full(d, t, c)
+                    }
+                };
+                Ok(Expr::Column(col))
+            }
+            other => {
+                Err(ParseError::new(format!("unexpected token `{other}` in expression"), self.span()))
+            }
+        }
+    }
+}
+
+/// Parses a full script.
+pub fn parse_script(src: &str) -> Result<Script, ParseError> {
+    Parser::new(src)?.parse_script()
+}
+
+/// Parses exactly one statement; trailing input is an error.
+pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
+    let mut p = Parser::new(src)?;
+    let stmt = p.parse_statement()?;
+    while p.eat(&TokenKind::Semicolon) {}
+    if !p.at_eof() || !p.pending.is_empty() {
+        return Err(ParseError::new("trailing input after statement", p.span()));
+    }
+    Ok(stmt)
+}
+
+/// Parses exactly one expression; trailing input is an error.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src)?;
+    let e = p.parse_expr()?;
+    if !p.at_eof() {
+        return Err(ParseError::new("trailing input after expression", p.span()));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(src: &str) -> MsqlQuery {
+        match parse_statement(src).unwrap() {
+            Statement::Query(q) => q,
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_section2_query() {
+        let q = query(
+            "USE avis national
+             LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+             SELECT %code, type, ~rate FROM car WHERE status = 'available'",
+        );
+        let use_clause = q.use_clause.unwrap();
+        assert_eq!(use_clause.elements.len(), 2);
+        assert_eq!(use_clause.elements[0].database.as_str(), "avis");
+        assert!(!use_clause.elements[0].vital);
+        assert_eq!(q.lets.len(), 1);
+        let var = &q.lets[0].variables[0];
+        assert_eq!(var.names, vec!["car", "type", "status"]);
+        assert_eq!(var.bindings.len(), 2);
+        assert_eq!(var.bindings[0], vec!["cars", "cartype", "carst"]);
+        let QueryBody::Select(sel) = &q.body else { panic!() };
+        assert_eq!(sel.items.len(), 3);
+        match &sel.items[2] {
+            SelectItem::Expr { optional, .. } => assert!(optional),
+            other => panic!("expected optional item, got {other:?}"),
+        }
+        match &sel.items[0] {
+            SelectItem::Expr { expr: Expr::Column(c), .. } => {
+                assert_eq!(c.column.as_str(), "%code");
+                assert!(c.is_multiple());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_vital_update() {
+        let q = query(
+            "USE continental VITAL delta united VITAL
+             UPDATE flight%
+             SET rate% = rate% * 1.1
+             WHERE sour% = 'Houston' AND dest% = 'San Antonio'",
+        );
+        let u = q.use_clause.unwrap();
+        assert_eq!(u.vital_set(), vec!["continental", "united"]);
+        let QueryBody::Update(up) = &q.body else { panic!() };
+        assert_eq!(up.table.table.as_str(), "flight%");
+        assert_eq!(up.assignments.len(), 1);
+        assert!(up.assignments[0].column.is_multiple());
+        assert!(up.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_comp_clause() {
+        let q = query(
+            "USE continental VITAL delta united VITAL
+             UPDATE flight% SET rate% = rate% * 1.1
+             WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+             COMP continental
+             UPDATE flights SET rate = rate / 1.1
+             WHERE source = 'Houston' AND destination = 'San Antonio'",
+        );
+        assert_eq!(q.comps.len(), 1);
+        assert_eq!(q.comps[0].database.as_str(), "continental");
+        match q.comps[0].statement.as_ref() {
+            Statement::Query(inner) => {
+                let QueryBody::Update(u) = &inner.body else { panic!() };
+                assert_eq!(u.table.table.as_str(), "flights");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_multitransaction() {
+        let stmt = parse_statement(
+            "BEGIN MULTITRANSACTION
+               USE continental delta
+               LET fltab.snu.sstat.clname BE
+                   f838.seatnu.seatstatus.clientname
+                   f747.snu.sstat.passname
+               UPDATE fltab
+               SET sstat = 'TAKEN', clname = 'wenders'
+               WHERE snu = ( SELECT MIN(snu) FROM fltab WHERE sstat = 'FREE');
+               USE avis national
+               LET cartab.ccode.cstat BE cars.code.carst vehicle.vcode.vstat
+               UPDATE cartab
+               SET cstat = 'TAKEN', client = 'wenders'
+               WHERE ccode = ( SELECT MIN(ccode) FROM cartab WHERE cstat = 'FREE');
+               COMMIT
+                 continental AND national
+                 delta AND avis
+             END MULTITRANSACTION",
+        )
+        .unwrap();
+        let Statement::Multitransaction(m) = stmt else { panic!("{stmt:?}") };
+        assert_eq!(m.queries.len(), 2);
+        assert_eq!(m.acceptable_states.len(), 2);
+        assert_eq!(
+            m.acceptable_states[0].databases.iter().map(|d| d.as_str()).collect::<Vec<_>>(),
+            vec!["continental", "national"]
+        );
+        assert_eq!(
+            m.acceptable_states[1].databases.iter().map(|d| d.as_str()).collect::<Vec<_>>(),
+            vec!["delta", "avis"]
+        );
+        // Scalar subquery inside the first UPDATE.
+        let QueryBody::Update(u) = &m.queries[0].body else { panic!() };
+        let w = u.where_clause.as_ref().unwrap();
+        match w {
+            Expr::Binary { right, .. } => assert!(matches!(**right, Expr::Subquery(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_incorporate() {
+        let stmt = parse_statement(
+            "INCORPORATE SERVICE oracle1 SITE site1
+             CONNECTMODE CONNECT
+             COMMITMODE NOCOMMIT
+             CREATE COMMIT
+             INSERT NOCOMMIT
+             DROP COMMIT",
+        )
+        .unwrap();
+        let Statement::Incorporate(inc) = stmt else { panic!() };
+        assert_eq!(inc.service, "oracle1");
+        assert_eq!(inc.site.as_deref(), Some("site1"));
+        assert!(inc.multi_database);
+        assert_eq!(inc.commit_mode, CommitCapability::TwoPhase);
+        assert_eq!(inc.create_mode, Some(CommitCapability::AutoCommit));
+        assert_eq!(inc.insert_mode, Some(CommitCapability::TwoPhase));
+        assert_eq!(inc.drop_mode, Some(CommitCapability::AutoCommit));
+    }
+
+    #[test]
+    fn parses_import_variants() {
+        let s1 = parse_statement("IMPORT DATABASE avis FROM SERVICE ingres1").unwrap();
+        let Statement::Import(i1) = s1 else { panic!() };
+        assert_eq!(i1.item, ImportItem::AllPublicTables);
+
+        let s2 = parse_statement("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars").unwrap();
+        let Statement::Import(i2) = s2 else { panic!() };
+        assert_eq!(i2.item, ImportItem::Table { table: "cars".into(), columns: vec![] });
+
+        let s3 = parse_statement(
+            "IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars COLUMN (code, rate)",
+        )
+        .unwrap();
+        let Statement::Import(i3) = s3 else { panic!() };
+        assert_eq!(
+            i3.item,
+            ImportItem::Table { table: "cars".into(), columns: vec!["code".into(), "rate".into()] }
+        );
+    }
+
+    #[test]
+    fn parses_use_with_aliases() {
+        let stmt = parse_statement("USE (continental cont) VITAL (delta d) united").unwrap();
+        let Statement::Use(u) = stmt else { panic!() };
+        assert_eq!(u.elements[0].alias.as_deref(), Some("cont"));
+        assert!(u.elements[0].vital);
+        assert_eq!(u.elements[1].alias.as_deref(), Some("d"));
+        assert!(!u.elements[1].vital);
+        assert_eq!(u.elements[2].alias, None);
+    }
+
+    #[test]
+    fn parses_use_current() {
+        let stmt = parse_statement("USE CURRENT avis").unwrap();
+        let Statement::Use(u) = stmt else { panic!() };
+        assert!(u.current);
+    }
+
+    #[test]
+    fn parses_create_table() {
+        let stmt = parse_statement(
+            "CREATE TABLE avis.cars (code INT NOT NULL, cartype CHAR(16), rate FLOAT, carst CHAR(10))",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = stmt else { panic!() };
+        assert_eq!(ct.table.database.as_ref().unwrap().as_str(), "avis");
+        assert_eq!(ct.columns.len(), 4);
+        assert!(ct.columns[0].not_null);
+        assert_eq!(ct.columns[1].type_name, TypeName::Char(16));
+    }
+
+    #[test]
+    fn parses_insert_forms() {
+        let s = parse_statement("INSERT INTO cars (code, rate) VALUES (1, 10.5), (2, NULL)").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let QueryBody::Insert(ins) = q.body else { panic!() };
+        assert_eq!(ins.columns.len(), 2);
+        let InsertSource::Values(rows) = ins.source else { panic!() };
+        assert_eq!(rows.len(), 2);
+
+        let s2 = parse_statement("INSERT INTO archive SELECT * FROM cars WHERE carst = 'old'").unwrap();
+        let Statement::Query(q2) = s2 else { panic!() };
+        let QueryBody::Insert(ins2) = q2.body else { panic!() };
+        assert!(matches!(ins2.source, InsertSource::Select(_)));
+    }
+
+    #[test]
+    fn parses_delete() {
+        let s = parse_statement("DELETE FROM cars WHERE rate > 100").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        assert!(matches!(q.body, QueryBody::Delete(_)));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("a + b * c = d OR e AND NOT f").unwrap();
+        // OR at top.
+        let Expr::Binary { op: BinaryOp::Or, left, right } = e else { panic!() };
+        let Expr::Binary { op: BinaryOp::Eq, left: add, .. } = *left else { panic!() };
+        let Expr::Binary { op: BinaryOp::Add, right: mul, .. } = *add else { panic!() };
+        assert!(matches!(*mul, Expr::Binary { op: BinaryOp::Mul, .. }));
+        let Expr::Binary { op: BinaryOp::And, right: not_f, .. } = *right else { panic!() };
+        assert!(matches!(*not_f, Expr::Unary { op: UnaryOp::Not, .. }));
+    }
+
+    #[test]
+    fn between_and_binds_to_between() {
+        let e = parse_expr("x BETWEEN 1 AND 10 AND y = 2").unwrap();
+        let Expr::Binary { op: BinaryOp::And, left, .. } = e else { panic!() };
+        assert!(matches!(*left, Expr::Between { .. }));
+    }
+
+    #[test]
+    fn parses_in_list_and_subquery() {
+        assert!(matches!(parse_expr("x IN (1, 2, 3)").unwrap(), Expr::InList { .. }));
+        assert!(matches!(
+            parse_expr("x NOT IN (SELECT y FROM t)").unwrap(),
+            Expr::InSubquery { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_like_and_is_null() {
+        assert!(matches!(parse_expr("name LIKE 'a%'").unwrap(), Expr::Like { negated: false, .. }));
+        assert!(matches!(parse_expr("rate IS NOT NULL").unwrap(), Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let e = parse_expr("MIN(snu)").unwrap();
+        assert!(matches!(e, Expr::Aggregate { kind: AggregateKind::Min, .. }));
+        let c = parse_expr("COUNT(*)").unwrap();
+        assert!(matches!(c, Expr::Aggregate { kind: AggregateKind::Count, arg: None, .. }));
+        let d = parse_expr("COUNT(DISTINCT code)").unwrap();
+        assert!(matches!(d, Expr::Aggregate { distinct: true, .. }));
+    }
+
+    #[test]
+    fn parses_exists() {
+        let e = parse_expr("EXISTS (SELECT 1 FROM t)").unwrap();
+        assert!(matches!(e, Expr::Exists { negated: false, .. }));
+    }
+
+    #[test]
+    fn parses_group_by_having_order_by() {
+        let s = parse_statement(
+            "SELECT cartype, COUNT(*) n FROM cars GROUP BY cartype HAVING COUNT(*) > 1 ORDER BY n DESC, cartype",
+        )
+        .unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let QueryBody::Select(sel) = q.body else { panic!() };
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(sel.order_by.len(), 2);
+        assert_eq!(sel.order_by[0].order, SortOrder::Desc);
+    }
+
+    #[test]
+    fn select_distinct_and_qualified_wildcard() {
+        let s = parse_statement("SELECT DISTINCT c.* FROM cars c").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let QueryBody::Select(sel) = q.body else { panic!() };
+        assert!(sel.distinct);
+        assert!(matches!(&sel.items[0], SelectItem::QualifiedWildcard(w) if w.as_str() == "c"));
+        assert_eq!(sel.from[0].alias.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn script_with_multiple_statements() {
+        let script = parse_script(
+            "USE avis national;
+             SELECT code FROM cars;
+             COMMIT",
+        )
+        .unwrap();
+        assert_eq!(script.statements.len(), 3);
+        assert!(matches!(script.statements[0], Statement::Use(_)));
+        assert!(matches!(script.statements[2], Statement::Commit));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("FLURB x").is_err());
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("UPDATE t SET").is_err());
+        assert!(parse_statement("USE").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_statement("SELECT a FROM t extra garbage ,").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_multitransaction_states() {
+        assert!(parse_statement(
+            "BEGIN MULTITRANSACTION SELECT a FROM t; COMMIT END MULTITRANSACTION"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn keyword_column_names_are_allowed() {
+        // The appendix schemas use `day` as a column; contextual keywords must
+        // parse as identifiers.
+        let s = parse_statement("SELECT day, rate FROM flights WHERE day = 'mon'").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        assert!(matches!(q.body, QueryBody::Select(_)));
+    }
+
+    #[test]
+    fn db_qualified_table_in_from() {
+        let s = parse_statement("SELECT code FROM avis.cars").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let QueryBody::Select(sel) = q.body else { panic!() };
+        assert_eq!(sel.from[0].database.as_ref().unwrap().as_str(), "avis");
+        assert_eq!(sel.from[0].table.as_str(), "cars");
+    }
+
+    #[test]
+    fn three_part_column_reference() {
+        let e = parse_expr("avis.cars.rate").unwrap();
+        let Expr::Column(c) = e else { panic!() };
+        assert_eq!(c.database.unwrap().as_str(), "avis");
+        assert_eq!(c.table.unwrap().as_str(), "cars");
+        assert_eq!(c.column.as_str(), "rate");
+    }
+
+    #[test]
+    fn standalone_let_statement() {
+        let s = parse_statement(
+            "LET car.type BE cars.cartype vehicle.vty",
+        )
+        .unwrap();
+        let Statement::Let(l) = s else { panic!() };
+        assert_eq!(l.variables[0].bindings.len(), 2);
+    }
+}

@@ -1,0 +1,673 @@
+//! Rendering AST nodes back to MSQL/SQL text.
+//!
+//! The printer emits canonical text with minimal parentheses: printing any
+//! parsed statement and reparsing the output yields an identical AST (this is
+//! checked by property tests). For statements whose names have been fully
+//! qualified by the translator, the output is plain SQL that an LDBS can
+//! execute — the multidatabase layer uses exactly this path to ship
+//! subqueries to local database systems.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders any statement to text.
+pub fn print(stmt: &Statement) -> String {
+    let mut out = String::new();
+    write_statement(&mut out, stmt);
+    out
+}
+
+/// Renders an expression to text.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, 0);
+    out
+}
+
+/// Renders a SELECT to text.
+pub fn print_select(sel: &Select) -> String {
+    let mut out = String::new();
+    write_select(&mut out, sel);
+    out
+}
+
+fn write_statement(out: &mut String, stmt: &Statement) {
+    match stmt {
+        Statement::Query(q) => write_query(out, q),
+        Statement::Use(u) => write_use(out, u),
+        Statement::Let(l) => write_let(out, l),
+        Statement::Multitransaction(m) => write_multitransaction(out, m),
+        Statement::Incorporate(inc) => write_incorporate(out, inc),
+        Statement::Import(imp) => write_import(out, imp),
+        Statement::CreateDatabase(name) => {
+            let _ = write!(out, "CREATE DATABASE {name}");
+        }
+        Statement::DropDatabase(name) => {
+            let _ = write!(out, "DROP DATABASE {name}");
+        }
+        Statement::CreateTable(ct) => write_create_table(out, ct),
+        Statement::DropTable(dt) => {
+            out.push_str("DROP TABLE ");
+            write_table_name(out, &dt.table);
+        }
+        Statement::CreateTrigger(t) => {
+            let _ = write!(
+                out,
+                "CREATE TRIGGER {} ON {}.{} AFTER {} EXECUTE ",
+                t.name,
+                t.database,
+                t.table,
+                t.event.name()
+            );
+            write_statement(out, &t.action);
+        }
+        Statement::DropTrigger(name) => {
+            let _ = write!(out, "DROP TRIGGER {name}");
+        }
+        Statement::Commit => out.push_str("COMMIT"),
+        Statement::Rollback => out.push_str("ROLLBACK"),
+    }
+}
+
+fn write_query(out: &mut String, q: &MsqlQuery) {
+    if let Some(u) = &q.use_clause {
+        write_use(out, u);
+        out.push('\n');
+    }
+    for l in &q.lets {
+        write_let(out, l);
+        out.push('\n');
+    }
+    match &q.body {
+        QueryBody::Select(s) => write_select(out, s),
+        QueryBody::Insert(i) => write_insert(out, i),
+        QueryBody::Update(u) => write_update(out, u),
+        QueryBody::Delete(d) => write_delete(out, d),
+    }
+    for comp in &q.comps {
+        let _ = write!(out, "\nCOMP {}\n", comp.database);
+        write_statement(out, &comp.statement);
+    }
+}
+
+fn write_use(out: &mut String, u: &UseStatement) {
+    out.push_str("USE");
+    if u.current {
+        out.push_str(" CURRENT");
+    }
+    for e in &u.elements {
+        out.push(' ');
+        match &e.alias {
+            Some(a) => {
+                let _ = write!(out, "({} {a})", e.database);
+            }
+            None => {
+                let _ = write!(out, "{}", e.database);
+            }
+        }
+        if e.vital {
+            out.push_str(" VITAL");
+        }
+    }
+}
+
+fn write_let(out: &mut String, l: &LetStatement) {
+    out.push_str("LET ");
+    for (i, v) in l.variables.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&v.names.join("."));
+        out.push_str(" BE");
+        for b in &v.bindings {
+            out.push(' ');
+            out.push_str(&b.join("."));
+        }
+    }
+}
+
+fn write_multitransaction(out: &mut String, m: &Multitransaction) {
+    out.push_str("BEGIN MULTITRANSACTION\n");
+    for q in &m.queries {
+        write_query(out, q);
+        out.push_str(";\n");
+    }
+    out.push_str("COMMIT\n");
+    for (i, state) in m.acceptable_states.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        let names: Vec<&str> = state.databases.iter().map(|d| d.as_str()).collect();
+        out.push_str(&names.join(" AND "));
+    }
+    out.push_str("\nEND MULTITRANSACTION");
+}
+
+fn cap(c: CommitCapability) -> &'static str {
+    match c {
+        CommitCapability::AutoCommit => "COMMIT",
+        CommitCapability::TwoPhase => "NOCOMMIT",
+    }
+}
+
+fn write_incorporate(out: &mut String, inc: &Incorporate) {
+    let _ = write!(out, "INCORPORATE SERVICE {}", inc.service);
+    if let Some(site) = &inc.site {
+        let _ = write!(out, " SITE {site}");
+    }
+    let _ = write!(
+        out,
+        " CONNECTMODE {} COMMITMODE {}",
+        if inc.multi_database { "CONNECT" } else { "NOCONNECT" },
+        cap(inc.commit_mode)
+    );
+    if let Some(m) = inc.create_mode {
+        let _ = write!(out, " CREATE {}", cap(m));
+    }
+    if let Some(m) = inc.insert_mode {
+        let _ = write!(out, " INSERT {}", cap(m));
+    }
+    if let Some(m) = inc.drop_mode {
+        let _ = write!(out, " DROP {}", cap(m));
+    }
+}
+
+fn write_import(out: &mut String, imp: &Import) {
+    let _ = write!(out, "IMPORT DATABASE {} FROM SERVICE {}", imp.database, imp.service);
+    match &imp.item {
+        ImportItem::AllPublicTables => {}
+        ImportItem::Table { table, columns } => {
+            let _ = write!(out, " TABLE {table}");
+            if !columns.is_empty() {
+                let _ = write!(out, " COLUMN ({})", columns.join(", "));
+            }
+        }
+        ImportItem::View { view, columns } => {
+            let _ = write!(out, " VIEW {view}");
+            if !columns.is_empty() {
+                let _ = write!(out, " COLUMN ({})", columns.join(", "));
+            }
+        }
+    }
+}
+
+fn type_name_text(t: TypeName) -> String {
+    match t {
+        TypeName::Int => "INT".to_string(),
+        TypeName::Float => "FLOAT".to_string(),
+        TypeName::Char(0) => "CHAR".to_string(),
+        TypeName::Char(w) => format!("CHAR({w})"),
+        TypeName::Bool => "BOOLEAN".to_string(),
+        TypeName::Date => "DATE".to_string(),
+    }
+}
+
+fn write_create_table(out: &mut String, ct: &CreateTable) {
+    out.push_str("CREATE TABLE ");
+    write_table_name(out, &ct.table);
+    out.push_str(" (");
+    for (i, c) in ct.columns.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", c.name, type_name_text(c.type_name));
+        if c.not_null {
+            out.push_str(" NOT NULL");
+        }
+    }
+    out.push(')');
+}
+
+fn write_table_name(out: &mut String, t: &TableRef) {
+    if let Some(db) = &t.database {
+        let _ = write!(out, "{db}.");
+    }
+    let _ = write!(out, "{}", t.table);
+}
+
+fn write_table_ref(out: &mut String, t: &TableRef) {
+    write_table_name(out, t);
+    if let Some(a) = &t.alias {
+        let _ = write!(out, " {a}");
+    }
+}
+
+fn write_select(out: &mut String, sel: &Select) {
+    out.push_str("SELECT ");
+    if sel.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, item) in sel.items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::QualifiedWildcard(t) => {
+                let _ = write!(out, "{t}.*");
+            }
+            SelectItem::Expr { expr, alias, optional } => {
+                if *optional {
+                    out.push('~');
+                }
+                write_expr(out, expr, 0);
+                if let Some(a) = alias {
+                    let _ = write!(out, " AS {a}");
+                }
+            }
+        }
+    }
+    if !sel.from.is_empty() {
+        out.push_str(" FROM ");
+        for (i, t) in sel.from.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_table_ref(out, t);
+        }
+    }
+    if let Some(w) = &sel.where_clause {
+        out.push_str(" WHERE ");
+        write_expr(out, w, 0);
+    }
+    if !sel.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, e) in sel.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, e, 0);
+        }
+    }
+    if let Some(h) = &sel.having {
+        out.push_str(" HAVING ");
+        write_expr(out, h, 0);
+    }
+    if !sel.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, o) in sel.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, &o.expr, 0);
+            if o.order == SortOrder::Desc {
+                out.push_str(" DESC");
+            }
+        }
+    }
+}
+
+fn write_insert(out: &mut String, ins: &Insert) {
+    out.push_str("INSERT INTO ");
+    write_table_name(out, &ins.table);
+    if !ins.columns.is_empty() {
+        out.push_str(" (");
+        for (i, c) in ins.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push(')');
+    }
+    match &ins.source {
+        InsertSource::Values(rows) => {
+            out.push_str(" VALUES ");
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('(');
+                for (j, e) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, e, 0);
+                }
+                out.push(')');
+            }
+        }
+        InsertSource::Select(sel) => {
+            out.push(' ');
+            write_select(out, sel);
+        }
+    }
+}
+
+fn write_update(out: &mut String, up: &Update) {
+    out.push_str("UPDATE ");
+    write_table_ref(out, &up.table);
+    out.push_str(" SET ");
+    for (i, a) in up.assignments.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} = ", a.column);
+        write_expr(out, &a.value, 0);
+    }
+    if let Some(w) = &up.where_clause {
+        out.push_str(" WHERE ");
+        write_expr(out, w, 0);
+    }
+}
+
+fn write_delete(out: &mut String, del: &Delete) {
+    out.push_str("DELETE FROM ");
+    write_table_ref(out, &del.table);
+    if let Some(w) = &del.where_clause {
+        out.push_str(" WHERE ");
+        write_expr(out, w, 0);
+    }
+}
+
+/// Precedence levels used to decide where parentheses are needed. Higher
+/// binds tighter; mirrors the parser's grammar.
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => match op {
+            BinaryOp::Or => 1,
+            BinaryOp::And => 2,
+            op if op.is_comparison() => 4,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Concat => 5,
+            BinaryOp::Mul | BinaryOp::Div => 6,
+            _ => unreachable!(),
+        },
+        Expr::Unary { op: UnaryOp::Not, .. } => 3,
+        Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::IsNull { .. }
+        | Expr::Like { .. } => 4,
+        Expr::Unary { op: UnaryOp::Neg, .. } => 7,
+        _ => 8,
+    }
+}
+
+fn write_child(out: &mut String, child: &Expr, min_prec: u8) {
+    if precedence(child) < min_prec {
+        out.push('(');
+        write_expr(out, child, 0);
+        out.push(')');
+    } else {
+        write_expr(out, child, 0);
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, _depth: usize) {
+    match e {
+        Expr::Column(c) => {
+            if let Some(db) = &c.database {
+                let _ = write!(out, "{db}.");
+            }
+            if let Some(t) = &c.table {
+                let _ = write!(out, "{t}.");
+            }
+            let _ = write!(out, "{}", c.column);
+        }
+        Expr::Literal(l) => write_literal(out, l),
+        Expr::Unary { op: UnaryOp::Not, expr } => {
+            out.push_str("NOT ");
+            write_child(out, expr, 3);
+        }
+        Expr::Unary { op: UnaryOp::Neg, expr } => {
+            out.push('-');
+            // Parenthesise unless the operand is primary: `--x` would lex as
+            // a comment, and `-a + b` must not re-associate.
+            if precedence(expr) < 8 {
+                out.push('(');
+                write_expr(out, expr, 0);
+                out.push(')');
+            } else {
+                write_expr(out, expr, 0);
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            let p = precedence(e);
+            // Comparisons are non-associative (both operands are parsed at
+            // the additive level), so an equal-precedence child needs parens
+            // on either side; for left-associative operators only the right
+            // child does.
+            let left_min = if op.is_comparison() { p + 1 } else { p };
+            write_child(out, left, left_min);
+            let _ = write!(out, " {} ", op.symbol());
+            write_child(out, right, p + 1);
+        }
+        Expr::Aggregate { kind, arg, distinct } => {
+            let _ = write!(out, "{}(", kind.name());
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            match arg {
+                Some(a) => write_expr(out, a, 0),
+                None => out.push('*'),
+            }
+            out.push(')');
+        }
+        Expr::Function { name, args } => {
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::Subquery(sel) => {
+            out.push('(');
+            write_select(out, sel);
+            out.push(')');
+        }
+        Expr::InList { expr, list, negated } => {
+            write_child(out, expr, 5);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            for (i, e) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, e, 0);
+            }
+            out.push(')');
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            write_child(out, expr, 5);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            write_select(out, subquery);
+            out.push(')');
+        }
+        Expr::Between { expr, low, high, negated } => {
+            write_child(out, expr, 5);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" BETWEEN ");
+            write_child(out, low, 5);
+            out.push_str(" AND ");
+            write_child(out, high, 5);
+        }
+        Expr::IsNull { expr, negated } => {
+            write_child(out, expr, 5);
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+        }
+        Expr::Like { expr, pattern, negated } => {
+            write_child(out, expr, 5);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" LIKE ");
+            write_child(out, pattern, 5);
+        }
+        Expr::Exists { subquery, negated } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (");
+            write_select(out, subquery);
+            out.push(')');
+        }
+    }
+}
+
+fn write_literal(out: &mut String, l: &Literal) {
+    match l {
+        Literal::Null => out.push_str("NULL"),
+        Literal::Int(v) => {
+            if *v < 0 {
+                // Negative literals only arise from folded ASTs; print in a
+                // reparseable form (unary minus over a positive literal).
+                let _ = write!(out, "-({})", v.unsigned_abs());
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Literal::Float(v) => {
+            if *v < 0.0 {
+                let _ = write!(out, "-({:?})", -v);
+            } else {
+                let _ = write!(out, "{v:?}");
+            }
+        }
+        Literal::Str(s) => {
+            let _ = write!(out, "'{}'", s.replace('\'', "''"));
+        }
+        Literal::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_statement};
+
+    fn roundtrip_stmt(src: &str) {
+        let ast = parse_statement(src).unwrap();
+        let printed = print(&ast);
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(ast, reparsed, "printed: {printed}");
+    }
+
+    fn roundtrip_expr(src: &str) {
+        let ast = parse_expr(src).unwrap();
+        let printed = print_expr(&ast);
+        let reparsed =
+            parse_expr(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(ast, reparsed, "printed: {printed}");
+    }
+
+    #[test]
+    fn roundtrips_paper_queries() {
+        roundtrip_stmt(
+            "USE avis national
+             LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+             SELECT %code, type, ~rate FROM car WHERE status = 'available'",
+        );
+        roundtrip_stmt(
+            "USE continental VITAL delta united VITAL
+             UPDATE flight% SET rate% = rate% * 1.1
+             WHERE sour% = 'Houston' AND dest% = 'San Antonio'",
+        );
+        roundtrip_stmt(
+            "USE continental VITAL delta united VITAL
+             UPDATE flight% SET rate% = rate% * 1.1
+             WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+             COMP continental
+             UPDATE flights SET rate = rate / 1.1
+             WHERE source = 'Houston' AND destination = 'San Antonio'",
+        );
+    }
+
+    #[test]
+    fn roundtrips_multitransaction() {
+        roundtrip_stmt(
+            "BEGIN MULTITRANSACTION
+               USE continental delta
+               UPDATE fltab SET sstat = 'TAKEN'
+               WHERE snu = (SELECT MIN(snu) FROM fltab WHERE sstat = 'FREE');
+               COMMIT continental AND national, delta AND avis
+             END MULTITRANSACTION",
+        );
+    }
+
+    #[test]
+    fn roundtrips_ddl_and_admin() {
+        roundtrip_stmt("CREATE TABLE avis.cars (code INT NOT NULL, cartype CHAR(16), rate FLOAT)");
+        roundtrip_stmt("DROP TABLE avis.cars");
+        roundtrip_stmt("CREATE DATABASE avis");
+        roundtrip_stmt(
+            "INCORPORATE SERVICE oracle1 SITE site1 CONNECTMODE CONNECT COMMITMODE NOCOMMIT CREATE COMMIT",
+        );
+        roundtrip_stmt("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars COLUMN (code, rate)");
+        roundtrip_stmt("USE (continental cont) VITAL delta");
+    }
+
+    #[test]
+    fn roundtrips_dml() {
+        roundtrip_stmt("INSERT INTO cars (code, rate) VALUES (1, 10.5), (2, NULL)");
+        roundtrip_stmt("INSERT INTO archive SELECT * FROM cars WHERE carst = 'old'");
+        roundtrip_stmt("DELETE FROM cars WHERE rate > 100");
+    }
+
+    #[test]
+    fn roundtrips_tricky_expressions() {
+        roundtrip_expr("a + b * c");
+        roundtrip_expr("(a + b) * c");
+        roundtrip_expr("a - (b - c)");
+        roundtrip_expr("NOT (a OR b) AND c");
+        roundtrip_expr("x BETWEEN 1 AND 10 AND y = 2");
+        roundtrip_expr("a IN (1, 2) OR b NOT IN (SELECT x FROM t)");
+        roundtrip_expr("name NOT LIKE 'a%' AND rate IS NOT NULL");
+        roundtrip_expr("-(a + b) * 2");
+        roundtrip_expr("COUNT(DISTINCT x) > 3");
+        roundtrip_expr("EXISTS (SELECT 1 FROM t WHERE t.x = 1)");
+        roundtrip_expr("'it''s' || 'fine'");
+    }
+
+    #[test]
+    fn negative_literals_reparse() {
+        let e = Expr::Literal(Literal::Int(-5));
+        let printed = print_expr(&e);
+        let back = parse_expr(&printed).unwrap();
+        // -5 reparses as Neg(5); check it evaluates the same way by shape.
+        assert!(matches!(back, Expr::Unary { op: UnaryOp::Neg, .. }));
+    }
+
+    #[test]
+    fn printed_select_is_plain_sql() {
+        let s = parse_statement(
+            "SELECT code, rate FROM cars WHERE carst = 'available' ORDER BY rate DESC",
+        )
+        .unwrap();
+        assert_eq!(
+            print(&s),
+            "SELECT code, rate FROM cars WHERE carst = 'available' ORDER BY rate DESC"
+        );
+    }
+
+    #[test]
+    fn not_prints_without_redundant_parens() {
+        roundtrip_expr("NOT a = b");
+        let e = parse_expr("NOT a = b").unwrap();
+        assert_eq!(print_expr(&e), "NOT a = b");
+    }
+
+    #[test]
+    fn double_negation_does_not_lex_as_comment() {
+        let e = Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(Expr::Literal(Literal::Int(3))),
+            }),
+        };
+        let printed = print_expr(&e);
+        assert!(parse_expr(&printed).is_ok(), "printed: {printed}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Property tests for the MSQL language layer.
+//!
+//! * the iterative `%` wildcard matcher agrees with an exponential reference
+//!   implementation;
+//! * printing any generated expression/statement and reparsing the output
+//!   yields an identical AST (print → parse roundtrip).
+
+use msql_lang::ident::wild_match_reference;
+use msql_lang::printer::{print, print_expr};
+use msql_lang::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- wildcards
+
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => prop::sample::select(vec!["a", "b", "c", "d"]),
+            1 => Just("%"),
+        ],
+        0..8,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop::sample::select(vec!["a", "b", "c", "d"]), 0..10)
+        .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #[test]
+    fn wildcard_matcher_agrees_with_reference(p in pattern_strategy(), t in text_strategy()) {
+        let fast = WildName::new(p.clone()).matches(&t);
+        let slow = wild_match_reference(&p, &t);
+        prop_assert_eq!(fast, slow, "pattern={} text={}", p, t);
+    }
+
+    #[test]
+    fn wildcard_always_matches_own_expansion(
+        prefix in text_strategy(),
+        middle in text_strategy(),
+        suffix in text_strategy(),
+    ) {
+        // For pattern `prefix%suffix`, any `prefix ++ middle ++ suffix` matches.
+        let pattern = format!("{prefix}%{suffix}");
+        let text = format!("{prefix}{middle}{suffix}");
+        prop_assert!(WildName::new(pattern).matches(&text));
+    }
+}
+
+// ------------------------------------------------------------- AST roundtrip
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("avoid keywords", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "group" | "having" | "order" | "and" | "or" | "not"
+                | "in" | "between" | "like" | "is" | "null" | "true" | "false" | "exists"
+                | "use" | "let" | "be" | "comp" | "begin" | "end" | "commit" | "rollback"
+                | "create" | "drop" | "insert" | "update" | "delete" | "set" | "values"
+                | "into" | "as" | "by" | "distinct" | "all" | "asc" | "desc" | "vital"
+                | "min" | "max" | "sum" | "avg" | "count" | "import" | "database" | "table"
+                | "union" | "current" | "service" | "site" | "view" | "column" | "on"
+        )
+    })
+}
+
+fn wildident_strategy() -> impl Strategy<Value = String> {
+    (ident_strategy(), prop::bool::ANY, prop::bool::ANY).prop_map(|(base, pre, post)| {
+        let mut s = String::new();
+        if pre {
+            s.push('%');
+        }
+        s.push_str(&base);
+        if post {
+            s.push('%');
+        }
+        s
+    })
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        (0i64..10_000).prop_map(Literal::Int),
+        (0u32..100_000).prop_map(|v| Literal::Float(v as f64 / 100.0)),
+        "[a-zA-Z '0-9]{0,12}".prop_map(Literal::Str),
+        prop::bool::ANY.prop_map(Literal::Bool),
+    ]
+}
+
+fn column_strategy() -> impl Strategy<Value = ColumnRef> {
+    (
+        prop::option::of(ident_strategy()),
+        prop::option::of(ident_strategy()),
+        wildident_strategy(),
+    )
+        .prop_map(|(db, table, col)| match (db, table) {
+            (Some(d), Some(t)) => ColumnRef::full(d, t, col),
+            (_, Some(t)) => ColumnRef::with_table(t, col),
+            _ => ColumnRef::bare(col),
+        })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal_strategy().prop_map(Expr::Literal),
+        column_strategy().prop_map(Expr::Column),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), any::<u8>()).prop_map(|(l, r, sel)| {
+                let op = match sel % 13 {
+                    0 => BinaryOp::Or,
+                    1 => BinaryOp::And,
+                    2 => BinaryOp::Eq,
+                    3 => BinaryOp::NotEq,
+                    4 => BinaryOp::Lt,
+                    5 => BinaryOp::LtEq,
+                    6 => BinaryOp::Gt,
+                    7 => BinaryOp::GtEq,
+                    8 => BinaryOp::Add,
+                    9 => BinaryOp::Sub,
+                    10 => BinaryOp::Mul,
+                    11 => BinaryOp::Div,
+                    _ => BinaryOp::Concat,
+                };
+                Expr::Binary { left: Box::new(l), op, right: Box::new(r) }
+            }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) }),
+            (inner.clone(), prop::bool::ANY)
+                .prop_map(|(e, n)| Expr::IsNull { expr: Box::new(e), negated: n }),
+            (inner.clone(), inner.clone(), inner.clone(), prop::bool::ANY).prop_map(
+                |(e, lo, hi, n)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated: n,
+                }
+            ),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), prop::bool::ANY)
+                .prop_map(|(e, list, n)| Expr::InList { expr: Box::new(e), list, negated: n }),
+            (ident_strategy(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::Function { name, args }),
+            (inner, any::<u8>(), prop::bool::ANY).prop_map(|(e, k, d)| {
+                let kind = match k % 5 {
+                    0 => AggregateKind::Count,
+                    1 => AggregateKind::Sum,
+                    2 => AggregateKind::Avg,
+                    3 => AggregateKind::Min,
+                    _ => AggregateKind::Max,
+                };
+                Expr::Aggregate { kind, arg: Some(Box::new(e)), distinct: d }
+            }),
+        ]
+    })
+}
+
+/// Negative literals print as `-(n)` and reparse as unary negation; normalise
+/// both sides so structural comparison is meaningful.
+fn normalise(e: &Expr) -> Expr {
+    match e {
+        Expr::Unary { op: UnaryOp::Neg, expr } => match normalise(expr) {
+            Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+            Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+            inner => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) },
+        },
+        Expr::Unary { op, expr } => Expr::Unary { op: *op, expr: Box::new(normalise(expr)) },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(normalise(left)),
+            op: *op,
+            right: Box::new(normalise(right)),
+        },
+        Expr::Aggregate { kind, arg, distinct } => Expr::Aggregate {
+            kind: *kind,
+            arg: arg.as_ref().map(|a| Box::new(normalise(a))),
+            distinct: *distinct,
+        },
+        Expr::Function { name, args } => {
+            Expr::Function { name: name.clone(), args: args.iter().map(normalise).collect() }
+        }
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(normalise(expr)),
+            list: list.iter().map(normalise).collect(),
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(normalise(expr)),
+            low: Box::new(normalise(low)),
+            high: Box::new(normalise(high)),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(normalise(expr)), negated: *negated }
+        }
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(normalise(expr)),
+            pattern: Box::new(normalise(pattern)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_print_parse_roundtrip(e in expr_strategy()) {
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse {printed:?}: {err}"));
+        prop_assert_eq!(normalise(&e), normalise(&reparsed), "printed: {}", printed);
+    }
+}
+
+fn select_strategy() -> impl Strategy<Value = Select> {
+    (
+        prop::bool::ANY,
+        proptest::collection::vec(
+            (expr_strategy(), prop::option::of(ident_strategy()), prop::bool::ANY)
+                .prop_map(|(expr, alias, optional)| SelectItem::Expr { expr, alias, optional }),
+            1..4,
+        ),
+        proptest::collection::vec(
+            (prop::option::of(ident_strategy()), ident_strategy(), prop::option::of(ident_strategy()))
+                .prop_map(|(db, t, alias)| TableRef {
+                    database: db.map(WildName::new),
+                    table: WildName::new(t),
+                    alias,
+                }),
+            1..3,
+        ),
+        prop::option::of(expr_strategy()),
+        proptest::collection::vec(
+            (expr_strategy(), prop::bool::ANY).prop_map(|(expr, desc)| OrderByItem {
+                expr,
+                order: if desc { SortOrder::Desc } else { SortOrder::Asc },
+            }),
+            0..3,
+        ),
+    )
+        .prop_map(|(distinct, items, from, where_clause, order_by)| Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by: Vec::new(),
+            having: None,
+            order_by,
+        })
+}
+
+fn normalise_select(s: &Select) -> Select {
+    Select {
+        distinct: s.distinct,
+        items: s
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Expr { expr, alias, optional } => SelectItem::Expr {
+                    expr: normalise(expr),
+                    alias: alias.clone(),
+                    optional: *optional,
+                },
+                other => other.clone(),
+            })
+            .collect(),
+        from: s.from.clone(),
+        where_clause: s.where_clause.as_ref().map(normalise),
+        group_by: s.group_by.iter().map(normalise).collect(),
+        having: s.having.as_ref().map(normalise),
+        order_by: s
+            .order_by
+            .iter()
+            .map(|o| OrderByItem { expr: normalise(&o.expr), order: o.order })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn select_print_parse_roundtrip(s in select_strategy()) {
+        let stmt = Statement::select(s.clone());
+        let printed = print(&stmt);
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse {printed:?}: {err}"));
+        let Statement::Query(q) = reparsed else { panic!("not a query: {printed}") };
+        let QueryBody::Select(back) = q.body else { panic!("not a select: {printed}") };
+        prop_assert_eq!(normalise_select(&s), normalise_select(&back), "printed: {}", printed);
+    }
+}

@@ -1,0 +1,54 @@
+//! Network errors.
+
+use std::fmt;
+
+/// Errors raised by the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination site is not registered.
+    UnknownSite(String),
+    /// The two sites are currently partitioned from each other.
+    Partitioned {
+        /// Sending site.
+        from: String,
+        /// Receiving site.
+        to: String,
+    },
+    /// The message was dropped by stochastic failure injection.
+    Dropped,
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The endpoint's network has shut down.
+    Disconnected,
+    /// A site with this name is already registered.
+    DuplicateSite(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownSite(s) => write!(f, "unknown site `{s}`"),
+            NetError::Partitioned { from, to } => {
+                write!(f, "network partition between `{from}` and `{to}`")
+            }
+            NetError::Dropped => write!(f, "message dropped"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Disconnected => write!(f, "network disconnected"),
+            NetError::DuplicateSite(s) => write!(f, "site `{s}` already registered"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_sites() {
+        let e = NetError::Partitioned { from: "hub".into(), to: "site1".into() };
+        let s = e.to_string();
+        assert!(s.contains("hub") && s.contains("site1"));
+    }
+}

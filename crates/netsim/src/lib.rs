@@ -1,0 +1,31 @@
+//! # netsim — simulated multi-site network
+//!
+//! Stand-in for the TCP/IP + ISODE communication substrate of the Narada
+//! environment (paper §4.1). The multidatabase engine and the Local Access
+//! Managers run at named *sites* and exchange text messages ("messages, data
+//! and command files" in the paper's words) through this crate.
+//!
+//! Features the reproduction needs:
+//!
+//! * **mailbox endpoints** — register a site, get an [`Endpoint`] with
+//!   blocking/timeout receive;
+//! * **latency model** — a base one-way delay plus per-link overrides;
+//!   delivery time is enforced at the receiver, so messages in flight overlap
+//!   (this is what makes parallel vs. serial subquery execution measurable,
+//!   experiment B7);
+//! * **failure injection** — per-link partitions and seeded stochastic drops,
+//!   producing the timeout-driven abort paths of §3.2;
+//! * **traffic accounting** — message and byte counts per link, used by the
+//!   benchmarks to count 2PC rounds (experiment B3).
+
+pub mod error;
+pub mod latency;
+pub mod message;
+pub mod network;
+pub mod stats;
+
+pub use error::NetError;
+pub use latency::LatencyModel;
+pub use message::Message;
+pub use network::{Endpoint, Network};
+pub use stats::NetStats;

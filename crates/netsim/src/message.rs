@@ -1,0 +1,38 @@
+//! Messages exchanged between sites.
+
+use std::time::Instant;
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending site.
+    pub from: String,
+    /// Receiving site.
+    pub to: String,
+    /// Message body (the reproduction ships text: SQL, DOL commands, status
+    /// codes, serialized result tables).
+    pub body: String,
+    /// Monotonically increasing per-network sequence number.
+    pub seq: u64,
+}
+
+/// Internal wire representation: a message plus its earliest delivery time.
+#[derive(Debug, Clone)]
+pub(crate) struct Envelope {
+    pub message: Message,
+    pub deliver_at: Instant,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn envelope_carries_delivery_time() {
+        let m = Message { from: "a".into(), to: "b".into(), body: "hi".into(), seq: 1 };
+        let e = Envelope { message: m.clone(), deliver_at: Instant::now() + Duration::from_millis(5) };
+        assert_eq!(e.message, m);
+        assert!(e.deliver_at > Instant::now());
+    }
+}

@@ -1,0 +1,322 @@
+//! The network fabric and site endpoints.
+
+use crate::error::NetError;
+use crate::latency::LatencyModel;
+use crate::message::{Envelope, Message};
+use crate::stats::NetStats;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Fabric {
+    sites: RwLock<HashMap<String, Sender<Envelope>>>,
+    latency: RwLock<LatencyModel>,
+    partitions: RwLock<HashSet<(String, String)>>,
+    drop_probability: RwLock<f64>,
+    rng: Mutex<Option<StdRng>>,
+    stats: Mutex<NetStats>,
+    seq: AtomicU64,
+}
+
+/// A simulated network shared by all sites of the federation. Cloning is
+/// cheap (shared fabric).
+#[derive(Clone, Default)]
+pub struct Network {
+    fabric: Arc<Fabric>,
+}
+
+impl Network {
+    /// Creates a network with no latency and no failures.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Creates a network with a seeded RNG for stochastic drops.
+    pub fn with_seed(seed: u64) -> Self {
+        let net = Network::default();
+        *net.fabric.rng.lock() = Some(StdRng::seed_from_u64(seed));
+        net
+    }
+
+    /// Registers a site and returns its endpoint.
+    pub fn register(&self, name: &str) -> Result<Endpoint, NetError> {
+        let (tx, rx) = unbounded();
+        let mut sites = self.fabric.sites.write();
+        if sites.contains_key(name) {
+            return Err(NetError::DuplicateSite(name.to_string()));
+        }
+        sites.insert(name.to_string(), tx);
+        Ok(Endpoint { name: name.to_string(), rx, fabric: Arc::clone(&self.fabric) })
+    }
+
+    /// Removes a site; pending messages to it are lost.
+    pub fn deregister(&self, name: &str) {
+        self.fabric.sites.write().remove(name);
+    }
+
+    /// Installs a latency model.
+    pub fn set_latency(&self, model: LatencyModel) {
+        *self.fabric.latency.write() = model;
+    }
+
+    /// Sets the probability that any message is silently dropped.
+    pub fn set_drop_probability(&self, p: f64) {
+        *self.fabric.drop_probability.write() = p.clamp(0.0, 1.0);
+        let mut rng = self.fabric.rng.lock();
+        if rng.is_none() {
+            *rng = Some(StdRng::seed_from_u64(0));
+        }
+    }
+
+    /// Partitions two sites (both directions refuse sends).
+    pub fn partition(&self, a: &str, b: &str) {
+        let mut p = self.fabric.partitions.write();
+        p.insert((a.to_string(), b.to_string()));
+        p.insert((b.to_string(), a.to_string()));
+    }
+
+    /// Heals a partition.
+    pub fn heal(&self, a: &str, b: &str) {
+        let mut p = self.fabric.partitions.write();
+        p.remove(&(a.to_string(), b.to_string()));
+        p.remove(&(b.to_string(), a.to_string()));
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.fabric.stats.lock().clone()
+    }
+
+    /// Resets the traffic counters (between benchmark iterations).
+    pub fn reset_stats(&self) {
+        *self.fabric.stats.lock() = NetStats::default();
+    }
+}
+
+/// A site's handle on the network: send to any site, receive from a private
+/// mailbox.
+pub struct Endpoint {
+    name: String,
+    rx: Receiver<Envelope>,
+    fabric: Arc<Fabric>,
+}
+
+impl Endpoint {
+    /// This endpoint's site name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sends a message. Fails fast on partitions and unknown sites; a
+    /// stochastic drop is reported as success (the sender cannot tell — it
+    /// will observe a receive timeout instead), mirroring real datagram
+    /// behaviour.
+    pub fn send(&self, to: &str, body: impl Into<String>) -> Result<(), NetError> {
+        let body = body.into();
+        if self.fabric.partitions.read().contains(&(self.name.clone(), to.to_string())) {
+            self.fabric.stats.lock().refused += 1;
+            return Err(NetError::Partitioned { from: self.name.clone(), to: to.to_string() });
+        }
+        let sites = self.fabric.sites.read();
+        let tx = sites
+            .get(to)
+            .ok_or_else(|| NetError::UnknownSite(to.to_string()))?;
+        // Stochastic drop.
+        let p = *self.fabric.drop_probability.read();
+        if p > 0.0 {
+            let mut rng = self.fabric.rng.lock();
+            if let Some(rng) = rng.as_mut() {
+                if rng.gen_bool(p) {
+                    let mut stats = self.fabric.stats.lock();
+                    stats.dropped += 1;
+                    return Ok(());
+                }
+            }
+        }
+        let delay = self.fabric.latency.read().delay(&self.name, to);
+        let seq = self.fabric.seq.fetch_add(1, Ordering::Relaxed);
+        let message = Message { from: self.name.clone(), to: to.to_string(), body, seq };
+        self.fabric.stats.lock().record_send(&self.name, to, message.body.len());
+        let envelope = Envelope { message, deliver_at: Instant::now() + delay };
+        tx.send(envelope).map_err(|_| NetError::Disconnected)?;
+        Ok(())
+    }
+
+    /// Receives the next message, waiting at most `timeout`. Honours each
+    /// message's simulated delivery time.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, NetError> {
+        let deadline = Instant::now() + timeout;
+        let envelope = match self.rx.recv_deadline(deadline) {
+            Ok(e) => e,
+            Err(RecvTimeoutError::Timeout) => return Err(NetError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => return Err(NetError::Disconnected),
+        };
+        // Wait out the simulated flight time (senders enqueue instantly).
+        let now = Instant::now();
+        if envelope.deliver_at > now {
+            std::thread::sleep(envelope.deliver_at - now);
+        }
+        Ok(envelope.message)
+    }
+
+    /// Receives with a generous default timeout (tests, servers).
+    pub fn recv(&self) -> Result<Message, NetError> {
+        self.recv_timeout(Duration::from_secs(10))
+    }
+
+    /// True when a message is ready in the mailbox (may still be in
+    /// simulated flight).
+    pub fn has_mail(&self) -> bool {
+        !self.rx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive() {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        a.send("b", "hello").unwrap();
+        let m = b.recv().unwrap();
+        assert_eq!(m.from, "a");
+        assert_eq!(m.body, "hello");
+    }
+
+    #[test]
+    fn unknown_site_is_an_error() {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        assert!(matches!(a.send("ghost", "x"), Err(NetError::UnknownSite(_))));
+    }
+
+    #[test]
+    fn duplicate_site_rejected() {
+        let net = Network::new();
+        let _a = net.register("a").unwrap();
+        assert!(matches!(net.register("a"), Err(NetError::DuplicateSite(_))));
+    }
+
+    #[test]
+    fn messages_preserve_order_per_link() {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        for i in 0..10 {
+            a.send("b", format!("m{i}")).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(b.recv().unwrap().body, format!("m{i}"));
+        }
+    }
+
+    #[test]
+    fn partition_refuses_sends_and_heals() {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        net.partition("a", "b");
+        assert!(matches!(a.send("b", "x"), Err(NetError::Partitioned { .. })));
+        assert!(matches!(b.send("a", "x"), Err(NetError::Partitioned { .. })));
+        net.heal("a", "b");
+        a.send("b", "x").unwrap();
+        assert_eq!(b.recv().unwrap().body, "x");
+        assert_eq!(net.stats().refused, 2);
+    }
+
+    #[test]
+    fn drop_probability_one_drops_everything() {
+        let net = Network::with_seed(7);
+        net.set_drop_probability(1.0);
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        a.send("b", "x").unwrap(); // sender cannot tell
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(20)),
+            Err(NetError::Timeout)
+        ));
+        assert_eq!(net.stats().dropped, 1);
+        assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net = Network::new();
+        let mut model = LatencyModel::instant();
+        model.set_link("a", "b", Duration::from_millis(30));
+        net.set_latency(model);
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        let start = Instant::now();
+        a.send("b", "x").unwrap();
+        b.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn latency_overlaps_for_messages_in_flight() {
+        // Two messages sent at once through 30 ms links arrive ~together,
+        // not serially — the property parallel plans rely on.
+        let net = Network::new();
+        net.set_latency(LatencyModel::uniform(Duration::from_millis(30)));
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        let start = Instant::now();
+        a.send("b", "one").unwrap();
+        a.send("b", "two").unwrap();
+        b.recv().unwrap();
+        b.recv().unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(30));
+        assert!(elapsed < Duration::from_millis(55), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        let _b = net.register("b").unwrap();
+        a.send("b", "12345").unwrap();
+        a.send("b", "1").unwrap();
+        let s = net.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 6);
+        assert_eq!(s.link_messages("a", "b"), 2);
+        net.reset_stats();
+        assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn timeout_when_no_mail() {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        assert!(matches!(
+            a.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let net = Network::new();
+        let server = net.register("server").unwrap();
+        let client = net.register("client").unwrap();
+        let handle = std::thread::spawn(move || {
+            let m = server.recv().unwrap();
+            server.send(&m.from, format!("echo:{}", m.body)).unwrap();
+        });
+        client.send("server", "ping").unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(reply.body, "echo:ping");
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! Traffic accounting.
+
+use std::collections::HashMap;
+
+/// Aggregate and per-link traffic counters. Snapshots are taken via
+/// [`crate::Network::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Total messages accepted for delivery.
+    pub messages: u64,
+    /// Total body bytes accepted for delivery.
+    pub bytes: u64,
+    /// Messages dropped by failure injection.
+    pub dropped: u64,
+    /// Sends refused because of a partition.
+    pub refused: u64,
+    /// Per-link `(from, to) → message count`.
+    pub per_link: HashMap<(String, String), u64>,
+}
+
+impl NetStats {
+    /// Messages sent from `from` to `to`.
+    pub fn link_messages(&self, from: &str, to: &str) -> u64 {
+        self.per_link
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn record_send(&mut self, from: &str, to: &str, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        *self
+            .per_link
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_send_updates_all_counters() {
+        let mut s = NetStats::default();
+        s.record_send("a", "b", 10);
+        s.record_send("a", "b", 5);
+        s.record_send("b", "a", 1);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 16);
+        assert_eq!(s.link_messages("a", "b"), 2);
+        assert_eq!(s.link_messages("b", "a"), 1);
+        assert_eq!(s.link_messages("a", "c"), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the simulated network: per-link FIFO ordering, drop
+//! accounting, and partition symmetry under arbitrary traffic patterns.
+
+use netsim::{NetError, Network};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn per_link_fifo_ordering(bodies in proptest::collection::vec(".{0,30}", 1..20)) {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        for body in &bodies {
+            a.send("b", body.clone()).unwrap();
+        }
+        for body in &bodies {
+            let m = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            prop_assert_eq!(&m.body, body);
+            prop_assert_eq!(m.from.as_str(), "a");
+        }
+        // Mailbox drained.
+        prop_assert!(matches!(
+            b.recv_timeout(Duration::from_millis(5)),
+            Err(NetError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn interleaved_senders_preserve_per_sender_order(
+        pattern in proptest::collection::vec(any::<bool>(), 1..24)
+    ) {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        let sink = net.register("sink").unwrap();
+        let (mut na, mut nb) = (0u32, 0u32);
+        for from_a in &pattern {
+            if *from_a {
+                a.send("sink", format!("a{na}")).unwrap();
+                na += 1;
+            } else {
+                b.send("sink", format!("b{nb}")).unwrap();
+                nb += 1;
+            }
+        }
+        let (mut next_a, mut next_b) = (0u32, 0u32);
+        for _ in 0..pattern.len() {
+            let m = sink.recv_timeout(Duration::from_secs(1)).unwrap();
+            if m.from == "a" {
+                prop_assert_eq!(m.body, format!("a{next_a}"));
+                next_a += 1;
+            } else {
+                prop_assert_eq!(m.body, format!("b{next_b}"));
+                next_b += 1;
+            }
+        }
+        prop_assert_eq!((next_a, next_b), (na, nb));
+    }
+
+    #[test]
+    fn stats_account_for_every_accepted_message(
+        bodies in proptest::collection::vec(".{0,20}", 0..16)
+    ) {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        let _b = net.register("b").unwrap();
+        let mut bytes = 0u64;
+        for body in &bodies {
+            bytes += body.len() as u64;
+            a.send("b", body.clone()).unwrap();
+        }
+        let stats = net.stats();
+        prop_assert_eq!(stats.messages, bodies.len() as u64);
+        prop_assert_eq!(stats.bytes, bytes);
+        prop_assert_eq!(stats.link_messages("a", "b"), bodies.len() as u64);
+        prop_assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn partitions_are_symmetric_and_heal(names in proptest::collection::vec("[a-z]{1,6}", 2..5)) {
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assume!(unique.len() >= 2);
+        let net = Network::new();
+        let endpoints: Vec<_> =
+            unique.iter().map(|n| net.register(n).unwrap()).collect();
+        let (x, y) = (&unique[0], &unique[1]);
+        net.partition(x, y);
+        let xy_blocked = matches!(endpoints[0].send(y, "m"), Err(NetError::Partitioned { .. }));
+        let yx_blocked = matches!(endpoints[1].send(x, "m"), Err(NetError::Partitioned { .. }));
+        prop_assert!(xy_blocked);
+        prop_assert!(yx_blocked);
+        // Third parties are unaffected.
+        if unique.len() >= 3 {
+            endpoints[0].send(&unique[2], "ok").unwrap();
+        }
+        net.heal(x, y);
+        endpoints[0].send(y, "after").unwrap();
+        let m = endpoints[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        prop_assert_eq!(m.body.as_str(), "after");
+    }
+}

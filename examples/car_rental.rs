@@ -1,0 +1,85 @@
+//! A longer tour of multiple queries over the car-rental databases:
+//! implicit/explicit semantic variables, optional columns, wild tables,
+//! multiple updates and deletes, and a cross-database join.
+//!
+//! ```sh
+//! cargo run --example car_rental
+//! ```
+
+use mdbs::fixtures::paper_federation;
+use mdbs::MsqlOutcome;
+
+fn show(fed: &mut mdbs::Federation, msql: &str) {
+    println!("msql> {}\n", msql.replace('\n', "\n      "));
+    match fed.execute(msql) {
+        Ok(MsqlOutcome::Multitable(mt)) => print!("{mt}"),
+        Ok(MsqlOutcome::Table(rs)) => print!("{}", mdbs::multitable::render_result_set(&rs)),
+        Ok(MsqlOutcome::Update(report)) => {
+            println!(
+                "{} — {}",
+                if report.success { "ok" } else { "ABORTED" },
+                report
+                    .outcomes
+                    .iter()
+                    .map(|o| format!("{}: {:?}/{} rows", o.key, o.status, o.affected))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        Ok(other) => println!("{other:?}"),
+        Err(e) => println!("error: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    let mut fed = paper_federation();
+
+    println!("== Scope: both car-rental companies ==\n");
+    show(&mut fed, "USE avis national");
+
+    println!("== Explicit LET + implicit %code + optional ~rate (paper §2) ==\n");
+    show(
+        &mut fed,
+        "LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+SELECT %code, type, ~rate FROM car WHERE status = 'available'",
+    );
+
+    println!("== Wild table name: one query, three airlines ==\n");
+    show(
+        &mut fed,
+        "USE continental delta united
+SELECT day, ~rate% FROM flight% WHERE sour% = 'Houston'",
+    );
+    show(&mut fed, "USE avis national");
+
+    println!("== Multiple update: mark every sedan rented ==\n");
+    show(
+        &mut fed,
+        "LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+UPDATE car SET status = 'rented' WHERE type = 'sedan'",
+    );
+    show(
+        &mut fed,
+        "LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+SELECT %code, type, status FROM car ORDER BY %code",
+    );
+
+    println!("== Cross-database join at a coordinator (§4.3 decomposition) ==\n");
+    show(&mut fed, "USE continental avis");
+    show(
+        &mut fed,
+        "SELECT f.flnu, f.rate, c.code, c.rate
+FROM continental.flights f, avis.cars c
+WHERE c.carst = 'available' AND c.rate < f.rate
+ORDER BY f.flnu, c.code",
+    );
+
+    println!("== Aggregates run where the data lives ==\n");
+    show(&mut fed, "USE avis national");
+    show(
+        &mut fed,
+        "LET car.type BE cars.cartype vehicle.vty
+SELECT type, COUNT(*) AS fleet FROM car GROUP BY type ORDER BY fleet DESC, type",
+    );
+}

@@ -1,0 +1,128 @@
+//! The §3.2/§3.3 scenario: a multiple update with VITAL designators, the
+//! generated DOL program, a vital failure, and compensation for an
+//! autocommit-only database.
+//!
+//! ```sh
+//! cargo run --example flight_update
+//! ```
+
+use ldbs::profile::DbmsProfile;
+use mdbs::fixtures::{paper_federation, paper_federation_with, FederationProfiles};
+use mdbs::scope::SessionScope;
+use mdbs::translate::{self, Translated};
+use mdbs::Federation;
+use msql_lang::{parse_statement, Statement};
+use netsim::Network;
+use std::collections::HashMap;
+
+const VITAL_UPDATE: &str = "USE continental VITAL delta united VITAL
+UPDATE flight%
+SET rate% = rate% * 1.1
+WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+
+fn show_rates(fed: &Federation, label: &str) {
+    println!("{label}");
+    for (svc, db, sql) in [
+        ("svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
+        ("svc_delta", "delta", "SELECT rate FROM flight WHERE fnu = 10"),
+        ("svc_united", "united", "SELECT rates FROM flight WHERE fn = 20"),
+    ] {
+        let engine = fed.engine(svc).unwrap();
+        let mut engine = engine.lock();
+        let v = engine.execute(db, sql).unwrap().into_result_set().unwrap().rows[0][0].clone();
+        println!("  {db:<12} Houston→San Antonio fare: {}", v.display_raw());
+    }
+    println!();
+}
+
+fn print_generated_dol(fed: &Federation) {
+    // Re-run the translator phases by hand to show the DOL program the
+    // federation executes (the §4.3 listing).
+    let Statement::Query(q) = parse_statement(VITAL_UPDATE).unwrap() else { unreachable!() };
+    let mut scope = SessionScope::new();
+    scope.apply_use(q.use_clause.as_ref().unwrap()).unwrap();
+    let Translated::PerDb(locals) =
+        translate::translate_body(&q.body, &scope, fed.gdd()).unwrap()
+    else {
+        unreachable!()
+    };
+    let mut routes = HashMap::new();
+    for db in fed.gdd().database_names() {
+        let service = fed.gdd().service_of(db).unwrap().to_string();
+        let entry = fed.ad().service(&service).unwrap();
+        routes.insert(
+            db.to_string(),
+            translate::DbRoute {
+                database: db.to_string(),
+                site: entry.site.clone(),
+                supports_2pc: entry.supports_2pc(),
+            },
+        );
+    }
+    let plan = translate::update_plan(&locals, &HashMap::new(), &routes).unwrap();
+    println!("Generated DOL program (paper §4.3):\n{}", dol::print_program(&plan.program));
+}
+
+fn main() {
+    println!("=== 1. All services healthy: the vital set commits ===\n");
+    let mut fed = paper_federation();
+    print_generated_dol(&fed);
+    show_rates(&fed, "Fares before:");
+    let report = fed.execute(VITAL_UPDATE).unwrap().into_update().unwrap();
+    println!(
+        "MSQL return code {} — {}",
+        report.return_code,
+        mdbs::retcode::describe(report.return_code, false)
+    );
+    for o in &report.outcomes {
+        println!("  {:<12} {:?} ({} rows)", o.key, o.status, o.affected);
+    }
+    println!();
+    show_rates(&fed, "Fares after:");
+
+    println!("=== 2. United aborts locally: the whole vital set rolls back ===\n");
+    let mut fed = paper_federation();
+    fed.engine("svc_united").unwrap().lock().failure_policy_mut().fail_writes_to("flight");
+    let report = fed.execute(VITAL_UPDATE).unwrap().into_update().unwrap();
+    println!(
+        "MSQL return code {} — {}",
+        report.return_code,
+        mdbs::retcode::describe(report.return_code, false)
+    );
+    for o in &report.outcomes {
+        println!("  {:<12} {:?}", o.key, o.status);
+    }
+    println!();
+    show_rates(&fed, "Fares after (continental rolled back, delta was NON VITAL):");
+
+    println!("=== 3. Continental without 2PC: compensation (§3.3) ===\n");
+    let profiles = FederationProfiles {
+        continental: DbmsProfile::autocommit_only(),
+        ..FederationProfiles::default()
+    };
+    let mut fed = paper_federation_with(Network::new(), profiles);
+
+    // Without a COMP clause the query is refused.
+    match fed.execute(VITAL_UPDATE) {
+        Err(e) => println!("Without COMP the prototype refuses the query:\n  {e}\n"),
+        Ok(_) => unreachable!(),
+    }
+
+    // With a COMP clause, a United abort triggers compensation of the
+    // already-committed Continental update.
+    fed.engine("svc_united").unwrap().lock().failure_policy_mut().fail_writes_to("flight");
+    let with_comp = format!(
+        "{VITAL_UPDATE}
+COMP continental
+UPDATE flights
+SET rate = rate / 1.1
+WHERE source = 'Houston' AND destination = 'San Antonio'"
+    );
+    let report = fed.execute(&with_comp).unwrap().into_update().unwrap();
+    println!("With COMP, after a United abort:");
+    for o in &report.outcomes {
+        println!("  {:<12} {:?}", o.key, o.status);
+    }
+    println!();
+    show_rates(&fed, "Fares after (continental compensated back):");
+}

@@ -1,0 +1,82 @@
+//! Extensions tour: §3.2.2 deferred-commit sessions, inter-database data
+//! transfer, and interdatabase triggers.
+//!
+//! ```sh
+//! cargo run --example global_session
+//! ```
+
+use mdbs::fixtures::paper_federation;
+use mdbs::Federation;
+
+fn fare(fed: &Federation, flnu: i64) -> String {
+    let engine = fed.engine("svc_continental").unwrap();
+    let mut engine = engine.lock();
+    engine
+        .execute("continental", &format!("SELECT rate FROM flights WHERE flnu = {flnu}"))
+        .unwrap()
+        .into_result_set()
+        .unwrap()
+        .rows[0][0]
+        .display_raw()
+}
+
+fn main() {
+    println!("=== Deferred-commit session (paper §3.2.2) ===\n");
+    let mut fed = paper_federation();
+    fed.set_deferred_commit(true);
+    fed.execute("USE continental VITAL").unwrap();
+
+    println!("Fare of flight 1 before the session: {}", fare(&fed, 1));
+    fed.execute("UPDATE flights SET rate = rate * 2 WHERE flnu = 1").unwrap();
+    fed.execute("UPDATE flights SET rate = rate + 5 WHERE flnu = 2").unwrap();
+    println!(
+        "Two statements executed; {} vital member(s) held prepared.",
+        fed.pending_vital_subqueries()
+    );
+    println!("ROLLBACK ...");
+    let report = fed.execute("ROLLBACK").unwrap().into_update().unwrap();
+    println!(
+        "  -> success={} outcomes={:?}",
+        report.success,
+        report.outcomes.iter().map(|o| (o.key.clone(), o.status)).collect::<Vec<_>>()
+    );
+    println!("Fare of flight 1 after rollback:  {}\n", fare(&fed, 1));
+
+    fed.execute("UPDATE flights SET rate = rate * 2 WHERE flnu = 1").unwrap();
+    println!("New statement held; COMMIT ...");
+    let report = fed.execute("COMMIT").unwrap().into_update().unwrap();
+    println!("  -> success={}", report.success);
+    println!("Fare of flight 1 after commit:    {}\n", fare(&fed, 1));
+    fed.set_deferred_commit(false);
+
+    println!("=== Inter-database data transfer (MSQL §2) ===\n");
+    fed.execute("USE continental avis").unwrap();
+    fed.execute("CREATE TABLE avis.fares (flnu INT, rate FLOAT)").unwrap();
+    let report = fed
+        .execute(
+            "INSERT INTO avis.fares (flnu, rate)
+             SELECT flnu, rate FROM continental.flights WHERE source = 'Houston'",
+        )
+        .unwrap()
+        .into_update()
+        .unwrap();
+    println!("Copied {} Houston fares from continental into avis.fares.\n", report.outcomes[0].affected);
+
+    println!("=== Interdatabase trigger (MSQL §2) ===\n");
+    fed.execute("CREATE TABLE avis.audit (note CHAR(40))").unwrap();
+    fed.execute(
+        "CREATE TRIGGER fare_watch ON continental.flights AFTER UPDATE EXECUTE
+         USE avis
+         INSERT INTO audit VALUES ('continental fares changed')",
+    )
+    .unwrap();
+    fed.execute("USE continental").unwrap();
+    fed.execute("UPDATE flights SET rate = rate * 1.01 WHERE source = 'Houston'").unwrap();
+    fed.execute("UPDATE flights SET rate = rate * 1.01 WHERE source = 'Austin'").unwrap();
+    fed.execute("USE avis").unwrap();
+    let mt = fed.execute("SELECT COUNT(*) AS audit_rows FROM audit").unwrap();
+    println!("After two continental updates, the avis audit table holds:");
+    if let mdbs::MsqlOutcome::Multitable(mt) = mt {
+        print!("{mt}");
+    }
+}

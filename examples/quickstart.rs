@@ -1,0 +1,34 @@
+//! Quickstart: build the paper's federation and run the §2 multiple query.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mdbs::fixtures::paper_federation;
+
+fn main() {
+    // Five autonomous databases on five services (3 airlines, 2 car-rental
+    // companies), schemas imported into the Global Data Dictionary.
+    let mut fed = paper_federation();
+
+    println!("Databases in the federation:");
+    for db in fed.gdd().database_names() {
+        let service = fed.gdd().service_of(db).unwrap().to_string();
+        let twopc = fed.ad().service(&service).unwrap().supports_2pc();
+        println!("  {db:<12} hosted by {service:<16} 2PC: {twopc}");
+    }
+    println!();
+
+    // The paper's §2 example: one compact MSQL query across two databases
+    // with different names (cars/vehicle, code/vcode) and different schemas
+    // (national has no rate column).
+    let msql = "USE avis national
+LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+SELECT %code, type, ~rate FROM car WHERE status = 'available'";
+    println!("MSQL query:\n{msql}\n");
+
+    let outcome = fed.execute(msql).expect("query failed");
+    let multitable = outcome.into_multitable().unwrap();
+    println!("Result: a multitable of {} tables\n", multitable.tables.len());
+    print!("{multitable}");
+}

@@ -1,0 +1,75 @@
+//! The §3.4 travel-agent multitransaction: function replication and
+//! acceptable termination states.
+//!
+//! ```sh
+//! cargo run --example travel_agent
+//! ```
+
+use mdbs::fixtures::paper_federation;
+use mdbs::Federation;
+
+const TRAVEL_AGENT: &str = "BEGIN MULTITRANSACTION
+USE continental delta
+LET fltab.snu.sstat.clname BE
+    f838.seatnu.seatstatus.clientname
+    f747.snu.sstat.passname
+UPDATE fltab
+SET sstat = 'TAKEN', clname = 'wenders'
+WHERE snu = ( SELECT MIN(snu) FROM fltab WHERE sstat = 'FREE');
+USE avis national
+LET cartab.ccode.cstat BE cars.code.carst vehicle.vcode.vstat
+UPDATE cartab
+SET cstat = 'TAKEN', client = 'wenders'
+WHERE ccode = ( SELECT MIN(ccode) FROM cartab WHERE cstat = 'available');
+COMMIT
+  continental AND national
+  delta AND avis
+END MULTITRANSACTION";
+
+fn run(label: &str, prepare: impl FnOnce(&mut Federation)) {
+    println!("=== {label} ===\n");
+    let mut fed = paper_federation();
+    prepare(&mut fed);
+    let report = fed.execute(TRAVEL_AGENT).unwrap().into_mtx().unwrap();
+    match report.achieved_state {
+        Some(0) => println!("Achieved the PREFERRED state: fly Continental, drive National"),
+        Some(1) => println!("Achieved the ALTERNATIVE state: fly Delta, drive Avis"),
+        Some(n) => println!("Achieved acceptable state #{n}"),
+        None => println!("Multitransaction FAILED: every reservation rolled back/compensated"),
+    }
+    println!(
+        "Return code {} — {}",
+        report.return_code,
+        mdbs::retcode::describe(report.return_code, true)
+    );
+    for o in &report.outcomes {
+        println!("  {:<12} {:?}", o.key, o.status);
+    }
+    println!();
+}
+
+fn main() {
+    println!("Trip plan for client 'wenders': a flight (Continental OR Delta)");
+    println!("plus a car (Avis OR National). Preference order:");
+    println!("  1. continental AND national");
+    println!("  2. delta AND avis\n");
+
+    run("Everything available", |_fed| {});
+
+    run("Continental's seat table is down", |fed| {
+        fed.engine("svc_continental")
+            .unwrap()
+            .lock()
+            .failure_policy_mut()
+            .fail_writes_to("f838");
+    });
+
+    run("Continental AND Avis are down: no acceptable state", |fed| {
+        fed.engine("svc_continental")
+            .unwrap()
+            .lock()
+            .failure_policy_mut()
+            .fail_writes_to("f838");
+        fed.engine("svc_avis").unwrap().lock().failure_policy_mut().fail_writes_to("cars");
+    });
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the Extended MSQL reproduction.
+//!
+//! Hosts the workspace's cross-crate integration tests (`tests/`) and
+//! runnable examples (`examples/`); the library surface simply re-exports
+//! the member crates. Start with [`mdbs::Federation`] and
+//! [`mdbs::fixtures::paper_federation`].
+
+pub use catalog;
+pub use dol;
+pub use ldbs;
+pub use mdbs;
+pub use msql_lang;
+pub use netsim;

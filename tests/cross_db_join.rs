@@ -1,0 +1,135 @@
+//! Cross-database joins: decomposition into largest local subqueries, a
+//! coordinator collecting partial results, and the modified global query Q'
+//! (paper §4.3's decomposition phase + §4.1's "partial results are collected
+//! in one database, acting as the coordinator").
+
+use ldbs::value::Value;
+use mdbs::fixtures::paper_federation;
+
+#[test]
+fn join_flights_with_cars_across_databases() {
+    let mut fed = paper_federation();
+    fed.execute("USE continental avis").unwrap();
+    // Which available cars are cheaper per day than each Houston→San Antonio
+    // flight? (A nonsensical but join-shaped business question.)
+    let rs = fed
+        .execute(
+            "SELECT f.flnu, c.code
+             FROM continental.flights f, avis.cars c
+             WHERE f.source = 'Houston' AND f.destination = 'San Antonio'
+               AND c.carst = 'available' AND c.rate < f.rate
+             ORDER BY f.flnu, c.code",
+        )
+        .unwrap()
+        .into_table()
+        .unwrap();
+    // flight 1 (rate 100) vs available cars 1 (39.5) and 3 (25.0).
+    assert_eq!(rs.columns.len(), 2);
+    assert_eq!(rs.columns[0].name, "flnu");
+    assert_eq!(rs.columns[1].name, "code");
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(1)]);
+    assert_eq!(rs.rows[1], vec![Value::Int(1), Value::Int(3)]);
+}
+
+#[test]
+fn local_predicates_are_pushed_down() {
+    // Verify pushdown operationally: byte traffic with a selective local
+    // predicate must be lower than without it, because the partial result
+    // shipped to the coordinator is smaller.
+    let mut fed = paper_federation();
+    fed.execute("USE continental avis").unwrap();
+    let net = fed.network().clone();
+
+    net.reset_stats();
+    fed.execute(
+        "SELECT f.flnu, c.code FROM continental.flights f, avis.cars c
+         WHERE c.rate < f.rate",
+    )
+    .unwrap();
+    let unfiltered = net.stats().bytes;
+
+    net.reset_stats();
+    fed.execute(
+        "SELECT f.flnu, c.code FROM continental.flights f, avis.cars c
+         WHERE f.flnu = 1 AND c.code = 1 AND c.rate < f.rate",
+    )
+    .unwrap();
+    let filtered = net.stats().bytes;
+
+    assert!(
+        filtered < unfiltered,
+        "pushdown should shrink shipped partials: {filtered} >= {unfiltered}"
+    );
+}
+
+#[test]
+fn aggregates_evaluate_at_the_coordinator() {
+    let mut fed = paper_federation();
+    fed.execute("USE continental avis").unwrap();
+    let rs = fed
+        .execute(
+            "SELECT COUNT(*) AS pairs FROM continental.flights f, avis.cars c
+             WHERE c.rate < f.rate",
+        )
+        .unwrap()
+        .into_table()
+        .unwrap();
+    // 3 flights × 3 cars, count pairs where car rate < flight rate:
+    // rates: flights 100/80/60; cars 39.5/59/25.
+    // All three cars are cheaper than every flight: 3 × 3 = 9.
+    assert_eq!(rs.rows[0][0], Value::Int(9));
+}
+
+#[test]
+fn temporaries_are_cleaned_up_at_the_coordinator() {
+    let mut fed = paper_federation();
+    fed.execute("USE continental avis").unwrap();
+    fed.execute(
+        "SELECT f.flnu, c.code FROM continental.flights f, avis.cars c WHERE c.rate < f.rate",
+    )
+    .unwrap();
+    // No part_* table remains in either database.
+    for (svc, db) in [("svc_continental", "continental"), ("svc_avis", "avis")] {
+        let engine = fed.engine(svc).unwrap();
+        let engine = engine.lock();
+        let names = engine.database(db).unwrap().table_names();
+        assert!(
+            names.iter().all(|n| !n.starts_with("part_")),
+            "leftover temporaries in {db}: {names:?}"
+        );
+    }
+}
+
+#[test]
+fn three_way_cross_database_join() {
+    let mut fed = paper_federation();
+    fed.execute("USE continental delta avis").unwrap();
+    let rs = fed
+        .execute(
+            "SELECT a.flnu, b.fnu, c.code
+             FROM continental.flights a, delta.flight b, avis.cars c
+             WHERE a.source = b.source AND a.source = 'Houston' AND c.code = 1
+             ORDER BY a.flnu, b.fnu",
+        )
+        .unwrap()
+        .into_table()
+        .unwrap();
+    // continental Houston flights: 1, 2; delta Houston flights: 10, 11.
+    assert_eq!(rs.rows.len(), 4);
+}
+
+#[test]
+fn join_with_empty_partial_result() {
+    let mut fed = paper_federation();
+    fed.execute("USE continental avis").unwrap();
+    let rs = fed
+        .execute(
+            "SELECT f.flnu, c.code FROM continental.flights f, avis.cars c
+             WHERE f.source = 'Nowhere' AND c.rate < f.rate",
+        )
+        .unwrap()
+        .into_table()
+        .unwrap();
+    assert!(rs.rows.is_empty());
+}

@@ -1,0 +1,121 @@
+//! Experiment D1 — the §4.3 DOL program (golden test).
+//!
+//! The paper shows the DOL program generated for the §3.2 vital update. We
+//! regenerate it through the full translator pipeline and compare the
+//! structure: OPENs, task modes, the status condition, commit/abort
+//! branches, return codes, CLOSE. (Aliases differ cosmetically: the paper
+//! abbreviates `cont`/`unit`; our generator uses the scope keys.)
+
+use catalog::GlobalDataDictionary;
+use mdbs::scope::SessionScope;
+use mdbs::translate::{self, DbRoute, Translated};
+use msql_lang::{parse_statement, Statement};
+use std::collections::HashMap;
+
+fn paper_gdd() -> GlobalDataDictionary {
+    use catalog::{GddColumn, GddTable};
+    use msql_lang::TypeName;
+    let mut g = GlobalDataDictionary::new();
+    let t = |name: &str, cols: &[&str]| {
+        GddTable::new(name, cols.iter().map(|c| GddColumn::new(*c, TypeName::Char(0))).collect())
+    };
+    g.register_database("continental", "svc1").unwrap();
+    g.put_table("continental", t("flights", &["flnu", "source", "dep", "destination", "arr", "day", "rate"]))
+        .unwrap();
+    g.register_database("delta", "svc2").unwrap();
+    g.put_table("delta", t("flight", &["fnu", "source", "dest", "dep", "arr", "day", "rate"]))
+        .unwrap();
+    g.register_database("united", "svc3").unwrap();
+    g.put_table("united", t("flight", &["fn", "sour", "dest", "depa", "arri", "day", "rates"]))
+        .unwrap();
+    g
+}
+
+fn routes() -> HashMap<String, DbRoute> {
+    [
+        ("continental", "site1"),
+        ("delta", "site2"),
+        ("united", "site3"),
+    ]
+    .iter()
+    .map(|(db, site)| {
+        (
+            db.to_string(),
+            DbRoute { database: db.to_string(), site: site.to_string(), supports_2pc: true },
+        )
+    })
+    .collect()
+}
+
+#[test]
+fn generates_the_papers_program() {
+    let stmt = parse_statement(
+        "USE continental VITAL delta united VITAL
+         UPDATE flight%
+         SET rate% = rate% * 1.1
+         WHERE sour% = 'Houston' AND dest% = 'San Antonio'",
+    )
+    .unwrap();
+    let Statement::Query(q) = stmt else { panic!() };
+    let mut scope = SessionScope::new();
+    scope.apply_use(q.use_clause.as_ref().unwrap()).unwrap();
+    let gdd = paper_gdd();
+    let Translated::PerDb(locals) = translate::translate_body(&q.body, &scope, &gdd).unwrap()
+    else {
+        panic!("expected per-db expansion")
+    };
+    let plan = translate::update_plan(&locals, &HashMap::new(), &routes()).unwrap();
+    let text = dol::print_program(&plan.program);
+
+    // The golden structure from the paper's listing.
+    let expected = "\
+DOLBEGIN
+  OPEN continental AT site1 AS continental;
+  OPEN delta AT site2 AS delta;
+  OPEN united AT site3 AS united;
+  TASK T1 NOCOMMIT FOR continental
+  { UPDATE flights SET rate = rate * 1.1 WHERE source = 'Houston' AND destination = 'San Antonio' }
+  ENDTASK;
+  TASK T2 FOR delta
+  { UPDATE flight SET rate = rate * 1.1 WHERE source = 'Houston' AND dest = 'San Antonio' }
+  ENDTASK;
+  TASK T3 NOCOMMIT FOR united
+  { UPDATE flight SET rates = rates * 1.1 WHERE sour = 'Houston' AND dest = 'San Antonio' }
+  ENDTASK;
+  IF (T1=P) AND (T3=P) THEN
+  BEGIN
+    COMMIT T1, T3;
+    DOLSTATUS=0;
+  END;
+  ELSE
+  BEGIN
+    ABORT T1, T3;
+    DOLSTATUS=1;
+  END;
+  CLOSE continental delta united;
+DOLEND
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn generated_program_reparses_and_roundtrips() {
+    let stmt = parse_statement(
+        "USE continental VITAL delta united VITAL
+         UPDATE flight% SET rate% = rate% * 1.1
+         WHERE sour% = 'Houston' AND dest% = 'San Antonio'",
+    )
+    .unwrap();
+    let Statement::Query(q) = stmt else { panic!() };
+    let mut scope = SessionScope::new();
+    scope.apply_use(q.use_clause.as_ref().unwrap()).unwrap();
+    let Translated::PerDb(locals) =
+        translate::translate_body(&q.body, &scope, &paper_gdd()).unwrap()
+    else {
+        panic!()
+    };
+    let plan = translate::update_plan(&locals, &HashMap::new(), &routes()).unwrap();
+    let text = dol::print_program(&plan.program);
+    let reparsed = dol::parse_program(&text).unwrap();
+    assert_eq!(reparsed, plan.program);
+}

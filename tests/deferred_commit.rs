@@ -1,0 +1,172 @@
+//! §3.2.2 synchronization points: global transactions spanning several MSQL
+//! statements in deferred-commit mode.
+//!
+//! "The evaluation plan will contain synchronization points whenever
+//! explicit commit or rollback operations are issued, the current query
+//! scope is changed, or the last MSQL statement is terminated."
+
+use ldbs::value::Value;
+use mdbs::fixtures::paper_federation;
+use mdbs::{Federation, MsqlOutcome};
+
+fn rate(fed: &Federation, service: &str, db: &str, sql: &str) -> Value {
+    let engine = fed.engine(service).unwrap();
+    let mut engine = engine.lock();
+    engine.execute(db, sql).unwrap().into_result_set().unwrap().rows[0][0].clone()
+}
+
+#[test]
+fn two_statements_commit_together_at_commit() {
+    let mut fed = paper_federation();
+    fed.set_deferred_commit(true);
+    fed.execute("USE continental VITAL").unwrap();
+    let interim = fed
+        .execute("UPDATE flights SET rate = rate * 2 WHERE flnu = 1")
+        .unwrap()
+        .into_update()
+        .unwrap();
+    assert!(interim.success);
+    assert_eq!(interim.outcomes[0].status, dol::TaskStatus::Prepared);
+    assert_eq!(fed.pending_vital_subqueries(), 1);
+
+    fed.execute("UPDATE flights SET rate = rate + 1 WHERE flnu = 2").unwrap();
+    // Still one member: both statements joined continental's open local
+    // transaction.
+    assert_eq!(fed.pending_vital_subqueries(), 1);
+
+    // Nothing visible through an independent reader yet? Our engines allow
+    // dirty reads (the paper relaxes isolation), but durably the changes are
+    // only decided at the sync point.
+    let report = fed.execute("COMMIT").unwrap().into_update().unwrap();
+    assert!(report.success);
+    assert_eq!(report.outcomes.len(), 1);
+    assert_eq!(report.outcomes[0].status, dol::TaskStatus::Committed);
+    assert_eq!(report.outcomes[0].affected, 2);
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(200.0)
+    );
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 2"),
+        Value::Float(81.0)
+    );
+}
+
+#[test]
+fn rollback_undoes_all_statements_since_the_last_sync_point() {
+    let mut fed = paper_federation();
+    fed.set_deferred_commit(true);
+    fed.execute("USE continental VITAL united VITAL").unwrap();
+    fed.execute("UPDATE flight% SET rate% = 0 WHERE sour% = 'Houston'").unwrap();
+    fed.execute("UPDATE f838 SET seatstatus = 'GONE'").unwrap();
+    assert_eq!(fed.pending_vital_subqueries(), 2); // one member per database
+
+    let report = fed.execute("ROLLBACK").unwrap().into_update().unwrap();
+    assert!(!report.success);
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(100.0)
+    );
+    assert_eq!(
+        rate(&fed, "svc_united", "united", "SELECT rates FROM flight WHERE fn = 20"),
+        Value::Float(110.0)
+    );
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental",
+             "SELECT seatstatus FROM f838 WHERE seatnu = 1"),
+        Value::Str("TAKEN".into())
+    );
+}
+
+#[test]
+fn failed_statement_poisons_the_global_transaction() {
+    let mut fed = paper_federation();
+    fed.set_deferred_commit(true);
+    fed.execute("USE continental VITAL").unwrap();
+    fed.execute("UPDATE flights SET rate = rate * 2 WHERE flnu = 1").unwrap();
+
+    // Arm a failure; the next vital statement aborts locally.
+    fed.engine("svc_continental").unwrap().lock().failure_policy_mut().fail_writes_to("f838");
+    let interim = fed
+        .execute("UPDATE f838 SET seatstatus = 'X'")
+        .unwrap()
+        .into_update()
+        .unwrap();
+    assert!(!interim.success);
+
+    // COMMIT now must roll everything back (§3.2.2: otherwise-branch).
+    let report = fed.execute("COMMIT").unwrap().into_update().unwrap();
+    assert!(!report.success);
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(100.0)
+    );
+}
+
+#[test]
+fn scope_change_is_a_synchronization_point() {
+    let mut fed = paper_federation();
+    fed.set_deferred_commit(true);
+    fed.execute("USE continental VITAL").unwrap();
+    fed.execute("UPDATE flights SET rate = rate * 2 WHERE flnu = 1").unwrap();
+    assert_eq!(fed.pending_vital_subqueries(), 1);
+
+    // Changing the scope resolves the pending work (commit, all prepared).
+    let out = fed.execute("USE avis").unwrap();
+    let MsqlOutcome::Update(report) = out else { panic!("{out:?}") };
+    assert!(report.success);
+    assert_eq!(fed.pending_vital_subqueries(), 0);
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(200.0)
+    );
+}
+
+#[test]
+fn disabling_deferred_mode_is_a_synchronization_point() {
+    let mut fed = paper_federation();
+    fed.set_deferred_commit(true);
+    fed.execute("USE continental VITAL").unwrap();
+    fed.execute("UPDATE flights SET rate = rate * 2 WHERE flnu = 1").unwrap();
+    let report = fed.set_deferred_commit(false).unwrap();
+    assert!(report.success);
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(200.0)
+    );
+}
+
+#[test]
+fn session_end_rolls_back_pending_work() {
+    // Dropping a federation with held vital work must not hang or panic;
+    // the rollback-on-drop state restoration itself is unit-tested in
+    // mdbs::gtxn (the LAM threads die with the federation, so it cannot be
+    // re-read from here).
+    let mut fed = paper_federation();
+    fed.set_deferred_commit(true);
+    fed.execute("USE continental VITAL").unwrap();
+    fed.execute("UPDATE flights SET rate = 1 WHERE flnu = 1").unwrap();
+    assert_eq!(fed.pending_vital_subqueries(), 1);
+    drop(fed);
+}
+
+#[test]
+fn non_vital_statements_autocommit_even_in_deferred_mode() {
+    let mut fed = paper_federation();
+    fed.set_deferred_commit(true);
+    fed.execute("USE continental delta").unwrap(); // both NON VITAL
+    let report = fed
+        .execute("UPDATE flight% SET rate% = rate% + 1 WHERE sour% = 'Houston'")
+        .unwrap()
+        .into_update()
+        .unwrap();
+    assert!(report.success);
+    assert_eq!(fed.pending_vital_subqueries(), 0);
+    for o in &report.outcomes {
+        assert_eq!(o.status, dol::TaskStatus::Committed);
+    }
+    assert_eq!(
+        rate(&fed, "svc_delta", "delta", "SELECT rate FROM flight WHERE fnu = 10"),
+        Value::Float(96.0)
+    );
+}

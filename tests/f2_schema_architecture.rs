@@ -1,0 +1,121 @@
+//! Experiment F2 — Figure 2, the schema architecture.
+//!
+//! Local Conceptual Schemas → (INCORPORATE) Auxiliary Directory and
+//! (IMPORT) Global Data Dictionary. The federation is built statement by
+//! statement, exactly the way an administrator would.
+
+use ldbs::profile::DbmsProfile;
+use ldbs::Engine;
+use mdbs::Federation;
+use msql_lang::CommitCapability;
+
+fn engine_with_cars() -> Engine {
+    let mut e = Engine::new("svc", DbmsProfile::ingres_like());
+    e.create_database("avis").unwrap();
+    e.execute(
+        "avis",
+        "CREATE TABLE cars (code INT, cartype CHAR(16), rate FLOAT, carst CHAR(10))",
+    )
+    .unwrap();
+    e.execute("avis", "CREATE TABLE internal_audit (x INT)").unwrap();
+    // Hide the audit table from the multidatabase level.
+    e.database_mut("avis").unwrap().table_mut("internal_audit").unwrap().schema.public = false;
+    e
+}
+
+#[test]
+fn incorporate_then_import_builds_the_dictionaries() {
+    let mut fed = Federation::new();
+    fed.add_service("ingres1", "site1", engine_with_cars()).unwrap();
+
+    // INCORPORATE refines the AD entry (the paper's statement form).
+    fed.execute(
+        "INCORPORATE SERVICE ingres1 SITE site1
+         CONNECTMODE CONNECT
+         COMMITMODE NOCOMMIT
+         CREATE NOCOMMIT",
+    )
+    .unwrap();
+    let entry = fed.ad().service("ingres1").unwrap();
+    assert!(entry.supports_2pc());
+    assert_eq!(entry.create_capability(), CommitCapability::TwoPhase);
+
+    // IMPORT pulls the public Local Conceptual Schema into the GDD.
+    fed.execute("IMPORT DATABASE avis FROM SERVICE ingres1").unwrap();
+    assert!(fed.gdd().has_database("avis"));
+    let cars = fed.gdd().table("avis", "cars").unwrap();
+    assert_eq!(cars.columns.len(), 4);
+    // Non-public tables are not exported.
+    assert!(fed.gdd().table("avis", "internal_audit").is_err());
+}
+
+#[test]
+fn partial_import_restricts_the_exported_definition() {
+    let mut fed = Federation::new();
+    fed.add_service("ingres1", "site1", engine_with_cars()).unwrap();
+    fed.execute("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars COLUMN (code, rate)")
+        .unwrap();
+    let cars = fed.gdd().table("avis", "cars").unwrap();
+    assert_eq!(cars.columns.len(), 2);
+
+    // Queries only see the imported columns: cartype is invisible, so a
+    // query over it is not pertinent.
+    fed.execute("USE avis").unwrap();
+    let err = fed.execute("SELECT cartype FROM cars");
+    assert!(matches!(err, Err(mdbs::MdbsError::NotPertinent(_))), "{err:?}");
+    // But the imported columns work.
+    let mt = fed.execute("SELECT code, rate FROM cars").unwrap().into_multitable().unwrap();
+    assert_eq!(mt.tables.len(), 1);
+}
+
+#[test]
+fn reimport_replaces_the_definition() {
+    let mut fed = Federation::new();
+    fed.add_service("ingres1", "site1", engine_with_cars()).unwrap();
+    fed.execute("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars COLUMN (code)").unwrap();
+    assert_eq!(fed.gdd().table("avis", "cars").unwrap().columns.len(), 1);
+    fed.execute("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars").unwrap();
+    assert_eq!(fed.gdd().table("avis", "cars").unwrap().columns.len(), 4);
+}
+
+#[test]
+fn import_from_unknown_service_fails() {
+    let mut fed = Federation::new();
+    let err = fed.execute("IMPORT DATABASE avis FROM SERVICE ghost");
+    assert!(matches!(err, Err(mdbs::MdbsError::Catalog(_))), "{err:?}");
+}
+
+#[test]
+fn ddl_through_the_federation_updates_gdd_and_lcs() {
+    let mut fed = Federation::new();
+    fed.add_service("ingres1", "site1", engine_with_cars()).unwrap();
+    fed.execute("IMPORT DATABASE avis FROM SERVICE ingres1").unwrap();
+    fed.execute("USE avis").unwrap();
+
+    fed.execute("CREATE TABLE clients (name CHAR(30), phone CHAR(16))").unwrap();
+    // Visible in the GDD...
+    assert!(fed.gdd().table("avis", "clients").is_ok());
+    // ...and in the local engine.
+    let engine = fed.engine("ingres1").unwrap();
+    assert!(engine.lock().database("avis").unwrap().table("clients").is_ok());
+    drop(engine);
+
+    // Queries can use it right away.
+    fed.execute("INSERT INTO clients VALUES ('wenders', '555')").unwrap();
+    let mt = fed.execute("SELECT name FROM clients").unwrap().into_multitable().unwrap();
+    assert_eq!(mt.tables[0].result.rows.len(), 1);
+
+    fed.execute("DROP TABLE clients").unwrap();
+    assert!(fed.gdd().table("avis", "clients").is_err());
+}
+
+#[test]
+fn database_names_are_unique_across_the_federation() {
+    let mut fed = Federation::new();
+    fed.add_service("svc_a", "site_a", engine_with_cars()).unwrap();
+    fed.add_service("svc_b", "site_b", engine_with_cars()).unwrap();
+    fed.execute("IMPORT DATABASE avis FROM SERVICE svc_a").unwrap();
+    // Importing the same database name from a different service collides.
+    let err = fed.execute("IMPORT DATABASE avis FROM SERVICE svc_b");
+    assert!(matches!(err, Err(mdbs::MdbsError::Catalog(_))), "{err:?}");
+}

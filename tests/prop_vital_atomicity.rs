@@ -1,0 +1,141 @@
+//! Property test: **vital-set failure atomicity** (paper §3.2).
+//!
+//! For any pattern of vital designators and any pattern of injected local
+//! failures, a vital multiple update never ends with a *proper subset* of
+//! the vital set committed: either every vital subquery commits, or none
+//! does. Non-vital subqueries are unconstrained.
+//!
+//! The §3.3 variant with an autocommit-only member is exercised too:
+//! compensation must make the outcome equivalent (the compensated member
+//! counts as not-committed).
+
+use dol::TaskStatus;
+use ldbs::profile::DbmsProfile;
+use mdbs::fixtures::{paper_federation_with, FederationProfiles};
+use netsim::Network;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    vital: [bool; 3],     // continental, delta, united
+    fail: [bool; 3],      // inject failure per database
+    continental_2pc: bool,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::array::uniform3(any::<bool>()),
+        proptest::array::uniform3(any::<bool>()),
+        any::<bool>(),
+    )
+        .prop_map(|(vital, fail, continental_2pc)| Scenario { vital, fail, continental_2pc })
+}
+
+fn run_scenario(s: &Scenario) -> Vec<(String, TaskStatus, bool)> {
+    let profiles = FederationProfiles {
+        continental: if s.continental_2pc {
+            DbmsProfile::oracle_like()
+        } else {
+            DbmsProfile::autocommit_only()
+        },
+        ..FederationProfiles::default()
+    };
+    let mut fed = paper_federation_with(Network::new(), profiles);
+    let dbs = ["continental", "delta", "united"];
+    let tables = ["flights", "flight", "flight"];
+    let services = ["svc_continental", "svc_delta", "svc_united"];
+    for i in 0..3 {
+        if s.fail[i] {
+            fed.engine(services[i])
+                .unwrap()
+                .lock()
+                .failure_policy_mut()
+                .fail_writes_to(tables[i]);
+        }
+    }
+    let scope: Vec<String> = dbs
+        .iter()
+        .enumerate()
+        .map(|(i, db)| if s.vital[i] { format!("{db} VITAL") } else { db.to_string() })
+        .collect();
+    // Continental being autocommit-only and vital requires a COMP clause.
+    let comp = if s.vital[0] && !s.continental_2pc {
+        "\nCOMP continental\nUPDATE flights SET rate = rate / 1.1 WHERE source = 'Houston'"
+    } else {
+        ""
+    };
+    let msql = format!(
+        "USE {}\nUPDATE flight% SET rate% = rate% * 1.1 WHERE sour% = 'Houston'{}",
+        scope.join(" "),
+        comp
+    );
+    let report = fed.execute(&msql).unwrap().into_update().unwrap();
+    report
+        .outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| (o.key, o.status, s.vital[i]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vital_set_commits_all_or_nothing(s in scenario()) {
+        let outcomes = run_scenario(&s);
+        let vital_committed: Vec<bool> = outcomes
+            .iter()
+            .filter(|(_, _, vital)| *vital)
+            .map(|(_, status, _)| *status == TaskStatus::Committed)
+            .collect();
+        if !vital_committed.is_empty() {
+            let all = vital_committed.iter().all(|c| *c);
+            let none = vital_committed.iter().all(|c| !*c);
+            prop_assert!(
+                all || none,
+                "vital set partially committed: {:?} (scenario {:?})",
+                outcomes,
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn failures_in_vital_set_mean_global_abort(s in scenario()) {
+        let outcomes = run_scenario(&s);
+        // If some vital database had an injected failure, then no vital
+        // database may end committed.
+        let some_vital_failed =
+            (0..3).any(|i| s.vital[i] && s.fail[i]);
+        if some_vital_failed {
+            for (key, status, vital) in &outcomes {
+                if *vital {
+                    prop_assert_ne!(
+                        *status,
+                        TaskStatus::Committed,
+                        "{} committed although the vital set had a failure (scenario {:?})",
+                        key,
+                        s
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_non_vital_members_always_commit(s in scenario()) {
+        let outcomes = run_scenario(&s);
+        for (i, (key, status, vital)) in outcomes.iter().enumerate() {
+            if !vital && !s.fail[i] {
+                prop_assert_eq!(
+                    *status,
+                    TaskStatus::Committed,
+                    "healthy NON VITAL {} did not commit (scenario {:?})",
+                    key,
+                    s
+                );
+            }
+        }
+    }
+}

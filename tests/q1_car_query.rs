@@ -1,0 +1,81 @@
+//! Experiment Q1 — the paper's §2 car-rental query.
+//!
+//! One compact MSQL multiple query resolves naming heterogeneity (explicit
+//! `LET` variable, implicit `%code`) and schema heterogeneity (`~rate`)
+//! across avis and national, producing a multitable of two tables.
+
+use ldbs::value::Value;
+use mdbs::fixtures::paper_federation;
+
+#[test]
+fn section2_query_produces_a_two_table_multitable() {
+    let mut fed = paper_federation();
+    let outcome = fed
+        .execute(
+            "USE avis national
+             LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+             SELECT %code, type, ~rate FROM car WHERE status = 'available'",
+        )
+        .unwrap();
+    let mt = outcome.into_multitable().unwrap();
+    assert_eq!(mt.tables.len(), 2, "a multitable is a SET of tables, one per database");
+
+    // avis: code, cartype, rate — two available cars.
+    let avis = mt.table("avis").unwrap();
+    let names: Vec<&str> = avis.columns.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["code", "cartype", "rate"]);
+    assert_eq!(avis.rows.len(), 2);
+    assert!(avis.rows.iter().any(|r| r[0] == Value::Int(1)));
+    assert!(avis.rows.iter().any(|r| r[0] == Value::Int(3)));
+
+    // national: vcode, vty — the optional ~rate column is absent (schema
+    // heterogeneity resolved by dropping it, §2).
+    let national = mt.table("national").unwrap();
+    let names: Vec<&str> = national.columns.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["vcode", "vty"]);
+    assert_eq!(national.rows.len(), 2);
+}
+
+#[test]
+fn scope_persists_across_statements() {
+    let mut fed = paper_federation();
+    fed.execute("USE avis national").unwrap();
+    fed.execute("LET car.status BE cars.carst vehicle.vstat").unwrap();
+    let mt = fed
+        .execute("SELECT %code FROM car WHERE status = 'rented'")
+        .unwrap()
+        .into_multitable()
+        .unwrap();
+    assert_eq!(mt.tables.len(), 2);
+    assert_eq!(mt.table("avis").unwrap().rows.len(), 1);
+    assert_eq!(mt.table("national").unwrap().rows.len(), 1);
+}
+
+#[test]
+fn non_pertinent_database_contributes_no_table() {
+    let mut fed = paper_federation();
+    // `cars` only exists in avis; national silently drops out.
+    let mt = fed
+        .execute("USE avis national SELECT code FROM cars")
+        .unwrap()
+        .into_multitable()
+        .unwrap();
+    assert_eq!(mt.tables.len(), 1);
+    assert_eq!(mt.tables[0].database, "avis");
+}
+
+#[test]
+fn aggregates_run_locally_per_database() {
+    let mut fed = paper_federation();
+    let mt = fed
+        .execute(
+            "USE avis national
+             LET car.status BE cars.carst vehicle.vstat
+             SELECT COUNT(*) AS n FROM car WHERE status = 'available'",
+        )
+        .unwrap()
+        .into_multitable()
+        .unwrap();
+    assert_eq!(mt.table("avis").unwrap().rows[0][0], Value::Int(2));
+    assert_eq!(mt.table("national").unwrap().rows[0][0], Value::Int(2));
+}

@@ -1,0 +1,139 @@
+//! Experiment Q2 — the §3.2 multiple update with VITAL designators.
+//!
+//! `USE continental VITAL delta united VITAL` + the fare-raise update. The
+//! vital set {continental, united} must commit or abort atomically; delta is
+//! free to do whatever it locally decides.
+
+use ldbs::value::Value;
+use mdbs::fixtures::paper_federation;
+use mdbs::MsqlOutcome;
+
+const UPDATE: &str = "USE continental VITAL delta united VITAL
+    UPDATE flight%
+    SET rate% = rate% * 1.1
+    WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+
+fn rate(fed: &mdbs::Federation, service: &str, db: &str, sql: &str) -> Value {
+    let engine = fed.engine(service).unwrap();
+    let mut engine = engine.lock();
+    engine.execute(db, sql).unwrap().into_result_set().unwrap().rows[0][0].clone()
+}
+
+#[test]
+fn all_vital_commit_when_everything_succeeds() {
+    let mut fed = paper_federation();
+    let report = fed.execute(UPDATE).unwrap().into_update().unwrap();
+    assert!(report.success);
+    assert_eq!(report.return_code, 0);
+    assert_eq!(report.outcomes.len(), 3);
+    for o in &report.outcomes {
+        assert_eq!(o.status, dol::TaskStatus::Committed, "{o:?}");
+        assert_eq!(o.affected, 1, "{o:?}");
+    }
+    // The heterogeneous schemas were all updated.
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental",
+             "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(100.0 * 1.1)
+    );
+    assert_eq!(
+        rate(&fed, "svc_delta", "delta", "SELECT rate FROM flight WHERE fnu = 10"),
+        Value::Float(95.0 * 1.1)
+    );
+    assert_eq!(
+        rate(&fed, "svc_united", "united", "SELECT rates FROM flight WHERE fn = 20"),
+        Value::Float(110.0 * 1.1)
+    );
+}
+
+#[test]
+fn vital_failure_rolls_back_the_whole_vital_set() {
+    let mut fed = paper_federation();
+    // united's flight table refuses writes (simulated local conflict).
+    fed.engine("svc_united").unwrap().lock().failure_policy_mut().fail_writes_to("flight");
+
+    let report = fed.execute(UPDATE).unwrap().into_update().unwrap();
+    assert!(!report.success);
+    assert_eq!(report.return_code, 1);
+    let by_key = |k: &str| report.outcomes.iter().find(|o| o.key == k).unwrap();
+    assert_eq!(by_key("continental").status, dol::TaskStatus::Aborted);
+    assert_eq!(by_key("united").status, dol::TaskStatus::Aborted);
+    // delta is NON VITAL: it autocommitted and keeps its update.
+    assert_eq!(by_key("delta").status, dol::TaskStatus::Committed);
+
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental",
+             "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(100.0),
+        "continental must be rolled back"
+    );
+    assert_eq!(
+        rate(&fed, "svc_united", "united", "SELECT rates FROM flight WHERE fn = 20"),
+        Value::Float(110.0),
+        "united never committed"
+    );
+    assert_eq!(
+        rate(&fed, "svc_delta", "delta", "SELECT rate FROM flight WHERE fnu = 10"),
+        Value::Float(95.0 * 1.1),
+        "delta's NON VITAL update survives"
+    );
+}
+
+#[test]
+fn non_vital_failure_does_not_affect_the_query() {
+    let mut fed = paper_federation();
+    fed.engine("svc_delta").unwrap().lock().failure_policy_mut().fail_writes_to("flight");
+
+    let report = fed.execute(UPDATE).unwrap().into_update().unwrap();
+    assert!(report.success, "NON VITAL failures have no effect on the commitment (§3.2)");
+    let by_key = |k: &str| report.outcomes.iter().find(|o| o.key == k).unwrap();
+    assert_eq!(by_key("delta").status, dol::TaskStatus::Aborted);
+    assert_eq!(by_key("continental").status, dol::TaskStatus::Committed);
+    assert_eq!(by_key("united").status, dol::TaskStatus::Committed);
+}
+
+#[test]
+fn all_non_vital_is_always_successful() {
+    let mut fed = paper_federation();
+    fed.engine("svc_continental").unwrap().lock().failure_policy_mut().fail_writes_to("flights");
+    let report = fed
+        .execute(
+            "USE continental delta united
+             UPDATE flight% SET rate% = rate% * 1.1 WHERE sour% = 'Houston'",
+        )
+        .unwrap()
+        .into_update()
+        .unwrap();
+    assert!(report.success, "\"If all subqueries are NON VITAL the multiple query is always successful\"");
+}
+
+#[test]
+fn vital_atomicity_under_prepare_failure() {
+    let mut fed = paper_federation();
+    // continental crashes before voting.
+    fed.engine("svc_continental")
+        .unwrap()
+        .lock()
+        .set_failure_policy(ldbs::failure::FailurePolicy::with_probabilities(7, 0.0, 1.0));
+    let report = fed.execute(UPDATE).unwrap().into_update().unwrap();
+    assert!(!report.success);
+    // Nobody in the vital set committed.
+    for key in ["continental", "united"] {
+        let o = report.outcomes.iter().find(|o| o.key == key).unwrap();
+        assert_ne!(o.status, dol::TaskStatus::Committed, "{o:?}");
+    }
+}
+
+#[test]
+fn update_without_scope_is_rejected() {
+    let mut fed = paper_federation();
+    let err = fed.execute("UPDATE flight% SET rate% = 0");
+    assert!(matches!(err, Err(mdbs::MdbsError::EmptyScope)), "{err:?}");
+}
+
+#[test]
+fn outcome_kind_is_update() {
+    let mut fed = paper_federation();
+    let out = fed.execute(UPDATE).unwrap();
+    assert!(matches!(out, MsqlOutcome::Update(_)));
+}

@@ -1,0 +1,166 @@
+//! Experiment Q3 — the §3.3 compensation semantics.
+//!
+//! "Assuming that the Continental database does not provide 2PC", the vital
+//! update gets a COMP clause. The paper enumerates four execution paths:
+//!
+//! 1. Continental committed ∧ United prepared → commit United → success;
+//! 2. Continental committed ∧ United aborted → compensate Continental →
+//!    successfully aborted;
+//! 3. Continental aborted ∧ United prepared → roll United back →
+//!    successfully aborted;
+//! 4. both aborted → successfully aborted.
+//!
+//! All four are reproduced below, plus the refusal case ("our prototype
+//! MDBS raises an error condition and refuses to process the query").
+
+use ldbs::profile::DbmsProfile;
+use ldbs::value::Value;
+use mdbs::fixtures::{paper_federation_with, FederationProfiles};
+use mdbs::{Federation, MdbsError};
+use netsim::Network;
+
+const UPDATE_WITH_COMP: &str = "USE continental VITAL delta united VITAL
+    UPDATE flight%
+    SET rate% = rate% * 1.1
+    WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+    COMP continental
+    UPDATE flights
+    SET rate = rate / 1.1
+    WHERE source = 'Houston' AND destination = 'San Antonio'";
+
+fn federation_without_2pc_continental() -> Federation {
+    paper_federation_with(
+        Network::new(),
+        FederationProfiles {
+            continental: DbmsProfile::autocommit_only(),
+            ..FederationProfiles::default()
+        },
+    )
+}
+
+fn continental_rate(fed: &Federation) -> f64 {
+    let engine = fed.engine("svc_continental").unwrap();
+    let mut engine = engine.lock();
+    match engine
+        .execute("continental", "SELECT rate FROM flights WHERE flnu = 1")
+        .unwrap()
+        .into_result_set()
+        .unwrap()
+        .rows[0][0]
+    {
+        Value::Float(f) => f,
+        ref other => panic!("{other:?}"),
+    }
+}
+
+fn united_rate(fed: &Federation) -> f64 {
+    let engine = fed.engine("svc_united").unwrap();
+    let mut engine = engine.lock();
+    match engine
+        .execute("united", "SELECT rates FROM flight WHERE fn = 20")
+        .unwrap()
+        .into_result_set()
+        .unwrap()
+        .rows[0][0]
+    {
+        Value::Float(f) => f,
+        ref other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn refuses_vital_non_2pc_without_comp() {
+    let mut fed = federation_without_2pc_continental();
+    let err = fed.execute(
+        "USE continental VITAL delta united VITAL
+         UPDATE flight% SET rate% = rate% * 1.1
+         WHERE sour% = 'Houston' AND dest% = 'San Antonio'",
+    );
+    assert!(
+        matches!(err, Err(MdbsError::VitalWithoutCompensation { ref database }) if database == "continental"),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn path1_both_succeed() {
+    let mut fed = federation_without_2pc_continental();
+    let report = fed.execute(UPDATE_WITH_COMP).unwrap().into_update().unwrap();
+    assert!(report.success);
+    let by_key = |k: &str| report.outcomes.iter().find(|o| o.key == k).unwrap();
+    assert_eq!(by_key("continental").status, dol::TaskStatus::Committed);
+    assert_eq!(by_key("united").status, dol::TaskStatus::Committed);
+    assert!((continental_rate(&fed) - 110.0).abs() < 1e-9);
+    assert!((united_rate(&fed) - 121.0).abs() < 1e-9);
+}
+
+#[test]
+fn path2_united_aborts_so_continental_is_compensated() {
+    let mut fed = federation_without_2pc_continental();
+    fed.engine("svc_united").unwrap().lock().failure_policy_mut().fail_writes_to("flight");
+
+    let report = fed.execute(UPDATE_WITH_COMP).unwrap().into_update().unwrap();
+    assert!(!report.success);
+    let by_key = |k: &str| report.outcomes.iter().find(|o| o.key == k).unwrap();
+    assert_eq!(by_key("continental").status, dol::TaskStatus::Compensated);
+    assert_eq!(by_key("united").status, dol::TaskStatus::Aborted);
+    // Compensation semantically undid the fare raise (up to float rounding —
+    // exactly the caveat the paper makes about compensation not restoring
+    // the byte-identical state).
+    assert!((continental_rate(&fed) - 100.0).abs() < 1e-9);
+    assert!((united_rate(&fed) - 110.0).abs() < 1e-9);
+}
+
+#[test]
+fn path3_continental_aborts_so_united_rolls_back() {
+    let mut fed = federation_without_2pc_continental();
+    fed.engine("svc_continental")
+        .unwrap()
+        .lock()
+        .failure_policy_mut()
+        .fail_writes_to("flights");
+
+    let report = fed.execute(UPDATE_WITH_COMP).unwrap().into_update().unwrap();
+    assert!(!report.success);
+    let by_key = |k: &str| report.outcomes.iter().find(|o| o.key == k).unwrap();
+    assert_eq!(by_key("continental").status, dol::TaskStatus::Aborted);
+    assert_eq!(by_key("united").status, dol::TaskStatus::Aborted);
+    assert!((continental_rate(&fed) - 100.0).abs() < 1e-9);
+    assert!((united_rate(&fed) - 110.0).abs() < 1e-9);
+}
+
+#[test]
+fn path4_both_abort() {
+    let mut fed = federation_without_2pc_continental();
+    fed.engine("svc_continental")
+        .unwrap()
+        .lock()
+        .failure_policy_mut()
+        .fail_writes_to("flights");
+    fed.engine("svc_united").unwrap().lock().failure_policy_mut().fail_writes_to("flight");
+
+    let report = fed.execute(UPDATE_WITH_COMP).unwrap().into_update().unwrap();
+    assert!(!report.success);
+    assert!((continental_rate(&fed) - 100.0).abs() < 1e-9);
+    assert!((united_rate(&fed) - 110.0).abs() < 1e-9);
+}
+
+#[test]
+fn comp_for_unknown_database_is_rejected() {
+    let mut fed = federation_without_2pc_continental();
+    let err = fed.execute(
+        "USE continental VITAL
+         UPDATE flights SET rate = rate * 1.1
+         COMP hertz
+         UPDATE flights SET rate = rate / 1.1",
+    );
+    assert!(matches!(err, Err(MdbsError::BadCompClause(_))), "{err:?}");
+}
+
+#[test]
+fn comp_is_not_invoked_on_success() {
+    // With everything healthy, the compensation must NOT run.
+    let mut fed = federation_without_2pc_continental();
+    fed.execute(UPDATE_WITH_COMP).unwrap();
+    assert!((continental_rate(&fed) - 110.0).abs() < 1e-9);
+}

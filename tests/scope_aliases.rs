@@ -1,0 +1,126 @@
+//! Scope aliasing: `USE (db alias)` — COMP clauses, vital sets and
+//! acceptable states all refer to subqueries by the alias (the mechanism
+//! §3.4 relies on for key uniqueness inside multitransactions).
+
+use ldbs::profile::DbmsProfile;
+use ldbs::value::Value;
+use mdbs::fixtures::{paper_federation, paper_federation_with, FederationProfiles};
+use netsim::Network;
+
+#[test]
+fn vital_set_and_outcomes_use_aliases() {
+    let mut fed = paper_federation();
+    let report = fed
+        .execute(
+            "USE (continental cont) VITAL delta (united uni) VITAL
+             UPDATE flight% SET rate% = rate% * 1.1
+             WHERE sour% = 'Houston' AND dest% = 'San Antonio'",
+        )
+        .unwrap()
+        .into_update()
+        .unwrap();
+    assert!(report.success);
+    let keys: Vec<&str> = report.outcomes.iter().map(|o| o.key.as_str()).collect();
+    assert_eq!(keys, vec!["cont", "delta", "uni"]);
+}
+
+#[test]
+fn comp_clause_may_name_the_alias() {
+    let mut fed = paper_federation_with(
+        Network::new(),
+        FederationProfiles {
+            continental: DbmsProfile::autocommit_only(),
+            ..FederationProfiles::default()
+        },
+    );
+    fed.engine("svc_united").unwrap().lock().failure_policy_mut().fail_writes_to("flight");
+    let report = fed
+        .execute(
+            "USE (continental cont) VITAL (united uni) VITAL
+             UPDATE flight% SET rate% = rate% * 1.1 WHERE sour% = 'Houston'
+             COMP cont
+             UPDATE flights SET rate = rate / 1.1 WHERE source = 'Houston'",
+        )
+        .unwrap()
+        .into_update()
+        .unwrap();
+    assert!(!report.success);
+    let cont = report.outcomes.iter().find(|o| o.key == "cont").unwrap();
+    assert_eq!(cont.status, dol::TaskStatus::Compensated);
+
+    let engine = fed.engine("svc_continental").unwrap();
+    let mut engine = engine.lock();
+    let rate = engine
+        .execute("continental", "SELECT rate FROM flights WHERE flnu = 1")
+        .unwrap()
+        .into_result_set()
+        .unwrap()
+        .rows[0][0]
+        .clone();
+    assert_eq!(rate, Value::Float(100.0));
+}
+
+#[test]
+fn multitransaction_aliases_make_duplicate_databases_legal() {
+    // Two component queries both touching continental: aliasing gives them
+    // distinct keys, which §3.4 requires.
+    let mut fed = paper_federation();
+    let report = fed
+        .execute(
+            "BEGIN MULTITRANSACTION
+               USE (continental seatleg)
+               UPDATE f838 SET seatstatus = 'TAKEN'
+               WHERE seatnu = ( SELECT MIN(seatnu) FROM f838 WHERE seatstatus = 'FREE');
+               USE (continental fareleg)
+               UPDATE flights SET rate = rate * 1.1 WHERE flnu = 1;
+               COMMIT
+                 seatleg AND fareleg
+             END MULTITRANSACTION",
+        )
+        .unwrap()
+        .into_mtx()
+        .unwrap();
+    assert_eq!(report.achieved_state, Some(0), "{report:?}");
+    let keys: Vec<&str> = report.outcomes.iter().map(|o| o.key.as_str()).collect();
+    assert_eq!(keys, vec!["seatleg", "fareleg"]);
+}
+
+#[test]
+fn duplicate_unaliased_databases_in_multitransaction_are_rejected() {
+    let mut fed = paper_federation();
+    let err = fed.execute(
+        "BEGIN MULTITRANSACTION
+           USE continental
+           UPDATE f838 SET seatstatus = 'TAKEN' WHERE seatnu = 1;
+           USE continental
+           UPDATE flights SET rate = rate WHERE flnu = 1;
+           COMMIT continental
+         END MULTITRANSACTION",
+    );
+    assert!(matches!(err, Err(mdbs::MdbsError::Mtx(_))), "{err:?}");
+}
+
+#[test]
+fn use_current_extends_the_scope() {
+    let mut fed = paper_federation();
+    fed.execute("USE avis").unwrap();
+    let mt = fed
+        .execute("LET car.status BE cars.carst
+                  SELECT %code FROM car WHERE status = 'available'")
+        .unwrap()
+        .into_multitable()
+        .unwrap();
+    assert_eq!(mt.tables.len(), 1);
+
+    fed.execute("USE CURRENT national").unwrap();
+    assert_eq!(fed.scope().databases.len(), 2);
+    // The LET was cleared?? No: USE CURRENT appends without dropping — but
+    // the old variable has one binding for two databases now, so redeclare.
+    let mt = fed
+        .execute("LET car2.status2 BE cars.carst vehicle.vstat
+                  SELECT %code FROM car2 WHERE status2 = 'available'")
+        .unwrap()
+        .into_multitable()
+        .unwrap();
+    assert_eq!(mt.tables.len(), 2);
+}
