@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the tier-1 build+test pass.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "CI OK"

@@ -19,8 +19,7 @@ fn federation(db0_profile: DbmsProfile) -> Federation {
     let net = Network::new();
     uniform_latency(&net, 1);
     let mut fed = Federation::with_network(net);
-    fed.add_service("svc0", "site0", bench::workloads::airline_engine(0, 50, db0_profile))
-        .unwrap();
+    fed.add_service("svc0", "site0", bench::workloads::airline_engine(0, 50, db0_profile)).unwrap();
     fed.add_service(
         "svc1",
         "site1",
@@ -82,8 +81,7 @@ fn bench_happy_paths(c: &mut Criterion) {
         let net = Network::new();
         uniform_latency(&net, 1);
         let mut fed = Federation::with_network(net);
-        fed.add_service("svc0", "site0", bench::workloads::airline_engine(0, 50, profile))
-            .unwrap();
+        fed.add_service("svc0", "site0", bench::workloads::airline_engine(0, 50, profile)).unwrap();
         fed.execute("IMPORT DATABASE db0 FROM SERVICE svc0").unwrap();
         fed.execute("USE db0 VITAL").unwrap();
         fed
@@ -93,9 +91,7 @@ fn bench_happy_paths(c: &mut Criterion) {
     group.bench_function("prepared_commit", |b| {
         b.iter(|| {
             black_box(
-                fed_2pc
-                    .execute("UPDATE flights SET rate = rate WHERE source = 'Houston'")
-                    .unwrap(),
+                fed_2pc.execute("UPDATE flights SET rate = rate WHERE source = 'Houston'").unwrap(),
             )
         })
     });

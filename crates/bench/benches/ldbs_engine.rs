@@ -11,8 +11,11 @@ use std::hint::black_box;
 fn engine_with_rows(rows: usize) -> Engine {
     let mut e = Engine::new("bench", DbmsProfile::oracle_like());
     e.create_database("db").unwrap();
-    e.execute("db", "CREATE TABLE flights (flnu INT, source CHAR(20), destination CHAR(20), rate FLOAT)")
-        .unwrap();
+    e.execute(
+        "db",
+        "CREATE TABLE flights (flnu INT, source CHAR(20), destination CHAR(20), rate FLOAT)",
+    )
+    .unwrap();
     let cities = ["Houston", "Dallas", "Austin", "El Paso"];
     for r in 0..rows {
         e.execute(
@@ -40,8 +43,11 @@ fn bench_scans(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("filtered_scan", rows), &rows, |b, _| {
             b.iter(|| {
                 black_box(
-                    e.execute("db", "SELECT flnu FROM flights WHERE source = 'Houston' AND rate > 75")
-                        .unwrap(),
+                    e.execute(
+                        "db",
+                        "SELECT flnu FROM flights WHERE source = 'Houston' AND rate > 75",
+                    )
+                    .unwrap(),
                 )
             })
         });
@@ -65,22 +71,18 @@ fn bench_join(c: &mut Criterion) {
     group.sample_size(10);
     for rows in [100usize, 300] {
         let mut e = engine_with_rows(rows);
-        group.bench_with_input(
-            BenchmarkId::new("self_join_filtered", rows),
-            &rows,
-            |b, _| {
-                b.iter(|| {
-                    black_box(
-                        e.execute(
-                            "db",
-                            "SELECT a.flnu, b.flnu FROM flights a, flights b
+        group.bench_with_input(BenchmarkId::new("self_join_filtered", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    e.execute(
+                        "db",
+                        "SELECT a.flnu, b.flnu FROM flights a, flights b
                              WHERE a.destination = b.source AND a.flnu < 10",
-                        )
-                        .unwrap(),
                     )
-                })
-            },
-        );
+                    .unwrap(),
+                )
+            })
+        });
     }
     group.finish();
 }
@@ -90,16 +92,13 @@ fn bench_dml_and_txn(c: &mut Criterion) {
     let mut e = engine_with_rows(10_000);
     group.bench_function("point_update", |b| {
         b.iter(|| {
-            black_box(
-                e.execute("db", "UPDATE flights SET rate = rate WHERE flnu = 5000").unwrap(),
-            )
+            black_box(e.execute("db", "UPDATE flights SET rate = rate WHERE flnu = 5000").unwrap())
         })
     });
     group.bench_function("range_update", |b| {
         b.iter(|| {
             black_box(
-                e.execute("db", "UPDATE flights SET rate = rate WHERE source = 'Houston'")
-                    .unwrap(),
+                e.execute("db", "UPDATE flights SET rate = rate WHERE source = 'Houston'").unwrap(),
             )
         })
     });

@@ -34,9 +34,7 @@ fn mtx_sql(a: usize) -> String {
          WHERE snu = (SELECT MIN(snu) FROM seats WHERE sstat = 'FREE');",
         cars.join(" ")
     ));
-    let states: Vec<String> = (0..a)
-        .map(|i| format!("db{} AND db{}", 2 * i, 2 * i + 1))
-        .collect();
+    let states: Vec<String> = (0..a).map(|i| format!("db{} AND db{}", 2 * i, 2 * i + 1)).collect();
     format!(
         "BEGIN MULTITRANSACTION\n{}\nCOMMIT\n{}\nEND MULTITRANSACTION",
         queries.join("\n"),
@@ -48,8 +46,7 @@ fn bench_alternatives(c: &mut Criterion) {
     let mut group = c.benchmark_group("b5_alternatives");
     group.sample_size(10);
     for a in [1usize, 2, 4] {
-        let mut fed =
-            scaled_federation_on(Network::new(), 2 * a, 16, DbmsProfile::oracle_like());
+        let mut fed = scaled_federation_on(Network::new(), 2 * a, 16, DbmsProfile::oracle_like());
         let sql = mtx_sql(a);
         group.bench_with_input(BenchmarkId::new("alternatives", a), &a, |b, _| {
             b.iter(|| {
@@ -90,18 +87,13 @@ fn bench_success_rate_report(c: &mut Criterion) {
     for fail_p in [0.2f64, 0.4] {
         for a in [1usize, 2, 4] {
             let rate = success_rate(a, fail_p, 24);
-            eprintln!(
-                "b5: alternatives={a} failure_p={fail_p}: success rate {:.0}%",
-                rate * 100.0
-            );
+            eprintln!("b5: alternatives={a} failure_p={fail_p}: success rate {:.0}%", rate * 100.0);
         }
     }
     // A token measurement so criterion registers the group.
     let mut group = c.benchmark_group("b5_success_rate");
     group.sample_size(10);
-    group.bench_function("single_trial_a2_p02", |b| {
-        b.iter(|| black_box(success_rate(2, 0.2, 1)))
-    });
+    group.bench_function("single_trial_a2_p02", |b| b.iter(|| black_box(success_rate(2, 0.2, 1))));
     group.finish();
 }
 

@@ -26,17 +26,13 @@ fn bench_parallel_vs_serial(c: &mut Criterion) {
             fed.parallel = parallel;
             fed.execute(&scaled_use(n, 0)).unwrap();
             let label = if parallel { "parallel" } else { "serial" };
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let mt = fed.execute(QUERY).unwrap().into_multitable().unwrap();
-                        assert_eq!(mt.tables.len(), n);
-                        black_box(mt)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let mt = fed.execute(QUERY).unwrap().into_multitable().unwrap();
+                    assert_eq!(mt.tables.len(), n);
+                    black_box(mt)
+                })
+            });
         }
     }
     group.finish();

@@ -1,0 +1,83 @@
+//! Experiment B8 — retry storms on lossy links.
+//!
+//! The paper's prototype ran over an unreliable campus network (§4.1); this
+//! benchmark sweeps the per-link message-drop probability and measures what
+//! the bounded retry policy buys: the success rate of a multiple retrieval
+//! with and without retries, and the execution-time cost the resends add.
+
+use bench::workloads::{scaled_federation_on, scaled_use};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldbs::profile::DbmsProfile;
+use mdbs::{Federation, RetryPolicy};
+use netsim::Network;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SITES: usize = 3;
+const QUERY: &str = "SELECT flnu, rate FROM flights WHERE source = 'Houston'";
+
+/// A small scaled federation on a seeded network with every link touching a
+/// LAM site degraded to drop probability `p`.
+fn lossy_federation(seed: u64, p: f64, retries: u32) -> Federation {
+    let mut fed =
+        scaled_federation_on(Network::with_seed(seed), SITES, 20, DbmsProfile::oracle_like());
+    fed.timeout = Duration::from_millis(50);
+    fed.retry = RetryPolicy::retries(retries);
+    fed.execute(&scaled_use(SITES, 0)).unwrap();
+    for i in 0..SITES {
+        let site = format!("site{i}");
+        fed.network().set_link_drop_probability("*", &site, p);
+        fed.network().set_link_drop_probability(&site, "*", p);
+    }
+    fed
+}
+
+/// Restores lossless links (keeps LAM shutdown fast at teardown).
+fn heal(fed: &Federation) {
+    for i in 0..SITES {
+        let site = format!("site{i}");
+        fed.network().clear_link_drop_probability("*", &site);
+        fed.network().clear_link_drop_probability(&site, "*");
+    }
+}
+
+/// One trial: true when every database answered.
+fn trial(fed: &mut Federation) -> bool {
+    match fed.execute(QUERY) {
+        Ok(out) => out.into_multitable().map(|mt| mt.tables.len() == SITES).unwrap_or(false),
+        Err(_) => false,
+    }
+}
+
+fn bench_retry_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b8_retry_storm");
+    group.sample_size(10);
+    for p in [0.0f64, 0.1, 0.3, 0.5] {
+        for max_attempts in [1u32, 5] {
+            let mut fed = lossy_federation(0xB8, p, max_attempts);
+            // Success rate over a fixed trial count, reported alongside the
+            // timing (the paper-facing number: what retries buy).
+            const TRIALS: u32 = 20;
+            let ok = (0..TRIALS).filter(|_| trial(&mut fed)).count();
+            let label = if max_attempts > 1 { "retries5" } else { "noretry" };
+            println!(
+                "b8_retry_storm/{label}/p={p}: success rate {ok}/{TRIALS} \
+                 (dropped={} retries={})",
+                fed.network().stats().dropped,
+                fed.exec_stats().retries,
+            );
+            group.bench_with_input(BenchmarkId::new(label, format!("p={p}")), &p, |b, _| {
+                b.iter(|| black_box(trial(&mut fed)))
+            });
+            heal(&fed);
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_retry_storm
+}
+criterion_main!(benches);

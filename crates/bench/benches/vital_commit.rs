@@ -30,11 +30,9 @@ fn bench_vital_fraction(c: &mut Criterion) {
             let msgs = net.stats().messages;
             eprintln!("b3: n={n} {label}: {msgs} messages per statement");
 
-            group.bench_with_input(
-                BenchmarkId::new(format!("{label}_n{n}"), n),
-                &n,
-                |b, _| b.iter(|| black_box(fed.execute(UPDATE).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{label}_n{n}"), n), &n, |b, _| {
+                b.iter(|| black_box(fed.execute(UPDATE).unwrap()))
+            });
         }
     }
     group.finish();
@@ -50,14 +48,9 @@ fn bench_vital_under_failures(c: &mut Criterion) {
         let mut fed = scaled_federation_on(net, 4, 50, DbmsProfile::oracle_like());
         fed.execute(&scaled_use(4, 1)).unwrap();
         for i in 0..4 {
-            fed.engine(&format!("svc{i}"))
-                .unwrap()
-                .lock()
-                .set_failure_policy(ldbs::failure::FailurePolicy::with_probabilities(
-                    42 + i as u64,
-                    p,
-                    0.0,
-                ));
+            fed.engine(&format!("svc{i}")).unwrap().lock().set_failure_policy(
+                ldbs::failure::FailurePolicy::with_probabilities(42 + i as u64, p, 0.0),
+            );
         }
         group.bench_with_input(
             BenchmarkId::new("abort_probability", format!("{p}")),

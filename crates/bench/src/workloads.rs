@@ -33,11 +33,8 @@ pub fn airline_engine(index: usize, rows: usize, profile: DbmsProfile) -> Engine
         let src = cities[r % cities.len()];
         let dst = cities[(r + 1) % cities.len()];
         let rate = 50.0 + (r % 100) as f64;
-        e.execute(
-            &db,
-            &format!("INSERT INTO flights VALUES ({r}, '{src}', '{dst}', {rate})"),
-        )
-        .unwrap();
+        e.execute(&db, &format!("INSERT INTO flights VALUES ({r}, '{src}', '{dst}', {rate})"))
+            .unwrap();
     }
     for s in 0..8 {
         e.execute(&db, &format!("INSERT INTO seats VALUES ({s}, 'FREE', NULL)")).unwrap();
@@ -61,8 +58,12 @@ pub fn scaled_federation_on(
     let mut fed = Federation::with_network(net);
     fed.timeout = Duration::from_secs(30);
     for i in 0..n {
-        fed.add_service(&format!("svc{i}"), &format!("site{i}"), airline_engine(i, rows, profile.clone()))
-            .unwrap();
+        fed.add_service(
+            &format!("svc{i}"),
+            &format!("site{i}"),
+            airline_engine(i, rows, profile.clone()),
+        )
+        .unwrap();
         fed.execute(&format!("IMPORT DATABASE db{i} FROM SERVICE svc{i}")).unwrap();
     }
     fed
@@ -118,11 +119,8 @@ mod tests {
     fn scaled_federation_builds_and_answers() {
         let mut fed = scaled_federation(3, 10, DbmsProfile::oracle_like());
         fed.execute(&scaled_use(3, 0)).unwrap();
-        let mt = fed
-            .execute("SELECT COUNT(*) AS n FROM flights")
-            .unwrap()
-            .into_multitable()
-            .unwrap();
+        let mt =
+            fed.execute("SELECT COUNT(*) AS n FROM flights").unwrap().into_multitable().unwrap();
         assert_eq!(mt.tables.len(), 3);
         for t in &mt.tables {
             assert_eq!(t.result.rows[0][0], ldbs::value::Value::Int(10));

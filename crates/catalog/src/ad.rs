@@ -29,11 +29,7 @@ impl ServiceEntry {
     pub fn from_incorporate(inc: &Incorporate) -> Self {
         ServiceEntry {
             name: inc.service.to_ascii_lowercase(),
-            site: inc
-                .site
-                .clone()
-                .unwrap_or_else(|| inc.service.clone())
-                .to_ascii_lowercase(),
+            site: inc.site.clone().unwrap_or_else(|| inc.service.clone()).to_ascii_lowercase(),
             multi_database: inc.multi_database,
             commit_mode: inc.commit_mode,
             create_mode: inc.create_mode,
@@ -157,9 +153,7 @@ mod tests {
     #[test]
     fn reincorporation_replaces_entry() {
         let mut ad = AuxiliaryDirectory::new();
-        ad.incorporate(&incorporate(
-            "INCORPORATE SERVICE s CONNECTMODE CONNECT COMMITMODE COMMIT",
-        ));
+        ad.incorporate(&incorporate("INCORPORATE SERVICE s CONNECTMODE CONNECT COMMITMODE COMMIT"));
         ad.incorporate(&incorporate(
             "INCORPORATE SERVICE s CONNECTMODE CONNECT COMMITMODE NOCOMMIT",
         ));
@@ -176,9 +170,7 @@ mod tests {
     #[test]
     fn remove_service() {
         let mut ad = AuxiliaryDirectory::new();
-        ad.incorporate(&incorporate(
-            "INCORPORATE SERVICE s CONNECTMODE CONNECT COMMITMODE COMMIT",
-        ));
+        ad.incorporate(&incorporate("INCORPORATE SERVICE s CONNECTMODE CONNECT COMMITMODE COMMIT"));
         ad.remove("S").unwrap();
         assert!(ad.is_empty());
     }

@@ -77,11 +77,7 @@ impl GlobalDataDictionary {
     /// Registers a database as hosted by `service`. Database names must be
     /// unique inside the federation (paper §3.1); registering the same
     /// database for the same service is idempotent.
-    pub fn register_database(
-        &mut self,
-        database: &str,
-        service: &str,
-    ) -> Result<(), CatalogError> {
+    pub fn register_database(&mut self, database: &str, service: &str) -> Result<(), CatalogError> {
         let db = database.to_ascii_lowercase();
         let svc = service.to_ascii_lowercase();
         if let Some(existing) = self.databases.get(&db) {
@@ -122,13 +118,9 @@ impl GlobalDataDictionary {
             .databases
             .get_mut(&database.to_ascii_lowercase())
             .ok_or_else(|| CatalogError::UnknownDatabase(database.to_string()))?;
-        db.tables
-            .remove(&table.to_ascii_lowercase())
-            .map(|_| ())
-            .ok_or_else(|| CatalogError::UnknownTable {
-                database: database.to_string(),
-                table: table.to_string(),
-            })
+        db.tables.remove(&table.to_ascii_lowercase()).map(|_| ()).ok_or_else(|| {
+            CatalogError::UnknownTable { database: database.to_string(), table: table.to_string() }
+        })
     }
 
     /// The service hosting a database.
@@ -176,11 +168,7 @@ impl GlobalDataDictionary {
         database: &str,
         pattern: &WildName,
     ) -> Result<Vec<&GddTable>, CatalogError> {
-        Ok(self
-            .tables(database)?
-            .into_iter()
-            .filter(|t| pattern.matches(&t.name))
-            .collect())
+        Ok(self.tables(database)?.into_iter().filter(|t| pattern.matches(&t.name)).collect())
     }
 
     /// Columns of one table matching a (possibly wild) name.
@@ -287,11 +275,8 @@ mod tests {
     #[test]
     fn put_table_replaces_definition() {
         let mut gdd = dict_with_appendix_schemas();
-        gdd.put_table(
-            "avis",
-            GddTable::new("cars", vec![GddColumn::new("code", TypeName::Int)]),
-        )
-        .unwrap();
+        gdd.put_table("avis", GddTable::new("cars", vec![GddColumn::new("code", TypeName::Int)]))
+            .unwrap();
         assert_eq!(gdd.table("avis", "cars").unwrap().columns.len(), 1);
     }
 

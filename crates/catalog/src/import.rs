@@ -26,14 +26,12 @@ pub fn apply_import(
     gdd.register_database(&import.database, &import.service)?;
     let find = |name: &str, want_view: bool| -> Result<GddTable, CatalogError> {
         let lower = name.to_ascii_lowercase();
-        local_schema
-            .iter()
-            .find(|t| t.name == lower && t.is_view == want_view)
-            .cloned()
-            .ok_or_else(|| CatalogError::UnknownTable {
+        local_schema.iter().find(|t| t.name == lower && t.is_view == want_view).cloned().ok_or_else(
+            || CatalogError::UnknownTable {
                 database: import.database.clone(),
                 table: name.to_string(),
-            })
+            },
+        )
     };
 
     let mut imported = Vec::new();
@@ -92,10 +90,7 @@ mod tests {
     }
 
     fn avis_lcs() -> Vec<GddTable> {
-        let mut view = GddTable::new(
-            "available_cars",
-            vec![GddColumn::new("code", TypeName::Int)],
-        );
+        let mut view = GddTable::new("available_cars", vec![GddColumn::new("code", TypeName::Int)]);
         view.is_view = true;
         vec![
             GddTable::new(

@@ -10,45 +10,42 @@ fn ident() -> impl Strategy<Value = String> {
 }
 
 fn lcs_strategy() -> impl Strategy<Value = Vec<GddTable>> {
-    proptest::collection::vec(
-        (ident(), proptest::collection::vec(ident(), 1..6)),
-        1..5,
+    proptest::collection::vec((ident(), proptest::collection::vec(ident(), 1..6)), 1..5).prop_map(
+        |tables| {
+            let mut seen_tables = Vec::new();
+            tables
+                .into_iter()
+                .filter(|(name, _)| {
+                    if seen_tables.contains(name) {
+                        false
+                    } else {
+                        seen_tables.push(name.clone());
+                        true
+                    }
+                })
+                .map(|(name, cols)| {
+                    let mut seen = Vec::new();
+                    let columns = cols
+                        .into_iter()
+                        .filter(|c| {
+                            if seen.contains(c) {
+                                false
+                            } else {
+                                seen.push(c.clone());
+                                true
+                            }
+                        })
+                        .map(|c| GddColumn::new(c, TypeName::Char(0)))
+                        .collect();
+                    GddTable::new(name, columns)
+                })
+                .collect()
+        },
     )
-    .prop_map(|tables| {
-        let mut seen_tables = Vec::new();
-        tables
-            .into_iter()
-            .filter(|(name, _)| {
-                if seen_tables.contains(name) {
-                    false
-                } else {
-                    seen_tables.push(name.clone());
-                    true
-                }
-            })
-            .map(|(name, cols)| {
-                let mut seen = Vec::new();
-                let columns = cols
-                    .into_iter()
-                    .filter(|c| {
-                        if seen.contains(c) {
-                            false
-                        } else {
-                            seen.push(c.clone());
-                            true
-                        }
-                    })
-                    .map(|c| GddColumn::new(c, TypeName::Char(0)))
-                    .collect();
-                GddTable::new(name, columns)
-            })
-            .collect()
-    })
 }
 
 fn import_all() -> Import {
-    let Statement::Import(i) =
-        parse_statement("IMPORT DATABASE db FROM SERVICE svc").unwrap()
+    let Statement::Import(i) = parse_statement("IMPORT DATABASE db FROM SERVICE svc").unwrap()
     else {
         unreachable!()
     };

@@ -31,6 +31,13 @@ pub enum MdbsError {
     Dol(String),
     /// Network error talking to a LAM.
     Net(String),
+    /// The LAM at a site is gone for good (terminal fault: its server died
+    /// or its site was deregistered). Unlike [`MdbsError::Net`] timeouts,
+    /// retrying cannot help; callers should fail fast or degrade.
+    LamUnavailable {
+        /// The unreachable site.
+        site: String,
+    },
     /// A LAM reported a local database error.
     Local {
         /// The service that failed.
@@ -69,6 +76,9 @@ impl fmt::Display for MdbsError {
             MdbsError::BadCompClause(m) => write!(f, "bad COMP clause: {m}"),
             MdbsError::Dol(m) => write!(f, "DOL error: {m}"),
             MdbsError::Net(m) => write!(f, "network error: {m}"),
+            MdbsError::LamUnavailable { site } => {
+                write!(f, "LAM at site `{site}` is unavailable (terminal fault)")
+            }
             MdbsError::Local { service, message } => {
                 write!(f, "local error at `{service}`: {message}")
             }

@@ -15,12 +15,13 @@ use crate::error::MdbsError;
 use crate::lamclient::{decode_task_result, LamClient, LamFactory};
 use crate::multitable::{Multitable, MultitableEntry};
 use crate::proto::{Request, Response, TaskMode};
+use crate::retry::{shared_stats, ExecStats, RetryPolicy, SharedExecStats};
 use crate::translate::{DbRoute, Decomposition, GeneratedPlan, MTX_FAILED};
 use crate::wire;
 use dol::{DolEngine, DolOutcome, TaskStatus};
 use ldbs::engine::ResultSet;
 use msql_lang::printer::print_select;
-use netsim::Network;
+use netsim::{FaultKind, Network};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -37,6 +38,24 @@ pub struct DbOutcome {
     pub affected: u64,
     /// Local error, if the subquery failed.
     pub error: Option<String>,
+    /// Network attempts spent on the subquery (0 = its LAM was never
+    /// reached, 1 = no retries).
+    pub attempts: u32,
+    /// The last network fault seen executing the subquery, if any.
+    pub fault: Option<FaultKind>,
+}
+
+impl DbOutcome {
+    /// An outcome with no network telemetry attached.
+    pub fn new(
+        database: String,
+        key: String,
+        status: TaskStatus,
+        affected: u64,
+        error: Option<String>,
+    ) -> Self {
+        DbOutcome { database, key, status, affected, error, attempts: 0, fault: None }
+    }
 }
 
 /// Outcome of a vital multiple update (§3.2).
@@ -48,6 +67,9 @@ pub struct UpdateReport {
     pub return_code: i32,
     /// Per-database outcomes, in plan order.
     pub outcomes: Vec<DbOutcome>,
+    /// Communication accounting for this statement (retries, faults,
+    /// degraded subqueries).
+    pub stats: ExecStats,
 }
 
 /// Outcome of a multitransaction (§3.4).
@@ -60,6 +82,8 @@ pub struct MtxReport {
     pub return_code: i32,
     /// Per-database outcomes.
     pub outcomes: Vec<DbOutcome>,
+    /// Communication accounting for this statement.
+    pub stats: ExecStats,
 }
 
 /// The result of executing one MSQL statement.
@@ -119,20 +143,58 @@ pub struct Executor {
     pub parallel: bool,
     /// Per-request timeout.
     pub timeout: Duration,
+    /// Transient-fault retry policy for every LAM request this executor
+    /// issues.
+    pub retry: RetryPolicy,
+    /// Session-level accounting: every run merges its counters here.
+    pub stats: SharedExecStats,
+    /// Graceful degradation: treat an unreachable LAM at OPEN time as a
+    /// failed (but reported) subquery instead of failing the whole plan —
+    /// the §3.2 vital semantics then decide the statement's fate.
+    pub tolerate_unreachable: bool,
 }
 
 impl Executor {
-    fn run_program(&self, plan: &GeneratedPlan) -> Result<DolOutcome, MdbsError> {
-        let factory = LamFactory { net: self.net.clone(), timeout: self.timeout };
-        let engine = if self.parallel {
-            DolEngine::new(&factory)
-        } else {
-            DolEngine::serial(&factory)
-        };
-        Ok(engine.execute(&plan.program)?)
+    /// An executor with default policies (no retries, fail fast on
+    /// unreachable services).
+    pub fn new(net: Network, parallel: bool, timeout: Duration) -> Self {
+        Executor {
+            net,
+            parallel,
+            timeout,
+            retry: RetryPolicy::default(),
+            stats: shared_stats(),
+            tolerate_unreachable: false,
+        }
     }
 
-    fn outcomes(&self, plan: &GeneratedPlan, out: &DolOutcome) -> Vec<DbOutcome> {
+    /// Runs the program, returning the DOL outcome plus this run's own
+    /// communication accounting (also merged into the session stats).
+    fn run_program(&self, plan: &GeneratedPlan) -> Result<(DolOutcome, ExecStats), MdbsError> {
+        let run_stats = shared_stats();
+        let factory = LamFactory {
+            net: self.net.clone(),
+            timeout: self.timeout,
+            retry: self.retry.clone(),
+            stats: SharedExecStats::clone(&run_stats),
+            tolerate_unreachable: self.tolerate_unreachable,
+        };
+        let engine =
+            if self.parallel { DolEngine::new(&factory) } else { DolEngine::serial(&factory) };
+        let result = engine.execute(&plan.program);
+        // Merge the run's accounting even when the program failed — the
+        // faults that sank it are exactly what the session stats must show.
+        let snapshot = run_stats.lock().clone();
+        self.stats.lock().merge(&snapshot);
+        Ok((result?, snapshot))
+    }
+
+    fn outcomes(
+        &self,
+        plan: &GeneratedPlan,
+        out: &DolOutcome,
+        stats: &ExecStats,
+    ) -> Vec<DbOutcome> {
         plan.tasks
             .iter()
             .map(|t| {
@@ -143,31 +205,51 @@ impl Executor {
                     .and_then(|r| decode_task_result(r).ok())
                     .map(|(a, _)| a)
                     .unwrap_or(0);
+                let telemetry = stats.task(&t.task);
                 DbOutcome {
                     database: t.database.clone(),
                     key: t.key.clone(),
                     status,
                     affected,
                     error: None,
+                    attempts: telemetry.map(|m| m.attempts).unwrap_or(0),
+                    fault: telemetry.and_then(|m| m.fault),
                 }
             })
             .collect()
+    }
+
+    /// Counts non-vital subqueries that failed while the statement as a
+    /// whole survived — the §3.2 "tolerated" losses — into both the run
+    /// snapshot and the session stats.
+    fn count_degraded(&self, plan: &GeneratedPlan, outcomes: &[DbOutcome], stats: &mut ExecStats) {
+        let degraded = plan
+            .tasks
+            .iter()
+            .zip(outcomes)
+            .filter(|(t, o)| {
+                !t.vital && !matches!(o.status, TaskStatus::Committed | TaskStatus::Prepared)
+            })
+            .count() as u64;
+        if degraded > 0 {
+            stats.degraded += degraded;
+            self.stats.lock().degraded += degraded;
+        }
     }
 
     /// Runs a retrieval plan, assembling a multitable from the per-database
     /// partial results. A database whose task failed contributes no table;
     /// if every database failed the query fails.
     pub fn run_retrieval(&self, plan: &GeneratedPlan) -> Result<Multitable, MdbsError> {
-        let out = self.run_program(plan)?;
+        let (out, _stats) = self.run_program(plan)?;
         let mut tables = Vec::new();
         let mut last_error: Option<String> = None;
         for t in &plan.tasks {
             match out.status(&t.task) {
                 Some(TaskStatus::Committed) => {
-                    let result = out
-                        .task_results
-                        .get(&t.task)
-                        .ok_or_else(|| MdbsError::Internal(format!("task {} lost its result", t.task)))?;
+                    let result = out.task_results.get(&t.task).ok_or_else(|| {
+                        MdbsError::Internal(format!("task {} lost its result", t.task))
+                    })?;
                     let (_, payload) = decode_task_result(result)?;
                     let rs = match payload {
                         Some(p) => wire::decode_result_set(&p)?,
@@ -190,18 +272,19 @@ impl Executor {
 
     /// Runs a vital update plan.
     pub fn run_update(&self, plan: &GeneratedPlan) -> Result<UpdateReport, MdbsError> {
-        let out = self.run_program(plan)?;
-        Ok(UpdateReport {
-            success: out.dolstatus == 0,
-            return_code: out.dolstatus,
-            outcomes: self.outcomes(plan, &out),
-        })
+        let (out, mut stats) = self.run_program(plan)?;
+        let outcomes = self.outcomes(plan, &out, &stats);
+        let success = out.dolstatus == 0;
+        if success {
+            self.count_degraded(plan, &outcomes, &mut stats);
+        }
+        Ok(UpdateReport { success, return_code: out.dolstatus, outcomes, stats })
     }
 
     /// Runs a multitransaction plan. `n_states` is the number of acceptable
     /// states (to map the DOL return code back to a state index).
     pub fn run_mtx(&self, plan: &GeneratedPlan, n_states: usize) -> Result<MtxReport, MdbsError> {
-        let out = self.run_program(plan)?;
+        let (out, mut stats) = self.run_program(plan)?;
         let achieved_state = if out.dolstatus >= 0
             && (out.dolstatus as usize) < n_states
             && out.dolstatus != MTX_FAILED
@@ -210,11 +293,11 @@ impl Executor {
         } else {
             None
         };
-        Ok(MtxReport {
-            achieved_state,
-            return_code: out.dolstatus,
-            outcomes: self.outcomes(plan, &out),
-        })
+        let outcomes = self.outcomes(plan, &out, &stats);
+        if achieved_state.is_some() {
+            self.count_degraded(plan, &outcomes, &mut stats);
+        }
+        Ok(MtxReport { achieved_state, return_code: out.dolstatus, outcomes, stats })
     }
 
     /// Executes a decomposed cross-database join: runs each local subquery,
@@ -231,8 +314,14 @@ impl Executor {
             let route = routes.get(&sub.database).ok_or_else(|| {
                 MdbsError::Catalog(format!("no route for database `{}`", sub.database))
             })?;
-            let client =
-                LamClient::connect(&self.net, &route.site, &sub.database, self.timeout)?;
+            let client = LamClient::connect_with(
+                &self.net,
+                &route.site,
+                &sub.database,
+                self.timeout,
+                self.retry.clone(),
+                SharedExecStats::clone(&self.stats),
+            )?;
             let sql = print_select(&sub.select);
             let resp = client.call(Request::Task {
                 name: format!("QD_{}", sub.database),
@@ -251,9 +340,7 @@ impl Executor {
                         message: error.unwrap_or_else(|| "subquery failed".into()),
                     })
                 }
-                other => {
-                    return Err(MdbsError::Wire(format!("unexpected reply: {other:?}")))
-                }
+                other => return Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
             };
             partials.push((sub.part_table.clone(), payload));
         }
@@ -262,7 +349,14 @@ impl Executor {
         let route = routes.get(&dec.coordinator).ok_or_else(|| {
             MdbsError::Catalog(format!("no route for coordinator `{}`", dec.coordinator))
         })?;
-        let coord = LamClient::connect(&self.net, &route.site, &dec.coordinator, self.timeout)?;
+        let coord = LamClient::connect_with(
+            &self.net,
+            &route.site,
+            &dec.coordinator,
+            self.timeout,
+            self.retry.clone(),
+            SharedExecStats::clone(&self.stats),
+        )?;
         for (table, payload) in &partials {
             coord.load_partial(table, payload)?;
         }
@@ -279,9 +373,7 @@ impl Executor {
             let _ = coord.drop_temp(table);
         }
         match resp? {
-            Response::TaskDone { status: 'C', payload: Some(p), .. } => {
-                wire::decode_result_set(&p)
-            }
+            Response::TaskDone { status: 'C', payload: Some(p), .. } => wire::decode_result_set(&p),
             Response::TaskDone { status: 'C', payload: None, .. } => Ok(ResultSet::default()),
             Response::TaskDone { error, .. } => Err(MdbsError::Local {
                 service: dec.coordinator.clone(),

@@ -3,19 +3,20 @@
 use crate::error::MdbsError;
 use crate::executor::{DbOutcome, Executor, MsqlOutcome, UpdateReport};
 use crate::gtxn::GlobalTransaction;
-use crate::lam::{spawn_lam, LamHandle};
-use crate::lamclient::LamClient;
+use crate::lam::{spawn_lam_with, LamConfig, LamHandle};
+use crate::lamclient::{LamClient, LamFactory};
+use crate::retry::{shared_stats, ExecStats, RetryPolicy, SharedExecStats};
 use crate::scope::SessionScope;
 use crate::translate::{
     self, multitransaction_plan, retrieval_plan, update_plan, DbRoute, MtxQueryPlan, Translated,
 };
-use catalog::{apply_import, AuxiliaryDirectory, GddColumn, GddTable, GlobalDataDictionary, ServiceEntry};
+use catalog::{
+    apply_import, AuxiliaryDirectory, GddColumn, GddTable, GlobalDataDictionary, ServiceEntry,
+};
 use ldbs::profile::StatementClass;
 use ldbs::Engine;
 use msql_lang::printer::print;
-use msql_lang::{
-    CreateTable, DropTable, Multitransaction, MsqlQuery, QueryBody, Statement,
-};
+use msql_lang::{CreateTable, DropTable, MsqlQuery, Multitransaction, QueryBody, Statement};
 use netsim::Network;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -55,6 +56,18 @@ pub struct Federation {
     pub parallel: bool,
     /// Per-request network timeout.
     pub timeout: Duration,
+    /// Transient-fault retry policy for every LAM request (default: a
+    /// single attempt, faults surface immediately).
+    pub retry: RetryPolicy,
+    /// Tunables for the LAM server threads this federation spawns
+    /// (control timeout, poll interval, dedup cache size).
+    pub lam_config: LamConfig,
+    /// Graceful degradation: tolerate services unreachable at OPEN time,
+    /// letting the §3.2 vital semantics decide the statement's fate
+    /// (default false: an unreachable service fails the plan at OPEN).
+    pub tolerate_unreachable: bool,
+    /// Session-level communication accounting.
+    stats: SharedExecStats,
 }
 
 impl Default for Federation {
@@ -84,7 +97,18 @@ impl Federation {
             trigger_depth: 0,
             parallel: true,
             timeout: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
+            lam_config: LamConfig::default(),
+            tolerate_unreachable: false,
+            stats: shared_stats(),
         }
+    }
+
+    /// A snapshot of the session's communication accounting (attempts,
+    /// retries, faults, degraded subqueries) across every statement
+    /// executed so far.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.stats.lock().clone()
     }
 
     /// The shared network (to install latency models or read traffic stats).
@@ -128,7 +152,7 @@ impl Federation {
             return Err(MdbsError::Catalog(format!("service `{service}` already added")));
         }
         let profile = engine.profile.clone();
-        let lam = spawn_lam(&self.net, &service, site, engine)?;
+        let lam = spawn_lam_with(&self.net, &service, site, engine, self.lam_config.clone())?;
         self.ad.insert(ServiceEntry {
             name: service.clone(),
             site: site.to_string(),
@@ -176,7 +200,27 @@ impl Federation {
     }
 
     fn executor(&self) -> Executor {
-        Executor { net: self.net.clone(), parallel: self.parallel, timeout: self.timeout }
+        Executor {
+            net: self.net.clone(),
+            parallel: self.parallel,
+            timeout: self.timeout,
+            retry: self.retry.clone(),
+            stats: SharedExecStats::clone(&self.stats),
+            tolerate_unreachable: self.tolerate_unreachable,
+        }
+    }
+
+    /// A LAM client for direct (non-DOL) traffic, wired to the
+    /// federation's retry policy and accounting.
+    fn connect(&self, site: &str, database: &str) -> Result<LamClient, MdbsError> {
+        LamClient::connect_with(
+            &self.net,
+            site,
+            database,
+            self.timeout,
+            self.retry.clone(),
+            SharedExecStats::clone(&self.stats),
+        )
     }
 
     /// Parses and executes a raw DOL program against the federation's
@@ -185,8 +229,13 @@ impl Federation {
     /// <site>` statements resolve against the live network.
     pub fn execute_dol(&mut self, program: &str) -> Result<dol::DolOutcome, MdbsError> {
         let parsed = dol::parse_program(program)?;
-        let factory =
-            crate::lamclient::LamFactory { net: self.net.clone(), timeout: self.timeout };
+        let factory = LamFactory {
+            net: self.net.clone(),
+            timeout: self.timeout,
+            retry: self.retry.clone(),
+            stats: SharedExecStats::clone(&self.stats),
+            tolerate_unreachable: self.tolerate_unreachable,
+        };
         let engine = if self.parallel {
             dol::DolEngine::new(&factory)
         } else {
@@ -272,8 +321,7 @@ impl Federation {
             }
             Statement::Import(imp) => {
                 let entry = self.ad.service(&imp.service)?.clone();
-                let client =
-                    LamClient::connect(&self.net, &entry.site, &imp.database, self.timeout)?;
+                let client = self.connect(&entry.site, &imp.database)?;
                 let schema = client.fetch_schema()?;
                 let imported = apply_import(&mut self.gdd, imp, &schema)?;
                 Ok(MsqlOutcome::Admin(format!(
@@ -296,10 +344,7 @@ impl Federation {
             }
             Statement::CreateTrigger(t) => {
                 if self.triggers.iter().any(|existing| existing.name == t.name) {
-                    return Err(MdbsError::Catalog(format!(
-                        "trigger `{}` already exists",
-                        t.name
-                    )));
+                    return Err(MdbsError::Catalog(format!("trigger `{}` already exists", t.name)));
                 }
                 self.triggers.push(TriggerDef {
                     name: t.name.clone(),
@@ -338,9 +383,7 @@ impl Federation {
                 if self.deferred && !self.gtxn.is_empty() {
                     return Ok(MsqlOutcome::Update(self.gtxn.resolve(true)));
                 }
-                Ok(MsqlOutcome::Admin(
-                    "synchronization point: nothing pending to roll back".into(),
-                ))
+                Ok(MsqlOutcome::Admin("synchronization point: nothing pending to roll back".into()))
             }
         }
     }
@@ -495,8 +538,7 @@ impl Federation {
             &self.gdd,
         )? {
             Translated::PerDb(locals) => {
-                let sources: Vec<&str> =
-                    locals.iter().map(|l| l.database.as_str()).collect();
+                let sources: Vec<&str> = locals.iter().map(|l| l.database.as_str()).collect();
                 if sources.len() != 1 {
                     return Err(MdbsError::Unsupported(format!(
                         "the transfer source must resolve to a single database; it is \
@@ -543,7 +585,7 @@ impl Federation {
         }
         let transferred = rows.rows.len() as u64;
         if !commands.is_empty() {
-            let client = LamClient::connect(&self.net, &route.site, target, self.timeout)?;
+            let client = self.connect(&route.site, target)?;
             let resp = client.call(crate::proto::Request::Task {
                 name: "TRANSFER".into(),
                 mode: crate::proto::TaskMode::Auto,
@@ -564,13 +606,14 @@ impl Federation {
         Ok(MsqlOutcome::Update(crate::executor::UpdateReport {
             success: true,
             return_code: 0,
-            outcomes: vec![crate::executor::DbOutcome {
-                database: target.to_string(),
-                key: target.to_string(),
-                status: dol::TaskStatus::Committed,
-                affected: transferred,
-                error: None,
-            }],
+            outcomes: vec![crate::executor::DbOutcome::new(
+                target.to_string(),
+                target.to_string(),
+                dol::TaskStatus::Committed,
+                transferred,
+                None,
+            )],
+            stats: Default::default(),
         }))
     }
 
@@ -594,8 +637,7 @@ impl Federation {
                 if !route.supports_2pc && compensation.is_empty() {
                     return Err(MdbsError::VitalWithoutCompensation { database: l.key.clone() });
                 }
-                let client =
-                    LamClient::connect(&self.net, &route.site, &l.database, self.timeout)?;
+                let client = self.connect(&route.site, &l.database)?;
                 let (status, affected) = self.gtxn.execute_held(
                     client,
                     &l.key,
@@ -604,16 +646,15 @@ impl Federation {
                     route.supports_2pc,
                     compensation,
                 )?;
-                outcomes.push(DbOutcome {
-                    database: l.database.clone(),
-                    key: l.key.clone(),
+                outcomes.push(DbOutcome::new(
+                    l.database.clone(),
+                    l.key.clone(),
                     status,
                     affected,
-                    error: None,
-                });
+                    None,
+                ));
             } else {
-                let client =
-                    LamClient::connect(&self.net, &route.site, &l.database, self.timeout)?;
+                let client = self.connect(&route.site, &l.database)?;
                 let resp = client.call(crate::proto::Request::Task {
                     name: format!("NV_{}", l.key),
                     mode: crate::proto::TaskMode::Auto,
@@ -627,17 +668,15 @@ impl Federation {
                     crate::proto::Response::TaskDone { error, .. } => {
                         (dol::TaskStatus::Aborted, 0, error)
                     }
-                    other => {
-                        return Err(MdbsError::Wire(format!("unexpected reply: {other:?}")))
-                    }
+                    other => return Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
                 };
-                outcomes.push(DbOutcome {
-                    database: l.database.clone(),
-                    key: l.key.clone(),
+                outcomes.push(DbOutcome::new(
+                    l.database.clone(),
+                    l.key.clone(),
                     status,
                     affected,
                     error,
-                });
+                ));
             }
         }
         // Interim report: success means the global transaction can still
@@ -647,6 +686,7 @@ impl Federation {
             success: committable,
             return_code: if committable { 0 } else { 1 },
             outcomes,
+            stats: Default::default(),
         }))
     }
 
@@ -665,10 +705,7 @@ impl Federation {
         let mut actions = Vec::new();
         for (db, table, event) in events {
             for t in &self.triggers {
-                if t.event == *event
-                    && t.database.matches(db)
-                    && t.table.matches(table.as_str())
-                {
+                if t.event == *event && t.database.matches(db) && t.table.matches(table.as_str()) {
                     actions.push(t.action.clone());
                 }
             }
@@ -741,7 +778,7 @@ impl Federation {
         // Ship the CREATE with the qualifier stripped.
         let mut local = ct.clone();
         local.table.database = None;
-        let client = LamClient::connect(&self.net, &route.site, &database, self.timeout)?;
+        let client = self.connect(&route.site, &database)?;
         let resp = client.call(crate::proto::Request::Task {
             name: "DDL".into(),
             mode: crate::proto::TaskMode::Auto,
@@ -778,7 +815,7 @@ impl Federation {
             .ok_or_else(|| MdbsError::Catalog(format!("no route for `{database}`")))?;
         let mut local = dt.clone();
         local.table.database = None;
-        let client = LamClient::connect(&self.net, &route.site, &database, self.timeout)?;
+        let client = self.connect(&route.site, &database)?;
         let resp = client.call(crate::proto::Request::Task {
             name: "DDL".into(),
             mode: crate::proto::TaskMode::Auto,

@@ -38,9 +38,7 @@ fn seed_airline(
     seats: &[(i64, &str, Option<&str>)],
 ) {
     engine.create_database(db).unwrap();
-    engine
-        .execute(db, &format!("CREATE TABLE {flight_table} ({flight_cols})"))
-        .unwrap();
+    engine.execute(db, &format!("CREATE TABLE {flight_table} ({flight_cols})")).unwrap();
     engine.execute(db, &format!("CREATE TABLE {seat_table} ({seat_cols})")).unwrap();
     for (n, src, dst, rate) in flights {
         engine
@@ -60,7 +58,9 @@ fn seed_airline(
         engine
             .execute(
                 db,
-                &format!("INSERT INTO {seat_table} VALUES ({n}, 'economy', '{status}', {client_sql})"),
+                &format!(
+                    "INSERT INTO {seat_table} VALUES ({n}, 'economy', '{status}', {client_sql})"
+                ),
             )
             .unwrap();
     }
@@ -101,13 +101,14 @@ pub fn delta_engine(profile: DbmsProfile) -> Engine {
         "CREATE TABLE f747 (snu INT, sty CHAR(10), sstat CHAR(8), passname CHAR(20))",
     )
     .unwrap();
-    for (n, src, dst, rate) in [
-        (10, "Houston", "San Antonio", 95.0),
-        (11, "Houston", "New Orleans", 120.0),
-    ] {
+    for (n, src, dst, rate) in
+        [(10, "Houston", "San Antonio", 95.0), (11, "Houston", "New Orleans", 120.0)]
+    {
         e.execute(
             "delta",
-            &format!("INSERT INTO flight VALUES ({n}, '{src}', '{dst}', 'am', 'pm', 'tue', {rate})"),
+            &format!(
+                "INSERT INTO flight VALUES ({n}, '{src}', '{dst}', 'am', 'pm', 'tue', {rate})"
+            ),
         )
         .unwrap();
     }
@@ -127,18 +128,16 @@ pub fn united_engine(profile: DbmsProfile) -> Engine {
         "CREATE TABLE flight (fn INT, sour CHAR(20), dest CHAR(20), depa CHAR(8), arri CHAR(8), day CHAR(8), rates FLOAT)",
     )
     .unwrap();
-    e.execute(
-        "united",
-        "CREATE TABLE fn727 (sn INT, st CHAR(10), sst CHAR(8), pasna CHAR(20))",
-    )
-    .unwrap();
-    for (n, src, dst, rate) in [
-        (20, "Houston", "San Antonio", 110.0),
-        (21, "El Paso", "San Antonio", 70.0),
-    ] {
+    e.execute("united", "CREATE TABLE fn727 (sn INT, st CHAR(10), sst CHAR(8), pasna CHAR(20))")
+        .unwrap();
+    for (n, src, dst, rate) in
+        [(20, "Houston", "San Antonio", 110.0), (21, "El Paso", "San Antonio", 70.0)]
+    {
         e.execute(
             "united",
-            &format!("INSERT INTO flight VALUES ({n}, '{src}', '{dst}', 'am', 'pm', 'wed', {rate})"),
+            &format!(
+                "INSERT INTO flight VALUES ({n}, '{src}', '{dst}', 'am', 'pm', 'wed', {rate})"
+            ),
         )
         .unwrap();
     }
@@ -182,11 +181,8 @@ pub fn national_engine(profile: DbmsProfile) -> Engine {
         "CREATE TABLE vehicle (vcode INT, vty CHAR(16), vstat CHAR(10), pickup DATE, dropoff DATE, client CHAR(20))",
     )
     .unwrap();
-    for (code, ty, st) in [
-        (7, "sedan", "available"),
-        (8, "van", "available"),
-        (9, "suv", "rented"),
-    ] {
+    for (code, ty, st) in [(7, "sedan", "available"), (8, "van", "available"), (9, "suv", "rented")]
+    {
         e.execute(
             "national",
             &format!("INSERT INTO vehicle VALUES ({code}, '{ty}', '{st}', NULL, NULL, NULL)"),
@@ -232,8 +228,7 @@ pub fn paper_federation() -> Federation {
 /// Builds the paper federation on `net` with explicit per-service profiles.
 pub fn paper_federation_with(net: Network, profiles: FederationProfiles) -> Federation {
     let mut fed = Federation::with_network(net);
-    fed.add_service("svc_continental", "site1", continental_engine(profiles.continental))
-        .unwrap();
+    fed.add_service("svc_continental", "site1", continental_engine(profiles.continental)).unwrap();
     fed.add_service("svc_delta", "site2", delta_engine(profiles.delta)).unwrap();
     fed.add_service("svc_united", "site3", united_engine(profiles.united)).unwrap();
     fed.add_service("svc_avis", "site4", avis_engine(profiles.avis)).unwrap();

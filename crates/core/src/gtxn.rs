@@ -223,15 +223,20 @@ impl GlobalTransaction {
                     }
                 }
             };
-            outcomes.push(DbOutcome {
-                database: m.database,
-                key: m.key,
+            outcomes.push(DbOutcome::new(
+                m.database,
+                m.key,
                 status,
-                affected: if status == TaskStatus::Committed { m.affected } else { 0 },
-                error: None,
-            });
+                if status == TaskStatus::Committed { m.affected } else { 0 },
+                None,
+            ));
         }
-        UpdateReport { success: commit, return_code: if commit { 0 } else { 1 }, outcomes }
+        UpdateReport {
+            success: commit,
+            return_code: if commit { 0 } else { 1 },
+            outcomes,
+            stats: Default::default(),
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! servicing a [`netsim`] mailbox with the [`crate::proto`] protocol.
 
 use crate::error::MdbsError;
-use crate::proto::{Request, Response, TaskMode};
+use crate::proto::{self, Request, Response, TaskMode};
 use crate::wire;
 use catalog::{GddColumn, GddTable};
 use ldbs::engine::{Engine, ExecOutcome};
@@ -18,10 +18,36 @@ use ldbs::value::DataType;
 use msql_lang::TypeName;
 use netsim::{NetError, Network};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Tunables for a LAM server thread. Threaded down from
+/// [`crate::federation::Federation`] so a deployment is configured in one
+/// place instead of through magic constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LamConfig {
+    /// How long shutdown waits for the server thread to acknowledge the
+    /// control message before joining anyway.
+    pub control_timeout: Duration,
+    /// Mailbox poll granularity of the server loop.
+    pub poll_interval: Duration,
+    /// How many correlated responses the server remembers for retry
+    /// deduplication (FIFO eviction).
+    pub response_cache_capacity: usize,
+}
+
+impl Default for LamConfig {
+    fn default() -> Self {
+        LamConfig {
+            control_timeout: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(200),
+            response_cache_capacity: 256,
+        }
+    }
+}
 
 /// Converts an engine data type to the GDD's type representation.
 fn to_type_name(t: DataType) -> TypeName {
@@ -35,10 +61,14 @@ fn to_type_name(t: DataType) -> TypeName {
 }
 
 /// The public Local Conceptual Schema of a database, as GDD entries.
-pub fn local_conceptual_schema(engine: &Engine, database: &str) -> Result<Vec<GddTable>, MdbsError> {
-    let db = engine
-        .database(database)
-        .map_err(|e| MdbsError::Local { service: engine.service_name.clone(), message: e.to_string() })?;
+pub fn local_conceptual_schema(
+    engine: &Engine,
+    database: &str,
+) -> Result<Vec<GddTable>, MdbsError> {
+    let db = engine.database(database).map_err(|e| MdbsError::Local {
+        service: engine.service_name.clone(),
+        message: e.to_string(),
+    })?;
     let mut out = Vec::new();
     for name in db.table_names() {
         let table = db.table(&name).expect("listed table exists");
@@ -67,9 +97,20 @@ pub struct LamHandle {
     pub engine: Arc<Mutex<Engine>>,
     net: Network,
     thread: Option<JoinHandle<()>>,
+    config: LamConfig,
+    /// Cleared by the server thread when it dies (shutdown or terminal
+    /// network fault). A dead LAM has deregistered its site, so clients get
+    /// an immediate `UnknownSite` instead of hanging until timeout.
+    alive: Arc<AtomicBool>,
 }
 
 impl LamHandle {
+    /// True while the server thread is processing requests. A LAM that hit
+    /// a terminal network fault turns this off and deregisters its site.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
     /// Stops the server thread and deregisters the site.
     pub fn shutdown(mut self) {
         self.do_shutdown();
@@ -77,11 +118,16 @@ impl LamHandle {
 
     fn do_shutdown(&mut self) {
         if let Some(thread) = self.thread.take() {
-            let ctl_name = format!("__ctl_{}", self.site);
-            if let Ok(ctl) = self.net.register(&ctl_name) {
-                let _ = ctl.send(&self.site, Request::Shutdown.encode());
-                let _ = ctl.recv_timeout(Duration::from_secs(2));
-                self.net.deregister(&ctl_name);
+            // Only go through the control round while the server is alive;
+            // a dead thread would never acknowledge and we would block for
+            // the full control timeout.
+            if self.is_alive() {
+                let ctl_name = format!("__ctl_{}", self.site);
+                if let Ok(ctl) = self.net.register(&ctl_name) {
+                    let _ = ctl.send(&self.site, Request::Shutdown.encode());
+                    let _ = ctl.recv_timeout(self.config.control_timeout);
+                    self.net.deregister(&ctl_name);
+                }
             }
             let _ = thread.join();
             self.net.deregister(&self.site);
@@ -95,16 +141,41 @@ impl Drop for LamHandle {
     }
 }
 
-/// Spawns a LAM serving `engine` at `site`.
+/// Spawns a LAM serving `engine` at `site` with default tunables.
 pub fn spawn_lam(
     net: &Network,
     service: &str,
     site: &str,
     engine: Engine,
 ) -> Result<LamHandle, MdbsError> {
+    spawn_lam_with(net, service, site, engine, LamConfig::default())
+}
+
+/// Spawns a LAM serving `engine` at `site`.
+///
+/// The server loop understands the optional correlation framing of
+/// [`proto::split_correlation`]: a correlated request that was already
+/// answered is replayed from a bounded response cache instead of being
+/// re-executed, which makes client retries at-most-once even for
+/// state-changing requests (a lost *reply* does not re-run the commands).
+/// On a terminal network fault the loop marks the handle dead and
+/// deregisters its own site, so clients fail fast instead of timing out.
+pub fn spawn_lam_with(
+    net: &Network,
+    service: &str,
+    site: &str,
+    engine: Engine,
+    config: LamConfig,
+) -> Result<LamHandle, MdbsError> {
     let endpoint = net.register(site)?;
     let engine = Arc::new(Mutex::new(engine));
     let server_engine = Arc::clone(&engine);
+    let alive = Arc::new(AtomicBool::new(true));
+    let thread_alive = Arc::clone(&alive);
+    let thread_net = net.clone();
+    let thread_site = site.to_string();
+    let poll = config.poll_interval;
+    let cache_capacity = config.response_cache_capacity;
     let thread = std::thread::Builder::new()
         .name(format!("lam-{site}"))
         .spawn(move || {
@@ -112,21 +183,45 @@ pub fn spawn_lam(
                 engine: server_engine,
                 tasks: HashMap::new(),
                 task_dbs: HashMap::new(),
+                replies: ReplyCache::new(cache_capacity),
             };
             loop {
-                let msg = match endpoint.recv_timeout(Duration::from_millis(200)) {
+                let msg = match endpoint.recv_timeout(poll) {
                     Ok(m) => m,
                     Err(NetError::Timeout) => continue,
-                    Err(_) => break,
+                    Err(_) => {
+                        // Terminal fault: the network is gone. Mark the
+                        // handle dead and take the site down so clients get
+                        // UnknownSite immediately instead of timing out.
+                        thread_alive.store(false, Ordering::SeqCst);
+                        thread_net.deregister(&thread_site);
+                        break;
+                    }
                 };
-                let request = Request::decode(&msg.body);
+                let (corr, body) = proto::split_correlation(&msg.body);
+                if let Some(id) = corr {
+                    if let Some(cached) = server.replies.get(id) {
+                        let _ = endpoint.send(&msg.from, cached);
+                        continue;
+                    }
+                }
+                let request = Request::decode(body);
                 let (response, stop) = match request {
                     Ok(Request::Shutdown) => (Response::Ok, true),
                     Ok(req) => (server.handle(req), false),
                     Err(e) => (Response::Err { message: e.to_string() }, false),
                 };
-                let _ = endpoint.send(&msg.from, response.encode());
+                let out = match corr {
+                    Some(id) => {
+                        let framed = proto::encode_with_correlation(id, &response.encode());
+                        server.replies.put(id, framed.clone());
+                        framed
+                    }
+                    None => response.encode(),
+                };
+                let _ = endpoint.send(&msg.from, out);
                 if stop {
+                    thread_alive.store(false, Ordering::SeqCst);
                     break;
                 }
             }
@@ -138,7 +233,37 @@ pub fn spawn_lam(
         engine,
         net: net.clone(),
         thread: Some(thread),
+        config,
+        alive,
     })
+}
+
+/// Bounded FIFO cache of already-sent correlated responses.
+struct ReplyCache {
+    capacity: usize,
+    entries: HashMap<u64, String>,
+    order: VecDeque<u64>,
+}
+
+impl ReplyCache {
+    fn new(capacity: usize) -> Self {
+        ReplyCache { capacity: capacity.max(1), entries: HashMap::new(), order: VecDeque::new() }
+    }
+
+    fn get(&self, id: u64) -> Option<String> {
+        self.entries.get(&id).cloned()
+    }
+
+    fn put(&mut self, id: u64, framed: String) {
+        if self.entries.insert(id, framed).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.entries.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 struct LamServer {
@@ -147,6 +272,8 @@ struct LamServer {
     tasks: HashMap<String, TxnId>,
     /// Database each open transaction was begun on.
     task_dbs: HashMap<TxnId, String>,
+    /// Correlated responses already sent (retry deduplication).
+    replies: ReplyCache,
 }
 
 impl LamServer {
@@ -201,12 +328,9 @@ impl LamServer {
                 };
                 let mut engine = self.engine.lock();
                 match engine.prepare(txn) {
-                    Ok(()) => Response::TaskDone {
-                        status: 'P',
-                        affected: 0,
-                        payload: None,
-                        error: None,
-                    },
+                    Ok(()) => {
+                        Response::TaskDone { status: 'P', affected: 0, payload: None, error: None }
+                    }
                     Err(e) => {
                         // prepare() rolled the transaction back on failure.
                         self.tasks.remove(&task);
@@ -236,9 +360,7 @@ impl LamServer {
             Request::Schema { database } => {
                 let engine = self.engine.lock();
                 match local_conceptual_schema(&engine, &database) {
-                    Ok(tables) => {
-                        Response::OkPayload { payload: wire::encode_schema(&tables) }
-                    }
+                    Ok(tables) => Response::OkPayload { payload: wire::encode_schema(&tables) },
                     Err(e) => Response::Err { message: e.to_string() },
                 }
             }
@@ -360,11 +482,8 @@ impl LamServer {
             Ok(db) => db,
             Err(e) => return Response::Err { message: e.to_string() },
         };
-        let columns = rs
-            .columns
-            .iter()
-            .map(|c| ColumnSchema::new(c.name.clone(), c.data_type))
-            .collect();
+        let columns =
+            rs.columns.iter().map(|c| ColumnSchema::new(c.name.clone(), c.data_type)).collect();
         let mut schema = TableSchema::new(table, columns);
         schema.public = false; // temp tables are not exported
         let mut t = Table::new(schema);
@@ -388,9 +507,7 @@ mod tests {
         let net = Network::new();
         let mut engine = Engine::new("svc", DbmsProfile::oracle_like());
         engine.create_database("avis").unwrap();
-        engine
-            .execute("avis", "CREATE TABLE cars (code INT, rate FLOAT, carst CHAR(10))")
-            .unwrap();
+        engine.execute("avis", "CREATE TABLE cars (code INT, rate FLOAT, carst CHAR(10))").unwrap();
         engine.execute("avis", "INSERT INTO cars VALUES (1, 40.0, 'available')").unwrap();
         engine.execute("avis", "INSERT INTO cars VALUES (2, 60.0, 'rented')").unwrap();
         let lam = spawn_lam(&net, "svc", "site1", engine).unwrap();
@@ -587,5 +704,84 @@ mod tests {
         client.send("site1", "GARBAGE").unwrap();
         let msg = client.recv().unwrap();
         assert!(matches!(Response::decode(&msg.body).unwrap(), Response::Err { .. }));
+    }
+
+    #[test]
+    fn correlated_resend_is_answered_from_cache_not_re_executed() {
+        let (_net, lam, client) = setup();
+        let req = Request::Task {
+            name: "T1".into(),
+            mode: TaskMode::Auto,
+            database: "avis".into(),
+            commands: vec!["UPDATE cars SET rate = rate + 1 WHERE code = 1".into()],
+        };
+        let framed = proto::encode_with_correlation(99, &req.encode());
+        client.send("site1", framed.clone()).unwrap();
+        let first = client.recv().unwrap();
+        // A client that lost the reply re-sends the same correlated request.
+        client.send("site1", framed).unwrap();
+        let second = client.recv().unwrap();
+        assert_eq!(first.body, second.body, "replayed verbatim");
+        let (corr, body) = proto::split_correlation(&second.body);
+        assert_eq!(corr, Some(99));
+        assert!(matches!(
+            Response::decode(body).unwrap(),
+            Response::TaskDone { status: 'C', affected: 1, .. }
+        ));
+        // The update ran exactly once: 40.0 + 1, not + 2.
+        let rate = {
+            let mut e = lam.engine.lock();
+            e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+                .unwrap()
+                .into_result_set()
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(rate, ldbs::value::Value::Float(41.0));
+    }
+
+    #[test]
+    fn distinct_correlation_ids_execute_independently() {
+        let (_net, lam, client) = setup();
+        let req = Request::Task {
+            name: "T1".into(),
+            mode: TaskMode::Auto,
+            database: "avis".into(),
+            commands: vec!["UPDATE cars SET rate = rate + 1 WHERE code = 1".into()],
+        };
+        for id in [1u64, 2] {
+            client.send("site1", proto::encode_with_correlation(id, &req.encode())).unwrap();
+            let _ = client.recv().unwrap();
+        }
+        let rate = {
+            let mut e = lam.engine.lock();
+            e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+                .unwrap()
+                .into_result_set()
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(rate, ldbs::value::Value::Float(42.0));
+    }
+
+    #[test]
+    fn handle_is_alive_until_shutdown() {
+        let (_net, lam, client) = setup();
+        assert!(lam.is_alive());
+        assert_eq!(call(&client, Request::Ping), Response::Ok);
+        lam.shutdown();
+    }
+
+    #[test]
+    fn reply_cache_evicts_fifo() {
+        let mut c = ReplyCache::new(2);
+        c.put(1, "a".into());
+        c.put(2, "b".into());
+        c.put(3, "c".into());
+        assert_eq!(c.get(1), None, "oldest evicted");
+        assert_eq!(c.get(2), Some("b".into()));
+        assert_eq!(c.get(3), Some("c".into()));
     }
 }

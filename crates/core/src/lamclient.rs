@@ -7,15 +7,21 @@
 //! coordinator).
 
 use crate::error::MdbsError;
-use crate::proto::{Request, Response, TaskMode};
-use dol::{DolError, DolService, ServiceFactory};
+use crate::proto::{self, Request, Response, TaskMode};
+use crate::retry::{shared_stats, RetryPolicy, SharedExecStats};
 use dol::engine::TaskExecution;
 use dol::TaskStatus;
-use netsim::{Endpoint, Network};
+use dol::{DolError, DolService, ServiceFactory};
+use netsim::{Endpoint, FaultKind, NetError, Network};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Correlation ids for logical requests. Each logical call gets one id; all
+/// of its retry attempts share it, so the LAM can deduplicate resends and
+/// the client can discard stale responses from abandoned attempts.
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// Packs a task's affected-row count and optional result payload into the
 /// single result string [`dol::engine::TaskExecution`] carries.
@@ -47,16 +53,47 @@ pub struct LamClient {
     /// The database this connection is opened on.
     pub database: String,
     timeout: Duration,
+    /// Transient-fault retry policy (default: a single attempt).
+    retry: RetryPolicy,
+    /// Shared fault/retry accounting.
+    stats: SharedExecStats,
+}
+
+/// One attempt's failure: a classified network fault, or a protocol error
+/// that no resend can fix.
+enum AttemptError {
+    Net(NetError),
+    Fatal(MdbsError),
 }
 
 impl LamClient {
     /// Opens a connection: registers a unique client endpoint and pings the
-    /// LAM to verify it is reachable.
+    /// LAM to verify it is reachable. No retries; see [`Self::connect_with`].
     pub fn connect(
         net: &Network,
         site: &str,
         database: &str,
         timeout: Duration,
+    ) -> Result<Self, MdbsError> {
+        LamClient::connect_with(
+            net,
+            site,
+            database,
+            timeout,
+            RetryPolicy::default(),
+            shared_stats(),
+        )
+    }
+
+    /// Opens a connection with an explicit retry policy and a shared stats
+    /// cell (so the executor can aggregate accounting across clients).
+    pub fn connect_with(
+        net: &Network,
+        site: &str,
+        database: &str,
+        timeout: Duration,
+        retry: RetryPolicy,
+        stats: SharedExecStats,
     ) -> Result<Self, MdbsError> {
         let name = format!("__cli_{}_{}", site, CLIENT_SEQ.fetch_add(1, Ordering::Relaxed));
         let endpoint = net.register(&name)?;
@@ -66,6 +103,8 @@ impl LamClient {
             site: site.to_string(),
             database: database.to_string(),
             timeout,
+            retry,
+            stats,
         };
         match client.call(Request::Ping)? {
             Response::Ok => Ok(client),
@@ -73,18 +112,110 @@ impl LamClient {
         }
     }
 
-    /// Sends one request and waits for its response.
-    pub fn call(&self, req: Request) -> Result<Response, MdbsError> {
-        self.endpoint.send(&self.site, req.encode())?;
-        let msg = self.endpoint.recv_timeout(self.timeout)?;
-        Response::decode(&msg.body)
+    /// The shared stats cell this client records into.
+    pub fn stats(&self) -> SharedExecStats {
+        SharedExecStats::clone(&self.stats)
     }
 
+    /// Sends one logical request and waits for its response, retrying
+    /// transient faults per the client's [`RetryPolicy`].
+    pub fn call(&self, req: Request) -> Result<Response, MdbsError> {
+        self.call_full(&req).0
+    }
+
+    /// Like [`Self::call`], also reporting how many attempts were spent and
+    /// the last fault observed (telemetry for per-task reporting).
+    ///
+    /// Every attempt of one logical call shares a correlation id, so the
+    /// LAM server executes the request at most once no matter how often it
+    /// is resent — state-changing requests (`Task`, `Commit`, `Abort`,
+    /// `Exec`, `Compensate`) are as safe to retry as reads. A lost
+    /// `Commit` acknowledgement in particular is re-asked here rather than
+    /// misreported as an abort. Only `Shutdown` is never retried.
+    pub fn call_full(
+        &self,
+        req: &Request,
+    ) -> (Result<Response, MdbsError>, u32, Option<FaultKind>) {
+        let id = REQUEST_SEQ.fetch_add(1, Ordering::Relaxed);
+        let framed = proto::encode_with_correlation(id, &req.encode());
+        let max_attempts =
+            if matches!(req, Request::Shutdown) { 1 } else { self.retry.max_attempts.max(1) };
+        let overall_deadline = Instant::now() + self.retry.deadline;
+        let mut faults: Vec<FaultKind> = Vec::new();
+        let mut last_net: Option<NetError> = None;
+        let mut attempts = 0u32;
+        while attempts < max_attempts {
+            if attempts > 0 {
+                let pause = self.retry.backoff(attempts + 1);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                if Instant::now() >= overall_deadline {
+                    break;
+                }
+            }
+            attempts += 1;
+            match self.attempt(id, &framed) {
+                Ok(resp) => {
+                    self.stats.lock().record_call(attempts, &faults, true);
+                    return (Ok(resp), attempts, faults.last().copied());
+                }
+                Err(AttemptError::Net(e)) => {
+                    let kind = e.fault_kind();
+                    faults.push(kind);
+                    last_net = Some(e);
+                    if kind == FaultKind::Terminal {
+                        break;
+                    }
+                }
+                Err(AttemptError::Fatal(e)) => {
+                    self.stats.lock().record_call(attempts, &faults, false);
+                    return (Err(e), attempts, faults.last().copied());
+                }
+            }
+        }
+        self.stats.lock().record_call(attempts, &faults, false);
+        let fault = faults.last().copied();
+        let err = match fault {
+            Some(FaultKind::Terminal) => MdbsError::LamUnavailable { site: self.site.clone() },
+            _ => {
+                let detail = last_net
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "retry deadline exceeded".to_string());
+                MdbsError::Net(format!("{detail} (site `{}`, {attempts} attempt(s))", self.site))
+            }
+        };
+        (Err(err), attempts, fault)
+    }
+
+    /// One send/receive round. Responses whose correlation id does not match
+    /// are stale replies to abandoned attempts and are discarded.
+    fn attempt(&self, id: u64, framed: &str) -> Result<Response, AttemptError> {
+        self.endpoint.send(&self.site, framed).map_err(AttemptError::Net)?;
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(AttemptError::Net(NetError::Timeout));
+            }
+            let msg = self.endpoint.recv_timeout(deadline - now).map_err(AttemptError::Net)?;
+            let (corr, body) = proto::split_correlation(&msg.body);
+            match corr {
+                Some(i) if i == id => return Response::decode(body).map_err(AttemptError::Fatal),
+                // A reply to an earlier attempt or an earlier logical call;
+                // the server's dedup cache already answered (or will
+                // answer) the live id.
+                _ => continue,
+            }
+        }
+    }
 
     /// Opens a persistent local transaction under `name` (deferred global
     /// transactions).
     pub fn begin_task(&self, name: &str) -> Result<(), MdbsError> {
-        match self.call(Request::Begin { name: name.to_string(), database: self.database.clone() })? {
+        match self
+            .call(Request::Begin { name: name.to_string(), database: self.database.clone() })?
+        {
             Response::Ok => Ok(()),
             Response::Err { message } => {
                 Err(MdbsError::Local { service: self.site.clone(), message })
@@ -153,10 +284,9 @@ impl LamClient {
 
     /// Drops a temporary table.
     pub fn drop_temp(&self, table: &str) -> Result<(), MdbsError> {
-        match self.call(Request::DropTemp {
-            database: self.database.clone(),
-            table: table.to_string(),
-        })? {
+        match self
+            .call(Request::DropTemp { database: self.database.clone(), table: table.to_string() })?
+        {
             Response::Ok => Ok(()),
             Response::Err { message } => {
                 Err(MdbsError::Local { service: self.site.clone(), message })
@@ -181,7 +311,9 @@ impl DolService for LamClient {
             database: self.database.clone(),
             commands: task.commands.clone(),
         };
-        match self.call(req) {
+        let (result, attempts, fault) = self.call_full(&req);
+        self.stats.lock().record_task(&task.name, attempts, fault);
+        match result {
             Ok(Response::TaskDone { status, affected, payload, error }) => {
                 let status = match status {
                     'P' => TaskStatus::Prepared,
@@ -200,9 +332,9 @@ impl DolService for LamClient {
                 result: None,
                 error: Some(format!("unexpected reply: {other:?}")),
             },
-            // Timeouts and partitions surface as errors — the global plan
-            // treats them like local aborts (paper §3.2: "one or more LDBMSs
-            // may be forced to abort").
+            // Exhausted retries (or a terminal fault) surface as errors —
+            // the global plan treats them like local aborts (paper §3.2:
+            // "one or more LDBMSs may be forced to abort").
             Err(e) => TaskExecution {
                 status: TaskStatus::Error,
                 result: None,
@@ -254,15 +386,88 @@ pub struct LamFactory {
     pub net: Network,
     /// Per-request timeout.
     pub timeout: Duration,
+    /// Retry policy handed to every client this factory opens.
+    pub retry: RetryPolicy,
+    /// Stats cell shared by every client this factory opens.
+    pub stats: SharedExecStats,
+    /// Graceful degradation: when set, a service whose LAM cannot be
+    /// reached at OPEN time yields a stub that reports every task as failed
+    /// instead of failing the whole plan — the §3.2 vital semantics then
+    /// decide whether the statement survives the loss.
+    pub tolerate_unreachable: bool,
+}
+
+impl LamFactory {
+    /// A factory with the default (no-retry, fail-fast) behaviour.
+    pub fn new(net: Network, timeout: Duration) -> Self {
+        LamFactory {
+            net,
+            timeout,
+            retry: RetryPolicy::default(),
+            stats: shared_stats(),
+            tolerate_unreachable: false,
+        }
+    }
 }
 
 impl ServiceFactory for LamFactory {
     fn connect(&self, service: &str, site: &str) -> Result<Box<dyn DolService>, DolError> {
-        let client = LamClient::connect(&self.net, site, service, self.timeout).map_err(|e| {
-            DolError::OpenFailed { service: service.to_string(), reason: e.to_string() }
-        })?;
-        Ok(Box::new(client))
+        match LamClient::connect_with(
+            &self.net,
+            site,
+            service,
+            self.timeout,
+            self.retry.clone(),
+            SharedExecStats::clone(&self.stats),
+        ) {
+            Ok(client) => Ok(Box::new(client)),
+            Err(e) if self.tolerate_unreachable => Ok(Box::new(UnreachableService {
+                site: site.to_string(),
+                reason: e.to_string(),
+                stats: SharedExecStats::clone(&self.stats),
+            })),
+            Err(e) => {
+                Err(DolError::OpenFailed { service: service.to_string(), reason: e.to_string() })
+            }
+        }
     }
+}
+
+/// Stand-in service for a LAM that could not be reached at OPEN time. Every
+/// task fails with an error status (never panics or hangs), so the DOL
+/// program's vital semantics decide the statement's fate; commit/abort of
+/// tasks that never ran are no-ops.
+struct UnreachableService {
+    site: String,
+    reason: String,
+    stats: SharedExecStats,
+}
+
+impl DolService for UnreachableService {
+    fn execute_task(&mut self, task: &dol::TaskDef) -> TaskExecution {
+        // The terminal fault itself was counted by the failed connect; here
+        // we only pin the task-level telemetry.
+        self.stats.lock().record_task(&task.name, 0, Some(FaultKind::Terminal));
+        TaskExecution {
+            status: TaskStatus::Error,
+            result: None,
+            error: Some(format!("site `{}` unreachable: {}", self.site, self.reason)),
+        }
+    }
+
+    fn commit_task(&mut self, _task_name: &str) -> Result<(), DolError> {
+        Ok(())
+    }
+
+    fn abort_task(&mut self, _task_name: &str) -> Result<(), DolError> {
+        Ok(())
+    }
+
+    fn compensate_task(&mut self, _task: &dol::TaskDef) -> Result<(), DolError> {
+        Ok(())
+    }
+
+    fn close(&mut self) {}
 }
 
 #[cfg(test)]
@@ -272,8 +477,15 @@ mod tests {
     use ldbs::profile::DbmsProfile;
     use ldbs::Engine;
 
+    /// Generous per-request timeout for tests (nothing should ever wait
+    /// this long on the zero-latency test network).
+    const TEST_TIMEOUT: Duration = Duration::from_secs(5);
+
     fn setup() -> (Network, crate::lam::LamHandle) {
-        let net = Network::new();
+        setup_on(Network::new())
+    }
+
+    fn setup_on(net: Network) -> (Network, crate::lam::LamHandle) {
         let mut engine = Engine::new("svc", DbmsProfile::oracle_like());
         engine.create_database("avis").unwrap();
         engine.execute("avis", "CREATE TABLE cars (code INT, rate FLOAT)").unwrap();
@@ -296,8 +508,7 @@ mod tests {
     #[test]
     fn client_executes_select_task() {
         let (net, _lam) = setup();
-        let mut client =
-            LamClient::connect(&net, "site1", "avis", Duration::from_secs(5)).unwrap();
+        let mut client = LamClient::connect(&net, "site1", "avis", TEST_TIMEOUT).unwrap();
         let task = dol::TaskDef {
             name: "Q1".into(),
             service: "a".into(),
@@ -315,8 +526,7 @@ mod tests {
     #[test]
     fn client_prepare_commit_cycle() {
         let (net, lam) = setup();
-        let mut client =
-            LamClient::connect(&net, "site1", "avis", Duration::from_secs(5)).unwrap();
+        let mut client = LamClient::connect(&net, "site1", "avis", TEST_TIMEOUT).unwrap();
         let task = dol::TaskDef {
             name: "T1".into(),
             service: "a".into(),
@@ -366,7 +576,7 @@ mod tests {
     #[test]
     fn schema_fetch_via_client() {
         let (net, _lam) = setup();
-        let client = LamClient::connect(&net, "site1", "avis", Duration::from_secs(5)).unwrap();
+        let client = LamClient::connect(&net, "site1", "avis", TEST_TIMEOUT).unwrap();
         let tables = client.fetch_schema().unwrap();
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].name, "cars");
@@ -375,7 +585,7 @@ mod tests {
     #[test]
     fn factory_builds_working_service() {
         let (net, _lam) = setup();
-        let factory = LamFactory { net: net.clone(), timeout: Duration::from_secs(5) };
+        let factory = LamFactory::new(net.clone(), TEST_TIMEOUT);
         let mut svc = factory.connect("avis", "site1").unwrap();
         let task = dol::TaskDef {
             name: "Q".into(),
@@ -386,5 +596,119 @@ mod tests {
         };
         assert_eq!(svc.execute_task(&task).status, TaskStatus::Committed);
         assert!(factory.connect("avis", "ghost_site").is_err());
+    }
+
+    #[test]
+    fn lenient_factory_degrades_unreachable_service_to_error_tasks() {
+        let (net, _lam) = setup();
+        let mut factory = LamFactory::new(net.clone(), TEST_TIMEOUT);
+        factory.tolerate_unreachable = true;
+        let mut svc = factory.connect("void", "ghost_site").unwrap();
+        let task = dol::TaskDef {
+            name: "NV".into(),
+            service: "v".into(),
+            nocommit: false,
+            commands: vec!["SELECT 1".into()],
+            compensation: vec![],
+        };
+        let exec = svc.execute_task(&task);
+        assert_eq!(exec.status, TaskStatus::Error);
+        assert!(exec.error.unwrap().contains("unreachable"));
+        assert!(svc.commit_task("NV").is_ok(), "no-op on a task that never ran");
+        let stats = factory.stats.lock();
+        assert_eq!(stats.terminal_faults, 1);
+        assert_eq!(stats.task("NV").unwrap().fault, Some(netsim::FaultKind::Terminal));
+    }
+
+    #[test]
+    fn retry_recovers_from_forced_request_drop() {
+        let net = Network::with_seed(11);
+        let (net, _lam) = setup_on(net);
+        let stats = shared_stats();
+        let client = LamClient::connect_with(
+            &net,
+            "site1",
+            "avis",
+            Duration::from_millis(100),
+            RetryPolicy::retries(4),
+            SharedExecStats::clone(&stats),
+        )
+        .unwrap();
+        // The next client→LAM message is lost; the retry must succeed.
+        net.drop_next(client.endpoint.name(), "site1", 1);
+        let resp = client.call(Request::Ping).unwrap();
+        assert_eq!(resp, Response::Ok);
+        let s = stats.lock();
+        assert_eq!(s.retries, 1, "exactly one resend");
+        assert_eq!(s.transient_faults, 1);
+        assert_eq!(s.recovered, 1);
+    }
+
+    #[test]
+    fn retry_recovers_from_lost_reply_without_reexecuting() {
+        let net = Network::with_seed(12);
+        let (net, lam) = setup_on(net);
+        let client = LamClient::connect_with(
+            &net,
+            "site1",
+            "avis",
+            Duration::from_millis(100),
+            RetryPolicy::retries(4),
+            shared_stats(),
+        )
+        .unwrap();
+        // The LAM's *reply* is lost: the update commits locally, the ack
+        // does not arrive. Without a re-ask this misreports an abort.
+        net.drop_next("site1", client.endpoint.name(), 1);
+        let resp = client
+            .call(Request::Task {
+                name: "T1".into(),
+                mode: TaskMode::Auto,
+                database: "avis".into(),
+                commands: vec!["UPDATE cars SET rate = rate + 1 WHERE code = 1".into()],
+            })
+            .unwrap();
+        assert!(
+            matches!(resp, Response::TaskDone { status: 'C', affected: 1, .. }),
+            "re-ask reports the commit: {resp:?}"
+        );
+        // Dedup at the server: the update ran once, not twice.
+        let rate = {
+            let mut e = lam.engine.lock();
+            e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+                .unwrap()
+                .into_result_set()
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(rate, ldbs::value::Value::Float(41.0));
+    }
+
+    #[test]
+    fn no_retry_policy_fails_on_drop() {
+        let net = Network::with_seed(13);
+        let (net, _lam) = setup_on(net);
+        let client = LamClient::connect(&net, "site1", "avis", Duration::from_millis(50)).unwrap();
+        net.drop_next(client.endpoint.name(), "site1", 1);
+        let err = client.call(Request::Ping).unwrap_err();
+        assert!(matches!(err, MdbsError::Net(_)), "single attempt times out: {err:?}");
+    }
+
+    #[test]
+    fn dead_lam_yields_lam_unavailable_not_timeout() {
+        let (net, lam) = setup();
+        let client = LamClient::connect(&net, "site1", "avis", TEST_TIMEOUT).unwrap();
+        lam.shutdown(); // deregisters the site
+        let start = Instant::now();
+        let err = client.call(Request::Ping).unwrap_err();
+        assert!(
+            matches!(err, MdbsError::LamUnavailable { ref site } if site == "site1"),
+            "expected LamUnavailable, got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "terminal faults fail fast, no timeout wait"
+        );
     }
 }

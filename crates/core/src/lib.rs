@@ -78,6 +78,7 @@ pub mod mtx;
 pub mod multitable;
 pub mod proto;
 pub mod retcode;
+pub mod retry;
 pub mod scope;
 pub mod translate;
 pub mod wire;
@@ -86,4 +87,5 @@ pub use error::MdbsError;
 pub use executor::{DbOutcome, MsqlOutcome, MtxReport, UpdateReport};
 pub use federation::Federation;
 pub use multitable::Multitable;
+pub use retry::{ExecStats, RetryPolicy, TaskTelemetry};
 pub use scope::SessionScope;

@@ -26,9 +26,7 @@ pub fn reachable_state(
     statuses: &HashMap<String, TaskStatus>,
 ) -> Option<usize> {
     states.iter().position(|state| {
-        state
-            .iter()
-            .all(|member| statuses.get(member).copied().map(can_commit).unwrap_or(false))
+        state.iter().all(|member| statuses.get(member).copied().map(can_commit).unwrap_or(false))
     })
 }
 
@@ -41,9 +39,8 @@ pub fn realised_state(
     statuses: &HashMap<String, TaskStatus>,
 ) -> Option<usize> {
     states.iter().position(|state| {
-        let members_committed = state
-            .iter()
-            .all(|m| statuses.get(m).copied() == Some(TaskStatus::Committed));
+        let members_committed =
+            state.iter().all(|m| statuses.get(m).copied() == Some(TaskStatus::Committed));
         let others_undone = statuses.iter().all(|(key, status)| {
             state.contains(key)
                 || matches!(
@@ -64,9 +61,9 @@ pub fn is_consistent_outcome(
     if realised_state(states, statuses).is_some() {
         return true;
     }
-    statuses.values().all(|s| {
-        matches!(s, TaskStatus::Aborted | TaskStatus::Compensated | TaskStatus::Error)
-    })
+    statuses
+        .values()
+        .all(|s| matches!(s, TaskStatus::Aborted | TaskStatus::Compensated | TaskStatus::Error))
 }
 
 #[cfg(test)]
@@ -78,10 +75,7 @@ mod tests {
     }
 
     fn travel_states() -> Vec<Vec<String>> {
-        vec![
-            vec!["continental".into(), "national".into()],
-            vec!["delta".into(), "avis".into()],
-        ]
+        vec![vec!["continental".into(), "national".into()], vec!["delta".into(), "avis".into()]]
     }
 
     #[test]

@@ -59,9 +59,7 @@ impl Multitable {
             .iter()
             .map(|c| c.name.clone())
             .filter(|name| {
-                self.tables
-                    .iter()
-                    .all(|t| t.result.columns.iter().any(|c| &c.name == name))
+                self.tables.iter().all(|t| t.result.columns.iter().any(|c| &c.name == name))
             })
             .collect()
     }
@@ -73,8 +71,7 @@ impl Multitable {
     pub fn project_union(&self, columns: &[&str]) -> Result<ResultSet, String> {
         use ldbs::engine::ColumnMeta;
         use ldbs::value::DataType;
-        let mut out_columns =
-            vec![ColumnMeta { name: "mdb".into(), data_type: DataType::Char(0) }];
+        let mut out_columns = vec![ColumnMeta { name: "mdb".into(), data_type: DataType::Char(0) }];
         // Types from the first member that has each column.
         for want in columns {
             let meta = self
@@ -88,12 +85,9 @@ impl Multitable {
         for entry in &self.tables {
             let mut positions = Vec::with_capacity(columns.len());
             for want in columns {
-                let pos = entry
-                    .result
-                    .column_index(want)
-                    .ok_or_else(|| {
-                        format!("column `{want}` is missing from `{}`", entry.database)
-                    })?;
+                let pos = entry.result.column_index(want).ok_or_else(|| {
+                    format!("column `{want}` is missing from `{}`", entry.database)
+                })?;
                 positions.push(pos);
             }
             for row in &entry.result.rows {
@@ -127,11 +121,8 @@ fn render_cell(v: &Value) -> String {
 pub fn render_result_set(rs: &ResultSet) -> String {
     let headers: Vec<String> = rs.columns.iter().map(|c| c.name.clone()).collect();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    let rendered_rows: Vec<Vec<String>> = rs
-        .rows
-        .iter()
-        .map(|row| row.iter().map(render_cell).collect())
-        .collect();
+    let rendered_rows: Vec<Vec<String>> =
+        rs.rows.iter().map(|row| row.iter().map(render_cell).collect()).collect();
     for row in &rendered_rows {
         for (i, cell) in row.iter().enumerate() {
             if i < widths.len() {
@@ -198,7 +189,10 @@ mod tests {
                 MultitableEntry {
                     database: "national".into(),
                     result: ResultSet {
-                        columns: vec![ColumnMeta { name: "vcode".into(), data_type: DataType::Int }],
+                        columns: vec![ColumnMeta {
+                            name: "vcode".into(),
+                            data_type: DataType::Int,
+                        }],
                         rows: vec![vec![Value::Int(7)], vec![Value::Int(8)]],
                     },
                 },
@@ -290,11 +284,10 @@ mod tests {
         );
         assert_eq!(merged.rows.len(), 3);
         assert_eq!(merged.rows[0][0], Value::Str("avis".into()));
-        assert_eq!(merged.rows[1], vec![
-            Value::Str("national".into()),
-            Value::Int(7),
-            Value::Str("free".into())
-        ]);
+        assert_eq!(
+            merged.rows[1],
+            vec![Value::Str("national".into()), Value::Int(7), Value::Str("free".into())]
+        );
     }
 
     #[test]

@@ -7,6 +7,27 @@
 use crate::error::MdbsError;
 use crate::wire::{escape, unescape};
 
+/// Frames a message body with a correlation id: `@<id>` on the first line,
+/// the body after it. The id lets a retrying client match responses to the
+/// logical request they answer (stale duplicates are discarded) and lets the
+/// LAM server deduplicate resends: a retried request is executed at most
+/// once, later copies are answered from a response cache. Bodies without the
+/// prefix (hand-written test clients) pass through unchanged on both sides.
+pub fn encode_with_correlation(id: u64, body: &str) -> String {
+    format!("@{id}\n{body}")
+}
+
+/// Splits an optional correlation prefix off a message body. Returns the id
+/// (if present and well-formed) and the remaining body.
+pub fn split_correlation(body: &str) -> (Option<u64>, &str) {
+    let Some(rest) = body.strip_prefix('@') else { return (None, body) };
+    let Some((id_text, tail)) = rest.split_once('\n') else { return (None, body) };
+    match id_text.parse::<u64>() {
+        Ok(id) => (Some(id), tail),
+        Err(_) => (None, body),
+    }
+}
+
 /// How a task's commands are committed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskMode {
@@ -185,21 +206,15 @@ impl Request {
         };
         let words: Vec<&str> = header.split_whitespace().collect();
         let decode_commands = |payload: &str| -> Result<Vec<String>, MdbsError> {
-            payload
-                .lines()
-                .filter(|l| !l.is_empty())
-                .map(unescape)
-                .collect()
+            payload.lines().filter(|l| !l.is_empty()).map(unescape).collect()
         };
         match words.as_slice() {
-            ["BEGIN", name, database] => Ok(Request::Begin {
-                name: name.to_string(),
-                database: database.to_string(),
-            }),
-            ["EXEC", task] => Ok(Request::Exec {
-                task: task.to_string(),
-                commands: decode_commands(payload)?,
-            }),
+            ["BEGIN", name, database] => {
+                Ok(Request::Begin { name: name.to_string(), database: database.to_string() })
+            }
+            ["EXEC", task] => {
+                Ok(Request::Exec { task: task.to_string(), commands: decode_commands(payload)? })
+            }
             ["PREPARE", task] => Ok(Request::Prepare { task: task.to_string() }),
             ["TASK", name, mode, database] => {
                 let mode = match *mode {
@@ -229,10 +244,9 @@ impl Request {
                 table: table.to_string(),
                 payload: payload.to_string(),
             }),
-            ["DROPTEMP", database, table] => Ok(Request::DropTemp {
-                database: database.to_string(),
-                table: table.to_string(),
-            }),
+            ["DROPTEMP", database, table] => {
+                Ok(Request::DropTemp { database: database.to_string(), table: table.to_string() })
+            }
             ["PING"] => Ok(Request::Ping),
             ["SHUTDOWN"] => Ok(Request::Shutdown),
             _ => Err(MdbsError::Wire(format!("unknown request `{header}`"))),
@@ -380,6 +394,21 @@ mod tests {
         assert!(Response::decode("NOPE").is_err());
         assert!(Response::decode("OK TASK PP 3 -").is_err());
         assert!(Response::decode("OK TASK P x -").is_err());
+    }
+
+    #[test]
+    fn correlation_frame_roundtrips() {
+        let framed = encode_with_correlation(42, "PING");
+        assert_eq!(split_correlation(&framed), (Some(42), "PING"));
+        let multi = encode_with_correlation(7, "OK PAYLOAD\nTABLE t x:int\n");
+        assert_eq!(split_correlation(&multi), (Some(7), "OK PAYLOAD\nTABLE t x:int\n"));
+    }
+
+    #[test]
+    fn unframed_bodies_pass_through() {
+        assert_eq!(split_correlation("PING"), (None, "PING"));
+        assert_eq!(split_correlation("@notanumber\nPING"), (None, "@notanumber\nPING"));
+        assert_eq!(split_correlation("@12"), (None, "@12"), "id without body line");
     }
 
     #[test]

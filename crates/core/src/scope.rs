@@ -114,17 +114,13 @@ impl SessionScope {
     /// Resolves a database name or alias to its scope element.
     pub fn resolve(&self, name: &str) -> Option<&ScopeDb> {
         let lower = name.to_ascii_lowercase();
-        self.databases
-            .iter()
-            .find(|d| d.key() == lower || d.database == lower)
+        self.databases.iter().find(|d| d.key() == lower || d.database == lower)
     }
 
     /// Index of a database (by name or alias) in USE order.
     pub fn index_of(&self, name: &str) -> Option<usize> {
         let lower = name.to_ascii_lowercase();
-        self.databases
-            .iter()
-            .position(|d| d.key() == lower || d.database == lower)
+        self.databases.iter().position(|d| d.key() == lower || d.database == lower)
     }
 
     /// The vital set: scope elements designated VITAL.
@@ -196,10 +192,8 @@ mod tests {
     fn paper_scope() -> SessionScope {
         let mut s = SessionScope::new();
         s.apply_use(&use_stmt("USE avis national")).unwrap();
-        s.apply_let(&let_stmt(
-            "LET car.type.status BE cars.cartype.carst vehicle.vty.vstat",
-        ))
-        .unwrap();
+        s.apply_let(&let_stmt("LET car.type.status BE cars.cartype.carst vehicle.vty.vstat"))
+            .unwrap();
         s
     }
 
@@ -226,8 +220,7 @@ mod tests {
     #[test]
     fn vital_and_alias_resolution() {
         let mut s = SessionScope::new();
-        s.apply_use(&use_stmt("USE (continental cont) VITAL delta united VITAL"))
-            .unwrap();
+        s.apply_use(&use_stmt("USE (continental cont) VITAL delta united VITAL")).unwrap();
         let vitals: Vec<&str> = s.vital_set().iter().map(|d| d.key()).collect();
         assert_eq!(vitals, vec!["cont", "united"]);
         assert_eq!(s.resolve("cont").unwrap().database, "continental");
@@ -281,8 +274,6 @@ mod tests {
     fn single_component_variable_rejected() {
         let mut s = SessionScope::new();
         s.apply_use(&use_stmt("USE avis national")).unwrap();
-        assert!(s
-            .apply_let(&let_stmt("LET car BE cars vehicle"))
-            .is_err());
+        assert!(s.apply_let(&let_stmt("LET car BE cars vehicle")).is_err());
     }
 }

@@ -67,9 +67,7 @@ pub fn decompose(
     gdd: &GlobalDataDictionary,
 ) -> Result<Decomposition, MdbsError> {
     if sel.from.is_empty() {
-        return Err(MdbsError::Unsupported(
-            "decomposition requires at least one table".into(),
-        ));
+        return Err(MdbsError::Unsupported("decomposition requires at least one table".into()));
     }
     // Resolve bindings.
     let mut bindings: Vec<Binding> = Vec::with_capacity(sel.from.len());
@@ -122,11 +120,7 @@ pub fn decompose(
         bindings.push(Binding {
             name,
             database,
-            tref: TableRef {
-                database: None,
-                table: tref.table.clone(),
-                alias: tref.alias.clone(),
-            },
+            tref: TableRef { database: None, table: tref.table.clone(), alias: tref.alias.clone() },
             def,
         });
     }
@@ -183,10 +177,10 @@ pub fn decompose(
             }
             SelectItem::QualifiedWildcard(t) => {
                 let target = t.as_str();
-                let b = bindings
-                    .iter()
-                    .find(|b| b.name == target || b.def.name == target)
-                    .ok_or_else(|| MdbsError::NotPertinent(format!("unknown binding `{target}`")))?;
+                let b =
+                    bindings.iter().find(|b| b.name == target || b.def.name == target).ok_or_else(
+                        || MdbsError::NotPertinent(format!("unknown binding `{target}`")),
+                    )?;
                 for c in &b.def.columns {
                     let pair = (b.name.clone(), c.name.clone());
                     if !needed.contains(&pair) {
@@ -222,8 +216,7 @@ pub fn decompose(
     // Local subqueries.
     let mut subqueries = Vec::with_capacity(databases.len());
     for db in &databases {
-        let db_bindings: Vec<&Binding> =
-            bindings.iter().filter(|b| b.database == *db).collect();
+        let db_bindings: Vec<&Binding> = bindings.iter().filter(|b| b.database == *db).collect();
         let mut items = Vec::new();
         for (bname, col) in &needed {
             if db_bindings.iter().any(|b| b.name == *bname) {
@@ -339,10 +332,7 @@ pub fn decompose(
     let global_query = Select {
         distinct: sel.distinct,
         items,
-        from: subqueries
-            .iter()
-            .map(|s| TableRef::named(s.part_table.clone()))
-            .collect(),
+        from: subqueries.iter().map(|s| TableRef::named(s.part_table.clone())).collect(),
         where_clause,
         group_by: sel.group_by.iter().map(&rewrite).collect::<Result<_, _>>()?,
         having: sel.having.as_ref().map(&rewrite).transpose()?,
@@ -529,17 +519,11 @@ fn rewrite_global(e: &Expr, bindings: &[Binding]) -> Result<Expr, MdbsError> {
         },
         Expr::Function { name, args } => Expr::Function {
             name: name.clone(),
-            args: args
-                .iter()
-                .map(|a| rewrite_global(a, bindings))
-                .collect::<Result<_, _>>()?,
+            args: args.iter().map(|a| rewrite_global(a, bindings)).collect::<Result<_, _>>()?,
         },
         Expr::InList { expr, list, negated } => Expr::InList {
             expr: Box::new(rewrite_global(expr, bindings)?),
-            list: list
-                .iter()
-                .map(|x| rewrite_global(x, bindings))
-                .collect::<Result<_, _>>()?,
+            list: list.iter().map(|x| rewrite_global(x, bindings)).collect::<Result<_, _>>()?,
             negated: *negated,
         },
         Expr::Between { expr, low, high, negated } => Expr::Between {
@@ -603,9 +587,7 @@ mod tests {
 
     fn scope() -> SessionScope {
         let mut s = SessionScope::new();
-        let Statement::Use(u) =
-            msql_lang::parse_statement("USE avis continental").unwrap()
-        else {
+        let Statement::Use(u) = msql_lang::parse_statement("USE avis continental").unwrap() else {
             panic!()
         };
         s.apply_use(&u).unwrap();
@@ -686,12 +668,8 @@ mod tests {
 
     #[test]
     fn single_db_decomposition_is_trivial() {
-        let d = decompose(
-            &select("SELECT code FROM avis.cars WHERE rate > 10"),
-            &scope(),
-            &gdd(),
-        )
-        .unwrap();
+        let d = decompose(&select("SELECT code FROM avis.cars WHERE rate > 10"), &scope(), &gdd())
+            .unwrap();
         assert_eq!(d.subqueries.len(), 1);
         assert_eq!(d.coordinator, "avis");
     }
@@ -731,11 +709,7 @@ mod tests {
 
     #[test]
     fn unknown_qualifier_is_error() {
-        let err = decompose(
-            &select("SELECT x FROM delta.flight"),
-            &scope(),
-            &gdd(),
-        );
+        let err = decompose(&select("SELECT x FROM delta.flight"), &scope(), &gdd());
         assert!(matches!(err, Err(MdbsError::NotInScope(_))));
     }
 }

@@ -31,9 +31,9 @@ fn is_modification(stmt: &Statement) -> bool {
 pub fn disambiguate(candidates: Vec<LocalQuery>) -> Result<Vec<LocalQuery>, MdbsError> {
     let mut out: Vec<LocalQuery> = Vec::with_capacity(candidates.len());
     for c in candidates {
-        let duplicate = out.iter().any(|existing| {
-            existing.database == c.database && existing.statement == c.statement
-        });
+        let duplicate = out
+            .iter()
+            .any(|existing| existing.database == c.database && existing.statement == c.statement);
         if !duplicate {
             out.push(c);
         }
@@ -90,10 +90,7 @@ mod tests {
 
     #[test]
     fn empty_result_is_an_error() {
-        assert!(matches!(
-            disambiguate(Vec::new()),
-            Err(MdbsError::NotPertinent(_))
-        ));
+        assert!(matches!(disambiguate(Vec::new()), Err(MdbsError::NotPertinent(_))));
     }
 
     #[test]

@@ -113,9 +113,7 @@ pub fn expand_for_db(
         // Resolved table definitions for this choice.
         let mut resolved: Vec<&GddTable> = Vec::new();
         for name in &table_choice {
-            let t = gdd
-                .table(&db_name, name)
-                .map_err(|e| MdbsError::Catalog(e.to_string()))?;
+            let t = gdd.table(&db_name, name).map_err(|e| MdbsError::Catalog(e.to_string()))?;
             if !resolved.iter().any(|r| r.name == t.name) {
                 resolved.push(t);
             }
@@ -163,11 +161,8 @@ pub fn expand_for_db(
 
         // Phase 4: cartesian over wild-column choices, then rewrite.
         for wild_choice in cartesian(&wild_options) {
-            let subst: HashMap<String, Option<String>> = wild_names
-                .iter()
-                .cloned()
-                .zip(wild_choice.iter().cloned())
-                .collect();
+            let subst: HashMap<String, Option<String>> =
+                wild_names.iter().cloned().zip(wild_choice.iter().cloned()).collect();
             let mut rewriter = Rewriter {
                 scope,
                 db_index,
@@ -337,9 +332,8 @@ fn table_options(
         });
     }
     if name.is_multiple() {
-        let matches = gdd
-            .match_tables(&db.database, name)
-            .map_err(|e| MdbsError::Catalog(e.to_string()))?;
+        let matches =
+            gdd.match_tables(&db.database, name).map_err(|e| MdbsError::Catalog(e.to_string()))?;
         return Ok(matches.into_iter().map(|t| t.name.clone()).collect());
     }
     Ok(match gdd.table(&db.database, name.as_str()) {
@@ -575,18 +569,11 @@ impl<'a> Rewriter<'a> {
             .cloned()
             .ok_or_else(|| MdbsError::Internal("table assignment underflow".into()))?;
         self.next_assignment += 1;
-        let binding = tref
-            .alias
-            .clone()
-            .map(|a| a.to_ascii_lowercase())
-            .unwrap_or_else(|| assigned.clone());
+        let binding =
+            tref.alias.clone().map(|a| a.to_ascii_lowercase()).unwrap_or_else(|| assigned.clone());
         self.binding_map.insert(tref.table.as_str().to_string(), binding.clone());
         self.alias_heads.insert(binding, tref.table.as_str().to_string());
-        Ok(TableRef {
-            database: None,
-            table: WildName::new(assigned),
-            alias: tref.alias.clone(),
-        })
+        Ok(TableRef { database: None, table: WildName::new(assigned), alias: tref.alias.clone() })
     }
 
     fn rewrite_select(&mut self, s: &Select, top_level: bool) -> Rw<Select> {
@@ -651,25 +638,16 @@ impl<'a> Rewriter<'a> {
         for o in &s.order_by {
             order_by.push(OrderByItem { expr: self.rewrite_expr(&o.expr)?, order: o.order });
         }
-        Ok(Select {
-            distinct: s.distinct,
-            items,
-            from,
-            where_clause,
-            group_by,
-            having,
-            order_by,
-        })
+        Ok(Select { distinct: s.distinct, items, from, where_clause, group_by, having, order_by })
     }
 
     /// Rewrites a column that targets a specific table (SET / INSERT column
     /// lists).
     fn rewrite_target_column(&mut self, col: &WildName, target_table: &str) -> Rw<String> {
-        let table = self
-            .resolved
-            .iter()
-            .find(|t| t.name == target_table)
-            .ok_or_else(|| MdbsError::Internal(format!("unresolved target `{target_table}`")))?;
+        let table =
+            self.resolved.iter().find(|t| t.name == target_table).ok_or_else(|| {
+                MdbsError::Internal(format!("unresolved target `{target_table}`"))
+            })?;
         // Semantic column component?
         if let Some(bound) = self.scope.column_binding(None, col.as_str(), self.db_index) {
             let bound = bound.to_string();
@@ -717,10 +695,7 @@ impl<'a> Rewriter<'a> {
             },
             Expr::Function { name, args } => Expr::Function {
                 name: name.clone(),
-                args: args
-                    .iter()
-                    .map(|a| self.rewrite_expr(a))
-                    .collect::<Rw<Vec<_>>>()?,
+                args: args.iter().map(|a| self.rewrite_expr(a)).collect::<Rw<Vec<_>>>()?,
             },
             Expr::Subquery(s) => Expr::Subquery(Box::new(self.rewrite_select(s, false)?)),
             Expr::InSubquery { expr, subquery, negated } => Expr::InSubquery {
@@ -770,16 +745,10 @@ impl<'a> Rewriter<'a> {
         let sem_head = orig_qualifier
             .as_deref()
             .map(|q| self.alias_heads.get(q).map(|s| s.as_str()).unwrap_or(q));
-        if let Some(bound) = self.scope.column_binding(
-            sem_head,
-            c.column.as_str(),
-            self.db_index,
-        ) {
+        if let Some(bound) = self.scope.column_binding(sem_head, c.column.as_str(), self.db_index) {
             let bound = bound.to_string();
             self.validate_any(&bound)?;
-            let qualifier = orig_qualifier
-                .as_deref()
-                .map(|q| self.map_qualifier(q));
+            let qualifier = orig_qualifier.as_deref().map(|q| self.map_qualifier(q));
             return Ok(ColumnRef {
                 database: None,
                 table: qualifier.map(WildName::new),
@@ -815,11 +784,7 @@ impl<'a> Rewriter<'a> {
         match &orig_qualifier {
             Some(q) => {
                 let mapped = self.map_qualifier(q);
-                let table = self
-                    .resolved
-                    .iter()
-                    .find(|t| t.name == mapped)
-                    .copied();
+                let table = self.resolved.iter().find(|t| t.name == mapped).copied();
                 match table {
                     Some(t) if t.column(&name).is_some() => Ok(ColumnRef {
                         database: None,
@@ -875,18 +840,30 @@ mod tests {
             )
         };
         g.register_database("continental", "svc1").unwrap();
-        g.put_table("continental", t("flights", &["flnu", "source", "dep", "destination", "arr", "day", "rate"])).unwrap();
-        g.put_table("continental", t("f838", &["seatnu", "seatty", "seatstatus", "clientname"])).unwrap();
+        g.put_table(
+            "continental",
+            t("flights", &["flnu", "source", "dep", "destination", "arr", "day", "rate"]),
+        )
+        .unwrap();
+        g.put_table("continental", t("f838", &["seatnu", "seatty", "seatstatus", "clientname"]))
+            .unwrap();
         g.register_database("delta", "svc2").unwrap();
-        g.put_table("delta", t("flight", &["fnu", "source", "dest", "dep", "arr", "day", "rate"])).unwrap();
+        g.put_table("delta", t("flight", &["fnu", "source", "dest", "dep", "arr", "day", "rate"]))
+            .unwrap();
         g.put_table("delta", t("f747", &["snu", "sty", "sstat", "passname"])).unwrap();
         g.register_database("united", "svc3").unwrap();
-        g.put_table("united", t("flight", &["fn", "sour", "dest", "depa", "arri", "day", "rates"])).unwrap();
+        g.put_table("united", t("flight", &["fn", "sour", "dest", "depa", "arri", "day", "rates"]))
+            .unwrap();
         g.put_table("united", t("fn727", &["sn", "st", "sst", "pasna"])).unwrap();
         g.register_database("avis", "svc4").unwrap();
-        g.put_table("avis", t("cars", &["code", "cartype", "rate", "carst", "from", "to", "client"])).unwrap();
+        g.put_table(
+            "avis",
+            t("cars", &["code", "cartype", "rate", "carst", "from", "to", "client"]),
+        )
+        .unwrap();
         g.register_database("national", "svc5").unwrap();
-        g.put_table("national", t("vehicle", &["vcode", "vty", "vstat", "from", "to", "client"])).unwrap();
+        g.put_table("national", t("vehicle", &["vcode", "vty", "vstat", "from", "to", "client"]))
+            .unwrap();
         g
     }
 
@@ -909,10 +886,7 @@ mod tests {
     }
 
     fn printed(locals: &[LocalQuery]) -> Vec<(String, String)> {
-        locals
-            .iter()
-            .map(|l| (l.database.clone(), print(&l.statement)))
-            .collect()
+        locals.iter().map(|l| (l.database.clone(), print(&l.statement))).collect()
     }
 
     #[test]
@@ -1051,10 +1025,7 @@ mod tests {
     #[test]
     fn unimported_database_is_a_catalog_error() {
         let s = scope("USE ghostdb");
-        assert!(matches!(
-            expand(&body("SELECT x FROM t"), &s, &gdd()),
-            Err(MdbsError::Catalog(_))
-        ));
+        assert!(matches!(expand(&body("SELECT x FROM t"), &s, &gdd()), Err(MdbsError::Catalog(_))));
     }
 
     #[test]
@@ -1077,16 +1048,10 @@ mod tests {
         // rate% appears twice in the §3.2 update; both occurrences must
         // pick the same concrete column.
         let s = scope("USE united");
-        let locals = expand(
-            &body("UPDATE flight% SET rate% = rate% * 2 WHERE rate% > 0"),
-            &s,
-            &gdd(),
-        )
-        .unwrap();
-        assert_eq!(
-            printed(&locals)[0].1,
-            "UPDATE flight SET rates = rates * 2 WHERE rates > 0"
-        );
+        let locals =
+            expand(&body("UPDATE flight% SET rate% = rate% * 2 WHERE rate% > 0"), &s, &gdd())
+                .unwrap();
+        assert_eq!(printed(&locals)[0].1, "UPDATE flight SET rates = rates * 2 WHERE rates > 0");
     }
 
     #[test]
@@ -1109,31 +1074,17 @@ mod tests {
             "USE avis national
              LET car.type BE cars.cartype vehicle.vty",
         );
-        let locals = expand(
-            &body("SELECT c.type FROM car c WHERE c.type = 'suv'"),
-            &s,
-            &gdd(),
-        )
-        .unwrap();
-        assert_eq!(
-            printed(&locals)[0].1,
-            "SELECT c.cartype FROM cars c WHERE c.cartype = 'suv'"
-        );
-        assert_eq!(
-            printed(&locals)[1].1,
-            "SELECT c.vty FROM vehicle c WHERE c.vty = 'suv'"
-        );
+        let locals =
+            expand(&body("SELECT c.type FROM car c WHERE c.type = 'suv'"), &s, &gdd()).unwrap();
+        assert_eq!(printed(&locals)[0].1, "SELECT c.cartype FROM cars c WHERE c.cartype = 'suv'");
+        assert_eq!(printed(&locals)[1].1, "SELECT c.vty FROM vehicle c WHERE c.vty = 'suv'");
     }
 
     #[test]
     fn insert_and_delete_expand() {
         let s = scope("USE avis national");
-        let locals = expand(
-            &body("INSERT INTO %s (client) VALUES ('wenders')"),
-            &s,
-            &gdd(),
-        )
-        .unwrap();
+        let locals =
+            expand(&body("INSERT INTO %s (client) VALUES ('wenders')"), &s, &gdd()).unwrap();
         // %s matches cars (avis); vehicle does not end in s.
         assert_eq!(locals.len(), 1);
         assert_eq!(printed(&locals)[0].1, "INSERT INTO cars (client) VALUES ('wenders')");

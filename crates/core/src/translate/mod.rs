@@ -106,13 +106,25 @@ mod tests {
         g.register_database("avis", "s1").unwrap();
         g.put_table(
             "avis",
-            GddTable::new("cars", vec![GddColumn::new("code", TypeName::Int), GddColumn::new("rate", TypeName::Float)]),
+            GddTable::new(
+                "cars",
+                vec![
+                    GddColumn::new("code", TypeName::Int),
+                    GddColumn::new("rate", TypeName::Float),
+                ],
+            ),
         )
         .unwrap();
         g.register_database("continental", "s2").unwrap();
         g.put_table(
             "continental",
-            GddTable::new("flights", vec![GddColumn::new("flnu", TypeName::Int), GddColumn::new("rate", TypeName::Float)]),
+            GddTable::new(
+                "flights",
+                vec![
+                    GddColumn::new("flnu", TypeName::Int),
+                    GddColumn::new("rate", TypeName::Float),
+                ],
+            ),
         )
         .unwrap();
         g

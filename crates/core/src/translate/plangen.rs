@@ -311,7 +311,9 @@ pub fn multitransaction_plan(
     let all_keys: Vec<String> = all.iter().map(|(l, _)| l.key.clone()).collect();
     let comp_map: HashMap<String, bool> = all
         .iter()
-        .map(|(l, comps)| (l.key.clone(), comps.get(&l.key).map(|c| !c.is_empty()).unwrap_or(false)))
+        .map(|(l, comps)| {
+            (l.key.clone(), comps.get(&l.key).map(|c| !c.is_empty()).unwrap_or(false))
+        })
         .collect();
 
     // Failure branch: undo everything.
@@ -324,14 +326,8 @@ pub fn multitransaction_plan(
             // Reachable when the member prepared (2PC) or already committed
             // (autocommit + COMP).
             let c = DolCond::Or(
-                Box::new(DolCond::StatusEq {
-                    task: member.clone(),
-                    status: TaskStatus::Prepared,
-                }),
-                Box::new(DolCond::StatusEq {
-                    task: member.clone(),
-                    status: TaskStatus::Committed,
-                }),
+                Box::new(DolCond::StatusEq { task: member.clone(), status: TaskStatus::Prepared }),
+                Box::new(DolCond::StatusEq { task: member.clone(), status: TaskStatus::Committed }),
             );
             cond = Some(match cond {
                 Some(acc) => DolCond::And(Box::new(acc), Box::new(c)),
@@ -508,7 +504,9 @@ mod tests {
             local("delta", "delta", false, "UPDATE flight SET rate = 1"),
             local("united", "united", false, "UPDATE flight SET rates = 1"),
         ];
-        let plan = update_plan(&locals, &HashMap::new(), &routes(&[("delta", true), ("united", true)])).unwrap();
+        let plan =
+            update_plan(&locals, &HashMap::new(), &routes(&[("delta", true), ("united", true)]))
+                .unwrap();
         let text = print_program(&plan.program);
         assert!(!text.contains("IF"), "{text}");
         assert!(text.contains("DOLSTATUS=0;"), "{text}");
@@ -532,28 +530,32 @@ mod tests {
     #[test]
     fn missing_route_is_a_catalog_error() {
         let locals = vec![local("ghost", "ghost", false, "SELECT x FROM t")];
-        assert!(matches!(
-            retrieval_plan(&locals, &HashMap::new()),
-            Err(MdbsError::Catalog(_))
-        ));
+        assert!(matches!(retrieval_plan(&locals, &HashMap::new()), Err(MdbsError::Catalog(_))));
     }
 
     fn travel_agent_queries() -> Vec<MtxQueryPlan> {
         vec![
             MtxQueryPlan {
                 locals: vec![
-                    local("continental", "continental", false,
-                        "UPDATE f838 SET seatstatus = 'TAKEN' WHERE seatnu = 1"),
-                    local("delta", "delta", false,
-                        "UPDATE f747 SET sstat = 'TAKEN' WHERE snu = 1"),
+                    local(
+                        "continental",
+                        "continental",
+                        false,
+                        "UPDATE f838 SET seatstatus = 'TAKEN' WHERE seatnu = 1",
+                    ),
+                    local("delta", "delta", false, "UPDATE f747 SET sstat = 'TAKEN' WHERE snu = 1"),
                 ],
                 comps: HashMap::new(),
             },
             MtxQueryPlan {
                 locals: vec![
                     local("avis", "avis", false, "UPDATE cars SET carst = 'TAKEN' WHERE code = 1"),
-                    local("national", "national", false,
-                        "UPDATE vehicle SET vstat = 'TAKEN' WHERE vcode = 1"),
+                    local(
+                        "national",
+                        "national",
+                        false,
+                        "UPDATE vehicle SET vstat = 'TAKEN' WHERE vcode = 1",
+                    ),
                 ],
                 comps: HashMap::new(),
             },
@@ -564,16 +566,8 @@ mod tests {
     fn multitransaction_plan_tests_states_in_order() {
         let plan = multitransaction_plan(
             &travel_agent_queries(),
-            &[
-                vec!["continental".into(), "national".into()],
-                vec!["delta".into(), "avis".into()],
-            ],
-            &routes(&[
-                ("continental", true),
-                ("delta", true),
-                ("avis", true),
-                ("national", true),
-            ]),
+            &[vec!["continental".into(), "national".into()], vec!["delta".into(), "avis".into()]],
+            &routes(&[("continental", true), ("delta", true), ("avis", true), ("national", true)]),
         )
         .unwrap();
         let text = print_program(&plan.program);
@@ -582,7 +576,9 @@ mod tests {
             assert!(text.contains(&format!("TASK {key} NOCOMMIT FOR {key}")), "{text}");
         }
         // Preferred state first.
-        let first = text.find("((continental=P) OR (continental=C)) AND ((national=P) OR (national=C))").unwrap();
+        let first = text
+            .find("((continental=P) OR (continental=C)) AND ((national=P) OR (national=C))")
+            .unwrap();
         let second = text.find("((delta=P) OR (delta=C)) AND ((avis=P) OR (avis=C))").unwrap();
         assert!(first < second, "{text}");
         // Preferred branch sets DOLSTATUS=0, alternative 1, failure 99.
@@ -619,12 +615,7 @@ mod tests {
         let err = multitransaction_plan(
             &travel_agent_queries(),
             &[vec!["continental".into(), "national".into()]],
-            &routes(&[
-                ("continental", false),
-                ("delta", true),
-                ("avis", true),
-                ("national", true),
-            ]),
+            &routes(&[("continental", false), ("delta", true), ("avis", true), ("national", true)]),
         );
         assert!(matches!(err, Err(MdbsError::Mtx(_))));
     }

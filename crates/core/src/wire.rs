@@ -75,14 +75,12 @@ pub fn decode_value(s: &str) -> Result<Value, MdbsError> {
     if s == "N" {
         return Ok(Value::Null);
     }
-    let (tag, rest) = s
-        .split_once(':')
-        .ok_or_else(|| MdbsError::Wire(format!("bad value encoding `{s}`")))?;
+    let (tag, rest) =
+        s.split_once(':').ok_or_else(|| MdbsError::Wire(format!("bad value encoding `{s}`")))?;
     match tag {
-        "I" => rest
-            .parse()
-            .map(Value::Int)
-            .map_err(|_| MdbsError::Wire(format!("bad int `{rest}`"))),
+        "I" => {
+            rest.parse().map(Value::Int).map_err(|_| MdbsError::Wire(format!("bad int `{rest}`")))
+        }
         "F" => rest
             .parse()
             .map(Value::Float)
@@ -119,9 +117,8 @@ pub fn decode_type(s: &str) -> Result<DataType, MdbsError> {
         "date" => Ok(DataType::Date),
         other => {
             if let Some(w) = other.strip_prefix("char(").and_then(|r| r.strip_suffix(')')) {
-                let width: u32 = w
-                    .parse()
-                    .map_err(|_| MdbsError::Wire(format!("bad char width `{w}`")))?;
+                let width: u32 =
+                    w.parse().map_err(|_| MdbsError::Wire(format!("bad char width `{w}`")))?;
                 return Ok(DataType::Char(width));
             }
             Err(MdbsError::Wire(format!("unknown type `{other}`")))
@@ -184,9 +181,7 @@ fn split_fields(line: &str) -> Vec<String> {
 /// Deserializes a result set.
 pub fn decode_result_set(text: &str) -> Result<ResultSet, MdbsError> {
     let mut lines = text.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| MdbsError::Wire("empty result set payload".into()))?;
+    let header = lines.next().ok_or_else(|| MdbsError::Wire("empty result set payload".into()))?;
     let cols_text = header
         .strip_prefix("COLS ")
         .or_else(|| (header == "COLS").then_some(""))

@@ -20,9 +20,8 @@ fn status_strategy() -> impl Strategy<Value = TaskStatus> {
 const DBS: [&str; 4] = ["continental", "delta", "avis", "national"];
 
 fn statuses_strategy() -> impl Strategy<Value = HashMap<String, TaskStatus>> {
-    proptest::array::uniform4(status_strategy()).prop_map(|arr| {
-        DBS.iter().map(|d| d.to_string()).zip(arr).collect()
-    })
+    proptest::array::uniform4(status_strategy())
+        .prop_map(|arr| DBS.iter().map(|d| d.to_string()).zip(arr).collect())
 }
 
 fn states_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {

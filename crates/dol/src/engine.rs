@@ -203,8 +203,7 @@ impl<'f> DolEngine<'f> {
 
     fn run_batch(&self, batch: Vec<TaskDef>, state: &mut RunState) -> Result<(), DolError> {
         for (i, t) in batch.iter().enumerate() {
-            if state.defs.contains_key(&t.name)
-                || batch[..i].iter().any(|prev| prev.name == t.name)
+            if state.defs.contains_key(&t.name) || batch[..i].iter().any(|prev| prev.name == t.name)
             {
                 return Err(DolError::Duplicate(t.name.clone()));
             }
@@ -235,24 +234,20 @@ impl<'f> DolEngine<'f> {
                 taken.push((alias, svc, tasks));
             }
             type Finished = Vec<(String, Box<dyn DolService>, Vec<(String, TaskExecution)>)>;
-            let finished: Finished =
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for (alias, mut svc, tasks) in taken.drain(..) {
-                        handles.push(scope.spawn(move || {
-                            let mut local = Vec::new();
-                            for task in &tasks {
-                                let exec = svc.execute_task(task);
-                                local.push((task.name.clone(), exec));
-                            }
-                            (alias, svc, local)
-                        }));
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("task thread panicked"))
-                        .collect()
-                });
+            let finished: Finished = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (alias, mut svc, tasks) in taken.drain(..) {
+                    handles.push(scope.spawn(move || {
+                        let mut local = Vec::new();
+                        for task in &tasks {
+                            let exec = svc.execute_task(task);
+                            local.push((task.name.clone(), exec));
+                        }
+                        (alias, svc, local)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("task thread panicked")).collect()
+            });
             for (alias, svc, local) in finished {
                 state.services.insert(alias, svc);
                 executions.extend(local);
@@ -277,11 +272,8 @@ impl<'f> DolEngine<'f> {
     }
 
     fn commit_task(&self, name: &str, state: &mut RunState) -> Result<(), DolError> {
-        let def = state
-            .defs
-            .get(name)
-            .ok_or_else(|| DolError::UnknownTask(name.to_string()))?
-            .clone();
+        let def =
+            state.defs.get(name).ok_or_else(|| DolError::UnknownTask(name.to_string()))?.clone();
         let status = state.outcome.task_statuses[name];
         match status {
             TaskStatus::Prepared => {
@@ -303,11 +295,8 @@ impl<'f> DolEngine<'f> {
     }
 
     fn abort_task(&self, name: &str, state: &mut RunState) -> Result<(), DolError> {
-        let def = state
-            .defs
-            .get(name)
-            .ok_or_else(|| DolError::UnknownTask(name.to_string()))?
-            .clone();
+        let def =
+            state.defs.get(name).ok_or_else(|| DolError::UnknownTask(name.to_string()))?.clone();
         let status = state.outcome.task_statuses[name];
         match status {
             TaskStatus::Prepared => {
@@ -332,11 +321,8 @@ impl<'f> DolEngine<'f> {
     }
 
     fn compensate_task(&self, name: &str, state: &mut RunState) -> Result<(), DolError> {
-        let def = state
-            .defs
-            .get(name)
-            .ok_or_else(|| DolError::UnknownTask(name.to_string()))?
-            .clone();
+        let def =
+            state.defs.get(name).ok_or_else(|| DolError::UnknownTask(name.to_string()))?.clone();
         if def.compensation.is_empty() {
             return Err(DolError::NoCompensation(name.to_string()));
         }
@@ -361,10 +347,7 @@ impl<'f> DolEngine<'f> {
 }
 
 /// Evaluates a status condition.
-pub fn eval_cond(
-    cond: &DolCond,
-    statuses: &HashMap<String, TaskStatus>,
-) -> Result<bool, DolError> {
+pub fn eval_cond(cond: &DolCond, statuses: &HashMap<String, TaskStatus>) -> Result<bool, DolError> {
     match cond {
         DolCond::StatusEq { task, status } => statuses
             .get(task)
@@ -574,9 +557,8 @@ mod tests {
     fn open_failure_propagates() {
         let factory = MockFactory::default();
         let engine = DolEngine::new(&factory);
-        let err = engine.execute(
-            &parse_program("DOLBEGIN OPEN unreachable AT s AS u; DOLEND").unwrap(),
-        );
+        let err =
+            engine.execute(&parse_program("DOLBEGIN OPEN unreachable AT s AS u; DOLEND").unwrap());
         assert!(matches!(err, Err(DolError::OpenFailed { .. })));
     }
 
@@ -611,9 +593,8 @@ mod tests {
     fn condition_over_unknown_task_is_an_error() {
         let factory = MockFactory::default();
         let engine = DolEngine::new(&factory);
-        let err = engine.execute(
-            &parse_program("DOLBEGIN IF T9=P THEN DOLSTATUS=0; DOLEND").unwrap(),
-        );
+        let err =
+            engine.execute(&parse_program("DOLBEGIN IF T9=P THEN DOLSTATUS=0; DOLEND").unwrap());
         assert!(matches!(err, Err(DolError::UnknownTask(_))));
     }
 

@@ -43,7 +43,9 @@ pub enum DolError {
 impl fmt::Display for DolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DolError::Parse { message, line } => write!(f, "DOL parse error (line {line}): {message}"),
+            DolError::Parse { message, line } => {
+                write!(f, "DOL parse error (line {line}): {message}")
+            }
             DolError::UnknownTask(t) => write!(f, "unknown task `{t}`"),
             DolError::UnknownService(s) => write!(f, "unknown service alias `{s}`"),
             DolError::OpenFailed { service, reason } => {

@@ -87,9 +87,8 @@ impl<'a> Lexer<'a> {
                         self.pos += 1;
                     }
                     let text = &self.src[start..self.pos];
-                    let v: i32 = text
-                        .parse()
-                        .map_err(|_| self.error(format!("bad integer `{text}`")))?;
+                    let v: i32 =
+                        text.parse().map_err(|_| self.error(format!("bad integer `{text}`")))?;
                     out.push((Tok::Int(v), self.line));
                 }
                 _ if b.is_ascii_alphabetic() || b == b'_' => {
@@ -259,14 +258,14 @@ impl Parser {
         let service = self.expect_word()?;
         let commands = match self.bump() {
             Some(Tok::Block(b)) => split_commands(&b),
-            other => return Err(self.error(format!("expected a `{{ sql }}` block, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected a `{{ sql }}` block, found {other:?}")))
+            }
         };
         let compensation = if self.eat_kw("comp") {
             match self.bump() {
                 Some(Tok::Block(b)) => split_commands(&b),
-                other => {
-                    return Err(self.error(format!("expected a COMP block, found {other:?}")))
-                }
+                other => return Err(self.error(format!("expected a COMP block, found {other:?}"))),
             }
         } else {
             Vec::new()
@@ -436,7 +435,9 @@ mod tests {
             )
         );
         assert_eq!(then_branch.len(), 2);
-        assert!(matches!(&then_branch[0], DolStmt::Commit { tasks } if tasks == &vec!["T1".to_string(), "T3".to_string()]));
+        assert!(
+            matches!(&then_branch[0], DolStmt::Commit { tasks } if tasks == &vec!["T1".to_string(), "T3".to_string()])
+        );
         assert!(matches!(then_branch[1], DolStmt::SetStatus(0)));
         assert!(matches!(&else_branch[0], DolStmt::Abort { .. }));
         assert!(matches!(else_branch[1], DolStmt::SetStatus(1)));

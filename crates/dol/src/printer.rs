@@ -140,8 +140,8 @@ mod tests {
             DOLEND";
         let ast = parse_program(src).unwrap();
         let printed = print_program(&ast);
-        let reparsed = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(ast, reparsed, "printed:\n{printed}");
     }
 

@@ -10,9 +10,29 @@ fn name_strategy() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("keywords", |s| {
         !matches!(
             s.as_str(),
-            "dolbegin" | "dolend" | "open" | "at" | "as" | "task" | "nocommit" | "for" | "comp"
-                | "endtask" | "if" | "then" | "else" | "begin" | "end" | "commit" | "abort"
-                | "compensate" | "dolstatus" | "close" | "and" | "or" | "not"
+            "dolbegin"
+                | "dolend"
+                | "open"
+                | "at"
+                | "as"
+                | "task"
+                | "nocommit"
+                | "for"
+                | "comp"
+                | "endtask"
+                | "if"
+                | "then"
+                | "else"
+                | "begin"
+                | "end"
+                | "commit"
+                | "abort"
+                | "compensate"
+                | "dolstatus"
+                | "close"
+                | "and"
+                | "or"
+                | "not"
         )
     })
 }
@@ -38,8 +58,7 @@ fn cond_strategy() -> impl Strategy<Value = DolCond> {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| DolCond::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| DolCond::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| DolCond::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|a| DolCond::Not(Box::new(a))),
         ]
     })
@@ -49,8 +68,7 @@ fn cond_strategy() -> impl Strategy<Value = DolCond> {
 /// no semicolons outside strings — splitting is covered by unit tests).
 fn command_strategy() -> impl Strategy<Value = String> {
     "[A-Za-z0-9 =*.,<>']{1,40}".prop_map(|s| {
-        let cleaned: String =
-            s.chars().filter(|c| !matches!(c, '{' | '}' | ';')).collect();
+        let cleaned: String = s.chars().filter(|c| !matches!(c, '{' | '}' | ';')).collect();
         // Unbalanced quotes would glue statements together; keep it simple.
         let cleaned = cleaned.replace('\'', "");
         if cleaned.trim().is_empty() {
@@ -85,11 +103,9 @@ fn stmt_strategy() -> impl Strategy<Value = DolStmt> {
     let leaf = prop_oneof![open, task, commit, abort, compensate, status, close];
     (leaf, proptest::option::of(cond_strategy())).prop_map(|(stmt, cond)| match cond {
         None => stmt,
-        Some(cond) => DolStmt::If {
-            cond,
-            then_branch: vec![stmt],
-            else_branch: vec![DolStmt::SetStatus(1)],
-        },
+        Some(cond) => {
+            DolStmt::If { cond, then_branch: vec![stmt], else_branch: vec![DolStmt::SetStatus(1)] }
+        }
     })
 }
 

@@ -284,51 +284,49 @@ impl Engine {
         let dbname = database.to_ascii_lowercase();
 
         match stmt {
-            Statement::Query(q) => {
-                match &q.body {
-                    QueryBody::Select(sel) => {
-                        let db = self.database(&dbname)?;
-                        let rs = select::execute_select(db, sel, &[])?;
-                        Ok(ExecOutcome::Rows(rs))
-                    }
-                    QueryBody::Insert(ins) => {
-                        let table = ins.table.table.as_str().to_string();
-                        self.write_guard(txn, &dbname, &table)?;
-                        let mut undo = Vec::new();
-                        let db = self
-                            .databases
-                            .get_mut(&dbname)
-                            .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
-                        let out = dml::execute_insert(db, ins, &mut undo);
-                        self.absorb_stmt_undo(txn, undo, &out);
-                        out.map(ExecOutcome::Affected)
-                    }
-                    QueryBody::Update(up) => {
-                        let table = up.table.table.as_str().to_string();
-                        self.write_guard(txn, &dbname, &table)?;
-                        let mut undo = Vec::new();
-                        let db = self
-                            .databases
-                            .get_mut(&dbname)
-                            .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
-                        let out = dml::execute_update(db, up, &mut undo);
-                        self.absorb_stmt_undo(txn, undo, &out);
-                        out.map(ExecOutcome::Affected)
-                    }
-                    QueryBody::Delete(del) => {
-                        let table = del.table.table.as_str().to_string();
-                        self.write_guard(txn, &dbname, &table)?;
-                        let mut undo = Vec::new();
-                        let db = self
-                            .databases
-                            .get_mut(&dbname)
-                            .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
-                        let out = dml::execute_delete(db, del, &mut undo);
-                        self.absorb_stmt_undo(txn, undo, &out);
-                        out.map(ExecOutcome::Affected)
-                    }
+            Statement::Query(q) => match &q.body {
+                QueryBody::Select(sel) => {
+                    let db = self.database(&dbname)?;
+                    let rs = select::execute_select(db, sel, &[])?;
+                    Ok(ExecOutcome::Rows(rs))
                 }
-            }
+                QueryBody::Insert(ins) => {
+                    let table = ins.table.table.as_str().to_string();
+                    self.write_guard(txn, &dbname, &table)?;
+                    let mut undo = Vec::new();
+                    let db = self
+                        .databases
+                        .get_mut(&dbname)
+                        .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                    let out = dml::execute_insert(db, ins, &mut undo);
+                    self.absorb_stmt_undo(txn, undo, &out);
+                    out.map(ExecOutcome::Affected)
+                }
+                QueryBody::Update(up) => {
+                    let table = up.table.table.as_str().to_string();
+                    self.write_guard(txn, &dbname, &table)?;
+                    let mut undo = Vec::new();
+                    let db = self
+                        .databases
+                        .get_mut(&dbname)
+                        .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                    let out = dml::execute_update(db, up, &mut undo);
+                    self.absorb_stmt_undo(txn, undo, &out);
+                    out.map(ExecOutcome::Affected)
+                }
+                QueryBody::Delete(del) => {
+                    let table = del.table.table.as_str().to_string();
+                    self.write_guard(txn, &dbname, &table)?;
+                    let mut undo = Vec::new();
+                    let db = self
+                        .databases
+                        .get_mut(&dbname)
+                        .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                    let out = dml::execute_delete(db, del, &mut undo);
+                    self.absorb_stmt_undo(txn, undo, &out);
+                    out.map(ExecOutcome::Affected)
+                }
+            },
             Statement::CreateTable(ct) => {
                 let table = ct.table.table.as_str().to_string();
                 self.write_guard(txn, &dbname, &table)?;
@@ -340,7 +338,11 @@ impl Engine {
                     .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
                 let mut undo = Vec::new();
                 let out = ddl::execute_create_table(db, ct, log_undo.then_some(&mut undo));
-                self.absorb_stmt_undo(txn, undo, &out.as_ref().map(|_| 0usize).map_err(Clone::clone));
+                self.absorb_stmt_undo(
+                    txn,
+                    undo,
+                    &out.as_ref().map(|_| 0usize).map_err(Clone::clone),
+                );
                 out.map(|_| ExecOutcome::Affected(0))
             }
             Statement::DropTable(dt) => {
@@ -354,7 +356,11 @@ impl Engine {
                     .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
                 let mut undo = Vec::new();
                 let out = ddl::execute_drop_table(db, dt, log_undo.then_some(&mut undo));
-                self.absorb_stmt_undo(txn, undo, &out.as_ref().map(|_| 0usize).map_err(Clone::clone));
+                self.absorb_stmt_undo(
+                    txn,
+                    undo,
+                    &out.as_ref().map(|_| 0usize).map_err(Clone::clone),
+                );
                 out.map(|_| ExecOutcome::Affected(0))
             }
             Statement::CreateDatabase(name) => {
@@ -443,10 +449,7 @@ impl Engine {
     /// Commits a transaction (from Active for one-phase, or Prepared for the
     /// second phase of 2PC).
     pub fn commit(&mut self, txn: TxnId) -> Result<(), DbError> {
-        let t = self
-            .txns
-            .get_mut(&txn)
-            .ok_or(DbError::UnknownTransaction(txn))?;
+        let t = self.txns.get_mut(&txn).ok_or(DbError::UnknownTransaction(txn))?;
         match t.state {
             TxnState::Active | TxnState::Prepared => {
                 t.state = TxnState::Committed;
@@ -465,10 +468,7 @@ impl Engine {
     /// Rolls a transaction back (from Active or Prepared), restoring all
     /// undone state.
     pub fn rollback(&mut self, txn: TxnId) -> Result<(), DbError> {
-        let t = self
-            .txns
-            .get_mut(&txn)
-            .ok_or(DbError::UnknownTransaction(txn))?;
+        let t = self.txns.get_mut(&txn).ok_or(DbError::UnknownTransaction(txn))?;
         match t.state {
             TxnState::Active | TxnState::Prepared => {
                 t.state = TxnState::Aborted;

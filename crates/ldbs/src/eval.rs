@@ -191,12 +191,9 @@ impl<'a> Evaluator<'a> {
                 let probe = self.eval(expr)?;
                 let rs = crate::exec::select::execute_select(self.db, subquery, &self.scopes)?;
                 if rs.columns.len() != 1 {
-                    return Err(DbError::TypeError(
-                        "IN subquery must return one column".into(),
-                    ));
+                    return Err(DbError::TypeError("IN subquery must return one column".into()));
                 }
-                let candidates: Vec<Value> =
-                    rs.rows.into_iter().map(|mut r| r.remove(0)).collect();
+                let candidates: Vec<Value> = rs.rows.into_iter().map(|mut r| r.remove(0)).collect();
                 in_semantics(&probe, &candidates, *negated)
             }
             Expr::Between { expr, low, high, negated } => {
@@ -282,12 +279,8 @@ impl<'a> Evaluator<'a> {
             BinaryOp::LtEq => {
                 Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o != Ordering::Greater)))
             }
-            BinaryOp::Gt => {
-                Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o == Ordering::Greater)))
-            }
-            BinaryOp::GtEq => {
-                Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o != Ordering::Less)))
-            }
+            BinaryOp::Gt => Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o == Ordering::Greater))),
+            BinaryOp::GtEq => Ok(truth_value(cmp_to_bool(l.sql_cmp(&r), |o| o != Ordering::Less))),
             BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
         }
     }
@@ -571,20 +564,13 @@ mod tests {
             ],
         );
         let row = vec![Value::Int(7), Value::Float(39.5)];
-        let env = Env {
-            bindings: vec![Binding { name: "cars".into(), schema: &schema, row: &row }],
-        };
+        let env =
+            Env { bindings: vec![Binding { name: "cars".into(), schema: &schema, row: &row }] };
         let ev = Evaluator::new(&db, &env);
         assert_eq!(ev.eval(&parse_expr("code").unwrap()).unwrap(), Value::Int(7));
         assert_eq!(ev.eval(&parse_expr("cars.rate").unwrap()).unwrap(), Value::Float(39.5));
-        assert_eq!(
-            ev.eval(&parse_expr("rate * 1.1").unwrap()).unwrap(),
-            Value::Float(39.5 * 1.1)
-        );
-        assert!(matches!(
-            ev.eval(&parse_expr("missing").unwrap()),
-            Err(DbError::UnknownColumn(_))
-        ));
+        assert_eq!(ev.eval(&parse_expr("rate * 1.1").unwrap()).unwrap(), Value::Float(39.5 * 1.1));
+        assert!(matches!(ev.eval(&parse_expr("missing").unwrap()), Err(DbError::UnknownColumn(_))));
         // Remote qualifier is rejected.
         assert!(matches!(
             ev.eval(&parse_expr("national.cars.rate").unwrap()),
@@ -609,10 +595,7 @@ mod tests {
             ],
         };
         let ev = Evaluator::new(&db, &env);
-        assert!(matches!(
-            ev.eval(&parse_expr("x").unwrap()),
-            Err(DbError::AmbiguousColumn(_))
-        ));
+        assert!(matches!(ev.eval(&parse_expr("x").unwrap()), Err(DbError::AmbiguousColumn(_))));
         assert_eq!(ev.eval(&parse_expr("a.x").unwrap()).unwrap(), Value::Int(1));
         assert_eq!(ev.eval(&parse_expr("b.x").unwrap()).unwrap(), Value::Int(2));
     }
@@ -621,9 +604,6 @@ mod tests {
     fn wildcard_column_is_rejected_locally() {
         let db = Database::new("d");
         let e = parse_expr("rate%").unwrap();
-        assert!(matches!(
-            Evaluator::constant(&db).eval(&e),
-            Err(DbError::NotLocalSql(_))
-        ));
+        assert!(matches!(Evaluator::constant(&db).eval(&e), Err(DbError::NotLocalSql(_))));
     }
 }

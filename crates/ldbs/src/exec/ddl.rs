@@ -114,30 +114,21 @@ mod tests {
         let mut db = Database::new("avis");
         let ct = as_create("CREATE TABLE cars (code INT)");
         execute_create_table(&mut db, &ct, None).unwrap();
-        assert!(matches!(
-            execute_create_table(&mut db, &ct, None),
-            Err(DbError::AlreadyExists(_))
-        ));
+        assert!(matches!(execute_create_table(&mut db, &ct, None), Err(DbError::AlreadyExists(_))));
     }
 
     #[test]
     fn duplicate_column_rejected() {
         let mut db = Database::new("avis");
         let ct = as_create("CREATE TABLE t (x INT, x FLOAT)");
-        assert!(matches!(
-            execute_create_table(&mut db, &ct, None),
-            Err(DbError::AlreadyExists(_))
-        ));
+        assert!(matches!(execute_create_table(&mut db, &ct, None), Err(DbError::AlreadyExists(_))));
     }
 
     #[test]
     fn drop_unknown_table_errors() {
         let mut db = Database::new("avis");
         let dt = as_drop("DROP TABLE ghost");
-        assert!(matches!(
-            execute_drop_table(&mut db, &dt, None),
-            Err(DbError::UnknownTable(_))
-        ));
+        assert!(matches!(execute_drop_table(&mut db, &dt, None), Err(DbError::UnknownTable(_))));
     }
 
     #[test]
@@ -157,9 +148,6 @@ mod tests {
     fn remote_qualifier_rejected() {
         let mut db = Database::new("avis");
         let ct = as_create("CREATE TABLE national.vehicle (x INT)");
-        assert!(matches!(
-            execute_create_table(&mut db, &ct, None),
-            Err(DbError::NotLocalSql(_))
-        ));
+        assert!(matches!(execute_create_table(&mut db, &ct, None), Err(DbError::NotLocalSql(_))));
     }
 }

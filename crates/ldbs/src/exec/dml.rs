@@ -14,10 +14,7 @@ use msql_lang::{Delete, Insert, InsertSource, Update};
 
 fn check_local_table(t: &msql_lang::TableRef, db: &Database) -> Result<String, DbError> {
     if t.table.is_multiple() {
-        return Err(DbError::NotLocalSql(format!(
-            "table `{}` still contains a wildcard",
-            t.table
-        )));
+        return Err(DbError::NotLocalSql(format!("table `{}` still contains a wildcard", t.table)));
     }
     if let Some(d) = &t.database {
         if d.as_str() != db.name {
@@ -72,9 +69,7 @@ pub fn execute_insert(
                 }
                 out
             }
-            InsertSource::Select(sel) => {
-                crate::exec::select::execute_select(dbr, sel, &[])?.rows
-            }
+            InsertSource::Select(sel) => crate::exec::select::execute_select(dbr, sel, &[])?.rows,
         };
         let mut planned = Vec::with_capacity(source_rows.len());
         for vals in source_rows {
@@ -135,9 +130,7 @@ pub fn execute_update(
         let cache = SubqueryCache::new();
         let mut planned = Vec::new();
         for (id, row) in table.iter() {
-            let env = Env {
-                bindings: vec![Binding { name: binding_name.clone(), schema, row }],
-            };
+            let env = Env { bindings: vec![Binding { name: binding_name.clone(), schema, row }] };
             let ev = Evaluator::new(dbr, &env).with_cache(&cache);
             let hit = match &up.where_clause {
                 None => true,
@@ -161,12 +154,7 @@ pub fn execute_update(
     let mut changed = 0usize;
     for (id, new_row) in planned {
         let old = table.replace(id, new_row)?;
-        undo.push(UndoOp::Update {
-            database: dbname.clone(),
-            table: table_name.clone(),
-            id,
-            old,
-        });
+        undo.push(UndoOp::Update { database: dbname.clone(), table: table_name.clone(), id, old });
         changed += 1;
     }
     Ok(changed)
@@ -188,9 +176,7 @@ pub fn execute_delete(
         let cache = SubqueryCache::new();
         let mut victims = Vec::new();
         for (id, row) in table.iter() {
-            let env = Env {
-                bindings: vec![Binding { name: binding_name.clone(), schema, row }],
-            };
+            let env = Env { bindings: vec![Binding { name: binding_name.clone(), schema, row }] };
             let ev = Evaluator::new(dbr, &env).with_cache(&cache);
             let hit = match &del.where_clause {
                 None => true,
@@ -394,10 +380,7 @@ mod tests {
         let mut db = flights_db();
         let mut undo = Vec::new();
         let up = as_update("UPDATE delta.flight SET rate = 1");
-        assert!(matches!(
-            execute_update(&mut db, &up, &mut undo),
-            Err(DbError::NotLocalSql(_))
-        ));
+        assert!(matches!(execute_update(&mut db, &up, &mut undo), Err(DbError::NotLocalSql(_))));
     }
 
     #[test]
@@ -405,9 +388,6 @@ mod tests {
         let mut db = flights_db();
         let mut undo = Vec::new();
         let up = as_update("UPDATE flights SET rate% = 1");
-        assert!(matches!(
-            execute_update(&mut db, &up, &mut undo),
-            Err(DbError::NotLocalSql(_))
-        ));
+        assert!(matches!(execute_update(&mut db, &up, &mut undo), Err(DbError::NotLocalSql(_))));
     }
 }

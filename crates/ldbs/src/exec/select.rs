@@ -14,9 +14,7 @@ use crate::schema::TableSchema;
 use crate::table::Row;
 use crate::value::{DataType, Value};
 use msql_lang::printer::print_expr;
-use msql_lang::{
-    AggregateKind, Expr, OrderByItem, Select, SelectItem, SortOrder, TableRef,
-};
+use msql_lang::{AggregateKind, Expr, OrderByItem, Select, SelectItem, SortOrder, TableRef};
 use std::cmp::Ordering;
 
 /// Executes a SELECT against `db`. `outer` carries the binding scopes of
@@ -150,11 +148,7 @@ fn make_env<'a>(
         bindings: sources
             .iter()
             .zip(combo)
-            .map(|((schema, _, binding), row)| Binding {
-                name: binding.clone(),
-                schema,
-                row,
-            })
+            .map(|((schema, _, binding), row)| Binding { name: binding.clone(), schema, row })
             .collect(),
     }
 }
@@ -189,7 +183,11 @@ fn expand_items(
             SelectItem::Wildcard => {
                 for (si, (schema, _, _)) in sources.iter().enumerate() {
                     for (ci, col) in schema.columns.iter().enumerate() {
-                        out.push(ProjItem::Direct { source: si, column: ci, name: col.name.clone() });
+                        out.push(ProjItem::Direct {
+                            source: si,
+                            column: ci,
+                            name: col.name.clone(),
+                        });
                     }
                 }
             }
@@ -368,10 +366,9 @@ fn substitute_aggregates(
             let v = compute(*kind, arg.as_deref(), *distinct)?;
             Expr::Literal(value_literal(&v))
         }
-        Expr::Unary { op, expr } => Expr::Unary {
-            op: *op,
-            expr: Box::new(substitute_aggregates(expr, compute)?),
-        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(substitute_aggregates(expr, compute)?) }
+        }
         Expr::Binary { left, op, right } => Expr::Binary {
             left: Box::new(substitute_aggregates(left, compute)?),
             op: *op,
@@ -446,14 +443,12 @@ fn compute_aggregate(
     }
     match kind {
         AggregateKind::Count => Ok(Value::Int(values.len() as i64)),
-        AggregateKind::Min => Ok(values
-            .into_iter()
-            .min_by(|a, b| a.total_cmp(b))
-            .unwrap_or(Value::Null)),
-        AggregateKind::Max => Ok(values
-            .into_iter()
-            .max_by(|a, b| a.total_cmp(b))
-            .unwrap_or(Value::Null)),
+        AggregateKind::Min => {
+            Ok(values.into_iter().min_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null))
+        }
+        AggregateKind::Max => {
+            Ok(values.into_iter().max_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null))
+        }
         AggregateKind::Sum | AggregateKind::Avg => {
             if values.is_empty() {
                 return Ok(Value::Null);
@@ -523,8 +518,7 @@ fn build_column_meta(
             }
             SelectItem::Expr { expr, alias, .. } => {
                 static_types.push(infer_type(expr, sources));
-                expanded_names
-                    .push(alias.clone().unwrap_or_else(|| derive_name(expr)));
+                expanded_names.push(alias.clone().unwrap_or_else(|| derive_name(expr)));
             }
         }
     }
@@ -539,19 +533,14 @@ fn build_column_meta(
                 .get(i)
                 .copied()
                 .flatten()
-                .or_else(|| {
-                    rows.iter().find_map(|r| r.get(i).and_then(|v| v.data_type()))
-                })
+                .or_else(|| rows.iter().find_map(|r| r.get(i).and_then(|v| v.data_type())))
                 .unwrap_or(DataType::Char(0));
             ColumnMeta { name: name.clone(), data_type: ty }
         })
         .collect()
 }
 
-fn infer_type(
-    expr: &Expr,
-    sources: &[(&TableSchema, Vec<&Row>, String)],
-) -> Option<DataType> {
+fn infer_type(expr: &Expr, sources: &[(&TableSchema, Vec<&Row>, String)]) -> Option<DataType> {
     match expr {
         Expr::Column(c) => {
             let table = c.table.as_ref().map(|t| t.as_str());
@@ -697,7 +686,8 @@ mod tests {
     #[test]
     fn global_aggregates() {
         let db = avis();
-        let rs = select(&db, "SELECT COUNT(*), MIN(rate), MAX(rate), AVG(rate), SUM(code) FROM cars");
+        let rs =
+            select(&db, "SELECT COUNT(*), MIN(rate), MAX(rate), AVG(rate), SUM(code) FROM cars");
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Int(4));
         assert_eq!(rs.rows[0][1], Value::Float(25.0));
@@ -794,10 +784,7 @@ mod tests {
             let msql_lang::QueryBody::Select(sel) = q.body else { panic!() };
             execute_select(&db, &sel, &[])
         };
-        assert!(matches!(
-            try_select("SELECT x FROM nonexistent"),
-            Err(DbError::UnknownTable(_))
-        ));
+        assert!(matches!(try_select("SELECT x FROM nonexistent"), Err(DbError::UnknownTable(_))));
         assert!(matches!(
             try_select("SELECT nonexistent FROM cars"),
             Err(DbError::UnknownColumn(_))
@@ -807,14 +794,11 @@ mod tests {
     #[test]
     fn scalar_subquery_cardinality_error() {
         let db = avis();
-        let stmt = parse_statement("SELECT code FROM cars WHERE rate = (SELECT rate FROM cars)")
-            .unwrap();
+        let stmt =
+            parse_statement("SELECT code FROM cars WHERE rate = (SELECT rate FROM cars)").unwrap();
         let msql_lang::Statement::Query(q) = stmt else { panic!() };
         let msql_lang::QueryBody::Select(sel) = q.body else { panic!() };
-        assert!(matches!(
-            execute_select(&db, &sel, &[]),
-            Err(DbError::SubqueryCardinality)
-        ));
+        assert!(matches!(execute_select(&db, &sel, &[]), Err(DbError::SubqueryCardinality)));
     }
 
     #[test]

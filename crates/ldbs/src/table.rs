@@ -141,14 +141,8 @@ mod tests {
     #[test]
     fn validation_rejects_bad_rows() {
         let mut t = table();
-        assert!(matches!(
-            t.insert(vec![Value::Int(1)]),
-            Err(DbError::TypeError(_))
-        ));
-        assert!(matches!(
-            t.insert(vec![Value::Null, Value::Null]),
-            Err(DbError::NullViolation(_))
-        ));
+        assert!(matches!(t.insert(vec![Value::Int(1)]), Err(DbError::TypeError(_))));
+        assert!(matches!(t.insert(vec![Value::Null, Value::Null]), Err(DbError::NullViolation(_))));
         assert!(matches!(
             t.insert(vec![Value::Str("x".into()), Value::Null]),
             Err(DbError::TypeError(_))

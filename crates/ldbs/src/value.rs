@@ -261,9 +261,7 @@ fn numeric_binop(
             let (x, y) = match (a.as_f64(), b.as_f64()) {
                 (Some(x), Some(y)) => (x, y),
                 _ => {
-                    return Err(DbError::TypeError(format!(
-                        "cannot apply {sym} to {a} and {b}"
-                    )));
+                    return Err(DbError::TypeError(format!("cannot apply {sym} to {a} and {b}")));
                 }
             };
             Ok(Value::Float(ff(x, y)))
@@ -343,21 +341,20 @@ mod tests {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(
-            Value::Str("a".into()).sql_cmp(&Value::Str("b".into())),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Str("b".into())), Some(Ordering::Less));
         // Incomparable types are unknown, not a panic.
         assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
     }
 
     #[test]
     fn total_cmp_is_total_and_nulls_first() {
-        let mut vals = [Value::Str("z".into()),
+        let mut vals = [
+            Value::Str("z".into()),
             Value::Null,
             Value::Int(3),
             Value::Float(1.5),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));
@@ -404,10 +401,7 @@ mod tests {
 
     #[test]
     fn concat_and_display() {
-        assert_eq!(
-            Value::Str("a".into()).concat(&Value::Int(1)).unwrap(),
-            Value::Str("a1".into())
-        );
+        assert_eq!(Value::Str("a".into()).concat(&Value::Int(1)).unwrap(), Value::Str("a1".into()));
         assert_eq!(Value::Str("it's".into()).to_string(), "'it''s'");
     }
 

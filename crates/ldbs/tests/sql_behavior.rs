@@ -20,8 +20,11 @@ fn engine() -> Engine {
         (4, "'dee'", "'ops'", "NULL", "'2019-03-30'"),
         (5, "NULL", "'hr'", "80.0", "'2022-11-02'"),
     ] {
-        e.execute("db", &format!("INSERT INTO emp VALUES ({id}, {name}, {dept}, {salary}, {hired})"))
-            .unwrap();
+        e.execute(
+            "db",
+            &format!("INSERT INTO emp VALUES ({id}, {name}, {dept}, {salary}, {hired})"),
+        )
+        .unwrap();
     }
     e
 }
@@ -114,10 +117,7 @@ fn distinct_on_multiple_columns() {
 #[test]
 fn in_between_like_combinations() {
     let mut e = engine();
-    assert_eq!(
-        rows(&mut e, "SELECT id FROM emp WHERE dept IN ('eng', 'hr') ORDER BY id").len(),
-        3
-    );
+    assert_eq!(rows(&mut e, "SELECT id FROM emp WHERE dept IN ('eng', 'hr') ORDER BY id").len(), 3);
     assert_eq!(
         rows(&mut e, "SELECT id FROM emp WHERE salary BETWEEN 85 AND 105 ORDER BY id").len(),
         2
@@ -138,21 +138,20 @@ fn correlated_exists_and_in() {
         &mut e,
         "SELECT id FROM emp WHERE EXISTS (SELECT 1 FROM bonus WHERE bonus.emp_id = emp.id) ORDER BY id",
     );
-    assert_eq!(got.iter().map(|r| r[0].clone()).collect::<Vec<_>>(), vec![Value::Int(1), Value::Int(3)]);
-    let got = rows(
-        &mut e,
-        "SELECT id FROM emp WHERE id NOT IN (SELECT emp_id FROM bonus) ORDER BY id",
+    assert_eq!(
+        got.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+        vec![Value::Int(1), Value::Int(3)]
     );
+    let got =
+        rows(&mut e, "SELECT id FROM emp WHERE id NOT IN (SELECT emp_id FROM bonus) ORDER BY id");
     assert_eq!(got.len(), 3);
 }
 
 #[test]
 fn scalar_subquery_comparison_against_aggregate() {
     let mut e = engine();
-    let got = rows(
-        &mut e,
-        "SELECT id FROM emp WHERE salary > (SELECT AVG(salary) FROM emp) ORDER BY id",
-    );
+    let got =
+        rows(&mut e, "SELECT id FROM emp WHERE salary > (SELECT AVG(salary) FROM emp) ORDER BY id");
     // avg = 97.5; above: 100 (id 1) and 120 (id 2).
     assert_eq!(got.len(), 2);
 }
@@ -271,10 +270,7 @@ fn subquery_cache_consistent_for_uncorrelated() {
     // Uncorrelated: every row sees the same MIN; exactly the reservation
     // pattern of §3.4.
     let mut e = engine();
-    let got = rows(
-        &mut e,
-        "SELECT id FROM emp WHERE salary = (SELECT MIN(salary) FROM emp)",
-    );
+    let got = rows(&mut e, "SELECT id FROM emp WHERE salary = (SELECT MIN(salary) FROM emp)");
     assert_eq!(got, vec![vec![Value::Int(5)]]);
 }
 

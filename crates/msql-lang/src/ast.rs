@@ -863,7 +863,11 @@ mod tests {
         let use_stmt = UseStatement {
             current: false,
             elements: vec![
-                UseElement { database: "continental".into(), alias: Some("cont".into()), vital: true },
+                UseElement {
+                    database: "continental".into(),
+                    alias: Some("cont".into()),
+                    vital: true,
+                },
                 UseElement { database: "delta".into(), alias: None, vital: false },
                 UseElement { database: "united".into(), alias: None, vital: true },
             ],
@@ -889,7 +893,11 @@ mod tests {
 
     #[test]
     fn contains_aggregate_detects_nesting() {
-        let agg = Expr::Aggregate { kind: AggregateKind::Min, arg: Some(Box::new(Expr::col(ColumnRef::bare("snu")))), distinct: false };
+        let agg = Expr::Aggregate {
+            kind: AggregateKind::Min,
+            arg: Some(Box::new(Expr::col(ColumnRef::bare("snu")))),
+            distinct: false,
+        };
         let e = Expr::Binary {
             left: Box::new(Expr::lit(Literal::Int(1))),
             op: BinaryOp::Add,

@@ -109,10 +109,7 @@ pub fn wild_match_reference(pattern: &str, text: &str) -> bool {
             Some(&c) => t.first() == Some(&c) && go(&p[1..], &t[1..]),
         }
     }
-    go(
-        pattern.to_ascii_lowercase().as_bytes(),
-        text.to_ascii_lowercase().as_bytes(),
-    )
+    go(pattern.to_ascii_lowercase().as_bytes(), text.to_ascii_lowercase().as_bytes())
 }
 
 #[cfg(test)]

@@ -145,7 +145,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                     TokenKind::NotEq
                 } else {
-                    return Err(ParseError::new("expected `=` after `!`", Span::new(start, self.pos)));
+                    return Err(ParseError::new(
+                        "expected `=` after `!`",
+                        Span::new(start, self.pos),
+                    ));
                 }
             }
             b'<' => match self.peek() {
@@ -216,10 +219,7 @@ impl<'a> Lexer<'a> {
                 }
                 Some(_) => {
                     // Multi-byte UTF-8 character: decode it whole.
-                    let ch = self.src[self.pos..]
-                        .chars()
-                        .next()
-                        .expect("peek guaranteed a byte");
+                    let ch = self.src[self.pos..].chars().next().expect("peek guaranteed a byte");
                     value.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -281,9 +281,9 @@ impl<'a> Lexer<'a> {
                 .map_err(|_| ParseError::new(format!("invalid float literal {text:?}"), span))?;
             Ok(Token::new(TokenKind::Float(v), span))
         } else {
-            let v: i64 = text
-                .parse()
-                .map_err(|_| ParseError::new(format!("integer literal {text:?} out of range"), span))?;
+            let v: i64 = text.parse().map_err(|_| {
+                ParseError::new(format!("integer literal {text:?} out of range"), span)
+            })?;
             Ok(Token::new(TokenKind::Int(v), span))
         }
     }

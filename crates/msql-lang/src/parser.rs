@@ -23,10 +23,38 @@ use crate::token::{Token, TokenKind};
 
 /// Keywords that terminate an alias position or a binding list.
 const RESERVED_CONTINUATIONS: &[&str] = &[
-    "where", "group", "having", "order", "from", "set", "values", "and", "or", "not",
-    "use", "let", "select", "insert", "update", "delete", "comp", "begin", "end",
-    "commit", "rollback", "create", "drop", "incorporate", "import", "union", "vital",
-    "be", "as", "on", "into", "limit",
+    "where",
+    "group",
+    "having",
+    "order",
+    "from",
+    "set",
+    "values",
+    "and",
+    "or",
+    "not",
+    "use",
+    "let",
+    "select",
+    "insert",
+    "update",
+    "delete",
+    "comp",
+    "begin",
+    "end",
+    "commit",
+    "rollback",
+    "create",
+    "drop",
+    "incorporate",
+    "import",
+    "union",
+    "vital",
+    "be",
+    "as",
+    "on",
+    "into",
+    "limit",
 ];
 
 /// The MSQL parser.
@@ -217,9 +245,7 @@ impl Parser {
             produced.push(Statement::Let(l));
         }
         let mut it = produced.into_iter();
-        let first = it
-            .next()
-            .ok_or_else(|| ParseError::new("expected USE or LET", self.span()))?;
+        let first = it.next().ok_or_else(|| ParseError::new("expected USE or LET", self.span()))?;
         self.pending.extend(it);
         Ok(first)
     }
@@ -278,8 +304,21 @@ impl Parser {
 
     fn starts_statement(&self) -> bool {
         for kw in [
-            "select", "insert", "update", "delete", "let", "use", "begin", "commit", "rollback",
-            "create", "drop", "incorporate", "import", "comp", "end",
+            "select",
+            "insert",
+            "update",
+            "delete",
+            "let",
+            "use",
+            "begin",
+            "commit",
+            "rollback",
+            "create",
+            "drop",
+            "incorporate",
+            "import",
+            "comp",
+            "end",
         ] {
             if self.peek_kw(kw) {
                 return true;
@@ -373,8 +412,7 @@ impl Parser {
                     self.span(),
                 ));
             }
-            let use_clause =
-                if self.peek_kw("use") { Some(self.parse_use()?) } else { None };
+            let use_clause = if self.peek_kw("use") { Some(self.parse_use()?) } else { None };
             let mut lets = Vec::new();
             while self.peek_kw("let") {
                 lets.push(self.parse_let()?);
@@ -534,10 +572,7 @@ impl Parser {
             } else if self.eat_kw("delete") {
                 TriggerEvent::Delete
             } else {
-                return Err(ParseError::new(
-                    "expected UPDATE, INSERT or DELETE",
-                    self.span(),
-                ));
+                return Err(ParseError::new("expected UPDATE, INSERT or DELETE", self.span()));
             };
             self.expect_kw("execute")?;
             let action = Box::new(self.parse_statement()?);
@@ -595,9 +630,7 @@ impl Parser {
             }
             "bool" | "boolean" => Ok(TypeName::Bool),
             "date" => Ok(TypeName::Date),
-            other => {
-                Err(ParseError::new(format!("unknown type name `{other}`"), self.span()))
-            }
+            other => Err(ParseError::new(format!("unknown type name `{other}`"), self.span())),
         }
     }
 
@@ -1020,9 +1053,10 @@ impl Parser {
                 };
                 Ok(Expr::Column(col))
             }
-            other => {
-                Err(ParseError::new(format!("unexpected token `{other}` in expression"), self.span()))
-            }
+            other => Err(ParseError::new(
+                format!("unexpected token `{other}` in expression"),
+                self.span(),
+            )),
         }
     }
 }
@@ -1250,14 +1284,16 @@ mod tests {
 
     #[test]
     fn parses_insert_forms() {
-        let s = parse_statement("INSERT INTO cars (code, rate) VALUES (1, 10.5), (2, NULL)").unwrap();
+        let s =
+            parse_statement("INSERT INTO cars (code, rate) VALUES (1, 10.5), (2, NULL)").unwrap();
         let Statement::Query(q) = s else { panic!() };
         let QueryBody::Insert(ins) = q.body else { panic!() };
         assert_eq!(ins.columns.len(), 2);
         let InsertSource::Values(rows) = ins.source else { panic!() };
         assert_eq!(rows.len(), 2);
 
-        let s2 = parse_statement("INSERT INTO archive SELECT * FROM cars WHERE carst = 'old'").unwrap();
+        let s2 =
+            parse_statement("INSERT INTO archive SELECT * FROM cars WHERE carst = 'old'").unwrap();
         let Statement::Query(q2) = s2 else { panic!() };
         let QueryBody::Insert(ins2) = q2.body else { panic!() };
         assert!(matches!(ins2.source, InsertSource::Select(_)));
@@ -1301,7 +1337,10 @@ mod tests {
     #[test]
     fn parses_like_and_is_null() {
         assert!(matches!(parse_expr("name LIKE 'a%'").unwrap(), Expr::Like { negated: false, .. }));
-        assert!(matches!(parse_expr("rate IS NOT NULL").unwrap(), Expr::IsNull { negated: true, .. }));
+        assert!(matches!(
+            parse_expr("rate IS NOT NULL").unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
     }
 
     #[test]
@@ -1404,10 +1443,7 @@ mod tests {
 
     #[test]
     fn standalone_let_statement() {
-        let s = parse_statement(
-            "LET car.type BE cars.cartype vehicle.vty",
-        )
-        .unwrap();
+        let s = parse_statement("LET car.type BE cars.cartype vehicle.vty").unwrap();
         let Statement::Let(l) = s else { panic!() };
         assert_eq!(l.variables[0].bindings.len(), 2);
     }

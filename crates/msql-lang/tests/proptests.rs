@@ -55,13 +55,61 @@ fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("avoid keywords", |s| {
         !matches!(
             s.as_str(),
-            "select" | "from" | "where" | "group" | "having" | "order" | "and" | "or" | "not"
-                | "in" | "between" | "like" | "is" | "null" | "true" | "false" | "exists"
-                | "use" | "let" | "be" | "comp" | "begin" | "end" | "commit" | "rollback"
-                | "create" | "drop" | "insert" | "update" | "delete" | "set" | "values"
-                | "into" | "as" | "by" | "distinct" | "all" | "asc" | "desc" | "vital"
-                | "min" | "max" | "sum" | "avg" | "count" | "import" | "database" | "table"
-                | "union" | "current" | "service" | "site" | "view" | "column" | "on"
+            "select"
+                | "from"
+                | "where"
+                | "group"
+                | "having"
+                | "order"
+                | "and"
+                | "or"
+                | "not"
+                | "in"
+                | "between"
+                | "like"
+                | "is"
+                | "null"
+                | "true"
+                | "false"
+                | "exists"
+                | "use"
+                | "let"
+                | "be"
+                | "comp"
+                | "begin"
+                | "end"
+                | "commit"
+                | "rollback"
+                | "create"
+                | "drop"
+                | "insert"
+                | "update"
+                | "delete"
+                | "set"
+                | "values"
+                | "into"
+                | "as"
+                | "by"
+                | "distinct"
+                | "all"
+                | "asc"
+                | "desc"
+                | "vital"
+                | "min"
+                | "max"
+                | "sum"
+                | "avg"
+                | "count"
+                | "import"
+                | "database"
+                | "table"
+                | "union"
+                | "current"
+                | "service"
+                | "site"
+                | "view"
+                | "column"
+                | "on"
         )
     })
 }
@@ -91,11 +139,7 @@ fn literal_strategy() -> impl Strategy<Value = Literal> {
 }
 
 fn column_strategy() -> impl Strategy<Value = ColumnRef> {
-    (
-        prop::option::of(ident_strategy()),
-        prop::option::of(ident_strategy()),
-        wildident_strategy(),
-    )
+    (prop::option::of(ident_strategy()), prop::option::of(ident_strategy()), wildident_strategy())
         .prop_map(|(db, table, col)| match (db, table) {
             (Some(d), Some(t)) => ColumnRef::full(d, t, col),
             (_, Some(t)) => ColumnRef::with_table(t, col),
@@ -225,7 +269,11 @@ fn select_strategy() -> impl Strategy<Value = Select> {
             1..4,
         ),
         proptest::collection::vec(
-            (prop::option::of(ident_strategy()), ident_strategy(), prop::option::of(ident_strategy()))
+            (
+                prop::option::of(ident_strategy()),
+                ident_strategy(),
+                prop::option::of(ident_strategy()),
+            )
                 .prop_map(|(db, t, alias)| TableRef {
                     database: db.map(WildName::new),
                     table: WildName::new(t),

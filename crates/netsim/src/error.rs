@@ -1,6 +1,30 @@
-//! Network errors.
+//! Network errors and their transient/terminal classification.
 
 use std::fmt;
+
+/// Whether a network fault is worth retrying.
+///
+/// *Transient* faults (timeouts, injected drops, latency spikes beyond the
+/// receive deadline, partitions — which heal) may succeed on a resend.
+/// *Terminal* faults (unknown or deregistered sites, closed endpoints) will
+/// fail identically forever; callers should give up immediately and report
+/// the peer as unavailable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Retrying may succeed (lossy or slow link).
+    Transient,
+    /// Retrying cannot succeed (the peer is gone).
+    Terminal,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Transient => f.write_str("transient"),
+            FaultKind::Terminal => f.write_str("terminal"),
+        }
+    }
+}
 
 /// Errors raised by the simulated network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +46,25 @@ pub enum NetError {
     Disconnected,
     /// A site with this name is already registered.
     DuplicateSite(String),
+}
+
+impl NetError {
+    /// Classifies this fault for retry decisions.
+    pub fn fault_kind(&self) -> FaultKind {
+        match self {
+            NetError::Timeout | NetError::Dropped | NetError::Partitioned { .. } => {
+                FaultKind::Transient
+            }
+            NetError::UnknownSite(_) | NetError::Disconnected | NetError::DuplicateSite(_) => {
+                FaultKind::Terminal
+            }
+        }
+    }
+
+    /// True when a resend might succeed.
+    pub fn is_transient(&self) -> bool {
+        self.fault_kind() == FaultKind::Transient
+    }
 }
 
 impl fmt::Display for NetError {
@@ -50,5 +93,15 @@ mod tests {
         let e = NetError::Partitioned { from: "hub".into(), to: "site1".into() };
         let s = e.to_string();
         assert!(s.contains("hub") && s.contains("site1"));
+    }
+
+    #[test]
+    fn classification_matches_retry_semantics() {
+        assert!(NetError::Timeout.is_transient());
+        assert!(NetError::Dropped.is_transient());
+        assert!(NetError::Partitioned { from: "a".into(), to: "b".into() }.is_transient());
+        assert_eq!(NetError::UnknownSite("x".into()).fault_kind(), FaultKind::Terminal);
+        assert_eq!(NetError::Disconnected.fault_kind(), FaultKind::Terminal);
+        assert_eq!(NetError::DuplicateSite("x".into()).fault_kind(), FaultKind::Terminal);
     }
 }

@@ -10,6 +10,9 @@ pub struct LatencyModel {
     /// Delay applied to every link without an override.
     pub base: Duration,
     overrides: HashMap<(String, String), Duration>,
+    /// Injected extra delay per link, added on top of the base/override
+    /// (fault injection: latency spikes).
+    spikes: HashMap<(String, String), Duration>,
 }
 
 impl LatencyModel {
@@ -20,7 +23,7 @@ impl LatencyModel {
 
     /// Uniform latency on all links.
     pub fn uniform(base: Duration) -> Self {
-        LatencyModel { base, overrides: HashMap::new() }
+        LatencyModel { base, ..LatencyModel::default() }
     }
 
     /// Sets a directional per-link override.
@@ -34,12 +37,22 @@ impl LatencyModel {
         self.set_link(b, a, latency);
     }
 
-    /// The one-way delay from `from` to `to`.
+    /// Injects an extra directional delay on top of the link's normal
+    /// latency (a fault-injection latency spike).
+    pub fn inject_spike(&mut self, from: &str, to: &str, extra: Duration) {
+        self.spikes.insert((from.to_string(), to.to_string()), extra);
+    }
+
+    /// Removes an injected spike.
+    pub fn clear_spike(&mut self, from: &str, to: &str) {
+        self.spikes.remove(&(from.to_string(), to.to_string()));
+    }
+
+    /// The one-way delay from `from` to `to`, including any injected spike.
     pub fn delay(&self, from: &str, to: &str) -> Duration {
-        self.overrides
-            .get(&(from.to_string(), to.to_string()))
-            .copied()
-            .unwrap_or(self.base)
+        let key = (from.to_string(), to.to_string());
+        let normal = self.overrides.get(&key).copied().unwrap_or(self.base);
+        normal + self.spikes.get(&key).copied().unwrap_or(Duration::ZERO)
     }
 }
 
@@ -67,5 +80,15 @@ mod tests {
         m.set_link_symmetric("a", "b", Duration::from_millis(7));
         assert_eq!(m.delay("a", "b"), Duration::from_millis(7));
         assert_eq!(m.delay("b", "a"), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn spikes_stack_on_normal_latency_and_clear() {
+        let mut m = LatencyModel::uniform(Duration::from_millis(3));
+        m.inject_spike("a", "b", Duration::from_millis(40));
+        assert_eq!(m.delay("a", "b"), Duration::from_millis(43));
+        assert_eq!(m.delay("b", "a"), Duration::from_millis(3), "spikes are directional");
+        m.clear_spike("a", "b");
+        assert_eq!(m.delay("a", "b"), Duration::from_millis(3));
     }
 }

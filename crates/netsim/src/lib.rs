@@ -24,7 +24,7 @@ pub mod message;
 pub mod network;
 pub mod stats;
 
-pub use error::NetError;
+pub use error::{FaultKind, NetError};
 pub use latency::LatencyModel;
 pub use message::Message;
 pub use network::{Endpoint, Network};

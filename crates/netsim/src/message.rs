@@ -31,7 +31,8 @@ mod tests {
     #[test]
     fn envelope_carries_delivery_time() {
         let m = Message { from: "a".into(), to: "b".into(), body: "hi".into(), seq: 1 };
-        let e = Envelope { message: m.clone(), deliver_at: Instant::now() + Duration::from_millis(5) };
+        let e =
+            Envelope { message: m.clone(), deliver_at: Instant::now() + Duration::from_millis(5) };
         assert_eq!(e.message, m);
         assert!(e.deliver_at > Instant::now());
     }

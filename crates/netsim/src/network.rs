@@ -19,6 +19,9 @@ struct Fabric {
     latency: RwLock<LatencyModel>,
     partitions: RwLock<HashSet<(String, String)>>,
     drop_probability: RwLock<f64>,
+    link_drop_probability: RwLock<HashMap<(String, String), f64>>,
+    /// Deterministic injection: the next N messages on a link are dropped.
+    forced_drops: RwLock<HashMap<(String, String), u64>>,
     rng: Mutex<Option<StdRng>>,
     stats: Mutex<NetStats>,
     seq: AtomicU64,
@@ -68,6 +71,55 @@ impl Network {
     /// Sets the probability that any message is silently dropped.
     pub fn set_drop_probability(&self, p: f64) {
         *self.fabric.drop_probability.write() = p.clamp(0.0, 1.0);
+        self.ensure_rng();
+    }
+
+    /// Sets a directional per-link drop probability. Where both a global
+    /// and a link probability apply, the larger wins. Either endpoint may be
+    /// the wildcard `"*"`, matching any site — useful to degrade every link
+    /// touching one site when the peers (e.g. ephemeral client endpoints)
+    /// are not known in advance. An exact link entry takes precedence over a
+    /// wildcard one.
+    pub fn set_link_drop_probability(&self, from: &str, to: &str, p: f64) {
+        self.fabric
+            .link_drop_probability
+            .write()
+            .insert((from.to_string(), to.to_string()), p.clamp(0.0, 1.0));
+        self.ensure_rng();
+    }
+
+    /// Sets the same drop probability in both directions.
+    pub fn set_link_drop_probability_symmetric(&self, a: &str, b: &str, p: f64) {
+        self.set_link_drop_probability(a, b, p);
+        self.set_link_drop_probability(b, a, p);
+    }
+
+    /// Removes a per-link drop probability.
+    pub fn clear_link_drop_probability(&self, from: &str, to: &str) {
+        self.fabric.link_drop_probability.write().remove(&(from.to_string(), to.to_string()));
+    }
+
+    /// Deterministically drops the next `count` messages sent on the
+    /// `from → to` link, then restores normal delivery. Used to lose a
+    /// specific message (e.g. exactly one commit ack) without randomness.
+    /// Either endpoint may be the wildcard `"*"`; an exact link entry is
+    /// consumed before a wildcard one.
+    pub fn drop_next(&self, from: &str, to: &str, count: u64) {
+        self.fabric.forced_drops.write().insert((from.to_string(), to.to_string()), count);
+    }
+
+    /// Injects an extra directional delay (latency spike) on a link,
+    /// stacking on top of the installed latency model.
+    pub fn inject_link_delay(&self, from: &str, to: &str, extra: Duration) {
+        self.fabric.latency.write().inject_spike(from, to, extra);
+    }
+
+    /// Clears an injected latency spike.
+    pub fn clear_link_delay(&self, from: &str, to: &str) {
+        self.fabric.latency.write().clear_spike(from, to);
+    }
+
+    fn ensure_rng(&self) {
         let mut rng = self.fabric.rng.lock();
         if rng.is_none() {
             *rng = Some(StdRng::seed_from_u64(0));
@@ -124,17 +176,39 @@ impl Endpoint {
             return Err(NetError::Partitioned { from: self.name.clone(), to: to.to_string() });
         }
         let sites = self.fabric.sites.read();
-        let tx = sites
-            .get(to)
-            .ok_or_else(|| NetError::UnknownSite(to.to_string()))?;
-        // Stochastic drop.
-        let p = *self.fabric.drop_probability.read();
+        let tx = sites.get(to).ok_or_else(|| NetError::UnknownSite(to.to_string()))?;
+        let link = (self.name.clone(), to.to_string());
+        // Exact match first, then wildcard sender, then wildcard receiver.
+        let link_keys =
+            [link.clone(), ("*".to_string(), to.to_string()), (self.name.clone(), "*".to_string())];
+        // Deterministic forced drop (highest precedence).
+        {
+            let mut forced = self.fabric.forced_drops.write();
+            for key in &link_keys {
+                if let Some(remaining) = forced.get_mut(key) {
+                    if *remaining > 0 {
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            forced.remove(key);
+                        }
+                        self.fabric.stats.lock().record_drop(&self.name, to);
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        // Stochastic drop: the larger of the global and per-link rates.
+        let p = {
+            let global = *self.fabric.drop_probability.read();
+            let map = self.fabric.link_drop_probability.read();
+            let per_link = link_keys.iter().find_map(|key| map.get(key).copied()).unwrap_or(0.0);
+            global.max(per_link)
+        };
         if p > 0.0 {
             let mut rng = self.fabric.rng.lock();
             if let Some(rng) = rng.as_mut() {
                 if rng.gen_bool(p) {
-                    let mut stats = self.fabric.stats.lock();
-                    stats.dropped += 1;
+                    self.fabric.stats.lock().record_drop(&self.name, to);
                     return Ok(());
                 }
             }
@@ -240,12 +314,90 @@ mod tests {
         let a = net.register("a").unwrap();
         let b = net.register("b").unwrap();
         a.send("b", "x").unwrap(); // sender cannot tell
-        assert!(matches!(
-            b.recv_timeout(Duration::from_millis(20)),
-            Err(NetError::Timeout)
-        ));
+        assert!(matches!(b.recv_timeout(Duration::from_millis(20)), Err(NetError::Timeout)));
         assert_eq!(net.stats().dropped, 1);
         assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn per_link_drop_probability_only_affects_that_link() {
+        let net = Network::with_seed(11);
+        net.set_link_drop_probability("a", "b", 1.0);
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        a.send("b", "lost").unwrap();
+        assert!(matches!(b.recv_timeout(Duration::from_millis(20)), Err(NetError::Timeout)));
+        // The reverse direction is unaffected.
+        b.send("a", "ok").unwrap();
+        assert_eq!(a.recv().unwrap().body, "ok");
+        assert_eq!(net.stats().link_dropped("a", "b"), 1);
+        assert_eq!(net.stats().link_dropped("b", "a"), 0);
+        net.clear_link_drop_probability("a", "b");
+        a.send("b", "healed").unwrap();
+        assert_eq!(b.recv().unwrap().body, "healed");
+    }
+
+    #[test]
+    fn wildcard_link_drop_matches_any_peer() {
+        let net = Network::with_seed(3);
+        net.set_link_drop_probability("*", "b", 1.0);
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        let c = net.register("c").unwrap();
+        a.send("b", "x").unwrap();
+        c.send("b", "y").unwrap();
+        assert!(matches!(b.recv_timeout(Duration::from_millis(20)), Err(NetError::Timeout)));
+        assert_eq!(net.stats().dropped, 2, "both senders hit the wildcard link");
+        // Other destinations are unaffected.
+        b.send("a", "ok").unwrap();
+        assert_eq!(a.recv().unwrap().body, "ok");
+        // An exact entry takes precedence over the wildcard.
+        net.set_link_drop_probability("a", "b", 0.0);
+        a.send("b", "through").unwrap();
+        assert_eq!(b.recv().unwrap().body, "through");
+    }
+
+    #[test]
+    fn wildcard_forced_drop_loses_next_outgoing_message() {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        net.drop_next("a", "*", 1);
+        a.send("b", "lost").unwrap();
+        a.send("b", "kept").unwrap();
+        assert_eq!(b.recv().unwrap().body, "kept");
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn drop_next_loses_exactly_n_messages() {
+        let net = Network::new();
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        net.drop_next("a", "b", 2);
+        a.send("b", "one").unwrap();
+        a.send("b", "two").unwrap();
+        a.send("b", "three").unwrap();
+        assert_eq!(b.recv().unwrap().body, "three");
+        assert!(matches!(b.recv_timeout(Duration::from_millis(10)), Err(NetError::Timeout)));
+        assert_eq!(net.stats().dropped, 2);
+    }
+
+    #[test]
+    fn injected_delay_spikes_slow_one_link() {
+        let net = Network::new();
+        net.inject_link_delay("a", "b", Duration::from_millis(30));
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        let start = Instant::now();
+        a.send("b", "x").unwrap();
+        b.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        net.clear_link_delay("a", "b");
+        let start = Instant::now();
+        a.send("b", "y").unwrap();
+        b.recv().unwrap();
+        assert!(start.elapsed() < Duration::from_millis(25));
     }
 
     #[test]
@@ -299,10 +451,7 @@ mod tests {
     fn timeout_when_no_mail() {
         let net = Network::new();
         let a = net.register("a").unwrap();
-        assert!(matches!(
-            a.recv_timeout(Duration::from_millis(10)),
-            Err(NetError::Timeout)
-        ));
+        assert!(matches!(a.recv_timeout(Duration::from_millis(10)), Err(NetError::Timeout)));
     }
 
     #[test]

@@ -16,24 +16,30 @@ pub struct NetStats {
     pub refused: u64,
     /// Per-link `(from, to) → message count`.
     pub per_link: HashMap<(String, String), u64>,
+    /// Per-link `(from, to) → dropped count` (stochastic and forced drops).
+    pub per_link_dropped: HashMap<(String, String), u64>,
 }
 
 impl NetStats {
     /// Messages sent from `from` to `to`.
     pub fn link_messages(&self, from: &str, to: &str) -> u64 {
-        self.per_link
-            .get(&(from.to_string(), to.to_string()))
-            .copied()
-            .unwrap_or(0)
+        self.per_link.get(&(from.to_string(), to.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Messages dropped on the `from → to` link.
+    pub fn link_dropped(&self, from: &str, to: &str) -> u64 {
+        self.per_link_dropped.get(&(from.to_string(), to.to_string())).copied().unwrap_or(0)
     }
 
     pub(crate) fn record_send(&mut self, from: &str, to: &str, bytes: usize) {
         self.messages += 1;
         self.bytes += bytes as u64;
-        *self
-            .per_link
-            .entry((from.to_string(), to.to_string()))
-            .or_insert(0) += 1;
+        *self.per_link.entry((from.to_string(), to.to_string())).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_drop(&mut self, from: &str, to: &str) {
+        self.dropped += 1;
+        *self.per_link_dropped.entry((from.to_string(), to.to_string())).or_insert(0) += 1;
     }
 }
 
@@ -52,5 +58,17 @@ mod tests {
         assert_eq!(s.link_messages("a", "b"), 2);
         assert_eq!(s.link_messages("b", "a"), 1);
         assert_eq!(s.link_messages("a", "c"), 0);
+    }
+
+    #[test]
+    fn record_drop_tracks_totals_and_links() {
+        let mut s = NetStats::default();
+        s.record_drop("a", "b");
+        s.record_drop("a", "b");
+        s.record_drop("b", "a");
+        assert_eq!(s.dropped, 3);
+        assert_eq!(s.link_dropped("a", "b"), 2);
+        assert_eq!(s.link_dropped("b", "a"), 1);
+        assert_eq!(s.link_dropped("a", "c"), 0);
     }
 }

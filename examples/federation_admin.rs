@@ -80,11 +80,8 @@ fn main() {
     for db in fed.gdd().database_names() {
         println!("  database {db} (service {})", fed.gdd().service_of(db).unwrap());
         for table in fed.gdd().tables(db).unwrap() {
-            let cols: Vec<String> = table
-                .columns
-                .iter()
-                .map(|c| format!("{}:{:?}", c.name, c.type_name))
-                .collect();
+            let cols: Vec<String> =
+                table.columns.iter().map(|c| format!("{}:{:?}", c.name, c.type_name)).collect();
             println!("    {} ({})", table.name, cols.join(", "));
         }
     }

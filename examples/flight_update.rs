@@ -41,8 +41,7 @@ fn print_generated_dol(fed: &Federation) {
     let Statement::Query(q) = parse_statement(VITAL_UPDATE).unwrap() else { unreachable!() };
     let mut scope = SessionScope::new();
     scope.apply_use(q.use_clause.as_ref().unwrap()).unwrap();
-    let Translated::PerDb(locals) =
-        translate::translate_body(&q.body, &scope, fed.gdd()).unwrap()
+    let Translated::PerDb(locals) = translate::translate_body(&q.body, &scope, fed.gdd()).unwrap()
     else {
         unreachable!()
     };

@@ -60,7 +60,10 @@ fn main() {
         .unwrap()
         .into_update()
         .unwrap();
-    println!("Copied {} Houston fares from continental into avis.fares.\n", report.outcomes[0].affected);
+    println!(
+        "Copied {} Houston fares from continental into avis.fares.\n",
+        report.outcomes[0].affected
+    );
 
     println!("=== Interdatabase trigger (MSQL §2) ===\n");
     fed.execute("CREATE TABLE avis.audit (note CHAR(40))").unwrap();

@@ -57,19 +57,11 @@ fn main() {
     run("Everything available", |_fed| {});
 
     run("Continental's seat table is down", |fed| {
-        fed.engine("svc_continental")
-            .unwrap()
-            .lock()
-            .failure_policy_mut()
-            .fail_writes_to("f838");
+        fed.engine("svc_continental").unwrap().lock().failure_policy_mut().fail_writes_to("f838");
     });
 
     run("Continental AND Avis are down: no acceptable state", |fed| {
-        fed.engine("svc_continental")
-            .unwrap()
-            .lock()
-            .failure_policy_mut()
-            .fail_writes_to("f838");
+        fed.engine("svc_continental").unwrap().lock().failure_policy_mut().fail_writes_to("f838");
         fed.engine("svc_avis").unwrap().lock().failure_policy_mut().fail_writes_to("cars");
     });
 }

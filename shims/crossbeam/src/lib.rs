@@ -1,0 +1,282 @@
+//! Offline shim for `crossbeam`: just the `channel` module, implemented with
+//! `std::sync::{Mutex, Condvar}`. Supports the subset the workspace uses:
+//! unbounded MPMC channels with `send`, `recv`, `recv_timeout`,
+//! `recv_deadline`, `is_empty`, plus disconnect detection in both
+//! directions (all senders gone → `Disconnected` on receive; all receivers
+//! gone → `SendError` on send).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake blocked receivers so they can
+                // observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Returns `true` if the queue currently holds no messages.
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+
+        /// Returns the number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Attempts to receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocks until a message arrives, the timeout elapses, or every
+        /// sender is dropped.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Blocks until a message arrives, `deadline` passes, or every
+        /// sender is dropped.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by the non-blocking [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// Channel is empty but still connected.
+        Empty,
+        /// Channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// Error returned by timed receives.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// All senders disconnected with the queue empty.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => f.write_str("channel is disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            assert!(!rx.is_empty());
+            assert_eq!(rx.recv().unwrap(), 7);
+        }
+
+        #[test]
+        fn timeout_on_empty() {
+            let (tx, rx) = unbounded::<i32>();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn send_fails_when_receiver_dropped() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(42).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), 42);
+            t.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! `prop::bool::ANY`.
+
+use crate::arbitrary::AnyStrategy;
+use std::marker::PhantomData;
+
+/// Strategy over both boolean values.
+pub const ANY: AnyStrategy<bool> = AnyStrategy(PhantomData);

@@ -1,0 +1,164 @@
+//! Offline shim for `proptest`: a deterministic random-testing harness
+//! exposing the subset of proptest's API this workspace uses. Strategies
+//! are plain generators (no shrinking); each `proptest!` test derives its
+//! RNG seed from the test's name, so failures reproduce exactly across
+//! runs and machines.
+
+pub mod arbitrary;
+pub mod array;
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a `use proptest::prelude::*` caller expects.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced strategy modules, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{array, bool, collection, option, sample};
+    }
+}
+
+/// Weighted or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares deterministic property tests over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                // prop_assume! rejections early-return out of the closure,
+                // skipping just this case.
+                let __case_fn = move || $body;
+                __case_fn();
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_idents_match_pattern(s in "[a-z][a-z0-9_]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9, "{s}");
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+
+        #[test]
+        fn oneof_and_ranges(v in prop_oneof![Just(0u32), 1u32..10], b in any::<bool>()) {
+            prop_assert!(v < 10);
+            let _ = b;
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in collection::vec(0i64..5, 2..6),
+            m in collection::hash_map("[a-z]{1,4}", any::<bool>(), 0..4),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(m.len() < 4);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec("[a-z]{1,6}", 3..5);
+        let mut a = crate::test_runner::TestRng::from_name("fixed");
+        let mut b = crate::test_runner::TestRng::from_name("fixed");
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

@@ -1,0 +1,229 @@
+//! Generation of strings matching the simplified regex dialect proptest
+//! accepts for `&str` strategies: literals, `.`, character classes
+//! (ranges, negation, escapes), and the `* + ? {m} {m,n}` quantifiers.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    Literal(char),
+    /// `.` — any printable character except newline.
+    AnyChar,
+    /// `[...]` / `[^...]`, expanded to an explicit alphabet.
+    Class {
+        negated: bool,
+        chars: Vec<char>,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Repeat {
+    min: usize,
+    max: usize,
+}
+
+/// Printable sample space for `.` and negated classes: ASCII plus a few
+/// multi-byte characters so wire escaping gets exercised.
+const EXTRA_CHARS: &[char] = &['é', 'ß', 'λ', '中', '✓'];
+
+fn sample_any(rng: &mut TestRng) -> char {
+    if rng.bool_with(0.05) {
+        EXTRA_CHARS[rng.usize_in(0, EXTRA_CHARS.len())]
+    } else {
+        char::from(0x20 + rng.usize_in(0, 0x5F) as u8)
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Piece {
+    let negated = chars.peek() == Some(&'^');
+    if negated {
+        chars.next();
+    }
+    let mut members: Vec<char> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class in pattern");
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in character class");
+                let lit = match esc {
+                    'r' => '\r',
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                };
+                if let Some(p) = pending.take() {
+                    members.push(p);
+                }
+                pending = Some(lit);
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("range start");
+                let hi = chars.next().expect("range end");
+                for code in (lo as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(code) {
+                        members.push(ch);
+                    }
+                }
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    members.push(p);
+                }
+                pending = Some(other);
+            }
+        }
+    }
+    if let Some(p) = pending {
+        members.push(p);
+    }
+    Piece::Class { negated, chars: members }
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Repeat {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            Repeat { min: 0, max: 8 }
+        }
+        Some('+') => {
+            chars.next();
+            Repeat { min: 1, max: 8 }
+        }
+        Some('?') => {
+            chars.next();
+            Repeat { min: 0, max: 1 }
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let (min, max) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {m,n} lower bound"),
+                    hi.trim().parse().expect("bad {m,n} upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad {n} count");
+                    (n, n)
+                }
+            };
+            Repeat { min, max }
+        }
+        _ => Repeat { min: 1, max: 1 },
+    }
+}
+
+fn parse(pattern: &str) -> Vec<(Piece, Repeat)> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let piece = match c {
+            '.' => Piece::AnyChar,
+            '[' => parse_class(&mut chars),
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in pattern");
+                Piece::Literal(match esc {
+                    'r' => '\r',
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                })
+            }
+            other => Piece::Literal(other),
+        };
+        let repeat = parse_repeat(&mut chars);
+        pieces.push((piece, repeat));
+    }
+    pieces
+}
+
+fn sample_piece(piece: &Piece, rng: &mut TestRng) -> char {
+    match piece {
+        Piece::Literal(c) => *c,
+        Piece::AnyChar => sample_any(rng),
+        Piece::Class { negated: false, chars } => {
+            assert!(!chars.is_empty(), "empty character class");
+            chars[rng.usize_in(0, chars.len())]
+        }
+        Piece::Class { negated: true, chars } => loop {
+            let candidate = sample_any(rng);
+            if !chars.contains(&candidate) {
+                return candidate;
+            }
+        },
+    }
+}
+
+/// Generates a string matching `pattern` under the simplified dialect.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (piece, repeat) in parse(pattern) {
+        let count = rng.usize_in(repeat.min, repeat.max + 1);
+        for _ in 0..count {
+            out.push(sample_piece(&piece, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        assert_eq!(generate_matching("abc", &mut rng()), "abc");
+    }
+
+    #[test]
+    fn class_and_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9_]{0,8}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negated_class_excludes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[^\\r]{1,40}", &mut r);
+            assert!(!s.contains('\r'));
+            assert!((1..=40).contains(&s.chars().count()));
+        }
+    }
+
+    #[test]
+    fn task_name_pattern() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("T[0-9]{1,3}", &mut r);
+            assert!(s.starts_with('T') && s.len() >= 2 && s.len() <= 4, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_star_varies() {
+        let mut r = rng();
+        let all: Vec<String> = (0..50).map(|_| generate_matching(".*", &mut r)).collect();
+        assert!(all.iter().any(|s| !s.is_empty()));
+        assert!(all.iter().all(|s| !s.contains('\n')));
+    }
+}

@@ -20,8 +20,11 @@ fn paper_gdd() -> GlobalDataDictionary {
         GddTable::new(name, cols.iter().map(|c| GddColumn::new(*c, TypeName::Char(0))).collect())
     };
     g.register_database("continental", "svc1").unwrap();
-    g.put_table("continental", t("flights", &["flnu", "source", "dep", "destination", "arr", "day", "rate"]))
-        .unwrap();
+    g.put_table(
+        "continental",
+        t("flights", &["flnu", "source", "dep", "destination", "arr", "day", "rate"]),
+    )
+    .unwrap();
     g.register_database("delta", "svc2").unwrap();
     g.put_table("delta", t("flight", &["fnu", "source", "dest", "dep", "arr", "day", "rate"]))
         .unwrap();
@@ -32,19 +35,15 @@ fn paper_gdd() -> GlobalDataDictionary {
 }
 
 fn routes() -> HashMap<String, DbRoute> {
-    [
-        ("continental", "site1"),
-        ("delta", "site2"),
-        ("united", "site3"),
-    ]
-    .iter()
-    .map(|(db, site)| {
-        (
-            db.to_string(),
-            DbRoute { database: db.to_string(), site: site.to_string(), supports_2pc: true },
-        )
-    })
-    .collect()
+    [("continental", "site1"), ("delta", "site2"), ("united", "site3")]
+        .iter()
+        .map(|(db, site)| {
+            (
+                db.to_string(),
+                DbRoute { database: db.to_string(), site: site.to_string(), supports_2pc: true },
+            )
+        })
+        .collect()
 }
 
 #[test]

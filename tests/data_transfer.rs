@@ -115,8 +115,6 @@ fn transfer_of_empty_result_is_a_successful_noop() {
 fn unknown_target_database_is_rejected() {
     let mut fed = paper_federation();
     fed.execute("USE continental").unwrap();
-    let err = fed.execute(
-        "INSERT INTO hertz.fares SELECT flnu, rate FROM continental.flights",
-    );
+    let err = fed.execute("INSERT INTO hertz.fares SELECT flnu, rate FROM continental.flights");
     assert!(matches!(err, Err(mdbs::MdbsError::NotInScope(_))), "{err:?}");
 }

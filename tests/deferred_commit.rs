@@ -72,8 +72,12 @@ fn rollback_undoes_all_statements_since_the_last_sync_point() {
         Value::Float(110.0)
     );
     assert_eq!(
-        rate(&fed, "svc_continental", "continental",
-             "SELECT seatstatus FROM f838 WHERE seatnu = 1"),
+        rate(
+            &fed,
+            "svc_continental",
+            "continental",
+            "SELECT seatstatus FROM f838 WHERE seatnu = 1"
+        ),
         Value::Str("TAKEN".into())
     );
 }
@@ -87,11 +91,7 @@ fn failed_statement_poisons_the_global_transaction() {
 
     // Arm a failure; the next vital statement aborts locally.
     fed.engine("svc_continental").unwrap().lock().failure_policy_mut().fail_writes_to("f838");
-    let interim = fed
-        .execute("UPDATE f838 SET seatstatus = 'X'")
-        .unwrap()
-        .into_update()
-        .unwrap();
+    let interim = fed.execute("UPDATE f838 SET seatstatus = 'X'").unwrap().into_update().unwrap();
     assert!(!interim.success);
 
     // COMMIT now must roll everything back (§3.2.2: otherwise-branch).

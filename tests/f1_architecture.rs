@@ -34,18 +34,10 @@ fn one_query_exercises_every_component_of_figure_1() {
     // least one request and sent one reply.
     let stats = net.stats();
     for site in ["site1", "site2", "site3"] {
-        let to_lam: u64 = stats
-            .per_link
-            .iter()
-            .filter(|((_, to), _)| to == site)
-            .map(|(_, n)| *n)
-            .sum();
-        let from_lam: u64 = stats
-            .per_link
-            .iter()
-            .filter(|((from, _), _)| from == site)
-            .map(|(_, n)| *n)
-            .sum();
+        let to_lam: u64 =
+            stats.per_link.iter().filter(|((_, to), _)| to == site).map(|(_, n)| *n).sum();
+        let from_lam: u64 =
+            stats.per_link.iter().filter(|((from, _), _)| from == site).map(|(_, n)| *n).sum();
         assert!(to_lam >= 1, "no request reached {site}");
         assert!(from_lam >= 1, "no reply left {site}");
     }

@@ -12,11 +12,8 @@ use msql_lang::CommitCapability;
 fn engine_with_cars() -> Engine {
     let mut e = Engine::new("svc", DbmsProfile::ingres_like());
     e.create_database("avis").unwrap();
-    e.execute(
-        "avis",
-        "CREATE TABLE cars (code INT, cartype CHAR(16), rate FLOAT, carst CHAR(10))",
-    )
-    .unwrap();
+    e.execute("avis", "CREATE TABLE cars (code INT, cartype CHAR(16), rate FLOAT, carst CHAR(10))")
+        .unwrap();
     e.execute("avis", "CREATE TABLE internal_audit (x INT)").unwrap();
     // Hide the audit table from the multidatabase level.
     e.database_mut("avis").unwrap().table_mut("internal_audit").unwrap().schema.public = false;

@@ -1,0 +1,290 @@
+//! Fault-tolerant LAM communication, end to end.
+//!
+//! The paper's prototype ran over an unreliable campus network (§4.1); these
+//! scenarios re-run the Q1/Q2 experiments with per-link message loss
+//! injected into the simulated fabric and assert the retry layer's
+//! guarantees:
+//!
+//! * with a retry policy, lossy links are survived deterministically
+//!   (seeded RNG + serial execution = reproducible drop pattern);
+//! * without retries, the same lossy links sink the statement;
+//! * an unreachable NON VITAL site degrades the statement instead of
+//!   failing it when the federation opts in (§3.2);
+//! * a lost commit acknowledgement is re-asked and answered from the LAM's
+//!   reply cache — reported as committed, executed exactly once.
+
+use dol::TaskStatus;
+use ldbs::profile::DbmsProfile;
+use ldbs::value::Value;
+use mdbs::fixtures::{paper_federation_with, FederationProfiles};
+use mdbs::lam::spawn_lam;
+use mdbs::lamclient::LamClient;
+use mdbs::proto::{Request, Response, TaskMode};
+use mdbs::retry::shared_stats;
+use mdbs::{Federation, MdbsError, RetryPolicy};
+use netsim::{FaultKind, Network};
+use std::time::{Duration, Instant};
+
+const Q1: &str = "USE avis national
+    LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+    SELECT %code, type, ~rate FROM car WHERE status = 'available'";
+
+const Q2: &str = "USE continental VITAL delta united VITAL
+    UPDATE flight%
+    SET rate% = rate% * 1.1
+    WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+
+/// Drop probability the acceptance scenarios run at.
+const DROP_P: f64 = 0.3;
+
+/// Builds the paper federation on a seeded network, then degrades every
+/// link touching `sites` (both directions) with probability `p`. Serial
+/// execution keeps the seeded drop sequence deterministic; the short
+/// timeout keeps lost messages cheap.
+fn lossy_federation(seed: u64, sites: &[&str], p: f64) -> Federation {
+    let mut fed = paper_federation_with(Network::with_seed(seed), FederationProfiles::default());
+    fed.parallel = false;
+    fed.timeout = Duration::from_millis(150);
+    for site in sites {
+        fed.network().set_link_drop_probability("*", site, p);
+        fed.network().set_link_drop_probability(site, "*", p);
+    }
+    fed
+}
+
+/// Restores lossless links so LAM shutdown at drop time is not slowed by
+/// lost control messages.
+fn heal(fed: &Federation, sites: &[&str]) {
+    for site in sites {
+        fed.network().clear_link_drop_probability("*", site);
+        fed.network().clear_link_drop_probability(site, "*");
+    }
+}
+
+fn rate(fed: &Federation, service: &str, db: &str, sql: &str) -> Value {
+    let engine = fed.engine(service).unwrap();
+    let mut engine = engine.lock();
+    engine.execute(db, sql).unwrap().into_result_set().unwrap().rows[0][0].clone()
+}
+
+#[test]
+fn q1_succeeds_deterministically_on_lossy_links_with_retries() {
+    let sites = ["site4", "site5"];
+    let mut fed = lossy_federation(0xA1, &sites, DROP_P);
+    fed.retry = RetryPolicy { max_attempts: 5, ..RetryPolicy::retries(5) };
+
+    let mt = fed.execute(Q1).unwrap().into_multitable().unwrap();
+    assert_eq!(mt.tables.len(), 2, "both databases answered despite the lossy links");
+    assert_eq!(mt.table("avis").unwrap().rows.len(), 2);
+    assert_eq!(mt.table("national").unwrap().rows.len(), 2);
+
+    let stats = fed.exec_stats();
+    let dropped = fed.network().stats().dropped;
+    assert!(dropped > 0, "the drop injection actually fired (dropped = {dropped})");
+    assert!(stats.retries > 0, "lost messages were resent: {stats:?}");
+    assert!(stats.transient_faults > 0, "drops were classified transient: {stats:?}");
+    assert!(stats.recovered > 0, "at least one call recovered via retry: {stats:?}");
+    assert_eq!(stats.terminal_faults, 0, "nothing terminal on a merely lossy network");
+    heal(&fed, &sites);
+}
+
+#[test]
+fn q1_fails_on_the_same_lossy_links_without_retries() {
+    let sites = ["site4", "site5"];
+    let mut fed = lossy_federation(0xA1, &sites, DROP_P);
+    // Default policy: single attempt, faults surface immediately.
+    assert!(!fed.retry.enabled());
+
+    let complete = match fed.execute(Q1) {
+        Ok(out) => out.into_multitable().unwrap().tables.len() == 2,
+        Err(_) => false,
+    };
+    assert!(!complete, "without retries the lossy links must sink the retrieval");
+    let stats = fed.exec_stats();
+    assert_eq!(stats.retries, 0, "no resends under the single-attempt policy");
+    assert!(stats.transient_faults > 0, "the losses were observed: {stats:?}");
+    assert!(fed.network().stats().dropped > 0);
+    heal(&fed, &sites);
+}
+
+#[test]
+fn q2_commits_deterministically_on_lossy_links_with_retries() {
+    let sites = ["site1", "site2", "site3"];
+    let mut fed = lossy_federation(0xB2, &sites, DROP_P);
+    fed.retry = RetryPolicy { max_attempts: 5, ..RetryPolicy::retries(5) };
+
+    let report = fed.execute(Q2).unwrap().into_update().unwrap();
+    assert!(report.success, "{report:?}");
+    assert_eq!(report.return_code, 0);
+    for o in &report.outcomes {
+        assert_eq!(o.status, TaskStatus::Committed, "{o:?}");
+        assert!(o.attempts >= 1, "telemetry shows the LAM was reached: {o:?}");
+    }
+    // The statement-level report carries this run's accounting.
+    assert!(report.stats.attempts >= 3, "{:?}", report.stats);
+    let dropped = fed.network().stats().dropped;
+    assert!(dropped > 0, "the drop injection actually fired (dropped = {dropped})");
+    assert!(report.stats.retries > 0, "{:?}", report.stats);
+
+    heal(&fed, &sites);
+    // All three heterogeneous schemas were updated exactly once.
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(100.0 * 1.1)
+    );
+    assert_eq!(
+        rate(&fed, "svc_delta", "delta", "SELECT rate FROM flight WHERE fnu = 10"),
+        Value::Float(95.0 * 1.1)
+    );
+    assert_eq!(
+        rate(&fed, "svc_united", "united", "SELECT rates FROM flight WHERE fn = 20"),
+        Value::Float(110.0 * 1.1)
+    );
+}
+
+#[test]
+fn q2_fails_on_the_same_lossy_links_without_retries() {
+    let sites = ["site1", "site2", "site3"];
+    let mut fed = lossy_federation(0xB2, &sites, DROP_P);
+
+    let succeeded = match fed.execute(Q2) {
+        Ok(out) => out.into_update().unwrap().success,
+        Err(_) => false,
+    };
+    assert!(!succeeded, "without retries the lossy links must sink the vital update");
+    heal(&fed, &sites);
+}
+
+#[test]
+fn unreachable_nonvital_site_degrades_the_statement_when_tolerated() {
+    let mut fed = paper_federation_with(Network::new(), FederationProfiles::default());
+    fed.parallel = false;
+    fed.timeout = Duration::from_millis(300);
+    fed.tolerate_unreachable = true;
+    // delta's site vanishes (site2). Its subquery in Q2 is NON VITAL.
+    fed.network().deregister("site2");
+
+    let report = fed.execute(Q2).unwrap().into_update().unwrap();
+    assert!(report.success, "§3.2: the multiquery succeeds without its NON VITAL member");
+    let by_key = |k: &str| report.outcomes.iter().find(|o| o.key == k).unwrap();
+    assert_eq!(by_key("continental").status, TaskStatus::Committed);
+    assert_eq!(by_key("united").status, TaskStatus::Committed);
+    let delta = by_key("delta");
+    assert_ne!(delta.status, TaskStatus::Committed, "{delta:?}");
+    assert_eq!(delta.attempts, 0, "delta's LAM was never reached");
+    assert_eq!(delta.fault, Some(FaultKind::Terminal), "{delta:?}");
+    assert!(report.stats.degraded >= 1, "{:?}", report.stats);
+    assert!(report.stats.terminal_faults >= 1, "{:?}", report.stats);
+    assert!(fed.exec_stats().degraded >= 1, "session stats aggregate the degradation");
+
+    // The vital members really committed; delta kept its old fare.
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(100.0 * 1.1)
+    );
+    assert_eq!(
+        rate(&fed, "svc_delta", "delta", "SELECT rate FROM flight WHERE fnu = 10"),
+        Value::Float(95.0)
+    );
+}
+
+#[test]
+fn unreachable_vital_site_still_fails_even_when_tolerated() {
+    let mut fed = paper_federation_with(Network::new(), FederationProfiles::default());
+    fed.parallel = false;
+    fed.timeout = Duration::from_millis(300);
+    fed.tolerate_unreachable = true;
+    // united's site vanishes (site3). Its subquery in Q2 is VITAL.
+    fed.network().deregister("site3");
+
+    let report = fed.execute(Q2).unwrap().into_update().unwrap();
+    assert!(!report.success, "a lost VITAL member can never be degraded away (§3.2)");
+    // The surviving vital member must not have committed either.
+    let continental = report.outcomes.iter().find(|o| o.key == "continental").unwrap();
+    assert_ne!(continental.status, TaskStatus::Committed, "{continental:?}");
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(100.0),
+        "continental rolled back with its vital partner lost"
+    );
+}
+
+#[test]
+fn lost_commit_ack_is_reasked_and_reports_committed() {
+    let net = Network::new();
+    let mut engine = ldbs::Engine::new("svc", DbmsProfile::oracle_like());
+    engine.create_database("avis").unwrap();
+    engine.execute("avis", "CREATE TABLE cars (code INT, rate FLOAT)").unwrap();
+    engine.execute("avis", "INSERT INTO cars VALUES (1, 40.0)").unwrap();
+    let lam = spawn_lam(&net, "svc", "site1", engine).unwrap();
+
+    let client = LamClient::connect_with(
+        &net,
+        "site1",
+        "avis",
+        Duration::from_millis(100),
+        RetryPolicy::retries(4),
+        shared_stats(),
+    )
+    .unwrap();
+    // 2PC round: execute-and-prepare, then commit.
+    let resp = client
+        .call(Request::Task {
+            name: "T1".into(),
+            mode: TaskMode::NoCommit,
+            database: "avis".into(),
+            commands: vec!["UPDATE cars SET rate = 50 WHERE code = 1".into()],
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::TaskDone { status: 'P', .. }), "{resp:?}");
+
+    // The LAM's next outgoing message — the commit acknowledgement — is
+    // lost. The client re-asks under the same correlation id; the LAM
+    // replays the cached Ok instead of re-running the commit (which would
+    // report `unknown prepared task`).
+    net.drop_next("site1", "*", 1);
+    let resp = client.call(Request::Commit { task: "T1".into() }).unwrap();
+    assert_eq!(resp, Response::Ok, "the re-ask reports the commit");
+    let s = client.stats();
+    let s = s.lock();
+    assert_eq!(s.retries, 1, "exactly one resend: {s:?}");
+    assert_eq!(s.recovered, 1, "{s:?}");
+    drop(s);
+
+    let committed = {
+        let mut e = lam.engine.lock();
+        e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap()
+            .rows[0][0]
+            .clone()
+    };
+    assert_eq!(committed, Value::Float(50.0), "committed exactly once");
+}
+
+#[test]
+fn dead_lam_fails_fast_even_with_retries_enabled() {
+    let net = Network::new();
+    let mut engine = ldbs::Engine::new("svc", DbmsProfile::oracle_like());
+    engine.create_database("avis").unwrap();
+    let lam = spawn_lam(&net, "svc", "site1", engine).unwrap();
+    let client = LamClient::connect_with(
+        &net,
+        "site1",
+        "avis",
+        Duration::from_secs(5),
+        RetryPolicy::retries(5),
+        shared_stats(),
+    )
+    .unwrap();
+    lam.shutdown(); // deregisters the site
+
+    let start = Instant::now();
+    let err = client.call(Request::Ping).unwrap_err();
+    assert!(
+        matches!(err, MdbsError::LamUnavailable { ref site } if site == "site1"),
+        "terminal faults are not retried: {err:?}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(1), "no timeout, no backoff loop");
+}

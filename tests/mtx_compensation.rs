@@ -72,8 +72,12 @@ fn preferred_state_commits_and_compensates_the_alternative() {
     );
     // Continental's lowest FREE seat (2) is TAKEN.
     assert_eq!(
-        seat(&fed, "svc_continental", "continental",
-             "SELECT seatstatus FROM f838 WHERE seatnu = 2"),
+        seat(
+            &fed,
+            "svc_continental",
+            "continental",
+            "SELECT seatstatus FROM f838 WHERE seatnu = 2"
+        ),
         Value::Str("TAKEN".into())
     );
 }

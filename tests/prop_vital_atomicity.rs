@@ -17,8 +17,8 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Scenario {
-    vital: [bool; 3],     // continental, delta, united
-    fail: [bool; 3],      // inject failure per database
+    vital: [bool; 3], // continental, delta, united
+    fail: [bool; 3],  // inject failure per database
     continental_2pc: bool,
 }
 
@@ -46,11 +46,7 @@ fn run_scenario(s: &Scenario) -> Vec<(String, TaskStatus, bool)> {
     let services = ["svc_continental", "svc_delta", "svc_united"];
     for i in 0..3 {
         if s.fail[i] {
-            fed.engine(services[i])
-                .unwrap()
-                .lock()
-                .failure_policy_mut()
-                .fail_writes_to(tables[i]);
+            fed.engine(services[i]).unwrap().lock().failure_policy_mut().fail_writes_to(tables[i]);
         }
     }
     let scope: Vec<String> = dbs
@@ -70,12 +66,7 @@ fn run_scenario(s: &Scenario) -> Vec<(String, TaskStatus, bool)> {
         comp
     );
     let report = fed.execute(&msql).unwrap().into_update().unwrap();
-    report
-        .outcomes
-        .into_iter()
-        .enumerate()
-        .map(|(i, o)| (o.key, o.status, s.vital[i]))
-        .collect()
+    report.outcomes.into_iter().enumerate().map(|(i, o)| (o.key, o.status, s.vital[i])).collect()
 }
 
 proptest! {

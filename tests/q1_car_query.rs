@@ -55,11 +55,8 @@ fn scope_persists_across_statements() {
 fn non_pertinent_database_contributes_no_table() {
     let mut fed = paper_federation();
     // `cars` only exists in avis; national silently drops out.
-    let mt = fed
-        .execute("USE avis national SELECT code FROM cars")
-        .unwrap()
-        .into_multitable()
-        .unwrap();
+    let mt =
+        fed.execute("USE avis national SELECT code FROM cars").unwrap().into_multitable().unwrap();
     assert_eq!(mt.tables.len(), 1);
     assert_eq!(mt.tables[0].database, "avis");
 }

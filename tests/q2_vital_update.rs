@@ -32,8 +32,7 @@ fn all_vital_commit_when_everything_succeeds() {
     }
     // The heterogeneous schemas were all updated.
     assert_eq!(
-        rate(&fed, "svc_continental", "continental",
-             "SELECT rate FROM flights WHERE flnu = 1"),
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
         Value::Float(100.0 * 1.1)
     );
     assert_eq!(
@@ -62,8 +61,7 @@ fn vital_failure_rolls_back_the_whole_vital_set() {
     assert_eq!(by_key("delta").status, dol::TaskStatus::Committed);
 
     assert_eq!(
-        rate(&fed, "svc_continental", "continental",
-             "SELECT rate FROM flights WHERE flnu = 1"),
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
         Value::Float(100.0),
         "continental must be rolled back"
     );
@@ -104,7 +102,10 @@ fn all_non_vital_is_always_successful() {
         .unwrap()
         .into_update()
         .unwrap();
-    assert!(report.success, "\"If all subqueries are NON VITAL the multiple query is always successful\"");
+    assert!(
+        report.success,
+        "\"If all subqueries are NON VITAL the multiple query is always successful\""
+    );
 }
 
 #[test]

@@ -114,11 +114,7 @@ fn path2_united_aborts_so_continental_is_compensated() {
 #[test]
 fn path3_continental_aborts_so_united_rolls_back() {
     let mut fed = federation_without_2pc_continental();
-    fed.engine("svc_continental")
-        .unwrap()
-        .lock()
-        .failure_policy_mut()
-        .fail_writes_to("flights");
+    fed.engine("svc_continental").unwrap().lock().failure_policy_mut().fail_writes_to("flights");
 
     let report = fed.execute(UPDATE_WITH_COMP).unwrap().into_update().unwrap();
     assert!(!report.success);
@@ -132,11 +128,7 @@ fn path3_continental_aborts_so_united_rolls_back() {
 #[test]
 fn path4_both_abort() {
     let mut fed = federation_without_2pc_continental();
-    fed.engine("svc_continental")
-        .unwrap()
-        .lock()
-        .failure_policy_mut()
-        .fail_writes_to("flights");
+    fed.engine("svc_continental").unwrap().lock().failure_policy_mut().fail_writes_to("flights");
     fed.engine("svc_united").unwrap().lock().failure_policy_mut().fail_writes_to("flight");
 
     let report = fed.execute(UPDATE_WITH_COMP).unwrap().into_update().unwrap();

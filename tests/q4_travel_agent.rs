@@ -67,8 +67,7 @@ fn preferred_state_continental_and_national() {
         "SELECT vstat, client FROM vehicle WHERE vcode = 7",
     );
     assert_eq!(rows[0][0], Value::Str("TAKEN".into()));
-    let rows =
-        seat_status(&fed, "svc_avis", "avis", "SELECT carst FROM cars WHERE code = 1");
+    let rows = seat_status(&fed, "svc_avis", "avis", "SELECT carst FROM cars WHERE code = 1");
     assert_eq!(rows[0][0], Value::Str("available".into()));
 }
 
@@ -89,10 +88,12 @@ fn falls_back_to_delta_and_avis() {
     assert_eq!(by_key("national").status, dol::TaskStatus::Aborted);
 
     // The undesirable cross combinations never commit.
-    let rows = seat_status(&fed, "svc_delta", "delta", "SELECT sstat, passname FROM f747 WHERE snu = 1");
+    let rows =
+        seat_status(&fed, "svc_delta", "delta", "SELECT sstat, passname FROM f747 WHERE snu = 1");
     assert_eq!(rows[0][0], Value::Str("TAKEN".into()));
     assert_eq!(rows[0][1], Value::Str("wenders".into()));
-    let rows = seat_status(&fed, "svc_avis", "avis", "SELECT carst, client FROM cars WHERE code = 1");
+    let rows =
+        seat_status(&fed, "svc_avis", "avis", "SELECT carst, client FROM cars WHERE code = 1");
     assert_eq!(rows[0][0], Value::Str("TAKEN".into()));
 }
 
@@ -111,12 +112,8 @@ fn no_acceptable_state_fails_and_undoes_everything() {
     }
     let rows = seat_status(&fed, "svc_delta", "delta", "SELECT sstat FROM f747 WHERE snu = 1");
     assert_eq!(rows[0][0], Value::Str("FREE".into()));
-    let rows = seat_status(
-        &fed,
-        "svc_national",
-        "national",
-        "SELECT vstat FROM vehicle WHERE vcode = 7",
-    );
+    let rows =
+        seat_status(&fed, "svc_national", "national", "SELECT vstat FROM vehicle WHERE vcode = 7");
     assert_eq!(rows[0][0], Value::Str("available".into()));
 }
 

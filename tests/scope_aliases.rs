@@ -105,8 +105,10 @@ fn use_current_extends_the_scope() {
     let mut fed = paper_federation();
     fed.execute("USE avis").unwrap();
     let mt = fed
-        .execute("LET car.status BE cars.carst
-                  SELECT %code FROM car WHERE status = 'available'")
+        .execute(
+            "LET car.status BE cars.carst
+                  SELECT %code FROM car WHERE status = 'available'",
+        )
         .unwrap()
         .into_multitable()
         .unwrap();
@@ -117,8 +119,10 @@ fn use_current_extends_the_scope() {
     // The LET was cleared?? No: USE CURRENT appends without dropping — but
     // the old variable has one binding for two databases now, so redeclare.
     let mt = fed
-        .execute("LET car2.status2 BE cars.carst vehicle.vstat
-                  SELECT %code FROM car2 WHERE status2 = 'available'")
+        .execute(
+            "LET car2.status2 BE cars.carst vehicle.vstat
+                  SELECT %code FROM car2 WHERE status2 = 'available'",
+        )
         .unwrap()
         .into_multitable()
         .unwrap();
