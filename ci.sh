@@ -19,4 +19,13 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== golden traces =="
+# Explicit drift gate: the committed span trees and the EXPLAIN render under
+# tests/golden/ are a contract. Regenerate intentionally with UPDATE_GOLDEN=1.
+cargo test -q --test t1_trace_golden
+
+echo "== bench smoke (--test mode) =="
+# Every benchmark payload must still execute; no timing sweep.
+cargo bench --workspace -- --test
+
 echo "CI OK"

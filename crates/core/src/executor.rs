@@ -22,6 +22,7 @@ use dol::{DolEngine, DolOutcome, TaskStatus};
 use ldbs::engine::ResultSet;
 use msql_lang::printer::print_select;
 use netsim::{FaultKind, Network};
+use obs::{labeled, ExplainReport, MetricsRegistry, SpanCtx};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -99,6 +100,8 @@ pub enum MsqlOutcome {
     Mtx(MtxReport),
     /// Scope/dictionary/DDL administration.
     Admin(String),
+    /// An `EXPLAIN`ed statement: the traced profile of its execution.
+    Explain(Box<ExplainReport>),
 }
 
 impl MsqlOutcome {
@@ -133,6 +136,14 @@ impl MsqlOutcome {
             other => Err(MdbsError::Internal(format!("expected an mtx report, got {other:?}"))),
         }
     }
+
+    /// Unwraps an EXPLAIN report.
+    pub fn into_explain(self) -> Result<ExplainReport, MdbsError> {
+        match self {
+            MsqlOutcome::Explain(r) => Ok(*r),
+            other => Err(MdbsError::Internal(format!("expected an explain report, got {other:?}"))),
+        }
+    }
 }
 
 /// Executes generated plans against the federation's network.
@@ -152,6 +163,11 @@ pub struct Executor {
     /// failed (but reported) subquery instead of failing the whole plan —
     /// the §3.2 vital semantics then decide the statement's fate.
     pub tolerate_unreachable: bool,
+    /// Where execution spans hang (disabled unless the federation is
+    /// tracing the statement).
+    pub trace: SpanCtx,
+    /// Metrics sink shared with the federation.
+    pub metrics: MetricsRegistry,
 }
 
 impl Executor {
@@ -165,6 +181,8 @@ impl Executor {
             retry: RetryPolicy::default(),
             stats: shared_stats(),
             tolerate_unreachable: false,
+            trace: SpanCtx::disabled(),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -177,10 +195,12 @@ impl Executor {
             timeout: self.timeout,
             retry: self.retry.clone(),
             stats: SharedExecStats::clone(&run_stats),
+            metrics: self.metrics.clone(),
             tolerate_unreachable: self.tolerate_unreachable,
         };
-        let engine =
+        let mut engine =
             if self.parallel { DolEngine::new(&factory) } else { DolEngine::serial(&factory) };
+        engine.trace = self.trace.clone();
         let result = engine.execute(&plan.program);
         // Merge the run's accounting even when the program failed — the
         // faults that sank it are exactly what the session stats must show.
@@ -322,14 +342,18 @@ impl Executor {
                 self.retry.clone(),
                 SharedExecStats::clone(&self.stats),
             )?;
+            let span = self.trace.child(format!("lam:partial:{}", sub.database));
+            span.note("db", &sub.database);
             let sql = print_select(&sub.select);
-            let resp = client.call(Request::Task {
+            let req = Request::Task {
                 name: format!("QD_{}", sub.database),
                 mode: TaskMode::Auto,
                 database: sub.database.clone(),
                 commands: vec![sql],
-            })?;
-            let payload = match resp {
+            };
+            let (resp, attempts, _faults) = client.call_traced(&req, &span);
+            span.note("attempts", attempts);
+            let payload = match resp? {
                 Response::TaskDone { status: 'C', payload: Some(p), .. } => p,
                 Response::TaskDone { status: 'C', payload: None, .. } => {
                     wire::encode_result_set(&ResultSet::default())
@@ -342,6 +366,9 @@ impl Executor {
                 }
                 other => return Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
             };
+            span.note("bytes", payload.len());
+            self.metrics
+                .counter_add(&labeled("lam.bytes", "db", &sub.database), payload.len() as u64);
             partials.push((sub.part_table.clone(), payload));
         }
 
@@ -357,23 +384,37 @@ impl Executor {
             self.retry.clone(),
             SharedExecStats::clone(&self.stats),
         )?;
-        for (table, payload) in &partials {
-            coord.load_partial(table, payload)?;
+        {
+            let span = self.trace.child(format!("lam:collect:{}", dec.coordinator));
+            span.note("db", &dec.coordinator);
+            span.note("partials", partials.len());
+            for (table, payload) in &partials {
+                coord.load_partial(table, payload)?;
+            }
         }
 
         // 3. Evaluate the modified global query Q' and clean up.
+        let span = self.trace.child(format!("lam:global:{}", dec.coordinator));
+        span.note("db", &dec.coordinator);
         let sql = print_select(&dec.global_query);
-        let resp = coord.call(Request::Task {
+        let req = Request::Task {
             name: "QGLOBAL".into(),
             mode: TaskMode::Auto,
             database: dec.coordinator.clone(),
             commands: vec![sql],
-        });
+        };
+        let (resp, attempts, _faults) = coord.call_traced(&req, &span);
+        span.note("attempts", attempts);
         for (table, _) in &partials {
             let _ = coord.drop_temp(table);
         }
         match resp? {
-            Response::TaskDone { status: 'C', payload: Some(p), .. } => wire::decode_result_set(&p),
+            Response::TaskDone { status: 'C', payload: Some(p), .. } => {
+                span.note("bytes", p.len());
+                let rs = wire::decode_result_set(&p)?;
+                span.note("rows", rs.rows.len());
+                Ok(rs)
+            }
             Response::TaskDone { status: 'C', payload: None, .. } => Ok(ResultSet::default()),
             Response::TaskDone { error, .. } => Err(MdbsError::Local {
                 service: dec.coordinator.clone(),

@@ -18,6 +18,10 @@ use ldbs::Engine;
 use msql_lang::printer::print;
 use msql_lang::{CreateTable, DropTable, MsqlQuery, Multitransaction, QueryBody, Statement};
 use netsim::Network;
+use obs::{
+    labeled, ExplainReport, LogicalClock, MetricsRegistry, MetricsSnapshot, Span, SpanCtx,
+    SpanTree, Tracer,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -68,6 +72,31 @@ pub struct Federation {
     pub tolerate_unreachable: bool,
     /// Session-level communication accounting.
     stats: SharedExecStats,
+    /// Deterministic logical clock, shared with the network probe and every
+    /// statement tracer (no wall time: identical runs read identical ticks).
+    clock: LogicalClock,
+    /// Shared metrics registry: the network probe, LAM clients and the
+    /// executor all write here; [`Federation::metrics`] reads it back.
+    metrics: MetricsRegistry,
+    /// The tracer of the statement currently executing (None between
+    /// statements; trigger actions reuse the active tracer).
+    trace: Option<Tracer>,
+    /// Where spans opened by long-lived components (executor, DOL engine)
+    /// hang while a statement runs.
+    trace_ctx: SpanCtx,
+    /// Raw span forest of the most recently completed top-level statement.
+    last_trace: Option<SpanTree>,
+}
+
+/// Collapses statement text to a deterministic one-line span label.
+fn text_note(text: &str) -> String {
+    let flat = text.split_whitespace().collect::<Vec<_>>().join(" ");
+    if flat.chars().count() > 72 {
+        let cut: String = flat.chars().take(72).collect();
+        format!("{cut}...")
+    } else {
+        flat
+    }
 }
 
 impl Default for Federation {
@@ -85,6 +114,9 @@ impl Federation {
     /// Creates a federation on an existing network (latency/failure models
     /// installed by the caller).
     pub fn with_network(net: Network) -> Self {
+        let clock = LogicalClock::new();
+        let metrics = MetricsRegistry::new();
+        net.attach_probe(clock.clone(), metrics.clone());
         Federation {
             net,
             ad: AuxiliaryDirectory::new(),
@@ -101,7 +133,54 @@ impl Federation {
             lam_config: LamConfig::default(),
             tolerate_unreachable: false,
             stats: shared_stats(),
+            clock,
+            metrics,
+            trace: None,
+            trace_ctx: SpanCtx::disabled(),
+            last_trace: None,
         }
+    }
+
+    /// The federation's logical clock. It advances on observable events only
+    /// (span open/close, simulated network traffic), so latencies read off it
+    /// are deterministic.
+    pub fn clock(&self) -> &LogicalClock {
+        &self.clock
+    }
+
+    /// Observability snapshot: every counter/gauge/histogram accumulated so
+    /// far (network traffic, per-LAM calls and payloads, per-phase
+    /// latencies), with each service's local engine statistics scraped into
+    /// `ldbs.*{service=...}` gauges at call time.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        for (service, lam) in &self.lams {
+            let stats = lam.engine.lock().stats();
+            let gauge = |name: &str, value: u64| {
+                self.metrics.gauge_set(&labeled(name, "service", service), value as i64);
+            };
+            gauge("ldbs.statements", stats.statements);
+            gauge("ldbs.commits", stats.commits);
+            gauge("ldbs.aborts", stats.aborts);
+            gauge("ldbs.prepares", stats.prepares);
+            gauge("lam.served", lam.stats.served.load(std::sync::atomic::Ordering::Relaxed));
+            gauge("lam.replayed", lam.stats.replayed.load(std::sync::atomic::Ordering::Relaxed));
+        }
+        self.metrics.snapshot()
+    }
+
+    /// The live metrics registry (to reset between phases or to share with
+    /// external components).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The normalized span tree of the most recently completed top-level
+    /// statement, or `None` before the first statement runs.
+    pub fn last_trace(&self) -> Option<SpanTree> {
+        self.last_trace.clone().map(|mut t| {
+            t.normalize();
+            t
+        })
     }
 
     /// A snapshot of the session's communication accounting (attempts,
@@ -207,20 +286,24 @@ impl Federation {
             retry: self.retry.clone(),
             stats: SharedExecStats::clone(&self.stats),
             tolerate_unreachable: self.tolerate_unreachable,
+            trace: self.trace_ctx.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 
     /// A LAM client for direct (non-DOL) traffic, wired to the
     /// federation's retry policy and accounting.
     fn connect(&self, site: &str, database: &str) -> Result<LamClient, MdbsError> {
-        LamClient::connect_with(
+        let mut client = LamClient::connect_with(
             &self.net,
             site,
             database,
             self.timeout,
             self.retry.clone(),
             SharedExecStats::clone(&self.stats),
-        )
+        )?;
+        client.set_metrics(self.metrics.clone());
+        Ok(client)
     }
 
     /// Parses and executes a raw DOL program against the federation's
@@ -234,13 +317,15 @@ impl Federation {
             timeout: self.timeout,
             retry: self.retry.clone(),
             stats: SharedExecStats::clone(&self.stats),
+            metrics: self.metrics.clone(),
             tolerate_unreachable: self.tolerate_unreachable,
         };
-        let engine = if self.parallel {
+        let mut engine = if self.parallel {
             dol::DolEngine::new(&factory)
         } else {
             dol::DolEngine::serial(&factory)
         };
+        engine.trace = self.trace_ctx.clone();
         Ok(engine.execute(&parsed)?)
     }
 
@@ -262,11 +347,71 @@ impl Federation {
         self.gtxn.len()
     }
 
-    /// Parses and executes one MSQL statement.
+    /// Parses and executes one MSQL statement. The parse itself runs under
+    /// the statement's root span, so traces show the full lifecycle.
     pub fn execute(&mut self, msql: &str) -> Result<MsqlOutcome, MdbsError> {
-        let stmt = msql_lang::parse_statement(msql)
-            .map_err(|e| MdbsError::Parse(e.display_with_source(msql)))?;
-        self.execute_statement(&stmt)
+        self.traced_statement(text_note(msql), |fed, span| {
+            let started = fed.clock.now();
+            let parse = span.child("parse");
+            let stmt = match msql_lang::parse_statement(msql) {
+                Ok(stmt) => stmt,
+                Err(e) => {
+                    parse.note("error", "syntax");
+                    return Err(MdbsError::Parse(e.display_with_source(msql)));
+                }
+            };
+            parse.end();
+            fed.metrics.observe("phase.parse", fed.clock.now().saturating_sub(started));
+            fed.dispatch_statement(&stmt, span)
+        })
+    }
+
+    /// Runs `f` under a per-statement root span. A top-level call starts a
+    /// fresh tracer and captures the finished span forest into
+    /// [`Federation::last_trace`]; a nested call (a trigger action, an
+    /// EXPLAIN target) hangs a `statement` span under the active context.
+    fn traced_statement<F>(&mut self, label: String, f: F) -> Result<MsqlOutcome, MdbsError>
+    where
+        F: FnOnce(&mut Federation, &Span) -> Result<MsqlOutcome, MdbsError>,
+    {
+        let nested = self.trace.is_some();
+        let span = if nested {
+            self.trace_ctx.child("statement")
+        } else {
+            let tracer = Tracer::new(self.clock.clone());
+            let root = tracer.root("statement");
+            self.trace = Some(tracer);
+            root
+        };
+        if !label.is_empty() {
+            span.note("text", label);
+        }
+        let prev_ctx = std::mem::replace(&mut self.trace_ctx, span.ctx());
+        let started = self.clock.now();
+        let result = f(self, &span);
+        self.trace_ctx = prev_ctx;
+        if let Err(e) = &result {
+            span.note("error", text_note(&e.to_string()));
+        }
+        span.end();
+        self.metrics.observe("phase.statement", self.clock.now().saturating_sub(started));
+        if !nested {
+            if let Some(tracer) = self.trace.take() {
+                self.last_trace = Some(SpanTree::from_records(&tracer.records()));
+            }
+        }
+        result
+    }
+
+    /// Executes the statement with full tracing, then returns the measured
+    /// profile — span tree plus per-LAM cost table — instead of the
+    /// statement's own outcome. EXPLAIN *runs* its target (the paper's
+    /// simulated costs are observed, not estimated).
+    pub fn explain(&mut self, stmt: &Statement) -> Result<MsqlOutcome, MdbsError> {
+        let text = print(stmt);
+        self.execute_statement(stmt)?;
+        let tree = self.last_trace().unwrap_or_default();
+        Ok(MsqlOutcome::Explain(Box::new(ExplainReport::from_tree(text, tree))))
     }
 
     /// Parses and executes a script, returning one outcome per statement.
@@ -282,6 +427,20 @@ impl Federation {
 
     /// Executes a pre-parsed statement.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<MsqlOutcome, MdbsError> {
+        if let Statement::Explain(inner) = stmt {
+            return self.explain(inner);
+        }
+        self.traced_statement(text_note(&print(stmt)), |fed, span| {
+            fed.dispatch_statement(stmt, span)
+        })
+    }
+
+    /// The statement dispatcher proper, running under `span`.
+    fn dispatch_statement(
+        &mut self,
+        stmt: &Statement,
+        span: &Span,
+    ) -> Result<MsqlOutcome, MdbsError> {
         match stmt {
             Statement::Use(u) => {
                 // A scope change is a synchronization point (§3.2.2).
@@ -331,8 +490,19 @@ impl Federation {
                     imported.join(", ")
                 )))
             }
-            Statement::Query(q) => self.execute_query(q),
-            Statement::Multitransaction(m) => self.execute_multitransaction(m),
+            Statement::Query(q) => self.execute_query(q, span),
+            Statement::Multitransaction(m) => self.execute_multitransaction(m, span),
+            Statement::Explain(inner) => {
+                // Already inside a trace (this EXPLAIN arrived as text or as
+                // a trigger action): run the target as a nested statement,
+                // then report on the spans collected so far.
+                let text = print(inner);
+                self.execute_statement(inner)?;
+                let records = self.trace.as_ref().map(|t| t.records()).unwrap_or_default();
+                let mut tree = SpanTree::from_records(&records);
+                tree.normalize();
+                Ok(MsqlOutcome::Explain(Box::new(ExplainReport::from_tree(text, tree))))
+            }
             Statement::CreateTable(ct) => self.execute_create_table(ct),
             Statement::DropTable(dt) => self.execute_drop_table(dt),
             Statement::CreateDatabase(_) | Statement::DropDatabase(_) => {
@@ -388,7 +558,7 @@ impl Federation {
         }
     }
 
-    fn execute_query(&mut self, q: &MsqlQuery) -> Result<MsqlOutcome, MdbsError> {
+    fn execute_query(&mut self, q: &MsqlQuery, span: &Span) -> Result<MsqlOutcome, MdbsError> {
         // USE/LET attached to the query update the session scope, which then
         // persists (interactive MSQL behaviour).
         if let Some(u) = &q.use_clause {
@@ -405,7 +575,10 @@ impl Federation {
             }
         }
         let routes = self.routes()?;
-        match translate::translate_body(&q.body, &self.scope, &self.gdd)? {
+        let translate_started = self.clock.now();
+        let translated = translate::translate_body_traced(&q.body, &self.scope, &self.gdd, span)?;
+        self.metrics.observe("phase.translate", self.clock.now().saturating_sub(translate_started));
+        match translated {
             Translated::PerDb(locals) => match &q.body {
                 QueryBody::Select(_) => {
                     if !q.comps.is_empty() {
@@ -413,16 +586,33 @@ impl Federation {
                             "COMP applies to modification statements".into(),
                         ));
                     }
-                    let plan = retrieval_plan(&locals, &routes)?;
-                    Ok(MsqlOutcome::Multitable(self.executor().run_retrieval(&plan)?))
+                    let plan = {
+                        let pg = span.child("plangen");
+                        pg.note("shape", "retrieval");
+                        let plan = retrieval_plan(&locals, &routes)?;
+                        pg.note("tasks", plan.tasks.len());
+                        plan
+                    };
+                    let started = self.clock.now();
+                    let mt = self.executor().run_retrieval(&plan)?;
+                    self.metrics.observe("phase.execute", self.clock.now().saturating_sub(started));
+                    Ok(MsqlOutcome::Multitable(mt))
                 }
                 _ => {
                     let comps = self.comp_map(q, &locals)?;
                     if self.deferred {
                         return self.run_deferred_update(&locals, &comps, &routes);
                     }
-                    let plan = update_plan(&locals, &comps, &routes)?;
+                    let plan = {
+                        let pg = span.child("plangen");
+                        pg.note("shape", "update");
+                        let plan = update_plan(&locals, &comps, &routes)?;
+                        pg.note("tasks", plan.tasks.len());
+                        plan
+                    };
+                    let started = self.clock.now();
                     let report = self.executor().run_update(&plan)?;
+                    self.metrics.observe("phase.execute", self.clock.now().saturating_sub(started));
                     // Fire interdatabase triggers for committed subqueries.
                     let mut events = Vec::new();
                     for (local, outcome) in locals.iter().zip(&report.outcomes) {
@@ -450,7 +640,10 @@ impl Federation {
                 }
             },
             Translated::CrossDb(dec) => {
-                Ok(MsqlOutcome::Table(self.executor().run_cross_db(&dec, &routes)?))
+                let started = self.clock.now();
+                let rs = self.executor().run_cross_db(&dec, &routes)?;
+                self.metrics.observe("phase.execute", self.clock.now().saturating_sub(started));
+                Ok(MsqlOutcome::Table(rs))
             }
         }
     }
@@ -586,13 +779,18 @@ impl Federation {
         let transferred = rows.rows.len() as u64;
         if !commands.is_empty() {
             let client = self.connect(&route.site, target)?;
-            let resp = client.call(crate::proto::Request::Task {
+            let span = self.trace_ctx.child(format!("transfer:{target}"));
+            span.note("db", target);
+            span.note("rows", transferred);
+            let req = crate::proto::Request::Task {
                 name: "TRANSFER".into(),
                 mode: crate::proto::TaskMode::Auto,
                 database: target.to_string(),
                 commands,
-            })?;
-            match resp {
+            };
+            let (resp, attempts, _faults) = client.call_traced(&req, &span);
+            span.note("attempts", attempts);
+            match resp? {
                 crate::proto::Response::TaskDone { status: 'C', .. } => {}
                 crate::proto::Response::TaskDone { error, .. } => {
                     return Err(MdbsError::Local {
@@ -710,8 +908,15 @@ impl Federation {
                 }
             }
         }
+        if actions.is_empty() {
+            return Ok(0);
+        }
         // Actions run in their own scope (they usually start with USE);
-        // the interrupted session scope is restored afterwards.
+        // the interrupted session scope is restored afterwards. Their nested
+        // statement spans hang under one `triggers` span.
+        let span = self.trace_ctx.child("triggers");
+        span.note("actions", actions.len());
+        let prev_ctx = std::mem::replace(&mut self.trace_ctx, span.ctx());
         let saved_scope = self.scope.clone();
         self.trigger_depth += 1;
         let run = (|| {
@@ -722,10 +927,16 @@ impl Federation {
         })();
         self.trigger_depth -= 1;
         self.scope = saved_scope;
+        self.trace_ctx = prev_ctx;
+        span.end();
         run
     }
 
-    fn execute_multitransaction(&mut self, m: &Multitransaction) -> Result<MsqlOutcome, MdbsError> {
+    fn execute_multitransaction(
+        &mut self,
+        m: &Multitransaction,
+        span: &Span,
+    ) -> Result<MsqlOutcome, MdbsError> {
         let routes = self.routes()?;
         // Each component query manages its own scope; the session scope is
         // untouched by the block.
@@ -738,7 +949,8 @@ impl Federation {
             for l in &q.lets {
                 working.apply_let(l)?;
             }
-            let locals = match translate::translate_body(&q.body, &working, &self.gdd)? {
+            let locals = match translate::translate_body_traced(&q.body, &working, &self.gdd, span)?
+            {
                 Translated::PerDb(locals) => locals,
                 Translated::CrossDb(_) => {
                     return Err(MdbsError::Mtx(
@@ -765,8 +977,19 @@ impl Federation {
             .iter()
             .map(|s| s.databases.iter().map(|d| d.as_str().to_string()).collect())
             .collect();
-        let plan = multitransaction_plan(&queries, &states, &routes)?;
-        Ok(MsqlOutcome::Mtx(self.executor().run_mtx(&plan, states.len())?))
+        let plan = {
+            let pg = span.child("plangen");
+            pg.note("shape", "multitransaction");
+            pg.note("queries", queries.len());
+            pg.note("states", states.len());
+            let plan = multitransaction_plan(&queries, &states, &routes)?;
+            pg.note("tasks", plan.tasks.len());
+            plan
+        };
+        let started = self.clock.now();
+        let report = self.executor().run_mtx(&plan, states.len())?;
+        self.metrics.observe("phase.execute", self.clock.now().saturating_sub(started));
+        Ok(MsqlOutcome::Mtx(report))
     }
 
     fn execute_create_table(&mut self, ct: &CreateTable) -> Result<MsqlOutcome, MdbsError> {

@@ -19,7 +19,7 @@ use msql_lang::TypeName;
 use netsim::{NetError, Network};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -86,6 +86,17 @@ pub fn local_conceptual_schema(
     Ok(out)
 }
 
+/// Live request counters of one LAM server thread, shared with the handle
+/// (and scraped into the federation's metrics registry on demand).
+#[derive(Debug, Default)]
+pub struct LamServerStats {
+    /// Requests executed against the wrapped engine.
+    pub served: AtomicU64,
+    /// Retried requests answered from the reply cache without re-execution
+    /// (the at-most-once deduplication path).
+    pub replayed: AtomicU64,
+}
+
 /// A running LAM: owns the server thread and shares the engine with the
 /// test/benchmark harness (so fixtures can seed data and inspect outcomes).
 pub struct LamHandle {
@@ -95,6 +106,8 @@ pub struct LamHandle {
     pub site: String,
     /// The wrapped engine, shared with the harness.
     pub engine: Arc<Mutex<Engine>>,
+    /// Request counters kept by the server thread.
+    pub stats: Arc<LamServerStats>,
     net: Network,
     thread: Option<JoinHandle<()>>,
     config: LamConfig,
@@ -172,6 +185,8 @@ pub fn spawn_lam_with(
     let server_engine = Arc::clone(&engine);
     let alive = Arc::new(AtomicBool::new(true));
     let thread_alive = Arc::clone(&alive);
+    let stats = Arc::new(LamServerStats::default());
+    let thread_stats = Arc::clone(&stats);
     let thread_net = net.clone();
     let thread_site = site.to_string();
     let poll = config.poll_interval;
@@ -201,6 +216,7 @@ pub fn spawn_lam_with(
                 let (corr, body) = proto::split_correlation(&msg.body);
                 if let Some(id) = corr {
                     if let Some(cached) = server.replies.get(id) {
+                        thread_stats.replayed.fetch_add(1, Ordering::Relaxed);
                         let _ = endpoint.send(&msg.from, cached);
                         continue;
                     }
@@ -208,7 +224,10 @@ pub fn spawn_lam_with(
                 let request = Request::decode(body);
                 let (response, stop) = match request {
                     Ok(Request::Shutdown) => (Response::Ok, true),
-                    Ok(req) => (server.handle(req), false),
+                    Ok(req) => {
+                        thread_stats.served.fetch_add(1, Ordering::Relaxed);
+                        (server.handle(req), false)
+                    }
                     Err(e) => (Response::Err { message: e.to_string() }, false),
                 };
                 let out = match corr {
@@ -231,6 +250,7 @@ pub fn spawn_lam_with(
         service: service.to_string(),
         site: site.to_string(),
         engine,
+        stats,
         net: net.clone(),
         thread: Some(thread),
         config,

@@ -13,6 +13,7 @@ use dol::engine::TaskExecution;
 use dol::TaskStatus;
 use dol::{DolError, DolService, ServiceFactory};
 use netsim::{Endpoint, FaultKind, NetError, Network};
+use obs::{labeled, MetricsRegistry, Span};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -57,6 +58,9 @@ pub struct LamClient {
     retry: RetryPolicy,
     /// Shared fault/retry accounting.
     stats: SharedExecStats,
+    /// Metrics sink for `lam.*` series (a private registry unless attached
+    /// to a federation's via [`Self::set_metrics`]).
+    metrics: MetricsRegistry,
 }
 
 /// One attempt's failure: a classified network fault, or a protocol error
@@ -105,6 +109,7 @@ impl LamClient {
             timeout,
             retry,
             stats,
+            metrics: MetricsRegistry::new(),
         };
         match client.call(Request::Ping)? {
             Response::Ok => Ok(client),
@@ -115,6 +120,11 @@ impl LamClient {
     /// The shared stats cell this client records into.
     pub fn stats(&self) -> SharedExecStats {
         SharedExecStats::clone(&self.stats)
+    }
+
+    /// Points the client's `lam.*` metric series at a shared registry.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Sends one logical request and waits for its response, retrying
@@ -136,6 +146,18 @@ impl LamClient {
         &self,
         req: &Request,
     ) -> (Result<Response, MdbsError>, u32, Option<FaultKind>) {
+        let (result, attempts, faults) = self.call_traced(req, &Span::disabled());
+        (result, attempts, faults.last().copied())
+    }
+
+    /// Like [`Self::call_full`], opening one `rpc` child of `span` per
+    /// attempt (annotated with the fault that killed it, if any) and
+    /// returning every fault observed across the attempts.
+    pub fn call_traced(
+        &self,
+        req: &Request,
+        span: &Span,
+    ) -> (Result<Response, MdbsError>, u32, Vec<FaultKind>) {
         let id = REQUEST_SEQ.fetch_add(1, Ordering::Relaxed);
         let framed = proto::encode_with_correlation(id, &req.encode());
         let max_attempts =
@@ -155,13 +177,17 @@ impl LamClient {
                 }
             }
             attempts += 1;
+            let rpc = span.child("rpc");
+            rpc.note("attempt", attempts);
             match self.attempt(id, &framed) {
                 Ok(resp) => {
+                    drop(rpc);
                     self.stats.lock().record_call(attempts, &faults, true);
-                    return (Ok(resp), attempts, faults.last().copied());
+                    return (Ok(resp), attempts, faults);
                 }
                 Err(AttemptError::Net(e)) => {
                     let kind = e.fault_kind();
+                    rpc.note("fault", fault_label(kind));
                     faults.push(kind);
                     last_net = Some(e);
                     if kind == FaultKind::Terminal {
@@ -169,14 +195,15 @@ impl LamClient {
                     }
                 }
                 Err(AttemptError::Fatal(e)) => {
+                    rpc.note("error", "protocol");
+                    drop(rpc);
                     self.stats.lock().record_call(attempts, &faults, false);
-                    return (Err(e), attempts, faults.last().copied());
+                    return (Err(e), attempts, faults);
                 }
             }
         }
         self.stats.lock().record_call(attempts, &faults, false);
-        let fault = faults.last().copied();
-        let err = match fault {
+        let err = match faults.last().copied() {
             Some(FaultKind::Terminal) => MdbsError::LamUnavailable { site: self.site.clone() },
             _ => {
                 let detail = last_net
@@ -185,7 +212,7 @@ impl LamClient {
                 MdbsError::Net(format!("{detail} (site `{}`, {attempts} attempt(s))", self.site))
             }
         };
-        (Err(err), attempts, fault)
+        (Err(err), attempts, faults)
     }
 
     /// One send/receive round. Responses whose correlation id does not match
@@ -296,14 +323,25 @@ impl LamClient {
     }
 }
 
-impl Drop for LamClient {
-    fn drop(&mut self) {
-        self.net.deregister(self.endpoint.name());
+impl LamClient {
+    /// Annotates a task/commit/abort/compensate span with this client's
+    /// communication telemetry and folds it into the `lam.*` metrics.
+    fn record_obs(&self, span: &Span, attempts: u32, faults: &[FaultKind]) {
+        span.note("db", &self.database);
+        span.note("attempts", attempts);
+        if let Some(kind) = faults.last() {
+            span.note("fault", fault_label(*kind));
+            span.note("faults", faults.len());
+        }
+        let db = self.database.as_str();
+        self.metrics.counter_add(&labeled("lam.calls", "db", db), 1);
+        self.metrics.counter_add(&labeled("lam.attempts", "db", db), u64::from(attempts.max(1)));
+        self.metrics
+            .counter_add(&labeled("lam.retries", "db", db), u64::from(attempts.saturating_sub(1)));
+        self.metrics.counter_add(&labeled("lam.faults", "db", db), faults.len() as u64);
     }
-}
 
-impl DolService for LamClient {
-    fn execute_task(&mut self, task: &dol::TaskDef) -> TaskExecution {
+    fn run_task(&mut self, task: &dol::TaskDef, span: &Span) -> TaskExecution {
         let mode = if task.nocommit { TaskMode::NoCommit } else { TaskMode::Auto };
         let req = Request::Task {
             name: task.name.clone(),
@@ -311,8 +349,9 @@ impl DolService for LamClient {
             database: self.database.clone(),
             commands: task.commands.clone(),
         };
-        let (result, attempts, fault) = self.call_full(&req);
-        self.stats.lock().record_task(&task.name, attempts, fault);
+        let (result, attempts, faults) = self.call_traced(&req, span);
+        self.record_obs(span, attempts, &faults);
+        self.stats.lock().record_task(&task.name, attempts, faults.last().copied());
         match result {
             Ok(Response::TaskDone { status, affected, payload, error }) => {
                 let status = match status {
@@ -321,6 +360,17 @@ impl DolService for LamClient {
                     'A' => TaskStatus::Aborted,
                     _ => TaskStatus::Error,
                 };
+                if affected > 0 {
+                    span.note("affected", affected);
+                }
+                if let Some(p) = payload.as_deref() {
+                    let rows = payload_rows(p);
+                    span.note("rows", rows);
+                    span.note("bytes", p.len());
+                    let db = self.database.as_str();
+                    self.metrics.counter_add(&labeled("lam.rows", "db", db), rows);
+                    self.metrics.counter_add(&labeled("lam.bytes", "db", db), p.len() as u64);
+                }
                 TaskExecution {
                     status,
                     result: Some(encode_task_result(affected, payload.as_deref())),
@@ -343,35 +393,76 @@ impl DolService for LamClient {
         }
     }
 
-    fn commit_task(&mut self, task_name: &str) -> Result<(), DolError> {
-        match self.call(Request::Commit { task: task_name.to_string() }) {
+    /// Sends an ack-only second-phase request, tracing its round trips.
+    fn phase_two(&mut self, req: Request, span: &Span) -> Result<(), DolError> {
+        let (result, attempts, faults) = self.call_traced(&req, span);
+        self.record_obs(span, attempts, &faults);
+        match result {
             Ok(Response::Ok) => Ok(()),
             Ok(Response::Err { message }) => Err(DolError::Service(message)),
             Ok(other) => Err(DolError::Service(format!("unexpected reply: {other:?}"))),
             Err(e) => Err(DolError::Service(e.to_string())),
         }
+    }
+}
+
+/// Stable lower-case label for fault annotations in spans and goldens.
+fn fault_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Transient => "transient",
+        FaultKind::Terminal => "terminal",
+    }
+}
+
+/// Counts the data rows in a wire-encoded result-set payload.
+fn payload_rows(payload: &str) -> u64 {
+    payload.lines().filter(|l| *l == "R" || l.starts_with("R ")).count() as u64
+}
+
+impl Drop for LamClient {
+    fn drop(&mut self) {
+        self.net.deregister(self.endpoint.name());
+    }
+}
+
+impl DolService for LamClient {
+    fn execute_task(&mut self, task: &dol::TaskDef) -> TaskExecution {
+        self.run_task(task, &Span::disabled())
+    }
+
+    fn execute_task_traced(&mut self, task: &dol::TaskDef, span: &Span) -> TaskExecution {
+        self.run_task(task, span)
+    }
+
+    fn commit_task(&mut self, task_name: &str) -> Result<(), DolError> {
+        self.commit_task_traced(task_name, &Span::disabled())
+    }
+
+    fn commit_task_traced(&mut self, task_name: &str, span: &Span) -> Result<(), DolError> {
+        self.phase_two(Request::Commit { task: task_name.to_string() }, span)
     }
 
     fn abort_task(&mut self, task_name: &str) -> Result<(), DolError> {
-        match self.call(Request::Abort { task: task_name.to_string() }) {
-            Ok(Response::Ok) => Ok(()),
-            Ok(Response::Err { message }) => Err(DolError::Service(message)),
-            Ok(other) => Err(DolError::Service(format!("unexpected reply: {other:?}"))),
-            Err(e) => Err(DolError::Service(e.to_string())),
-        }
+        self.abort_task_traced(task_name, &Span::disabled())
+    }
+
+    fn abort_task_traced(&mut self, task_name: &str, span: &Span) -> Result<(), DolError> {
+        self.phase_two(Request::Abort { task: task_name.to_string() }, span)
     }
 
     fn compensate_task(&mut self, task: &dol::TaskDef) -> Result<(), DolError> {
-        match self.call(Request::Compensate {
-            task: task.name.clone(),
-            database: self.database.clone(),
-            commands: task.compensation.clone(),
-        }) {
-            Ok(Response::Ok) => Ok(()),
-            Ok(Response::Err { message }) => Err(DolError::Service(message)),
-            Ok(other) => Err(DolError::Service(format!("unexpected reply: {other:?}"))),
-            Err(e) => Err(DolError::Service(e.to_string())),
-        }
+        self.compensate_task_traced(task, &Span::disabled())
+    }
+
+    fn compensate_task_traced(&mut self, task: &dol::TaskDef, span: &Span) -> Result<(), DolError> {
+        self.phase_two(
+            Request::Compensate {
+                task: task.name.clone(),
+                database: self.database.clone(),
+                commands: task.compensation.clone(),
+            },
+            span,
+        )
     }
 
     fn close(&mut self) {
@@ -390,6 +481,8 @@ pub struct LamFactory {
     pub retry: RetryPolicy,
     /// Stats cell shared by every client this factory opens.
     pub stats: SharedExecStats,
+    /// Metrics registry shared by every client this factory opens.
+    pub metrics: MetricsRegistry,
     /// Graceful degradation: when set, a service whose LAM cannot be
     /// reached at OPEN time yields a stub that reports every task as failed
     /// instead of failing the whole plan — the §3.2 vital semantics then
@@ -405,6 +498,7 @@ impl LamFactory {
             timeout,
             retry: RetryPolicy::default(),
             stats: shared_stats(),
+            metrics: MetricsRegistry::new(),
             tolerate_unreachable: false,
         }
     }
@@ -420,7 +514,10 @@ impl ServiceFactory for LamFactory {
             self.retry.clone(),
             SharedExecStats::clone(&self.stats),
         ) {
-            Ok(client) => Ok(Box::new(client)),
+            Ok(mut client) => {
+                client.set_metrics(self.metrics.clone());
+                Ok(Box::new(client))
+            }
             Err(e) if self.tolerate_unreachable => Ok(Box::new(UnreachableService {
                 site: site.to_string(),
                 reason: e.to_string(),

@@ -105,6 +105,9 @@ pub struct TaskTelemetry {
 /// [`crate::federation::Federation::exec_stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
+    /// Logical calls issued (each may span several attempts). The invariant
+    /// `retries == attempts - calls` holds by construction.
+    pub calls: u64,
     /// Total request attempts, including first tries.
     pub attempts: u64,
     /// Attempts beyond the first (resends).
@@ -134,6 +137,7 @@ impl ExecStats {
     /// Records the outcome of one logical call: how many attempts it used
     /// and the faults it saw on the way.
     pub fn record_call(&mut self, attempts: u32, faults: &[FaultKind], succeeded: bool) {
+        self.calls += 1;
         self.attempts += u64::from(attempts.max(1));
         self.retries += u64::from(attempts.saturating_sub(1));
         for k in faults {
@@ -159,6 +163,7 @@ impl ExecStats {
     /// aggregation). Per-task entries of `other` win on name collision
     /// (they are newer).
     pub fn merge(&mut self, other: &ExecStats) {
+        self.calls += other.calls;
         self.attempts += other.attempts;
         self.retries += other.retries;
         self.transient_faults += other.transient_faults;
@@ -221,8 +226,10 @@ mod tests {
         s.record_call(1, &[], true);
         s.record_call(3, &[FaultKind::Transient, FaultKind::Transient], true);
         s.record_call(2, &[FaultKind::Transient, FaultKind::Terminal], false);
+        assert_eq!(s.calls, 3);
         assert_eq!(s.attempts, 6);
         assert_eq!(s.retries, 3);
+        assert_eq!(s.retries, s.attempts - s.calls);
         assert_eq!(s.transient_faults, 3);
         assert_eq!(s.terminal_faults, 1);
         assert_eq!(s.recovered, 1);

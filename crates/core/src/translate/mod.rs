@@ -43,13 +43,36 @@ pub fn translate_body(
     scope: &SessionScope,
     gdd: &GlobalDataDictionary,
 ) -> Result<Translated, MdbsError> {
+    translate_body_traced(body, scope, gdd, &obs::Span::disabled())
+}
+
+/// [`translate_body`] with one child span per §4.3 phase (expand,
+/// disambiguate, decompose) hung under `span`.
+pub fn translate_body_traced(
+    body: &QueryBody,
+    scope: &SessionScope,
+    gdd: &GlobalDataDictionary,
+    span: &obs::Span,
+) -> Result<Translated, MdbsError> {
     if let QueryBody::Select(sel) = body {
         if is_cross_db_join(sel, scope, gdd) {
-            return Ok(Translated::CrossDb(Box::new(decompose(sel, scope, gdd)?)));
+            let phase = span.child("decompose");
+            let dec = decompose(sel, scope, gdd)?;
+            phase.note("subqueries", dec.subqueries.len());
+            phase.note("coordinator", &dec.coordinator);
+            return Ok(Translated::CrossDb(Box::new(dec)));
         }
     }
-    let candidates = expand(body, scope, gdd)?;
-    Ok(Translated::PerDb(disambiguate(candidates)?))
+    let candidates = {
+        let phase = span.child("expand");
+        let candidates = expand(body, scope, gdd)?;
+        phase.note("candidates", candidates.len());
+        candidates
+    };
+    let phase = span.child("disambiguate");
+    let pertinent = disambiguate(candidates)?;
+    phase.note("pertinent", pertinent.len());
+    Ok(Translated::PerDb(pertinent))
 }
 
 /// A SELECT is a cross-database join when its FROM clause contains two or

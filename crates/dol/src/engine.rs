@@ -13,6 +13,7 @@
 
 use crate::ast::{DolCond, DolProgram, DolStmt, TaskDef, TaskStatus};
 use crate::error::DolError;
+use obs::{Span, SpanCtx};
 use std::collections::HashMap;
 
 /// Result of running one task on a service.
@@ -64,6 +65,33 @@ pub trait DolService: Send {
 
     /// Releases the connection.
     fn close(&mut self);
+
+    /// Traced variant of [`execute_task`](DolService::execute_task): the
+    /// engine hands the task's span so the service can annotate it (and open
+    /// per-attempt children). Default implementations ignore the span, so
+    /// mocks and simple services need not care about tracing.
+    fn execute_task_traced(&mut self, task: &TaskDef, span: &Span) -> TaskExecution {
+        let _ = span;
+        self.execute_task(task)
+    }
+
+    /// Traced variant of [`commit_task`](DolService::commit_task).
+    fn commit_task_traced(&mut self, task_name: &str, span: &Span) -> Result<(), DolError> {
+        let _ = span;
+        self.commit_task(task_name)
+    }
+
+    /// Traced variant of [`abort_task`](DolService::abort_task).
+    fn abort_task_traced(&mut self, task_name: &str, span: &Span) -> Result<(), DolError> {
+        let _ = span;
+        self.abort_task(task_name)
+    }
+
+    /// Traced variant of [`compensate_task`](DolService::compensate_task).
+    fn compensate_task_traced(&mut self, task: &TaskDef, span: &Span) -> Result<(), DolError> {
+        let _ = span;
+        self.compensate_task(task)
+    }
 }
 
 /// Connects service names (from `OPEN service AT site`) to live services.
@@ -95,6 +123,8 @@ pub struct DolEngine<'f> {
     factory: &'f dyn ServiceFactory,
     /// Run task batches with one thread per service (default true).
     pub parallel: bool,
+    /// Where to hang execution spans (disabled by default).
+    pub trace: SpanCtx,
 }
 
 struct RunState {
@@ -106,12 +136,12 @@ struct RunState {
 impl<'f> DolEngine<'f> {
     /// Creates an engine over a service factory (parallel batches enabled).
     pub fn new(factory: &'f dyn ServiceFactory) -> Self {
-        DolEngine { factory, parallel: true }
+        DolEngine { factory, parallel: true, trace: SpanCtx::disabled() }
     }
 
     /// Creates an engine that executes task batches serially.
     pub fn serial(factory: &'f dyn ServiceFactory) -> Self {
-        DolEngine { factory, parallel: false }
+        DolEngine { factory, parallel: false, trace: SpanCtx::disabled() }
     }
 
     /// Executes a program to completion.
@@ -121,15 +151,24 @@ impl<'f> DolEngine<'f> {
             defs: HashMap::new(),
             outcome: DolOutcome::default(),
         };
-        self.run_block(&program.statements, &mut state)?;
+        let span = self.trace.child("dol:run");
+        let ctx = span.ctx();
+        let result = self.run_block(&program.statements, &mut state, &ctx);
         // Drop any service still open.
         for (_, mut svc) in state.services.drain() {
             svc.close();
         }
+        result?;
+        span.note("dolstatus", state.outcome.dolstatus);
         Ok(state.outcome)
     }
 
-    fn run_block(&self, stmts: &[DolStmt], state: &mut RunState) -> Result<(), DolError> {
+    fn run_block(
+        &self,
+        stmts: &[DolStmt],
+        state: &mut RunState,
+        ctx: &SpanCtx,
+    ) -> Result<(), DolError> {
         let mut i = 0;
         while i < stmts.len() {
             match &stmts[i] {
@@ -144,10 +183,10 @@ impl<'f> DolEngine<'f> {
                             break;
                         }
                     }
-                    self.run_batch(batch, state)?;
+                    self.run_batch(batch, state, ctx)?;
                 }
                 other => {
-                    self.run_stmt(other, state)?;
+                    self.run_stmt(other, state, ctx)?;
                     i += 1;
                 }
             }
@@ -155,12 +194,20 @@ impl<'f> DolEngine<'f> {
         Ok(())
     }
 
-    fn run_stmt(&self, stmt: &DolStmt, state: &mut RunState) -> Result<(), DolError> {
+    fn run_stmt(
+        &self,
+        stmt: &DolStmt,
+        state: &mut RunState,
+        ctx: &SpanCtx,
+    ) -> Result<(), DolError> {
         match stmt {
             DolStmt::Open { service, site, alias } => {
                 if state.services.contains_key(alias) {
                     return Err(DolError::Duplicate(alias.clone()));
                 }
+                let span = ctx.child(format!("open:{alias}"));
+                span.note("service", service);
+                span.note("site", site);
                 let svc = self.factory.connect(service, site)?;
                 state.services.insert(alias.clone(), svc);
                 Ok(())
@@ -168,24 +215,24 @@ impl<'f> DolEngine<'f> {
             DolStmt::Task(_) => unreachable!("tasks are batched in run_block"),
             DolStmt::If { cond, then_branch, else_branch } => {
                 if eval_cond(cond, &state.outcome.task_statuses)? {
-                    self.run_block(then_branch, state)
+                    self.run_block(then_branch, state, ctx)
                 } else {
-                    self.run_block(else_branch, state)
+                    self.run_block(else_branch, state, ctx)
                 }
             }
             DolStmt::Commit { tasks } => {
                 for name in tasks {
-                    self.commit_task(name, state)?;
+                    self.commit_task(name, state, ctx)?;
                 }
                 Ok(())
             }
             DolStmt::Abort { tasks } => {
                 for name in tasks {
-                    self.abort_task(name, state)?;
+                    self.abort_task(name, state, ctx)?;
                 }
                 Ok(())
             }
-            DolStmt::Compensate { task } => self.compensate_task(task, state),
+            DolStmt::Compensate { task } => self.compensate_task(task, state, ctx),
             DolStmt::SetStatus(code) => {
                 state.outcome.dolstatus = *code;
                 Ok(())
@@ -201,7 +248,12 @@ impl<'f> DolEngine<'f> {
         }
     }
 
-    fn run_batch(&self, batch: Vec<TaskDef>, state: &mut RunState) -> Result<(), DolError> {
+    fn run_batch(
+        &self,
+        batch: Vec<TaskDef>,
+        state: &mut RunState,
+        ctx: &SpanCtx,
+    ) -> Result<(), DolError> {
         for (i, t) in batch.iter().enumerate() {
             if state.defs.contains_key(&t.name) || batch[..i].iter().any(|prev| prev.name == t.name)
             {
@@ -225,6 +277,20 @@ impl<'f> DolEngine<'f> {
             }
         }
 
+        // Opens, annotates and closes the span around one task execution.
+        fn traced_exec(
+            svc: &mut Box<dyn DolService>,
+            task: &TaskDef,
+            alias: &str,
+            ctx: &SpanCtx,
+        ) -> TaskExecution {
+            let span = ctx.child(format!("task:{}", task.name));
+            span.note("service", alias);
+            let exec = svc.execute_task_traced(task, &span);
+            span.note("status", exec.status.code());
+            exec
+        }
+
         let mut executions: Vec<(String, TaskExecution)> = Vec::new();
         if self.parallel && groups.len() > 1 {
             // One thread per service; each thread owns its service box.
@@ -237,10 +303,11 @@ impl<'f> DolEngine<'f> {
             let finished: Finished = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (alias, mut svc, tasks) in taken.drain(..) {
+                    let ctx = ctx.clone();
                     handles.push(scope.spawn(move || {
                         let mut local = Vec::new();
                         for task in &tasks {
-                            let exec = svc.execute_task(task);
+                            let exec = traced_exec(&mut svc, task, &alias, &ctx);
                             local.push((task.name.clone(), exec));
                         }
                         (alias, svc, local)
@@ -256,7 +323,7 @@ impl<'f> DolEngine<'f> {
             for (alias, tasks) in groups {
                 let svc = state.services.get_mut(&alias).expect("checked above");
                 for task in &tasks {
-                    let exec = svc.execute_task(task);
+                    let exec = traced_exec(svc, task, &alias, ctx);
                     executions.push((task.name.clone(), exec));
                 }
             }
@@ -271,7 +338,7 @@ impl<'f> DolEngine<'f> {
         Ok(())
     }
 
-    fn commit_task(&self, name: &str, state: &mut RunState) -> Result<(), DolError> {
+    fn commit_task(&self, name: &str, state: &mut RunState, ctx: &SpanCtx) -> Result<(), DolError> {
         let def =
             state.defs.get(name).ok_or_else(|| DolError::UnknownTask(name.to_string()))?.clone();
         let status = state.outcome.task_statuses[name];
@@ -281,7 +348,9 @@ impl<'f> DolEngine<'f> {
                     .services
                     .get_mut(&def.service)
                     .ok_or_else(|| DolError::UnknownService(def.service.clone()))?;
-                svc.commit_task(name)?;
+                let span = ctx.child(format!("commit:{name}"));
+                span.note("service", &def.service);
+                svc.commit_task_traced(name, &span)?;
                 state.outcome.task_statuses.insert(name.to_string(), TaskStatus::Committed);
                 Ok(())
             }
@@ -294,7 +363,7 @@ impl<'f> DolEngine<'f> {
         }
     }
 
-    fn abort_task(&self, name: &str, state: &mut RunState) -> Result<(), DolError> {
+    fn abort_task(&self, name: &str, state: &mut RunState, ctx: &SpanCtx) -> Result<(), DolError> {
         let def =
             state.defs.get(name).ok_or_else(|| DolError::UnknownTask(name.to_string()))?.clone();
         let status = state.outcome.task_statuses[name];
@@ -304,7 +373,9 @@ impl<'f> DolEngine<'f> {
                     .services
                     .get_mut(&def.service)
                     .ok_or_else(|| DolError::UnknownService(def.service.clone()))?;
-                svc.abort_task(name)?;
+                let span = ctx.child(format!("abort:{name}"));
+                span.note("service", &def.service);
+                svc.abort_task_traced(name, &span)?;
                 state.outcome.task_statuses.insert(name.to_string(), TaskStatus::Aborted);
                 Ok(())
             }
@@ -320,7 +391,12 @@ impl<'f> DolEngine<'f> {
         }
     }
 
-    fn compensate_task(&self, name: &str, state: &mut RunState) -> Result<(), DolError> {
+    fn compensate_task(
+        &self,
+        name: &str,
+        state: &mut RunState,
+        ctx: &SpanCtx,
+    ) -> Result<(), DolError> {
         let def =
             state.defs.get(name).ok_or_else(|| DolError::UnknownTask(name.to_string()))?.clone();
         if def.compensation.is_empty() {
@@ -333,7 +409,9 @@ impl<'f> DolEngine<'f> {
                     .services
                     .get_mut(&def.service)
                     .ok_or_else(|| DolError::UnknownService(def.service.clone()))?;
-                svc.compensate_task(&def)?;
+                let span = ctx.child(format!("compensate:{name}"));
+                span.note("service", &def.service);
+                svc.compensate_task_traced(&def, &span)?;
                 state.outcome.task_statuses.insert(name.to_string(), TaskStatus::Compensated);
                 Ok(())
             }

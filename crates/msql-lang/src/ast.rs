@@ -815,6 +815,9 @@ pub enum Statement {
     Commit,
     /// Global `ROLLBACK`.
     Rollback,
+    /// `EXPLAIN <statement>`: execute the target with tracing and return the
+    /// measured profile instead of its outcome.
+    Explain(Box<Statement>),
 }
 
 impl Statement {

@@ -217,6 +217,10 @@ impl Parser {
         if self.eat_kw("rollback") {
             return Ok(Statement::Rollback);
         }
+        if self.eat_kw("explain") {
+            let inner = self.parse_statement()?;
+            return Ok(Statement::Explain(Box::new(inner)));
+        }
         Err(ParseError::new(format!("unexpected token `{}`", self.peek()), self.span()))
     }
 

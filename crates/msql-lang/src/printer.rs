@@ -66,6 +66,10 @@ fn write_statement(out: &mut String, stmt: &Statement) {
         }
         Statement::Commit => out.push_str("COMMIT"),
         Statement::Rollback => out.push_str("ROLLBACK"),
+        Statement::Explain(inner) => {
+            out.push_str("EXPLAIN ");
+            write_statement(out, inner);
+        }
     }
 }
 

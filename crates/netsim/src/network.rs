@@ -5,6 +5,7 @@ use crate::latency::LatencyModel;
 use crate::message::{Envelope, Message};
 use crate::stats::NetStats;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use obs::{LogicalClock, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -13,8 +14,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Observability hook: every send advances the logical clock (so traces see
+/// network activity as time) and feeds the `net.*` metric series.
+#[derive(Clone, Default)]
+struct Probe {
+    clock: LogicalClock,
+    metrics: MetricsRegistry,
+}
+
 #[derive(Default)]
 struct Fabric {
+    probe: RwLock<Option<Probe>>,
     sites: RwLock<HashMap<String, Sender<Envelope>>>,
     latency: RwLock<LatencyModel>,
     partitions: RwLock<HashSet<(String, String)>>,
@@ -140,6 +150,13 @@ impl Network {
         p.remove(&(b.to_string(), a.to_string()));
     }
 
+    /// Attaches an observability probe: every delivered or dropped message
+    /// ticks `clock` once and increments the `net.messages` / `net.bytes` /
+    /// `net.dropped` / `net.refused` counters in `metrics`.
+    pub fn attach_probe(&self, clock: LogicalClock, metrics: MetricsRegistry) {
+        *self.fabric.probe.write() = Some(Probe { clock, metrics });
+    }
+
     /// A snapshot of the traffic counters.
     pub fn stats(&self) -> NetStats {
         self.fabric.stats.lock().clone()
@@ -165,6 +182,17 @@ impl Endpoint {
         &self.name
     }
 
+    /// Ticks the attached probe (if any) and bumps one `net.*` counter.
+    fn probe_event(&self, counter: &str, bytes: usize) {
+        if let Some(probe) = self.fabric.probe.read().as_ref() {
+            probe.clock.tick();
+            probe.metrics.counter_add(counter, 1);
+            if bytes > 0 {
+                probe.metrics.counter_add("net.bytes", bytes as u64);
+            }
+        }
+    }
+
     /// Sends a message. Fails fast on partitions and unknown sites; a
     /// stochastic drop is reported as success (the sender cannot tell — it
     /// will observe a receive timeout instead), mirroring real datagram
@@ -173,6 +201,7 @@ impl Endpoint {
         let body = body.into();
         if self.fabric.partitions.read().contains(&(self.name.clone(), to.to_string())) {
             self.fabric.stats.lock().refused += 1;
+            self.probe_event("net.refused", 0);
             return Err(NetError::Partitioned { from: self.name.clone(), to: to.to_string() });
         }
         let sites = self.fabric.sites.read();
@@ -192,6 +221,7 @@ impl Endpoint {
                             forced.remove(key);
                         }
                         self.fabric.stats.lock().record_drop(&self.name, to);
+                        self.probe_event("net.dropped", 0);
                         return Ok(());
                     }
                 }
@@ -209,6 +239,7 @@ impl Endpoint {
             if let Some(rng) = rng.as_mut() {
                 if rng.gen_bool(p) {
                     self.fabric.stats.lock().record_drop(&self.name, to);
+                    self.probe_event("net.dropped", 0);
                     return Ok(());
                 }
             }
@@ -217,6 +248,7 @@ impl Endpoint {
         let seq = self.fabric.seq.fetch_add(1, Ordering::Relaxed);
         let message = Message { from: self.name.clone(), to: to.to_string(), body, seq };
         self.fabric.stats.lock().record_send(&self.name, to, message.body.len());
+        self.probe_event("net.messages", message.body.len());
         let envelope = Envelope { message, deliver_at: Instant::now() + delay };
         tx.send(envelope).map_err(|_| NetError::Disconnected)?;
         Ok(())
@@ -445,6 +477,23 @@ mod tests {
         assert_eq!(s.link_messages("a", "b"), 2);
         net.reset_stats();
         assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn probe_ticks_clock_and_counts_traffic() {
+        let net = Network::new();
+        let clock = LogicalClock::new();
+        let metrics = MetricsRegistry::new();
+        net.attach_probe(clock.clone(), metrics.clone());
+        let a = net.register("a").unwrap();
+        let _b = net.register("b").unwrap();
+        a.send("b", "12345").unwrap();
+        net.drop_next("a", "b", 1);
+        a.send("b", "lost").unwrap();
+        assert_eq!(clock.now(), 2, "one tick per observable network event");
+        assert_eq!(metrics.counter("net.messages"), 1);
+        assert_eq!(metrics.counter("net.bytes"), 5);
+        assert_eq!(metrics.counter("net.dropped"), 1);
     }
 
     #[test]

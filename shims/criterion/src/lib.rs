@@ -2,7 +2,10 @@
 //! of criterion's API the workspace's benches use (`criterion_group!` /
 //! `criterion_main!`, benchmark groups, `bench_with_input`, throughput
 //! annotations). Each benchmark runs a bounded number of timed iterations
-//! and prints a one-line mean; no statistics, plots, or CLI parsing.
+//! and prints a one-line mean; no statistics or plots. The only CLI flag
+//! honoured is criterion's `--test` smoke mode (`cargo bench -- --test`):
+//! every payload runs exactly once, untimed, so CI can prove the bench
+//! suite still executes without paying for a measurement sweep.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -19,11 +22,12 @@ pub fn black_box<T>(value: T) -> T {
 /// Top-level harness handle, mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 100 }
+        Criterion { sample_size: 100, test_mode: false }
     }
 }
 
@@ -34,8 +38,12 @@ impl Criterion {
         self
     }
 
-    /// Hook kept for API parity with criterion's CLI handling.
-    pub fn configure_from_args(self) -> Self {
+    /// Applies criterion's CLI flags. Only `--test` is recognised: it
+    /// switches every benchmark to a single untimed smoke iteration.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|arg| arg == "--test") {
+            self.test_mode = true;
+        }
         self
     }
 
@@ -49,7 +57,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&id.to_string(), self.sample_size, &mut f);
+        run_benchmark(&id.to_string(), self.sample_size, self.test_mode, &mut f);
         self
     }
 }
@@ -80,7 +88,7 @@ impl BenchmarkGroup<'_> {
     {
         let label = format!("{}/{}", self.name, id);
         let n = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_benchmark(&label, n, &mut f);
+        run_benchmark(&label, n, self.criterion.test_mode, &mut f);
         self
     }
 
@@ -96,7 +104,7 @@ impl BenchmarkGroup<'_> {
     {
         let label = format!("{}/{}", self.name, id);
         let n = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_benchmark(&label, n, &mut |b| f(b, input));
+        run_benchmark(&label, n, self.criterion.test_mode, &mut |b| f(b, input));
         self
     }
 
@@ -168,10 +176,17 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F>(label: &str, sample_size: usize, f: &mut F)
+fn run_benchmark<F>(label: &str, sample_size: usize, test_mode: bool, f: &mut F)
 where
     F: FnMut(&mut Bencher),
 {
+    if test_mode {
+        // Smoke mode (`--test`): prove the payload executes, skip timing.
+        let mut bencher = Bencher { target_iters: 1, samples: Vec::new() };
+        f(&mut bencher);
+        println!("test  {label:<60} ... ok");
+        return;
+    }
     let mut bencher = Bencher { target_iters: sample_size, samples: Vec::new() };
     f(&mut bencher);
     if bencher.samples.is_empty() {
@@ -192,13 +207,13 @@ where
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
         pub fn $name() {
-            let mut criterion = $config;
+            let mut criterion = $crate::Criterion::configure_from_args($config);
             $($target(&mut criterion);)+
         }
     };
     ($name:ident, $($target:path),+ $(,)?) => {
         pub fn $name() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::default().configure_from_args();
             $($target(&mut criterion);)+
         }
     };
@@ -224,6 +239,14 @@ mod tests {
         let mut runs = 0;
         c.bench_function("smoke", |b| b.iter(|| runs += 1));
         assert!(runs >= 3, "warmup + samples should run the payload");
+    }
+
+    #[test]
+    fn test_mode_runs_payload_once() {
+        let mut c = Criterion { sample_size: 50, test_mode: true };
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 2, "one warmup + one smoke iteration, never the sample target");
     }
 
     #[test]

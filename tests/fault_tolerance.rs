@@ -264,6 +264,61 @@ fn lost_commit_ack_is_reasked_and_reports_committed() {
 }
 
 #[test]
+fn injected_drops_are_annotated_on_the_surviving_spans() {
+    let sites = ["site4", "site5"];
+    let mut fed = lossy_federation(0xA1, &sites, DROP_P);
+    fed.retry = RetryPolicy { max_attempts: 5, ..RetryPolicy::retries(5) };
+
+    fed.execute(Q1).unwrap();
+    heal(&fed, &sites);
+
+    let note = |n: &obs::SpanNode, key: &str| {
+        n.notes.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+
+    // Every retry layer fault inside a traced call shows up as a `fault`
+    // annotation on an `rpc` span; the owning task span's `faults`/`attempts`
+    // notes agree with its rpc children exactly.
+    let trace = fed.last_trace().expect("the statement left a trace");
+    let mut rpc_faults = 0u64;
+    let mut annotated_tasks = 0u64;
+    trace.visit(&mut |n| {
+        if n.name == "rpc" && note(n, "fault").is_some() {
+            assert_eq!(note(n, "fault").as_deref(), Some("transient"), "{n:?}");
+            rpc_faults += 1;
+        }
+        if n.name.starts_with("task:") {
+            let rpcs = n.children.iter().filter(|c| c.name == "rpc").count() as u64;
+            let failed =
+                n.children.iter().filter(|c| c.name == "rpc" && note(c, "fault").is_some()).count()
+                    as u64;
+            let attempts: u64 = note(n, "attempts").unwrap().parse().unwrap();
+            assert_eq!(attempts, rpcs, "one rpc child per attempt: {n:?}");
+            let faults: u64 = note(n, "faults").map_or(0, |v| v.parse().unwrap());
+            assert_eq!(faults, failed, "the faults note counts the failed attempts: {n:?}");
+            if faults > 0 {
+                annotated_tasks += 1;
+            }
+        }
+    });
+    assert!(rpc_faults > 0, "the loss injection left visible fault annotations");
+    assert!(annotated_tasks > 0, "at least one task span carries a fault summary");
+
+    // The retry layer saw at least the traced faults (connection pings are
+    // retried too, but outside any task span), and nothing terminal.
+    let stats = fed.exec_stats();
+    assert!(rpc_faults <= stats.transient_faults, "{rpc_faults} traced vs {stats:?}");
+    assert_eq!(stats.terminal_faults, 0, "{stats:?}");
+
+    // Observability and the network fabric agree on what was dropped: the
+    // probe-fed `net.dropped` counter matches netsim's own accounting.
+    let metrics = fed.metrics();
+    let dropped = fed.network().stats().dropped;
+    assert!(dropped > 0, "the drop injection actually fired");
+    assert_eq!(metrics.counters.get("net.dropped").copied().unwrap_or(0), dropped);
+}
+
+#[test]
 fn dead_lam_fails_fast_even_with_retries_enabled() {
     let net = Network::new();
     let mut engine = ldbs::Engine::new("svc", DbmsProfile::oracle_like());
