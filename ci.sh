@@ -25,7 +25,8 @@ echo "== golden traces =="
 cargo test -q --test t1_trace_golden
 
 echo "== bench smoke (--test mode) =="
-# Every benchmark payload must still execute; no timing sweep.
+# Every benchmark payload must still execute; no timing sweep. This includes
+# b9_cross_join, whose smoke pass also refreshes BENCH_cross_join.json.
 cargo bench --workspace -- --test
 
 echo "CI OK"

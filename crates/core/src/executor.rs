@@ -12,15 +12,18 @@
 //!   and the DOL return code.
 
 use crate::error::MdbsError;
-use crate::lamclient::{decode_task_result, LamClient, LamFactory};
+use crate::lamclient::{decode_task_result, LamClient, LamFactory, PartialResult};
 use crate::multitable::{Multitable, MultitableEntry};
 use crate::proto::{Request, Response, TaskMode};
 use crate::retry::{shared_stats, ExecStats, RetryPolicy, SharedExecStats};
-use crate::translate::{DbRoute, Decomposition, GeneratedPlan, MTX_FAILED};
+use crate::translate::{DbRoute, DbSubquery, Decomposition, GeneratedPlan, MTX_FAILED};
 use crate::wire;
 use dol::{DolEngine, DolOutcome, TaskStatus};
 use ldbs::engine::ResultSet;
+use ldbs::eval::value_literal;
+use ldbs::value::Value;
 use msql_lang::printer::print_select;
+use msql_lang::{BinaryOp, ColumnRef, Expr, Literal, Select};
 use netsim::{FaultKind, Network};
 use obs::{labeled, ExplainReport, MetricsRegistry, SpanCtx};
 use std::collections::HashMap;
@@ -163,6 +166,13 @@ pub struct Executor {
     /// failed (but reported) subquery instead of failing the whole plan —
     /// the §3.2 vital semantics then decide the statement's fate.
     pub tolerate_unreachable: bool,
+    /// Semi-join reduction of cross-database joins: ship the reducer's
+    /// distinct join-key values to the other sites as `IN (…)` filters so
+    /// only matching rows cross the wire.
+    pub semijoin: bool,
+    /// Per-edge cap on the distinct key values shipped as an `IN (…)`
+    /// filter; an edge whose key set exceeds it falls back to full shipping.
+    pub semijoin_cap: usize,
     /// Where execution spans hang (disabled unless the federation is
     /// tracing the statement).
     pub trace: SpanCtx,
@@ -181,6 +191,8 @@ impl Executor {
             retry: RetryPolicy::default(),
             stats: shared_stats(),
             tolerate_unreachable: false,
+            semijoin: true,
+            semijoin_cap: 256,
             trace: SpanCtx::disabled(),
             metrics: MetricsRegistry::new(),
         }
@@ -231,7 +243,7 @@ impl Executor {
                     key: t.key.clone(),
                     status,
                     affected,
-                    error: None,
+                    error: out.error(&t.task).map(str::to_string),
                     attempts: telemetry.map(|m| m.attempts).unwrap_or(0),
                     fault: telemetry.and_then(|m| m.fault),
                 }
@@ -323,59 +335,181 @@ impl Executor {
     /// Executes a decomposed cross-database join: runs each local subquery,
     /// ships the partial results to the coordinator, evaluates the modified
     /// global query there, and cleans up the temporaries.
+    ///
+    /// Two data-flow optimisations apply (§5 argues multidatabase
+    /// optimisation is about exactly this — data flow control and
+    /// parallelism across sites, not individual database operations):
+    ///
+    /// * **Semi-join reduction** (when [`Self::semijoin`] and the
+    ///   decomposition carries equi-join edges): one *reducer* subquery runs
+    ///   first, its distinct join-key values are injected into the other
+    ///   subqueries as `IN (…)` filters, and only matching rows cross the
+    ///   wire. An edge whose key set exceeds [`Self::semijoin_cap`] falls
+    ///   back to full shipping.
+    /// * **Parallel partial dispatch** (when [`Self::parallel`]): the
+    ///   remaining subqueries run concurrently, one scoped thread per LAM,
+    ///   so N sites cost ≈1 round trip instead of N.
     pub fn run_cross_db(
         &self,
         dec: &Decomposition,
         routes: &HashMap<String, DbRoute>,
     ) -> Result<ResultSet, MdbsError> {
-        // 1. Evaluate the largest local subquery at each database.
-        let mut partials: Vec<(String, String)> = Vec::new(); // (part_table, payload)
-        for sub in &dec.subqueries {
-            let route = routes.get(&sub.database).ok_or_else(|| {
-                MdbsError::Catalog(format!("no route for database `{}`", sub.database))
-            })?;
-            let client = LamClient::connect_with(
-                &self.net,
-                &route.site,
-                &sub.database,
-                self.timeout,
-                self.retry.clone(),
-                SharedExecStats::clone(&self.stats),
-            )?;
-            let span = self.trace.child(format!("lam:partial:{}", sub.database));
-            span.note("db", &sub.database);
-            let sql = print_select(&sub.select);
-            let req = Request::Task {
-                name: format!("QD_{}", sub.database),
-                mode: TaskMode::Auto,
-                database: sub.database.clone(),
-                commands: vec![sql],
-            };
-            let (resp, attempts, _faults) = client.call_traced(&req, &span);
-            span.note("attempts", attempts);
-            let payload = match resp? {
-                Response::TaskDone { status: 'C', payload: Some(p), .. } => p,
-                Response::TaskDone { status: 'C', payload: None, .. } => {
-                    wire::encode_result_set(&ResultSet::default())
+        let join_span = self.trace.child("join");
+
+        // Resolve every route up front so a missing one fails before any
+        // subquery is dispatched.
+        let sub_routes: Vec<&DbRoute> = dec
+            .subqueries
+            .iter()
+            .map(|sub| {
+                routes.get(&sub.database).ok_or_else(|| {
+                    MdbsError::Catalog(format!("no route for database `{}`", sub.database))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        // 1. Semi-join reduction: run the reducer, harvest its join keys.
+        let n = dec.subqueries.len();
+        let mut results: Vec<Option<PartialResult>> = vec![None; n];
+        let mut filters: Vec<Vec<Expr>> = vec![Vec::new(); n];
+        let mut keys_shipped = 0u64;
+        if self.semijoin && n > 1 && !dec.join_keys.is_empty() {
+            let reducer = pick_reducer(dec);
+            let sub = &dec.subqueries[reducer];
+            let result =
+                self.dispatch_partial(sub, sub_routes[reducer], &[], false, &join_span.ctx())?;
+            let rs = wire::decode_result_set(&result.payload)?;
+            for key in &dec.join_keys {
+                let (Some(own), Some(other)) =
+                    (key.side_in(&sub.database), key.side_opposite(&sub.database))
+                else {
+                    continue;
+                };
+                let Some(col) = rs.columns.iter().position(|c| c.name == own.part_column) else {
+                    continue;
+                };
+                let mut values: Vec<Value> = rs
+                    .rows
+                    .iter()
+                    .map(|r| r[col].clone())
+                    .filter(|v| !matches!(v, Value::Null))
+                    .collect();
+                values.sort_by(|a, b| a.total_cmp(b));
+                values.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
+                if values.len() > self.semijoin_cap {
+                    continue; // key set too large — full shipping on this edge
                 }
-                Response::TaskDone { error, .. } => {
-                    return Err(MdbsError::Local {
-                        service: sub.database.clone(),
-                        message: error.unwrap_or_else(|| "subquery failed".into()),
-                    })
-                }
-                other => return Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
-            };
-            span.note("bytes", payload.len());
-            self.metrics
-                .counter_add(&labeled("lam.bytes", "db", &sub.database), payload.len() as u64);
-            partials.push((sub.part_table.clone(), payload));
+                let Some(target) = dec.subqueries.iter().position(|s| s.database == other.database)
+                else {
+                    continue;
+                };
+                let filter = if values.is_empty() {
+                    // No key can match; keep the subquery's shape (the
+                    // coordinator still needs its column metadata) but let
+                    // it ship zero rows.
+                    Expr::Binary {
+                        left: Box::new(Expr::Literal(Literal::Int(0))),
+                        op: BinaryOp::Eq,
+                        right: Box::new(Expr::Literal(Literal::Int(1))),
+                    }
+                } else {
+                    keys_shipped += values.len() as u64;
+                    Expr::InList {
+                        expr: Box::new(Expr::Column(ColumnRef::with_table(
+                            other.binding.as_str(),
+                            other.column.as_str(),
+                        ))),
+                        list: values.iter().map(|v| Expr::Literal(value_literal(v))).collect(),
+                        negated: false,
+                    }
+                };
+                filters[target].push(filter);
+            }
+            results[reducer] = Some(result);
         }
 
-        // 2. Collect the partial results at the coordinator.
+        // 2. Dispatch the remaining subqueries — concurrently when allowed.
+        // The unreduced baseline is measured (never shipped) only under
+        // tracing, where the savings feed the EXPLAIN report.
+        let measure = join_span.is_enabled();
+        let pending: Vec<usize> = (0..n).filter(|&i| results[i].is_none()).collect();
+        let dispatched: Vec<(usize, Result<PartialResult, MdbsError>)> =
+            if self.parallel && pending.len() > 1 {
+                let ctx = join_span.ctx();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = pending
+                        .iter()
+                        .map(|&i| {
+                            let ctx = ctx.clone();
+                            let sub = &dec.subqueries[i];
+                            let route = sub_routes[i];
+                            let extra = filters[i].as_slice();
+                            scope.spawn(move || {
+                                (i, self.dispatch_partial(sub, route, extra, measure, &ctx))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("partial dispatch thread panicked"))
+                        .collect()
+                })
+            } else {
+                pending
+                    .iter()
+                    .map(|&i| {
+                        let sub = &dec.subqueries[i];
+                        (
+                            i,
+                            self.dispatch_partial(
+                                sub,
+                                sub_routes[i],
+                                &filters[i],
+                                measure,
+                                &join_span.ctx(),
+                            ),
+                        )
+                    })
+                    .collect()
+            };
+        let mut first_err: Option<(usize, MdbsError)> = None;
+        for (i, r) in dispatched {
+            match r {
+                Ok(p) => results[i] = Some(p),
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        let partials: Vec<(String, PartialResult)> = dec
+            .subqueries
+            .iter()
+            .zip(results)
+            .map(|(sub, r)| (sub.part_table.clone(), r.expect("every subquery dispatched")))
+            .collect();
+
+        // 3. Name the strategy and total savings on the join span/metrics.
+        // The coordinator's LDBS hash-joins a two-table Q' on its equi keys;
+        // anything else enumerates the (filtered) cross product.
+        let reduced = filters.iter().any(|f| !f.is_empty());
+        let base = if n == 2 && !dec.join_keys.is_empty() { "hash" } else { "product" };
+        let strategy = if reduced { format!("semijoin+{base}") } else { base.to_string() };
+        let bytes_saved: u64 =
+            partials.iter().map(|(_, p)| p.full_bytes.saturating_sub(p.payload.len() as u64)).sum();
+        join_span.note("strategy", &strategy);
+        join_span.note("keys_shipped", keys_shipped);
+        join_span.note("bytes_saved", bytes_saved);
+        self.metrics.counter_add(&labeled("join.strategy", "strategy", &strategy), 1);
+        self.metrics.counter_add("join.keys_shipped", keys_shipped);
         let route = routes.get(&dec.coordinator).ok_or_else(|| {
             MdbsError::Catalog(format!("no route for coordinator `{}`", dec.coordinator))
         })?;
+        // 4. Collect the partial results at the coordinator.
         let coord = LamClient::connect_with(
             &self.net,
             &route.site,
@@ -385,16 +519,18 @@ impl Executor {
             SharedExecStats::clone(&self.stats),
         )?;
         {
-            let span = self.trace.child(format!("lam:collect:{}", dec.coordinator));
+            let span = join_span.child(format!("lam:collect:{}", dec.coordinator));
             span.note("db", &dec.coordinator);
             span.note("partials", partials.len());
-            for (table, payload) in &partials {
-                coord.load_partial(table, payload)?;
-            }
+            // One batched round trip: collection stays ≈1 link latency no
+            // matter how many sites contributed partials.
+            coord.load_partials(
+                partials.iter().map(|(t, p)| (t.clone(), p.payload.clone())).collect(),
+            )?;
         }
 
-        // 3. Evaluate the modified global query Q' and clean up.
-        let span = self.trace.child(format!("lam:global:{}", dec.coordinator));
+        // 5. Evaluate the modified global query Q' and clean up.
+        let span = join_span.child(format!("lam:global:{}", dec.coordinator));
         span.note("db", &dec.coordinator);
         let sql = print_select(&dec.global_query);
         let req = Request::Task {
@@ -405,9 +541,7 @@ impl Executor {
         };
         let (resp, attempts, _faults) = coord.call_traced(&req, &span);
         span.note("attempts", attempts);
-        for (table, _) in &partials {
-            let _ = coord.drop_temp(table);
-        }
+        let _ = coord.drop_temps(partials.iter().map(|(t, _)| t.clone()).collect());
         match resp? {
             Response::TaskDone { status: 'C', payload: Some(p), .. } => {
                 span.note("bytes", p.len());
@@ -423,6 +557,90 @@ impl Executor {
             other => Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
         }
     }
+
+    /// Connects to one subquery's LAM and evaluates it there, with `extra`
+    /// conjuncts (semi-join filters) ANDed onto its WHERE clause. When
+    /// filters were injected and `measure` is set, the LAM also measures the
+    /// unreduced subquery so the span/metrics can report bytes saved.
+    fn dispatch_partial(
+        &self,
+        sub: &DbSubquery,
+        route: &DbRoute,
+        extra: &[Expr],
+        measure: bool,
+        ctx: &SpanCtx,
+    ) -> Result<PartialResult, MdbsError> {
+        let mut client = LamClient::connect_with(
+            &self.net,
+            &route.site,
+            &sub.database,
+            self.timeout,
+            self.retry.clone(),
+            SharedExecStats::clone(&self.stats),
+        )?;
+        client.set_metrics(self.metrics.clone());
+        let span = ctx.child(format!("lam:partial:{}", sub.database));
+        let sql = if extra.is_empty() {
+            print_select(&sub.select)
+        } else {
+            span.note("reduced", "semijoin");
+            print_select(&with_conjuncts(&sub.select, extra))
+        };
+        let baseline = (measure && !extra.is_empty()).then(|| print_select(&sub.select));
+        let result = client.run_partial(&sql, baseline.as_deref(), &span)?;
+        if result.full_bytes > 0 {
+            let saved = result.full_bytes.saturating_sub(result.payload.len() as u64);
+            span.note("saved", saved);
+            self.metrics.counter_add(&labeled("lam.bytes_saved", "db", &sub.database), saved);
+        }
+        Ok(result)
+    }
+}
+
+/// Chooses the semi-join reducer: among the subqueries on at least one join
+/// edge, the one whose WHERE clause carries the most pushed-down local
+/// conjuncts — a cheap proxy for selectivity — ties broken by plan order.
+fn pick_reducer(dec: &Decomposition) -> usize {
+    let mut best = 0usize;
+    let mut best_score = -1i64;
+    for (i, sub) in dec.subqueries.iter().enumerate() {
+        if !dec.join_keys.iter().any(|k| k.side_in(&sub.database).is_some()) {
+            continue;
+        }
+        let score = conjunct_count(sub.select.where_clause.as_ref()) as i64;
+        if score > best_score {
+            best = i;
+            best_score = score;
+        }
+    }
+    best
+}
+
+/// Counts the AND-ed conjuncts of a WHERE clause (0 when absent).
+fn conjunct_count(e: Option<&Expr>) -> usize {
+    fn walk(e: &Expr) -> usize {
+        match e {
+            Expr::Binary { left, op: BinaryOp::And, right } => walk(left) + walk(right),
+            _ => 1,
+        }
+    }
+    e.map_or(0, walk)
+}
+
+/// ANDs extra conjuncts onto a subquery's WHERE clause.
+fn with_conjuncts(sel: &Select, extra: &[Expr]) -> Select {
+    let mut out = sel.clone();
+    let mut clause = out.where_clause.take();
+    for e in extra {
+        clause = Some(match clause {
+            Some(w) => {
+                Expr::Binary { left: Box::new(w), op: BinaryOp::And, right: Box::new(e.clone()) }
+            }
+            None => e.clone(),
+        });
+    }
+    out.where_clause = clause;
+    out
 }
 
 #[cfg(test)]

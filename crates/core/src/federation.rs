@@ -70,6 +70,13 @@ pub struct Federation {
     /// letting the §3.2 vital semantics decide the statement's fate
     /// (default false: an unreachable service fails the plan at OPEN).
     pub tolerate_unreachable: bool,
+    /// Semi-join reduction of cross-database joins (default true): ship the
+    /// reducer's distinct join-key values to the other sites as `IN (…)`
+    /// filters so only matching rows cross the wire.
+    pub semijoin: bool,
+    /// Per-edge cap on the distinct key values shipped as a semi-join
+    /// filter; beyond it the edge falls back to full shipping.
+    pub semijoin_cap: usize,
     /// Session-level communication accounting.
     stats: SharedExecStats,
     /// Deterministic logical clock, shared with the network probe and every
@@ -132,6 +139,8 @@ impl Federation {
             retry: RetryPolicy::default(),
             lam_config: LamConfig::default(),
             tolerate_unreachable: false,
+            semijoin: true,
+            semijoin_cap: 256,
             stats: shared_stats(),
             clock,
             metrics,
@@ -286,6 +295,8 @@ impl Federation {
             retry: self.retry.clone(),
             stats: SharedExecStats::clone(&self.stats),
             tolerate_unreachable: self.tolerate_unreachable,
+            semijoin: self.semijoin,
+            semijoin_cap: self.semijoin_cap,
             trace: self.trace_ctx.clone(),
             metrics: self.metrics.clone(),
         }

@@ -377,6 +377,9 @@ impl LamServer {
                 }
                 Response::Ok
             }
+            Request::Partial { database, sql, baseline } => {
+                self.run_partial(&database, &sql, baseline.as_deref())
+            }
             Request::Schema { database } => {
                 let engine = self.engine.lock();
                 match local_conceptual_schema(&engine, &database) {
@@ -390,6 +393,27 @@ impl LamServer {
                 match engine.database_mut(&database) {
                     Ok(db) => {
                         let _ = db.remove_table(&table);
+                        Response::Ok
+                    }
+                    Err(e) => Response::Err { message: e.to_string() },
+                }
+            }
+            Request::LoadMany { database, parts } => {
+                for (table, payload) in &parts {
+                    match self.load(&database, table, payload) {
+                        Response::Ok => {}
+                        other => return other,
+                    }
+                }
+                Response::Ok
+            }
+            Request::DropMany { database, tables } => {
+                let mut engine = self.engine.lock();
+                match engine.database_mut(&database) {
+                    Ok(db) => {
+                        for table in &tables {
+                            let _ = db.remove_table(table);
+                        }
                         Response::Ok
                     }
                     Err(e) => Response::Err { message: e.to_string() },
@@ -478,6 +502,40 @@ impl LamServer {
                 Response::TaskDone { status: 'C', affected, payload, error: None }
             }
         }
+    }
+
+    fn run_partial(&mut self, database: &str, sql: &str, baseline: Option<&str>) -> Response {
+        let mut engine = self.engine.lock();
+        let payload = match engine.execute(database, sql) {
+            Ok(ExecOutcome::Rows(rs)) => wire::encode_result_set(&rs),
+            Ok(ExecOutcome::Affected(_)) => {
+                return Response::PartialDone {
+                    payload: None,
+                    error: Some("partial subquery did not produce rows".to_string()),
+                    full_rows: 0,
+                    full_bytes: 0,
+                };
+            }
+            Err(e) => {
+                return Response::PartialDone {
+                    payload: None,
+                    error: Some(e.to_string()),
+                    full_rows: 0,
+                    full_bytes: 0,
+                };
+            }
+        };
+        // Measure — but never ship — the unreduced baseline. A baseline
+        // failure only zeroes the measurement; it must not fail a request
+        // whose real subquery succeeded.
+        let (full_rows, full_bytes) = match baseline.map(|b| engine.execute(database, b)) {
+            Some(Ok(ExecOutcome::Rows(rs))) => {
+                let encoded = wire::encode_result_set(&rs);
+                (rs.rows.len() as u64, encoded.len() as u64)
+            }
+            _ => (0, 0),
+        };
+        Response::PartialDone { payload: Some(payload), error: None, full_rows, full_bytes }
     }
 
     fn finish_task(&mut self, task: &str, commit: bool) -> Response {
@@ -676,6 +734,59 @@ mod tests {
             call(&client, Request::DropTemp { database: "avis".into(), table: "part_t".into() }),
             Response::Ok
         );
+    }
+
+    #[test]
+    fn partial_ships_reduced_rows_and_measures_baseline() {
+        let (_net, _lam, client) = setup();
+        let resp = call(
+            &client,
+            Request::Partial {
+                database: "avis".into(),
+                sql: "SELECT code FROM cars WHERE code IN (1)".into(),
+                baseline: Some("SELECT code FROM cars".into()),
+            },
+        );
+        let Response::PartialDone { payload: Some(p), error: None, full_rows, full_bytes } = resp
+        else {
+            panic!("{resp:?}")
+        };
+        let rs = wire::decode_result_set(&p).unwrap();
+        assert_eq!(rs.rows.len(), 1, "reduced result ships one row");
+        assert_eq!(full_rows, 2, "baseline measured both rows");
+        assert!(full_bytes as usize > p.len(), "baseline payload is larger");
+    }
+
+    #[test]
+    fn partial_error_and_bad_baseline_are_benign() {
+        let (_net, _lam, client) = setup();
+        let resp = call(
+            &client,
+            Request::Partial {
+                database: "avis".into(),
+                sql: "SELECT nope FROM cars".into(),
+                baseline: None,
+            },
+        );
+        let Response::PartialDone { payload: None, error: Some(e), .. } = resp else {
+            panic!("{resp:?}")
+        };
+        assert!(e.contains("nope"));
+        // A failing baseline zeroes the measurement but does not fail the
+        // request.
+        let resp = call(
+            &client,
+            Request::Partial {
+                database: "avis".into(),
+                sql: "SELECT code FROM cars".into(),
+                baseline: Some("SELECT nope FROM cars".into()),
+            },
+        );
+        let Response::PartialDone { payload: Some(_), error: None, full_rows: 0, full_bytes: 0 } =
+            resp
+        else {
+            panic!("{resp:?}")
+        };
     }
 
     #[test]

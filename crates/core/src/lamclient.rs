@@ -46,6 +46,21 @@ pub fn decode_task_result(result: &str) -> Result<(u64, Option<String>), MdbsErr
     Ok((affected, payload))
 }
 
+/// The outcome of one [`LamClient::run_partial`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialResult {
+    /// `wire::encode_result_set` payload of the (possibly reduced) subquery.
+    pub payload: String,
+    /// Rows in `payload`.
+    pub rows: u64,
+    /// Rows the unreduced baseline would have shipped (0 when unmeasured).
+    pub full_rows: u64,
+    /// Bytes the unreduced baseline would have shipped (0 when unmeasured).
+    pub full_bytes: u64,
+    /// Round-trip attempts spent on the request.
+    pub attempts: u32,
+}
+
 /// One connection to a LAM, bound to a database on that service.
 pub struct LamClient {
     endpoint: Endpoint,
@@ -293,6 +308,44 @@ impl LamClient {
         }
     }
 
+    /// Evaluates one local subquery of a decomposed cross-database join on
+    /// the LAM and ships its serialized result back, annotating `span` and
+    /// the `lam.*` metrics with the shipped volume. When `baseline` is set,
+    /// the LAM also measures (without shipping) the unreduced subquery so
+    /// semi-join savings are quantifiable.
+    pub fn run_partial(
+        &self,
+        sql: &str,
+        baseline: Option<&str>,
+        span: &Span,
+    ) -> Result<PartialResult, MdbsError> {
+        let req = Request::Partial {
+            database: self.database.clone(),
+            sql: sql.to_string(),
+            baseline: baseline.map(str::to_string),
+        };
+        let (result, attempts, faults) = self.call_traced(&req, span);
+        self.record_obs(span, attempts, &faults);
+        match result? {
+            Response::PartialDone { payload: Some(p), error: None, full_rows, full_bytes } => {
+                let rows = payload_rows(&p);
+                span.note("rows", rows);
+                span.note("bytes", p.len());
+                let db = self.database.as_str();
+                self.metrics.counter_add(&labeled("lam.rows", "db", db), rows);
+                self.metrics.counter_add(&labeled("lam.bytes", "db", db), p.len() as u64);
+                Ok(PartialResult { payload: p, rows, full_rows, full_bytes, attempts })
+            }
+            Response::PartialDone { error: Some(message), .. } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected partial reply: {other:?}"))),
+        }
+    }
+
     /// Loads a serialized partial result as a temporary table (coordinator
     /// collection).
     pub fn load_partial(&self, table: &str, payload: &str) -> Result<(), MdbsError> {
@@ -306,6 +359,30 @@ impl LamClient {
                 Err(MdbsError::Local { service: self.site.clone(), message })
             }
             other => Err(MdbsError::Wire(format!("unexpected load reply: {other:?}"))),
+        }
+    }
+
+    /// Loads every partial result as a temporary table in a single round
+    /// trip, so coordinator collection costs one link latency regardless of
+    /// how many sites contributed partials.
+    pub fn load_partials(&self, parts: Vec<(String, String)>) -> Result<(), MdbsError> {
+        match self.call(Request::LoadMany { database: self.database.clone(), parts })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected load reply: {other:?}"))),
+        }
+    }
+
+    /// Drops several temporary tables in a single round trip.
+    pub fn drop_temps(&self, tables: Vec<String>) -> Result<(), MdbsError> {
+        match self.call(Request::DropMany { database: self.database.clone(), tables })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected drop reply: {other:?}"))),
         }
     }
 

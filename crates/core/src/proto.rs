@@ -99,6 +99,19 @@ pub enum Request {
         /// The compensating SQL commands.
         commands: Vec<String>,
     },
+    /// Evaluate one local subquery of a decomposed cross-database join and
+    /// return its serialized result set. When `baseline` is present (the
+    /// unreduced subquery, sent only under tracing), the LAM also evaluates
+    /// it and reports its row/byte volume so semi-join savings can be
+    /// measured without shipping the unreduced rows.
+    Partial {
+        /// Target database.
+        database: String,
+        /// The (possibly semi-join-reduced) subquery to evaluate.
+        sql: String,
+        /// Unreduced subquery to measure (result discarded, never shipped).
+        baseline: Option<String>,
+    },
     /// Fetch the public Local Conceptual Schema of a database.
     Schema {
         /// The database.
@@ -121,6 +134,22 @@ pub enum Request {
         /// Temp table name.
         table: String,
     },
+    /// Create and load several temporary tables in one round trip — the
+    /// coordinator collects all partial results of a cross-database join
+    /// with a single exchange instead of one `LOAD` per site.
+    LoadMany {
+        /// Target database.
+        database: String,
+        /// `(temp table, wire::encode_result_set payload)` pairs.
+        parts: Vec<(String, String)>,
+    },
+    /// Drop several temporary tables in one round trip.
+    DropMany {
+        /// Target database.
+        database: String,
+        /// Temp table names.
+        tables: Vec<String>,
+    },
     /// Liveness probe.
     Ping,
     /// Stop the LAM server thread.
@@ -141,6 +170,19 @@ pub enum Response {
         payload: Option<String>,
         /// Error description when the status is not `P`/`C`.
         error: Option<String>,
+    },
+    /// A [`Request::Partial`] finished: the reduced result set (if the
+    /// subquery succeeded) plus the measured volume of the unreduced
+    /// baseline (zero when no baseline was requested or it failed).
+    PartialDone {
+        /// Serialized result set of the reduced subquery.
+        payload: Option<String>,
+        /// Error description when the subquery failed.
+        error: Option<String>,
+        /// Rows the unreduced baseline would have shipped.
+        full_rows: u64,
+        /// Payload bytes the unreduced baseline would have shipped.
+        full_bytes: u64,
     },
     /// Generic success.
     Ok,
@@ -188,11 +230,34 @@ impl Request {
                 }
                 out
             }
+            Request::Partial { database, sql, baseline } => {
+                let mut out = format!("PARTIAL {database}\n");
+                out.push_str(&escape(sql));
+                out.push('\n');
+                if let Some(b) = baseline {
+                    out.push_str(&escape(b));
+                    out.push('\n');
+                }
+                out
+            }
             Request::Schema { database } => format!("SCHEMA {database}"),
             Request::Load { database, table, payload } => {
                 format!("LOAD {database} {table}\n{payload}")
             }
             Request::DropTemp { database, table } => format!("DROPTEMP {database} {table}"),
+            Request::LoadMany { database, parts } => {
+                // Length-prefixed framing: payloads are multi-line, so each
+                // part header carries the exact byte count that follows it.
+                let mut out = format!("LOADMANY {database}\n");
+                for (table, payload) in parts {
+                    out.push_str(&format!("{table} {}\n", payload.len()));
+                    out.push_str(payload);
+                }
+                out
+            }
+            Request::DropMany { database, tables } => {
+                format!("DROPMANY {database} {}", tables.join(" "))
+            }
             Request::Ping => "PING".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
         }
@@ -238,6 +303,14 @@ impl Request {
                 database: database.to_string(),
                 commands: decode_commands(payload)?,
             }),
+            ["PARTIAL", database] => {
+                let lines = decode_commands(payload)?;
+                let mut lines = lines.into_iter();
+                let sql = lines
+                    .next()
+                    .ok_or_else(|| MdbsError::Wire("PARTIAL without a subquery".to_string()))?;
+                Ok(Request::Partial { database: database.to_string(), sql, baseline: lines.next() })
+            }
             ["SCHEMA", database] => Ok(Request::Schema { database: database.to_string() }),
             ["LOAD", database, table] => Ok(Request::Load {
                 database: database.to_string(),
@@ -247,6 +320,33 @@ impl Request {
             ["DROPTEMP", database, table] => {
                 Ok(Request::DropTemp { database: database.to_string(), table: table.to_string() })
             }
+            ["LOADMANY", database] => {
+                let mut parts = Vec::new();
+                let mut rest = payload;
+                while !rest.is_empty() {
+                    let (head, tail) = rest.split_once('\n').ok_or_else(|| {
+                        MdbsError::Wire("LOADMANY part without a header line".to_string())
+                    })?;
+                    let (table, len) = head.split_once(' ').ok_or_else(|| {
+                        MdbsError::Wire(format!("malformed LOADMANY part header `{head}`"))
+                    })?;
+                    let len: usize = len.parse().map_err(|_| {
+                        MdbsError::Wire(format!("bad LOADMANY part length `{len}`"))
+                    })?;
+                    if tail.len() < len || !tail.is_char_boundary(len) {
+                        return Err(MdbsError::Wire(format!(
+                            "truncated LOADMANY part for `{table}`"
+                        )));
+                    }
+                    parts.push((table.to_string(), tail[..len].to_string()));
+                    rest = &tail[len..];
+                }
+                Ok(Request::LoadMany { database: database.to_string(), parts })
+            }
+            ["DROPMANY", database, tables @ ..] => Ok(Request::DropMany {
+                database: database.to_string(),
+                tables: tables.iter().map(|t| t.to_string()).collect(),
+            }),
             ["PING"] => Ok(Request::Ping),
             ["SHUTDOWN"] => Ok(Request::Shutdown),
             _ => Err(MdbsError::Wire(format!("unknown request `{header}`"))),
@@ -264,6 +364,17 @@ impl Response {
                     None => "-".to_string(),
                 };
                 let mut out = format!("OK TASK {status} {affected} {err}\n");
+                if let Some(p) = payload {
+                    out.push_str(p);
+                }
+                out
+            }
+            Response::PartialDone { payload, error, full_rows, full_bytes } => {
+                let err = match error {
+                    Some(e) => escape(e),
+                    None => "-".to_string(),
+                };
+                let mut out = format!("OK PARTIAL {full_rows} {full_bytes} {err}\n");
                 if let Some(p) = payload {
                     out.push_str(p);
                 }
@@ -289,6 +400,23 @@ impl Response {
         }
         if header == "OK PAYLOAD" {
             return Ok(Response::OkPayload { payload: payload.to_string() });
+        }
+        if let Some(rest) = header.strip_prefix("OK PARTIAL ") {
+            // `<full_rows> <full_bytes> <error-or-dash>`; the error is the
+            // tail of the line (it may contain spaces).
+            let mut parts = rest.splitn(3, ' ');
+            let rows_text = parts.next().unwrap_or("");
+            let bytes_text = parts.next().unwrap_or("");
+            let err = parts.next().unwrap_or("-");
+            let full_rows: u64 = rows_text
+                .parse()
+                .map_err(|_| MdbsError::Wire(format!("bad baseline rows `{rows_text}`")))?;
+            let full_bytes: u64 = bytes_text
+                .parse()
+                .map_err(|_| MdbsError::Wire(format!("bad baseline bytes `{bytes_text}`")))?;
+            let error = if err == "-" { None } else { Some(unescape(err)?) };
+            let payload = if payload.is_empty() { None } else { Some(payload.to_string()) };
+            return Ok(Response::PartialDone { payload, error, full_rows, full_bytes });
         }
         if let Some(rest) = header.strip_prefix("OK TASK ") {
             // `<status> <affected> <error-or-dash>`; the error is the tail of
@@ -360,6 +488,46 @@ mod tests {
             commands: vec!["UPDATE cars SET rate = 1".into()],
         });
         roundtrip_request(Request::Prepare { task: "G1".into() });
+        roundtrip_request(Request::Partial {
+            database: "avis".into(),
+            sql: "SELECT code AS b_c_code FROM cars WHERE rate IN (10, 20)".into(),
+            baseline: None,
+        });
+        roundtrip_request(Request::Partial {
+            database: "avis".into(),
+            sql: "SELECT code AS b_c_code FROM cars WHERE rate IN (10, 20)".into(),
+            baseline: Some("SELECT code AS b_c_code\nFROM cars".into()),
+        });
+        roundtrip_request(Request::LoadMany { database: "avis".into(), parts: vec![] });
+        roundtrip_request(Request::LoadMany {
+            database: "avis".into(),
+            parts: vec![
+                ("part_national".into(), "COLS code:int\nR I:1\n".into()),
+                ("part_avis".into(), "COLS rate:float\nR F:39.5\nR F:25\n".into()),
+                ("part_empty".into(), String::new()),
+            ],
+        });
+        roundtrip_request(Request::DropMany { database: "avis".into(), tables: vec![] });
+        roundtrip_request(Request::DropMany {
+            database: "avis".into(),
+            tables: vec!["part_national".into(), "part_avis".into()],
+        });
+    }
+
+    #[test]
+    fn partial_without_sql_rejected() {
+        assert!(Request::decode("PARTIAL avis").is_err());
+        assert!(Request::decode("PARTIAL avis\n").is_err());
+    }
+
+    #[test]
+    fn malformed_loadmany_is_rejected() {
+        // Header with no length word.
+        assert!(Request::decode("LOADMANY avis\npart_t\nx").is_err());
+        // Non-numeric length.
+        assert!(Request::decode("LOADMANY avis\npart_t abc\nx").is_err());
+        // Length pointing past the end of the body.
+        assert!(Request::decode("LOADMANY avis\npart_t 99\nshort").is_err());
     }
 
     #[test]
@@ -384,6 +552,18 @@ mod tests {
             affected: 0,
             payload: None,
             error: Some("simulated deadlock".into()),
+        });
+        roundtrip_response(Response::PartialDone {
+            payload: Some("COLS code:int\nR I:1\n".into()),
+            error: None,
+            full_rows: 12,
+            full_bytes: 340,
+        });
+        roundtrip_response(Response::PartialDone {
+            payload: None,
+            error: Some("unknown table | details\nline2".into()),
+            full_rows: 0,
+            full_bytes: 0,
         });
     }
 

@@ -37,6 +37,57 @@ pub struct DbSubquery {
     pub part_table: String,
 }
 
+/// One side of a cross-database equi-join edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSide {
+    /// Database owning the column.
+    pub database: String,
+    /// FROM binding the column belongs to (alias or table name).
+    pub binding: String,
+    /// Column name in the local table.
+    pub column: String,
+    /// The column's renamed projection in the shipped partial
+    /// (`b_<binding>_<column>`).
+    pub part_column: String,
+}
+
+/// A cross-database equality `left = right` found among the global
+/// conjuncts. These are the semi-join reduction opportunities: the distinct
+/// key values of one side's partial can be shipped to the other side as an
+/// `IN (…)` filter so only matching rows cross the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinKey {
+    /// One end of the equality.
+    pub left: JoinSide,
+    /// The other end (always a different database).
+    pub right: JoinSide,
+}
+
+impl JoinKey {
+    /// The side of this edge living in `database`, if any.
+    pub fn side_in(&self, database: &str) -> Option<&JoinSide> {
+        if self.left.database == database {
+            Some(&self.left)
+        } else if self.right.database == database {
+            Some(&self.right)
+        } else {
+            None
+        }
+    }
+
+    /// The side of this edge *not* living in `database`, if the edge touches
+    /// `database` at all.
+    pub fn side_opposite(&self, database: &str) -> Option<&JoinSide> {
+        if self.left.database == database {
+            Some(&self.right)
+        } else if self.right.database == database {
+            Some(&self.left)
+        } else {
+            None
+        }
+    }
+}
+
 /// A decomposed global query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Decomposition {
@@ -46,6 +97,8 @@ pub struct Decomposition {
     pub coordinator: String,
     /// The modified global query Q' over the `part_<db>` tables.
     pub global_query: Select,
+    /// Cross-database equi-join edges extracted from the global conjuncts.
+    pub join_keys: Vec<JoinKey>,
 }
 
 #[derive(Debug, Clone)]
@@ -343,7 +396,32 @@ pub fn decompose(
             .collect::<Result<_, MdbsError>>()?,
     };
 
-    Ok(Decomposition { subqueries, coordinator, global_query })
+    // Cross-database equi-join edges among the global conjuncts. Every
+    // column here already went through `resolve_column` (via
+    // `used_databases`), so resolution cannot fail; the guard is belt and
+    // braces.
+    let mut join_keys = Vec::new();
+    for g in &global_conjuncts {
+        let Expr::Binary { left, op: BinaryOp::Eq, right } = g else { continue };
+        let (Expr::Column(l), Expr::Column(r)) = (left.as_ref(), right.as_ref()) else { continue };
+        let (Ok((lb, lcol)), Ok((rb, rcol))) =
+            (resolve_column(l, &bindings), resolve_column(r, &bindings))
+        else {
+            continue;
+        };
+        if lb.database == rb.database {
+            continue;
+        }
+        let side = |b: &Binding, col: &str| JoinSide {
+            database: b.database.clone(),
+            binding: b.name.clone(),
+            column: col.to_string(),
+            part_column: part_column(&b.name, col),
+        };
+        join_keys.push(JoinKey { left: side(lb, &lcol), right: side(rb, &rcol) });
+    }
+
+    Ok(Decomposition { subqueries, coordinator, global_query, join_keys })
 }
 
 /// `b_<binding>_<column>` — the renamed projection of a needed column.
@@ -705,6 +783,45 @@ mod tests {
         for s in &d.subqueries {
             assert!(!print_select(&s.select).contains("MAX("));
         }
+    }
+
+    #[test]
+    fn equi_join_keys_are_extracted() {
+        let d = decompose(
+            &select(
+                "SELECT c.code, f.flnu FROM avis.cars c, continental.flights f
+                 WHERE c.rate = f.rate AND c.carst = 'available' AND c.code < f.flnu",
+            ),
+            &scope(),
+            &gdd(),
+        )
+        .unwrap();
+        // Only the cross-db *equality* is a join key: the local conjunct and
+        // the `<` comparison are not.
+        assert_eq!(d.join_keys.len(), 1);
+        let k = &d.join_keys[0];
+        assert_eq!((k.left.database.as_str(), k.left.column.as_str()), ("avis", "rate"));
+        assert_eq!(k.left.part_column, "b_c_rate");
+        assert_eq!((k.right.database.as_str(), k.right.column.as_str()), ("continental", "rate"));
+        assert_eq!(k.right.part_column, "b_f_rate");
+        assert_eq!(k.side_in("avis").unwrap().binding, "c");
+        assert_eq!(k.side_opposite("avis").unwrap().binding, "f");
+        assert!(k.side_in("delta").is_none());
+    }
+
+    #[test]
+    fn same_database_equality_is_not_a_join_key() {
+        let d = decompose(
+            &select(
+                "SELECT a.code FROM avis.cars a, avis.cars b, continental.flights f
+                 WHERE a.code = b.code AND a.rate = f.rate",
+            ),
+            &scope(),
+            &gdd(),
+        )
+        .unwrap();
+        assert_eq!(d.join_keys.len(), 1, "a.code = b.code stays local to avis");
+        assert_eq!(d.join_keys[0].left.column, "rate");
     }
 
     #[test]

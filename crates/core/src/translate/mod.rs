@@ -17,7 +17,7 @@ use crate::scope::SessionScope;
 use catalog::GlobalDataDictionary;
 use msql_lang::{QueryBody, Select};
 
-pub use decompose::{decompose, DbSubquery, Decomposition};
+pub use decompose::{decompose, DbSubquery, Decomposition, JoinKey, JoinSide};
 pub use disambiguate::disambiguate;
 pub use expand::{expand, LocalQuery};
 pub use plangen::{
@@ -60,6 +60,7 @@ pub fn translate_body_traced(
             let dec = decompose(sel, scope, gdd)?;
             phase.note("subqueries", dec.subqueries.len());
             phase.note("coordinator", &dec.coordinator);
+            phase.note("join_keys", dec.join_keys.len());
             return Ok(Translated::CrossDb(Box::new(dec)));
         }
     }

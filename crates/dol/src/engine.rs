@@ -109,12 +109,19 @@ pub struct DolOutcome {
     pub task_statuses: HashMap<String, TaskStatus>,
     /// Serialized partial results of retrieval tasks.
     pub task_results: HashMap<String, String>,
+    /// Local error message of every task that failed.
+    pub task_errors: HashMap<String, String>,
 }
 
 impl DolOutcome {
     /// Status of a task, if it ran.
     pub fn status(&self, task: &str) -> Option<TaskStatus> {
         self.task_statuses.get(task).copied()
+    }
+
+    /// Local error of a task, if it failed.
+    pub fn error(&self, task: &str) -> Option<&str> {
+        self.task_errors.get(task).map(String::as_str)
     }
 }
 
@@ -331,6 +338,9 @@ impl<'f> DolEngine<'f> {
 
         for (name, exec) in executions {
             state.outcome.task_statuses.insert(name.clone(), exec.status);
+            if let Some(error) = exec.error {
+                state.outcome.task_errors.insert(name.clone(), error);
+            }
             if let Some(result) = exec.result {
                 state.outcome.task_results.insert(name, result);
             }
@@ -559,6 +569,17 @@ mod tests {
         assert!(log.contains(&"abort T1".to_string()));
         // T3 failed locally; no abort message needed for it.
         assert!(!log.contains(&"abort T3".to_string()));
+    }
+
+    #[test]
+    fn task_errors_are_collected() {
+        let factory = MockFactory::default();
+        factory.state.lock().fail_tasks.push("T3".into());
+        let engine = DolEngine::new(&factory);
+        let out = engine.execute(&parse_program(PAPER).unwrap()).unwrap();
+        assert_eq!(out.error("T3"), Some("scripted failure"));
+        assert_eq!(out.error("T1"), None, "an aborted-but-healthy task carries no local error");
+        assert_eq!(out.error("T2"), None);
     }
 
     #[test]

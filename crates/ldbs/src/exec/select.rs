@@ -1,11 +1,17 @@
-//! SELECT execution: cross joins, filtering, aggregation, sorting,
-//! projection.
+//! SELECT execution: joins, filtering, aggregation, sorting, projection.
 //!
-//! The executor is a straightforward iterate-and-filter engine (SQL-89 style
-//! implicit joins, as in all of the paper's examples). Aggregates are
-//! computed per group and *substituted* into the projection/HAVING/ORDER BY
-//! expressions as literals, after which the ordinary row evaluator finishes
-//! the job — this keeps a single evaluator implementation.
+//! The executor is an iterate-and-filter engine (SQL-89 style implicit
+//! joins, as in all of the paper's examples). Aggregates are computed per
+//! group and *substituted* into the projection/HAVING/ORDER BY expressions
+//! as literals, after which the ordinary row evaluator finishes the job —
+//! this keeps a single evaluator implementation.
+//!
+//! Two-table queries whose WHERE contains an equality conjunct between the
+//! two FROM bindings skip the cross product: a hash table is built on the
+//! smaller side and probed with the larger, so only key-matched pairs reach
+//! the (unchanged) full-WHERE filter. The paper's coordinator evaluates the
+//! modified global query Q' over shipped partials exactly this way, turning
+//! its cost from O(|R|·|S|) into O(|R|+|S|+matches).
 
 use crate::engine::{ColumnMeta, Database, ResultSet};
 use crate::error::DbError;
@@ -24,6 +30,18 @@ pub fn execute_select(
     db: &Database,
     sel: &Select,
     outer: &[&Env<'_>],
+) -> Result<ResultSet, DbError> {
+    execute_select_with(db, sel, outer, true)
+}
+
+/// [`execute_select`] with the hash equi-join fast path toggleable.
+/// `hash_join = false` forces the naive cross-product enumeration — the
+/// reference semantics the property tests compare the fast path against.
+pub fn execute_select_with(
+    db: &Database,
+    sel: &Select,
+    outer: &[&Env<'_>],
+    hash_join: bool,
 ) -> Result<ResultSet, DbError> {
     // Statement-scoped cache for uncorrelated scalar subqueries.
     let subq_cache = SubqueryCache::new();
@@ -58,25 +76,40 @@ pub fn execute_select(
             combos.push(combo);
         }
     } else if sources.iter().all(|(_, rows, _)| !rows.is_empty()) {
-        let mut idx = vec![0usize; sources.len()];
-        'product: loop {
-            let combo: Vec<&Row> =
-                sources.iter().zip(&idx).map(|((_, rows, _), i)| rows[*i]).collect();
-            if keep_combo(&combo)? {
-                combos.push(combo);
+        let equi =
+            if hash_join && sources.len() == 2 { equi_key_columns(sel, &sources) } else { vec![] };
+        if !equi.is_empty() {
+            // Hash equi-join: pair only key-matched rows, then apply the
+            // full WHERE unchanged, so the result is exactly the filtered
+            // cross product (any pair the hash pruned had an unequal or
+            // NULL key, which already falsifies an AND-ed equality).
+            for (li, ri) in hash_join_matches(&sources[0].1, &sources[1].1, &equi) {
+                let combo = vec![sources[0].1[li], sources[1].1[ri]];
+                if keep_combo(&combo)? {
+                    combos.push(combo);
+                }
             }
-            // Advance the odometer, rightmost position fastest.
-            let mut k = sources.len() - 1;
-            loop {
-                idx[k] += 1;
-                if idx[k] < sources[k].1.len() {
-                    break;
+        } else {
+            let mut idx = vec![0usize; sources.len()];
+            'product: loop {
+                let combo: Vec<&Row> =
+                    sources.iter().zip(&idx).map(|((_, rows, _), i)| rows[*i]).collect();
+                if keep_combo(&combo)? {
+                    combos.push(combo);
                 }
-                idx[k] = 0;
-                if k == 0 {
-                    break 'product;
+                // Advance the odometer, rightmost position fastest.
+                let mut k = sources.len() - 1;
+                loop {
+                    idx[k] += 1;
+                    if idx[k] < sources[k].1.len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    if k == 0 {
+                        break 'product;
+                    }
+                    k -= 1;
                 }
-                k -= 1;
             }
         }
     }
@@ -162,6 +195,166 @@ fn evaluator<'a>(
     let mut scopes: Vec<&Env> = outer.to_vec();
     scopes.push(env);
     Evaluator { db, scopes, cache: Some(cache) }
+}
+
+/// Equality conjuncts of the WHERE tree joining source 0 to source 1,
+/// as `(left column index, right column index)` pairs. Only column = column
+/// conjuncts whose sides resolve — by the evaluator's own rules — to the two
+/// different FROM bindings qualify; anything unresolvable or ambiguous is
+/// left for the evaluator (the caller falls back to the cross product).
+fn equi_key_columns(
+    sel: &Select,
+    sources: &[(&TableSchema, Vec<&Row>, String)],
+) -> Vec<(usize, usize)> {
+    fn walk(
+        e: &Expr,
+        sources: &[(&TableSchema, Vec<&Row>, String)],
+        keys: &mut Vec<(usize, usize)>,
+    ) {
+        match e {
+            Expr::Binary { left, op: msql_lang::BinaryOp::And, right } => {
+                walk(left, sources, keys);
+                walk(right, sources, keys);
+            }
+            Expr::Binary { left, op: msql_lang::BinaryOp::Eq, right } => {
+                if let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) {
+                    match (resolve_key_column(a, sources), resolve_key_column(b, sources)) {
+                        (Some((0, ca)), Some((1, cb))) => keys.push((ca, cb)),
+                        (Some((1, ca)), Some((0, cb))) => keys.push((cb, ca)),
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut keys = Vec::new();
+    if let Some(w) = &sel.where_clause {
+        walk(w, sources, &mut keys);
+    }
+    keys
+}
+
+/// Resolves a column reference to `(source index, column index)` exactly the
+/// way [`Env::lookup`] would: a qualifier matches the first binding by name
+/// or schema name; an unqualified column must be unique across the sources.
+/// `None` means "not cleanly ours" — possibly outer-correlated, ambiguous,
+/// or unknown — and disqualifies the conjunct from key duty.
+fn resolve_key_column(
+    c: &msql_lang::ColumnRef,
+    sources: &[(&TableSchema, Vec<&Row>, String)],
+) -> Option<(usize, usize)> {
+    if c.is_multiple() || c.database.is_some() {
+        return None;
+    }
+    let column = c.column.as_str();
+    match c.table.as_ref().map(|t| t.as_str()) {
+        Some(t) => {
+            let si =
+                sources.iter().position(|(schema, _, binding)| binding == t || schema.name == t)?;
+            let ci = sources[si].0.column_index(column)?;
+            Some((si, ci))
+        }
+        None => {
+            let mut found = None;
+            for (si, (schema, _, _)) in sources.iter().enumerate() {
+                if let Some(ci) = schema.column_index(column) {
+                    if found.is_some() {
+                        return None;
+                    }
+                    found = Some((si, ci));
+                }
+            }
+            found
+        }
+    }
+}
+
+/// Hashable stand-in for a join-key value. SQL equality crosses the
+/// Int/Float divide (`2 = 2.0`), so both map onto canonical `f64` bits —
+/// equal values always share a bucket; rare bit-collisions between unequal
+/// values (integers beyond 2^53) are resolved by the exact sub-bucket check.
+#[derive(PartialEq, Eq, Hash)]
+enum HashKey {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+}
+
+/// `None` for values that can never satisfy an equality (NULL, NaN): rows
+/// keyed by them are skipped on both sides.
+fn hash_key(v: &Value) -> Option<HashKey> {
+    fn bits(f: f64) -> u64 {
+        // -0.0 == 0.0 in SQL; collapse to one bucket.
+        if f == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(HashKey::Num(bits(*i as f64))),
+        Value::Float(f) if f.is_nan() => None,
+        Value::Float(f) => Some(HashKey::Num(bits(*f))),
+        Value::Str(s) => Some(HashKey::Str(s.clone())),
+        Value::Bool(b) => Some(HashKey::Bool(*b)),
+    }
+}
+
+fn key_of(row: &Row, cols: &[usize]) -> Option<(Vec<HashKey>, Vec<Value>)> {
+    let mut hashed = Vec::with_capacity(cols.len());
+    let mut exact = Vec::with_capacity(cols.len());
+    for &c in cols {
+        hashed.push(hash_key(&row[c])?);
+        exact.push(row[c].clone());
+    }
+    Some((hashed, exact))
+}
+
+fn keys_sql_equal(a: &[Value], b: &[Value]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x.sql_cmp(y) == Some(Ordering::Equal))
+}
+
+/// Builds a hash table on the smaller side, probes with the larger, and
+/// returns matched `(left index, right index)` pairs sorted left-major —
+/// the exact order the odometer would have visited them in.
+fn hash_join_matches(
+    left: &[&Row],
+    right: &[&Row],
+    keys: &[(usize, usize)],
+) -> Vec<(usize, usize)> {
+    let build_left = left.len() <= right.len();
+    let (build, probe): (&[&Row], &[&Row]) = if build_left { (left, right) } else { (right, left) };
+    let (build_cols, probe_cols): (Vec<usize>, Vec<usize>) = if build_left {
+        (keys.iter().map(|k| k.0).collect(), keys.iter().map(|k| k.1).collect())
+    } else {
+        (keys.iter().map(|k| k.1).collect(), keys.iter().map(|k| k.0).collect())
+    };
+    // Bucket → sub-buckets of exactly-equal keys (hash collisions resolved
+    // by sql_cmp, which is the equality the pruned conjuncts would apply).
+    type KeyBuckets = std::collections::HashMap<Vec<HashKey>, Vec<(Vec<Value>, Vec<usize>)>>;
+    let mut table = KeyBuckets::new();
+    for (i, row) in build.iter().enumerate() {
+        let Some((hashed, exact)) = key_of(row, &build_cols) else { continue };
+        let buckets = table.entry(hashed).or_default();
+        match buckets.iter_mut().find(|(k, _)| keys_sql_equal(k, &exact)) {
+            Some((_, members)) => members.push(i),
+            None => buckets.push((exact, vec![i])),
+        }
+    }
+    let mut matches = Vec::new();
+    for (j, row) in probe.iter().enumerate() {
+        let Some((hashed, exact)) = key_of(row, &probe_cols) else { continue };
+        let Some(buckets) = table.get(&hashed) else { continue };
+        if let Some((_, members)) = buckets.iter().find(|(k, _)| keys_sql_equal(k, &exact)) {
+            for &i in members {
+                matches.push(if build_left { (i, j) } else { (j, i) });
+            }
+        }
+    }
+    matches.sort_unstable();
+    matches
 }
 
 /// Expands `*` / `t.*` items into concrete column expressions, returning
@@ -807,6 +1000,62 @@ mod tests {
         let rs = select(&db, "SELECT c.code FROM cars c WHERE c.carst = 'rented'");
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Int(2));
+    }
+
+    fn parse_select(sql: &str) -> Select {
+        let stmt = parse_statement(sql).unwrap();
+        let msql_lang::Statement::Query(q) = stmt else { panic!() };
+        let msql_lang::QueryBody::Select(sel) = q.body else { panic!() };
+        sel
+    }
+
+    #[test]
+    fn hash_join_matches_cross_product_semantics() {
+        let mut db = avis();
+        // Joins cars on rate with Int/Float type mixing and a NULL key.
+        let mut quotes = Table::new(TableSchema::new(
+            "quotes",
+            vec![ColumnSchema::new("q", DataType::Int), ColumnSchema::new("rate", DataType::Float)],
+        ));
+        for (q, r) in [
+            (1, Value::Int(59)),
+            (2, Value::Float(25.0)),
+            (3, Value::Null),
+            (4, Value::Float(99.0)),
+        ] {
+            quotes.insert(vec![Value::Int(q), r]).unwrap();
+        }
+        db.insert_table(quotes);
+        let sel =
+            parse_select("SELECT cars.code, q FROM cars, quotes WHERE cars.rate = quotes.rate");
+        let fast = execute_select_with(&db, &sel, &[], true).unwrap();
+        let slow = execute_select_with(&db, &sel, &[], false).unwrap();
+        assert_eq!(fast.rows, slow.rows, "hash path reproduces the cross product exactly");
+        // Int 59 matched Float 59.0; the NULL key matched nothing.
+        assert_eq!(fast.rows.len(), 2);
+    }
+
+    #[test]
+    fn hash_join_keeps_residual_predicates() {
+        let db = avis();
+        let sel = parse_select(
+            "SELECT cars.code FROM cars, rentals
+             WHERE cars.code = rentals.code AND cars.rate > 1000",
+        );
+        let rs = execute_select(&db, &sel, &[]).unwrap();
+        assert_eq!(rs.rows.len(), 0, "non-key conjuncts still filter the matches");
+    }
+
+    #[test]
+    fn hash_join_preserves_enumeration_order() {
+        let db = avis();
+        let sel = parse_select(
+            "SELECT cars.code, client FROM cars, rentals WHERE cars.code = rentals.code",
+        );
+        let fast = execute_select_with(&db, &sel, &[], true).unwrap();
+        let slow = execute_select_with(&db, &sel, &[], false).unwrap();
+        assert_eq!(fast.rows, slow.rows);
+        assert_eq!(fast.columns, slow.columns);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Property test: the hash equi-join fast path returns exactly the rows of
+//! the cross-product path, in the same order, over random two-table data and
+//! random equi-join predicates (with and without residual conjuncts, across
+//! Int/Float/NULL key mixes).
+
+use ldbs::exec::select::execute_select_with;
+use ldbs::profile::DbmsProfile;
+use ldbs::Engine;
+use msql_lang::{parse_statement, QueryBody, Select, Statement};
+use proptest::prelude::*;
+
+/// A join-key value: ints and halves overlap under SQL numeric equality
+/// (`2 = 2.0`), NULL never matches anything.
+#[derive(Debug, Clone, Copy)]
+enum Key {
+    Int(i64),
+    Half(i64),  // k + 0.5 as a float
+    Whole(i64), // k as a float — equal to Int(k)
+    Null,
+}
+
+impl Key {
+    fn sql(&self) -> String {
+        match self {
+            Key::Int(k) => k.to_string(),
+            Key::Half(k) => format!("{k}.5"),
+            Key::Whole(k) => format!("{k}.0"),
+            Key::Null => "NULL".to_string(),
+        }
+    }
+}
+
+fn key_strategy() -> impl Strategy<Value = Key> {
+    let k = -3i64..4;
+    prop_oneof![
+        4 => k.clone().prop_map(Key::Int),
+        2 => k.clone().prop_map(Key::Half),
+        2 => k.prop_map(Key::Whole),
+        1 => Just(Key::Null),
+    ]
+}
+
+fn parse_select(sql: &str) -> Select {
+    let Statement::Query(q) = parse_statement(sql).unwrap() else { panic!("not a query") };
+    let QueryBody::Select(sel) = q.body else { panic!("not a select") };
+    sel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hash_join_equals_cross_product(
+        left in proptest::collection::vec((key_strategy(), -9i64..10), 0..14),
+        right in proptest::collection::vec((key_strategy(), -9i64..10), 0..14),
+        residual in proptest::bool::ANY,
+        second_key in proptest::bool::ANY,
+    ) {
+        let mut e = Engine::new("svc", DbmsProfile::oracle_like());
+        e.create_database("db").unwrap();
+        e.execute("db", "CREATE TABLE lt (k FLOAT, v INT)").unwrap();
+        e.execute("db", "CREATE TABLE rt (k FLOAT, w INT)").unwrap();
+        for (k, v) in &left {
+            e.execute("db", &format!("INSERT INTO lt VALUES ({}, {v})", k.sql())).unwrap();
+        }
+        for (k, w) in &right {
+            e.execute("db", &format!("INSERT INTO rt VALUES ({}, {w})", k.sql())).unwrap();
+        }
+        let mut sql = "SELECT l.k, l.v, r.k, r.w FROM lt l, rt r WHERE l.k = r.k".to_string();
+        if second_key {
+            sql.push_str(" AND l.v = r.w");
+        }
+        if residual {
+            sql.push_str(" AND l.v < r.w");
+        }
+        let sel = parse_select(&sql);
+        let db = e.database("db").unwrap();
+        let fast = execute_select_with(db, &sel, &[], true).unwrap();
+        let slow = execute_select_with(db, &sel, &[], false).unwrap();
+        prop_assert_eq!(&fast.rows, &slow.rows, "hash path diverged for `{}`", sql);
+        prop_assert_eq!(fast.columns.len(), slow.columns.len());
+    }
+}

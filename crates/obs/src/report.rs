@@ -147,6 +147,17 @@ pub struct LamCost {
     pub latency: u64,
 }
 
+/// How a cross-database join was executed, as annotated on its `join` span.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JoinSummary {
+    /// Strategy name (`hash`, `product`, optionally `semijoin+`-prefixed).
+    pub strategy: String,
+    /// Distinct join-key values shipped as semi-join filters.
+    pub keys_shipped: u64,
+    /// Partial-result bytes the semi-join reduction kept off the wire.
+    pub bytes_saved: u64,
+}
+
 /// The rendered product of an `EXPLAIN` statement: the statement's span tree
 /// plus a per-LAM cost table derived from the task spans.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -157,6 +168,8 @@ pub struct ExplainReport {
     pub tree: SpanTree,
     /// Per-database cost rows, sorted by database name.
     pub costs: Vec<LamCost>,
+    /// Join execution summary, when the statement ran a cross-database join.
+    pub join: Option<JoinSummary>,
 }
 
 impl ExplainReport {
@@ -164,14 +177,25 @@ impl ExplainReport {
     /// `task:`/`lam:` spans annotated with `db`/`attempts`/`rows`/`bytes`.
     pub fn from_tree(statement: impl Into<String>, tree: SpanTree) -> ExplainReport {
         let mut by_db: BTreeMap<String, LamCost> = BTreeMap::new();
+        let mut join: Option<JoinSummary> = None;
         tree.visit(&mut |node| {
             let note =
                 |key: &str| node.notes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+            let num = |key: &str| note(key).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+            if node.name == "join" {
+                if let Some(strategy) = note("strategy") {
+                    join = Some(JoinSummary {
+                        strategy: strategy.to_string(),
+                        keys_shipped: num("keys_shipped"),
+                        bytes_saved: num("bytes_saved"),
+                    });
+                }
+                return;
+            }
             let Some(db) = note("db") else { return };
             if !(node.name.starts_with("task:") || node.name.starts_with("lam:")) {
                 return;
             }
-            let num = |key: &str| note(key).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
             let cost = by_db
                 .entry(db.to_string())
                 .or_insert_with(|| LamCost { database: db.to_string(), ..LamCost::default() });
@@ -182,7 +206,12 @@ impl ExplainReport {
             cost.bytes += num("bytes");
             cost.latency += node.end - node.start;
         });
-        ExplainReport { statement: statement.into(), tree, costs: by_db.into_values().collect() }
+        ExplainReport {
+            statement: statement.into(),
+            tree,
+            costs: by_db.into_values().collect(),
+            join,
+        }
     }
 
     /// Renders the full report: header, span tree, per-LAM cost table.
@@ -203,6 +232,12 @@ impl ExplainReport {
                     c.database, c.tasks, c.attempts, c.faults, c.rows, c.bytes, c.latency
                 ));
             }
+        }
+        if let Some(j) = &self.join {
+            out.push('\n');
+            out.push_str(&format!("join strategy: {}\n", j.strategy));
+            out.push_str(&format!("join keys shipped: {}\n", j.keys_shipped));
+            out.push_str(&format!("bytes saved by semijoin: {}\n", j.bytes_saved));
         }
         out
     }
@@ -261,5 +296,29 @@ mod tests {
         let text = report.render();
         assert!(text.contains("task:t1"));
         assert!(text.contains("avis"));
+        assert!(report.join.is_none(), "no join span, no join summary");
+    }
+
+    #[test]
+    fn explain_report_extracts_join_summary() {
+        let tracer = Tracer::new(LogicalClock::new());
+        {
+            let root = tracer.root("statement");
+            let join = root.child("join");
+            join.note("strategy", "semijoin+hash");
+            join.note("keys_shipped", 3);
+            join.note("bytes_saved", 128);
+        }
+        let mut tree = SpanTree::from_records(&tracer.records());
+        tree.normalize();
+        let report = ExplainReport::from_tree("SELECT 1", tree);
+        let j = report.join.as_ref().expect("join summary extracted");
+        assert_eq!(j.strategy, "semijoin+hash");
+        assert_eq!(j.keys_shipped, 3);
+        assert_eq!(j.bytes_saved, 128);
+        let text = report.render();
+        assert!(text.contains("join strategy: semijoin+hash"));
+        assert!(text.contains("join keys shipped: 3"));
+        assert!(text.contains("bytes saved by semijoin: 128"));
     }
 }

@@ -119,6 +119,115 @@ fn three_way_cross_database_join() {
     assert_eq!(rs.rows.len(), 4);
 }
 
+/// A selective cross-db equi-join: only Houston flights share a source with
+/// delta, so shipping continental's distinct join keys first lets delta
+/// filter most of its rows before they cross the wire.
+const EQUI_JOIN: &str = "SELECT f.flnu, g.fnu
+     FROM continental.flights f, delta.flight g
+     WHERE f.source = g.source AND f.destination = g.dest
+     ORDER BY f.flnu, g.fnu";
+
+#[test]
+fn semijoin_reduces_shipped_bytes() {
+    // `lam.bytes` counts the partial-result payloads shipped back from the
+    // sites — the volume the semi-join reduction attacks.
+    let run = |semijoin: bool| {
+        let mut fed = paper_federation();
+        fed.semijoin = semijoin;
+        fed.execute("USE continental delta").unwrap();
+        let rs = fed.execute(EQUI_JOIN).unwrap().into_table().unwrap();
+        let shipped: u64 = fed
+            .metrics()
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("lam.bytes{"))
+            .map(|(_, v)| *v)
+            .sum();
+        (rs, shipped)
+    };
+    let (with, bytes_with) = run(true);
+    let (without, bytes_without) = run(false);
+    assert_eq!(with.rows, without.rows, "reduction must not change the result");
+    assert!(
+        bytes_with < bytes_without,
+        "semijoin should ship fewer partial bytes: {bytes_with} >= {bytes_without}"
+    );
+}
+
+#[test]
+fn semijoin_on_and_off_agree_across_queries() {
+    for query in [
+        EQUI_JOIN,
+        // Residual non-equi predicate on top of the equi key.
+        "SELECT f.flnu, c.code FROM continental.flights f, avis.cars c
+         WHERE f.flnu = c.code AND c.rate < f.rate ORDER BY f.flnu",
+        // No equi keys at all: semijoin has nothing to do.
+        "SELECT f.flnu, c.code FROM continental.flights f, avis.cars c
+         WHERE c.rate < f.rate ORDER BY f.flnu, c.code",
+        // Three sites, one equi edge.
+        "SELECT a.flnu, b.fnu, c.code
+         FROM continental.flights a, delta.flight b, avis.cars c
+         WHERE a.source = b.source AND c.code = 1 ORDER BY a.flnu, b.fnu",
+    ] {
+        let run = |semijoin: bool| {
+            let mut fed = paper_federation();
+            fed.semijoin = semijoin;
+            fed.execute("USE continental delta avis").unwrap();
+            fed.execute(query).unwrap().into_table().unwrap()
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.rows, off.rows, "semijoin changed the result of {query}");
+    }
+}
+
+#[test]
+fn tiny_key_cap_falls_back_to_full_shipping() {
+    let mut fed = paper_federation();
+    fed.semijoin_cap = 0; // every key set exceeds the cap
+    fed.execute("USE continental delta").unwrap();
+    let reduced = {
+        let mut f2 = paper_federation();
+        f2.execute("USE continental delta").unwrap();
+        f2.execute(EQUI_JOIN).unwrap().into_table().unwrap()
+    };
+    let rs = fed.execute(EQUI_JOIN).unwrap().into_table().unwrap();
+    assert_eq!(rs.rows, reduced.rows, "capped fallback must match the reduced result");
+}
+
+#[test]
+fn explain_reports_join_strategy_and_bytes_saved() {
+    let mut fed = paper_federation();
+    fed.parallel = false; // deterministic trace
+    fed.execute("USE continental delta").unwrap();
+    let report = fed.execute(&format!("EXPLAIN {EQUI_JOIN}")).unwrap().into_explain().unwrap();
+    let join = report.join.as_ref().expect("cross-db EXPLAIN carries a join summary");
+    assert_eq!(join.strategy, "semijoin+hash");
+    assert!(join.keys_shipped > 0, "{join:?}");
+    assert!(join.bytes_saved > 0, "{join:?}");
+    let text = report.render();
+    assert!(text.contains("join strategy: semijoin+hash"), "{text}");
+    assert!(text.contains("bytes saved by semijoin:"), "{text}");
+}
+
+#[test]
+fn parallel_and_serial_dispatch_agree() {
+    let run = |parallel: bool| {
+        let mut fed = paper_federation();
+        fed.parallel = parallel;
+        fed.execute("USE continental delta avis").unwrap();
+        fed.execute(
+            "SELECT a.flnu, b.fnu, c.code
+             FROM continental.flights a, delta.flight b, avis.cars c
+             WHERE a.source = b.source AND c.code = 1 ORDER BY a.flnu, b.fnu",
+        )
+        .unwrap()
+        .into_table()
+        .unwrap()
+    };
+    assert_eq!(run(true).rows, run(false).rows);
+}
+
 #[test]
 fn join_with_empty_partial_result() {
     let mut fed = paper_federation();

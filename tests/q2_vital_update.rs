@@ -59,6 +59,12 @@ fn vital_failure_rolls_back_the_whole_vital_set() {
     assert_eq!(by_key("united").status, dol::TaskStatus::Aborted);
     // delta is NON VITAL: it autocommitted and keeps its update.
     assert_eq!(by_key("delta").status, dol::TaskStatus::Committed);
+    // The failing site's local error is surfaced on its outcome; the healthy
+    // sites (aborted only to keep the vital set atomic) carry none.
+    let united_error = by_key("united").error.as_deref().unwrap();
+    assert!(united_error.contains("simulated lock conflict"), "{united_error}");
+    assert_eq!(by_key("continental").error, None);
+    assert_eq!(by_key("delta").error, None);
 
     assert_eq!(
         rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
