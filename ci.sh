@@ -19,10 +19,18 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== crash-recovery simulation =="
+# `cargo test --workspace` above already ran the sim crate's default sweep
+# (every systematic crash point + 200 seeded random schedules). This narrow
+# re-run is the fixed-seed smoke a quick pre-push uses: any failure prints
+# the exact SIM_SEEDS reproduction command for the offending seed.
+SIM_SEEDS=0..8 cargo test -q -p sim --test random_schedules
+
 echo "== golden traces =="
 # Explicit drift gate: the committed span trees and the EXPLAIN render under
 # tests/golden/ are a contract. Regenerate intentionally with UPDATE_GOLDEN=1.
 cargo test -q --test t1_trace_golden
+cargo test -q --test fault_tolerance recovery_trace_is_golden
 
 echo "== bench smoke (--test mode) =="
 # Every benchmark payload must still execute; no timing sweep. This includes

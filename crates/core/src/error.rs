@@ -38,6 +38,17 @@ pub enum MdbsError {
         /// The unreachable site.
         site: String,
     },
+    /// A second-phase COMMIT was sent but every acknowledgement was lost and
+    /// the retry budget is exhausted: the subtransaction may or may not have
+    /// committed at the site. Unlike [`MdbsError::Net`], the caller must not
+    /// assume failure — the outcome is unknown until recovery re-asks the
+    /// LAM (`RESOLVE`), which answers from its transaction state.
+    InDoubt {
+        /// The site whose acknowledgement was lost.
+        site: String,
+        /// The in-doubt task.
+        task: String,
+    },
     /// A LAM reported a local database error.
     Local {
         /// The service that failed.
@@ -79,6 +90,11 @@ impl fmt::Display for MdbsError {
             MdbsError::LamUnavailable { site } => {
                 write!(f, "LAM at site `{site}` is unavailable (terminal fault)")
             }
+            MdbsError::InDoubt { site, task } => write!(
+                f,
+                "task `{task}` is in doubt at site `{site}`: the commit acknowledgement was \
+                 lost and the retry budget is exhausted; route to recovery (RESOLVE)"
+            ),
             MdbsError::Local { service, message } => {
                 write!(f, "local error at `{service}`: {message}")
             }
@@ -106,7 +122,12 @@ impl From<catalog::CatalogError> for MdbsError {
 
 impl From<dol::DolError> for MdbsError {
     fn from(e: dol::DolError) -> Self {
-        MdbsError::Dol(e.to_string())
+        match e {
+            // Preserve the in-doubt distinction across the DOL boundary so
+            // callers can route to recovery instead of presuming abort.
+            dol::DolError::InDoubt { service, task } => MdbsError::InDoubt { site: service, task },
+            other => MdbsError::Dol(other.to_string()),
+        }
     }
 }
 

@@ -17,6 +17,7 @@ use crate::multitable::{Multitable, MultitableEntry};
 use crate::proto::{Request, Response, TaskMode};
 use crate::retry::{shared_stats, ExecStats, RetryPolicy, SharedExecStats};
 use crate::translate::{DbRoute, DbSubquery, Decomposition, GeneratedPlan, MTX_FAILED};
+use crate::wal::{Wal, WalObserver, WalRecord};
 use crate::wire;
 use dol::{DolEngine, DolOutcome, TaskStatus};
 use ldbs::engine::ResultSet;
@@ -27,6 +28,7 @@ use msql_lang::{BinaryOp, ColumnRef, Expr, Literal, Select};
 use netsim::{FaultKind, Network};
 use obs::{labeled, ExplainReport, MetricsRegistry, SpanCtx};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Per-database outcome of a modification.
@@ -178,6 +180,11 @@ pub struct Executor {
     pub trace: SpanCtx,
     /// Metrics sink shared with the federation.
     pub metrics: MetricsRegistry,
+    /// Durable multitransaction log. When set, every plan that carries
+    /// recovery material logs its lifecycle (BEGIN, first-phase outcomes,
+    /// the settle decision, resolutions, END) so
+    /// [`crate::Federation::recover`] can finish interrupted statements.
+    pub wal: Option<Wal>,
 }
 
 impl Executor {
@@ -195,6 +202,7 @@ impl Executor {
             semijoin_cap: 256,
             trace: SpanCtx::disabled(),
             metrics: MetricsRegistry::new(),
+            wal: None,
         }
     }
 
@@ -213,12 +221,41 @@ impl Executor {
         let mut engine =
             if self.parallel { DolEngine::new(&factory) } else { DolEngine::serial(&factory) };
         engine.trace = self.trace.clone();
+        // Log the multitransaction BEGIN (tasks, states, oracle, the
+        // presumed-abort compensation set) before anything executes, and
+        // install the observer that records every later transition.
+        let logged = match (&self.wal, &plan.recovery) {
+            (Some(wal), Some(recovery)) => {
+                let mtx_id = wal.next_mtx_id();
+                wal.append(&WalRecord::Begin {
+                    mtx_id,
+                    tasks: recovery.tasks.clone(),
+                    states: recovery.states.clone(),
+                    oracle: recovery.oracle.clone(),
+                    abort_compensate: recovery.abort_compensate.clone(),
+                })
+                .map_err(MdbsError::from)?;
+                engine.observer = Some(Arc::new(WalObserver::new(
+                    wal.clone(),
+                    mtx_id,
+                    recovery.decisions.clone(),
+                )));
+                Some((wal.clone(), mtx_id))
+            }
+            _ => None,
+        };
         let result = engine.execute(&plan.program);
         // Merge the run's accounting even when the program failed — the
         // faults that sank it are exactly what the session stats must show.
         let snapshot = run_stats.lock().clone();
         self.stats.lock().merge(&snapshot);
-        Ok((result?, snapshot))
+        let out = result?;
+        // END only on success: any error (including a simulated crash) leaves
+        // the image open so recovery re-resolves it.
+        if let Some((wal, mtx_id)) = logged {
+            wal.append(&WalRecord::End { mtx_id }).map_err(MdbsError::from)?;
+        }
+        Ok((out, snapshot))
     }
 
     fn outcomes(

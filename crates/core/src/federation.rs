@@ -10,6 +10,7 @@ use crate::scope::SessionScope;
 use crate::translate::{
     self, multitransaction_plan, retrieval_plan, update_plan, DbRoute, MtxQueryPlan, Translated,
 };
+use crate::wal::{Wal, WalDecision, WalRecord};
 use catalog::{
     apply_import, AuxiliaryDirectory, GddColumn, GddTable, GlobalDataDictionary, ServiceEntry,
 };
@@ -93,6 +94,11 @@ pub struct Federation {
     trace_ctx: SpanCtx,
     /// Raw span forest of the most recently completed top-level statement.
     last_trace: Option<SpanTree>,
+    /// Durable multitransaction log (None until [`Federation::enable_wal`]
+    /// or [`Federation::set_wal`]). When present, the executor records every
+    /// settle-bearing statement's lifecycle and [`Federation::recover`] can
+    /// finish statements a crashed coordinator left behind.
+    wal: Option<Wal>,
 }
 
 /// Collapses statement text to a deterministic one-line span label.
@@ -147,6 +153,7 @@ impl Federation {
             trace: None,
             trace_ctx: SpanCtx::disabled(),
             last_trace: None,
+            wal: None,
         }
     }
 
@@ -299,7 +306,136 @@ impl Federation {
             semijoin_cap: self.semijoin_cap,
             trace: self.trace_ctx.clone(),
             metrics: self.metrics.clone(),
+            wal: self.wal.clone(),
         }
+    }
+
+    /// Enables an in-memory write-ahead log and returns its handle. The
+    /// handle is the log's "disk": it stays valid after this federation (or
+    /// a statement running on it) dies, so a successor coordinator can be
+    /// built around the same log and [`Federation::recover`] from it.
+    pub fn enable_wal(&mut self) -> Wal {
+        let wal = Wal::in_memory();
+        self.set_wal(wal.clone());
+        wal
+    }
+
+    /// Installs an existing log — file-backed, or carried over from a
+    /// crashed coordinator.
+    pub fn set_wal(&mut self, wal: Wal) {
+        wal.attach_metrics(self.metrics.clone());
+        self.wal = Some(wal);
+    }
+
+    /// The installed write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Finishes every multitransaction the log shows as interrupted: for
+    /// each un-ended image, replays the logged decision (or presumes abort
+    /// when the coordinator died before deciding) and re-resolves every
+    /// unresolved task via `RESOLVE` — committing or rolling back prepared
+    /// subtransactions and compensating autocommitted ones. Idempotent and
+    /// re-enterable: every resolution is logged as it lands, so a crash
+    /// *during* recovery just leaves less for the next pass.
+    pub fn recover(&mut self) -> Result<RecoveryReport, MdbsError> {
+        let Some(wal) = self.wal.clone() else {
+            return Ok(RecoveryReport::default());
+        };
+        let tracer = Tracer::new(self.clock.clone());
+        let root = tracer.root("recovery");
+        let started = self.clock.now();
+        self.metrics.counter_add("recovery.runs", 1);
+        let result = self.recover_images(&wal, &root);
+        if let Err(e) = &result {
+            root.note("error", text_note(&e.to_string()));
+        }
+        root.end();
+        self.metrics.observe("phase.recovery", self.clock.now().saturating_sub(started));
+        self.last_trace = Some(SpanTree::from_records(&tracer.records()));
+        result
+    }
+
+    fn recover_images(&mut self, wal: &Wal, root: &Span) -> Result<RecoveryReport, MdbsError> {
+        let mut report = RecoveryReport::default();
+        for image in wal.replay()? {
+            if image.ended {
+                continue;
+            }
+            let span = root.child("recover-mtx");
+            span.note("mtx", image.mtx_id.to_string());
+            self.metrics.counter_add("recovery.mtx", 1);
+            // The decision rules the settle phase. No decision record means
+            // the coordinator died first: presume abort (§3.4 semantics —
+            // prepared tasks roll back, autocommitted ones are compensated).
+            let (commit_set, compensate_set, achieved_state) = match &image.decision {
+                Some(WalDecision::Commit { state, commit, compensate }) => {
+                    span.note("decision", format!("commit-state-{state}"));
+                    (commit.clone(), compensate.clone(), Some(*state as usize))
+                }
+                Some(WalDecision::Abort { compensate }) => {
+                    span.note("decision", "abort");
+                    (Vec::new(), compensate.clone(), None)
+                }
+                None => {
+                    span.note("decision", "presumed-abort");
+                    self.metrics.counter_add("recovery.presumed_abort", 1);
+                    (Vec::new(), image.abort_compensate.clone(), None)
+                }
+            };
+            let mut statuses: HashMap<String, dol::TaskStatus> = image
+                .resolved
+                .iter()
+                .map(|(task, &code)| (task.clone(), status_from_code(code)))
+                .collect();
+            for task in &image.tasks {
+                if image.resolved.contains_key(&task.name) {
+                    continue;
+                }
+                let tspan = span.child("resolve");
+                tspan.note("task", &task.name);
+                let should_commit = commit_set.contains(&task.name);
+                // A task logged 'C' is settled at its LAM already — no RPC
+                // needed unless it must be compensated below.
+                let code = if image.prepared.get(&task.name) == Some(&'C') {
+                    'C'
+                } else {
+                    let client = self.connect(&task.site, &task.database)?;
+                    client.resolve_task_outcome(&task.name, should_commit, &tspan)?
+                };
+                self.metrics.counter_add("recovery.resolved", 1);
+                // An autocommitted task that the decision excludes is undone
+                // semantically (§3.3). Idempotent at the LAM ('K' memory).
+                let code = if code == 'C' && !should_commit && compensate_set.contains(&task.name) {
+                    let client = self.connect(&task.site, &task.database)?;
+                    client.compensate_commands(&task.name, &task.compensation, &tspan)?;
+                    self.metrics.counter_add("recovery.compensated", 1);
+                    'K'
+                } else {
+                    code
+                };
+                tspan.note("status", code.to_string());
+                tspan.end();
+                wal.append(&WalRecord::TaskResolved {
+                    mtx_id: image.mtx_id,
+                    task: task.name.clone(),
+                    status: code,
+                })?;
+                statuses.insert(task.name.clone(), status_from_code(code));
+            }
+            wal.append(&WalRecord::End { mtx_id: image.mtx_id })?;
+            span.end();
+            report.recovered.push(RecoveredMtx {
+                mtx_id: image.mtx_id,
+                achieved_state,
+                presumed_abort: image.decision.is_none(),
+                statuses,
+                states: image.states,
+                oracle: image.oracle,
+            });
+        }
+        Ok(report)
     }
 
     /// A LAM client for direct (non-DOL) traffic, wired to the
@@ -1093,4 +1229,50 @@ impl Federation {
             )),
         }
     }
+}
+
+fn status_from_code(code: char) -> dol::TaskStatus {
+    dol::TaskStatus::from_code(code).unwrap_or(dol::TaskStatus::Error)
+}
+
+/// What [`Federation::recover`] did for one interrupted multitransaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredMtx {
+    /// The log's multitransaction id.
+    pub mtx_id: u64,
+    /// The acceptable state the logged decision installed (`None` for
+    /// abort, logged or presumed).
+    pub achieved_state: Option<usize>,
+    /// True when no decision record existed and recovery presumed abort.
+    pub presumed_abort: bool,
+    /// Final per-task statuses after recovery (logged resolutions plus the
+    /// ones this pass produced).
+    pub statuses: HashMap<String, dol::TaskStatus>,
+    /// The acceptable termination states, from the log.
+    pub states: Vec<Vec<String>>,
+    /// The tasks the consistency oracle covers, from the log.
+    pub oracle: Vec<String>,
+}
+
+impl RecoveredMtx {
+    /// The §3.4 consistency check over the oracle's task set: either some
+    /// acceptable state is exactly realised, or everything is undone.
+    /// Non-oracle tasks (non-vital update subqueries) are excluded — they
+    /// commit under either decision, by design.
+    pub fn is_consistent(&self) -> bool {
+        let filtered: HashMap<String, dol::TaskStatus> = self
+            .statuses
+            .iter()
+            .filter(|(task, _)| self.oracle.contains(task))
+            .map(|(task, &status)| (task.clone(), status))
+            .collect();
+        crate::mtx::is_consistent_outcome(&self.states, &filtered)
+    }
+}
+
+/// Everything one [`Federation::recover`] pass settled.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// One entry per interrupted multitransaction, in log order.
+    pub recovered: Vec<RecoveredMtx>,
 }

@@ -198,6 +198,7 @@ pub fn spawn_lam_with(
                 engine: server_engine,
                 tasks: HashMap::new(),
                 task_dbs: HashMap::new(),
+                resolved: HashMap::new(),
                 replies: ReplyCache::new(cache_capacity),
             };
             loop {
@@ -292,6 +293,12 @@ struct LamServer {
     tasks: HashMap<String, TxnId>,
     /// Database each open transaction was begun on.
     task_dbs: HashMap<TxnId, String>,
+    /// Final outcome (`C`/`A`) of every settled task, the participant-side
+    /// outcome memory recovery's `RESOLVE` answers from — a coordinator that
+    /// crashed after delivering COMMIT but before logging the resolution
+    /// re-asks and gets the recorded outcome instead of presumed abort.
+    /// Entries are superseded when a task name is re-executed.
+    resolved: HashMap<String, char>,
     /// Correlated responses already sent (retry deduplication).
     replies: ReplyCache,
 }
@@ -309,6 +316,7 @@ impl LamServer {
                 }
                 let txn = engine.begin();
                 drop(engine);
+                self.resolved.remove(&name); // new incarnation supersedes
                 self.tasks.insert(name, txn);
                 self.task_dbs.insert(txn, database);
                 Response::Ok
@@ -368,13 +376,22 @@ impl LamServer {
             }
             Request::Commit { task } => self.finish_task(&task, true),
             Request::Abort { task } => self.finish_task(&task, false),
-            Request::Compensate { task: _, database, commands } => {
+            Request::Resolve { task, commit } => self.resolve_task(&task, commit),
+            Request::Compensate { task, database, commands } => {
+                // Idempotent: a recovery pass re-sending COMPENSATE (under a
+                // fresh correlation id, so the reply cache cannot dedup it)
+                // must not apply the compensation twice.
+                if self.resolved.get(&task) == Some(&'K') {
+                    return Response::Ok;
+                }
                 let mut engine = self.engine.lock();
                 for cmd in &commands {
                     if let Err(e) = engine.execute(&database, cmd) {
                         return Response::Err { message: e.to_string() };
                     }
                 }
+                drop(engine);
+                self.resolved.insert(task, 'K');
                 Response::Ok
             }
             Request::Partial { database, sql, baseline } => {
@@ -474,6 +491,7 @@ impl LamServer {
                         error: Some(e.to_string()),
                     };
                 }
+                self.resolved.remove(name); // new incarnation supersedes
                 self.tasks.insert(name.to_string(), txn);
                 Response::TaskDone { status: 'P', affected, payload, error: None }
             }
@@ -499,6 +517,10 @@ impl LamServer {
                         }
                     }
                 }
+                // Autocommitted: already durable, so a later RESOLVE answers
+                // `C` (recovery undoes such tasks via compensation, never by
+                // rollback).
+                self.resolved.insert(name.to_string(), 'C');
                 Response::TaskDone { status: 'C', affected, payload, error: None }
             }
         }
@@ -545,8 +567,39 @@ impl LamServer {
         let mut engine = self.engine.lock();
         let result = if commit { engine.commit(txn) } else { engine.rollback(txn) };
         match result {
-            Ok(()) => Response::Ok,
+            Ok(()) => {
+                self.resolved.insert(task.to_string(), if commit { 'C' } else { 'A' });
+                Response::Ok
+            }
             Err(e) => Response::Err { message: e.to_string() },
+        }
+    }
+
+    /// Recovery's `RESOLVE`: settle an in-doubt task per the coordinator's
+    /// replayed decision, answering from local state so the reply is
+    /// truthful even when the first settle round already ran.
+    fn resolve_task(&mut self, task: &str, commit: bool) -> Response {
+        // Already settled (by the pre-crash coordinator, an earlier recovery
+        // pass, or autocommit): answer the recorded outcome.
+        if let Some(&status) = self.resolved.get(task) {
+            return Response::TaskDone { status, affected: 0, payload: None, error: None };
+        }
+        match self.tasks.remove(task) {
+            Some(txn) => {
+                let mut engine = self.engine.lock();
+                let result = if commit { engine.commit(txn) } else { engine.rollback(txn) };
+                match result {
+                    Ok(()) => {
+                        let status = if commit { 'C' } else { 'A' };
+                        drop(engine);
+                        self.resolved.insert(task.to_string(), status);
+                        Response::TaskDone { status, affected: 0, payload: None, error: None }
+                    }
+                    Err(e) => Response::Err { message: e.to_string() },
+                }
+            }
+            // Never prepared here (or aborted locally): presumed abort.
+            None => Response::TaskDone { status: 'A', affected: 0, payload: None, error: None },
         }
     }
 
@@ -820,6 +873,110 @@ mod tests {
                 .clone()
         };
         assert_eq!(rate, ldbs::value::Value::Float(40.0));
+    }
+
+    #[test]
+    fn repeated_compensate_applies_once() {
+        let (_net, lam, client) = setup();
+        call(
+            &client,
+            Request::Task {
+                name: "T1".into(),
+                mode: TaskMode::Auto,
+                database: "avis".into(),
+                commands: vec!["UPDATE cars SET rate = rate * 2 WHERE code = 1".into()],
+            },
+        );
+        let comp = Request::Compensate {
+            task: "T1".into(),
+            database: "avis".into(),
+            commands: vec!["UPDATE cars SET rate = rate / 2 WHERE code = 1".into()],
+        };
+        // First compensation applies; a recovery pass that lost the record
+        // re-sends it (fresh correlation id) and must hit the 'K' memory.
+        assert_eq!(call(&client, comp.clone()), Response::Ok);
+        assert_eq!(call(&client, comp), Response::Ok);
+        let rate = {
+            let mut e = lam.engine.lock();
+            e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+                .unwrap()
+                .into_result_set()
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(rate, ldbs::value::Value::Float(40.0), "halved once, not twice");
+        // RESOLVE on a compensated task answers the recorded 'K'.
+        let resp = call(&client, Request::Resolve { task: "T1".into(), commit: false });
+        assert!(matches!(resp, Response::TaskDone { status: 'K', .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn resolve_commits_an_in_doubt_prepared_task() {
+        let (_net, lam, client) = setup();
+        call(
+            &client,
+            Request::Task {
+                name: "T1".into(),
+                mode: TaskMode::NoCommit,
+                database: "avis".into(),
+                commands: vec!["UPDATE cars SET rate = 99 WHERE code = 1".into()],
+            },
+        );
+        // The coordinator "crashed"; recovery re-resolves the prepared task.
+        let resp = call(&client, Request::Resolve { task: "T1".into(), commit: true });
+        assert!(matches!(resp, Response::TaskDone { status: 'C', .. }), "{resp:?}");
+        let rate = {
+            let mut e = lam.engine.lock();
+            e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+                .unwrap()
+                .into_result_set()
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(rate, ldbs::value::Value::Float(99.0));
+        // Re-asking answers the recorded outcome, idempotently.
+        let again = call(&client, Request::Resolve { task: "T1".into(), commit: true });
+        assert!(matches!(again, Response::TaskDone { status: 'C', .. }), "{again:?}");
+    }
+
+    #[test]
+    fn resolve_unknown_task_is_presumed_abort() {
+        let (_net, _lam, client) = setup();
+        let resp = call(&client, Request::Resolve { task: "ghost".into(), commit: true });
+        assert!(matches!(resp, Response::TaskDone { status: 'A', .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn resolve_after_normal_settle_answers_recorded_outcome() {
+        let (_net, _lam, client) = setup();
+        call(
+            &client,
+            Request::Task {
+                name: "T1".into(),
+                mode: TaskMode::NoCommit,
+                database: "avis".into(),
+                commands: vec!["UPDATE cars SET rate = 77 WHERE code = 1".into()],
+            },
+        );
+        assert_eq!(call(&client, Request::Commit { task: "T1".into() }), Response::Ok);
+        // A recovery pass that lost the coordinator's TaskResolved record
+        // re-asks — and must hear `C`, not presumed abort.
+        let resp = call(&client, Request::Resolve { task: "T1".into(), commit: true });
+        assert!(matches!(resp, Response::TaskDone { status: 'C', .. }), "{resp:?}");
+        // An autocommitted task also answers `C`.
+        call(
+            &client,
+            Request::Task {
+                name: "T2".into(),
+                mode: TaskMode::Auto,
+                database: "avis".into(),
+                commands: vec!["UPDATE cars SET rate = 55 WHERE code = 2".into()],
+            },
+        );
+        let resp = call(&client, Request::Resolve { task: "T2".into(), commit: true });
+        assert!(matches!(resp, Response::TaskDone { status: 'C', .. }), "{resp:?}");
     }
 
     #[test]

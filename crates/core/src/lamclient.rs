@@ -471,6 +471,11 @@ impl LamClient {
     }
 
     /// Sends an ack-only second-phase request, tracing its round trips.
+    ///
+    /// A `COMMIT` whose every acknowledgement is lost to *transient* faults
+    /// (the site is still registered — the LAM may well have committed) is
+    /// reported as [`DolError::InDoubt`], never as a plain service error:
+    /// the caller must route it to recovery rather than presume abort.
     fn phase_two(&mut self, req: Request, span: &Span) -> Result<(), DolError> {
         let (result, attempts, faults) = self.call_traced(&req, span);
         self.record_obs(span, attempts, &faults);
@@ -478,7 +483,64 @@ impl LamClient {
             Ok(Response::Ok) => Ok(()),
             Ok(Response::Err { message }) => Err(DolError::Service(message)),
             Ok(other) => Err(DolError::Service(format!("unexpected reply: {other:?}"))),
+            Err(MdbsError::Net(_)) if matches!(&req, Request::Commit { .. }) => {
+                let task = match &req {
+                    Request::Commit { task } => task.clone(),
+                    _ => unreachable!(),
+                };
+                span.note("in_doubt", &task);
+                Err(DolError::InDoubt { service: self.site.clone(), task })
+            }
             Err(e) => Err(DolError::Service(e.to_string())),
+        }
+    }
+
+    /// Recovery's outcome query: asks the LAM to settle `task` per the
+    /// coordinator's logged decision and report the status it ended in
+    /// (`'C'`/`'A'`). The LAM answers from its own state — committing or
+    /// rolling back a still-prepared subtransaction, repeating a recorded
+    /// outcome, or presuming abort for a task it never heard of.
+    pub fn resolve_task_outcome(
+        &self,
+        task: &str,
+        commit: bool,
+        span: &Span,
+    ) -> Result<char, MdbsError> {
+        let req = Request::Resolve { task: task.to_string(), commit };
+        let (result, attempts, faults) = self.call_traced(&req, span);
+        self.record_obs(span, attempts, &faults);
+        match result? {
+            Response::TaskDone { status, .. } => Ok(status),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected resolve reply: {other:?}"))),
+        }
+    }
+
+    /// Recovery's compensation path: runs the logged compensating commands
+    /// for `task`. The LAM's `'K'` outcome memory makes this idempotent, so
+    /// a recovery pass that repeats it (after losing the resolution record)
+    /// cannot double-apply.
+    pub fn compensate_commands(
+        &self,
+        task: &str,
+        commands: &[String],
+        span: &Span,
+    ) -> Result<(), MdbsError> {
+        let req = Request::Compensate {
+            task: task.to_string(),
+            database: self.database.clone(),
+            commands: commands.to_vec(),
+        };
+        let (result, attempts, faults) = self.call_traced(&req, span);
+        self.record_obs(span, attempts, &faults);
+        match result? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected compensate reply: {other:?}"))),
         }
     }
 }
@@ -867,6 +929,74 @@ mod tests {
         net.drop_next(client.endpoint.name(), "site1", 1);
         let err = client.call(Request::Ping).unwrap_err();
         assert!(matches!(err, MdbsError::Net(_)), "single attempt times out: {err:?}");
+    }
+
+    #[test]
+    fn lost_commit_acks_surface_in_doubt() {
+        let net = Network::with_seed(14);
+        let (net, lam) = setup_on(net);
+        let mut client = LamClient::connect_with(
+            &net,
+            "site1",
+            "avis",
+            Duration::from_millis(50),
+            RetryPolicy::retries(3),
+            shared_stats(),
+        )
+        .unwrap();
+        let task = dol::TaskDef {
+            name: "T1".into(),
+            service: "a".into(),
+            nocommit: true,
+            commands: vec!["UPDATE cars SET rate = 60 WHERE code = 1".into()],
+            compensation: vec![],
+        };
+        assert_eq!(client.execute_task(&task).status, TaskStatus::Prepared);
+        // Every commit acknowledgement is lost; the commit itself lands.
+        net.set_link_drop_probability("site1", client.endpoint.name(), 1.0);
+        let err = client.commit_task("T1").unwrap_err();
+        assert!(
+            matches!(err, DolError::InDoubt { ref service, ref task }
+                if service == "site1" && task == "T1"),
+            "expected InDoubt, got {err:?}"
+        );
+        // Mapped across the DOL boundary with the variant intact.
+        let mdbs: MdbsError = err.into();
+        assert!(matches!(mdbs, MdbsError::InDoubt { ref site, ref task }
+            if site == "site1" && task == "T1"));
+        // The LAM really did commit — recovery's re-ask would find 'C'.
+        net.set_link_drop_probability("site1", client.endpoint.name(), 0.0);
+        assert_eq!(client.resolve_task_outcome("T1", true, &Span::disabled()).unwrap(), 'C');
+        let rate = {
+            let mut e = lam.engine.lock();
+            e.execute("avis", "SELECT rate FROM cars WHERE code = 1")
+                .unwrap()
+                .into_result_set()
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(rate, ldbs::value::Value::Float(60.0));
+    }
+
+    #[test]
+    fn dead_lam_commit_is_not_in_doubt() {
+        let (net, lam) = setup();
+        let mut client = LamClient::connect(&net, "site1", "avis", TEST_TIMEOUT).unwrap();
+        let task = dol::TaskDef {
+            name: "T1".into(),
+            service: "a".into(),
+            nocommit: true,
+            commands: vec!["UPDATE cars SET rate = 70 WHERE code = 1".into()],
+            compensation: vec![],
+        };
+        assert_eq!(client.execute_task(&task).status, TaskStatus::Prepared);
+        lam.shutdown();
+        let err = client.commit_task("T1").unwrap_err();
+        assert!(
+            matches!(err, DolError::Service(ref m) if m.contains("unavailable")),
+            "terminal fault is a plain service error, got {err:?}"
+        );
     }
 
     #[test]

@@ -81,11 +81,13 @@ pub mod retcode;
 pub mod retry;
 pub mod scope;
 pub mod translate;
+pub mod wal;
 pub mod wire;
 
 pub use error::MdbsError;
 pub use executor::{DbOutcome, MsqlOutcome, MtxReport, UpdateReport};
-pub use federation::Federation;
+pub use federation::{Federation, RecoveredMtx, RecoveryReport};
 pub use multitable::Multitable;
 pub use retry::{ExecStats, RetryPolicy, TaskTelemetry};
 pub use scope::SessionScope;
+pub use wal::{CrashPlan, CrashWhen, Wal};

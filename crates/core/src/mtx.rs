@@ -156,4 +156,134 @@ mod tests {
         assert_eq!(realised_state(&travel_states(), &st), None);
         assert!(is_consistent_outcome(&travel_states(), &st));
     }
+
+    /// Degenerate and boundary shapes of the §3.4 rule, table-driven: each
+    /// case names the state list, the execution statuses, and what the three
+    /// evaluators must say about them.
+    #[test]
+    fn edge_cases() {
+        struct Case {
+            name: &'static str,
+            states: Vec<Vec<String>>,
+            statuses: HashMap<String, TaskStatus>,
+            reachable: Option<usize>,
+            realised: Option<usize>,
+            consistent: bool,
+        }
+        let cases = [
+            Case {
+                // No acceptable states declared: nothing is reachable, so the
+                // mtx can only fail — and only an all-undone outcome is
+                // consistent.
+                name: "empty state list, work committed",
+                states: vec![],
+                statuses: statuses(&[("delta", TaskStatus::Committed)]),
+                reachable: None,
+                realised: None,
+                consistent: false,
+            },
+            Case {
+                name: "empty state list, all undone",
+                states: vec![],
+                statuses: statuses(&[("delta", TaskStatus::Aborted)]),
+                reachable: None,
+                realised: None,
+                consistent: true,
+            },
+            Case {
+                // An empty *member list* is vacuously satisfied: it is
+                // reachable from anything, and realised exactly when every
+                // other subquery is undone.
+                name: "empty member list over undone work",
+                states: vec![vec![]],
+                statuses: statuses(&[("delta", TaskStatus::Aborted)]),
+                reachable: Some(0),
+                realised: Some(0),
+                consistent: true,
+            },
+            Case {
+                name: "empty member list does not excuse commits",
+                states: vec![vec![]],
+                statuses: statuses(&[("delta", TaskStatus::Committed)]),
+                reachable: Some(0),
+                realised: None,
+                consistent: false,
+            },
+            Case {
+                // Overlapping states sharing "delta": order decides, and an
+                // outcome committing exactly {delta, avis} realises state 1
+                // even though state 0 also contains delta.
+                name: "overlapping states pick first reachable",
+                states: vec![
+                    vec!["delta".into(), "continental".into()],
+                    vec!["delta".into(), "avis".into()],
+                ],
+                statuses: statuses(&[
+                    ("delta", TaskStatus::Committed),
+                    ("continental", TaskStatus::Aborted),
+                    ("avis", TaskStatus::Committed),
+                ]),
+                reachable: Some(1),
+                realised: Some(1),
+                consistent: true,
+            },
+            Case {
+                // A state member with no recorded status cannot commit:
+                // treat missing as not-reachable, never as success.
+                name: "statuses missing a state member",
+                states: vec![vec!["delta".into(), "ghost".into()]],
+                statuses: statuses(&[("delta", TaskStatus::Prepared)]),
+                reachable: None,
+                realised: None,
+                consistent: false,
+            },
+            Case {
+                // ...but a missing member only blocks its own state; the
+                // fallback state is still evaluated on its merits.
+                name: "missing member only blocks its own state",
+                states: vec![vec!["delta".into(), "ghost".into()], vec!["avis".into()]],
+                statuses: statuses(&[
+                    ("delta", TaskStatus::Aborted),
+                    ("avis", TaskStatus::Committed),
+                ]),
+                reachable: Some(1),
+                realised: Some(1),
+                consistent: true,
+            },
+            Case {
+                // Prepared is reachable-from but not realised: the final
+                // check demands Committed, and a still-prepared straggler
+                // outside the state is neither committed nor undone.
+                name: "prepared straggler blocks realisation",
+                states: vec![vec!["delta".into()]],
+                statuses: statuses(&[
+                    ("delta", TaskStatus::Committed),
+                    ("avis", TaskStatus::Prepared),
+                ]),
+                reachable: Some(0),
+                realised: None,
+                consistent: false,
+            },
+        ];
+        for case in &cases {
+            assert_eq!(
+                reachable_state(&case.states, &case.statuses),
+                case.reachable,
+                "[{}] reachable_state",
+                case.name
+            );
+            assert_eq!(
+                realised_state(&case.states, &case.statuses),
+                case.realised,
+                "[{}] realised_state",
+                case.name
+            );
+            assert_eq!(
+                is_consistent_outcome(&case.states, &case.statuses),
+                case.consistent,
+                "[{}] is_consistent_outcome",
+                case.name
+            );
+        }
+    }
 }

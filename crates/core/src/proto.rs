@@ -90,6 +90,17 @@ pub enum Request {
         /// The task.
         task: String,
     },
+    /// Recovery: settle an in-doubt prepared task per the coordinator's
+    /// logged (or presumed-abort) decision. The LAM answers from its
+    /// transaction state — `C`/`A` for a task it still holds prepared, its
+    /// recorded outcome for a task it already settled, and `A` (presumed
+    /// abort) for a task it never heard of or never prepared.
+    Resolve {
+        /// The task.
+        task: String,
+        /// True to commit, false to abort.
+        commit: bool,
+    },
     /// Run compensating commands (autocommit) for a committed task.
     Compensate {
         /// The task being compensated (for logging).
@@ -222,6 +233,9 @@ impl Request {
             }
             Request::Commit { task } => format!("COMMIT {task}"),
             Request::Abort { task } => format!("ABORT {task}"),
+            Request::Resolve { task, commit } => {
+                format!("RESOLVE {task} {}", if *commit { "COMMIT" } else { "ABORT" })
+            }
             Request::Compensate { task, database, commands } => {
                 let mut out = format!("COMP {task} {database}\n");
                 for c in commands {
@@ -298,6 +312,16 @@ impl Request {
             }
             ["COMMIT", task] => Ok(Request::Commit { task: task.to_string() }),
             ["ABORT", task] => Ok(Request::Abort { task: task.to_string() }),
+            ["RESOLVE", task, verdict] => {
+                let commit = match *verdict {
+                    "COMMIT" => true,
+                    "ABORT" => false,
+                    other => {
+                        return Err(MdbsError::Wire(format!("unknown RESOLVE verdict `{other}`")));
+                    }
+                };
+                Ok(Request::Resolve { task: task.to_string(), commit })
+            }
             ["COMP", task, database] => Ok(Request::Compensate {
                 task: task.to_string(),
                 database: database.to_string(),
@@ -468,6 +492,8 @@ mod tests {
         });
         roundtrip_request(Request::Commit { task: "T1".into() });
         roundtrip_request(Request::Abort { task: "T1".into() });
+        roundtrip_request(Request::Resolve { task: "T1".into(), commit: true });
+        roundtrip_request(Request::Resolve { task: "T1".into(), commit: false });
         roundtrip_request(Request::Compensate {
             task: "T1".into(),
             database: "continental".into(),
@@ -571,6 +597,7 @@ mod tests {
     fn garbage_rejected() {
         assert!(Request::decode("FROB x").is_err());
         assert!(Request::decode("TASK t BADMODE db").is_err());
+        assert!(Request::decode("RESOLVE t MAYBE").is_err());
         assert!(Response::decode("NOPE").is_err());
         assert!(Response::decode("OK TASK PP 3 -").is_err());
         assert!(Response::decode("OK TASK P x -").is_err());

@@ -23,6 +23,7 @@
 
 use crate::error::MdbsError;
 use crate::translate::expand::LocalQuery;
+use crate::wal::{DecisionPlan, WalTask};
 use dol::{DolCond, DolProgram, DolStmt, TaskDef, TaskStatus};
 use msql_lang::printer::print;
 use std::collections::HashMap;
@@ -64,6 +65,32 @@ pub struct GeneratedPlan {
     pub program: DolProgram,
     /// Task metadata in task order.
     pub tasks: Vec<PlanTask>,
+    /// Write-ahead-log material, present for every plan with a settle phase
+    /// (vital updates and multitransactions). `None` means a coordinator
+    /// crash leaves nothing to recover: every task autocommits and no
+    /// decision is ever taken.
+    pub recovery: Option<PlanRecovery>,
+}
+
+/// Everything the executor logs at BEGIN plus the DECIDE-code translation
+/// table — precomputed here so recovery never has to re-derive settle
+/// semantics from DOL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRecovery {
+    /// Every task with its routing and compensation, in task order.
+    pub tasks: Vec<WalTask>,
+    /// What each `DECIDE` code means: which tasks commit, which are
+    /// compensated, which acceptable state (if any) is installed.
+    pub decisions: HashMap<i32, DecisionPlan>,
+    /// Acceptable termination states in preference order (task names). For
+    /// vital updates: the single all-vitals state.
+    pub states: Vec<Vec<String>>,
+    /// Tasks the §3.4 consistency oracle covers. Non-vital update tasks are
+    /// excluded: they commit under either decision, by design.
+    pub oracle: Vec<String>,
+    /// Tasks compensated when recovery finds no decision record and
+    /// presumes abort.
+    pub abort_compensate: Vec<String>,
 }
 
 fn route_for<'r>(
@@ -123,7 +150,7 @@ pub fn retrieval_plan(
     }
     statements.push(DolStmt::SetStatus(0));
     statements.push(DolStmt::Close { aliases });
-    Ok(GeneratedPlan { program: DolProgram { statements }, tasks })
+    Ok(GeneratedPlan { program: DolProgram { statements }, tasks, recovery: None })
 }
 
 /// Generates the §3.2/§3.3 vital-update plan.
@@ -137,9 +164,11 @@ pub fn update_plan(
     let refs: Vec<&LocalQuery> = locals.iter().collect();
     let (mut statements, aliases) = open_statements(&refs, routes)?;
     let mut tasks = Vec::new();
+    let mut wal_tasks = Vec::new();
     // Vital tasks that run prepared (2PC) vs. compensated (autocommit-only).
     let mut prepared_vitals: Vec<String> = Vec::new();
     let mut compensated_vitals: Vec<String> = Vec::new();
+    let mut vitals: Vec<String> = Vec::new();
 
     for (i, l) in locals.iter().enumerate() {
         let name = format!("T{}", i + 1);
@@ -156,6 +185,9 @@ pub fn update_plan(
         } else if l.vital {
             prepared_vitals.push(name.clone());
         }
+        if l.vital {
+            vitals.push(name.clone());
+        }
         statements.push(DolStmt::Task(TaskDef {
             name: name.clone(),
             service: l.key.clone(),
@@ -163,6 +195,12 @@ pub fn update_plan(
             commands: vec![print(&l.statement)],
             compensation: compensation.clone(),
         }));
+        wal_tasks.push(WalTask {
+            name: name.clone(),
+            database: l.database.clone(),
+            site: route.site.clone(),
+            compensation: compensation.clone(),
+        });
         tasks.push(PlanTask {
             task: name,
             database: l.database.clone(),
@@ -192,12 +230,14 @@ pub fn update_plan(
                 None => c,
             });
         }
-        let mut then_branch = Vec::new();
+        // DECIDE logs the settle decision (WAL) before any second-phase
+        // message goes out; recovery replays it after a coordinator crash.
+        let mut then_branch = vec![DolStmt::Decide(0)];
         if !prepared_vitals.is_empty() {
             then_branch.push(DolStmt::Commit { tasks: prepared_vitals.clone() });
         }
         then_branch.push(DolStmt::SetStatus(0));
-        let mut else_branch = Vec::new();
+        let mut else_branch = vec![DolStmt::Decide(1)];
         if !prepared_vitals.is_empty() {
             // ABORT is a no-op for tasks that already aborted locally.
             else_branch.push(DolStmt::Abort { tasks: prepared_vitals.clone() });
@@ -218,7 +258,40 @@ pub fn update_plan(
         });
     }
     statements.push(DolStmt::Close { aliases });
-    Ok(GeneratedPlan { program: DolProgram { statements }, tasks })
+    // A vital-free update never decides anything, so there is nothing to
+    // log or recover; otherwise the WAL needs the decision table: DECIDE 0
+    // commits the prepared vitals, DECIDE 1 rolls back and compensates the
+    // autocommitted ones. The oracle covers vitals only — non-vital tasks
+    // commit under either decision, by design (§3.2).
+    let recovery = if vitals.is_empty() {
+        None
+    } else {
+        Some(PlanRecovery {
+            tasks: wal_tasks,
+            decisions: HashMap::from([
+                (
+                    0,
+                    DecisionPlan {
+                        state: Some(0),
+                        commit: prepared_vitals,
+                        compensate: Vec::new(),
+                    },
+                ),
+                (
+                    1,
+                    DecisionPlan {
+                        state: None,
+                        commit: Vec::new(),
+                        compensate: compensated_vitals.clone(),
+                    },
+                ),
+            ]),
+            states: vec![vitals.clone()],
+            oracle: vitals,
+            abort_compensate: compensated_vitals,
+        })
+    };
+    Ok(GeneratedPlan { program: DolProgram { statements }, tasks, recovery })
 }
 
 /// One component query of a multitransaction, ready for planning.
@@ -278,6 +351,7 @@ pub fn multitransaction_plan(
     let refs: Vec<&LocalQuery> = all.iter().map(|(l, _)| *l).collect();
     let (mut statements, aliases) = open_statements(&refs, routes)?;
     let mut tasks = Vec::new();
+    let mut wal_tasks = Vec::new();
     for (l, comps) in &all {
         let route = route_for(routes, &l.database)?;
         let compensation = comps.get(&l.key).cloned().unwrap_or_default();
@@ -298,6 +372,12 @@ pub fn multitransaction_plan(
             commands: vec![print(&l.statement)],
             compensation: compensation.clone(),
         }));
+        wal_tasks.push(WalTask {
+            name: l.key.clone(),
+            database: l.database.clone(),
+            site: route.site.clone(),
+            compensation: compensation.clone(),
+        });
         tasks.push(PlanTask {
             task: l.key.clone(),
             database: l.database.clone(),
@@ -316,8 +396,10 @@ pub fn multitransaction_plan(
         })
         .collect();
 
-    // Failure branch: undo everything.
-    let mut chain = settle_branch(&all_keys, &[], &comp_map);
+    // Failure branch: undo everything. DECIDE logs the decision (WAL)
+    // before the first settle message; recovery replays it after a crash.
+    let mut chain = vec![DolStmt::Decide(MTX_FAILED)];
+    chain.extend(settle_branch(&all_keys, &[], &comp_map));
     chain.push(DolStmt::SetStatus(MTX_FAILED));
 
     for (idx, state) in states.iter().enumerate().rev() {
@@ -334,7 +416,8 @@ pub fn multitransaction_plan(
                 None => c,
             });
         }
-        let mut branch = settle_branch(&all_keys, state, &comp_map);
+        let mut branch = vec![DolStmt::Decide(idx as i32)];
+        branch.extend(settle_branch(&all_keys, state, &comp_map));
         branch.push(DolStmt::SetStatus(idx as i32));
         chain = vec![DolStmt::If {
             cond: cond.expect("state non-empty"),
@@ -344,7 +427,39 @@ pub fn multitransaction_plan(
     }
     statements.extend(chain);
     statements.push(DolStmt::Close { aliases });
-    Ok(GeneratedPlan { program: DolProgram { statements }, tasks })
+
+    // Decision table for the WAL: DECIDE idx installs states[idx] (commit
+    // its members, compensate autocommitted non-members); DECIDE 99 undoes
+    // everything. Presumed abort — no decision record at all — compensates
+    // every autocommitted subquery, same as DECIDE 99.
+    let comp_keys = |keys: &[String]| -> Vec<String> {
+        keys.iter().filter(|k| comp_map.get(*k).copied().unwrap_or(false)).cloned().collect()
+    };
+    let mut decisions = HashMap::new();
+    for (idx, state) in states.iter().enumerate() {
+        let non_members: Vec<String> =
+            all_keys.iter().filter(|k| !state.contains(k)).cloned().collect();
+        decisions.insert(
+            idx as i32,
+            DecisionPlan {
+                state: Some(idx as i32),
+                commit: state.clone(),
+                compensate: comp_keys(&non_members),
+            },
+        );
+    }
+    decisions.insert(
+        MTX_FAILED,
+        DecisionPlan { state: None, commit: Vec::new(), compensate: comp_keys(&all_keys) },
+    );
+    let recovery = Some(PlanRecovery {
+        tasks: wal_tasks,
+        decisions,
+        states: states.to_vec(),
+        oracle: all_keys.clone(),
+        abort_compensate: comp_keys(&all_keys),
+    });
+    Ok(GeneratedPlan { program: DolProgram { statements }, tasks, recovery })
 }
 
 /// Statements that install one termination state: commit the members,
@@ -458,6 +573,9 @@ mod tests {
         assert!(text.contains("DOLSTATUS=0;"), "{text}");
         assert!(text.contains("ABORT T1, T3;"), "{text}");
         assert!(text.contains("DOLSTATUS=1;"), "{text}");
+        // The decision is logged before the first settle message.
+        assert!(text.find("DECIDE 0;").unwrap() < text.find("COMMIT T1, T3;").unwrap(), "{text}");
+        assert!(text.find("DECIDE 1;").unwrap() < text.find("ABORT T1, T3;").unwrap(), "{text}");
         assert!(text.contains("CLOSE continental delta united;"), "{text}");
         // And it reparses.
         assert!(dol::parse_program(&text).is_ok());
@@ -585,6 +703,11 @@ mod tests {
         assert!(text.contains("DOLSTATUS=0;"), "{text}");
         assert!(text.contains("DOLSTATUS=1;"), "{text}");
         assert!(text.contains(&format!("DOLSTATUS={MTX_FAILED};")), "{text}");
+        // Every settle branch (including the failure chain) logs its
+        // decision before any COMMIT/ABORT goes out.
+        for decision in ["DECIDE 0;", "DECIDE 1;", &format!("DECIDE {MTX_FAILED};")] {
+            assert!(text.contains(decision), "{text}");
+        }
         assert!(dol::parse_program(&text).is_ok());
     }
 
@@ -608,6 +731,87 @@ mod tests {
             &routes(&[("continental", true), ("delta", true), ("avis", true), ("national", true)]),
         );
         assert!(matches!(err, Err(MdbsError::Mtx(_))));
+    }
+
+    #[test]
+    fn update_plan_recovery_covers_vitals_only() {
+        let mut comps = HashMap::new();
+        comps.insert(
+            "continental".to_string(),
+            vec!["UPDATE flights SET rate = rate / 1.1".to_string()],
+        );
+        let plan = update_plan(
+            &paper_locals(),
+            &comps,
+            &routes(&[("continental", false), ("delta", true), ("united", true)]),
+        )
+        .unwrap();
+        let rec = plan.recovery.expect("vital update has recovery material");
+        assert_eq!(rec.tasks.len(), 3, "all tasks are logged for routing");
+        assert_eq!(rec.tasks[0].site, "site1");
+        assert!(!rec.tasks[0].compensation.is_empty());
+        // Oracle and the single acceptable state cover the vitals T1, T3.
+        assert_eq!(rec.states, vec![vec!["T1".to_string(), "T3".to_string()]]);
+        assert_eq!(rec.oracle, vec!["T1".to_string(), "T3".to_string()]);
+        // DECIDE 0 commits the prepared vital; DECIDE 1 compensates the
+        // autocommitted one. Presumed abort matches DECIDE 1.
+        assert_eq!(rec.decisions[&0].state, Some(0));
+        assert_eq!(rec.decisions[&0].commit, vec!["T3".to_string()]);
+        assert_eq!(rec.decisions[&1].state, None);
+        assert_eq!(rec.decisions[&1].compensate, vec!["T1".to_string()]);
+        assert_eq!(rec.abort_compensate, vec!["T1".to_string()]);
+    }
+
+    #[test]
+    fn non_vital_plans_have_no_recovery_material() {
+        let locals = vec![local("delta", "delta", false, "UPDATE flight SET rate = 1")];
+        let plan = update_plan(&locals, &HashMap::new(), &routes(&[("delta", true)])).unwrap();
+        assert!(plan.recovery.is_none());
+        let locals = vec![local("delta", "delta", false, "SELECT rate FROM flight")];
+        let plan = retrieval_plan(&locals, &routes(&[("delta", true)])).unwrap();
+        assert!(plan.recovery.is_none());
+    }
+
+    #[test]
+    fn mtx_recovery_translates_each_decide_code() {
+        let mut queries = travel_agent_queries();
+        // avis becomes autocommit-only with a COMP clause.
+        queries[1].comps.insert(
+            "avis".to_string(),
+            vec!["UPDATE cars SET carst = 'AVAIL' WHERE code = 1".to_string()],
+        );
+        let states = vec![
+            vec!["continental".to_string(), "national".to_string()],
+            vec!["delta".to_string(), "avis".to_string()],
+        ];
+        let plan = multitransaction_plan(
+            &queries,
+            &states,
+            &routes(&[("continental", true), ("delta", true), ("avis", false), ("national", true)]),
+        )
+        .unwrap();
+        let rec = plan.recovery.expect("multitransactions always have recovery material");
+        assert_eq!(rec.states, states);
+        assert_eq!(
+            rec.oracle,
+            vec![
+                "continental".to_string(),
+                "delta".to_string(),
+                "avis".to_string(),
+                "national".to_string()
+            ]
+        );
+        // State 0 (continental+national): avis is an autocommitted
+        // non-member, so it is compensated.
+        assert_eq!(rec.decisions[&0].commit, states[0]);
+        assert_eq!(rec.decisions[&0].compensate, vec!["avis".to_string()]);
+        // State 1 (delta+avis): avis is a member — nothing to compensate.
+        assert_eq!(rec.decisions[&1].commit, states[1]);
+        assert!(rec.decisions[&1].compensate.is_empty());
+        // Failure and presumed abort compensate every COMP-bearing task.
+        assert_eq!(rec.decisions[&MTX_FAILED].state, None);
+        assert_eq!(rec.decisions[&MTX_FAILED].compensate, vec!["avis".to_string()]);
+        assert_eq!(rec.abort_compensate, vec!["avis".to_string()]);
     }
 
     #[test]

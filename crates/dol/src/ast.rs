@@ -115,6 +115,11 @@ pub enum DolStmt {
         /// The task to compensate.
         task: String,
     },
+    /// `DECIDE <n>;` — record the coordinator's settle decision *before* any
+    /// second-phase message goes out. The engine forwards the code to its
+    /// [`crate::engine::TaskObserver`] (the coordinator's write-ahead log);
+    /// the statement has no effect on task statuses or `DOLSTATUS`.
+    Decide(i32),
     /// `DOLSTATUS = <n>;` — set the program's return code.
     SetStatus(i32),
     /// `CLOSE a b c;` — disconnect service aliases.

@@ -15,6 +15,7 @@ use crate::ast::{DolCond, DolProgram, DolStmt, TaskDef, TaskStatus};
 use crate::error::DolError;
 use obs::{Span, SpanCtx};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of running one task on a service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +101,26 @@ pub trait ServiceFactory {
     fn connect(&self, service: &str, site: &str) -> Result<Box<dyn DolService>, DolError>;
 }
 
+/// Observer of the engine's protocol transitions — implemented by the
+/// coordinator's write-ahead log so every step that changes the global
+/// outcome is durably recorded *in order*. A callback may return
+/// [`DolError::Halted`] to stop execution on the spot (the simulation
+/// harness uses this to model a coordinator crash at an exact log site);
+/// everything after the halt — including the settle phase — is skipped.
+pub trait TaskObserver: Send + Sync {
+    /// A task finished its first phase: `P` voted prepared, `C`
+    /// autocommitted, `A`/`E` failed locally.
+    fn task_executed(&self, task: &TaskDef, status: TaskStatus) -> Result<(), DolError>;
+
+    /// The coordinator reached a `DECIDE <code>` statement — the settle
+    /// decision, recorded *before* any second-phase message goes out.
+    fn decision(&self, code: i32) -> Result<(), DolError>;
+
+    /// A settle action for `task` completed with its final status
+    /// (`C` committed, `A` aborted, `K` compensated).
+    fn task_resolved(&self, task: &str, status: TaskStatus) -> Result<(), DolError>;
+}
+
 /// Outcome of one DOL program run.
 #[derive(Debug, Clone, Default)]
 pub struct DolOutcome {
@@ -132,6 +153,8 @@ pub struct DolEngine<'f> {
     pub parallel: bool,
     /// Where to hang execution spans (disabled by default).
     pub trace: SpanCtx,
+    /// Protocol-transition observer (the coordinator's WAL), if any.
+    pub observer: Option<Arc<dyn TaskObserver>>,
 }
 
 struct RunState {
@@ -143,12 +166,12 @@ struct RunState {
 impl<'f> DolEngine<'f> {
     /// Creates an engine over a service factory (parallel batches enabled).
     pub fn new(factory: &'f dyn ServiceFactory) -> Self {
-        DolEngine { factory, parallel: true, trace: SpanCtx::disabled() }
+        DolEngine { factory, parallel: true, trace: SpanCtx::disabled(), observer: None }
     }
 
     /// Creates an engine that executes task batches serially.
     pub fn serial(factory: &'f dyn ServiceFactory) -> Self {
-        DolEngine { factory, parallel: false, trace: SpanCtx::disabled() }
+        DolEngine { factory, parallel: false, trace: SpanCtx::disabled(), observer: None }
     }
 
     /// Executes a program to completion.
@@ -240,6 +263,12 @@ impl<'f> DolEngine<'f> {
                 Ok(())
             }
             DolStmt::Compensate { task } => self.compensate_task(task, state, ctx),
+            DolStmt::Decide(code) => {
+                if let Some(observer) = &self.observer {
+                    observer.decision(*code)?;
+                }
+                Ok(())
+            }
             DolStmt::SetStatus(code) => {
                 state.outcome.dolstatus = *code;
                 Ok(())
@@ -342,7 +371,10 @@ impl<'f> DolEngine<'f> {
                 state.outcome.task_errors.insert(name.clone(), error);
             }
             if let Some(result) = exec.result {
-                state.outcome.task_results.insert(name, result);
+                state.outcome.task_results.insert(name.clone(), result);
+            }
+            if let Some(observer) = &self.observer {
+                observer.task_executed(&state.defs[&name], state.outcome.task_statuses[&name])?;
             }
         }
         Ok(())
@@ -362,6 +394,9 @@ impl<'f> DolEngine<'f> {
                 span.note("service", &def.service);
                 svc.commit_task_traced(name, &span)?;
                 state.outcome.task_statuses.insert(name.to_string(), TaskStatus::Committed);
+                if let Some(observer) = &self.observer {
+                    observer.task_resolved(name, TaskStatus::Committed)?;
+                }
                 Ok(())
             }
             TaskStatus::Committed => Ok(()), // idempotent
@@ -387,6 +422,9 @@ impl<'f> DolEngine<'f> {
                 span.note("service", &def.service);
                 svc.abort_task_traced(name, &span)?;
                 state.outcome.task_statuses.insert(name.to_string(), TaskStatus::Aborted);
+                if let Some(observer) = &self.observer {
+                    observer.task_resolved(name, TaskStatus::Aborted)?;
+                }
                 Ok(())
             }
             // Already failed locally: aborting is a no-op (the paper's else
@@ -423,6 +461,9 @@ impl<'f> DolEngine<'f> {
                 span.note("service", &def.service);
                 svc.compensate_task_traced(&def, &span)?;
                 state.outcome.task_statuses.insert(name.to_string(), TaskStatus::Compensated);
+                if let Some(observer) = &self.observer {
+                    observer.task_resolved(name, TaskStatus::Compensated)?;
+                }
                 Ok(())
             }
             other => Err(DolError::BadTaskStatus {
@@ -741,6 +782,91 @@ mod tests {
         let i1 = log.iter().position(|l| l == "exec T1 on a").unwrap();
         let i2 = log.iter().position(|l| l == "exec T2 on a").unwrap();
         assert!(i1 < i2);
+    }
+
+    /// Records observer callbacks; optionally halts at the n-th one.
+    #[derive(Default)]
+    struct RecordingObserver {
+        events: Mutex<Vec<String>>,
+        halt_at: Option<usize>,
+    }
+
+    impl RecordingObserver {
+        fn record(&self, event: String) -> Result<(), DolError> {
+            let mut events = self.events.lock();
+            if self.halt_at == Some(events.len()) {
+                return Err(DolError::Halted(format!("at event {}", events.len())));
+            }
+            events.push(event);
+            Ok(())
+        }
+    }
+
+    impl TaskObserver for RecordingObserver {
+        fn task_executed(&self, task: &TaskDef, status: TaskStatus) -> Result<(), DolError> {
+            self.record(format!("exec {} {}", task.name, status.code()))
+        }
+
+        fn decision(&self, code: i32) -> Result<(), DolError> {
+            self.record(format!("decide {code}"))
+        }
+
+        fn task_resolved(&self, task: &str, status: TaskStatus) -> Result<(), DolError> {
+            self.record(format!("resolve {} {}", task, status.code()))
+        }
+    }
+
+    const OBSERVED: &str = "
+        DOLBEGIN
+        OPEN a AT s1 AS a;
+        OPEN b AT s2 AS b;
+        TASK T1 NOCOMMIT FOR a { UPDATE x SET y = 1 } ENDTASK;
+        TASK T2 NOCOMMIT FOR b { UPDATE x SET y = 2 } ENDTASK;
+        IF (T1=P) AND (T2=P) THEN
+        BEGIN DECIDE 0; COMMIT T1, T2; DOLSTATUS=0; END;
+        ELSE
+        BEGIN DECIDE 1; ABORT T1, T2; DOLSTATUS=1; END;
+        CLOSE a b;
+        DOLEND";
+
+    #[test]
+    fn observer_sees_protocol_transitions_in_order() {
+        let factory = MockFactory::default();
+        let observer = Arc::new(RecordingObserver::default());
+        let mut engine = DolEngine::serial(&factory);
+        engine.observer = Some(Arc::clone(&observer) as Arc<dyn TaskObserver>);
+        let out = engine.execute(&parse_program(OBSERVED).unwrap()).unwrap();
+        assert_eq!(out.dolstatus, 0);
+        let events = observer.events.lock().clone();
+        assert_eq!(
+            events,
+            vec!["exec T1 P", "exec T2 P", "decide 0", "resolve T1 C", "resolve T2 C"]
+        );
+    }
+
+    #[test]
+    fn halting_observer_stops_execution_before_settle() {
+        let factory = MockFactory::default();
+        // Halt at the decision callback: votes are in, no settle message out.
+        let observer =
+            Arc::new(RecordingObserver { halt_at: Some(2), ..RecordingObserver::default() });
+        let mut engine = DolEngine::serial(&factory);
+        engine.observer = Some(Arc::clone(&observer) as Arc<dyn TaskObserver>);
+        let err = engine.execute(&parse_program(OBSERVED).unwrap());
+        assert!(matches!(err, Err(DolError::Halted(_))), "{err:?}");
+        assert_eq!(observer.events.lock().clone(), vec!["exec T1 P", "exec T2 P"]);
+        let log = factory.state.lock().log.clone();
+        assert!(!log.iter().any(|l| l.starts_with("commit")), "no settle after halt: {log:?}");
+        assert!(!log.iter().any(|l| l.starts_with("abort")), "{log:?}");
+    }
+
+    #[test]
+    fn decide_without_observer_is_a_no_op() {
+        let factory = MockFactory::default();
+        let out = DolEngine::serial(&factory)
+            .execute(&parse_program("DOLBEGIN DECIDE 7; DOLSTATUS=0; DOLEND").unwrap())
+            .unwrap();
+        assert_eq!(out.dolstatus, 0);
     }
 
     #[test]

@@ -38,6 +38,19 @@ pub enum DolError {
     Duplicate(String),
     /// Error reported by the underlying service.
     Service(String),
+    /// A second-phase COMMIT may or may not have taken effect: every
+    /// acknowledgement was lost and the retry budget is exhausted. The task
+    /// must not be treated as aborted — only recovery can learn its fate.
+    InDoubt {
+        /// The service whose acknowledgement was lost.
+        service: String,
+        /// The in-doubt task.
+        task: String,
+    },
+    /// Execution was halted mid-program by an observer (simulated
+    /// coordinator crash). Everything after the halt point — including the
+    /// settle phase — is skipped, exactly as if the coordinator died.
+    Halted(String),
 }
 
 impl fmt::Display for DolError {
@@ -59,6 +72,12 @@ impl fmt::Display for DolError {
             }
             DolError::Duplicate(n) => write!(f, "duplicate name `{n}`"),
             DolError::Service(m) => write!(f, "service error: {m}"),
+            DolError::InDoubt { service, task } => write!(
+                f,
+                "task `{task}` is in doubt at `{service}`: commit acknowledgement lost, \
+                 retry budget exhausted"
+            ),
+            DolError::Halted(m) => write!(f, "execution halted: {m}"),
         }
     }
 }

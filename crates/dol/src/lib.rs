@@ -29,7 +29,7 @@ pub mod parser;
 pub mod printer;
 
 pub use ast::{DolCond, DolProgram, DolStmt, TaskDef, TaskStatus};
-pub use engine::{DolEngine, DolOutcome, DolService, ServiceFactory};
+pub use engine::{DolEngine, DolOutcome, DolService, ServiceFactory, TaskObserver};
 pub use error::DolError;
 pub use parser::parse_program;
 pub use printer::print_program;

@@ -222,6 +222,12 @@ impl Parser {
         if self.eat_kw("compensate") {
             return Ok(DolStmt::Compensate { task: self.expect_word()? });
         }
+        if self.eat_kw("decide") {
+            match self.bump() {
+                Some(Tok::Int(v)) => return Ok(DolStmt::Decide(v)),
+                other => return Err(self.error(format!("expected a code, found {other:?}"))),
+            }
+        }
         if self.eat_kw("dolstatus") {
             self.expect(&Tok::Eq)?;
             match self.bump() {
@@ -523,6 +529,14 @@ mod tests {
     #[test]
     fn rejects_missing_dolend() {
         assert!(parse_program("DOLBEGIN OPEN a AT b AS c;").is_err());
+    }
+
+    #[test]
+    fn parses_decide() {
+        let p = parse_program("DOLBEGIN DECIDE 0; DECIDE 99; DOLEND").unwrap();
+        assert!(matches!(p.statements[0], DolStmt::Decide(0)));
+        assert!(matches!(p.statements[1], DolStmt::Decide(99)));
+        assert!(parse_program("DOLBEGIN DECIDE x; DOLEND").is_err());
     }
 
     #[test]

@@ -64,6 +64,10 @@ fn write_stmt(out: &mut String, stmt: &DolStmt, level: usize) {
             indent(out, level);
             let _ = writeln!(out, "COMPENSATE {task};");
         }
+        DolStmt::Decide(code) => {
+            indent(out, level);
+            let _ = writeln!(out, "DECIDE {code};");
+        }
         DolStmt::SetStatus(code) => {
             indent(out, level);
             let _ = writeln!(out, "DOLSTATUS={code};");
@@ -133,7 +137,7 @@ mod tests {
             { UPDATE flights SET rate = rate / 1.1 }
             ENDTASK;
             IF (T1=P) AND NOT (T2=A) OR (T3=C) THEN
-            BEGIN COMMIT T1; DOLSTATUS=0; END;
+            BEGIN DECIDE 0; COMMIT T1; DOLSTATUS=0; END;
             ELSE
             BEGIN ABORT T1; COMPENSATE T1; DOLSTATUS=1; END;
             CLOSE cont;

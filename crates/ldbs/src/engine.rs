@@ -490,6 +490,20 @@ impl Engine {
         self.txns.get(&txn).map(|t| t.state).ok_or(DbError::UnknownTransaction(txn))
     }
 
+    /// Transactions still sitting in the prepared state, in id order. After
+    /// coordinator recovery this must be empty — a non-empty list means an
+    /// in-doubt subtransaction was orphaned (it holds locks forever).
+    pub fn prepared_txns(&self) -> Vec<TxnId> {
+        let mut out: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, t)| t.state == TxnState::Prepared)
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     fn require_state(
         &self,
         txn: TxnId,

@@ -39,11 +39,20 @@ impl FailurePolicy {
         }
     }
 
-    /// A seeded stochastic policy.
+    /// A seeded stochastic policy. Probabilities are clamped to [0, 1]; a
+    /// value outside that range is a caller bug (debug builds assert).
     pub fn with_probabilities(seed: u64, statement_p: f64, prepare_p: f64) -> Self {
+        debug_assert!(
+            (0.0..=1.0).contains(&statement_p),
+            "statement abort probability {statement_p} outside [0, 1]"
+        );
+        debug_assert!(
+            (0.0..=1.0).contains(&prepare_p),
+            "prepare abort probability {prepare_p} outside [0, 1]"
+        );
         FailurePolicy {
-            statement_abort_probability: statement_p,
-            prepare_abort_probability: prepare_p,
+            statement_abort_probability: statement_p.clamp(0.0, 1.0),
+            prepare_abort_probability: prepare_p.clamp(0.0, 1.0),
             fail_tables: HashSet::new(),
             fail_after: None,
             rng: StdRng::seed_from_u64(seed),
@@ -137,6 +146,23 @@ mod tests {
         assert!(p.check_statement("t").is_none());
         assert!(p.check_statement("t").is_some());
         assert!(p.check_statement("t").is_none());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "out-of-range probabilities assert in debug builds")]
+    fn out_of_range_probabilities_are_clamped() {
+        let mut p = FailurePolicy::with_probabilities(1, 7.5, -3.0);
+        assert_eq!(p.statement_abort_probability, 1.0);
+        assert_eq!(p.prepare_abort_probability, 0.0);
+        assert!(p.check_statement("t").is_some(), "clamped to certain failure");
+        assert!(p.check_prepare().is_none(), "clamped to never");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_probability_asserts_in_debug() {
+        let _ = FailurePolicy::with_probabilities(1, 1.5, 0.0);
     }
 
     #[test]

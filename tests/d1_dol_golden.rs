@@ -4,7 +4,9 @@
 //! regenerate it through the full translator pipeline and compare the
 //! structure: OPENs, task modes, the status condition, commit/abort
 //! branches, return codes, CLOSE. (Aliases differ cosmetically: the paper
-//! abbreviates `cont`/`unit`; our generator uses the scope keys.)
+//! abbreviates `cont`/`unit`; our generator uses the scope keys, and opens
+//! each branch with `DECIDE n` — the durable-decision hook the recovery log
+//! records before any COMMIT/ABORT is sent.)
 
 use catalog::GlobalDataDictionary;
 use mdbs::scope::SessionScope;
@@ -83,11 +85,13 @@ DOLBEGIN
   ENDTASK;
   IF (T1=P) AND (T3=P) THEN
   BEGIN
+    DECIDE 0;
     COMMIT T1, T3;
     DOLSTATUS=0;
   END;
   ELSE
   BEGIN
+    DECIDE 1;
     ABORT T1, T3;
     DOLSTATUS=1;
   END;

@@ -21,7 +21,7 @@ use mdbs::lam::spawn_lam;
 use mdbs::lamclient::LamClient;
 use mdbs::proto::{Request, Response, TaskMode};
 use mdbs::retry::shared_stats;
-use mdbs::{Federation, MdbsError, RetryPolicy};
+use mdbs::{CrashPlan, CrashWhen, Federation, MdbsError, RetryPolicy};
 use netsim::{FaultKind, Network};
 use std::time::{Duration, Instant};
 
@@ -316,6 +316,103 @@ fn injected_drops_are_annotated_on_the_surviving_spans() {
     let dropped = fed.network().stats().dropped;
     assert!(dropped > 0, "the drop injection actually fired");
     assert_eq!(metrics.counters.get("net.dropped").copied().unwrap_or(0), dropped);
+}
+
+const Q3_UPDATE_WITH_COMP: &str = "USE continental VITAL delta united VITAL
+    UPDATE flight%
+    SET rate% = rate% * 1.1
+    WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+    COMP continental
+    UPDATE flights
+    SET rate = rate / 1.1
+    WHERE source = 'Houston' AND destination = 'San Antonio'";
+
+/// The Q3 setup whose continental member autocommits (no 2PC): its subquery
+/// is settled at the LAM the moment it executes, so a coordinator crash
+/// before the decision forces recovery down the §3.3 compensation path.
+fn autocommit_continental_federation() -> Federation {
+    let mut fed = paper_federation_with(
+        Network::with_seed(0xC3),
+        FederationProfiles {
+            continental: DbmsProfile::autocommit_only(),
+            ..FederationProfiles::default()
+        },
+    );
+    fed.parallel = false;
+    fed
+}
+
+/// Crashes the Q3 coordinator immediately before it logs its decision,
+/// recovers on a successor federation sharing the same log, and renders the
+/// recovery trace: presumed abort, delta/united rolled back via RESOLVE,
+/// autocommitted continental compensated.
+fn recovery_trace() -> String {
+    // Locate the decision record in a crash-free run of the same scenario.
+    let decide_at = {
+        let mut fed = autocommit_continental_federation();
+        let wal = fed.enable_wal();
+        fed.execute(Q3_UPDATE_WITH_COMP).unwrap();
+        wal.records()
+            .unwrap()
+            .iter()
+            .position(|r| r.kind().starts_with("decision"))
+            .expect("a settle-bearing statement logs a decision")
+    };
+
+    let mut fed = autocommit_continental_federation();
+    let wal = fed.enable_wal();
+    wal.arm_crash(CrashPlan { at: decide_at, when: CrashWhen::Before });
+    fed.execute(Q3_UPDATE_WITH_COMP).unwrap_err();
+    assert!(wal.crashed(), "the armed crash point fired");
+
+    // The restarted coordinator replays the log against the LAMs, which —
+    // being autonomous sites — survived the coordinator's crash.
+    let report = fed.recover().unwrap();
+    assert_eq!(report.recovered.len(), 1);
+    let mtx = &report.recovered[0];
+    assert!(mtx.presumed_abort, "no decision record survived the crash");
+    assert_eq!(mtx.achieved_state, None);
+    // T1 = continental (VITAL, autocommitted → compensated), T2 = delta
+    // (NON VITAL, § 3.2: outside the oracle, stays committed), T3 = united
+    // (VITAL, prepared → rolled back by RESOLVE).
+    assert_eq!(mtx.statuses.get("T1"), Some(&TaskStatus::Compensated), "{mtx:?}");
+    assert_eq!(mtx.statuses.get("T2"), Some(&TaskStatus::Committed), "{mtx:?}");
+    assert_eq!(mtx.statuses.get("T3"), Some(&TaskStatus::Aborted), "{mtx:?}");
+    assert!(mtx.is_consistent());
+
+    // The compensation really undid continental's autocommitted fare bump.
+    assert_eq!(
+        rate(&fed, "svc_continental", "continental", "SELECT rate FROM flights WHERE flnu = 1"),
+        Value::Float(100.0 * 1.1 / 1.1)
+    );
+
+    fed.last_trace().expect("recovery leaves a trace").render()
+}
+
+/// Pins the recovery span tree against `tests/golden/recovery.trace`. Two
+/// fresh runs must render byte-identically (logical clock + serial
+/// execution); regenerate after an intentional change with
+/// `UPDATE_GOLDEN=1 cargo test --test fault_tolerance`.
+#[test]
+fn recovery_trace_is_golden() {
+    let first = recovery_trace();
+    let second = recovery_trace();
+    assert_eq!(first, second, "recovery trace differs between two identical runs");
+
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/recovery.trace");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &first).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing golden file {path:?} — generate it with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        first, want,
+        "golden recovery trace drift — if the change is intended, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test fault_tolerance"
+    );
 }
 
 #[test]
