@@ -27,14 +27,23 @@ echo "== crash-recovery simulation =="
 SIM_SEEDS=0..8 cargo test -q -p sim --test random_schedules
 
 echo "== golden traces =="
-# Explicit drift gate: the committed span trees and the EXPLAIN render under
-# tests/golden/ are a contract. Regenerate intentionally with UPDATE_GOLDEN=1.
+# Explicit drift gate: the committed span trees and the EXPLAIN renders under
+# tests/golden/ are a contract — including the access-path surface
+# (explain_indexed_join pins the access=probe span note and the per-database
+# "access path" cost lines). Regenerate intentionally with UPDATE_GOLDEN=1.
 cargo test -q --test t1_trace_golden
 cargo test -q --test fault_tolerance recovery_trace_is_golden
 
+echo "== access-path equivalence =="
+# Narrow re-run of the index oracle: indexed probes must answer exactly like
+# the reference scan, before and after aborted DML (the workspace pass above
+# already ran it; this names it so a failure is unmistakable).
+cargo test -q -p ldbs --test index_equivalence
+
 echo "== bench smoke (--test mode) =="
 # Every benchmark payload must still execute; no timing sweep. This includes
-# b9_cross_join, whose smoke pass also refreshes BENCH_cross_join.json.
+# b9_cross_join and b10_local_index, whose smoke passes also refresh
+# BENCH_cross_join.json and BENCH_local_index.json.
 cargo bench --workspace -- --test
 
 echo "CI OK"

@@ -625,6 +625,9 @@ impl Executor {
         };
         let baseline = (measure && !extra.is_empty()).then(|| print_select(&sub.select));
         let result = client.run_partial(&sql, baseline.as_deref(), &span)?;
+        if let Some(access) = &result.access {
+            span.note("access", access);
+        }
         if result.full_bytes > 0 {
             let saved = result.full_bytes.saturating_sub(result.payload.len() as u64);
             span.note("saved", saved);

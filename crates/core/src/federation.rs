@@ -17,7 +17,10 @@ use catalog::{
 use ldbs::profile::StatementClass;
 use ldbs::Engine;
 use msql_lang::printer::print;
-use msql_lang::{CreateTable, DropTable, MsqlQuery, Multitransaction, QueryBody, Statement};
+use msql_lang::{
+    CreateIndex, CreateTable, DropIndex, DropTable, MsqlQuery, Multitransaction, QueryBody,
+    Statement,
+};
 use netsim::Network;
 use obs::{
     labeled, ExplainReport, LogicalClock, MetricsRegistry, MetricsSnapshot, Span, SpanCtx,
@@ -178,6 +181,8 @@ impl Federation {
             gauge("ldbs.commits", stats.commits);
             gauge("ldbs.aborts", stats.aborts);
             gauge("ldbs.prepares", stats.prepares);
+            gauge("ldbs.rows_scanned", stats.rows_scanned);
+            gauge("ldbs.index_hits", stats.index_hits);
             gauge("lam.served", lam.stats.served.load(std::sync::atomic::Ordering::Relaxed));
             gauge("lam.replayed", lam.stats.replayed.load(std::sync::atomic::Ordering::Relaxed));
         }
@@ -652,6 +657,8 @@ impl Federation {
             }
             Statement::CreateTable(ct) => self.execute_create_table(ct),
             Statement::DropTable(dt) => self.execute_drop_table(dt),
+            Statement::CreateIndex(ci) => self.execute_create_index(ci),
+            Statement::DropIndex(di) => self.execute_drop_index(di),
             Statement::CreateDatabase(_) | Statement::DropDatabase(_) => {
                 Err(MdbsError::Unsupported(
                     "CREATE/DROP DATABASE must name a service; use \
@@ -1203,6 +1210,63 @@ impl Federation {
             crate::proto::Response::TaskDone { error, .. } => Err(MdbsError::Local {
                 service: database,
                 message: error.unwrap_or_else(|| "DROP TABLE failed".into()),
+            }),
+            other => Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Ships a CREATE INDEX to the owning LAM. Indexes are a local access
+    /// path, not a multidatabase object, so nothing is registered in the GDD.
+    fn execute_create_index(&mut self, ci: &CreateIndex) -> Result<MsqlOutcome, MdbsError> {
+        let database = self.ddl_target(&ci.table)?;
+        let routes = self.routes()?;
+        let route = routes
+            .get(&database)
+            .ok_or_else(|| MdbsError::Catalog(format!("no route for `{database}`")))?;
+        let mut local = ci.clone();
+        local.table.database = None;
+        let client = self.connect(&route.site, &database)?;
+        let resp = client.call(crate::proto::Request::Task {
+            name: "DDL".into(),
+            mode: crate::proto::TaskMode::Auto,
+            database: database.clone(),
+            commands: vec![print(&Statement::CreateIndex(local))],
+        })?;
+        match resp {
+            crate::proto::Response::TaskDone { status: 'C', .. } => Ok(MsqlOutcome::Admin(
+                format!("index `{}` created on `{database}`.`{}`", ci.name, ci.table.table),
+            )),
+            crate::proto::Response::TaskDone { error, .. } => Err(MdbsError::Local {
+                service: database,
+                message: error.unwrap_or_else(|| "CREATE INDEX failed".into()),
+            }),
+            other => Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Ships a DROP INDEX to the owning LAM.
+    fn execute_drop_index(&mut self, di: &DropIndex) -> Result<MsqlOutcome, MdbsError> {
+        let database = self.ddl_target(&di.table)?;
+        let routes = self.routes()?;
+        let route = routes
+            .get(&database)
+            .ok_or_else(|| MdbsError::Catalog(format!("no route for `{database}`")))?;
+        let mut local = di.clone();
+        local.table.database = None;
+        let client = self.connect(&route.site, &database)?;
+        let resp = client.call(crate::proto::Request::Task {
+            name: "DDL".into(),
+            mode: crate::proto::TaskMode::Auto,
+            database: database.clone(),
+            commands: vec![print(&Statement::DropIndex(local))],
+        })?;
+        match resp {
+            crate::proto::Response::TaskDone { status: 'C', .. } => Ok(MsqlOutcome::Admin(
+                format!("index `{}` dropped from `{database}`.`{}`", di.name, di.table.table),
+            )),
+            crate::proto::Response::TaskDone { error, .. } => Err(MdbsError::Local {
+                service: database,
+                message: error.unwrap_or_else(|| "DROP INDEX failed".into()),
             }),
             other => Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
         }

@@ -536,6 +536,7 @@ impl LamServer {
                     error: Some("partial subquery did not produce rows".to_string()),
                     full_rows: 0,
                     full_bytes: 0,
+                    access: None,
                 };
             }
             Err(e) => {
@@ -544,9 +545,13 @@ impl LamServer {
                     error: Some(e.to_string()),
                     full_rows: 0,
                     full_bytes: 0,
+                    access: None,
                 };
             }
         };
+        // Which access path the engine took for the shipped subquery (the
+        // baseline run below must not overwrite it).
+        let access = engine.last_access().map(str::to_string);
         // Measure — but never ship — the unreduced baseline. A baseline
         // failure only zeroes the measurement; it must not fail a request
         // whose real subquery succeeded.
@@ -557,7 +562,7 @@ impl LamServer {
             }
             _ => (0, 0),
         };
-        Response::PartialDone { payload: Some(payload), error: None, full_rows, full_bytes }
+        Response::PartialDone { payload: Some(payload), error: None, full_rows, full_bytes, access }
     }
 
     fn finish_task(&mut self, task: &str, commit: bool) -> Response {
@@ -800,7 +805,8 @@ mod tests {
                 baseline: Some("SELECT code FROM cars".into()),
             },
         );
-        let Response::PartialDone { payload: Some(p), error: None, full_rows, full_bytes } = resp
+        let Response::PartialDone { payload: Some(p), error: None, full_rows, full_bytes, access } =
+            resp
         else {
             panic!("{resp:?}")
         };
@@ -808,6 +814,7 @@ mod tests {
         assert_eq!(rs.rows.len(), 1, "reduced result ships one row");
         assert_eq!(full_rows, 2, "baseline measured both rows");
         assert!(full_bytes as usize > p.len(), "baseline payload is larger");
+        assert_eq!(access.as_deref(), Some("scan"), "no index exists, so the engine scanned");
     }
 
     #[test]
@@ -835,8 +842,13 @@ mod tests {
                 baseline: Some("SELECT nope FROM cars".into()),
             },
         );
-        let Response::PartialDone { payload: Some(_), error: None, full_rows: 0, full_bytes: 0 } =
-            resp
+        let Response::PartialDone {
+            payload: Some(_),
+            error: None,
+            full_rows: 0,
+            full_bytes: 0,
+            ..
+        } = resp
         else {
             panic!("{resp:?}")
         };

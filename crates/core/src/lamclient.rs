@@ -59,6 +59,8 @@ pub struct PartialResult {
     pub full_bytes: u64,
     /// Round-trip attempts spent on the request.
     pub attempts: u32,
+    /// Access path the local engine took (`probe` or `scan`), when reported.
+    pub access: Option<String>,
 }
 
 /// One connection to a LAM, bound to a database on that service.
@@ -327,14 +329,20 @@ impl LamClient {
         let (result, attempts, faults) = self.call_traced(&req, span);
         self.record_obs(span, attempts, &faults);
         match result? {
-            Response::PartialDone { payload: Some(p), error: None, full_rows, full_bytes } => {
+            Response::PartialDone {
+                payload: Some(p),
+                error: None,
+                full_rows,
+                full_bytes,
+                access,
+            } => {
                 let rows = payload_rows(&p);
                 span.note("rows", rows);
                 span.note("bytes", p.len());
                 let db = self.database.as_str();
                 self.metrics.counter_add(&labeled("lam.rows", "db", db), rows);
                 self.metrics.counter_add(&labeled("lam.bytes", "db", db), p.len() as u64);
-                Ok(PartialResult { payload: p, rows, full_rows, full_bytes, attempts })
+                Ok(PartialResult { payload: p, rows, full_rows, full_bytes, attempts, access })
             }
             Response::PartialDone { error: Some(message), .. } => {
                 Err(MdbsError::Local { service: self.site.clone(), message })

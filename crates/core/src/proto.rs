@@ -194,6 +194,9 @@ pub enum Response {
         full_rows: u64,
         /// Payload bytes the unreduced baseline would have shipped.
         full_bytes: u64,
+        /// Access path the local engine took for the reduced subquery
+        /// (`probe` or `scan`), when the engine reported one.
+        access: Option<String>,
     },
     /// Generic success.
     Ok,
@@ -393,12 +396,16 @@ impl Response {
                 }
                 out
             }
-            Response::PartialDone { payload, error, full_rows, full_bytes } => {
+            Response::PartialDone { payload, error, full_rows, full_bytes, access } => {
                 let err = match error {
                     Some(e) => escape(e),
                     None => "-".to_string(),
                 };
-                let mut out = format!("OK PARTIAL {full_rows} {full_bytes} {err}\n");
+                let acc = match access {
+                    Some(a) => escape(a),
+                    None => "-".to_string(),
+                };
+                let mut out = format!("OK PARTIAL {full_rows} {full_bytes} {acc} {err}\n");
                 if let Some(p) = payload {
                     out.push_str(p);
                 }
@@ -426,11 +433,12 @@ impl Response {
             return Ok(Response::OkPayload { payload: payload.to_string() });
         }
         if let Some(rest) = header.strip_prefix("OK PARTIAL ") {
-            // `<full_rows> <full_bytes> <error-or-dash>`; the error is the
-            // tail of the line (it may contain spaces).
-            let mut parts = rest.splitn(3, ' ');
+            // `<full_rows> <full_bytes> <access-or-dash> <error-or-dash>`;
+            // the error is the tail of the line (it may contain spaces).
+            let mut parts = rest.splitn(4, ' ');
             let rows_text = parts.next().unwrap_or("");
             let bytes_text = parts.next().unwrap_or("");
+            let acc = parts.next().unwrap_or("-");
             let err = parts.next().unwrap_or("-");
             let full_rows: u64 = rows_text
                 .parse()
@@ -438,9 +446,10 @@ impl Response {
             let full_bytes: u64 = bytes_text
                 .parse()
                 .map_err(|_| MdbsError::Wire(format!("bad baseline bytes `{bytes_text}`")))?;
+            let access = if acc == "-" { None } else { Some(unescape(acc)?) };
             let error = if err == "-" { None } else { Some(unescape(err)?) };
             let payload = if payload.is_empty() { None } else { Some(payload.to_string()) };
-            return Ok(Response::PartialDone { payload, error, full_rows, full_bytes });
+            return Ok(Response::PartialDone { payload, error, full_rows, full_bytes, access });
         }
         if let Some(rest) = header.strip_prefix("OK TASK ") {
             // `<status> <affected> <error-or-dash>`; the error is the tail of
@@ -584,12 +593,21 @@ mod tests {
             error: None,
             full_rows: 12,
             full_bytes: 340,
+            access: Some("probe".into()),
+        });
+        roundtrip_response(Response::PartialDone {
+            payload: Some("COLS code:int\nR I:1\n".into()),
+            error: None,
+            full_rows: 12,
+            full_bytes: 340,
+            access: None,
         });
         roundtrip_response(Response::PartialDone {
             payload: None,
             error: Some("unknown table | details\nline2".into()),
             full_rows: 0,
             full_bytes: 0,
+            access: Some("scan".into()),
         });
     }
 

@@ -131,6 +131,11 @@ pub struct EngineStats {
     pub aborts: u64,
     /// Successful prepares (votes of YES).
     pub prepares: u64,
+    /// Rows materialized by top-level SELECT scans and probes (subquery
+    /// re-evaluation is not counted — it reuses the outer row sets).
+    pub rows_scanned: u64,
+    /// Candidate rows returned by index probes in top-level SELECTs.
+    pub index_hits: u64,
 }
 
 /// An LDBMS service: named databases plus transactional machinery.
@@ -146,6 +151,7 @@ pub struct Engine {
     failure: FailurePolicy,
     next_txn: TxnId,
     stats: EngineStats,
+    last_access: Option<&'static str>,
 }
 
 impl Engine {
@@ -160,6 +166,7 @@ impl Engine {
             failure: FailurePolicy::none(),
             next_txn: 1,
             stats: EngineStats::default(),
+            last_access: None,
         }
     }
 
@@ -176,6 +183,13 @@ impl Engine {
     /// Execution statistics so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// The access path of the most recent statement: `Some("probe")` when at
+    /// least one FROM source was served by an index, `Some("scan")` for a
+    /// full-scan SELECT, `None` when the last statement was not a SELECT.
+    pub fn last_access(&self) -> Option<&'static str> {
+        self.last_access
     }
 
     /// Creates a database on this service, respecting `CONNECTMODE`.
@@ -281,13 +295,18 @@ impl Engine {
     ) -> Result<ExecOutcome, DbError> {
         self.require_state(txn, TxnState::Active, "execute in")?;
         self.stats.statements += 1;
+        self.last_access = None;
         let dbname = database.to_ascii_lowercase();
 
         match stmt {
             Statement::Query(q) => match &q.body {
                 QueryBody::Select(sel) => {
+                    let stats = select::AccessStats::default();
                     let db = self.database(&dbname)?;
-                    let rs = select::execute_select(db, sel, &[])?;
+                    let rs = select::execute_select_stats(db, sel, &[], &stats)?;
+                    self.stats.rows_scanned += stats.rows_scanned.get();
+                    self.stats.index_hits += stats.index_hits.get();
+                    self.last_access = Some(if stats.probed.get() { "probe" } else { "scan" });
                     Ok(ExecOutcome::Rows(rs))
                 }
                 QueryBody::Insert(ins) => {
@@ -356,6 +375,42 @@ impl Engine {
                     .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
                 let mut undo = Vec::new();
                 let out = ddl::execute_drop_table(db, dt, log_undo.then_some(&mut undo));
+                self.absorb_stmt_undo(
+                    txn,
+                    undo,
+                    &out.as_ref().map(|_| 0usize).map_err(Clone::clone),
+                );
+                out.map(|_| ExecOutcome::Affected(0))
+            }
+            Statement::CreateIndex(ci) => {
+                let table = ci.table.table.as_str().to_string();
+                self.write_guard(txn, &dbname, &table)?;
+                self.ddl_prologue(txn);
+                let log_undo = self.profile.ddl_rollbackable;
+                let db = self
+                    .databases
+                    .get_mut(&dbname)
+                    .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                let mut undo = Vec::new();
+                let out = ddl::execute_create_index(db, ci, log_undo.then_some(&mut undo));
+                self.absorb_stmt_undo(
+                    txn,
+                    undo,
+                    &out.as_ref().map(|_| 0usize).map_err(Clone::clone),
+                );
+                out.map(|_| ExecOutcome::Affected(0))
+            }
+            Statement::DropIndex(di) => {
+                let table = di.table.table.as_str().to_string();
+                self.write_guard(txn, &dbname, &table)?;
+                self.ddl_prologue(txn);
+                let log_undo = self.profile.ddl_rollbackable;
+                let db = self
+                    .databases
+                    .get_mut(&dbname)
+                    .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                let mut undo = Vec::new();
+                let out = ddl::execute_drop_index(db, di, log_undo.then_some(&mut undo));
                 self.absorb_stmt_undo(
                     txn,
                     undo,
@@ -550,6 +605,23 @@ impl Engine {
                 UndoOp::DropTable { database, table } => {
                     if let Some(db) = self.databases.get_mut(&database) {
                         db.insert_table(*table);
+                    }
+                }
+                UndoOp::CreateIndex { database, table, name } => {
+                    if let Some(db) = self.databases.get_mut(&database) {
+                        if let Ok(t) = db.table_mut(&table) {
+                            let _ = t.drop_index(&name);
+                        }
+                    }
+                }
+                UndoOp::DropIndex { database, table, def } => {
+                    if let Some(db) = self.databases.get_mut(&database) {
+                        if let Ok(t) = db.table_mut(&table) {
+                            // Rebuilds the key map from the table contents,
+                            // which the surrounding undo replay has already
+                            // restored (newest-first order).
+                            let _ = t.create_index(def);
+                        }
                     }
                 }
             }
@@ -777,6 +849,83 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.prepares, base.prepares + 1);
         assert_eq!(s.commits, base.commits + 1);
+    }
+
+    #[test]
+    fn ingres_like_rolls_back_index_ddl() {
+        let mut e = engine_with_cars(DbmsProfile::ingres_like());
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "CREATE INDEX cars_code ON cars (code)").unwrap();
+        e.rollback(txn).unwrap();
+        assert!(e
+            .database("avis")
+            .unwrap()
+            .table("cars")
+            .unwrap()
+            .index_by_name("cars_code")
+            .is_none());
+
+        // DROP INDEX rolls back too: the index is rebuilt with its contents.
+        e.execute("avis", "CREATE INDEX cars_code ON cars (code) USING HASH").unwrap();
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "INSERT INTO cars VALUES (7, 10.0, 'available')").unwrap();
+        e.execute_in(txn, "avis", "DROP INDEX cars_code ON cars").unwrap();
+        e.rollback(txn).unwrap();
+        let idx = e.database("avis").unwrap().table("cars").unwrap().index_by_name("cars_code");
+        let idx = idx.expect("rollback restores the dropped index");
+        // The rolled-back insert is not in the rebuilt index.
+        assert!(idx.probe_eq(&[Value::Int(7)]).is_empty());
+        assert_eq!(idx.probe_eq(&[Value::Int(1)]).len(), 1);
+    }
+
+    #[test]
+    fn oracle_like_index_ddl_autocommits() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "CREATE INDEX cars_code ON cars (code)").unwrap();
+        e.rollback(txn).unwrap();
+        // DDL does not roll back on an Oracle-like profile.
+        assert!(e
+            .database("avis")
+            .unwrap()
+            .table("cars")
+            .unwrap()
+            .index_by_name("cars_code")
+            .is_some());
+    }
+
+    #[test]
+    fn aborted_dml_leaves_indexes_consistent() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        e.execute("avis", "CREATE INDEX cars_code ON cars (code)").unwrap();
+        let txn = e.begin();
+        e.execute_in(txn, "avis", "INSERT INTO cars VALUES (3, 10.0, 'available')").unwrap();
+        e.execute_in(txn, "avis", "UPDATE cars SET code = 9 WHERE code = 1").unwrap();
+        e.execute_in(txn, "avis", "DELETE FROM cars WHERE code = 2").unwrap();
+        e.rollback(txn).unwrap();
+        let idx =
+            e.database("avis").unwrap().table("cars").unwrap().index_by_name("cars_code").unwrap();
+        assert!(idx.probe_eq(&[Value::Int(3)]).is_empty());
+        assert!(idx.probe_eq(&[Value::Int(9)]).is_empty());
+        assert_eq!(idx.probe_eq(&[Value::Int(1)]).len(), 1);
+        assert_eq!(idx.probe_eq(&[Value::Int(2)]).len(), 1);
+    }
+
+    #[test]
+    fn select_stats_and_access_label() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        assert_eq!(e.last_access(), None);
+        e.execute("avis", "SELECT code FROM cars WHERE code = 1").unwrap();
+        assert_eq!(e.last_access(), Some("scan"));
+        let scanned_before = e.stats().rows_scanned;
+        assert!(scanned_before >= 2, "full scan reads both rows");
+        e.execute("avis", "CREATE INDEX cars_code ON cars (code)").unwrap();
+        assert_eq!(e.last_access(), None, "DDL is not an access path");
+        e.execute("avis", "SELECT code FROM cars WHERE code = 1").unwrap();
+        assert_eq!(e.last_access(), Some("probe"));
+        let s = e.stats();
+        assert_eq!(s.index_hits, 1);
+        assert_eq!(s.rows_scanned, scanned_before + 1, "probe materializes one candidate");
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub enum DbError {
     Parse(String),
     /// NOT NULL constraint violation.
     NullViolation(String),
+    /// An index with that name already exists on the table.
+    DuplicateIndex(String),
+    /// Unknown index name.
+    UnknownIndex(String),
     /// Anything else.
     Internal(String),
 }
@@ -77,6 +81,8 @@ impl fmt::Display for DbError {
             DbError::NotLocalSql(m) => write!(f, "statement is not local SQL: {m}"),
             DbError::Parse(m) => write!(f, "parse error: {m}"),
             DbError::NullViolation(c) => write!(f, "column `{c}` is NOT NULL"),
+            DbError::DuplicateIndex(n) => write!(f, "index `{n}` already exists"),
+            DbError::UnknownIndex(n) => write!(f, "unknown index `{n}`"),
             DbError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -6,11 +6,11 @@
 
 use crate::engine::Database;
 use crate::error::DbError;
-use crate::schema::{ColumnSchema, TableSchema};
+use crate::schema::{ColumnSchema, IndexDef, IndexKind, TableSchema};
 use crate::table::Table;
 use crate::txn::UndoOp;
 use crate::value::DataType;
-use msql_lang::{CreateTable, DropTable};
+use msql_lang::{CreateIndex, CreateTable, DropIndex, DropTable, IndexMethod, TableRef};
 
 /// Creates a table. When `undo` is `Some`, the creation is recorded so
 /// rollback can drop it again.
@@ -76,6 +76,55 @@ pub fn execute_drop_table(
     let table = db.remove_table(name)?;
     if let Some(undo) = undo {
         undo.push(UndoOp::DropTable { database: db.name.clone(), table: Box::new(table) });
+    }
+    Ok(())
+}
+
+/// Rejects wildcards and remote qualifiers on an index DDL target.
+fn check_local_table(db: &Database, t: &TableRef, what: &str) -> Result<String, DbError> {
+    if t.table.is_multiple() {
+        return Err(DbError::NotLocalSql(format!("table name `{}` contains a wildcard", t.table)));
+    }
+    if let Some(d) = &t.database {
+        if d.as_str() != db.name {
+            return Err(DbError::NotLocalSql(format!("remote database `{d}` in {what}")));
+        }
+    }
+    Ok(t.table.as_str().to_string())
+}
+
+/// Builds a secondary index. When `undo` is `Some`, the creation is recorded
+/// so rollback can drop it again.
+pub fn execute_create_index(
+    db: &mut Database,
+    ci: &CreateIndex,
+    undo: Option<&mut Vec<UndoOp>>,
+) -> Result<(), DbError> {
+    let table_name = check_local_table(db, &ci.table, "CREATE INDEX")?;
+    let kind = match ci.method {
+        IndexMethod::Hash => IndexKind::Hash,
+        IndexMethod::Btree => IndexKind::BTree,
+    };
+    let def = IndexDef::new(ci.name.clone(), ci.column.clone(), kind);
+    let name = def.name.clone();
+    db.table_mut(&table_name)?.create_index(def)?;
+    if let Some(undo) = undo {
+        undo.push(UndoOp::CreateIndex { database: db.name.clone(), table: table_name, name });
+    }
+    Ok(())
+}
+
+/// Drops a secondary index. When `undo` is `Some`, the definition is
+/// retained so rollback can rebuild it from the table contents.
+pub fn execute_drop_index(
+    db: &mut Database,
+    di: &DropIndex,
+    undo: Option<&mut Vec<UndoOp>>,
+) -> Result<(), DbError> {
+    let table_name = check_local_table(db, &di.table, "DROP INDEX")?;
+    let def = db.table_mut(&table_name)?.drop_index(&di.name)?;
+    if let Some(undo) = undo {
+        undo.push(UndoOp::DropIndex { database: db.name.clone(), table: table_name, def });
     }
     Ok(())
 }
@@ -149,5 +198,61 @@ mod tests {
         let mut db = Database::new("avis");
         let ct = as_create("CREATE TABLE national.vehicle (x INT)");
         assert!(matches!(execute_create_table(&mut db, &ct, None), Err(DbError::NotLocalSql(_))));
+    }
+
+    fn as_create_index(sql: &str) -> CreateIndex {
+        let Statement::CreateIndex(ci) = parse_statement(sql).unwrap() else { panic!() };
+        ci
+    }
+
+    fn as_drop_index(sql: &str) -> DropIndex {
+        let Statement::DropIndex(di) = parse_statement(sql).unwrap() else { panic!() };
+        di
+    }
+
+    #[test]
+    fn index_create_and_drop_roundtrip() {
+        let mut db = Database::new("avis");
+        let ct = as_create("CREATE TABLE cars (code INT, rate FLOAT)");
+        execute_create_table(&mut db, &ct, None).unwrap();
+
+        let mut undo = Vec::new();
+        let ci = as_create_index("CREATE INDEX cars_code ON cars (code) USING HASH");
+        execute_create_index(&mut db, &ci, Some(&mut undo)).unwrap();
+        assert!(db.table("cars").unwrap().index_by_name("cars_code").is_some());
+        assert!(matches!(&undo[0], UndoOp::CreateIndex { name, .. } if name == "cars_code"));
+        // Same name again is a duplicate.
+        assert!(matches!(
+            execute_create_index(&mut db, &ci, None),
+            Err(DbError::DuplicateIndex(_))
+        ));
+
+        let di = as_drop_index("DROP INDEX cars_code ON cars");
+        execute_drop_index(&mut db, &di, Some(&mut undo)).unwrap();
+        assert!(db.table("cars").unwrap().index_by_name("cars_code").is_none());
+        assert!(matches!(&undo[1], UndoOp::DropIndex { def, .. } if def.name == "cars_code"));
+        assert!(matches!(execute_drop_index(&mut db, &di, None), Err(DbError::UnknownIndex(_))));
+    }
+
+    #[test]
+    fn index_ddl_rejects_remote_and_unknown_targets() {
+        let mut db = Database::new("avis");
+        let ct = as_create("CREATE TABLE cars (code INT)");
+        execute_create_table(&mut db, &ct, None).unwrap();
+        let remote = as_create_index("CREATE INDEX i ON national.vehicle (vcode)");
+        assert!(matches!(
+            execute_create_index(&mut db, &remote, None),
+            Err(DbError::NotLocalSql(_))
+        ));
+        let ghost = as_create_index("CREATE INDEX i ON ghost (x)");
+        assert!(matches!(
+            execute_create_index(&mut db, &ghost, None),
+            Err(DbError::UnknownTable(_))
+        ));
+        let badcol = as_create_index("CREATE INDEX i ON cars (missing)");
+        assert!(matches!(
+            execute_create_index(&mut db, &badcol, None),
+            Err(DbError::UnknownColumn(_))
+        ));
     }
 }

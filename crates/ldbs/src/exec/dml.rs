@@ -271,7 +271,7 @@ mod tests {
         let n = execute_update(&mut db, &up, &mut undo).unwrap();
         assert_eq!(n, 1);
         assert_eq!(undo.len(), 1);
-        let rows = db.table("flights").unwrap().rows_snapshot();
+        let rows: Vec<&Row> = db.table("flights").unwrap().iter().map(|(_, r)| r).collect();
         assert_eq!(rows[0][3], Value::Float(100.0 * 1.1));
         assert_eq!(rows[1][3], Value::Float(80.0));
     }
@@ -300,7 +300,7 @@ mod tests {
         let mut undo = Vec::new();
         let ins = as_insert("INSERT INTO flights (flnu, rate) VALUES (9, 55.0)");
         assert_eq!(execute_insert(&mut db, &ins, &mut undo).unwrap(), 1);
-        let rows = db.table("flights").unwrap().rows_snapshot();
+        let rows: Vec<&Row> = db.table("flights").unwrap().iter().map(|(_, r)| r).collect();
         let last = rows.last().unwrap();
         assert_eq!(last[0], Value::Int(9));
         assert_eq!(last[1], Value::Null); // unlisted column defaults to NULL
@@ -369,7 +369,7 @@ mod tests {
              WHERE seatnu = (SELECT MIN(seatnu) FROM f838 WHERE seatstatus = 'FREE')",
         );
         assert_eq!(execute_update(&mut db, &up, &mut undo).unwrap(), 1);
-        let rows = db.table("f838").unwrap().rows_snapshot();
+        let rows: Vec<&Row> = db.table("f838").unwrap().iter().map(|(_, r)| r).collect();
         assert_eq!(rows[1][1], Value::Str("TAKEN".into()));
         assert_eq!(rows[1][2], Value::Str("wenders".into()));
         assert_eq!(rows[2][1], Value::Str("FREE".into()));

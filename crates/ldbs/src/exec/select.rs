@@ -1,4 +1,5 @@
-//! SELECT execution: joins, filtering, aggregation, sorting, projection.
+//! SELECT execution: access paths, joins, filtering, aggregation, sorting,
+//! projection.
 //!
 //! The executor is an iterate-and-filter engine (SQL-89 style implicit
 //! joins, as in all of the paper's examples). Aggregates are computed per
@@ -6,22 +7,72 @@
 //! as literals, after which the ordinary row evaluator finishes the job —
 //! this keeps a single evaluator implementation.
 //!
+//! Before enumeration each FROM source picks an **access path**: when the
+//! WHERE tree carries a sargable conjunct (`col = lit`, `col IN (lits)`,
+//! `col < lit`, `col BETWEEN lit AND lit`, …) on an indexed column, the
+//! source materialises only the index probe's candidates instead of the
+//! whole table. Probes are deliberately *superset-safe*: canonical keys can
+//! fold distinct values together and strict bounds are widened to inclusive,
+//! but every surviving combination is still re-checked against the original,
+//! unmodified WHERE, so index-on and index-off runs return identical rows.
+//!
 //! Two-table queries whose WHERE contains an equality conjunct between the
 //! two FROM bindings skip the cross product: a hash table is built on the
 //! smaller side and probed with the larger, so only key-matched pairs reach
-//! the (unchanged) full-WHERE filter. The paper's coordinator evaluates the
-//! modified global query Q' over shipped partials exactly this way, turning
-//! its cost from O(|R|·|S|) into O(|R|+|S|+matches).
+//! the (unchanged) full-WHERE filter. When one side already has an index on
+//! its join key, that index *is* the build side — no hash table is built at
+//! all. The paper's coordinator evaluates the modified global query Q' over
+//! shipped partials exactly this way, turning its cost from O(|R|·|S|) into
+//! O(|R|+|S|+matches).
 
 use crate::engine::{ColumnMeta, Database, ResultSet};
 use crate::error::DbError;
 use crate::eval::{literal_value, value_literal, Binding, Env, Evaluator, SubqueryCache};
+use crate::index::KeyBound;
 use crate::schema::TableSchema;
-use crate::table::Row;
-use crate::value::{DataType, Value};
+use crate::table::{Row, RowId, Table};
+use crate::value::{CanonicalKey, DataType, Value};
 use msql_lang::printer::print_expr;
-use msql_lang::{AggregateKind, Expr, OrderByItem, Select, SelectItem, SortOrder, TableRef};
+use msql_lang::{
+    AggregateKind, BinaryOp, Expr, OrderByItem, Select, SelectItem, SortOrder, TableRef,
+};
+use std::cell::Cell;
 use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Per-statement access-path counters, shared by reference so the engine can
+/// aggregate them without threading mutable state through the recursion.
+#[derive(Debug, Default)]
+pub struct AccessStats {
+    /// Rows materialised from base tables (after any index reduction).
+    pub rows_scanned: Cell<u64>,
+    /// Candidate row ids produced by index probes.
+    pub index_hits: Cell<u64>,
+    /// True when at least one source or join was served by an index.
+    pub probed: Cell<bool>,
+}
+
+impl AccessStats {
+    fn add_scanned(&self, n: u64) {
+        self.rows_scanned.set(self.rows_scanned.get() + n);
+    }
+
+    fn add_hits(&self, n: u64) {
+        self.index_hits.set(self.index_hits.get() + n);
+        self.probed.set(true);
+    }
+}
+
+/// One resolved FROM entry: the table, its (possibly index-reduced) visible
+/// rows, and the ids those rows live under — `rows[i]` is always row
+/// `ids[i]`, in ascending id order, so enumeration stays deterministic.
+struct Source<'a> {
+    table: &'a Table,
+    schema: &'a TableSchema,
+    rows: Vec<&'a Row>,
+    ids: Vec<RowId>,
+    binding: String,
+}
 
 /// Executes a SELECT against `db`. `outer` carries the binding scopes of
 /// enclosing query blocks (for correlated subqueries); top-level queries pass
@@ -34,26 +85,69 @@ pub fn execute_select(
     execute_select_with(db, sel, outer, true)
 }
 
-/// [`execute_select`] with the hash equi-join fast path toggleable.
-/// `hash_join = false` forces the naive cross-product enumeration — the
-/// reference semantics the property tests compare the fast path against.
+/// [`execute_select`] with the index and hash-join fast paths toggleable.
+/// `fast = false` forces full scans and the naive cross-product enumeration —
+/// the reference semantics the property tests compare the fast paths against.
 pub fn execute_select_with(
     db: &Database,
     sel: &Select,
     outer: &[&Env<'_>],
-    hash_join: bool,
+    fast: bool,
+) -> Result<ResultSet, DbError> {
+    let stats = AccessStats::default();
+    execute_select_impl(db, sel, outer, fast, &stats)
+}
+
+/// [`execute_select`] with access-path accounting: index probe candidates and
+/// materialised rows are added to `stats`. Subqueries run through the plain
+/// entry point and are intentionally not counted.
+pub fn execute_select_stats(
+    db: &Database,
+    sel: &Select,
+    outer: &[&Env<'_>],
+    stats: &AccessStats,
+) -> Result<ResultSet, DbError> {
+    execute_select_impl(db, sel, outer, true, stats)
+}
+
+fn execute_select_impl(
+    db: &Database,
+    sel: &Select,
+    outer: &[&Env<'_>],
+    fast: bool,
+    stats: &AccessStats,
 ) -> Result<ResultSet, DbError> {
     // Statement-scoped cache for uncorrelated scalar subqueries.
     let subq_cache = SubqueryCache::new();
-    // Resolve FROM tables.
-    let mut sources: Vec<(&TableSchema, Vec<&Row>, String)> = Vec::with_capacity(sel.from.len());
+    // Resolve FROM tables. Rows are borrowed straight out of the table — no
+    // per-statement clone of the stored data.
+    let mut sources: Vec<Source> = Vec::with_capacity(sel.from.len());
     for tref in &sel.from {
         let table = resolve_table(db, tref)?;
         let binding = tref.binding_name().to_ascii_lowercase();
-        if sources.iter().any(|(_, _, b)| *b == binding) {
+        if sources.iter().any(|s| s.binding == binding) {
             return Err(DbError::AmbiguousColumn(format!("duplicate FROM binding `{binding}`")));
         }
-        sources.push((&table.schema, table.iter().map(|(_, r)| r).collect(), binding));
+        let (ids, rows) = table.iter().unzip();
+        sources.push(Source { table, schema: &table.schema, rows, ids, binding });
+    }
+
+    // Access-path selection: route sargable WHERE conjuncts to index probes,
+    // shrinking each source to the candidate rows before enumeration.
+    if fast {
+        if let Some(w) = &sel.where_clause {
+            let mut sargs = Vec::new();
+            collect_sargs(w, &sources, &mut sargs);
+            for (si, source) in sources.iter_mut().enumerate() {
+                let Some(candidates) = choose_probe(source, si, &sargs) else { continue };
+                stats.add_hits(candidates.len() as u64);
+                source.rows = candidates.iter().filter_map(|id| source.table.get(*id)).collect();
+                source.ids = candidates;
+            }
+        }
+    }
+    for s in &sources {
+        stats.add_scanned(s.rows.len() as u64);
     }
 
     // Enumerate the cross product, filter by WHERE. An empty FROM clause
@@ -75,16 +169,19 @@ pub fn execute_select_with(
         if keep_combo(&combo)? {
             combos.push(combo);
         }
-    } else if sources.iter().all(|(_, rows, _)| !rows.is_empty()) {
+    } else if sources.iter().all(|s| !s.rows.is_empty()) {
         let equi =
-            if hash_join && sources.len() == 2 { equi_key_columns(sel, &sources) } else { vec![] };
+            if fast && sources.len() == 2 { equi_key_columns(sel, &sources) } else { vec![] };
         if !equi.is_empty() {
-            // Hash equi-join: pair only key-matched rows, then apply the
-            // full WHERE unchanged, so the result is exactly the filtered
-            // cross product (any pair the hash pruned had an unequal or
-            // NULL key, which already falsifies an AND-ed equality).
-            for (li, ri) in hash_join_matches(&sources[0].1, &sources[1].1, &equi) {
-                let combo = vec![sources[0].1[li], sources[1].1[ri]];
+            // Equi-join: pair only key-matched rows, then apply the full
+            // WHERE unchanged, so the result is exactly the filtered cross
+            // product (any pair the key-match pruned had an unequal or NULL
+            // key, which already falsifies an AND-ed equality; any pair it
+            // over-returned is rejected by the re-check).
+            let matches = index_join_matches(&sources, &equi, stats)
+                .unwrap_or_else(|| hash_join_matches(&sources[0].rows, &sources[1].rows, &equi));
+            for (li, ri) in matches {
+                let combo = vec![sources[0].rows[li], sources[1].rows[ri]];
                 if keep_combo(&combo)? {
                     combos.push(combo);
                 }
@@ -92,8 +189,7 @@ pub fn execute_select_with(
         } else {
             let mut idx = vec![0usize; sources.len()];
             'product: loop {
-                let combo: Vec<&Row> =
-                    sources.iter().zip(&idx).map(|((_, rows, _), i)| rows[*i]).collect();
+                let combo: Vec<&Row> = sources.iter().zip(&idx).map(|(s, i)| s.rows[*i]).collect();
                 if keep_combo(&combo)? {
                     combos.push(combo);
                 }
@@ -101,7 +197,7 @@ pub fn execute_select_with(
                 let mut k = sources.len() - 1;
                 loop {
                     idx[k] += 1;
-                    if idx[k] < sources[k].1.len() {
+                    if idx[k] < sources[k].rows.len() {
                         break;
                     }
                     idx[k] = 0;
@@ -173,15 +269,12 @@ fn resolve_table<'a>(
     db.table(tref.table.as_str())
 }
 
-fn make_env<'a>(
-    sources: &'a [(&'a TableSchema, Vec<&'a Row>, String)],
-    combo: &[&'a Row],
-) -> Env<'a> {
+fn make_env<'a>(sources: &'a [Source<'a>], combo: &[&'a Row]) -> Env<'a> {
     Env {
         bindings: sources
             .iter()
             .zip(combo)
-            .map(|((schema, _, binding), row)| Binding { name: binding.clone(), schema, row })
+            .map(|(s, row)| Binding { name: s.binding.clone(), schema: s.schema, row })
             .collect(),
     }
 }
@@ -197,26 +290,174 @@ fn evaluator<'a>(
     Evaluator { db, scopes, cache: Some(cache) }
 }
 
+/// One sargable WHERE conjunct: a predicate on a single source column whose
+/// other side is a literal, so an index can answer it (modulo the residual
+/// re-check).
+enum Sarg {
+    /// `col = literal` (either orientation).
+    Eq(Value),
+    /// `col IN (literal, …)`, non-negated.
+    In(Vec<Value>),
+    /// `col <|<=|>|>= literal`, normalised to column-on-the-left.
+    Cmp { op: BinaryOp, value: Value },
+    /// `col BETWEEN literal AND literal`, non-negated.
+    Between { low: Value, high: Value },
+}
+
+/// Walks the AND-spine of a WHERE tree collecting sargable conjuncts as
+/// `(source index, column index, sarg)`. Branches under OR/NOT are skipped:
+/// a disjunct cannot be enforced by shrinking one source.
+fn collect_sargs(e: &Expr, sources: &[Source], out: &mut Vec<(usize, usize, Sarg)>) {
+    match e {
+        Expr::Binary { left, op: BinaryOp::And, right } => {
+            collect_sargs(left, sources, out);
+            collect_sargs(right, sources, out);
+        }
+        Expr::Binary { left, op, right }
+            if matches!(
+                op,
+                BinaryOp::Eq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            ) =>
+        {
+            let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(l)) => (c, l, *op),
+                (Expr::Literal(l), Expr::Column(c)) => (c, l, flip_cmp(*op)),
+                _ => return,
+            };
+            let Some((si, ci)) = resolve_key_column(col, sources) else { return };
+            let value = literal_value(lit);
+            let sarg = match op {
+                BinaryOp::Eq => Sarg::Eq(value),
+                other => Sarg::Cmp { op: other, value },
+            };
+            out.push((si, ci, sarg));
+        }
+        Expr::InList { expr, list, negated: false } => {
+            let Expr::Column(c) = expr.as_ref() else { return };
+            let values: Option<Vec<Value>> = list
+                .iter()
+                .map(|e| match e {
+                    Expr::Literal(l) => Some(literal_value(l)),
+                    _ => None,
+                })
+                .collect();
+            if let (Some((si, ci)), Some(values)) = (resolve_key_column(c, sources), values) {
+                out.push((si, ci, Sarg::In(values)));
+            }
+        }
+        Expr::Between { expr, low, high, negated: false } => {
+            let (Expr::Column(c), Expr::Literal(lo), Expr::Literal(hi)) =
+                (expr.as_ref(), low.as_ref(), high.as_ref())
+            else {
+                return;
+            };
+            if let Some((si, ci)) = resolve_key_column(c, sources) {
+                out.push((
+                    si,
+                    ci,
+                    Sarg::Between { low: literal_value(lo), high: literal_value(hi) },
+                ));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Mirrors a comparison across `=`, for `literal op col` conjuncts.
+fn flip_cmp(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// Picks an access path for source `si`: the candidate row ids of the best
+/// index probe (`Some`, sorted ascending), or `None` to fall back to a full
+/// scan. Preference order: point equality, then IN, then a fused range over
+/// all comparison conjuncts on one B-tree-indexed column.
+fn choose_probe(source: &Source, si: usize, sargs: &[(usize, usize, Sarg)]) -> Option<Vec<RowId>> {
+    let column = |ci: usize| source.schema.columns[ci].name.as_str();
+    for (s, ci, sarg) in sargs {
+        if *s != si {
+            continue;
+        }
+        if let Sarg::Eq(v) = sarg {
+            if let Some(idx) = source.table.index_on(column(*ci), false) {
+                return Some(idx.probe_eq(std::slice::from_ref(v)));
+            }
+        }
+    }
+    for (s, ci, sarg) in sargs {
+        if *s != si {
+            continue;
+        }
+        if let Sarg::In(values) = sarg {
+            if let Some(idx) = source.table.index_on(column(*ci), false) {
+                return Some(idx.probe_eq(values));
+            }
+        }
+    }
+    // Range: fuse every comparison conjunct on the first B-tree-indexed
+    // column into one `[low, high]` probe. Strict bounds are widened to
+    // inclusive (the residual WHERE re-check trims the edge); a NULL bound
+    // can never compare true, so it empties the candidate set outright.
+    let mut tried: Vec<usize> = Vec::new();
+    for (s, ci, sarg) in sargs {
+        if *s != si || !matches!(sarg, Sarg::Cmp { .. } | Sarg::Between { .. }) {
+            continue;
+        }
+        if tried.contains(ci) {
+            continue;
+        }
+        tried.push(*ci);
+        let Some(idx) = source.table.index_on(column(*ci), true) else { continue };
+        let mut lows: Vec<CanonicalKey> = Vec::new();
+        let mut highs: Vec<CanonicalKey> = Vec::new();
+        let mut impossible = false;
+        for (s2, ci2, sarg2) in sargs {
+            if *s2 != si || ci2 != ci {
+                continue;
+            }
+            let mut push = |slot: &mut Vec<CanonicalKey>, v: &Value| match v.canonical_key() {
+                Some(k) => slot.push(k),
+                None => impossible = true,
+            };
+            match sarg2 {
+                Sarg::Cmp { op: BinaryOp::Gt | BinaryOp::GtEq, value } => push(&mut lows, value),
+                Sarg::Cmp { op: BinaryOp::Lt | BinaryOp::LtEq, value } => push(&mut highs, value),
+                Sarg::Between { low, high } => {
+                    push(&mut lows, low);
+                    push(&mut highs, high);
+                }
+                _ => {}
+            }
+        }
+        if impossible {
+            return Some(Vec::new());
+        }
+        let lo = lows.into_iter().max().map_or(KeyBound::Unbounded, KeyBound::Inclusive);
+        let hi = highs.into_iter().min().map_or(KeyBound::Unbounded, KeyBound::Inclusive);
+        return idx.probe_range(&lo, &hi);
+    }
+    None
+}
+
 /// Equality conjuncts of the WHERE tree joining source 0 to source 1,
 /// as `(left column index, right column index)` pairs. Only column = column
 /// conjuncts whose sides resolve — by the evaluator's own rules — to the two
 /// different FROM bindings qualify; anything unresolvable or ambiguous is
 /// left for the evaluator (the caller falls back to the cross product).
-fn equi_key_columns(
-    sel: &Select,
-    sources: &[(&TableSchema, Vec<&Row>, String)],
-) -> Vec<(usize, usize)> {
-    fn walk(
-        e: &Expr,
-        sources: &[(&TableSchema, Vec<&Row>, String)],
-        keys: &mut Vec<(usize, usize)>,
-    ) {
+fn equi_key_columns(sel: &Select, sources: &[Source]) -> Vec<(usize, usize)> {
+    fn walk(e: &Expr, sources: &[Source], keys: &mut Vec<(usize, usize)>) {
         match e {
-            Expr::Binary { left, op: msql_lang::BinaryOp::And, right } => {
+            Expr::Binary { left, op: BinaryOp::And, right } => {
                 walk(left, sources, keys);
                 walk(right, sources, keys);
             }
-            Expr::Binary { left, op: msql_lang::BinaryOp::Eq, right } => {
+            Expr::Binary { left, op: BinaryOp::Eq, right } => {
                 if let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) {
                     match (resolve_key_column(a, sources), resolve_key_column(b, sources)) {
                         (Some((0, ca)), Some((1, cb))) => keys.push((ca, cb)),
@@ -240,25 +481,21 @@ fn equi_key_columns(
 /// or schema name; an unqualified column must be unique across the sources.
 /// `None` means "not cleanly ours" — possibly outer-correlated, ambiguous,
 /// or unknown — and disqualifies the conjunct from key duty.
-fn resolve_key_column(
-    c: &msql_lang::ColumnRef,
-    sources: &[(&TableSchema, Vec<&Row>, String)],
-) -> Option<(usize, usize)> {
+fn resolve_key_column(c: &msql_lang::ColumnRef, sources: &[Source]) -> Option<(usize, usize)> {
     if c.is_multiple() || c.database.is_some() {
         return None;
     }
     let column = c.column.as_str();
     match c.table.as_ref().map(|t| t.as_str()) {
         Some(t) => {
-            let si =
-                sources.iter().position(|(schema, _, binding)| binding == t || schema.name == t)?;
-            let ci = sources[si].0.column_index(column)?;
+            let si = sources.iter().position(|s| s.binding == t || s.schema.name == t)?;
+            let ci = sources[si].schema.column_index(column)?;
             Some((si, ci))
         }
         None => {
             let mut found = None;
-            for (si, (schema, _, _)) in sources.iter().enumerate() {
-                if let Some(ci) = schema.column_index(column) {
+            for (si, s) in sources.iter().enumerate() {
+                if let Some(ci) = s.schema.column_index(column) {
                     if found.is_some() {
                         return None;
                     }
@@ -270,43 +507,16 @@ fn resolve_key_column(
     }
 }
 
-/// Hashable stand-in for a join-key value. SQL equality crosses the
-/// Int/Float divide (`2 = 2.0`), so both map onto canonical `f64` bits —
-/// equal values always share a bucket; rare bit-collisions between unequal
-/// values (integers beyond 2^53) are resolved by the exact sub-bucket check.
-#[derive(PartialEq, Eq, Hash)]
-enum HashKey {
-    Num(u64),
-    Str(String),
-    Bool(bool),
-}
-
 /// `None` for values that can never satisfy an equality (NULL, NaN): rows
-/// keyed by them are skipped on both sides.
-fn hash_key(v: &Value) -> Option<HashKey> {
-    fn bits(f: f64) -> u64 {
-        // -0.0 == 0.0 in SQL; collapse to one bucket.
-        if f == 0.0 {
-            0.0f64.to_bits()
-        } else {
-            f.to_bits()
-        }
-    }
-    match v {
-        Value::Null => None,
-        Value::Int(i) => Some(HashKey::Num(bits(*i as f64))),
-        Value::Float(f) if f.is_nan() => None,
-        Value::Float(f) => Some(HashKey::Num(bits(*f))),
-        Value::Str(s) => Some(HashKey::Str(s.clone())),
-        Value::Bool(b) => Some(HashKey::Bool(*b)),
-    }
-}
-
-fn key_of(row: &Row, cols: &[usize]) -> Option<(Vec<HashKey>, Vec<Value>)> {
+/// keyed by them are skipped on both sides. SQL equality crosses the
+/// Int/Float divide (`2 = 2.0`), so both map onto one canonical numeric
+/// key — equal values always share a bucket; rare collisions between unequal
+/// values (integers beyond 2^53) are resolved by the exact sub-bucket check.
+fn key_of(row: &Row, cols: &[usize]) -> Option<(Vec<CanonicalKey>, Vec<Value>)> {
     let mut hashed = Vec::with_capacity(cols.len());
     let mut exact = Vec::with_capacity(cols.len());
     for &c in cols {
-        hashed.push(hash_key(&row[c])?);
+        hashed.push(row[c].canonical_key()?);
         exact.push(row[c].clone());
     }
     Some((hashed, exact))
@@ -314,6 +524,44 @@ fn key_of(row: &Row, cols: &[usize]) -> Option<(Vec<HashKey>, Vec<Value>)> {
 
 fn keys_sql_equal(a: &[Value], b: &[Value]) -> bool {
     a.iter().zip(b).all(|(x, y)| x.sql_cmp(y) == Some(Ordering::Equal))
+}
+
+/// Feeds the join from an existing index instead of building a hash table:
+/// when either side has an index on its join-key column, the other side's
+/// rows probe it directly. Probe hits are filtered through the indexed
+/// side's visible-row set (the index covers the whole table, but an earlier
+/// sarg probe may have shrunk the source). Returns `None` when neither side
+/// has a usable index. Over-returns on canonical-key collisions are allowed —
+/// the caller re-applies the full WHERE to every pair.
+fn index_join_matches(
+    sources: &[Source],
+    keys: &[(usize, usize)],
+    stats: &AccessStats,
+) -> Option<Vec<(usize, usize)>> {
+    for (b, p) in [(0usize, 1usize), (1usize, 0usize)] {
+        for &(c_left, c_right) in keys {
+            let (cb, cp) = if b == 0 { (c_left, c_right) } else { (c_right, c_left) };
+            let col = sources[b].schema.columns[cb].name.as_str();
+            let Some(idx) = sources[b].table.index_on(col, false) else { continue };
+            let pos: HashMap<RowId, usize> =
+                sources[b].ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+            let mut matches = Vec::new();
+            let mut hits = 0u64;
+            for (j, row) in sources[p].rows.iter().enumerate() {
+                let Some(key) = row[cp].canonical_key() else { continue };
+                for id in idx.probe_key(&key) {
+                    if let Some(&i) = pos.get(id) {
+                        hits += 1;
+                        matches.push(if b == 0 { (i, j) } else { (j, i) });
+                    }
+                }
+            }
+            matches.sort_unstable();
+            stats.add_hits(hits);
+            return Some(matches);
+        }
+    }
+    None
 }
 
 /// Builds a hash table on the smaller side, probes with the larger, and
@@ -331,9 +579,10 @@ fn hash_join_matches(
     } else {
         (keys.iter().map(|k| k.1).collect(), keys.iter().map(|k| k.0).collect())
     };
-    // Bucket → sub-buckets of exactly-equal keys (hash collisions resolved
-    // by sql_cmp, which is the equality the pruned conjuncts would apply).
-    type KeyBuckets = std::collections::HashMap<Vec<HashKey>, Vec<(Vec<Value>, Vec<usize>)>>;
+    // Bucket → sub-buckets of exactly-equal keys (canonical-key collisions
+    // resolved by sql_cmp, which is the equality the pruned conjuncts would
+    // apply).
+    type KeyBuckets = HashMap<Vec<CanonicalKey>, Vec<(Vec<Value>, Vec<usize>)>>;
     let mut table = KeyBuckets::new();
     for (i, row) in build.iter().enumerate() {
         let Some((hashed, exact)) = key_of(row, &build_cols) else { continue };
@@ -366,16 +615,13 @@ enum ProjItem {
     Direct { source: usize, column: usize, name: String },
 }
 
-fn expand_items(
-    sel: &Select,
-    sources: &[(&TableSchema, Vec<&Row>, String)],
-) -> Result<Vec<ProjItem>, DbError> {
+fn expand_items(sel: &Select, sources: &[Source]) -> Result<Vec<ProjItem>, DbError> {
     let mut out = Vec::new();
     for item in &sel.items {
         match item {
             SelectItem::Wildcard => {
-                for (si, (schema, _, _)) in sources.iter().enumerate() {
-                    for (ci, col) in schema.columns.iter().enumerate() {
+                for (si, s) in sources.iter().enumerate() {
+                    for (ci, col) in s.schema.columns.iter().enumerate() {
                         out.push(ProjItem::Direct {
                             source: si,
                             column: ci,
@@ -388,9 +634,9 @@ fn expand_items(
                 let target = t.as_str();
                 let si = sources
                     .iter()
-                    .position(|(schema, _, binding)| binding == target || schema.name == target)
+                    .position(|s| s.binding == target || s.schema.name == target)
                     .ok_or_else(|| DbError::UnknownTable(target.to_string()))?;
-                for (ci, col) in sources[si].0.columns.iter().enumerate() {
+                for (ci, col) in sources[si].schema.columns.iter().enumerate() {
                     out.push(ProjItem::Direct { source: si, column: ci, name: col.name.clone() });
                 }
             }
@@ -417,7 +663,7 @@ fn run_rowwise(
     db: &Database,
     sel: &Select,
     outer: &[&Env<'_>],
-    sources: &[(&TableSchema, Vec<&Row>, String)],
+    sources: &[Source],
     combos: Vec<Vec<&Row>>,
     subq_cache: &SubqueryCache,
 ) -> Result<RowsAndKeys, DbError> {
@@ -456,7 +702,7 @@ fn run_aggregate(
     db: &Database,
     sel: &Select,
     outer: &[&Env<'_>],
-    sources: &[(&TableSchema, Vec<&Row>, String)],
+    sources: &[Source],
     combos: Vec<Vec<&Row>>,
     subq_cache: &SubqueryCache,
 ) -> Result<RowsAndKeys, DbError> {
@@ -531,7 +777,7 @@ fn eval_group_expr(
     db: &Database,
     _sel: &Select,
     outer: &[&Env<'_>],
-    sources: &[(&TableSchema, Vec<&Row>, String)],
+    sources: &[Source],
     members: &[Vec<&Row>],
     expr: &Expr,
     subq_cache: &SubqueryCache,
@@ -605,7 +851,7 @@ fn substitute_aggregates(
 fn compute_aggregate(
     db: &Database,
     outer: &[&Env<'_>],
-    sources: &[(&TableSchema, Vec<&Row>, String)],
+    sources: &[Source],
     members: &[Vec<&Row>],
     kind: AggregateKind,
     arg: Option<&Expr>,
@@ -682,7 +928,7 @@ fn compare_keys(a: &[Value], b: &[Value], order: &[OrderByItem]) -> Ordering {
 /// Static type inference with dynamic refinement from the produced rows.
 fn build_column_meta(
     names: &mut Vec<String>,
-    sources: &[(&TableSchema, Vec<&Row>, String)],
+    sources: &[Source],
     sel: &Select,
     rows: &[Row],
 ) -> Vec<ColumnMeta> {
@@ -692,17 +938,17 @@ fn build_column_meta(
     for item in &sel.items {
         match item {
             SelectItem::Wildcard => {
-                for (schema, _, _) in sources {
-                    for c in &schema.columns {
+                for s in sources {
+                    for c in &s.schema.columns {
                         static_types.push(Some(c.data_type));
                         expanded_names.push(c.name.clone());
                     }
                 }
             }
             SelectItem::QualifiedWildcard(t) => {
-                for (schema, _, binding) in sources {
-                    if binding == t.as_str() || schema.name == t.as_str() {
-                        for c in &schema.columns {
+                for s in sources {
+                    if s.binding == t.as_str() || s.schema.name == t.as_str() {
+                        for c in &s.schema.columns {
                             static_types.push(Some(c.data_type));
                             expanded_names.push(c.name.clone());
                         }
@@ -733,17 +979,17 @@ fn build_column_meta(
         .collect()
 }
 
-fn infer_type(expr: &Expr, sources: &[(&TableSchema, Vec<&Row>, String)]) -> Option<DataType> {
+fn infer_type(expr: &Expr, sources: &[Source]) -> Option<DataType> {
     match expr {
         Expr::Column(c) => {
             let table = c.table.as_ref().map(|t| t.as_str());
-            for (schema, _, binding) in sources {
+            for s in sources {
                 if let Some(t) = table {
-                    if binding != t && schema.name != t {
+                    if s.binding != t && s.schema.name != t {
                         continue;
                     }
                 }
-                if let Ok(col) = schema.column(c.column.as_str()) {
+                if let Ok(col) = s.schema.column(c.column.as_str()) {
                     return Some(col.data_type);
                 }
             }
@@ -755,9 +1001,9 @@ fn infer_type(expr: &Expr, sources: &[(&TableSchema, Vec<&Row>, String)]) -> Opt
         Expr::Aggregate { arg: Some(a), .. } => infer_type(a, sources),
         Expr::Binary { left, op, right } => match op {
             op if op.is_comparison() => Some(DataType::Bool),
-            msql_lang::BinaryOp::And | msql_lang::BinaryOp::Or => Some(DataType::Bool),
-            msql_lang::BinaryOp::Concat => Some(DataType::Char(0)),
-            msql_lang::BinaryOp::Div => Some(DataType::Float),
+            BinaryOp::And | BinaryOp::Or => Some(DataType::Bool),
+            BinaryOp::Concat => Some(DataType::Char(0)),
+            BinaryOp::Div => Some(DataType::Float),
             _ => match (infer_type(left, sources), infer_type(right, sources)) {
                 (Some(DataType::Int), Some(DataType::Int)) => Some(DataType::Int),
                 (Some(_), Some(_)) => Some(DataType::Float),
@@ -782,7 +1028,7 @@ fn infer_type(expr: &Expr, sources: &[(&TableSchema, Vec<&Row>, String)]) -> Opt
 mod tests {
     use super::*;
     use crate::engine::Database;
-    use crate::schema::ColumnSchema;
+    use crate::schema::{ColumnSchema, IndexDef, IndexKind};
     use crate::table::Table;
     use msql_lang::parse_statement;
 
@@ -1065,5 +1311,140 @@ mod tests {
         assert_eq!(rs.columns.len(), 2);
         assert_eq!(rs.columns[0].name, "code");
         assert_eq!(rs.columns[1].name, "client");
+    }
+
+    fn indexed_avis() -> Database {
+        let mut db = avis();
+        let cars = db.table_mut("cars").unwrap();
+        cars.create_index(IndexDef::new("cars_code", "code", IndexKind::BTree)).unwrap();
+        cars.create_index(IndexDef::new("cars_type", "cartype", IndexKind::Hash)).unwrap();
+        db
+    }
+
+    fn run_stats(db: &Database, sql: &str) -> (ResultSet, AccessStats) {
+        let sel = parse_select(sql);
+        let stats = AccessStats::default();
+        let rs = execute_select_stats(db, &sel, &[], &stats).unwrap();
+        (rs, stats)
+    }
+
+    #[test]
+    fn point_probe_uses_index_and_matches_scan() {
+        let db = indexed_avis();
+        for sql in [
+            "SELECT code, rate FROM cars WHERE code = 3",
+            "SELECT code FROM cars WHERE 3 = code",
+            "SELECT code FROM cars WHERE cartype = 'sedan'",
+            "SELECT code FROM cars WHERE code = 2.0",
+        ] {
+            let sel = parse_select(sql);
+            let fast = execute_select_with(&db, &sel, &[], true).unwrap();
+            let slow = execute_select_with(&db, &sel, &[], false).unwrap();
+            assert_eq!(fast.rows, slow.rows, "{sql}");
+            let (_, stats) = run_stats(&db, sql);
+            assert!(stats.probed.get(), "{sql} should probe");
+            assert!(stats.rows_scanned.get() < 4, "{sql} should not scan the whole table");
+        }
+    }
+
+    #[test]
+    fn in_and_range_probes_match_scan() {
+        let db = indexed_avis();
+        for sql in [
+            "SELECT code FROM cars WHERE code IN (1, 3, 99)",
+            "SELECT code FROM cars WHERE code > 2",
+            "SELECT code FROM cars WHERE code >= 2 AND code < 4",
+            "SELECT code FROM cars WHERE code BETWEEN 2 AND 3",
+            "SELECT code FROM cars WHERE 3 <= code",
+        ] {
+            let sel = parse_select(sql);
+            let fast = execute_select_with(&db, &sel, &[], true).unwrap();
+            let slow = execute_select_with(&db, &sel, &[], false).unwrap();
+            assert_eq!(fast.rows, slow.rows, "{sql}");
+            let (_, stats) = run_stats(&db, sql);
+            assert!(stats.probed.get(), "{sql} should probe");
+        }
+    }
+
+    #[test]
+    fn probe_keeps_residual_conjuncts() {
+        let db = indexed_avis();
+        // The probe on `code` over-selects relative to the full predicate;
+        // the residual WHERE re-check must still filter.
+        let (rs, stats) =
+            run_stats(&db, "SELECT code FROM cars WHERE code IN (1, 2, 3) AND carst = 'available'");
+        assert!(stats.probed.get());
+        let codes: Vec<_> = rs.rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(codes, vec![Value::Int(1), Value::Int(3)]);
+    }
+
+    #[test]
+    fn null_and_impossible_probes_select_nothing() {
+        let db = indexed_avis();
+        for sql in [
+            "SELECT code FROM cars WHERE code = NULL",
+            "SELECT code FROM cars WHERE code > NULL",
+            "SELECT code FROM cars WHERE code > 3 AND code < 2",
+        ] {
+            let sel = parse_select(sql);
+            let fast = execute_select_with(&db, &sel, &[], true).unwrap();
+            let slow = execute_select_with(&db, &sel, &[], false).unwrap();
+            assert_eq!(fast.rows, slow.rows, "{sql}");
+            assert!(fast.rows.is_empty(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn unindexed_or_unsargable_predicates_fall_back_to_scan() {
+        let db = indexed_avis();
+        for sql in [
+            "SELECT code FROM cars WHERE rate = 25.0", // no index on rate
+            "SELECT code FROM cars WHERE cartype > 'a'", // hash index cannot range
+            "SELECT code FROM cars WHERE code = 1 OR code = 2", // disjunction
+            "SELECT code FROM cars WHERE code NOT IN (1, 2)", // negated
+        ] {
+            let (_, stats) = run_stats(&db, sql);
+            assert!(!stats.probed.get(), "{sql} must scan");
+            assert_eq!(stats.rows_scanned.get(), 4, "{sql}");
+        }
+    }
+
+    #[test]
+    fn index_feeds_join_build_side() {
+        let db = indexed_avis();
+        let sql = "SELECT cars.code, client FROM cars, rentals WHERE cars.code = rentals.code";
+        let sel = parse_select(sql);
+        let fast = execute_select_with(&db, &sel, &[], true).unwrap();
+        let slow = execute_select_with(&db, &sel, &[], false).unwrap();
+        assert_eq!(fast.rows, slow.rows);
+        let (_, stats) = run_stats(&db, sql);
+        assert!(stats.probed.get(), "join build side should come from the index");
+        assert_eq!(stats.index_hits.get(), 1);
+    }
+
+    #[test]
+    fn index_join_respects_sarg_reduced_source() {
+        let db = indexed_avis();
+        // The sarg probe shrinks `cars` to code=1 before the join feed; the
+        // index still covers the whole table, so the join must filter its
+        // hits through the reduced source (code=2 would otherwise match).
+        let sql = "SELECT cars.code, client FROM cars, rentals \
+                   WHERE cars.code = rentals.code AND cars.code = 1";
+        let sel = parse_select(sql);
+        let fast = execute_select_with(&db, &sel, &[], true).unwrap();
+        let slow = execute_select_with(&db, &sel, &[], false).unwrap();
+        assert_eq!(fast.rows, slow.rows);
+        assert!(fast.rows.is_empty());
+    }
+
+    #[test]
+    fn probe_preserves_id_order_and_counts() {
+        let db = indexed_avis();
+        let (rs, stats) = run_stats(&db, "SELECT code FROM cars WHERE code IN (3, 1)");
+        // Candidates come back in id order regardless of probe value order.
+        let codes: Vec<_> = rs.rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(codes, vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(stats.index_hits.get(), 2);
+        assert_eq!(stats.rows_scanned.get(), 2);
     }
 }

@@ -1,0 +1,258 @@
+//! Secondary indexes: per-column hash and B-tree access paths.
+//!
+//! An [`Index`] maps the [`CanonicalKey`] of one column to the sorted set of
+//! row ids holding that key. Canonical keys collapse SQL-equal values onto
+//! one key (`2 = 2.0`) but may also fold *distinct* values together (f64
+//! collisions past 2^53), so every probe returns a **superset** of the
+//! matching rows and the executor re-evaluates the original predicate on
+//! each candidate. NULLs are never indexed — SQL equality and ranges never
+//! select them.
+
+use crate::schema::{IndexDef, IndexKind};
+use crate::table::{Row, RowId};
+use crate::value::{CanonicalKey, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// One bound of a range probe, in canonical-key space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyBound {
+    /// No bound on this side.
+    Unbounded,
+    /// Keys `>=` (lower side) or `<=` (upper side) the given key. Probes
+    /// always use inclusive bounds: strict predicates are widened and the
+    /// residual re-check trims the edge.
+    Inclusive(CanonicalKey),
+}
+
+/// The key → row-id map, in one of the two physical shapes.
+#[derive(Debug, Clone)]
+enum Store {
+    Hash(HashMap<CanonicalKey, Vec<RowId>>),
+    BTree(BTreeMap<CanonicalKey, Vec<RowId>>),
+}
+
+/// A single-column secondary index over a table's rows.
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// The index definition (name, column, kind).
+    pub def: IndexDef,
+    /// Position of the indexed column in the table schema.
+    pub column_pos: usize,
+    store: Store,
+}
+
+impl Index {
+    /// Creates an empty index and bulk-loads it from `rows`.
+    pub fn build<'a>(
+        def: IndexDef,
+        column_pos: usize,
+        rows: impl Iterator<Item = (RowId, &'a Row)>,
+    ) -> Self {
+        let store = match def.kind {
+            IndexKind::Hash => Store::Hash(HashMap::new()),
+            IndexKind::BTree => Store::BTree(BTreeMap::new()),
+        };
+        let mut index = Index { def, column_pos, store };
+        for (id, row) in rows {
+            index.insert(id, row);
+        }
+        index
+    }
+
+    /// True when the index can answer ordered range probes.
+    pub fn supports_range(&self) -> bool {
+        matches!(self.def.kind, IndexKind::BTree)
+    }
+
+    /// Number of distinct keys (for tests and visibility).
+    pub fn distinct_keys(&self) -> usize {
+        match &self.store {
+            Store::Hash(m) => m.len(),
+            Store::BTree(m) => m.len(),
+        }
+    }
+
+    /// Adds `row`'s key for row `id`. NULL/NaN keys are not indexed.
+    pub fn insert(&mut self, id: RowId, row: &Row) {
+        let Some(key) = row[self.column_pos].canonical_key() else { return };
+        let ids = match &mut self.store {
+            Store::Hash(m) => m.entry(key).or_default(),
+            Store::BTree(m) => m.entry(key).or_default(),
+        };
+        if let Err(pos) = ids.binary_search(&id) {
+            ids.insert(pos, id);
+        }
+    }
+
+    /// Removes `row`'s key for row `id` (no-op for unindexed NULL keys).
+    pub fn remove(&mut self, id: RowId, row: &Row) {
+        let Some(key) = row[self.column_pos].canonical_key() else { return };
+        let emptied = match &mut self.store {
+            Store::Hash(m) => match m.get_mut(&key) {
+                Some(ids) => {
+                    if let Ok(pos) = ids.binary_search(&id) {
+                        ids.remove(pos);
+                    }
+                    ids.is_empty()
+                }
+                None => false,
+            },
+            Store::BTree(m) => match m.get_mut(&key) {
+                Some(ids) => {
+                    if let Ok(pos) = ids.binary_search(&id) {
+                        ids.remove(pos);
+                    }
+                    ids.is_empty()
+                }
+                None => false,
+            },
+        };
+        if emptied {
+            match &mut self.store {
+                Store::Hash(m) => {
+                    m.remove(&key);
+                }
+                Store::BTree(m) => {
+                    m.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Row ids whose key equals any of `values` (superset semantics; NULL
+    /// probe values match nothing). Ids come back sorted and deduplicated.
+    pub fn probe_eq(&self, values: &[Value]) -> Vec<RowId> {
+        let mut out = Vec::new();
+        for v in values {
+            let Some(key) = v.canonical_key() else { continue };
+            let ids = match &self.store {
+                Store::Hash(m) => m.get(&key),
+                Store::BTree(m) => m.get(&key),
+            };
+            if let Some(ids) = ids {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Row ids whose key falls within `[low, high]` (inclusive canonical
+    /// bounds). Only meaningful on B-tree indexes; returns `None` when the
+    /// index cannot serve ranges. Ids come back sorted.
+    pub fn probe_range(&self, low: &KeyBound, high: &KeyBound) -> Option<Vec<RowId>> {
+        let Store::BTree(m) = &self.store else { return None };
+        let lo = match low {
+            KeyBound::Unbounded => Bound::Unbounded,
+            KeyBound::Inclusive(k) => Bound::Included(k.clone()),
+        };
+        let hi = match high {
+            KeyBound::Unbounded => Bound::Unbounded,
+            KeyBound::Inclusive(k) => Bound::Included(k.clone()),
+        };
+        // An inverted range (low > high) panics in BTreeMap::range; it also
+        // matches nothing, so short-circuit it.
+        if let (Bound::Included(a), Bound::Included(b)) = (&lo, &hi) {
+            if a > b {
+                return Some(Vec::new());
+            }
+        }
+        let mut out = Vec::new();
+        for ids in m.range((lo, hi)).map(|(_, ids)| ids) {
+            out.extend_from_slice(ids);
+        }
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// Row ids for one exact canonical key (the hash-join build feed).
+    pub fn probe_key(&self, key: &CanonicalKey) -> &[RowId] {
+        let ids = match &self.store {
+            Store::Hash(m) => m.get(key),
+            Store::BTree(m) => m.get(key),
+        };
+        ids.map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::IndexDef;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int(1), Value::Float(10.0)],
+            vec![Value::Int(2), Value::Float(20.0)],
+            vec![Value::Float(2.0), Value::Float(21.0)],
+            vec![Value::Null, Value::Float(30.0)],
+            vec![Value::Int(5), Value::Null],
+        ]
+    }
+
+    fn build(kind: IndexKind) -> Index {
+        let rows = rows();
+        Index::build(
+            IndexDef::new("i", "k", kind),
+            0,
+            rows.iter().enumerate().map(|(i, r)| (i as RowId + 1, r)),
+        )
+    }
+
+    #[test]
+    fn eq_probe_crosses_int_float_and_skips_null() {
+        for kind in [IndexKind::Hash, IndexKind::BTree] {
+            let idx = build(kind);
+            // 2 and 2.0 share a canonical key.
+            assert_eq!(idx.probe_eq(&[Value::Int(2)]), vec![2, 3]);
+            assert_eq!(idx.probe_eq(&[Value::Float(2.0)]), vec![2, 3]);
+            // NULL probes match nothing; NULL cells are unindexed.
+            assert_eq!(idx.probe_eq(&[Value::Null]), Vec::<RowId>::new());
+            assert_eq!(idx.distinct_keys(), 3);
+            // IN-style multi-value probe comes back sorted + deduped.
+            assert_eq!(idx.probe_eq(&[Value::Int(5), Value::Int(1), Value::Int(1)]), vec![1, 5]);
+        }
+    }
+
+    #[test]
+    fn range_probe_is_btree_only() {
+        let hash = build(IndexKind::Hash);
+        assert_eq!(hash.probe_range(&KeyBound::Unbounded, &KeyBound::Unbounded), None);
+
+        let btree = build(IndexKind::BTree);
+        let lo = KeyBound::Inclusive(Value::Int(2).canonical_key().unwrap());
+        let hi = KeyBound::Inclusive(Value::Int(5).canonical_key().unwrap());
+        assert_eq!(btree.probe_range(&lo, &hi).unwrap(), vec![2, 3, 5]);
+        assert_eq!(btree.probe_range(&KeyBound::Unbounded, &lo).unwrap(), vec![1, 2, 3]);
+        assert_eq!(btree.probe_range(&hi, &KeyBound::Unbounded).unwrap(), vec![5]);
+        // Inverted range matches nothing instead of panicking.
+        assert_eq!(btree.probe_range(&hi, &lo).unwrap(), Vec::<RowId>::new());
+    }
+
+    #[test]
+    fn maintenance_insert_remove() {
+        let mut idx = build(IndexKind::BTree);
+        let row = vec![Value::Int(2), Value::Float(22.0)];
+        idx.insert(9, &row);
+        assert_eq!(idx.probe_eq(&[Value::Int(2)]), vec![2, 3, 9]);
+        idx.remove(2, &rows()[1]);
+        assert_eq!(idx.probe_eq(&[Value::Int(2)]), vec![3, 9]);
+        idx.remove(3, &rows()[2]);
+        idx.remove(9, &row);
+        assert_eq!(idx.probe_eq(&[Value::Int(2)]), Vec::<RowId>::new());
+        assert_eq!(idx.distinct_keys(), 2);
+        // Removing a NULL-keyed row is a no-op.
+        idx.remove(4, &rows()[3]);
+    }
+
+    #[test]
+    fn probe_key_feeds_joins() {
+        let idx = build(IndexKind::Hash);
+        let key = Value::Float(2.0).canonical_key().unwrap();
+        assert_eq!(idx.probe_key(&key), &[2, 3]);
+        let missing = Value::Int(42).canonical_key().unwrap();
+        assert!(idx.probe_key(&missing).is_empty());
+    }
+}

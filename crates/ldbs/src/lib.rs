@@ -40,6 +40,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod failure;
+pub mod index;
 pub mod profile;
 pub mod schema;
 pub mod table;
@@ -49,6 +50,6 @@ pub mod value;
 pub use engine::{Engine, ExecOutcome, ResultSet};
 pub use error::DbError;
 pub use profile::DbmsProfile;
-pub use schema::{ColumnSchema, TableSchema};
+pub use schema::{ColumnSchema, IndexDef, IndexKind, TableSchema};
 pub use txn::{TxnId, TxnState};
-pub use value::{DataType, Value};
+pub use value::{CanonicalKey, DataType, Value};

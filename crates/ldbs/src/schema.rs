@@ -73,6 +73,47 @@ impl TableSchema {
     }
 }
 
+/// The physical shape of a secondary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash map: serves equality and `IN` probes only.
+    Hash,
+    /// Ordered map: serves equality, `IN`, and range probes.
+    BTree,
+}
+
+impl IndexKind {
+    /// The MSQL keyword for the kind (`USING <kind>`).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            IndexKind::Hash => "HASH",
+            IndexKind::BTree => "BTREE",
+        }
+    }
+}
+
+/// A secondary-index definition: a named, single-column access path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name (lowercase, unique per table).
+    pub name: String,
+    /// Indexed column name (lowercase).
+    pub column: String,
+    /// Physical shape.
+    pub kind: IndexKind,
+}
+
+impl IndexDef {
+    /// Creates an index definition, normalising names.
+    pub fn new(name: impl Into<String>, column: impl Into<String>, kind: IndexKind) -> Self {
+        IndexDef {
+            name: name.into().to_ascii_lowercase(),
+            column: column.into().to_ascii_lowercase(),
+            kind,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +151,14 @@ mod tests {
         let t = cars();
         assert_eq!(t.arity(), 3);
         assert_eq!(t.column_names(), vec!["code", "cartype", "rate"]);
+    }
+
+    #[test]
+    fn index_def_normalises_names() {
+        let d = IndexDef::new("Cars_Code", "Code", IndexKind::Hash);
+        assert_eq!(d.name, "cars_code");
+        assert_eq!(d.column, "code");
+        assert_eq!(d.kind.keyword(), "HASH");
+        assert_eq!(IndexKind::BTree.keyword(), "BTREE");
     }
 }

@@ -5,7 +5,8 @@
 //! which makes query results and benchmarks reproducible.
 
 use crate::error::DbError;
-use crate::schema::TableSchema;
+use crate::index::Index;
+use crate::schema::{IndexDef, TableSchema};
 use crate::value::Value;
 use std::collections::BTreeMap;
 
@@ -15,19 +16,26 @@ pub type RowId = u64;
 /// A stored row: one value per schema column.
 pub type Row = Vec<Value>;
 
-/// A heap table.
+/// A heap table plus its secondary indexes.
+///
+/// Every mutation path goes through [`Table::insert`], [`Table::remove`],
+/// [`Table::replace`] or [`Table::restore`], and each of them maintains the
+/// indexes in the same step — including when the undo log replays those
+/// operations during rollback, so aborted transactions leave indexes
+/// consistent for free.
 #[derive(Debug, Clone)]
 pub struct Table {
     /// The table schema.
     pub schema: TableSchema,
     rows: BTreeMap<RowId, Row>,
     next_id: RowId,
+    indexes: Vec<Index>,
 }
 
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: BTreeMap::new(), next_id: 1 }
+        Table { schema, rows: BTreeMap::new(), next_id: 1, indexes: Vec::new() }
     }
 
     /// Number of live rows.
@@ -71,12 +79,18 @@ impl Table {
         let row = self.validate(row)?;
         let id = self.next_id;
         self.next_id += 1;
+        for idx in &mut self.indexes {
+            idx.insert(id, &row);
+        }
         self.rows.insert(id, row);
         Ok(id)
     }
 
     /// Re-inserts a row under a previously assigned id (undo of a delete).
     pub fn restore(&mut self, id: RowId, row: Row) {
+        for idx in &mut self.indexes {
+            idx.insert(id, &row);
+        }
         self.rows.insert(id, row);
         if id >= self.next_id {
             self.next_id = id + 1;
@@ -85,7 +99,11 @@ impl Table {
 
     /// Removes a row, returning it.
     pub fn remove(&mut self, id: RowId) -> Option<Row> {
-        self.rows.remove(&id)
+        let row = self.rows.remove(&id)?;
+        for idx in &mut self.indexes {
+            idx.remove(id, &row);
+        }
+        Some(row)
     }
 
     /// Reads a row.
@@ -96,10 +114,16 @@ impl Table {
     /// Replaces a row in place, returning the previous contents.
     pub fn replace(&mut self, id: RowId, row: Row) -> Result<Row, DbError> {
         let row = self.validate(row)?;
-        match self.rows.get_mut(&id) {
-            Some(slot) => Ok(std::mem::replace(slot, row)),
-            None => Err(DbError::Internal(format!("row {id} vanished during update"))),
+        let old = match self.rows.get_mut(&id) {
+            Some(slot) => std::mem::replace(slot, row),
+            None => return Err(DbError::Internal(format!("row {id} vanished during update"))),
+        };
+        let new = &self.rows[&id];
+        for idx in &mut self.indexes {
+            idx.remove(id, &old);
+            idx.insert(id, new);
         }
+        Ok(old)
     }
 
     /// Iterates `(id, row)` in id order.
@@ -107,9 +131,44 @@ impl Table {
         self.rows.iter().map(|(id, row)| (*id, row))
     }
 
-    /// Snapshot of all rows in id order (used by tests and result building).
-    pub fn rows_snapshot(&self) -> Vec<Row> {
-        self.rows.values().cloned().collect()
+    /// Builds a secondary index over the current rows. Errors when the name
+    /// is taken or the column does not exist.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<(), DbError> {
+        if self.index_by_name(&def.name).is_some() {
+            return Err(DbError::DuplicateIndex(def.name));
+        }
+        let pos = self.schema.column_index(&def.column).ok_or_else(|| {
+            DbError::UnknownColumn(format!("{}.{}", self.schema.name, def.column))
+        })?;
+        self.indexes.push(Index::build(def, pos, self.iter()));
+        Ok(())
+    }
+
+    /// Drops an index by name, returning its definition (for undo).
+    pub fn drop_index(&mut self, name: &str) -> Result<IndexDef, DbError> {
+        let lower = name.to_ascii_lowercase();
+        match self.indexes.iter().position(|i| i.def.name == lower) {
+            Some(pos) => Ok(self.indexes.remove(pos).def),
+            None => Err(DbError::UnknownIndex(lower)),
+        }
+    }
+
+    /// The index named `name`, if any.
+    pub fn index_by_name(&self, name: &str) -> Option<&Index> {
+        let lower = name.to_ascii_lowercase();
+        self.indexes.iter().find(|i| i.def.name == lower)
+    }
+
+    /// The first index covering `column` (preferring one that can serve
+    /// range probes when `need_range` is set).
+    pub fn index_on(&self, column: &str, need_range: bool) -> Option<&Index> {
+        let lower = column.to_ascii_lowercase();
+        self.indexes.iter().find(|i| i.def.column == lower && (!need_range || i.supports_range()))
+    }
+
+    /// All index definitions, in creation order.
+    pub fn index_defs(&self) -> Vec<&IndexDef> {
+        self.indexes.iter().map(|i| &i.def).collect()
     }
 }
 
@@ -176,6 +235,52 @@ mod tests {
         let old = t.replace(id, vec![Value::Int(1), Value::Float(11.0)]).unwrap();
         assert_eq!(old[1], Value::Float(10.0));
         assert_eq!(t.get(id).unwrap()[1], Value::Float(11.0));
+    }
+
+    #[test]
+    fn indexes_follow_every_mutation_path() {
+        use crate::schema::{IndexDef, IndexKind};
+        let mut t = table();
+        let a = t.insert(vec![Value::Int(1), Value::Float(10.0)]).unwrap();
+        t.create_index(IndexDef::new("cars_code", "code", IndexKind::BTree)).unwrap();
+        // Bulk-loaded from existing rows…
+        assert_eq!(t.index_by_name("cars_code").unwrap().probe_eq(&[Value::Int(1)]), vec![a]);
+        // …and maintained by insert/replace/remove/restore.
+        let b = t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        assert_eq!(t.index_by_name("cars_code").unwrap().probe_eq(&[Value::Int(2)]), vec![b]);
+        t.replace(b, vec![Value::Int(3), Value::Null]).unwrap();
+        let idx = t.index_by_name("cars_code").unwrap();
+        assert!(idx.probe_eq(&[Value::Int(2)]).is_empty());
+        assert_eq!(idx.probe_eq(&[Value::Int(3)]), vec![b]);
+        let row = t.remove(a).unwrap();
+        assert!(t.index_by_name("cars_code").unwrap().probe_eq(&[Value::Int(1)]).is_empty());
+        t.restore(a, row);
+        assert_eq!(t.index_by_name("cars_code").unwrap().probe_eq(&[Value::Int(1)]), vec![a]);
+    }
+
+    #[test]
+    fn index_ddl_errors() {
+        use crate::schema::{IndexDef, IndexKind};
+        let mut t = table();
+        t.create_index(IndexDef::new("i", "code", IndexKind::Hash)).unwrap();
+        assert!(matches!(
+            t.create_index(IndexDef::new("I", "rate", IndexKind::Hash)),
+            Err(DbError::DuplicateIndex(_))
+        ));
+        assert!(matches!(
+            t.create_index(IndexDef::new("j", "missing", IndexKind::Hash)),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(t.drop_index("nope"), Err(DbError::UnknownIndex(_))));
+        let def = t.drop_index("I").unwrap();
+        assert_eq!(def.name, "i");
+        assert!(t.index_defs().is_empty());
+        // Lookup by column honours the range requirement.
+        t.create_index(IndexDef::new("h", "code", IndexKind::Hash)).unwrap();
+        assert!(t.index_on("code", false).is_some());
+        assert!(t.index_on("code", true).is_none());
+        t.create_index(IndexDef::new("b", "code", IndexKind::BTree)).unwrap();
+        assert_eq!(t.index_on("code", true).unwrap().def.name, "b");
     }
 
     #[test]

@@ -110,6 +110,25 @@ pub enum UndoOp {
         /// The dropped table (schema and rows).
         table: Box<Table>,
     },
+    /// An index was created; undo drops it.
+    CreateIndex {
+        /// Database name.
+        database: String,
+        /// Table name.
+        table: String,
+        /// Index name.
+        name: String,
+    },
+    /// An index was dropped; undo rebuilds it from the definition (the
+    /// key → row map is derivable from the table contents at undo time).
+    DropIndex {
+        /// Database name.
+        database: String,
+        /// Table name.
+        table: String,
+        /// The dropped index definition.
+        def: crate::schema::IndexDef,
+    },
 }
 
 /// A live transaction: its state, its undo log, and the write locks it

@@ -243,6 +243,52 @@ impl Value {
             Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
         }
     }
+
+    /// Canonical lookup key: two values that compare `Equal` under
+    /// [`Value::sql_cmp`] always map to the same key, so hash buckets and
+    /// ordered index ranges can be probed across the Int/Float divide
+    /// (`2 = 2.0`). NULL and NaN have no key (they never equal anything).
+    ///
+    /// Distinct values may *collide* (integers beyond 2^53 fold onto the
+    /// same f64), so key-based candidate sets are supersets and callers must
+    /// re-check the original predicate.
+    pub fn canonical_key(&self) -> Option<CanonicalKey> {
+        match self {
+            Value::Null => None,
+            Value::Int(v) => Some(CanonicalKey::Num(canonical_f64_bits(*v as f64))),
+            Value::Float(v) if v.is_nan() => None,
+            Value::Float(v) => Some(CanonicalKey::Num(canonical_f64_bits(*v))),
+            Value::Str(s) => Some(CanonicalKey::Str(s.clone())),
+            Value::Bool(b) => Some(CanonicalKey::Bool(*b)),
+        }
+    }
+}
+
+/// A hashable, totally ordered key derived from a [`Value`] via
+/// [`Value::canonical_key`]. The variant order (Bool < Num < Str) matches
+/// the type-tag order of [`Value::total_cmp`], and `Num` is a
+/// monotone-sortable encoding of the f64, so `CanonicalKey`'s derived `Ord`
+/// agrees with SQL comparison wherever SQL comparison is defined.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CanonicalKey {
+    /// Boolean key.
+    Bool(bool),
+    /// Numeric key: sortable bit-encoding of the f64 image of the value.
+    Num(u64),
+    /// String key.
+    Str(String),
+}
+
+/// Maps an f64 (not NaN) to a u64 whose unsigned order matches the float
+/// order. `-0.0` collapses onto `0.0` first so the two zeros share a key.
+fn canonical_f64_bits(f: f64) -> u64 {
+    let f = if f == 0.0 { 0.0 } else { f };
+    let bits = f.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
 }
 
 fn numeric_binop(
@@ -403,6 +449,47 @@ mod tests {
     fn concat_and_display() {
         assert_eq!(Value::Str("a".into()).concat(&Value::Int(1)).unwrap(), Value::Str("a1".into()));
         assert_eq!(Value::Str("it's".into()).to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn canonical_key_matches_sql_equality() {
+        // sql_cmp-equal values share a key across the Int/Float divide.
+        assert_eq!(Value::Int(2).canonical_key(), Value::Float(2.0).canonical_key());
+        assert_eq!(Value::Float(0.0).canonical_key(), Value::Float(-0.0).canonical_key());
+        assert_ne!(Value::Int(2).canonical_key(), Value::Int(3).canonical_key());
+        // NULL and NaN never equal anything, so they have no key.
+        assert_eq!(Value::Null.canonical_key(), None);
+        assert_eq!(Value::Float(f64::NAN).canonical_key(), None);
+    }
+
+    #[test]
+    fn canonical_key_order_matches_sql_order() {
+        let vals = [
+            Value::Float(-1000.5),
+            Value::Int(-3),
+            Value::Float(-0.0),
+            Value::Int(0),
+            Value::Float(0.25),
+            Value::Int(1),
+            Value::Float(1.5),
+            Value::Int(7),
+            Value::Float(1e18),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let (ka, kb) = (a.canonical_key().unwrap(), b.canonical_key().unwrap());
+                match a.sql_cmp(b).unwrap() {
+                    Ordering::Less => assert!(ka < kb, "{a} < {b} but keys disagree"),
+                    Ordering::Equal => assert_eq!(ka, kb, "{a} = {b} but keys disagree"),
+                    Ordering::Greater => assert!(ka > kb, "{a} > {b} but keys disagree"),
+                }
+            }
+        }
+        // Variant order mirrors total_cmp's type tags: Bool < Num < Str.
+        let b = Value::Bool(true).canonical_key().unwrap();
+        let n = Value::Int(-5).canonical_key().unwrap();
+        let s = Value::Str("a".into()).canonical_key().unwrap();
+        assert!(b < n && n < s);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Property tests for the local access-path layer: selecting through an
+//! index must be observationally identical to the reference scan, no matter
+//! what mix of data, DML history, and predicates the tables have seen — and
+//! a rolled-back transaction must leave the indexes exactly as they were.
+
+use ldbs::exec::select::execute_select_with;
+use ldbs::profile::DbmsProfile;
+use ldbs::Engine;
+use msql_lang::{parse_statement, QueryBody, Select, Statement};
+use proptest::prelude::*;
+
+/// An indexable key value: ints and whole floats collide under SQL numeric
+/// equality (`2 = 2.0`), halves sit between them in range probes, and NULL
+/// never matches (equality, IN, or range).
+#[derive(Debug, Clone, Copy)]
+enum Key {
+    Int(i64),
+    Half(i64),
+    Whole(i64),
+    Null,
+}
+
+impl Key {
+    fn sql(&self) -> String {
+        match self {
+            Key::Int(k) => k.to_string(),
+            Key::Half(k) => format!("{k}.5"),
+            Key::Whole(k) => format!("{k}.0"),
+            Key::Null => "NULL".to_string(),
+        }
+    }
+}
+
+fn key_strategy() -> impl Strategy<Value = Key> {
+    let k = -3i64..4;
+    prop_oneof![
+        4 => k.clone().prop_map(Key::Int),
+        2 => k.clone().prop_map(Key::Half),
+        2 => k.prop_map(Key::Whole),
+        1 => Just(Key::Null),
+    ]
+}
+
+/// One DML statement against `t`, hitting both indexed columns so index
+/// maintenance (insert/remove/replace) is exercised on every path.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(Key, u8, i64),
+    /// Shift the BTree-indexed key of matching rows.
+    ShiftKey(Key),
+    /// Rewrite the hash-indexed category of matching rows.
+    Recat(u8, Key),
+    Delete(Key),
+}
+
+impl Op {
+    fn sql(&self) -> String {
+        match self {
+            Op::Insert(k, c, v) => format!("INSERT INTO t VALUES ({}, 'c{}', {v})", k.sql(), c % 3),
+            Op::ShiftKey(k) => format!("UPDATE t SET k = k + 1 WHERE k < {}", k.sql()),
+            Op::Recat(c, k) => format!("UPDATE t SET c = 'c{}' WHERE k = {}", c % 3, k.sql()),
+            Op::Delete(k) => format!("DELETE FROM t WHERE k >= {}", k.sql()),
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (key_strategy(), 0u8..3, -9i64..10).prop_map(|(k, c, v)| Op::Insert(k, c, v)),
+        2 => key_strategy().prop_map(Op::ShiftKey),
+        2 => (0u8..3, key_strategy()).prop_map(|(c, k)| Op::Recat(c, k)),
+        1 => key_strategy().prop_map(Op::Delete),
+    ]
+}
+
+/// A WHERE clause whose sargable conjuncts the planner may (or may not)
+/// route to the indexes: equality, IN, single-sided ranges, BETWEEN, a
+/// hash-only category probe, and a mixed two-column conjunction.
+#[derive(Debug, Clone)]
+enum Pred {
+    Eq(Key),
+    In(Vec<Key>),
+    Cmp(u8, Key),
+    Between(Key, Key),
+    Cat(u8),
+    EqAndCat(Key, u8),
+}
+
+impl Pred {
+    fn sql(&self) -> String {
+        match self {
+            Pred::Eq(k) => format!("k = {}", k.sql()),
+            Pred::In(ks) => {
+                let items: Vec<String> = ks.iter().map(Key::sql).collect();
+                format!("k IN ({})", items.join(", "))
+            }
+            Pred::Cmp(op, k) => {
+                let op = ["<", "<=", ">", ">="][usize::from(op % 4)];
+                format!("k {op} {}", k.sql())
+            }
+            Pred::Between(lo, hi) => format!("k BETWEEN {} AND {}", lo.sql(), hi.sql()),
+            Pred::Cat(c) => format!("c = 'c{}'", c % 3),
+            Pred::EqAndCat(k, c) => format!("k = {} AND c = 'c{}'", k.sql(), c % 3),
+        }
+    }
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        3 => key_strategy().prop_map(Pred::Eq),
+        2 => proptest::collection::vec(key_strategy(), 1..4).prop_map(Pred::In),
+        3 => (0u8..4, key_strategy()).prop_map(|(op, k)| Pred::Cmp(op, k)),
+        2 => (key_strategy(), key_strategy()).prop_map(|(lo, hi)| Pred::Between(lo, hi)),
+        1 => (0u8..3).prop_map(Pred::Cat),
+        2 => (key_strategy(), 0u8..3).prop_map(|(k, c)| Pred::EqAndCat(k, c)),
+    ]
+}
+
+fn parse_select(sql: &str) -> Select {
+    let Statement::Query(q) = parse_statement(sql).unwrap() else { panic!("not a query") };
+    let QueryBody::Select(sel) = q.body else { panic!("not a select") };
+    sel
+}
+
+/// A fresh engine with table `t (k FLOAT, c CHAR(8), v INT)`, a BTree index
+/// on `k` and a hash index on `c` (when `indexed`), and `rows` inserted.
+fn build(rows: &[(Key, u8, i64)], indexed: bool) -> Engine {
+    let mut e = Engine::new("svc", DbmsProfile::oracle_like());
+    e.create_database("db").unwrap();
+    e.execute("db", "CREATE TABLE t (k FLOAT, c CHAR(8), v INT)").unwrap();
+    if indexed {
+        e.execute("db", "CREATE INDEX t_k ON t (k) USING BTREE").unwrap();
+        e.execute("db", "CREATE INDEX t_c ON t (c) USING HASH").unwrap();
+    }
+    for (k, c, v) in rows {
+        e.execute("db", &format!("INSERT INTO t VALUES ({}, 'c{}', {v})", k.sql(), c % 3)).unwrap();
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Index-on equals index-off: after arbitrary DML maintained the indexes
+    /// incrementally, every sargable (or not) predicate must return exactly
+    /// the reference scan's rows, in the same order.
+    #[test]
+    fn indexed_select_matches_reference_scan(
+        rows in proptest::collection::vec((key_strategy(), 0u8..3, -9i64..10), 0..12),
+        ops in proptest::collection::vec(op_strategy(), 0..6),
+        pred in pred_strategy(),
+        residual in proptest::bool::ANY,
+    ) {
+        let mut e = build(&rows, true);
+        for op in &ops {
+            e.execute("db", &op.sql()).unwrap();
+        }
+        let mut sql = format!("SELECT k, c, v FROM t WHERE {}", pred.sql());
+        if residual {
+            sql.push_str(" AND v < 5");
+        }
+        let sel = parse_select(&sql);
+        let db = e.database("db").unwrap();
+        let fast = execute_select_with(db, &sel, &[], true).unwrap();
+        let slow = execute_select_with(db, &sel, &[], false).unwrap();
+        prop_assert_eq!(&fast.rows, &slow.rows, "probe diverged from scan for `{}`", sql);
+    }
+
+    /// Abort integrity: rolling back a transaction's DML must leave the
+    /// indexes answering every probe exactly like a never-touched engine
+    /// holding the same base rows (and like the index-off reference path).
+    #[test]
+    fn aborted_dml_restores_index_state(
+        rows in proptest::collection::vec((key_strategy(), 0u8..3, -9i64..10), 0..10),
+        ops in proptest::collection::vec(op_strategy(), 1..7),
+        pred in pred_strategy(),
+    ) {
+        let mut touched = build(&rows, true);
+        let txn = touched.begin();
+        for op in &ops {
+            touched.execute_in(txn, "db", &op.sql()).unwrap();
+        }
+        touched.rollback(txn).unwrap();
+        let pristine = build(&rows, true);
+
+        let sql = format!("SELECT k, c, v FROM t WHERE {}", pred.sql());
+        let sel = parse_select(&sql);
+        let fast = execute_select_with(touched.database("db").unwrap(), &sel, &[], true).unwrap();
+        let slow = execute_select_with(touched.database("db").unwrap(), &sel, &[], false).unwrap();
+        let fresh = execute_select_with(pristine.database("db").unwrap(), &sel, &[], true).unwrap();
+        prop_assert_eq!(&fast.rows, &slow.rows, "post-abort probe diverged from scan: `{}`", sql);
+        prop_assert_eq!(&fast.rows, &fresh.rows, "abort left stale index state: `{}`", sql);
+    }
+}

@@ -567,6 +567,37 @@ pub struct DropTable {
     pub table: TableRef,
 }
 
+/// The physical shape requested by `CREATE INDEX ... USING <method>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexMethod {
+    /// `USING HASH`: equality/`IN` probes only.
+    Hash,
+    /// `USING BTREE` (the default): equality, `IN`, and range probes.
+    Btree,
+}
+
+/// `CREATE INDEX <name> ON <table> (<column>) [USING HASH|BTREE]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    /// Index name.
+    pub name: String,
+    /// Target (possibly database-qualified) table.
+    pub table: TableRef,
+    /// The single indexed column.
+    pub column: String,
+    /// Physical shape; defaults to `Btree` when `USING` is omitted.
+    pub method: IndexMethod,
+}
+
+/// `DROP INDEX <name> ON <table>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropIndex {
+    /// Index name.
+    pub name: String,
+    /// The table the index belongs to.
+    pub table: TableRef,
+}
+
 /// One element of a USE scope: a database (or multidatabase) name with an
 /// optional alias and the ICDE'93 `VITAL` designator.
 #[derive(Debug, Clone, PartialEq)]
@@ -807,6 +838,10 @@ pub enum Statement {
     CreateTable(CreateTable),
     /// `DROP TABLE`.
     DropTable(DropTable),
+    /// `CREATE INDEX`.
+    CreateIndex(CreateIndex),
+    /// `DROP INDEX`.
+    DropIndex(DropIndex),
     /// Interdatabase trigger definition.
     CreateTrigger(CreateTrigger),
     /// `DROP TRIGGER <name>`.

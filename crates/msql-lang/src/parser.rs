@@ -588,6 +588,26 @@ impl Parser {
                 action,
             }));
         }
+        if self.eat_kw("index") {
+            let name = self.expect_ident()?;
+            self.expect_kw("on")?;
+            let table = self.parse_table_ref()?;
+            self.expect(&TokenKind::LParen)?;
+            let column = self.expect_ident()?;
+            self.expect(&TokenKind::RParen)?;
+            let method = if self.eat_kw("using") {
+                if self.eat_kw("hash") {
+                    IndexMethod::Hash
+                } else if self.eat_kw("btree") {
+                    IndexMethod::Btree
+                } else {
+                    return Err(ParseError::new("expected HASH or BTREE", self.span()));
+                }
+            } else {
+                IndexMethod::Btree
+            };
+            return Ok(Statement::CreateIndex(CreateIndex { name, table, column, method }));
+        }
         self.expect_kw("table")?;
         let table = self.parse_table_ref()?;
         self.expect(&TokenKind::LParen)?;
@@ -657,6 +677,12 @@ impl Parser {
         if self.eat_kw("trigger") {
             let name = self.expect_ident()?;
             return Ok(Statement::DropTrigger(name));
+        }
+        if self.eat_kw("index") {
+            let name = self.expect_ident()?;
+            self.expect_kw("on")?;
+            let table = self.parse_table_ref()?;
+            return Ok(Statement::DropIndex(DropIndex { name, table }));
         }
         self.expect_kw("table")?;
         let table = self.parse_table_ref()?;

@@ -50,6 +50,19 @@ fn write_statement(out: &mut String, stmt: &Statement) {
             out.push_str("DROP TABLE ");
             write_table_name(out, &dt.table);
         }
+        Statement::CreateIndex(ci) => {
+            let _ = write!(out, "CREATE INDEX {} ON ", ci.name);
+            write_table_name(out, &ci.table);
+            let method = match ci.method {
+                IndexMethod::Hash => "HASH",
+                IndexMethod::Btree => "BTREE",
+            };
+            let _ = write!(out, " ({}) USING {method}", ci.column);
+        }
+        Statement::DropIndex(di) => {
+            let _ = write!(out, "DROP INDEX {} ON ", di.name);
+            write_table_name(out, &di.table);
+        }
         Statement::CreateTrigger(t) => {
             let _ = write!(
                 out,
@@ -610,6 +623,17 @@ mod tests {
         );
         roundtrip_stmt("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars COLUMN (code, rate)");
         roundtrip_stmt("USE (continental cont) VITAL delta");
+        roundtrip_stmt("CREATE INDEX cars_code ON avis.cars (code) USING BTREE");
+        roundtrip_stmt("CREATE INDEX cars_carst ON cars (carst) USING HASH");
+        roundtrip_stmt("DROP INDEX cars_code ON avis.cars");
+    }
+
+    #[test]
+    fn create_index_defaults_to_btree() {
+        // `USING` omitted parses as BTREE; the printer always emits the
+        // method so the printed form is canonical.
+        let stmt = crate::parse_statement("CREATE INDEX i ON cars (code)").unwrap();
+        assert_eq!(print(&stmt), "CREATE INDEX i ON cars (code) USING BTREE");
     }
 
     #[test]

@@ -145,6 +145,9 @@ pub struct LamCost {
     pub bytes: u64,
     /// Logical ticks spent inside its task spans.
     pub latency: u64,
+    /// Distinct local access paths (`probe`, `scan`) reported by its spans,
+    /// in encounter order. Empty when the engine reported none.
+    pub access: Vec<String>,
 }
 
 /// How a cross-database join was executed, as annotated on its `join` span.
@@ -205,6 +208,11 @@ impl ExplainReport {
             cost.rows += num("rows");
             cost.bytes += num("bytes");
             cost.latency += node.end - node.start;
+            if let Some(access) = note("access") {
+                if !cost.access.iter().any(|a| a == access) {
+                    cost.access.push(access.to_string());
+                }
+            }
         });
         ExplainReport {
             statement: statement.into(),
@@ -231,6 +239,9 @@ impl ExplainReport {
                     "{:<12} {:>6} {:>9} {:>7} {:>7} {:>7} {:>8}\n",
                     c.database, c.tasks, c.attempts, c.faults, c.rows, c.bytes, c.latency
                 ));
+            }
+            for c in self.costs.iter().filter(|c| !c.access.is_empty()) {
+                out.push_str(&format!("access path [{}]: {}\n", c.database, c.access.join("+")));
             }
         }
         if let Some(j) = &self.join {
@@ -261,6 +272,7 @@ mod tests {
             task.note("bytes", 64);
             task.note("attempts", 3);
             task.note("faults", 2);
+            task.note("access", "probe");
             drop(task);
         }
         SpanTree::from_records(&tracer.records())
@@ -293,9 +305,11 @@ mod tests {
         assert_eq!(avis.faults, 2);
         assert_eq!(avis.rows, 2);
         assert_eq!(avis.bytes, 64);
+        assert_eq!(avis.access, vec!["probe".to_string()]);
         let text = report.render();
         assert!(text.contains("task:t1"));
         assert!(text.contains("avis"));
+        assert!(text.contains("access path [avis]: probe"));
         assert!(report.join.is_none(), "no join span, no join summary");
     }
 

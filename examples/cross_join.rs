@@ -7,7 +7,9 @@
 //! partials at the coordinator in one batched round trip, and hash-joins
 //! the two-table Q' there. EXPLAIN names the strategy and the measured
 //! bytes the reduction saved; turning `Federation::semijoin` off shows the
-//! same rows shipping the full partials instead.
+//! same rows shipping the full partials instead. Creating a secondary index
+//! on the reduced side's join column then flips its partial from a full
+//! scan to an index probe (`access=probe`), with identical rows.
 //!
 //! ```sh
 //! cargo run --example cross_join
@@ -76,4 +78,24 @@ fn main() {
     assert_eq!(rows.rows, parallel.rows, "parallel dispatch must agree with serial");
     println!();
     println!("parallel dispatch returned the same {} row(s)", parallel.rows.len());
+
+    // Index the column delta receives the shipped IN (…) filter on: the
+    // reduced partial's access path flips from scan to probe.
+    println!();
+    println!("-- EXPLAIN again, after CREATE INDEX on the shipped join column --");
+    let mut indexed = paper_federation();
+    indexed.parallel = false;
+    indexed.execute("USE continental delta").expect("scope");
+    indexed
+        .execute("CREATE INDEX flight_source ON delta.flight (source) USING HASH")
+        .expect("CREATE INDEX");
+    let report = indexed
+        .execute(&format!("EXPLAIN {QUERY}"))
+        .expect("EXPLAIN indexed join")
+        .into_explain()
+        .expect("an explain report");
+    println!("{}", report.render());
+    let probed = indexed.execute(QUERY).expect("join").into_table().expect("a table");
+    assert_eq!(rows.rows, probed.rows, "the index probe must not change the result");
+    println!("indexed probe returned the same {} row(s)", probed.rows.len());
 }

@@ -192,3 +192,43 @@ fn explain_q1_report_is_golden() {
     });
     assert_eq!(first, want, "EXPLAIN golden drift — regenerate with UPDATE_GOLDEN=1 if intended");
 }
+
+#[test]
+fn explain_indexed_join_report_is_golden() {
+    // With a hash index on the reduced side's join column, the shipped
+    // semi-join IN filter turns into an index probe; EXPLAIN pins both the
+    // `access=probe` span note and the per-database access-path line.
+    let render = |_: ()| {
+        let mut fed = paper_federation();
+        fed.parallel = false;
+        fed.execute("CREATE INDEX flight_source ON delta.flight (source) USING HASH")
+            .expect("CREATE INDEX on delta.flight");
+        fed.execute(&format!("EXPLAIN {CROSS_DB_JOIN}"))
+            .expect("EXPLAIN cross-db join")
+            .into_explain()
+            .expect("an explain report")
+            .render()
+    };
+    let first = render(());
+    let second = render(());
+    assert_eq!(first, second, "EXPLAIN output differs between two identical runs");
+    assert!(
+        first.contains("access=probe"),
+        "the semi-join-reduced subquery should probe the index:\n{first}"
+    );
+    assert!(
+        first.contains("access path [delta]: probe"),
+        "the cost table should carry delta's access-path line:\n{first}"
+    );
+
+    let path = golden_path("explain_indexed_join");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &first).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing golden file {path:?} — generate it with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(first, want, "EXPLAIN golden drift — regenerate with UPDATE_GOLDEN=1 if intended");
+}
