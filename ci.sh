@@ -40,10 +40,26 @@ echo "== access-path equivalence =="
 # already ran it; this names it so a failure is unmistakable).
 cargo test -q -p ldbs --test index_equivalence
 
+echo "== lock-manager stress matrix =="
+# The seeded lock/deadlock stress schedules under increasing thread counts:
+# invariants (no lost locks, no lost updates, every cycle broken) must hold
+# whether contention is light or heavily oversubscribed on this host.
+for n in 2 4 8; do
+    echo "--  $n worker threads"
+    LOCK_STRESS_THREADS=$n cargo test -q -p ldbs --test lock_stress
+done
+
+echo "== concurrency oracle =="
+# Named re-run of the serializability check: 120 seeded two-session
+# schedules, each final state must equal some serial statement order (the
+# workspace pass above already ran it; a failure here is unmistakable).
+cargo test -q --test concurrency_oracle
+
 echo "== bench smoke (--test mode) =="
 # Every benchmark payload must still execute; no timing sweep. This includes
-# b9_cross_join and b10_local_index, whose smoke passes also refresh
-# BENCH_cross_join.json and BENCH_local_index.json.
+# b9_cross_join, b10_local_index and b11_concurrency, whose smoke passes
+# also refresh BENCH_cross_join.json, BENCH_local_index.json and
+# BENCH_concurrency.json.
 cargo bench --workspace -- --test
 
 echo "CI OK"

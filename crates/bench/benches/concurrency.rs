@@ -1,0 +1,143 @@
+//! Experiment B11 — multi-session federation throughput.
+//!
+//! N independent sessions on one shared federation core each drive a mixed
+//! statement stream — two multidatabase selects (Q1-shaped) and one
+//! non-vital multidatabase update (Q2-shaped, autocommitted per site) — and
+//! we measure aggregate statements/second plus per-statement p50/p99
+//! latency. The network carries a uniform 1 ms link latency, the regime the
+//! paper's federation actually lives in: a single session spends most of a
+//! statement waiting on LAM round trips, so concurrent sessions overlap
+//! their waiting and aggregate throughput rises with session count. The
+//! acceptance bar is ≥2x qps at 4 sessions vs 1. (With a zero-latency
+//! fabric on a single-core host the workload is pure CPU and qps is flat by
+//! construction — that configuration measures the scheduler, not the
+//! federation.)
+//!
+//! Vital (2PC) updates are deliberately absent from the mix: under
+//! table-granular locks two concurrent vital updates on the same tables
+//! form a cross-engine hold-and-wait that only the `lock_wait_timeout`
+//! backstop breaks, which measures the timeout, not the federation.
+//!
+//! `write_summary` records the 1/2/4-session sweep to
+//! `BENCH_concurrency.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs::fixtures::{paper_federation_with, FederationProfiles};
+use mdbs::Federation;
+use netsim::{LatencyModel, Network};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One-way link flight time for every hop in the simulated fabric.
+const LINK_LATENCY: Duration = Duration::from_millis(1);
+
+/// The paper federation on a fabric with real flight time.
+fn bench_federation() -> Federation {
+    let net = Network::new();
+    net.set_latency(LatencyModel::uniform(LINK_LATENCY));
+    paper_federation_with(net, FederationProfiles::default())
+}
+
+/// The mixed per-session statement stream. Every statement carries its own
+/// `USE` scope, so sessions need no setup and never share scope state.
+const MIX: [&str; 4] = [
+    // Q1-shaped: three heterogeneous flight databases, outer-joined columns.
+    "USE continental delta united
+     SELECT day, ~rate% FROM flight% WHERE sour% = 'Houston'",
+    // Q1 §2: two rental databases through a LET alias table.
+    "USE avis national
+     LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+     SELECT %code, type, ~rate FROM car WHERE status = 'available'",
+    // Same shape, different predicate selectivity.
+    "USE continental delta united
+     SELECT day, ~rate% FROM flight% WHERE dest% = 'San Antonio'",
+    // Q2-shaped non-vital update: each site runs and commits independently.
+    "USE continental delta united
+     UPDATE flight% SET rate% = rate% + 1
+     WHERE sour% = 'Houston' AND dest% = 'San Antonio'",
+];
+
+/// Runs `iters` passes of the mix on each of `sessions` concurrent session
+/// threads against `fed`. Returns (wall seconds, per-statement micros).
+fn drive(fed: &Federation, sessions: usize, iters: usize) -> (f64, Vec<u64>) {
+    let start = Instant::now();
+    let samples = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                let mut session = fed.session();
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(iters * MIX.len());
+                    for _ in 0..iters {
+                        for stmt in MIX {
+                            let t = Instant::now();
+                            black_box(session.execute(stmt).expect("statement failed"));
+                            lat.push(t.elapsed().as_micros() as u64);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("session thread panicked"));
+        }
+        all
+    });
+    (start.elapsed().as_secs_f64(), samples)
+}
+
+fn bench_session_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b11_concurrency");
+    group.sample_size(10);
+    for sessions in [1usize, 4] {
+        let fed = bench_federation();
+        group.bench_with_input(BenchmarkId::new("mix", sessions), &sessions, |b, &n| {
+            b.iter(|| drive(&fed, n, 2));
+        });
+    }
+    group.finish();
+}
+
+/// The recorded sweep: fresh federation per session count, fixed per-session
+/// work, aggregate qps and latency quantiles.
+fn write_summary(_c: &mut Criterion) {
+    const ITERS: usize = 60;
+    let mut rows = Vec::new();
+    let mut qps_by_sessions = Vec::new();
+    for sessions in [1usize, 2, 4] {
+        let fed = bench_federation();
+        // Warm the catalogs and code paths once.
+        drive(&fed, sessions, 2);
+        let (wall, mut lat) = drive(&fed, sessions, ITERS);
+        lat.sort_unstable();
+        let statements = lat.len();
+        let qps = statements as f64 / wall;
+        qps_by_sessions.push((sessions, qps));
+        rows.push(format!(
+            "    {{\"sessions\": {sessions}, \"statements\": {statements}, \
+             \"wall_s\": {wall:.3}, \"qps\": {qps:.0}, \"p50_us\": {}, \"p99_us\": {}}}",
+            obs::quantile(&lat, 0.5),
+            obs::quantile(&lat, 0.99),
+        ));
+    }
+    let qps1 = qps_by_sessions[0].1;
+    let qps4 = qps_by_sessions.last().unwrap().1;
+    let json = format!(
+        "{{\n  \"bench\": \"b11_concurrency\",\n  \"mix\": \"3 multidatabase selects + 1 \
+         non-vital multidatabase update per pass\",\n  \"sweep\": [\n{}\n  ],\n  \
+         \"speedup_4_vs_1\": {:.2}\n}}\n",
+        rows.join(",\n"),
+        qps4 / qps1
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_concurrency.json");
+    std::fs::write(path, &json).unwrap();
+    println!("b11_concurrency: summary written to {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_session_mix, write_summary
+}
+criterion_main!(benches);

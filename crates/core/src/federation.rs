@@ -1,4 +1,18 @@
 //! The public facade: a loosely coupled federation executing extended MSQL.
+//!
+//! Since the concurrency split, the facade is layered the way the paper's
+//! server is ("the server handles multiple user sessions"):
+//!
+//! * [`FederationCore`] — the shared, thread-safe substrate: the network,
+//!   both dictionaries, the LAM handles, the trigger registry, the logical
+//!   clock and the metrics registry. One per federation, behind an `Arc`.
+//! * [`Session`] — one user's execution context: scope, deferred-commit
+//!   global transaction, per-session accounting, tracing and WAL. Cheap to
+//!   create ([`Session::session`]), `Send`, and independent — N threads run
+//!   N sessions against the same core at once.
+//! * [`Federation`] — the primary session plus ownership of the core, kept
+//!   as the single-user entry point. It derefs to its [`Session`], so all
+//!   pre-split code compiles unchanged.
 
 use crate::error::MdbsError;
 use crate::executor::{DbOutcome, Executor, MsqlOutcome, UpdateReport};
@@ -26,10 +40,18 @@ use obs::{
     labeled, ExplainReport, LogicalClock, MetricsRegistry, MetricsSnapshot, Span, SpanCtx,
     SpanTree, Tracer,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How many times a session transparently re-runs a statement whose every
+/// subtransaction aborted as a deadlock victim. Victims are chosen so the
+/// surviving transaction makes progress, so a bounded retry almost always
+/// succeeds; past the bound the retriable error surfaces to the caller.
+const DEADLOCK_RETRIES: u32 = 4;
 
 /// One registered interdatabase trigger.
 #[derive(Debug, Clone)]
@@ -41,23 +63,39 @@ struct TriggerDef {
     action: Statement,
 }
 
-/// A running federation: incorporated services (each a LAM thread wrapping a
-/// local engine), the two dictionaries, and a session scope.
-pub struct Federation {
+/// The shared substrate of a federation: everything that is one-per-server
+/// rather than one-per-user. All mutable pieces sit behind their own locks,
+/// so concurrent sessions only serialize on catalog *changes*, never on
+/// statement execution.
+pub struct FederationCore {
     net: Network,
-    ad: AuxiliaryDirectory,
-    gdd: GlobalDataDictionary,
+    ad: RwLock<AuxiliaryDirectory>,
+    gdd: RwLock<GlobalDataDictionary>,
+    lams: RwLock<HashMap<String, LamHandle>>,
+    /// Interdatabase triggers (MSQL §2), fired after committed
+    /// modifications in immediate (non-deferred) mode.
+    triggers: RwLock<Vec<TriggerDef>>,
+    /// Deterministic logical clock, shared with the network probe and every
+    /// statement tracer (no wall time: identical runs read identical ticks).
+    clock: LogicalClock,
+    /// Shared metrics registry: the network probe, LAM clients and the
+    /// executor all write here; [`Session::metrics`] reads it back.
+    metrics: MetricsRegistry,
+    /// Next session id (the primary session is 0).
+    session_seq: AtomicU64,
+}
+
+/// One user session on a federation: private scope, deferred-commit state,
+/// accounting, tracing and WAL, plus an `Arc` to the shared core. `Send`, so
+/// sessions move to worker threads; create them with [`Session::session`].
+pub struct Session {
     /// Pending vital subqueries in deferred-commit mode. Declared before
-    /// `lams` so a drop-time rollback still finds live LAM threads.
+    /// `core` so a drop-time rollback still finds live LAM threads.
     gtxn: GlobalTransaction,
     /// §3.2.2 deferred-commit mode: vital subqueries stay prepared across
     /// statements until a synchronization point.
     deferred: bool,
-    lams: HashMap<String, LamHandle>,
     scope: SessionScope,
-    /// Interdatabase triggers (MSQL §2), fired after committed
-    /// modifications in immediate (non-deferred) mode.
-    triggers: Vec<TriggerDef>,
     /// Recursion guard for cascading triggers.
     trigger_depth: u32,
     /// Run DOL task batches in parallel (default true).
@@ -83,12 +121,6 @@ pub struct Federation {
     pub semijoin_cap: usize,
     /// Session-level communication accounting.
     stats: SharedExecStats,
-    /// Deterministic logical clock, shared with the network probe and every
-    /// statement tracer (no wall time: identical runs read identical ticks).
-    clock: LogicalClock,
-    /// Shared metrics registry: the network probe, LAM clients and the
-    /// executor all write here; [`Federation::metrics`] reads it back.
-    metrics: MetricsRegistry,
     /// The tracer of the statement currently executing (None between
     /// statements; trigger actions reuse the active tracer).
     trace: Option<Tracer>,
@@ -97,11 +129,40 @@ pub struct Federation {
     trace_ctx: SpanCtx,
     /// Raw span forest of the most recently completed top-level statement.
     last_trace: Option<SpanTree>,
-    /// Durable multitransaction log (None until [`Federation::enable_wal`]
-    /// or [`Federation::set_wal`]). When present, the executor records every
-    /// settle-bearing statement's lifecycle and [`Federation::recover`] can
+    /// Durable multitransaction log (None until [`Session::enable_wal`]
+    /// or [`Session::set_wal`]). When present, the executor records every
+    /// settle-bearing statement's lifecycle and [`Session::recover`] can
     /// finish statements a crashed coordinator left behind.
     wal: Option<Wal>,
+    /// This session's id (0 = the primary session; span notes and labeled
+    /// metrics carry it for every spawned session).
+    id: u64,
+    core: Arc<FederationCore>,
+}
+
+// Sessions are handed to worker threads; keep that a compile-time guarantee.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+};
+
+/// A running federation: the shared core plus its primary session. Derefs to
+/// [`Session`], so single-user code uses it exactly as before the split.
+pub struct Federation {
+    session: Session,
+}
+
+impl Deref for Federation {
+    type Target = Session;
+    fn deref(&self) -> &Session {
+        &self.session
+    }
+}
+
+impl DerefMut for Federation {
+    fn deref_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
 }
 
 /// Collapses statement text to a deterministic one-line span label.
@@ -133,15 +194,26 @@ impl Federation {
         let clock = LogicalClock::new();
         let metrics = MetricsRegistry::new();
         net.attach_probe(clock.clone(), metrics.clone());
-        Federation {
+        let core = Arc::new(FederationCore {
             net,
-            ad: AuxiliaryDirectory::new(),
-            gdd: GlobalDataDictionary::new(),
+            ad: RwLock::new(AuxiliaryDirectory::new()),
+            gdd: RwLock::new(GlobalDataDictionary::new()),
+            lams: RwLock::new(HashMap::new()),
+            triggers: RwLock::new(Vec::new()),
+            clock,
+            metrics,
+            session_seq: AtomicU64::new(1),
+        });
+        Federation { session: Session::with_core(core, 0) }
+    }
+}
+
+impl Session {
+    fn with_core(core: Arc<FederationCore>, id: u64) -> Session {
+        Session {
             gtxn: GlobalTransaction::default(),
             deferred: false,
-            lams: HashMap::new(),
             scope: SessionScope::new(),
-            triggers: Vec::new(),
             trigger_depth: 0,
             parallel: true,
             timeout: Duration::from_secs(10),
@@ -151,20 +223,42 @@ impl Federation {
             semijoin: true,
             semijoin_cap: 256,
             stats: shared_stats(),
-            clock,
-            metrics,
             trace: None,
             trace_ctx: SpanCtx::disabled(),
             last_trace: None,
             wal: None,
+            id,
+            core,
         }
+    }
+
+    /// Opens a new independent session on the same federation core: fresh
+    /// scope, fresh accounting, no WAL, configuration copied from this
+    /// session. The handle is `Send` — move it to a worker thread and run
+    /// statements concurrently with every other session.
+    pub fn session(&self) -> Session {
+        let id = self.core.session_seq.fetch_add(1, Ordering::Relaxed);
+        let mut s = Session::with_core(Arc::clone(&self.core), id);
+        s.parallel = self.parallel;
+        s.timeout = self.timeout;
+        s.retry = self.retry.clone();
+        s.lam_config = self.lam_config.clone();
+        s.tolerate_unreachable = self.tolerate_unreachable;
+        s.semijoin = self.semijoin;
+        s.semijoin_cap = self.semijoin_cap;
+        s
+    }
+
+    /// This session's id (0 for the federation's primary session).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The federation's logical clock. It advances on observable events only
     /// (span open/close, simulated network traffic), so latencies read off it
     /// are deterministic.
     pub fn clock(&self) -> &LogicalClock {
-        &self.clock
+        &self.core.clock
     }
 
     /// Observability snapshot: every counter/gauge/histogram accumulated so
@@ -172,10 +266,10 @@ impl Federation {
     /// latencies), with each service's local engine statistics scraped into
     /// `ldbs.*{service=...}` gauges at call time.
     pub fn metrics(&self) -> MetricsSnapshot {
-        for (service, lam) in &self.lams {
+        for (service, lam) in self.core.lams.read().iter() {
             let stats = lam.engine.lock().stats();
             let gauge = |name: &str, value: u64| {
-                self.metrics.gauge_set(&labeled(name, "service", service), value as i64);
+                self.core.metrics.gauge_set(&labeled(name, "service", service), value as i64);
             };
             gauge("ldbs.statements", stats.statements);
             gauge("ldbs.commits", stats.commits);
@@ -186,13 +280,13 @@ impl Federation {
             gauge("lam.served", lam.stats.served.load(std::sync::atomic::Ordering::Relaxed));
             gauge("lam.replayed", lam.stats.replayed.load(std::sync::atomic::Ordering::Relaxed));
         }
-        self.metrics.snapshot()
+        self.core.metrics.snapshot()
     }
 
     /// The live metrics registry (to reset between phases or to share with
     /// external components).
     pub fn metrics_registry(&self) -> &MetricsRegistry {
-        &self.metrics
+        &self.core.metrics
     }
 
     /// The normalized span tree of the most recently completed top-level
@@ -213,17 +307,18 @@ impl Federation {
 
     /// The shared network (to install latency models or read traffic stats).
     pub fn network(&self) -> &Network {
-        &self.net
+        &self.core.net
     }
 
-    /// The Global Data Dictionary.
-    pub fn gdd(&self) -> &GlobalDataDictionary {
-        &self.gdd
+    /// The Global Data Dictionary (a read guard: concurrent sessions read
+    /// in parallel, catalog changes briefly exclude them).
+    pub fn gdd(&self) -> RwLockReadGuard<'_, GlobalDataDictionary> {
+        self.core.gdd.read()
     }
 
-    /// The Auxiliary Directory.
-    pub fn ad(&self) -> &AuxiliaryDirectory {
-        &self.ad
+    /// The Auxiliary Directory (a read guard).
+    pub fn ad(&self) -> RwLockReadGuard<'_, AuxiliaryDirectory> {
+        self.core.ad.read()
     }
 
     /// The current session scope.
@@ -234,7 +329,7 @@ impl Federation {
     /// The shared engine of a service (tests and fixtures seed data and
     /// inject failures through this).
     pub fn engine(&self, service: &str) -> Option<Arc<Mutex<Engine>>> {
-        self.lams.get(&service.to_ascii_lowercase()).map(|l| Arc::clone(&l.engine))
+        self.core.lams.read().get(&service.to_ascii_lowercase()).map(|l| Arc::clone(&l.engine))
     }
 
     /// Registers a service: spawns its LAM at `site` and records an
@@ -248,12 +343,13 @@ impl Federation {
         engine: Engine,
     ) -> Result<(), MdbsError> {
         let service = service.to_ascii_lowercase();
-        if self.lams.contains_key(&service) {
+        let mut lams = self.core.lams.write();
+        if lams.contains_key(&service) {
             return Err(MdbsError::Catalog(format!("service `{service}` already added")));
         }
         let profile = engine.profile.clone();
-        let lam = spawn_lam_with(&self.net, &service, site, engine, self.lam_config.clone())?;
-        self.ad.insert(ServiceEntry {
+        let lam = spawn_lam_with(&self.core.net, &service, site, engine, self.lam_config.clone())?;
+        self.core.ad.write().insert(ServiceEntry {
             name: service.clone(),
             site: site.to_string(),
             multi_database: profile.multi_database,
@@ -262,31 +358,34 @@ impl Federation {
             insert_mode: Some(profile.capability_for(StatementClass::Insert)),
             drop_mode: Some(profile.capability_for(StatementClass::Drop)),
         });
-        self.lams.insert(service, lam);
+        lams.insert(service, lam);
         Ok(())
     }
 
     /// Creates a database on a service and registers it in the GDD.
     pub fn create_database(&mut self, service: &str, database: &str) -> Result<(), MdbsError> {
         let service = service.to_ascii_lowercase();
-        let lam = self
-            .lams
+        let lams = self.core.lams.read();
+        let lam = lams
             .get(&service)
             .ok_or_else(|| MdbsError::Catalog(format!("unknown service `{service}`")))?;
         lam.engine
             .lock()
             .create_database(database)
             .map_err(|e| MdbsError::Local { service: service.clone(), message: e.to_string() })?;
-        self.gdd.register_database(database, &service)?;
+        drop(lams);
+        self.core.gdd.write().register_database(database, &service)?;
         Ok(())
     }
 
     /// Builds the `database → route` map the planner and executor need.
     fn routes(&self) -> Result<HashMap<String, DbRoute>, MdbsError> {
+        let gdd = self.core.gdd.read();
+        let ad = self.core.ad.read();
         let mut out = HashMap::new();
-        for db in self.gdd.database_names() {
-            let service = self.gdd.service_of(db)?;
-            let entry = self.ad.service(service)?;
+        for db in gdd.database_names() {
+            let service = gdd.service_of(db)?;
+            let entry = ad.service(service)?;
             out.insert(
                 db.to_string(),
                 DbRoute {
@@ -301,7 +400,7 @@ impl Federation {
 
     fn executor(&self) -> Executor {
         Executor {
-            net: self.net.clone(),
+            net: self.core.net.clone(),
             parallel: self.parallel,
             timeout: self.timeout,
             retry: self.retry.clone(),
@@ -310,15 +409,15 @@ impl Federation {
             semijoin: self.semijoin,
             semijoin_cap: self.semijoin_cap,
             trace: self.trace_ctx.clone(),
-            metrics: self.metrics.clone(),
+            metrics: self.core.metrics.clone(),
             wal: self.wal.clone(),
         }
     }
 
     /// Enables an in-memory write-ahead log and returns its handle. The
-    /// handle is the log's "disk": it stays valid after this federation (or
+    /// handle is the log's "disk": it stays valid after this session (or
     /// a statement running on it) dies, so a successor coordinator can be
-    /// built around the same log and [`Federation::recover`] from it.
+    /// built around the same log and [`Session::recover`] from it.
     pub fn enable_wal(&mut self) -> Wal {
         let wal = Wal::in_memory();
         self.set_wal(wal.clone());
@@ -328,7 +427,7 @@ impl Federation {
     /// Installs an existing log — file-backed, or carried over from a
     /// crashed coordinator.
     pub fn set_wal(&mut self, wal: Wal) {
-        wal.attach_metrics(self.metrics.clone());
+        wal.attach_metrics(self.core.metrics.clone());
         self.wal = Some(wal);
     }
 
@@ -348,16 +447,16 @@ impl Federation {
         let Some(wal) = self.wal.clone() else {
             return Ok(RecoveryReport::default());
         };
-        let tracer = Tracer::new(self.clock.clone());
+        let tracer = Tracer::new(self.core.clock.clone());
         let root = tracer.root("recovery");
-        let started = self.clock.now();
-        self.metrics.counter_add("recovery.runs", 1);
+        let started = self.core.clock.now();
+        self.core.metrics.counter_add("recovery.runs", 1);
         let result = self.recover_images(&wal, &root);
         if let Err(e) = &result {
             root.note("error", text_note(&e.to_string()));
         }
         root.end();
-        self.metrics.observe("phase.recovery", self.clock.now().saturating_sub(started));
+        self.core.metrics.observe("phase.recovery", self.core.clock.now().saturating_sub(started));
         self.last_trace = Some(SpanTree::from_records(&tracer.records()));
         result
     }
@@ -370,7 +469,7 @@ impl Federation {
             }
             let span = root.child("recover-mtx");
             span.note("mtx", image.mtx_id.to_string());
-            self.metrics.counter_add("recovery.mtx", 1);
+            self.core.metrics.counter_add("recovery.mtx", 1);
             // The decision rules the settle phase. No decision record means
             // the coordinator died first: presume abort (§3.4 semantics —
             // prepared tasks roll back, autocommitted ones are compensated).
@@ -385,7 +484,7 @@ impl Federation {
                 }
                 None => {
                     span.note("decision", "presumed-abort");
-                    self.metrics.counter_add("recovery.presumed_abort", 1);
+                    self.core.metrics.counter_add("recovery.presumed_abort", 1);
                     (Vec::new(), image.abort_compensate.clone(), None)
                 }
             };
@@ -409,13 +508,13 @@ impl Federation {
                     let client = self.connect(&task.site, &task.database)?;
                     client.resolve_task_outcome(&task.name, should_commit, &tspan)?
                 };
-                self.metrics.counter_add("recovery.resolved", 1);
+                self.core.metrics.counter_add("recovery.resolved", 1);
                 // An autocommitted task that the decision excludes is undone
                 // semantically (§3.3). Idempotent at the LAM ('K' memory).
                 let code = if code == 'C' && !should_commit && compensate_set.contains(&task.name) {
                     let client = self.connect(&task.site, &task.database)?;
                     client.compensate_commands(&task.name, &task.compensation, &tspan)?;
-                    self.metrics.counter_add("recovery.compensated", 1);
+                    self.core.metrics.counter_add("recovery.compensated", 1);
                     'K'
                 } else {
                     code
@@ -447,14 +546,14 @@ impl Federation {
     /// federation's retry policy and accounting.
     fn connect(&self, site: &str, database: &str) -> Result<LamClient, MdbsError> {
         let mut client = LamClient::connect_with(
-            &self.net,
+            &self.core.net,
             site,
             database,
             self.timeout,
             self.retry.clone(),
             SharedExecStats::clone(&self.stats),
         )?;
-        client.set_metrics(self.metrics.clone());
+        client.set_metrics(self.core.metrics.clone());
         Ok(client)
     }
 
@@ -465,11 +564,11 @@ impl Federation {
     pub fn execute_dol(&mut self, program: &str) -> Result<dol::DolOutcome, MdbsError> {
         let parsed = dol::parse_program(program)?;
         let factory = LamFactory {
-            net: self.net.clone(),
+            net: self.core.net.clone(),
             timeout: self.timeout,
             retry: self.retry.clone(),
             stats: SharedExecStats::clone(&self.stats),
-            metrics: self.metrics.clone(),
+            metrics: self.core.metrics.clone(),
             tolerate_unreachable: self.tolerate_unreachable,
         };
         let mut engine = if self.parallel {
@@ -499,38 +598,69 @@ impl Federation {
         self.gtxn.len()
     }
 
+    /// True when the statement's result is an all-aborted deadlock outcome
+    /// the session may transparently re-run: nothing committed, nothing is
+    /// held open, and at least one subtransaction was a deadlock victim.
+    fn retriable_deadlock(&self, result: &Result<MsqlOutcome, MdbsError>) -> bool {
+        if self.deferred || self.trigger_depth > 0 {
+            return false;
+        }
+        match result {
+            Err(e) => e.to_string().contains("deadlock victim"),
+            Ok(MsqlOutcome::Update(r)) => {
+                !r.success
+                    && r.outcomes.iter().all(|o| o.status != dol::TaskStatus::Committed)
+                    && r.outcomes
+                        .iter()
+                        .any(|o| o.error.as_deref().is_some_and(|e| e.contains("deadlock victim")))
+            }
+            _ => false,
+        }
+    }
+
     /// Parses and executes one MSQL statement. The parse itself runs under
     /// the statement's root span, so traces show the full lifecycle.
     pub fn execute(&mut self, msql: &str) -> Result<MsqlOutcome, MdbsError> {
-        self.traced_statement(text_note(msql), |fed, span| {
-            let started = fed.clock.now();
-            let parse = span.child("parse");
-            let stmt = match msql_lang::parse_statement(msql) {
-                Ok(stmt) => stmt,
-                Err(e) => {
-                    parse.note("error", "syntax");
-                    return Err(MdbsError::Parse(e.display_with_source(msql)));
-                }
-            };
-            parse.end();
-            fed.metrics.observe("phase.parse", fed.clock.now().saturating_sub(started));
-            fed.dispatch_statement(&stmt, span)
-        })
+        let mut attempts = 0;
+        loop {
+            let result = self.traced_statement(text_note(msql), |fed, span| {
+                let started = fed.core.clock.now();
+                let parse = span.child("parse");
+                let stmt = match msql_lang::parse_statement(msql) {
+                    Ok(stmt) => stmt,
+                    Err(e) => {
+                        parse.note("error", "syntax");
+                        return Err(MdbsError::Parse(e.display_with_source(msql)));
+                    }
+                };
+                parse.end();
+                fed.core
+                    .metrics
+                    .observe("phase.parse", fed.core.clock.now().saturating_sub(started));
+                fed.dispatch_statement(&stmt, span)
+            });
+            if attempts < DEADLOCK_RETRIES && self.retriable_deadlock(&result) {
+                attempts += 1;
+                self.core.metrics.counter_add("session.deadlock_retries", 1);
+                continue;
+            }
+            return result;
+        }
     }
 
     /// Runs `f` under a per-statement root span. A top-level call starts a
     /// fresh tracer and captures the finished span forest into
-    /// [`Federation::last_trace`]; a nested call (a trigger action, an
+    /// [`Session::last_trace`]; a nested call (a trigger action, an
     /// EXPLAIN target) hangs a `statement` span under the active context.
     fn traced_statement<F>(&mut self, label: String, f: F) -> Result<MsqlOutcome, MdbsError>
     where
-        F: FnOnce(&mut Federation, &Span) -> Result<MsqlOutcome, MdbsError>,
+        F: FnOnce(&mut Session, &Span) -> Result<MsqlOutcome, MdbsError>,
     {
         let nested = self.trace.is_some();
         let span = if nested {
             self.trace_ctx.child("statement")
         } else {
-            let tracer = Tracer::new(self.clock.clone());
+            let tracer = Tracer::new(self.core.clock.clone());
             let root = tracer.root("statement");
             self.trace = Some(tracer);
             root
@@ -538,15 +668,25 @@ impl Federation {
         if !label.is_empty() {
             span.note("text", label);
         }
+        // Label spawned sessions' spans and metrics; the primary session
+        // (id 0) stays unlabeled so single-user traces are unchanged.
+        if self.id != 0 {
+            span.note("session", self.id.to_string());
+        }
         let prev_ctx = std::mem::replace(&mut self.trace_ctx, span.ctx());
-        let started = self.clock.now();
+        let started = self.core.clock.now();
         let result = f(self, &span);
         self.trace_ctx = prev_ctx;
         if let Err(e) = &result {
             span.note("error", text_note(&e.to_string()));
         }
         span.end();
-        self.metrics.observe("phase.statement", self.clock.now().saturating_sub(started));
+        self.core.metrics.observe("phase.statement", self.core.clock.now().saturating_sub(started));
+        if self.id != 0 {
+            self.core
+                .metrics
+                .counter_add(&labeled("session.statements", "session", &self.id.to_string()), 1);
+        }
         if !nested {
             if let Some(tracer) = self.trace.take() {
                 self.last_trace = Some(SpanTree::from_records(&tracer.records()));
@@ -582,9 +722,18 @@ impl Federation {
         if let Statement::Explain(inner) = stmt {
             return self.explain(inner);
         }
-        self.traced_statement(text_note(&print(stmt)), |fed, span| {
-            fed.dispatch_statement(stmt, span)
-        })
+        let mut attempts = 0;
+        loop {
+            let result = self.traced_statement(text_note(&print(stmt)), |fed, span| {
+                fed.dispatch_statement(stmt, span)
+            });
+            if attempts < DEADLOCK_RETRIES && self.retriable_deadlock(&result) {
+                attempts += 1;
+                self.core.metrics.counter_add("session.deadlock_retries", 1);
+                continue;
+            }
+            return result;
+        }
     }
 
     /// The statement dispatcher proper, running under `span`.
@@ -624,17 +773,17 @@ impl Federation {
                 )))
             }
             Statement::Incorporate(inc) => {
-                let entry = self.ad.incorporate(inc);
+                let entry = self.core.ad.write().incorporate(inc).clone();
                 Ok(MsqlOutcome::Admin(format!(
                     "service `{}` incorporated at site `{}`",
                     entry.name, entry.site
                 )))
             }
             Statement::Import(imp) => {
-                let entry = self.ad.service(&imp.service)?.clone();
+                let entry = self.core.ad.read().service(&imp.service)?.clone();
                 let client = self.connect(&entry.site, &imp.database)?;
                 let schema = client.fetch_schema()?;
-                let imported = apply_import(&mut self.gdd, imp, &schema)?;
+                let imported = apply_import(&mut self.core.gdd.write(), imp, &schema)?;
                 Ok(MsqlOutcome::Admin(format!(
                     "imported {} object(s) from `{}`: {}",
                     imported.len(),
@@ -667,10 +816,11 @@ impl Federation {
                 ))
             }
             Statement::CreateTrigger(t) => {
-                if self.triggers.iter().any(|existing| existing.name == t.name) {
+                let mut triggers = self.core.triggers.write();
+                if triggers.iter().any(|existing| existing.name == t.name) {
                     return Err(MdbsError::Catalog(format!("trigger `{}` already exists", t.name)));
                 }
-                self.triggers.push(TriggerDef {
+                triggers.push(TriggerDef {
                     name: t.name.clone(),
                     database: t.database.clone(),
                     table: t.table.clone(),
@@ -686,9 +836,10 @@ impl Federation {
                 )))
             }
             Statement::DropTrigger(name) => {
-                let before = self.triggers.len();
-                self.triggers.retain(|t| &t.name != name);
-                if self.triggers.len() == before {
+                let mut triggers = self.core.triggers.write();
+                let before = triggers.len();
+                triggers.retain(|t| &t.name != name);
+                if triggers.len() == before {
                     return Err(MdbsError::Catalog(format!("unknown trigger `{name}`")));
                 }
                 Ok(MsqlOutcome::Admin(format!("trigger `{name}` dropped")))
@@ -729,9 +880,14 @@ impl Federation {
             }
         }
         let routes = self.routes()?;
-        let translate_started = self.clock.now();
-        let translated = translate::translate_body_traced(&q.body, &self.scope, &self.gdd, span)?;
-        self.metrics.observe("phase.translate", self.clock.now().saturating_sub(translate_started));
+        let translate_started = self.core.clock.now();
+        let translated = {
+            let gdd = self.core.gdd.read();
+            translate::translate_body_traced(&q.body, &self.scope, &gdd, span)?
+        };
+        self.core
+            .metrics
+            .observe("phase.translate", self.core.clock.now().saturating_sub(translate_started));
         match translated {
             Translated::PerDb(locals) => match &q.body {
                 QueryBody::Select(_) => {
@@ -747,9 +903,11 @@ impl Federation {
                         pg.note("tasks", plan.tasks.len());
                         plan
                     };
-                    let started = self.clock.now();
+                    let started = self.core.clock.now();
                     let mt = self.executor().run_retrieval(&plan)?;
-                    self.metrics.observe("phase.execute", self.clock.now().saturating_sub(started));
+                    self.core
+                        .metrics
+                        .observe("phase.execute", self.core.clock.now().saturating_sub(started));
                     Ok(MsqlOutcome::Multitable(mt))
                 }
                 _ => {
@@ -764,9 +922,11 @@ impl Federation {
                         pg.note("tasks", plan.tasks.len());
                         plan
                     };
-                    let started = self.clock.now();
+                    let started = self.core.clock.now();
                     let report = self.executor().run_update(&plan)?;
-                    self.metrics.observe("phase.execute", self.clock.now().saturating_sub(started));
+                    self.core
+                        .metrics
+                        .observe("phase.execute", self.core.clock.now().saturating_sub(started));
                     // Fire interdatabase triggers for committed subqueries.
                     let mut events = Vec::new();
                     for (local, outcome) in locals.iter().zip(&report.outcomes) {
@@ -794,9 +954,11 @@ impl Federation {
                 }
             },
             Translated::CrossDb(dec) => {
-                let started = self.clock.now();
+                let started = self.core.clock.now();
                 let rs = self.executor().run_cross_db(&dec, &routes)?;
-                self.metrics.observe("phase.execute", self.clock.now().saturating_sub(started));
+                self.core
+                    .metrics
+                    .observe("phase.execute", self.core.clock.now().saturating_sub(started));
                 Ok(MsqlOutcome::Table(rs))
             }
         }
@@ -838,9 +1000,10 @@ impl Federation {
     fn transfer_target(&self, ins: &msql_lang::Insert) -> Result<Option<String>, MdbsError> {
         let Some(tq) = &ins.table.database else { return Ok(None) };
         let msql_lang::InsertSource::Select(sel) = &ins.source else { return Ok(None) };
+        let gdd = self.core.gdd.read();
         let target = match self.scope.resolve(tq.as_str()) {
             Some(d) => d.database.clone(),
-            None if self.gdd.has_database(tq.as_str()) => tq.as_str().to_string(),
+            None if gdd.has_database(tq.as_str()) => tq.as_str().to_string(),
             None => return Err(MdbsError::NotInScope(tq.as_str().to_string())),
         };
         // Does the source read the target database? Then it is a local
@@ -851,7 +1014,7 @@ impl Federation {
                 None => {
                     let mut found = None;
                     for d in &self.scope.databases {
-                        if self.gdd.table(&d.database, tref.table.as_str()).is_ok() {
+                        if gdd.table(&d.database, tref.table.as_str()).is_ok() {
                             found = Some(d.database.clone());
                             break;
                         }
@@ -879,11 +1042,11 @@ impl Federation {
         };
         let routes = self.routes()?;
         // 1. Evaluate the source.
-        let rows = match translate::translate_body(
-            &QueryBody::Select((**sel).clone()),
-            &self.scope,
-            &self.gdd,
-        )? {
+        let translated = {
+            let gdd = self.core.gdd.read();
+            translate::translate_body(&QueryBody::Select((**sel).clone()), &self.scope, &gdd)?
+        };
+        let rows = match translated {
             Translated::PerDb(locals) => {
                 let sources: Vec<&str> = locals.iter().map(|l| l.database.as_str()).collect();
                 if sources.len() != 1 {
@@ -1055,10 +1218,16 @@ impl Federation {
             return Ok(0);
         }
         let mut actions = Vec::new();
-        for (db, table, event) in events {
-            for t in &self.triggers {
-                if t.event == *event && t.database.matches(db) && t.table.matches(table.as_str()) {
-                    actions.push(t.action.clone());
+        {
+            let triggers = self.core.triggers.read();
+            for (db, table, event) in events {
+                for t in triggers.iter() {
+                    if t.event == *event
+                        && t.database.matches(db)
+                        && t.table.matches(table.as_str())
+                    {
+                        actions.push(t.action.clone());
+                    }
                 }
             }
         }
@@ -1103,8 +1272,11 @@ impl Federation {
             for l in &q.lets {
                 working.apply_let(l)?;
             }
-            let locals = match translate::translate_body_traced(&q.body, &working, &self.gdd, span)?
-            {
+            let translated = {
+                let gdd = self.core.gdd.read();
+                translate::translate_body_traced(&q.body, &working, &gdd, span)?
+            };
+            let locals = match translated {
                 Translated::PerDb(locals) => locals,
                 Translated::CrossDb(_) => {
                     return Err(MdbsError::Mtx(
@@ -1140,9 +1312,9 @@ impl Federation {
             pg.note("tasks", plan.tasks.len());
             plan
         };
-        let started = self.clock.now();
+        let started = self.core.clock.now();
         let report = self.executor().run_mtx(&plan, states.len())?;
-        self.metrics.observe("phase.execute", self.clock.now().saturating_sub(started));
+        self.core.metrics.observe("phase.execute", self.core.clock.now().saturating_sub(started));
         Ok(MsqlOutcome::Mtx(report))
     }
 
@@ -1170,7 +1342,10 @@ impl Federation {
                     .iter()
                     .map(|c| GddColumn::new(c.name.clone(), c.type_name))
                     .collect();
-                self.gdd.put_table(&database, GddTable::new(ct.table.table.as_str(), columns))?;
+                self.core
+                    .gdd
+                    .write()
+                    .put_table(&database, GddTable::new(ct.table.table.as_str(), columns))?;
                 Ok(MsqlOutcome::Admin(format!(
                     "table `{}` created in `{database}`",
                     ct.table.table
@@ -1201,7 +1376,7 @@ impl Federation {
         })?;
         match resp {
             crate::proto::Response::TaskDone { status: 'C', .. } => {
-                let _ = self.gdd.drop_table(&database, dt.table.table.as_str());
+                let _ = self.core.gdd.write().drop_table(&database, dt.table.table.as_str());
                 Ok(MsqlOutcome::Admin(format!(
                     "table `{}` dropped from `{database}`",
                     dt.table.table
@@ -1280,7 +1455,7 @@ impl Federation {
                 return Ok(d.database.clone());
             }
             // DDL may target an imported database outside the scope too.
-            if self.gdd.has_database(q.as_str()) {
+            if self.core.gdd.read().has_database(q.as_str()) {
                 return Ok(q.as_str().to_string());
             }
             return Err(MdbsError::NotInScope(q.as_str().to_string()));
@@ -1299,7 +1474,7 @@ fn status_from_code(code: char) -> dol::TaskStatus {
     dol::TaskStatus::from_code(code).unwrap_or(dol::TaskStatus::Error)
 }
 
-/// What [`Federation::recover`] did for one interrupted multitransaction.
+/// What [`Session::recover`] did for one interrupted multitransaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveredMtx {
     /// The log's multitransaction id.
@@ -1334,7 +1509,7 @@ impl RecoveredMtx {
     }
 }
 
-/// Everything one [`Federation::recover`] pass settled.
+/// Everything one [`Session::recover`] pass settled.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
     /// One entry per interrupted multitransaction, in log order.

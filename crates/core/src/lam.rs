@@ -11,6 +11,7 @@ use crate::proto::{self, Request, Response, TaskMode};
 use crate::wire;
 use catalog::{GddColumn, GddTable};
 use ldbs::engine::{Engine, ExecOutcome};
+use ldbs::error::DbError;
 use ldbs::schema::{ColumnSchema, TableSchema};
 use ldbs::table::Table;
 use ldbs::txn::TxnId;
@@ -18,11 +19,15 @@ use ldbs::value::DataType;
 use msql_lang::TypeName;
 use netsim::{NetError, Network};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How long a blocked statement parks on the engine's lock signal per retry
+/// slice (it wakes earlier the moment a lock is released).
+const LOCK_WAIT_SLICE: Duration = Duration::from_millis(50);
 
 /// Tunables for a LAM server thread. Threaded down from
 /// [`crate::federation::Federation`] so a deployment is configured in one
@@ -37,6 +42,14 @@ pub struct LamConfig {
     /// How many correlated responses the server remembers for retry
     /// deduplication (FIFO eviction).
     pub response_cache_capacity: usize,
+    /// How long a statement may wait for a local write lock before the
+    /// server gives up, rolls the transaction back, and reports a
+    /// retriable deadlock. This is the backstop for *distributed*
+    /// deadlocks, which no single engine's waits-for graph can see.
+    pub lock_wait_timeout: Duration,
+    /// How many settled task outcomes (`C`/`A`/`K`) the server remembers
+    /// for RESOLVE / idempotent-compensate answers (FIFO eviction).
+    pub outcome_memory_capacity: usize,
 }
 
 impl Default for LamConfig {
@@ -45,6 +58,8 @@ impl Default for LamConfig {
             control_timeout: Duration::from_secs(2),
             poll_interval: Duration::from_millis(200),
             response_cache_capacity: 256,
+            lock_wait_timeout: Duration::from_secs(2),
+            outcome_memory_capacity: 1024,
         }
     }
 }
@@ -166,13 +181,18 @@ pub fn spawn_lam(
 
 /// Spawns a LAM serving `engine` at `site`.
 ///
-/// The server loop understands the optional correlation framing of
-/// [`proto::split_correlation`]: a correlated request that was already
-/// answered is replayed from a bounded response cache instead of being
-/// re-executed, which makes client retries at-most-once even for
-/// state-changing requests (a lost *reply* does not re-run the commands).
-/// On a terminal network fault the loop marks the handle dead and
-/// deregisters its own site, so clients fail fast instead of timing out.
+/// The server is a dispatcher plus detached worker threads: the dispatcher
+/// drains the mailbox, answers cached/inflight retries and control
+/// messages inline, and hands every engine-touching request to its own
+/// worker so one session's lock wait never stalls another session's
+/// statements. Workers lock the shared state only briefly — never across a
+/// lock wait — and put the framed reply in the cache *before* clearing the
+/// inflight marker, so client retries stay at-most-once: a retry arriving
+/// while the original executes is dropped (the client re-asks and hits the
+/// populated cache), and a retry after completion replays the cached reply
+/// without re-execution. On a terminal network fault the dispatcher marks
+/// the handle dead and deregisters its own site, so clients fail fast
+/// instead of timing out.
 pub fn spawn_lam_with(
     net: &Network,
     service: &str,
@@ -180,9 +200,8 @@ pub fn spawn_lam_with(
     engine: Engine,
     config: LamConfig,
 ) -> Result<LamHandle, MdbsError> {
-    let endpoint = net.register(site)?;
+    let endpoint = Arc::new(net.register(site)?);
     let engine = Arc::new(Mutex::new(engine));
-    let server_engine = Arc::clone(&engine);
     let alive = Arc::new(AtomicBool::new(true));
     let thread_alive = Arc::clone(&alive);
     let stats = Arc::new(LamServerStats::default());
@@ -190,17 +209,20 @@ pub fn spawn_lam_with(
     let thread_net = net.clone();
     let thread_site = site.to_string();
     let poll = config.poll_interval;
-    let cache_capacity = config.response_cache_capacity;
+    let shared = Arc::new(SrvShared {
+        engine: Arc::clone(&engine),
+        state: Mutex::new(SrvState {
+            tasks: HashMap::new(),
+            task_dbs: HashMap::new(),
+            resolved: OutcomeMemory::new(config.outcome_memory_capacity),
+            replies: ReplyCache::new(config.response_cache_capacity),
+            inflight: HashSet::new(),
+        }),
+        config: config.clone(),
+    });
     let thread = std::thread::Builder::new()
         .name(format!("lam-{site}"))
         .spawn(move || {
-            let mut server = LamServer {
-                engine: server_engine,
-                tasks: HashMap::new(),
-                task_dbs: HashMap::new(),
-                resolved: HashMap::new(),
-                replies: ReplyCache::new(cache_capacity),
-            };
             loop {
                 let msg = match endpoint.recv_timeout(poll) {
                     Ok(m) => m,
@@ -216,33 +238,55 @@ pub fn spawn_lam_with(
                 };
                 let (corr, body) = proto::split_correlation(&msg.body);
                 if let Some(id) = corr {
-                    if let Some(cached) = server.replies.get(id) {
+                    let mut state = shared.state.lock();
+                    if let Some(cached) = state.replies.get(id) {
+                        drop(state);
                         thread_stats.replayed.fetch_add(1, Ordering::Relaxed);
                         let _ = endpoint.send(&msg.from, cached);
                         continue;
                     }
+                    if !state.inflight.insert(id) {
+                        // The original request is still executing in a
+                        // worker: drop this retry silently; the client's
+                        // next retry will hit the reply cache.
+                        continue;
+                    }
                 }
-                let request = Request::decode(body);
-                let (response, stop) = match request {
-                    Ok(Request::Shutdown) => (Response::Ok, true),
+                match Request::decode(body) {
+                    Ok(Request::Shutdown) => {
+                        let out = frame_reply(&shared, corr, Response::Ok);
+                        let _ = endpoint.send(&msg.from, out);
+                        thread_alive.store(false, Ordering::SeqCst);
+                        break;
+                    }
                     Ok(req) => {
                         thread_stats.served.fetch_add(1, Ordering::Relaxed);
-                        (server.handle(req), false)
+                        let worker_shared = Arc::clone(&shared);
+                        let worker_endpoint = Arc::clone(&endpoint);
+                        let from = msg.from.clone();
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("lam-{thread_site}-w"))
+                            .spawn(move || {
+                                let response = handle_request(&worker_shared, req);
+                                let out = frame_reply(&worker_shared, corr, response);
+                                let _ = worker_endpoint.send(&from, out);
+                            });
+                        if spawned.is_err() {
+                            // Out of threads: fail the request instead of
+                            // leaving the client to time out.
+                            let out = frame_reply(
+                                &shared,
+                                corr,
+                                Response::Err { message: "LAM worker spawn failed".into() },
+                            );
+                            let _ = endpoint.send(&msg.from, out);
+                        }
                     }
-                    Err(e) => (Response::Err { message: e.to_string() }, false),
-                };
-                let out = match corr {
-                    Some(id) => {
-                        let framed = proto::encode_with_correlation(id, &response.encode());
-                        server.replies.put(id, framed.clone());
-                        framed
+                    Err(e) => {
+                        let out =
+                            frame_reply(&shared, corr, Response::Err { message: e.to_string() });
+                        let _ = endpoint.send(&msg.from, out);
                     }
-                    None => response.encode(),
-                };
-                let _ = endpoint.send(&msg.from, out);
-                if stop {
-                    thread_alive.store(false, Ordering::SeqCst);
-                    break;
                 }
             }
         })
@@ -257,6 +301,23 @@ pub fn spawn_lam_with(
         config,
         alive,
     })
+}
+
+/// Encodes a response, recording it in the reply cache and clearing the
+/// inflight marker when the request was correlated. The cache is populated
+/// *before* the marker clears, so a client retry can never slip between
+/// the two and re-execute.
+fn frame_reply(shared: &SrvShared, corr: Option<u64>, response: Response) -> String {
+    match corr {
+        Some(id) => {
+            let framed = proto::encode_with_correlation(id, &response.encode());
+            let mut state = shared.state.lock();
+            state.replies.put(id, framed.clone());
+            state.inflight.remove(&id);
+            framed
+        }
+        None => response.encode(),
+    }
 }
 
 /// Bounded FIFO cache of already-sent correlated responses.
@@ -287,170 +348,291 @@ impl ReplyCache {
     }
 }
 
-struct LamServer {
-    engine: Arc<Mutex<Engine>>,
+/// Bounded FIFO memory of settled task outcomes (`C`/`A`/`K`) — the
+/// participant-side record recovery's `RESOLVE` answers from. Bounded so a
+/// long-lived server's memory stays flat; the retained window comfortably
+/// covers the horizon the idempotent retry/compensate paths need.
+struct OutcomeMemory {
+    capacity: usize,
+    entries: HashMap<String, char>,
+    order: VecDeque<String>,
+}
+
+impl OutcomeMemory {
+    fn new(capacity: usize) -> Self {
+        OutcomeMemory { capacity: capacity.max(1), entries: HashMap::new(), order: VecDeque::new() }
+    }
+
+    fn get(&self, task: &str) -> Option<char> {
+        self.entries.get(task).copied()
+    }
+
+    fn insert(&mut self, task: String, status: char) {
+        if self.entries.insert(task.clone(), status).is_none() {
+            self.order.push_back(task);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.entries.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, task: &str) {
+        if self.entries.remove(task).is_some() {
+            self.order.retain(|t| t != task);
+        }
+    }
+}
+
+/// Mutable LAM server state, shared between the dispatcher and its workers.
+/// The mutex is only ever held for map bookkeeping — never across engine
+/// execution or a lock wait.
+struct SrvState {
     /// Open/prepared transactions by task name.
     tasks: HashMap<String, TxnId>,
     /// Database each open transaction was begun on.
     task_dbs: HashMap<TxnId, String>,
-    /// Final outcome (`C`/`A`) of every settled task, the participant-side
-    /// outcome memory recovery's `RESOLVE` answers from — a coordinator that
-    /// crashed after delivering COMMIT but before logging the resolution
-    /// re-asks and gets the recorded outcome instead of presumed abort.
-    /// Entries are superseded when a task name is re-executed.
-    resolved: HashMap<String, char>,
+    /// Final outcome of every settled task. A coordinator that crashed
+    /// after delivering COMMIT but before logging the resolution re-asks
+    /// and gets the recorded outcome instead of presumed abort. Entries
+    /// are superseded when a task name is re-executed.
+    resolved: OutcomeMemory,
     /// Correlated responses already sent (retry deduplication).
     replies: ReplyCache,
+    /// Correlation ids currently executing in a worker; retries for them
+    /// are dropped until the reply lands in the cache.
+    inflight: HashSet<u64>,
 }
 
-impl LamServer {
-    fn handle(&mut self, req: Request) -> Response {
-        match req {
-            Request::Begin { name, database } => {
-                if self.tasks.contains_key(&name) {
-                    return Response::Err { message: format!("task `{name}` already open") };
+/// Everything a worker thread needs: the engine behind its own lock and
+/// the server state behind another.
+struct SrvShared {
+    engine: Arc<Mutex<Engine>>,
+    state: Mutex<SrvState>,
+    config: LamConfig,
+}
+
+/// Executes one command inside `txn`, parking on the engine's lock signal
+/// whenever the statement would block on a write lock. The engine mutex is
+/// released while parked, so other sessions keep executing. If the wait
+/// outlives the configured timeout the transaction is rolled back and the
+/// retriable deadlock error returned — the backstop for lock cycles that
+/// span engines.
+fn exec_with_wait(
+    shared: &SrvShared,
+    txn: TxnId,
+    database: &str,
+    cmd: &str,
+) -> Result<ExecOutcome, DbError> {
+    let signal = shared.engine.lock().lock_signal();
+    let deadline = Instant::now() + shared.config.lock_wait_timeout;
+    loop {
+        let epoch = signal.epoch();
+        let result = shared.engine.lock().execute_in(txn, database, cmd);
+        match result {
+            Err(DbError::LockWait { table }) => {
+                if Instant::now() >= deadline {
+                    let mut engine = shared.engine.lock();
+                    engine.cancel_wait(txn);
+                    let _ = engine.rollback(txn);
+                    return Err(DbError::Deadlock { table });
                 }
-                let mut engine = self.engine.lock();
-                if engine.database(&database).is_err() {
-                    return Response::Err { message: format!("unknown database `{database}`") };
-                }
-                let txn = engine.begin();
-                drop(engine);
-                self.resolved.remove(&name); // new incarnation supersedes
-                self.tasks.insert(name, txn);
-                self.task_dbs.insert(txn, database);
-                Response::Ok
+                signal.wait_past(epoch, LOCK_WAIT_SLICE);
             }
-            Request::Exec { task, commands } => {
-                let Some(&txn) = self.tasks.get(&task) else {
+            other => return other,
+        }
+    }
+}
+
+/// Rolls `txn` back, tolerating a transaction the deadlock detector
+/// already aborted.
+fn rollback_tolerant(shared: &SrvShared, txn: TxnId) {
+    let _ = shared.engine.lock().rollback(txn);
+}
+
+fn handle_request(shared: &SrvShared, req: Request) -> Response {
+    match req {
+        Request::Begin { name, database } => {
+            let mut state = shared.state.lock();
+            if state.tasks.contains_key(&name) {
+                return Response::Err { message: format!("task `{name}` already open") };
+            }
+            let mut engine = shared.engine.lock();
+            if engine.database(&database).is_err() {
+                return Response::Err { message: format!("unknown database `{database}`") };
+            }
+            let txn = engine.begin();
+            drop(engine);
+            state.resolved.remove(&name); // new incarnation supersedes
+            state.tasks.insert(name, txn);
+            state.task_dbs.insert(txn, database);
+            Response::Ok
+        }
+        Request::Exec { task, commands } => {
+            let (txn, database) = {
+                let state = shared.state.lock();
+                let Some(&txn) = state.tasks.get(&task) else {
                     return Response::Err { message: format!("unknown open task `{task}`") };
                 };
-                let database = self.task_dbs.get(&txn).cloned().unwrap_or_default();
-                let mut engine = self.engine.lock();
-                let mut affected = 0u64;
-                let mut payload = None;
-                for cmd in &commands {
-                    match engine.execute_in(txn, &database, cmd) {
-                        Ok(ExecOutcome::Affected(n)) => affected += n as u64,
-                        Ok(ExecOutcome::Rows(rs)) => {
-                            payload = Some(wire::encode_result_set(&rs));
-                        }
-                        Err(e) => {
-                            // The transaction stays open: statement-level
-                            // atomicity holds, the caller decides whether to
-                            // continue or roll back.
-                            return Response::TaskDone {
-                                status: 'A',
-                                affected,
-                                payload: None,
-                                error: Some(e.to_string()),
-                            };
-                        }
-                    }
-                }
-                Response::TaskDone { status: 'E', affected, payload, error: None }
-            }
-            Request::Prepare { task } => {
-                let Some(&txn) = self.tasks.get(&task) else {
-                    return Response::Err { message: format!("unknown open task `{task}`") };
-                };
-                let mut engine = self.engine.lock();
-                match engine.prepare(txn) {
-                    Ok(()) => {
-                        Response::TaskDone { status: 'P', affected: 0, payload: None, error: None }
+                (txn, state.task_dbs.get(&txn).cloned().unwrap_or_default())
+            };
+            let mut affected = 0u64;
+            let mut payload = None;
+            for cmd in &commands {
+                match exec_with_wait(shared, txn, &database, cmd) {
+                    Ok(ExecOutcome::Affected(n)) => affected += n as u64,
+                    Ok(ExecOutcome::Rows(rs)) => {
+                        payload = Some(wire::encode_result_set(&rs));
                     }
                     Err(e) => {
-                        // prepare() rolled the transaction back on failure.
-                        self.tasks.remove(&task);
-                        Response::TaskDone {
+                        if matches!(e, DbError::Deadlock { .. }) {
+                            // The transaction is already rolled back: close
+                            // the task so the coordinator's abort sweep is
+                            // a no-op and record the abort outcome.
+                            let mut state = shared.state.lock();
+                            state.tasks.remove(&task);
+                            state.task_dbs.remove(&txn);
+                            state.resolved.insert(task.clone(), 'A');
+                        }
+                        // Otherwise the transaction stays open:
+                        // statement-level atomicity holds, the caller
+                        // decides whether to continue or roll back.
+                        return Response::TaskDone {
                             status: 'A',
-                            affected: 0,
+                            affected,
                             payload: None,
                             error: Some(e.to_string()),
-                        }
+                        };
                     }
                 }
             }
-            Request::Task { name, mode, database, commands } => {
-                self.run_task(&name, mode, &database, &commands)
+            Response::TaskDone { status: 'E', affected, payload, error: None }
+        }
+        Request::Prepare { task } => {
+            let txn = {
+                let state = shared.state.lock();
+                match state.tasks.get(&task) {
+                    Some(&txn) => txn,
+                    None => {
+                        return Response::Err { message: format!("unknown open task `{task}`") }
+                    }
+                }
+            };
+            let result = shared.engine.lock().prepare(txn);
+            match result {
+                Ok(()) => {
+                    Response::TaskDone { status: 'P', affected: 0, payload: None, error: None }
+                }
+                Err(e) => {
+                    // prepare() rolled the transaction back on failure.
+                    let mut state = shared.state.lock();
+                    state.tasks.remove(&task);
+                    state.task_dbs.remove(&txn);
+                    Response::TaskDone {
+                        status: 'A',
+                        affected: 0,
+                        payload: None,
+                        error: Some(e.to_string()),
+                    }
+                }
             }
-            Request::Commit { task } => self.finish_task(&task, true),
-            Request::Abort { task } => self.finish_task(&task, false),
-            Request::Resolve { task, commit } => self.resolve_task(&task, commit),
-            Request::Compensate { task, database, commands } => {
-                // Idempotent: a recovery pass re-sending COMPENSATE (under a
-                // fresh correlation id, so the reply cache cannot dedup it)
-                // must not apply the compensation twice.
-                if self.resolved.get(&task) == Some(&'K') {
+        }
+        Request::Task { name, mode, database, commands } => {
+            run_task(shared, &name, mode, &database, &commands)
+        }
+        Request::Commit { task } => finish_task(shared, &task, true),
+        Request::Abort { task } => finish_task(shared, &task, false),
+        Request::Resolve { task, commit } => resolve_task(shared, &task, commit),
+        Request::Compensate { task, database, commands } => {
+            // Idempotent: a recovery pass re-sending COMPENSATE (under a
+            // fresh correlation id, so the reply cache cannot dedup it)
+            // must not apply the compensation twice. The 'K' record is
+            // claimed *before* executing so a concurrent duplicate skips
+            // instead of double-applying; a failure revokes the claim.
+            {
+                let mut state = shared.state.lock();
+                if state.resolved.get(&task) == Some('K') {
                     return Response::Ok;
                 }
-                let mut engine = self.engine.lock();
-                for cmd in &commands {
-                    if let Err(e) = engine.execute(&database, cmd) {
+                state.resolved.insert(task.clone(), 'K');
+            }
+            for cmd in &commands {
+                let txn = shared.engine.lock().begin();
+                match exec_with_wait(shared, txn, &database, cmd) {
+                    Ok(_) => {
+                        if let Err(e) = shared.engine.lock().commit(txn) {
+                            shared.state.lock().resolved.remove(&task);
+                            return Response::Err { message: e.to_string() };
+                        }
+                    }
+                    Err(e) => {
+                        rollback_tolerant(shared, txn);
+                        shared.state.lock().resolved.remove(&task);
                         return Response::Err { message: e.to_string() };
                     }
                 }
-                drop(engine);
-                self.resolved.insert(task, 'K');
-                Response::Ok
             }
-            Request::Partial { database, sql, baseline } => {
-                self.run_partial(&database, &sql, baseline.as_deref())
-            }
-            Request::Schema { database } => {
-                let engine = self.engine.lock();
-                match local_conceptual_schema(&engine, &database) {
-                    Ok(tables) => Response::OkPayload { payload: wire::encode_schema(&tables) },
-                    Err(e) => Response::Err { message: e.to_string() },
-                }
-            }
-            Request::Load { database, table, payload } => self.load(&database, &table, &payload),
-            Request::DropTemp { database, table } => {
-                let mut engine = self.engine.lock();
-                match engine.database_mut(&database) {
-                    Ok(db) => {
-                        let _ = db.remove_table(&table);
-                        Response::Ok
-                    }
-                    Err(e) => Response::Err { message: e.to_string() },
-                }
-            }
-            Request::LoadMany { database, parts } => {
-                for (table, payload) in &parts {
-                    match self.load(&database, table, payload) {
-                        Response::Ok => {}
-                        other => return other,
-                    }
-                }
-                Response::Ok
-            }
-            Request::DropMany { database, tables } => {
-                let mut engine = self.engine.lock();
-                match engine.database_mut(&database) {
-                    Ok(db) => {
-                        for table in &tables {
-                            let _ = db.remove_table(table);
-                        }
-                        Response::Ok
-                    }
-                    Err(e) => Response::Err { message: e.to_string() },
-                }
-            }
-            Request::Ping => Response::Ok,
-            Request::Shutdown => Response::Ok,
+            Response::Ok
         }
+        Request::Partial { database, sql, baseline } => {
+            run_partial(shared, &database, &sql, baseline.as_deref())
+        }
+        Request::Schema { database } => {
+            let engine = shared.engine.lock();
+            match local_conceptual_schema(&engine, &database) {
+                Ok(tables) => Response::OkPayload { payload: wire::encode_schema(&tables) },
+                Err(e) => Response::Err { message: e.to_string() },
+            }
+        }
+        Request::Load { database, table, payload } => load(shared, &database, &table, &payload),
+        Request::DropTemp { database, table } => {
+            let mut engine = shared.engine.lock();
+            match engine.database_mut(&database) {
+                Ok(db) => {
+                    let _ = db.remove_table(&table);
+                    Response::Ok
+                }
+                Err(e) => Response::Err { message: e.to_string() },
+            }
+        }
+        Request::LoadMany { database, parts } => {
+            for (table, payload) in &parts {
+                match load(shared, &database, table, payload) {
+                    Response::Ok => {}
+                    other => return other,
+                }
+            }
+            Response::Ok
+        }
+        Request::DropMany { database, tables } => {
+            let mut engine = shared.engine.lock();
+            match engine.database_mut(&database) {
+                Ok(db) => {
+                    for table in &tables {
+                        let _ = db.remove_table(table);
+                    }
+                    Response::Ok
+                }
+                Err(e) => Response::Err { message: e.to_string() },
+            }
+        }
+        Request::Ping => Response::Ok,
+        Request::Shutdown => Response::Ok,
     }
+}
 
-    fn run_task(
-        &mut self,
-        name: &str,
-        mode: TaskMode,
-        database: &str,
-        commands: &[String],
-    ) -> Response {
-        let mut engine = self.engine.lock();
-        match mode {
-            TaskMode::NoCommit => {
+fn run_task(
+    shared: &SrvShared,
+    name: &str,
+    mode: TaskMode,
+    database: &str,
+    commands: &[String],
+) -> Response {
+    match mode {
+        TaskMode::NoCommit => {
+            let txn = {
+                let mut engine = shared.engine.lock();
                 if !engine.profile.supports_2pc {
                     return Response::TaskDone {
                         status: 'A',
@@ -462,52 +644,53 @@ impl LamServer {
                         )),
                     };
                 }
-                let txn = engine.begin();
-                let mut affected = 0u64;
-                let mut payload = None;
-                for cmd in commands {
-                    match engine.execute_in(txn, database, cmd) {
-                        Ok(ExecOutcome::Affected(n)) => affected += n as u64,
-                        Ok(ExecOutcome::Rows(rs)) => {
-                            payload = Some(wire::encode_result_set(&rs));
-                        }
-                        Err(e) => {
-                            let _ = engine.rollback(txn);
-                            return Response::TaskDone {
-                                status: 'A',
-                                affected: 0,
-                                payload: None,
-                                error: Some(e.to_string()),
-                            };
-                        }
+                engine.begin()
+            };
+            let mut affected = 0u64;
+            let mut payload = None;
+            for cmd in commands {
+                match exec_with_wait(shared, txn, database, cmd) {
+                    Ok(ExecOutcome::Affected(n)) => affected += n as u64,
+                    Ok(ExecOutcome::Rows(rs)) => {
+                        payload = Some(wire::encode_result_set(&rs));
+                    }
+                    Err(e) => {
+                        rollback_tolerant(shared, txn);
+                        return Response::TaskDone {
+                            status: 'A',
+                            affected: 0,
+                            payload: None,
+                            error: Some(e.to_string()),
+                        };
                     }
                 }
-                if let Err(e) = engine.prepare(txn) {
-                    // prepare() rolls back on injected failure.
-                    return Response::TaskDone {
-                        status: 'A',
-                        affected: 0,
-                        payload: None,
-                        error: Some(e.to_string()),
-                    };
-                }
-                self.resolved.remove(name); // new incarnation supersedes
-                self.tasks.insert(name.to_string(), txn);
-                Response::TaskDone { status: 'P', affected, payload, error: None }
             }
-            TaskMode::Auto => {
-                let mut affected = 0u64;
-                let mut payload = None;
-                for cmd in commands {
-                    match engine.execute(database, cmd) {
-                        Ok(ExecOutcome::Affected(n)) => affected += n as u64,
-                        Ok(ExecOutcome::Rows(rs)) => {
-                            payload = Some(wire::encode_result_set(&rs));
-                        }
-                        Err(e) => {
-                            // Earlier commands have already autocommitted —
-                            // exactly the hazard §3.3's compensation exists
-                            // to handle.
+            if let Err(e) = shared.engine.lock().prepare(txn) {
+                // prepare() rolls back on injected failure.
+                return Response::TaskDone {
+                    status: 'A',
+                    affected: 0,
+                    payload: None,
+                    error: Some(e.to_string()),
+                };
+            }
+            let mut state = shared.state.lock();
+            state.resolved.remove(name); // new incarnation supersedes
+            state.tasks.insert(name.to_string(), txn);
+            state.task_dbs.insert(txn, database.to_string());
+            Response::TaskDone { status: 'P', affected, payload, error: None }
+        }
+        TaskMode::Auto => {
+            let mut affected = 0u64;
+            let mut payload = None;
+            for cmd in commands {
+                // An explicit begin/commit per command (not engine.execute)
+                // so a lock wait retries under the *same* transaction id —
+                // the wait queue entry stays valid across attempts.
+                let txn = shared.engine.lock().begin();
+                match exec_with_wait(shared, txn, database, cmd) {
+                    Ok(out) => {
+                        if let Err(e) = shared.engine.lock().commit(txn) {
                             return Response::TaskDone {
                                 status: 'A',
                                 affected,
@@ -515,129 +698,205 @@ impl LamServer {
                                 error: Some(e.to_string()),
                             };
                         }
+                        match out {
+                            ExecOutcome::Affected(n) => affected += n as u64,
+                            ExecOutcome::Rows(rs) => payload = Some(wire::encode_result_set(&rs)),
+                        }
+                    }
+                    Err(e) => {
+                        rollback_tolerant(shared, txn);
+                        // Earlier commands have already autocommitted —
+                        // exactly the hazard §3.3's compensation exists
+                        // to handle.
+                        return Response::TaskDone {
+                            status: 'A',
+                            affected,
+                            payload: None,
+                            error: Some(e.to_string()),
+                        };
                     }
                 }
-                // Autocommitted: already durable, so a later RESOLVE answers
-                // `C` (recovery undoes such tasks via compensation, never by
-                // rollback).
-                self.resolved.insert(name.to_string(), 'C');
-                Response::TaskDone { status: 'C', affected, payload, error: None }
             }
+            // Autocommitted: already durable, so a later RESOLVE answers
+            // `C` (recovery undoes such tasks via compensation, never by
+            // rollback).
+            shared.state.lock().resolved.insert(name.to_string(), 'C');
+            Response::TaskDone { status: 'C', affected, payload, error: None }
         }
     }
+}
 
-    fn run_partial(&mut self, database: &str, sql: &str, baseline: Option<&str>) -> Response {
-        let mut engine = self.engine.lock();
-        let payload = match engine.execute(database, sql) {
-            Ok(ExecOutcome::Rows(rs)) => wire::encode_result_set(&rs),
-            Ok(ExecOutcome::Affected(_)) => {
-                return Response::PartialDone {
-                    payload: None,
-                    error: Some("partial subquery did not produce rows".to_string()),
-                    full_rows: 0,
-                    full_bytes: 0,
-                    access: None,
-                };
-            }
-            Err(e) => {
-                return Response::PartialDone {
-                    payload: None,
-                    error: Some(e.to_string()),
-                    full_rows: 0,
-                    full_bytes: 0,
-                    access: None,
-                };
-            }
-        };
-        // Which access path the engine took for the shipped subquery (the
-        // baseline run below must not overwrite it).
-        let access = engine.last_access().map(str::to_string);
-        // Measure — but never ship — the unreduced baseline. A baseline
-        // failure only zeroes the measurement; it must not fail a request
-        // whose real subquery succeeded.
-        let (full_rows, full_bytes) = match baseline.map(|b| engine.execute(database, b)) {
-            Some(Ok(ExecOutcome::Rows(rs))) => {
-                let encoded = wire::encode_result_set(&rs);
-                (rs.rows.len() as u64, encoded.len() as u64)
-            }
-            _ => (0, 0),
-        };
-        Response::PartialDone { payload: Some(payload), error: None, full_rows, full_bytes, access }
-    }
-
-    fn finish_task(&mut self, task: &str, commit: bool) -> Response {
-        let Some(txn) = self.tasks.remove(task) else {
-            return Response::Err { message: format!("unknown prepared task `{task}`") };
-        };
-        let mut engine = self.engine.lock();
-        let result = if commit { engine.commit(txn) } else { engine.rollback(txn) };
-        match result {
-            Ok(()) => {
-                self.resolved.insert(task.to_string(), if commit { 'C' } else { 'A' });
-                Response::Ok
-            }
-            Err(e) => Response::Err { message: e.to_string() },
+fn run_partial(shared: &SrvShared, database: &str, sql: &str, baseline: Option<&str>) -> Response {
+    // Autocommit SELECTs read a snapshot and never block on locks, so the
+    // engine is only held for the statement itself.
+    let mut engine = shared.engine.lock();
+    let payload = match engine.execute(database, sql) {
+        Ok(ExecOutcome::Rows(rs)) => wire::encode_result_set(&rs),
+        Ok(ExecOutcome::Affected(_)) => {
+            return Response::PartialDone {
+                payload: None,
+                error: Some("partial subquery did not produce rows".to_string()),
+                full_rows: 0,
+                full_bytes: 0,
+                access: None,
+            };
         }
-    }
+        Err(e) => {
+            return Response::PartialDone {
+                payload: None,
+                error: Some(e.to_string()),
+                full_rows: 0,
+                full_bytes: 0,
+                access: None,
+            };
+        }
+    };
+    // Which access path the engine took for the shipped subquery (the
+    // baseline run below must not overwrite it).
+    let access = engine.last_access().map(str::to_string);
+    // Measure — but never ship — the unreduced baseline. A baseline
+    // failure only zeroes the measurement; it must not fail a request
+    // whose real subquery succeeded.
+    let (full_rows, full_bytes) = match baseline.map(|b| engine.execute(database, b)) {
+        Some(Ok(ExecOutcome::Rows(rs))) => {
+            let encoded = wire::encode_result_set(&rs);
+            (rs.rows.len() as u64, encoded.len() as u64)
+        }
+        _ => (0, 0),
+    };
+    Response::PartialDone { payload: Some(payload), error: None, full_rows, full_bytes, access }
+}
 
-    /// Recovery's `RESOLVE`: settle an in-doubt task per the coordinator's
-    /// replayed decision, answering from local state so the reply is
-    /// truthful even when the first settle round already ran.
-    fn resolve_task(&mut self, task: &str, commit: bool) -> Response {
+fn finish_task(shared: &SrvShared, task: &str, commit: bool) -> Response {
+    let txn = {
+        let mut state = shared.state.lock();
+        match state.tasks.remove(task) {
+            Some(txn) => {
+                state.task_dbs.remove(&txn);
+                txn
+            }
+            None => {
+                if commit {
+                    return Response::Err { message: format!("unknown prepared task `{task}`") };
+                }
+                // Presumed abort: the task may already be gone because its
+                // transaction was rolled back as a deadlock victim — the
+                // coordinator's abort sweep must succeed idempotently.
+                return Response::Ok;
+            }
+        }
+    };
+    let result = {
+        let mut engine = shared.engine.lock();
+        if commit {
+            engine.commit(txn)
+        } else {
+            match engine.rollback(txn) {
+                // Already aborted (deadlock victim): the abort stands.
+                Err(DbError::InvalidTxnState { state: "Aborted", .. }) => Ok(()),
+                other => other,
+            }
+        }
+    };
+    match result {
+        Ok(()) => {
+            let status = if commit { 'C' } else { 'A' };
+            shared.state.lock().resolved.insert(task.to_string(), status);
+            Response::Ok
+        }
+        Err(e) => Response::Err { message: e.to_string() },
+    }
+}
+
+/// Recovery's `RESOLVE`: settle an in-doubt task per the coordinator's
+/// replayed decision, answering from local state so the reply is
+/// truthful even when the first settle round already ran.
+fn resolve_task(shared: &SrvShared, task: &str, commit: bool) -> Response {
+    let txn = {
+        let state = shared.state.lock();
         // Already settled (by the pre-crash coordinator, an earlier recovery
         // pass, or autocommit): answer the recorded outcome.
-        if let Some(&status) = self.resolved.get(task) {
+        if let Some(status) = state.resolved.get(task) {
             return Response::TaskDone { status, affected: 0, payload: None, error: None };
         }
-        match self.tasks.remove(task) {
-            Some(txn) => {
-                let mut engine = self.engine.lock();
-                let result = if commit { engine.commit(txn) } else { engine.rollback(txn) };
-                match result {
-                    Ok(()) => {
-                        let status = if commit { 'C' } else { 'A' };
-                        drop(engine);
-                        self.resolved.insert(task.to_string(), status);
-                        Response::TaskDone { status, affected: 0, payload: None, error: None }
-                    }
-                    Err(e) => Response::Err { message: e.to_string() },
+        state.tasks.get(task).copied()
+    };
+    match txn {
+        Some(txn) => {
+            let result = {
+                let mut engine = shared.engine.lock();
+                if commit {
+                    engine.commit(txn)
+                } else {
+                    engine.rollback(txn)
                 }
+            };
+            match result {
+                Ok(()) => {
+                    let status = if commit { 'C' } else { 'A' };
+                    let mut state = shared.state.lock();
+                    state.tasks.remove(task);
+                    state.task_dbs.remove(&txn);
+                    state.resolved.insert(task.to_string(), status);
+                    Response::TaskDone { status, affected: 0, payload: None, error: None }
+                }
+                Err(e) => Response::Err { message: e.to_string() },
             }
-            // Never prepared here (or aborted locally): presumed abort.
-            None => Response::TaskDone { status: 'A', affected: 0, payload: None, error: None },
         }
+        // Never prepared here (or aborted locally): presumed abort.
+        None => Response::TaskDone { status: 'A', affected: 0, payload: None, error: None },
     }
+}
 
-    fn load(&mut self, database: &str, table: &str, payload: &str) -> Response {
-        let rs = match wire::decode_result_set(payload) {
-            Ok(rs) => rs,
-            Err(e) => return Response::Err { message: e.to_string() },
-        };
-        let mut engine = self.engine.lock();
-        let db = match engine.database_mut(database) {
-            Ok(db) => db,
-            Err(e) => return Response::Err { message: e.to_string() },
-        };
-        let columns =
-            rs.columns.iter().map(|c| ColumnSchema::new(c.name.clone(), c.data_type)).collect();
-        let mut schema = TableSchema::new(table, columns);
-        schema.public = false; // temp tables are not exported
-        let mut t = Table::new(schema);
-        for row in rs.rows {
-            if let Err(e) = t.insert(row) {
-                return Response::Err { message: e.to_string() };
-            }
+fn load(shared: &SrvShared, database: &str, table: &str, payload: &str) -> Response {
+    let rs = match wire::decode_result_set(payload) {
+        Ok(rs) => rs,
+        Err(e) => return Response::Err { message: e.to_string() },
+    };
+    let mut engine = shared.engine.lock();
+    let db = match engine.database_mut(database) {
+        Ok(db) => db,
+        Err(e) => return Response::Err { message: e.to_string() },
+    };
+    let columns =
+        rs.columns.iter().map(|c| ColumnSchema::new(c.name.clone(), c.data_type)).collect();
+    let mut schema = TableSchema::new(table, columns);
+    schema.public = false; // temp tables are not exported
+    let mut t = Table::new(schema);
+    for row in rs.rows {
+        if let Err(e) = t.insert(row) {
+            return Response::Err { message: e.to_string() };
         }
-        let _ = db.remove_table(table);
-        db.insert_table(t);
-        Response::Ok
     }
+    let _ = db.remove_table(table);
+    db.insert_table(t);
+    Response::Ok
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ldbs::profile::DbmsProfile;
+
+    #[test]
+    fn outcome_memory_is_bounded_fifo() {
+        let mut mem = OutcomeMemory::new(4);
+        for i in 0..100 {
+            mem.insert(format!("t{i}"), 'C');
+        }
+        assert_eq!(mem.entries.len(), 4);
+        // Oldest entries evicted, newest retained.
+        assert_eq!(mem.get("t96"), Some('C'));
+        assert_eq!(mem.get("t99"), Some('C'));
+        assert_eq!(mem.get("t0"), None);
+        // Re-inserting an existing key updates in place without growth.
+        mem.insert("t99".to_string(), 'A');
+        assert_eq!(mem.entries.len(), 4);
+        assert_eq!(mem.get("t99"), Some('A'));
+        mem.remove("t99");
+        assert_eq!(mem.get("t99"), None);
+        assert_eq!(mem.entries.len(), 3);
+    }
 
     fn setup() -> (Network, LamHandle, netsim::Endpoint) {
         let net = Network::new();

@@ -86,7 +86,7 @@ pub mod wire;
 
 pub use error::MdbsError;
 pub use executor::{DbOutcome, MsqlOutcome, MtxReport, UpdateReport};
-pub use federation::{Federation, RecoveredMtx, RecoveryReport};
+pub use federation::{Federation, FederationCore, RecoveredMtx, RecoveryReport, Session};
 pub use multitable::Multitable;
 pub use retry::{ExecStats, RetryPolicy, TaskTelemetry};
 pub use scope::SessionScope;

@@ -15,7 +15,9 @@ use crate::table::{Row, Table};
 use crate::txn::{Transaction, TxnId, TxnState, UndoOp};
 use crate::value::DataType;
 use msql_lang::{parse_statement, QueryBody, Statement};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 /// Output column metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +140,60 @@ pub struct EngineStats {
     pub index_hits: u64,
 }
 
+/// Default number of terminal (committed/aborted) transactions retained for
+/// idempotent resolve / at-most-once retry paths before being GC'd.
+const DEFAULT_TERMINAL_RETENTION: usize = 256;
+
+/// Condition-variable signal that lock waiters park on. The epoch increments
+/// on every lock release, so a waiter that captured the epoch *before* a
+/// failed acquisition attempt cannot miss the wake-up in between.
+#[derive(Debug, Clone, Default)]
+pub struct LockSignal {
+    inner: Arc<(StdMutex<u64>, Condvar)>,
+}
+
+impl LockSignal {
+    /// Current epoch; capture it before attempting an acquisition.
+    pub fn epoch(&self) -> u64 {
+        *self.inner.0.lock().unwrap()
+    }
+
+    /// Blocks until the epoch moves past `seen` or `timeout` elapses.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) {
+        let (lock, cv) = &*self.inner;
+        let deadline = Instant::now() + timeout;
+        let mut epoch = lock.lock().unwrap();
+        while *epoch <= seen {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (next, result) = cv.wait_timeout(epoch, deadline - now).unwrap();
+            epoch = next;
+            if result.timed_out() {
+                return;
+            }
+        }
+    }
+
+    fn bump(&self) {
+        let (lock, cv) = &*self.inner;
+        *lock.lock().unwrap() += 1;
+        cv.notify_all();
+    }
+}
+
+/// One exclusive table lock: the holder plus a FIFO queue of waiters. A
+/// release hands the lock directly to the front waiter (no barging).
+#[derive(Debug)]
+struct LockEntry {
+    holder: TxnId,
+    waiters: VecDeque<TxnId>,
+}
+
+/// A table's committed changesets, oldest first: `(commit_seq, undo ops)`.
+type VersionChain = VecDeque<(u64, Vec<UndoOp>)>;
+
 /// An LDBMS service: named databases plus transactional machinery.
 #[derive(Debug)]
 pub struct Engine {
@@ -147,11 +203,26 @@ pub struct Engine {
     pub profile: DbmsProfile,
     databases: HashMap<String, Database>,
     txns: HashMap<TxnId, Transaction>,
-    locks: HashMap<(String, String), TxnId>,
+    locks: HashMap<(String, String), LockEntry>,
     failure: FailurePolicy,
     next_txn: TxnId,
     stats: EngineStats,
     last_access: Option<&'static str>,
+    /// Terminal transactions in retirement order; older ones are GC'd.
+    terminal: VecDeque<TxnId>,
+    terminal_cap: usize,
+    /// Transactions Active or Prepared (cheap horizon fast path).
+    active_txns: usize,
+    /// Deadlock victims rolled back by the detector, keyed to the table
+    /// whose lock completed the cycle; the victim's session learns of its
+    /// fate on its next statement.
+    victims: HashMap<TxnId, String>,
+    /// Monotonic commit sequence; a transaction's snapshot pins a value.
+    commit_seq: u64,
+    /// Committed row-level changesets per `(database, table)`, oldest
+    /// first, kept while any live snapshot might still need them.
+    versions: HashMap<(String, String), VersionChain>,
+    signal: LockSignal,
 }
 
 impl Engine {
@@ -167,7 +238,36 @@ impl Engine {
             next_txn: 1,
             stats: EngineStats::default(),
             last_access: None,
+            terminal: VecDeque::new(),
+            terminal_cap: DEFAULT_TERMINAL_RETENTION,
+            active_txns: 0,
+            victims: HashMap::new(),
+            commit_seq: 0,
+            versions: HashMap::new(),
+            signal: LockSignal::default(),
         }
+    }
+
+    /// The lock-release signal; callers that received [`DbError::LockWait`]
+    /// park on it (capturing the epoch *before* the attempt) and retry.
+    pub fn lock_signal(&self) -> LockSignal {
+        self.signal.clone()
+    }
+
+    /// Number of write locks currently held.
+    pub fn held_locks(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Number of transactions currently tracked (active plus the bounded
+    /// terminal-retention window).
+    pub fn tracked_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Overrides how many terminal transactions are retained before GC.
+    pub fn set_terminal_retention(&mut self, cap: usize) {
+        self.terminal_cap = cap.max(1);
     }
 
     /// Replaces the failure-injection policy.
@@ -267,11 +367,16 @@ impl Engine {
 
     // ---------------------------------------------------------- transactions
 
-    /// Starts an explicit transaction.
+    /// Starts an explicit transaction. Its snapshot pins the current commit
+    /// sequence: reads inside the transaction see exactly the state
+    /// committed so far plus its own writes.
     pub fn begin(&mut self) -> TxnId {
         let id = self.next_txn;
         self.next_txn += 1;
-        self.txns.insert(id, Transaction::new(id));
+        let mut t = Transaction::new(id);
+        t.snapshot = self.commit_seq;
+        self.txns.insert(id, t);
+        self.active_txns += 1;
         id
     }
 
@@ -293,6 +398,13 @@ impl Engine {
         database: &str,
         stmt: &Statement,
     ) -> Result<ExecOutcome, DbError> {
+        // A deadlock victim learns of its fate here: the detector already
+        // rolled the transaction back (releasing its locks), so the next
+        // statement fails with the retriable error instead of a confusing
+        // state mismatch.
+        if let Some(table) = self.victims.remove(&txn) {
+            return Err(DbError::Deadlock { table });
+        }
         self.require_state(txn, TxnState::Active, "execute in")?;
         self.stats.statements += 1;
         self.last_access = None;
@@ -302,8 +414,34 @@ impl Engine {
             Statement::Query(q) => match &q.body {
                 QueryBody::Select(sel) => {
                     let stats = select::AccessStats::default();
-                    let db = self.database(&dbname)?;
-                    let rs = select::execute_select_stats(db, sel, &[], &stats)?;
+                    let snapshot = self.txns.get(&txn).map_or(self.commit_seq, |t| t.snapshot);
+                    let overlays = self.snapshot_overlays(&dbname, txn, snapshot);
+                    let rs = if overlays.is_empty() {
+                        // Fast path: nothing changed since the snapshot —
+                        // read the live tables zero-copy.
+                        let db = self.database(&dbname)?;
+                        select::execute_select_stats(db, sel, &[], &stats)?
+                    } else {
+                        // Swap reconstructed snapshot tables in, run the
+                        // SELECT, swap the live tables back (even on error).
+                        let db = self
+                            .databases
+                            .get_mut(&dbname)
+                            .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
+                        let mut saved = Vec::with_capacity(overlays.len());
+                        for (name, snap_table) in overlays {
+                            if let Ok(slot) = db.table_mut(&name) {
+                                saved.push((name, std::mem::replace(slot, snap_table)));
+                            }
+                        }
+                        let result = select::execute_select_stats(db, sel, &[], &stats);
+                        for (name, live) in saved {
+                            if let Ok(slot) = db.table_mut(&name) {
+                                *slot = live;
+                            }
+                        }
+                        result?
+                    };
                     self.stats.rows_scanned += stats.rows_scanned.get();
                     self.stats.index_hits += stats.index_hits.get();
                     self.last_access = Some(if stats.probed.get() { "probe" } else { "scan" });
@@ -311,7 +449,7 @@ impl Engine {
                 }
                 QueryBody::Insert(ins) => {
                     let table = ins.table.table.as_str().to_string();
-                    self.write_guard(txn, &dbname, &table)?;
+                    let fresh = self.write_guard(txn, &dbname, &table)?;
                     let mut undo = Vec::new();
                     let db = self
                         .databases
@@ -319,11 +457,14 @@ impl Engine {
                         .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
                     let out = dml::execute_insert(db, ins, &mut undo);
                     self.absorb_stmt_undo(txn, undo, &out);
+                    if out.is_err() && fresh {
+                        self.release_failed_lock(txn, &dbname, &table);
+                    }
                     out.map(ExecOutcome::Affected)
                 }
                 QueryBody::Update(up) => {
                     let table = up.table.table.as_str().to_string();
-                    self.write_guard(txn, &dbname, &table)?;
+                    let fresh = self.write_guard(txn, &dbname, &table)?;
                     let mut undo = Vec::new();
                     let db = self
                         .databases
@@ -331,11 +472,14 @@ impl Engine {
                         .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
                     let out = dml::execute_update(db, up, &mut undo);
                     self.absorb_stmt_undo(txn, undo, &out);
+                    if out.is_err() && fresh {
+                        self.release_failed_lock(txn, &dbname, &table);
+                    }
                     out.map(ExecOutcome::Affected)
                 }
                 QueryBody::Delete(del) => {
                     let table = del.table.table.as_str().to_string();
-                    self.write_guard(txn, &dbname, &table)?;
+                    let fresh = self.write_guard(txn, &dbname, &table)?;
                     let mut undo = Vec::new();
                     let db = self
                         .databases
@@ -343,13 +487,16 @@ impl Engine {
                         .ok_or_else(|| DbError::UnknownDatabase(dbname.clone()))?;
                     let out = dml::execute_delete(db, del, &mut undo);
                     self.absorb_stmt_undo(txn, undo, &out);
+                    if out.is_err() && fresh {
+                        self.release_failed_lock(txn, &dbname, &table);
+                    }
                     out.map(ExecOutcome::Affected)
                 }
             },
             Statement::CreateTable(ct) => {
                 let table = ct.table.table.as_str().to_string();
-                self.write_guard(txn, &dbname, &table)?;
                 self.ddl_prologue(txn);
+                self.write_guard(txn, &dbname, &table)?;
                 let log_undo = self.profile.ddl_rollbackable;
                 let db = self
                     .databases
@@ -366,8 +513,8 @@ impl Engine {
             }
             Statement::DropTable(dt) => {
                 let table = dt.table.table.as_str().to_string();
-                self.write_guard(txn, &dbname, &table)?;
                 self.ddl_prologue(txn);
+                self.write_guard(txn, &dbname, &table)?;
                 let log_undo = self.profile.ddl_rollbackable;
                 let db = self
                     .databases
@@ -384,8 +531,8 @@ impl Engine {
             }
             Statement::CreateIndex(ci) => {
                 let table = ci.table.table.as_str().to_string();
-                self.write_guard(txn, &dbname, &table)?;
                 self.ddl_prologue(txn);
+                self.write_guard(txn, &dbname, &table)?;
                 let log_undo = self.profile.ddl_rollbackable;
                 let db = self
                     .databases
@@ -402,8 +549,8 @@ impl Engine {
             }
             Statement::DropIndex(di) => {
                 let table = di.table.table.as_str().to_string();
-                self.write_guard(txn, &dbname, &table)?;
                 self.ddl_prologue(txn);
+                self.write_guard(txn, &dbname, &table)?;
                 let log_undo = self.profile.ddl_rollbackable;
                 let db = self
                     .databases
@@ -436,34 +583,166 @@ impl Engine {
 
     /// Injected-failure and lock check before a write statement. The failure
     /// check runs before any mutation, so a failed statement has no effects.
-    fn write_guard(&mut self, txn: TxnId, dbname: &str, table: &str) -> Result<(), DbError> {
+    ///
+    /// Returns `Ok(true)` when the lock was acquired by this call (so a
+    /// failed statement can release it again), `Ok(false)` when it was
+    /// already held. On conflict the transaction is enqueued behind the
+    /// holder and the waits-for graph is checked: if the new edge closes a
+    /// cycle, the youngest cycle member is rolled back — with
+    /// [`DbError::Deadlock`] if that is the requester itself, otherwise the
+    /// victim is marked and the requester gets [`DbError::LockWait`] like
+    /// any other blocked statement.
+    fn write_guard(&mut self, txn: TxnId, dbname: &str, table: &str) -> Result<bool, DbError> {
         if let Some(reason) = self.failure.check_statement(table) {
             return Err(DbError::InjectedFailure(reason));
         }
         let key = (dbname.to_string(), table.to_ascii_lowercase());
-        match self.locks.get(&key) {
-            Some(holder) if *holder != txn => {
-                Err(DbError::LockConflict { table: table.to_string() })
-            }
-            Some(_) => Ok(()),
+        match self.locks.get_mut(&key) {
             None => {
-                self.locks.insert(key.clone(), txn);
+                self.locks.insert(key.clone(), LockEntry { holder: txn, waiters: VecDeque::new() });
                 if let Some(t) = self.txns.get_mut(&txn) {
                     t.locks.push(key);
                 }
-                Ok(())
+                Ok(true)
+            }
+            Some(entry) if entry.holder == txn => Ok(false),
+            Some(entry) => {
+                if !entry.waiters.contains(&txn) {
+                    entry.waiters.push_back(txn);
+                }
+                if let Some(victim) = self.find_deadlock_victim(txn) {
+                    if victim == txn {
+                        let _ = self.rollback(txn);
+                        return Err(DbError::Deadlock { table: table.to_string() });
+                    }
+                    let _ = self.rollback(victim);
+                    self.victims.insert(victim, key.1.clone());
+                    // The victim's released locks may have been handed
+                    // straight to us.
+                    if self.locks.get(&key).is_some_and(|e| e.holder == txn) {
+                        return Ok(true);
+                    }
+                }
+                Err(DbError::LockWait { table: table.to_string() })
             }
         }
     }
 
-    /// Models Oracle-style "DDL commits all previously issued uncommitted
-    /// statements": the transaction's undo log so far is discarded.
-    fn ddl_prologue(&mut self, txn: TxnId) {
-        if self.profile.ddl_autocommits_prior {
-            if let Some(t) = self.txns.get_mut(&txn) {
-                t.flush_undo();
+    /// DFS over the waits-for graph (waiter → holder plus waiter → earlier
+    /// queue members, since FIFO handoff makes those block it too) looking
+    /// for a cycle through `start`. Returns the youngest (largest-id)
+    /// member of the first cycle found — the designated victim.
+    fn find_deadlock_victim(&self, start: TxnId) -> Option<TxnId> {
+        fn blockers(engine: &Engine, of: TxnId, out: &mut Vec<TxnId>) {
+            for entry in engine.locks.values() {
+                if let Some(pos) = entry.waiters.iter().position(|w| *w == of) {
+                    out.push(entry.holder);
+                    out.extend(entry.waiters.iter().take(pos).copied());
+                }
             }
         }
+        fn dfs(
+            engine: &Engine,
+            start: TxnId,
+            node: TxnId,
+            path: &mut Vec<TxnId>,
+            visited: &mut HashSet<TxnId>,
+        ) -> bool {
+            let mut next = Vec::new();
+            blockers(engine, node, &mut next);
+            for n in next {
+                if n == start {
+                    return true;
+                }
+                if visited.insert(n) {
+                    path.push(n);
+                    if dfs(engine, start, n, path, visited) {
+                        return true;
+                    }
+                    path.pop();
+                }
+            }
+            false
+        }
+        let mut path = vec![start];
+        let mut visited = HashSet::new();
+        if dfs(self, start, start, &mut path, &mut visited) {
+            // Prepared transactions are exempt: they voted YES in 2PC and
+            // only their coordinator may decide their fate. `start` itself
+            // is requesting a lock, so it is Active and always eligible —
+            // the fallback can never leave a cycle unbroken.
+            let eligible =
+                |id: &TxnId| self.txns.get(id).is_none_or(|t| t.state != TxnState::Prepared);
+            path.iter().copied().filter(eligible).max().or(Some(start))
+        } else {
+            None
+        }
+    }
+
+    /// Removes a transaction from every wait queue (it gave up waiting or
+    /// terminated). Queues thereby only ever hold live waiters, so a lock
+    /// handoff can never promote a dead transaction.
+    pub fn cancel_wait(&mut self, txn: TxnId) {
+        for entry in self.locks.values_mut() {
+            entry.waiters.retain(|w| *w != txn);
+        }
+    }
+
+    /// Releases one lock, handing it directly to the next queued waiter
+    /// (which then owns it without re-requesting) or dropping the entry.
+    fn release_lock(&mut self, key: &(String, String)) {
+        let Some(entry) = self.locks.get_mut(key) else { return };
+        match entry.waiters.pop_front() {
+            Some(next) => {
+                entry.holder = next;
+                if let Some(t) = self.txns.get_mut(&next) {
+                    t.locks.push(key.clone());
+                }
+            }
+            None => {
+                self.locks.remove(key);
+            }
+        }
+    }
+
+    /// Statement-level atomicity for locks: a statement that failed after
+    /// freshly acquiring a table lock gives it back, since the error path
+    /// already removed all its effects.
+    fn release_failed_lock(&mut self, txn: TxnId, dbname: &str, table: &str) {
+        let key = (dbname.to_string(), table.to_ascii_lowercase());
+        if self.locks.get(&key).map(|e| e.holder) != Some(txn) {
+            return;
+        }
+        if let Some(t) = self.txns.get_mut(&txn) {
+            t.locks.retain(|k| k != &key);
+        }
+        self.release_lock(&key);
+        self.signal.bump();
+    }
+
+    /// Models Oracle-style "DDL commits all previously issued uncommitted
+    /// statements": the prior work becomes permanent — its undo is
+    /// installed as a committed changeset for snapshot readers, its write
+    /// locks are released (handing them to waiting sessions), and the
+    /// implicit commit is accounted in `stats`. Runs *before* the DDL
+    /// statement acquires its own lock, so only prior locks are released.
+    fn ddl_prologue(&mut self, txn: TxnId) {
+        if !self.profile.ddl_autocommits_prior {
+            return;
+        }
+        let Some(t) = self.txns.get_mut(&txn) else { return };
+        let undo = std::mem::take(&mut t.undo);
+        let locks = std::mem::take(&mut t.locks);
+        if undo.is_empty() && locks.is_empty() {
+            return;
+        }
+        self.install_versions(undo);
+        for key in &locks {
+            self.release_lock(key);
+        }
+        self.signal.bump();
+        self.stats.commits += 1;
+        self.prune_versions();
     }
 
     fn absorb_stmt_undo<T>(
@@ -496,24 +775,37 @@ impl Engine {
             self.rollback(txn)?;
             return Err(DbError::InjectedFailure(reason));
         }
+        // Drop any stale wait-queue entries: a prepared transaction runs no
+        // further statements, so a later lock handoff to it would strand the
+        // lock until the coordinator settles the branch.
+        self.cancel_wait(txn);
         self.txns.get_mut(&txn).unwrap().state = TxnState::Prepared;
         self.stats.prepares += 1;
         Ok(())
     }
 
     /// Commits a transaction (from Active for one-phase, or Prepared for the
-    /// second phase of 2PC).
+    /// second phase of 2PC). Installs the transaction's row-level changes as
+    /// a committed version atomically under the engine lock, then hands its
+    /// write locks to waiting sessions.
     pub fn commit(&mut self, txn: TxnId) -> Result<(), DbError> {
         let t = self.txns.get_mut(&txn).ok_or(DbError::UnknownTransaction(txn))?;
         match t.state {
             TxnState::Active | TxnState::Prepared => {
                 t.state = TxnState::Committed;
-                t.undo.clear();
+                let undo = std::mem::take(&mut t.undo);
                 let locks = std::mem::take(&mut t.locks);
-                for key in locks {
-                    self.locks.remove(&key);
+                self.install_versions(undo);
+                for key in &locks {
+                    self.release_lock(key);
                 }
+                self.cancel_wait(txn);
+                self.victims.remove(&txn);
+                self.signal.bump();
                 self.stats.commits += 1;
+                self.active_txns -= 1;
+                self.retire(txn);
+                self.prune_versions();
                 Ok(())
             }
             state => Err(DbError::InvalidTxnState { action: "commit", state: state.name() }),
@@ -521,7 +813,7 @@ impl Engine {
     }
 
     /// Rolls a transaction back (from Active or Prepared), restoring all
-    /// undone state.
+    /// undone state before its locks are handed over.
     pub fn rollback(&mut self, txn: TxnId) -> Result<(), DbError> {
         let t = self.txns.get_mut(&txn).ok_or(DbError::UnknownTransaction(txn))?;
         match t.state {
@@ -530,14 +822,153 @@ impl Engine {
                 let undo = std::mem::take(&mut t.undo);
                 let locks = std::mem::take(&mut t.locks);
                 self.apply_undo(undo);
-                for key in locks {
-                    self.locks.remove(&key);
+                for key in &locks {
+                    self.release_lock(key);
                 }
+                self.cancel_wait(txn);
+                self.victims.remove(&txn);
+                self.signal.bump();
                 self.stats.aborts += 1;
+                self.active_txns -= 1;
+                self.retire(txn);
+                self.prune_versions();
                 Ok(())
             }
             state => Err(DbError::InvalidTxnState { action: "rollback", state: state.name() }),
         }
+    }
+
+    /// Bounded terminal-transaction retention: the most recent
+    /// `terminal_cap` committed/aborted transactions stay queryable (for
+    /// idempotent resolve / at-most-once retry paths); older ones are GC'd
+    /// so `txns` stays flat over a long session.
+    fn retire(&mut self, txn: TxnId) {
+        self.terminal.push_back(txn);
+        while self.terminal.len() > self.terminal_cap {
+            if let Some(old) = self.terminal.pop_front() {
+                self.txns.remove(&old);
+                self.victims.remove(&old);
+            }
+        }
+    }
+
+    /// Retains a committed transaction's row-level undo as a versioned
+    /// changeset so snapshot readers can reconstruct earlier table states.
+    /// Structural (DDL) operations are not versioned: schema changes become
+    /// visible to every snapshot immediately (see DESIGN.md §3a.6).
+    fn install_versions(&mut self, undo: Vec<UndoOp>) {
+        if undo.is_empty() {
+            return;
+        }
+        let mut per_table: HashMap<(String, String), Vec<UndoOp>> = HashMap::new();
+        for op in undo {
+            let key = match &op {
+                UndoOp::Insert { database, table, .. }
+                | UndoOp::Delete { database, table, .. }
+                | UndoOp::Update { database, table, .. } => (database.clone(), table.clone()),
+                _ => continue,
+            };
+            per_table.entry(key).or_default().push(op);
+        }
+        if per_table.is_empty() {
+            return;
+        }
+        self.commit_seq += 1;
+        let ts = self.commit_seq;
+        for (key, ops) in per_table {
+            self.versions.entry(key).or_default().push_back((ts, ops));
+        }
+    }
+
+    /// Drops version changesets no live snapshot can still need: the GC
+    /// horizon is the oldest snapshot among Active/Prepared transactions.
+    /// With no readers in flight everything goes — the common serial case
+    /// keeps the version store empty.
+    fn prune_versions(&mut self) {
+        if self.versions.is_empty() {
+            return;
+        }
+        if self.active_txns == 0 {
+            self.versions.clear();
+            return;
+        }
+        let horizon = self
+            .txns
+            .values()
+            .filter(|t| !t.state.is_terminal())
+            .map(|t| t.snapshot)
+            .min()
+            .unwrap_or(self.commit_seq);
+        self.versions.retain(|_, chain| {
+            chain.retain(|(ts, _)| *ts > horizon);
+            !chain.is_empty()
+        });
+    }
+
+    /// Reconstructs, for each table of `dbname` whose live contents differ
+    /// from what `reader`'s snapshot should observe, a copy rolled back to
+    /// that snapshot: an uncommitted writer's effects are undone first
+    /// (they are the newest), then committed changesets newer than the
+    /// snapshot, newest first. Tables untouched since the snapshot — the
+    /// common case — produce no overlay and are read zero-copy. Tables the
+    /// reader itself has write-locked are skipped entirely:
+    /// read-your-own-writes takes precedence over the snapshot there.
+    fn snapshot_overlays(
+        &self,
+        dbname: &str,
+        reader: TxnId,
+        snapshot: u64,
+    ) -> Vec<(String, Table)> {
+        if self.locks.is_empty() && self.versions.is_empty() {
+            return Vec::new();
+        }
+        let mine = |table: &str| {
+            self.locks
+                .get(&(dbname.to_string(), table.to_string()))
+                .is_some_and(|e| e.holder == reader)
+        };
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for ((db, table), entry) in &self.locks {
+            if db == dbname && entry.holder != reader {
+                if let Some(t) = self.txns.get(&entry.holder) {
+                    if !t.state.is_terminal() && !t.undo.is_empty() {
+                        names.insert(table);
+                    }
+                }
+            }
+        }
+        for ((db, table), chain) in &self.versions {
+            if db == dbname && chain.back().is_some_and(|(ts, _)| *ts > snapshot) && !mine(table) {
+                names.insert(table);
+            }
+        }
+        if names.is_empty() {
+            return Vec::new();
+        }
+        let Some(db) = self.databases.get(dbname) else { return Vec::new() };
+        let mut out = Vec::new();
+        for name in names {
+            let Ok(live) = db.table(name) else { continue };
+            let mut snap = live.clone();
+            if let Some(entry) = self.locks.get(&(dbname.to_string(), name.to_string())) {
+                if entry.holder != reader {
+                    if let Some(t) = self.txns.get(&entry.holder) {
+                        if !t.state.is_terminal() {
+                            undo_rows_on_table(&mut snap, &t.undo, dbname, name);
+                        }
+                    }
+                }
+            }
+            if let Some(chain) = self.versions.get(&(dbname.to_string(), name.to_string())) {
+                for (ts, ops) in chain.iter().rev() {
+                    if *ts > snapshot {
+                        undo_rows_on_table(&mut snap, ops, dbname, name);
+                    }
+                }
+            }
+            out.push((name.to_string(), snap));
+        }
+        out
     }
 
     /// The observable state of a transaction.
@@ -631,6 +1062,26 @@ impl Engine {
     /// Commit capability this service advertises for a statement class.
     pub fn capability_for(&self, class: StatementClass) -> msql_lang::CommitCapability {
         self.profile.capability_for(class)
+    }
+}
+
+/// Applies the row-level operations of an undo slice (newest first) to a
+/// detached table copy, skipping structural operations and entries for
+/// other tables. Used to roll a cloned table back to a snapshot state.
+fn undo_rows_on_table(table: &mut Table, undo: &[UndoOp], database: &str, name: &str) {
+    for op in undo.iter().rev() {
+        match op {
+            UndoOp::Insert { database: d, table: t, id } if d == database && t == name => {
+                table.remove(*id);
+            }
+            UndoOp::Delete { database: d, table: t, id, row } if d == database && t == name => {
+                table.restore(*id, row.clone());
+            }
+            UndoOp::Update { database: d, table: t, id, old } if d == database && t == name => {
+                let _ = table.replace(*id, old.clone());
+            }
+            _ => {}
+        }
     }
 }
 
@@ -750,11 +1201,202 @@ mod tests {
         let t2 = e.begin();
         e.execute_in(t1, "avis", "UPDATE cars SET rate = 1 WHERE code = 1").unwrap();
         let err = e.execute_in(t2, "avis", "UPDATE cars SET rate = 2 WHERE code = 2");
-        assert!(matches!(err, Err(DbError::LockConflict { .. })));
-        // After t1 terminates, t2 can proceed.
+        assert!(matches!(err, Err(DbError::LockWait { .. })));
+        // t1's termination hands the lock straight to the enqueued t2.
         e.rollback(t1).unwrap();
         e.execute_in(t2, "avis", "UPDATE cars SET rate = 2 WHERE code = 2").unwrap();
         e.commit(t2).unwrap();
+        assert_eq!(e.held_locks(), 0, "all locks released after both txns end");
+    }
+
+    #[test]
+    fn deadlock_rolls_back_youngest_and_is_retriable() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        e.execute("avis", "CREATE TABLE vans (code INT, rate FLOAT)").unwrap();
+        e.execute("avis", "INSERT INTO vans VALUES (1, 30.0)").unwrap();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.execute_in(t1, "avis", "UPDATE cars SET rate = 1 WHERE code = 1").unwrap();
+        e.execute_in(t2, "avis", "UPDATE vans SET rate = 2 WHERE code = 1").unwrap();
+        // t1 blocks behind t2's lock on vans: a plain wait, no cycle yet.
+        assert!(matches!(
+            e.execute_in(t1, "avis", "UPDATE vans SET rate = 3"),
+            Err(DbError::LockWait { .. })
+        ));
+        // t2 requesting cars closes the cycle; t2 is younger and becomes
+        // the victim, rolled back with the retriable error.
+        let err = e.execute_in(t2, "avis", "UPDATE cars SET rate = 4");
+        match &err {
+            Err(DbError::Deadlock { .. }) => {}
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+        assert!(err.unwrap_err().to_string().contains("deadlock"));
+        assert_eq!(e.txn_state(t2).unwrap(), TxnState::Aborted);
+        // t2's rollback handed vans to the waiting t1; its retry succeeds.
+        e.execute_in(t1, "avis", "UPDATE vans SET rate = 3").unwrap();
+        e.commit(t1).unwrap();
+        assert_eq!(e.held_locks(), 0);
+        // t2's effects were rolled back.
+        let rs = e
+            .execute("avis", "SELECT rate FROM vans WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(3.0));
+    }
+
+    #[test]
+    fn deadlock_victim_marked_across_sessions_learns_on_next_statement() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        e.execute("avis", "CREATE TABLE vans (code INT, rate FLOAT)").unwrap();
+        e.execute("avis", "INSERT INTO vans VALUES (1, 30.0)").unwrap();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        let t3 = e.begin();
+        e.execute_in(t1, "avis", "UPDATE cars SET rate = 1").unwrap();
+        e.execute_in(t2, "avis", "UPDATE vans SET rate = 2").unwrap();
+        assert!(matches!(
+            e.execute_in(t2, "avis", "UPDATE cars SET rate = 4"),
+            Err(DbError::LockWait { .. })
+        ));
+        // t1 closes the cycle; t2 (younger than t1) is picked as victim and
+        // t1 inherits vans via handoff immediately.
+        e.execute_in(t1, "avis", "UPDATE vans SET rate = 3").unwrap();
+        // t2's session discovers the verdict on its next statement.
+        assert!(matches!(
+            e.execute_in(t2, "avis", "UPDATE vans SET rate = 5"),
+            Err(DbError::Deadlock { .. })
+        ));
+        e.commit(t1).unwrap();
+        e.execute_in(t3, "avis", "UPDATE cars SET rate = 9").unwrap();
+        e.commit(t3).unwrap();
+        assert_eq!(e.held_locks(), 0);
+    }
+
+    #[test]
+    fn snapshot_read_ignores_uncommitted_writer() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let writer = e.begin();
+        e.execute_in(writer, "avis", "UPDATE cars SET rate = 999").unwrap();
+        e.execute_in(writer, "avis", "INSERT INTO cars VALUES (3, 10.0, 'available')").unwrap();
+        // An independent reader never blocks and sees the pre-write state.
+        let rs = e
+            .execute("avis", "SELECT code, rate FROM cars ORDER BY code")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Float(40.0)]);
+        assert_eq!(rs.rows[1], vec![Value::Int(2), Value::Float(60.0)]);
+        // The writer itself reads its own writes.
+        let own = e
+            .execute_in(writer, "avis", "SELECT code FROM cars ORDER BY code")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(own.rows.len(), 3);
+        e.commit(writer).unwrap();
+        // After commit the new state is visible to fresh readers.
+        let rs = e
+            .execute("avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(999.0));
+    }
+
+    #[test]
+    fn pinned_snapshot_is_repeatable_across_other_commits() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let reader = e.begin();
+        let before = e
+            .execute_in(reader, "avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        // Another transaction commits a change after the reader's snapshot.
+        e.execute("avis", "UPDATE cars SET rate = 777 WHERE code = 1").unwrap();
+        let after = e
+            .execute_in(reader, "avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(before, after, "pinned snapshot must not observe later commits");
+        assert_eq!(after.rows[0][0], Value::Float(40.0));
+        e.commit(reader).unwrap();
+        let now = e
+            .execute("avis", "SELECT rate FROM cars WHERE code = 1")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(now.rows[0][0], Value::Float(777.0));
+        assert!(e.versions.is_empty(), "version store drains once no snapshot needs it");
+    }
+
+    #[test]
+    fn ddl_autocommit_releases_prior_locks_and_counts_commit() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.execute_in(t1, "avis", "UPDATE cars SET rate = 0 WHERE code = 1").unwrap();
+        let commits_before = e.stats().commits;
+        // Oracle-style DDL commits the prior update implicitly …
+        e.execute_in(t1, "avis", "CREATE TABLE extras (x INT)").unwrap();
+        assert_eq!(e.stats().commits, commits_before + 1, "implicit commit accounted");
+        // … so its lock on cars is released and another session can write.
+        e.execute_in(t2, "avis", "UPDATE cars SET rate = 8 WHERE code = 2").unwrap();
+        e.commit(t2).unwrap();
+        e.rollback(t1).unwrap();
+        let rs = e
+            .execute("avis", "SELECT rate FROM cars ORDER BY code")
+            .unwrap()
+            .into_result_set()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(0.0), "pre-DDL work survives the rollback");
+        assert_eq!(rs.rows[1][0], Value::Float(8.0));
+    }
+
+    #[test]
+    fn failed_statement_releases_freshly_acquired_lock() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        e.execute("avis", "CREATE TABLE extras (x INT)").unwrap();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.execute_in(t1, "avis", "UPDATE cars SET rate = 5 WHERE code = 1").unwrap();
+        // This statement acquires a fresh lock on extras, then errors
+        // (unknown column); statement atomicity must give the lock back.
+        assert!(e.execute_in(t1, "avis", "UPDATE extras SET nope = 1").is_err());
+        e.execute_in(t2, "avis", "INSERT INTO extras VALUES (1)").unwrap();
+        e.commit(t2).unwrap();
+        // But a lock held from *before* the failed statement stays held.
+        let t3 = e.begin();
+        assert!(matches!(
+            e.execute_in(t3, "avis", "UPDATE cars SET rate = 2"),
+            Err(DbError::LockWait { .. })
+        ));
+        e.commit(t1).unwrap();
+        e.rollback(t3).unwrap();
+        assert_eq!(e.held_locks(), 0);
+    }
+
+    #[test]
+    fn terminal_transactions_are_garbage_collected() {
+        let mut e = engine_with_cars(DbmsProfile::oracle_like());
+        e.set_terminal_retention(8);
+        let tracked_after_setup = e.tracked_txns();
+        for i in 0..1000 {
+            let sql = format!("UPDATE cars SET rate = {} WHERE code = 1", i % 50);
+            e.execute("avis", &sql).unwrap();
+        }
+        assert!(
+            e.tracked_txns() <= tracked_after_setup + 8,
+            "txn map must stay flat: {} tracked",
+            e.tracked_txns()
+        );
+        // Recent terminal transactions stay queryable for retry paths.
+        let txn = e.begin();
+        e.commit(txn).unwrap();
+        assert_eq!(e.txn_state(txn).unwrap(), TxnState::Committed);
     }
 
     #[test]

@@ -36,6 +36,20 @@ pub enum DbError {
         /// The contended table.
         table: String,
     },
+    /// A write lock is held by another transaction and the requester has
+    /// been enqueued behind it. The failed statement had no effects; the
+    /// caller may wait on the engine's lock signal and retry it verbatim.
+    LockWait {
+        /// The contended table.
+        table: String,
+    },
+    /// The transaction was chosen as a deadlock (or lock-wait-timeout)
+    /// victim and has been rolled back, releasing its locks. Retriable:
+    /// re-running the whole transaction from the top is safe.
+    Deadlock {
+        /// The table whose lock completed the cycle.
+        table: String,
+    },
     /// An injected local failure (crash, deadlock victim, media error).
     InjectedFailure(String),
     /// A scalar subquery produced more than one row.
@@ -73,6 +87,16 @@ impl fmt::Display for DbError {
             }
             DbError::LockConflict { table } => {
                 write!(f, "write lock conflict on table `{table}`")
+            }
+            DbError::LockWait { table } => {
+                write!(f, "waiting for write lock on table `{table}`")
+            }
+            DbError::Deadlock { table } => {
+                write!(
+                    f,
+                    "deadlock victim: transaction rolled back (conflict on table `{table}`); \
+                     safe to retry"
+                )
             }
             DbError::InjectedFailure(m) => write!(f, "injected local failure: {m}"),
             DbError::SubqueryCardinality => {

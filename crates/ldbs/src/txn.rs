@@ -143,12 +143,21 @@ pub struct Transaction {
     pub undo: Vec<UndoOp>,
     /// Held write locks.
     pub locks: Vec<(String, String)>,
+    /// The commit sequence number observed at `BEGIN`: this transaction's
+    /// snapshot reads see exactly the changes committed up to it.
+    pub snapshot: u64,
 }
 
 impl Transaction {
     /// Creates a fresh active transaction.
     pub fn new(id: TxnId) -> Self {
-        Transaction { id, state: TxnState::Active, undo: Vec::new(), locks: Vec::new() }
+        Transaction {
+            id,
+            state: TxnState::Active,
+            undo: Vec::new(),
+            locks: Vec::new(),
+            snapshot: 0,
+        }
     }
 
     /// Makes all work so far permanent without terminating the transaction —

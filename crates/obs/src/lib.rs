@@ -22,6 +22,6 @@ pub mod report;
 pub mod span;
 
 pub use clock::LogicalClock;
-pub use metrics::{labeled, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{labeled, quantile, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use report::{ExplainReport, LamCost, SpanNode, SpanTree};
 pub use span::{Span, SpanCtx, SpanRecord, Tracer};

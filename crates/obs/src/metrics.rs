@@ -11,6 +11,18 @@ pub fn labeled(name: &str, key: &str, value: &str) -> String {
     format!("{name}{{{key}={value}}}")
 }
 
+/// Nearest-rank quantile of an ascending-sorted sample set, `q` in `[0, 1]`
+/// (`0.5` = median, `0.99` = p99). Returns 0 for an empty slice. Histograms
+/// stay cheap count/sum/min/max aggregates; callers that need tail latency
+/// keep their raw samples and ask here.
+pub fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Aggregate of observed values for one histogram series.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Histogram {
@@ -147,6 +159,17 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&samples, 0.5), 50);
+        assert_eq!(quantile(&samples, 0.99), 99);
+        assert_eq!(quantile(&samples, 1.0), 100);
+        assert_eq!(quantile(&samples, 0.0), 1);
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.99), 7);
+    }
 
     #[test]
     fn counters_accumulate_across_clones() {

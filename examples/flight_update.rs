@@ -41,14 +41,15 @@ fn print_generated_dol(fed: &Federation) {
     let Statement::Query(q) = parse_statement(VITAL_UPDATE).unwrap() else { unreachable!() };
     let mut scope = SessionScope::new();
     scope.apply_use(q.use_clause.as_ref().unwrap()).unwrap();
-    let Translated::PerDb(locals) = translate::translate_body(&q.body, &scope, fed.gdd()).unwrap()
+    let Translated::PerDb(locals) = translate::translate_body(&q.body, &scope, &fed.gdd()).unwrap()
     else {
         unreachable!()
     };
     let mut routes = HashMap::new();
+    let ad = fed.ad();
     for db in fed.gdd().database_names() {
         let service = fed.gdd().service_of(db).unwrap().to_string();
-        let entry = fed.ad().service(&service).unwrap();
+        let entry = ad.service(&service).unwrap();
         routes.insert(
             db.to_string(),
             translate::DbRoute {

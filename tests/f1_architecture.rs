@@ -49,8 +49,9 @@ fn services_with_different_profiles_coexist_in_one_query() {
     // different DDL semantics; the AD records the difference and the same
     // multiple query spans both.
     let fed = paper_federation();
-    let cont = fed.ad().service("svc_continental").unwrap();
-    let delta = fed.ad().service("svc_delta").unwrap();
+    let ad = fed.ad();
+    let cont = ad.service("svc_continental").unwrap();
+    let delta = ad.service("svc_delta").unwrap();
     assert_ne!(cont.create_capability(), delta.create_capability());
     assert!(cont.supports_2pc() && delta.supports_2pc());
 }

@@ -33,14 +33,17 @@ fn incorporate_then_import_builds_the_dictionaries() {
          CREATE NOCOMMIT",
     )
     .unwrap();
-    let entry = fed.ad().service("ingres1").unwrap();
+    let ad = fed.ad();
+    let entry = ad.service("ingres1").unwrap();
     assert!(entry.supports_2pc());
     assert_eq!(entry.create_capability(), CommitCapability::TwoPhase);
+    drop(ad);
 
     // IMPORT pulls the public Local Conceptual Schema into the GDD.
     fed.execute("IMPORT DATABASE avis FROM SERVICE ingres1").unwrap();
     assert!(fed.gdd().has_database("avis"));
-    let cars = fed.gdd().table("avis", "cars").unwrap();
+    let gdd = fed.gdd();
+    let cars = gdd.table("avis", "cars").unwrap();
     assert_eq!(cars.columns.len(), 4);
     // Non-public tables are not exported.
     assert!(fed.gdd().table("avis", "internal_audit").is_err());
@@ -52,8 +55,11 @@ fn partial_import_restricts_the_exported_definition() {
     fed.add_service("ingres1", "site1", engine_with_cars()).unwrap();
     fed.execute("IMPORT DATABASE avis FROM SERVICE ingres1 TABLE cars COLUMN (code, rate)")
         .unwrap();
-    let cars = fed.gdd().table("avis", "cars").unwrap();
-    assert_eq!(cars.columns.len(), 2);
+    {
+        let gdd = fed.gdd();
+        let cars = gdd.table("avis", "cars").unwrap();
+        assert_eq!(cars.columns.len(), 2);
+    }
 
     // Queries only see the imported columns: cartype is invisible, so a
     // query over it is not pertinent.
