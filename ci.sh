@@ -55,11 +55,22 @@ echo "== concurrency oracle =="
 # workspace pass above already ran it; a failure here is unmistakable).
 cargo test -q --test concurrency_oracle
 
+echo "== wire differential =="
+# The binary codec equivalence gate: the Q1–Q4 + join + fault-schedule suite
+# must be observably identical under text and binary framing, and the codec
+# property/robustness suites (roundtrips for every proto variant, truncation/
+# bit-flip rejection) must hold. The workspace pass above already ran these;
+# naming them makes a codec regression unmistakable.
+cargo test -q --test wire_differential
+cargo test -q -p mdbs --test codec_proptests
+cargo test -q -p mdbs --test codec_robustness
+
 echo "== bench smoke (--test mode) =="
 # Every benchmark payload must still execute; no timing sweep. This includes
-# b9_cross_join, b10_local_index and b11_concurrency, whose smoke passes
-# also refresh BENCH_cross_join.json, BENCH_local_index.json and
-# BENCH_concurrency.json.
+# b9_cross_join, b10_local_index, b11_concurrency and b12_wire_codec, whose
+# smoke passes also refresh BENCH_cross_join.json, BENCH_local_index.json,
+# BENCH_concurrency.json and BENCH_wire_codec.json (the b12 smoke asserts
+# the ≥2x byte reduction inline).
 cargo bench --workspace -- --test
 
 echo "CI OK"

@@ -1,0 +1,659 @@
+//! Binary frames for the engine ↔ LAM protocol.
+//!
+//! One frame per message, mirroring [`crate::proto`] variant-for-variant:
+//!
+//! ```text
+//! 0xB1 · version 0x01 · flags (bit0 = correlation id follows)
+//! [varint correlation id]
+//! tag byte · fields
+//! ```
+//!
+//! Requests use tags `0x01..=0x10` (declaration order in `proto.rs`),
+//! responses `0x81..=0x85`. Result-set payloads travel as *payload blocks*:
+//! a canonical payload (one produced by `wire::encode_result_set`) ships
+//! columnar (`codec::columnar`); any other string — hand-built payloads,
+//! unusual whitespace — falls back to a verbatim length-prefixed string, so
+//! `decode(encode(x)) == x` holds for every input, bit for bit. Frames are
+//! encoded into buffers leased from a [`BufferPool`] and must decode with
+//! exact consumption: trailing bytes are an error.
+
+use super::columnar;
+use super::varint::{write_str, write_u64, Reader};
+use crate::error::MdbsError;
+use crate::proto::{Request, Response, TaskMode};
+use crate::wire;
+use netsim::{BufferPool, PooledBuf};
+
+/// First byte of every binary frame (never a printable ASCII byte, so text
+/// and binary bodies cannot be confused).
+pub const MAGIC: u8 = 0xB1;
+/// Frame grammar version.
+pub const VERSION: u8 = 0x01;
+
+const FLAG_CORRELATED: u8 = 0x01;
+
+const REQ_BEGIN: u8 = 0x01;
+const REQ_EXEC: u8 = 0x02;
+const REQ_PREPARE: u8 = 0x03;
+const REQ_TASK: u8 = 0x04;
+const REQ_COMMIT: u8 = 0x05;
+const REQ_ABORT: u8 = 0x06;
+const REQ_RESOLVE: u8 = 0x07;
+const REQ_COMPENSATE: u8 = 0x08;
+const REQ_PARTIAL: u8 = 0x09;
+const REQ_SCHEMA: u8 = 0x0A;
+const REQ_LOAD: u8 = 0x0B;
+const REQ_DROPTEMP: u8 = 0x0C;
+const REQ_LOADMANY: u8 = 0x0D;
+const REQ_DROPMANY: u8 = 0x0E;
+const REQ_PING: u8 = 0x0F;
+const REQ_SHUTDOWN: u8 = 0x10;
+
+const RESP_TASKDONE: u8 = 0x81;
+const RESP_PARTIALDONE: u8 = 0x82;
+const RESP_OK: u8 = 0x83;
+const RESP_OKPAYLOAD: u8 = 0x84;
+const RESP_ERR: u8 = 0x85;
+
+const PAYLOAD_VERBATIM: u8 = 0;
+const PAYLOAD_COLUMNAR: u8 = 1;
+
+/// True when the body starts like a binary frame (used by servers to pick a
+/// decode path; the `Body` enum already distinguishes, this is a guard for
+/// raw byte handling).
+pub fn looks_binary(bytes: &[u8]) -> bool {
+    bytes.first() == Some(&MAGIC)
+}
+
+fn write_header(buf: &mut Vec<u8>, corr: Option<u64>) {
+    buf.push(MAGIC);
+    buf.push(VERSION);
+    match corr {
+        Some(id) => {
+            buf.push(FLAG_CORRELATED);
+            write_u64(buf, id);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn read_header(r: &mut Reader) -> Result<Option<u64>, MdbsError> {
+    let magic = r.u8()?;
+    if magic != MAGIC {
+        return Err(MdbsError::Wire(format!("not a binary frame (magic {magic:#04x})")));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(MdbsError::Wire(format!("unsupported frame version {version}")));
+    }
+    let flags = r.u8()?;
+    if flags & !FLAG_CORRELATED != 0 {
+        return Err(MdbsError::Wire(format!("unknown frame flags {flags:#04x}")));
+    }
+    if flags & FLAG_CORRELATED != 0 {
+        Ok(Some(r.u64()?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Extracts the correlation id from a frame without decoding the rest —
+/// the server's reply-cache check and the client's response matching both
+/// need only the id.
+pub fn peek_correlation(bytes: &[u8]) -> Option<u64> {
+    read_header(&mut Reader::new(bytes)).ok().flatten()
+}
+
+/// Payload block: canonical result sets go columnar, everything else ships
+/// verbatim so arbitrary strings survive exactly.
+fn write_payload(buf: &mut Vec<u8>, payload: &str) {
+    if let Ok(rs) = wire::decode_result_set(payload) {
+        if wire::encode_result_set(&rs) == payload {
+            buf.push(PAYLOAD_COLUMNAR);
+            columnar::write_result_set(buf, &rs);
+            return;
+        }
+    }
+    buf.push(PAYLOAD_VERBATIM);
+    write_str(buf, payload);
+}
+
+fn read_payload(r: &mut Reader) -> Result<String, MdbsError> {
+    match r.u8()? {
+        PAYLOAD_VERBATIM => r.string(),
+        PAYLOAD_COLUMNAR => Ok(wire::encode_result_set(&columnar::read_result_set(r)?)),
+        other => Err(MdbsError::Wire(format!("unknown payload block tag {other}"))),
+    }
+}
+
+fn write_opt_str(buf: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        Some(s) => {
+            buf.push(1);
+            write_str(buf, s);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn read_opt_str(r: &mut Reader) -> Result<Option<String>, MdbsError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.string()?)),
+        other => Err(MdbsError::Wire(format!("bad presence byte {other}"))),
+    }
+}
+
+fn write_opt_payload(buf: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        Some(s) => {
+            buf.push(1);
+            write_payload(buf, s);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn read_opt_payload(r: &mut Reader) -> Result<Option<String>, MdbsError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(read_payload(r)?)),
+        other => Err(MdbsError::Wire(format!("bad presence byte {other}"))),
+    }
+}
+
+fn write_strings(buf: &mut Vec<u8>, items: &[String]) {
+    write_u64(buf, items.len() as u64);
+    for s in items {
+        write_str(buf, s);
+    }
+}
+
+fn read_strings(r: &mut Reader) -> Result<Vec<String>, MdbsError> {
+    let n = r.u64()? as usize;
+    if n > r.remaining() {
+        return Err(MdbsError::Wire(format!("implausible list length {n}")));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.string()?);
+    }
+    Ok(out)
+}
+
+/// Encodes a request frame into a pooled buffer.
+pub fn encode_request(pool: &BufferPool, corr: Option<u64>, req: &Request) -> PooledBuf {
+    let mut buf = pool.lease();
+    write_header(&mut buf, corr);
+    match req {
+        Request::Begin { name, database } => {
+            buf.push(REQ_BEGIN);
+            write_str(&mut buf, name);
+            write_str(&mut buf, database);
+        }
+        Request::Exec { task, commands } => {
+            buf.push(REQ_EXEC);
+            write_str(&mut buf, task);
+            write_strings(&mut buf, commands);
+        }
+        Request::Prepare { task } => {
+            buf.push(REQ_PREPARE);
+            write_str(&mut buf, task);
+        }
+        Request::Task { name, mode, database, commands } => {
+            buf.push(REQ_TASK);
+            write_str(&mut buf, name);
+            buf.push(match mode {
+                TaskMode::NoCommit => 0,
+                TaskMode::Auto => 1,
+            });
+            write_str(&mut buf, database);
+            write_strings(&mut buf, commands);
+        }
+        Request::Commit { task } => {
+            buf.push(REQ_COMMIT);
+            write_str(&mut buf, task);
+        }
+        Request::Abort { task } => {
+            buf.push(REQ_ABORT);
+            write_str(&mut buf, task);
+        }
+        Request::Resolve { task, commit } => {
+            buf.push(REQ_RESOLVE);
+            write_str(&mut buf, task);
+            buf.push(u8::from(*commit));
+        }
+        Request::Compensate { task, database, commands } => {
+            buf.push(REQ_COMPENSATE);
+            write_str(&mut buf, task);
+            write_str(&mut buf, database);
+            write_strings(&mut buf, commands);
+        }
+        Request::Partial { database, sql, baseline } => {
+            buf.push(REQ_PARTIAL);
+            write_str(&mut buf, database);
+            write_str(&mut buf, sql);
+            write_opt_str(&mut buf, baseline);
+        }
+        Request::Schema { database } => {
+            buf.push(REQ_SCHEMA);
+            write_str(&mut buf, database);
+        }
+        Request::Load { database, table, payload } => {
+            buf.push(REQ_LOAD);
+            write_str(&mut buf, database);
+            write_str(&mut buf, table);
+            write_payload(&mut buf, payload);
+        }
+        Request::DropTemp { database, table } => {
+            buf.push(REQ_DROPTEMP);
+            write_str(&mut buf, database);
+            write_str(&mut buf, table);
+        }
+        Request::LoadMany { database, parts } => {
+            buf.push(REQ_LOADMANY);
+            write_str(&mut buf, database);
+            write_u64(&mut buf, parts.len() as u64);
+            for (table, payload) in parts {
+                write_str(&mut buf, table);
+                write_payload(&mut buf, payload);
+            }
+        }
+        Request::DropMany { database, tables } => {
+            buf.push(REQ_DROPMANY);
+            write_str(&mut buf, database);
+            write_strings(&mut buf, tables);
+        }
+        Request::Ping => buf.push(REQ_PING),
+        Request::Shutdown => buf.push(REQ_SHUTDOWN),
+    }
+    buf
+}
+
+/// Decodes a request frame: correlation id (if any) plus the request.
+pub fn decode_request(bytes: &[u8]) -> Result<(Option<u64>, Request), MdbsError> {
+    let mut r = Reader::new(bytes);
+    let corr = read_header(&mut r)?;
+    let tag = r.u8()?;
+    let req = match tag {
+        REQ_BEGIN => Request::Begin { name: r.string()?, database: r.string()? },
+        REQ_EXEC => Request::Exec { task: r.string()?, commands: read_strings(&mut r)? },
+        REQ_PREPARE => Request::Prepare { task: r.string()? },
+        REQ_TASK => {
+            let name = r.string()?;
+            let mode = match r.u8()? {
+                0 => TaskMode::NoCommit,
+                1 => TaskMode::Auto,
+                other => {
+                    return Err(MdbsError::Wire(format!("unknown task mode byte {other}")));
+                }
+            };
+            Request::Task { name, mode, database: r.string()?, commands: read_strings(&mut r)? }
+        }
+        REQ_COMMIT => Request::Commit { task: r.string()? },
+        REQ_ABORT => Request::Abort { task: r.string()? },
+        REQ_RESOLVE => {
+            let task = r.string()?;
+            let commit = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(MdbsError::Wire(format!("bad RESOLVE verdict byte {other}")));
+                }
+            };
+            Request::Resolve { task, commit }
+        }
+        REQ_COMPENSATE => Request::Compensate {
+            task: r.string()?,
+            database: r.string()?,
+            commands: read_strings(&mut r)?,
+        },
+        REQ_PARTIAL => Request::Partial {
+            database: r.string()?,
+            sql: r.string()?,
+            baseline: read_opt_str(&mut r)?,
+        },
+        REQ_SCHEMA => Request::Schema { database: r.string()? },
+        REQ_LOAD => Request::Load {
+            database: r.string()?,
+            table: r.string()?,
+            payload: read_payload(&mut r)?,
+        },
+        REQ_DROPTEMP => Request::DropTemp { database: r.string()?, table: r.string()? },
+        REQ_LOADMANY => {
+            let database = r.string()?;
+            let n = r.u64()? as usize;
+            if n > r.remaining() {
+                return Err(MdbsError::Wire(format!("implausible LOADMANY part count {n}")));
+            }
+            let mut parts = Vec::with_capacity(n);
+            for _ in 0..n {
+                let table = r.string()?;
+                let payload = read_payload(&mut r)?;
+                parts.push((table, payload));
+            }
+            Request::LoadMany { database, parts }
+        }
+        REQ_DROPMANY => Request::DropMany { database: r.string()?, tables: read_strings(&mut r)? },
+        REQ_PING => Request::Ping,
+        REQ_SHUTDOWN => Request::Shutdown,
+        other => {
+            return Err(MdbsError::Wire(format!("unknown request tag {other:#04x}")));
+        }
+    };
+    r.finish()?;
+    Ok((corr, req))
+}
+
+/// Encodes a response frame into a pooled buffer.
+pub fn encode_response(pool: &BufferPool, corr: Option<u64>, resp: &Response) -> PooledBuf {
+    let mut buf = pool.lease();
+    write_header(&mut buf, corr);
+    match resp {
+        Response::TaskDone { status, affected, payload, error } => {
+            buf.push(RESP_TASKDONE);
+            write_u64(&mut buf, u64::from(u32::from(*status)));
+            write_u64(&mut buf, *affected);
+            write_opt_str(&mut buf, error);
+            write_opt_payload(&mut buf, payload);
+        }
+        Response::PartialDone { payload, error, full_rows, full_bytes, access } => {
+            buf.push(RESP_PARTIALDONE);
+            write_u64(&mut buf, *full_rows);
+            write_u64(&mut buf, *full_bytes);
+            write_opt_str(&mut buf, access);
+            write_opt_str(&mut buf, error);
+            write_opt_payload(&mut buf, payload);
+        }
+        Response::Ok => buf.push(RESP_OK),
+        Response::OkPayload { payload } => {
+            buf.push(RESP_OKPAYLOAD);
+            write_str(&mut buf, payload);
+        }
+        Response::Err { message } => {
+            buf.push(RESP_ERR);
+            write_str(&mut buf, message);
+        }
+    }
+    buf
+}
+
+/// Decodes a response frame: correlation id (if any) plus the response.
+pub fn decode_response(bytes: &[u8]) -> Result<(Option<u64>, Response), MdbsError> {
+    let mut r = Reader::new(bytes);
+    let corr = read_header(&mut r)?;
+    let tag = r.u8()?;
+    let resp = match tag {
+        RESP_TASKDONE => {
+            let code = r.u64()?;
+            let status = u32::try_from(code)
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| MdbsError::Wire(format!("bad status char code {code}")))?;
+            Response::TaskDone {
+                status,
+                affected: r.u64()?,
+                error: read_opt_str(&mut r)?,
+                payload: read_opt_payload(&mut r)?,
+            }
+        }
+        RESP_PARTIALDONE => Response::PartialDone {
+            full_rows: r.u64()?,
+            full_bytes: r.u64()?,
+            access: read_opt_str(&mut r)?,
+            error: read_opt_str(&mut r)?,
+            payload: read_opt_payload(&mut r)?,
+        },
+        RESP_OK => Response::Ok,
+        RESP_OKPAYLOAD => Response::OkPayload { payload: r.string()? },
+        RESP_ERR => Response::Err { message: r.string()? },
+        other => {
+            return Err(MdbsError::Wire(format!("unknown response tag {other:#04x}")));
+        }
+    };
+    r.finish()?;
+    Ok((corr, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(8)
+    }
+
+    fn roundtrip_request(corr: Option<u64>, req: Request) {
+        let frame = encode_request(&pool(), corr, &req);
+        assert_eq!(peek_correlation(&frame), corr);
+        let (got_corr, got) = decode_request(&frame).unwrap();
+        assert_eq!(got_corr, corr);
+        assert_eq!(got, req);
+    }
+
+    fn roundtrip_response(corr: Option<u64>, resp: Response) {
+        let frame = encode_response(&pool(), corr, &resp);
+        assert_eq!(peek_correlation(&frame), corr);
+        let (got_corr, got) = decode_response(&frame).unwrap();
+        assert_eq!(got_corr, corr);
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn every_request_variant_roundtrips() {
+        roundtrip_request(Some(42), Request::Begin { name: "G1".into(), database: "avis".into() });
+        roundtrip_request(
+            None,
+            Request::Exec { task: "G1".into(), commands: vec!["UPDATE cars SET rate = 1".into()] },
+        );
+        roundtrip_request(Some(0), Request::Prepare { task: "G1".into() });
+        roundtrip_request(
+            Some(u64::MAX),
+            Request::Task {
+                name: "T1".into(),
+                mode: TaskMode::NoCommit,
+                database: "continental".into(),
+                commands: vec!["SELECT 'multi\nline | literal' FROM flights".into()],
+            },
+        );
+        roundtrip_request(
+            Some(7),
+            Request::Task {
+                name: "T".into(),
+                mode: TaskMode::Auto,
+                database: "d".into(),
+                commands: vec![],
+            },
+        );
+        roundtrip_request(Some(1), Request::Commit { task: "T1".into() });
+        roundtrip_request(Some(2), Request::Abort { task: "T1".into() });
+        roundtrip_request(Some(3), Request::Resolve { task: "T1".into(), commit: true });
+        roundtrip_request(Some(4), Request::Resolve { task: "T1".into(), commit: false });
+        roundtrip_request(
+            Some(5),
+            Request::Compensate {
+                task: "T1".into(),
+                database: "continental".into(),
+                commands: vec!["UPDATE flights SET rate = rate / 1.1".into()],
+            },
+        );
+        roundtrip_request(
+            Some(6),
+            Request::Partial {
+                database: "avis".into(),
+                sql: "SELECT code FROM cars".into(),
+                baseline: Some("SELECT code\nFROM cars".into()),
+            },
+        );
+        roundtrip_request(
+            Some(6),
+            Request::Partial { database: "avis".into(), sql: "SELECT 1".into(), baseline: None },
+        );
+        roundtrip_request(Some(8), Request::Schema { database: "avis".into() });
+        roundtrip_request(
+            Some(9),
+            Request::Load {
+                database: "avis".into(),
+                table: "part_national".into(),
+                payload: "COLS code:int\nR I:1\n".into(),
+            },
+        );
+        roundtrip_request(
+            Some(10),
+            Request::DropTemp { database: "avis".into(), table: "t".into() },
+        );
+        roundtrip_request(
+            Some(11),
+            Request::LoadMany {
+                database: "avis".into(),
+                parts: vec![
+                    ("part_national".into(), "COLS code:int\nR I:1\n".into()),
+                    ("part_avis".into(), "COLS rate:float\nR F:39.5\nR F:25.0\n".into()),
+                    ("part_weird".into(), "not a result set at all".into()),
+                    ("part_empty".into(), String::new()),
+                ],
+            },
+        );
+        roundtrip_request(Some(12), Request::LoadMany { database: "a".into(), parts: vec![] });
+        roundtrip_request(
+            Some(13),
+            Request::DropMany { database: "avis".into(), tables: vec!["p1".into(), "p2".into()] },
+        );
+        roundtrip_request(Some(14), Request::DropMany { database: "a".into(), tables: vec![] });
+        roundtrip_request(Some(15), Request::Ping);
+        roundtrip_request(None, Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_variant_roundtrips() {
+        roundtrip_response(Some(42), Response::Ok);
+        roundtrip_response(None, Response::OkPayload { payload: "TABLE t x:int\n".into() });
+        roundtrip_response(
+            Some(1),
+            Response::Err { message: "lock conflict | details\nline2".into() },
+        );
+        roundtrip_response(
+            Some(2),
+            Response::TaskDone { status: 'P', affected: 3, payload: None, error: None },
+        );
+        roundtrip_response(
+            Some(3),
+            Response::TaskDone {
+                status: 'C',
+                affected: 0,
+                payload: Some("COLS code:int\nR I:1\n".into()),
+                error: None,
+            },
+        );
+        roundtrip_response(
+            Some(4),
+            Response::TaskDone {
+                status: 'A',
+                affected: 0,
+                payload: None,
+                error: Some("simulated deadlock".into()),
+            },
+        );
+        roundtrip_response(
+            Some(5),
+            Response::PartialDone {
+                payload: Some("COLS code:int|status:char(16)\nR I:1|S:available\n".into()),
+                error: None,
+                full_rows: 12,
+                full_bytes: 340,
+                access: Some("probe".into()),
+            },
+        );
+        roundtrip_response(
+            Some(6),
+            Response::PartialDone {
+                payload: None,
+                error: Some("unknown table | details\nline2".into()),
+                full_rows: 0,
+                full_bytes: 0,
+                access: None,
+            },
+        );
+    }
+
+    #[test]
+    fn non_canonical_payloads_ship_verbatim_and_survive() {
+        // Trailing blank line: decodes as a result set but does not re-encode
+        // to itself, so the frame must carry it verbatim.
+        for payload in
+            ["COLS code:int\nR I:1\n\n", "COLS code:int\n\nR I:1\n", "plain text", "R |||"]
+        {
+            roundtrip_response(
+                Some(9),
+                Response::TaskDone {
+                    status: 'C',
+                    affected: 0,
+                    payload: Some(payload.to_string()),
+                    error: None,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_payloads_ship_columnar() {
+        let rows: String = (0..100).map(|i| format!("R I:{i}|S:available\n")).collect();
+        let payload = format!("COLS code:int|status:char(16)\n{rows}");
+        let frame = encode_response(
+            &pool(),
+            Some(1),
+            &Response::PartialDone {
+                payload: Some(payload.clone()),
+                error: None,
+                full_rows: 0,
+                full_bytes: 0,
+                access: None,
+            },
+        );
+        assert!(
+            frame.len() < payload.len() / 2,
+            "columnar frame {} not smaller than text payload {}",
+            frame.len(),
+            payload.len()
+        );
+    }
+
+    #[test]
+    fn bad_frames_rejected() {
+        let frame = encode_request(&pool(), Some(1), &Request::Ping);
+        // Wrong magic.
+        let mut bad = frame.clone().into_vec();
+        bad[0] = b'@';
+        assert!(decode_request(&bad).is_err());
+        // Wrong version.
+        let mut bad = frame.clone().into_vec();
+        bad[1] = 9;
+        assert!(decode_request(&bad).is_err());
+        // Unknown flags.
+        let mut bad = frame.clone().into_vec();
+        bad[2] = 0xF0;
+        assert!(decode_request(&bad).is_err());
+        // Trailing garbage.
+        let mut bad = frame.clone().into_vec();
+        bad.push(0);
+        assert!(decode_request(&bad).is_err());
+        // Unknown tag.
+        let mut bad = frame.clone().into_vec();
+        *bad.last_mut().unwrap() = 0x7F;
+        assert!(decode_request(&bad).is_err());
+        // A request frame is not a response frame.
+        assert!(decode_response(&frame).is_err());
+        // Empty body.
+        assert!(decode_request(&[]).is_err());
+        assert!(peek_correlation(&[]).is_none());
+    }
+
+    #[test]
+    fn frames_reuse_pooled_buffers() {
+        let pool = pool();
+        drop(encode_request(&pool, Some(1), &Request::Ping));
+        assert_eq!(pool.idle(), 1);
+        drop(encode_request(&pool, Some(2), &Request::Ping));
+        assert_eq!(pool.reuses(), 1);
+    }
+}

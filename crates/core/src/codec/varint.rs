@@ -1,0 +1,238 @@
+//! Binary primitives: LEB128 varints, zigzag integers, length-prefixed
+//! strings, and a bounds-checked [`Reader`].
+//!
+//! Every decoder is strict: truncation, non-minimal ("overlong") varints and
+//! invalid UTF-8 all produce [`MdbsError::Wire`] with the byte offset, and
+//! never panic — the robustness test suite fuzzes these paths with mutated
+//! frames.
+
+use crate::error::MdbsError;
+
+/// Appends `v` as an LEB128 varint (7 value bits per byte, high bit set on
+/// continuation bytes). Always minimal: at most 10 bytes, no trailing zero
+/// groups.
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed integer, zigzag-mapped so small magnitudes of either
+/// sign stay short.
+pub fn write_i64(buf: &mut Vec<u8>, v: i64) {
+    write_u64(buf, zigzag(v));
+}
+
+/// Maps a signed integer onto an unsigned one: 0, -1, 1, -2 → 0, 1, 2, 3.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Reverses [`zigzag`].
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn write_str(buf: &mut Vec<u8>, s: &str) {
+    write_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends an `f64` as its little-endian bit pattern (exact roundtrip,
+/// including negative zero and NaN payloads).
+pub fn write_f64(buf: &mut Vec<u8>, f: f64) {
+    buf.extend_from_slice(&f.to_bits().to_le_bytes());
+}
+
+/// A sequential, bounds-checked reader over a frame.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset (for error messages).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, MdbsError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| MdbsError::Wire(format!("truncated frame at byte {}", self.pos)))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], MdbsError> {
+        if self.remaining() < n {
+            return Err(MdbsError::Wire(format!(
+                "truncated frame: need {n} bytes at byte {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads an LEB128 varint, rejecting truncated, overlong (non-minimal)
+    /// and overflowing encodings.
+    pub fn u64(&mut self) -> Result<u64, MdbsError> {
+        let start = self.pos;
+        let mut value: u64 = 0;
+        let mut shift: u32 = 0;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && (byte & 0x7f) > 1 {
+                return Err(MdbsError::Wire(format!("varint overflows u64 at byte {start}")));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                if byte == 0 && shift > 0 {
+                    return Err(MdbsError::Wire(format!("overlong varint at byte {start}")));
+                }
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(MdbsError::Wire(format!(
+                    "varint longer than 10 bytes at byte {start}"
+                )));
+            }
+        }
+    }
+
+    /// Reads a zigzag-encoded signed integer.
+    pub fn i64(&mut self) -> Result<i64, MdbsError> {
+        Ok(unzigzag(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, MdbsError> {
+        let start = self.pos;
+        let len = self.u64()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| MdbsError::Wire(format!("invalid UTF-8 in string at byte {start}")))
+    }
+
+    /// Reads an `f64` from its little-endian bit pattern.
+    pub fn f64(&mut self) -> Result<f64, MdbsError> {
+        let bytes = self.bytes(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(f64::from_bits(u64::from_le_bytes(arr)))
+    }
+
+    /// Asserts the frame was consumed exactly — trailing bytes mean a
+    /// corrupt or mismatched frame, never silence.
+    pub fn finish(self) -> Result<(), MdbsError> {
+        if self.remaining() != 0 {
+            return Err(MdbsError::Wire(format!(
+                "{} trailing bytes after frame at byte {}",
+                self.remaining(),
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_across_the_range() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.u64().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrips_signed_extremes() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -12345, 12345] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(Reader::new(&buf).i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 0x80 0x00 decodes to 0 but is not the minimal encoding.
+        let err = Reader::new(&[0x80, 0x00]).u64().unwrap_err();
+        assert!(err.to_string().contains("overlong"), "{err}");
+        // Eleven continuation bytes cannot fit in a u64.
+        let long = [0x80u8; 11];
+        assert!(Reader::new(&long).u64().is_err());
+        // A 10-byte varint whose top byte sets bits beyond 64 overflows.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x02);
+        assert!(Reader::new(&buf).u64().is_err());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        assert!(Reader::new(&[]).u8().is_err());
+        assert!(Reader::new(&[0x80]).u64().is_err());
+        let mut buf = Vec::new();
+        write_str(&mut buf, "hello");
+        assert!(Reader::new(&buf[..3]).string().is_err());
+    }
+
+    #[test]
+    fn string_roundtrips_unicode_and_rejects_bad_utf8() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "héllo|wörld\n\\");
+        assert_eq!(Reader::new(&buf).string().unwrap(), "héllo|wörld\n\\");
+        let bad = [2u8, 0xff, 0xfe];
+        assert!(Reader::new(&bad).string().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 7);
+        buf.push(0xAA);
+        let mut r = Reader::new(&buf);
+        r.u64().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn f64_roundtrips_exact_bits() {
+        for f in [0.0f64, -0.0, 1.25, f64::MAX, f64::MIN_POSITIVE, f64::INFINITY] {
+            let mut buf = Vec::new();
+            write_f64(&mut buf, f);
+            assert_eq!(Reader::new(&buf).f64().unwrap().to_bits(), f.to_bits());
+        }
+    }
+}

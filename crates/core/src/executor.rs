@@ -11,6 +11,7 @@
 //! * updates and multitransactions report per-database termination states
 //!   and the DOL return code.
 
+use crate::codec::WireFormat;
 use crate::error::MdbsError;
 use crate::lamclient::{decode_task_result, LamClient, LamFactory, PartialResult};
 use crate::multitable::{Multitable, MultitableEntry};
@@ -180,6 +181,9 @@ pub struct Executor {
     pub trace: SpanCtx,
     /// Metrics sink shared with the federation.
     pub metrics: MetricsRegistry,
+    /// Encoding every LAM request travels in: line-oriented text (the
+    /// default and the golden-trace format) or binary columnar frames.
+    pub wire_format: WireFormat,
     /// Durable multitransaction log. When set, every plan that carries
     /// recovery material logs its lifecycle (BEGIN, first-phase outcomes,
     /// the settle decision, resolutions, END) so
@@ -202,6 +206,7 @@ impl Executor {
             semijoin_cap: 256,
             trace: SpanCtx::disabled(),
             metrics: MetricsRegistry::new(),
+            wire_format: WireFormat::default(),
             wal: None,
         }
     }
@@ -217,6 +222,7 @@ impl Executor {
             stats: SharedExecStats::clone(&run_stats),
             metrics: self.metrics.clone(),
             tolerate_unreachable: self.tolerate_unreachable,
+            wire_format: self.wire_format,
         };
         let mut engine =
             if self.parallel { DolEngine::new(&factory) } else { DolEngine::serial(&factory) };
@@ -547,7 +553,7 @@ impl Executor {
             MdbsError::Catalog(format!("no route for coordinator `{}`", dec.coordinator))
         })?;
         // 4. Collect the partial results at the coordinator.
-        let coord = LamClient::connect_with(
+        let mut coord = LamClient::connect_with(
             &self.net,
             &route.site,
             &dec.coordinator,
@@ -555,6 +561,7 @@ impl Executor {
             self.retry.clone(),
             SharedExecStats::clone(&self.stats),
         )?;
+        coord.set_wire_format(self.wire_format);
         {
             let span = join_span.child(format!("lam:collect:{}", dec.coordinator));
             span.note("db", &dec.coordinator);
@@ -616,6 +623,7 @@ impl Executor {
             SharedExecStats::clone(&self.stats),
         )?;
         client.set_metrics(self.metrics.clone());
+        client.set_wire_format(self.wire_format);
         let span = ctx.child(format!("lam:partial:{}", sub.database));
         let sql = if extra.is_empty() {
             print_select(&sub.select)

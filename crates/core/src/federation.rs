@@ -14,6 +14,7 @@
 //!   as the single-user entry point. It derefs to its [`Session`], so all
 //!   pre-split code compiles unchanged.
 
+use crate::codec::WireFormat;
 use crate::error::MdbsError;
 use crate::executor::{DbOutcome, Executor, MsqlOutcome, UpdateReport};
 use crate::gtxn::GlobalTransaction;
@@ -38,7 +39,7 @@ use msql_lang::{
 use netsim::Network;
 use obs::{
     labeled, ExplainReport, LogicalClock, MetricsRegistry, MetricsSnapshot, Span, SpanCtx,
-    SpanTree, Tracer,
+    SpanTree, Tracer, WireSummary,
 };
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::collections::HashMap;
@@ -119,6 +120,12 @@ pub struct Session {
     /// Per-edge cap on the distinct key values shipped as a semi-join
     /// filter; beyond it the edge falls back to full shipping.
     pub semijoin_cap: usize,
+    /// Encoding LAM requests travel in (default [`WireFormat::Text`], the
+    /// debug and golden-trace format). [`WireFormat::Binary`] switches this
+    /// session's clients to length-prefixed columnar frames; the servers
+    /// mirror whatever format each request arrives in, so sessions with
+    /// different settings coexist on one federation.
+    pub wire_format: WireFormat,
     /// Session-level communication accounting.
     stats: SharedExecStats,
     /// The tracer of the statement currently executing (None between
@@ -222,6 +229,7 @@ impl Session {
             tolerate_unreachable: false,
             semijoin: true,
             semijoin_cap: 256,
+            wire_format: WireFormat::default(),
             stats: shared_stats(),
             trace: None,
             trace_ctx: SpanCtx::disabled(),
@@ -246,6 +254,7 @@ impl Session {
         s.tolerate_unreachable = self.tolerate_unreachable;
         s.semijoin = self.semijoin;
         s.semijoin_cap = self.semijoin_cap;
+        s.wire_format = self.wire_format;
         s
     }
 
@@ -410,6 +419,7 @@ impl Session {
             semijoin_cap: self.semijoin_cap,
             trace: self.trace_ctx.clone(),
             metrics: self.core.metrics.clone(),
+            wire_format: self.wire_format,
             wal: self.wal.clone(),
         }
     }
@@ -554,6 +564,7 @@ impl Session {
             SharedExecStats::clone(&self.stats),
         )?;
         client.set_metrics(self.core.metrics.clone());
+        client.set_wire_format(self.wire_format);
         Ok(client)
     }
 
@@ -570,6 +581,7 @@ impl Session {
             stats: SharedExecStats::clone(&self.stats),
             metrics: self.core.metrics.clone(),
             tolerate_unreachable: self.tolerate_unreachable,
+            wire_format: self.wire_format,
         };
         let mut engine = if self.parallel {
             dol::DolEngine::new(&factory)
@@ -701,9 +713,25 @@ impl Session {
     /// simulated costs are observed, not estimated).
     pub fn explain(&mut self, stmt: &Statement) -> Result<MsqlOutcome, MdbsError> {
         let text = print(stmt);
+        // Snapshot the wire byte counters around the run so the report can
+        // show what this statement alone put on the wire per format.
+        let text_before = self.core.metrics.counter("net.bytes_text");
+        let binary_before = self.core.metrics.counter("net.bytes_binary");
         self.execute_statement(stmt)?;
         let tree = self.last_trace().unwrap_or_default();
-        Ok(MsqlOutcome::Explain(Box::new(ExplainReport::from_tree(text, tree))))
+        let mut report = ExplainReport::from_tree(text, tree);
+        // Populated only when binary frames actually shipped: the text
+        // default renders byte-identically to pre-codec reports, which the
+        // golden traces pin.
+        let bytes_binary = self.core.metrics.counter("net.bytes_binary") - binary_before;
+        if bytes_binary > 0 {
+            report.wire = Some(WireSummary {
+                format: self.wire_format.label().to_string(),
+                bytes_text: self.core.metrics.counter("net.bytes_text") - text_before,
+                bytes_binary,
+            });
+        }
+        Ok(MsqlOutcome::Explain(Box::new(report)))
     }
 
     /// Parses and executes a script, returning one outcome per statement.
@@ -798,11 +826,24 @@ impl Session {
                 // a trigger action): run the target as a nested statement,
                 // then report on the spans collected so far.
                 let text = print(inner);
+                let text_before = self.core.metrics.counter("net.bytes_text");
+                let binary_before = self.core.metrics.counter("net.bytes_binary");
                 self.execute_statement(inner)?;
                 let records = self.trace.as_ref().map(|t| t.records()).unwrap_or_default();
                 let mut tree = SpanTree::from_records(&records);
                 tree.normalize();
-                Ok(MsqlOutcome::Explain(Box::new(ExplainReport::from_tree(text, tree))))
+                let mut report = ExplainReport::from_tree(text, tree);
+                // Same rule as `Session::explain`: the wire summary appears
+                // only when binary frames actually shipped.
+                let bytes_binary = self.core.metrics.counter("net.bytes_binary") - binary_before;
+                if bytes_binary > 0 {
+                    report.wire = Some(WireSummary {
+                        format: self.wire_format.label().to_string(),
+                        bytes_text: self.core.metrics.counter("net.bytes_text") - text_before,
+                        bytes_binary,
+                    });
+                }
+                Ok(MsqlOutcome::Explain(Box::new(report)))
             }
             Statement::CreateTable(ct) => self.execute_create_table(ct),
             Statement::DropTable(dt) => self.execute_drop_table(dt),

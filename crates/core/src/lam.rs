@@ -6,6 +6,7 @@
 //! either to the engine or to other LAMs." Here each LAM is a thread
 //! servicing a [`netsim`] mailbox with the [`crate::proto`] protocol.
 
+use crate::codec::{self, WireFormat};
 use crate::error::MdbsError;
 use crate::proto::{self, Request, Response, TaskMode};
 use crate::wire;
@@ -17,7 +18,7 @@ use ldbs::table::Table;
 use ldbs::txn::TxnId;
 use ldbs::value::DataType;
 use msql_lang::TypeName;
-use netsim::{NetError, Network};
+use netsim::{Body, BufferPool, NetError, Network};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -219,6 +220,7 @@ pub fn spawn_lam_with(
             inflight: HashSet::new(),
         }),
         config: config.clone(),
+        pool: BufferPool::default(),
     });
     let thread = std::thread::Builder::new()
         .name(format!("lam-{site}"))
@@ -236,7 +238,15 @@ pub fn spawn_lam_with(
                         break;
                     }
                 };
-                let (corr, body) = proto::split_correlation(&msg.body);
+                // The server mirrors whatever format each request arrived
+                // in, so mixed-format clients coexist on one LAM. The
+                // correlation id is peeked *before* full decoding, keeping
+                // the cache-check → inflight-insert → decode order that the
+                // at-most-once guarantee depends on.
+                let (corr, format) = match &msg.body {
+                    Body::Text(text) => (proto::split_correlation(text).0, WireFormat::Text),
+                    Body::Binary(bytes) => (codec::peek_correlation(bytes), WireFormat::Binary),
+                };
                 if let Some(id) = corr {
                     let mut state = shared.state.lock();
                     if let Some(cached) = state.replies.get(id) {
@@ -252,9 +262,13 @@ pub fn spawn_lam_with(
                         continue;
                     }
                 }
-                match Request::decode(body) {
+                let decoded = match &msg.body {
+                    Body::Text(text) => Request::decode(proto::split_correlation(text).1),
+                    Body::Binary(bytes) => codec::decode_request(bytes).map(|(_, req)| req),
+                };
+                match decoded {
                     Ok(Request::Shutdown) => {
-                        let out = frame_reply(&shared, corr, Response::Ok);
+                        let out = frame_reply(&shared, corr, Response::Ok, format);
                         let _ = endpoint.send(&msg.from, out);
                         thread_alive.store(false, Ordering::SeqCst);
                         break;
@@ -268,7 +282,7 @@ pub fn spawn_lam_with(
                             .name(format!("lam-{thread_site}-w"))
                             .spawn(move || {
                                 let response = handle_request(&worker_shared, req);
-                                let out = frame_reply(&worker_shared, corr, response);
+                                let out = frame_reply(&worker_shared, corr, response, format);
                                 let _ = worker_endpoint.send(&from, out);
                             });
                         if spawned.is_err() {
@@ -278,13 +292,18 @@ pub fn spawn_lam_with(
                                 &shared,
                                 corr,
                                 Response::Err { message: "LAM worker spawn failed".into() },
+                                format,
                             );
                             let _ = endpoint.send(&msg.from, out);
                         }
                     }
                     Err(e) => {
-                        let out =
-                            frame_reply(&shared, corr, Response::Err { message: e.to_string() });
+                        let out = frame_reply(
+                            &shared,
+                            corr,
+                            Response::Err { message: e.to_string() },
+                            format,
+                        );
                         let _ = endpoint.send(&msg.from, out);
                     }
                 }
@@ -307,23 +326,41 @@ pub fn spawn_lam_with(
 /// inflight marker when the request was correlated. The cache is populated
 /// *before* the marker clears, so a client retry can never slip between
 /// the two and re-execute.
-fn frame_reply(shared: &SrvShared, corr: Option<u64>, response: Response) -> String {
+fn frame_reply(
+    shared: &SrvShared,
+    corr: Option<u64>,
+    response: Response,
+    format: WireFormat,
+) -> Body {
+    let encode = |corr: Option<u64>| -> Body {
+        match format {
+            WireFormat::Text => match corr {
+                Some(id) => Body::Text(proto::encode_with_correlation(id, &response.encode())),
+                None => Body::Text(response.encode()),
+            },
+            WireFormat::Binary => {
+                Body::Binary(codec::encode_response(&shared.pool, corr, &response))
+            }
+        }
+    };
     match corr {
         Some(id) => {
-            let framed = proto::encode_with_correlation(id, &response.encode());
+            let framed = encode(Some(id));
             let mut state = shared.state.lock();
             state.replies.put(id, framed.clone());
             state.inflight.remove(&id);
             framed
         }
-        None => response.encode(),
+        None => encode(None),
     }
 }
 
-/// Bounded FIFO cache of already-sent correlated responses.
+/// Bounded FIFO cache of already-sent correlated responses. Stores the
+/// framed [`Body`] so a retry is replayed verbatim in the format the
+/// original request used.
 struct ReplyCache {
     capacity: usize,
-    entries: HashMap<u64, String>,
+    entries: HashMap<u64, Body>,
     order: VecDeque<u64>,
 }
 
@@ -332,11 +369,11 @@ impl ReplyCache {
         ReplyCache { capacity: capacity.max(1), entries: HashMap::new(), order: VecDeque::new() }
     }
 
-    fn get(&self, id: u64) -> Option<String> {
+    fn get(&self, id: u64) -> Option<Body> {
         self.entries.get(&id).cloned()
     }
 
-    fn put(&mut self, id: u64, framed: String) {
+    fn put(&mut self, id: u64, framed: Body) {
         if self.entries.insert(id, framed).is_none() {
             self.order.push_back(id);
             while self.order.len() > self.capacity {
@@ -411,6 +448,9 @@ struct SrvShared {
     engine: Arc<Mutex<Engine>>,
     state: Mutex<SrvState>,
     config: LamConfig,
+    /// Lease pool binary replies are encoded into; leases return when the
+    /// receiver drops the delivered frame.
+    pool: BufferPool,
 }
 
 /// Executes one command inside `txn`, parking on the engine's lock signal
@@ -913,7 +953,7 @@ mod tests {
     fn call(client: &netsim::Endpoint, req: Request) -> Response {
         client.send("site1", req.encode()).unwrap();
         let msg = client.recv().unwrap();
-        Response::decode(&msg.body).unwrap()
+        Response::decode(msg.body.as_str()).unwrap()
     }
 
     #[test]
@@ -1262,7 +1302,7 @@ mod tests {
         let (_net, _lam, client) = setup();
         client.send("site1", "GARBAGE").unwrap();
         let msg = client.recv().unwrap();
-        assert!(matches!(Response::decode(&msg.body).unwrap(), Response::Err { .. }));
+        assert!(matches!(Response::decode(msg.body.as_str()).unwrap(), Response::Err { .. }));
     }
 
     #[test]
@@ -1281,7 +1321,7 @@ mod tests {
         client.send("site1", framed).unwrap();
         let second = client.recv().unwrap();
         assert_eq!(first.body, second.body, "replayed verbatim");
-        let (corr, body) = proto::split_correlation(&second.body);
+        let (corr, body) = proto::split_correlation(second.body.as_str());
         assert_eq!(corr, Some(99));
         assert!(matches!(
             Response::decode(body).unwrap(),

@@ -6,13 +6,14 @@
 //! the executor needs (schema fetch, partial-result loading at the
 //! coordinator).
 
+use crate::codec::{self, WireFormat};
 use crate::error::MdbsError;
 use crate::proto::{self, Request, Response, TaskMode};
 use crate::retry::{shared_stats, RetryPolicy, SharedExecStats};
 use dol::engine::TaskExecution;
 use dol::TaskStatus;
 use dol::{DolError, DolService, ServiceFactory};
-use netsim::{Endpoint, FaultKind, NetError, Network};
+use netsim::{Body, BufferPool, Endpoint, FaultKind, NetError, Network};
 use obs::{labeled, MetricsRegistry, Span};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -78,6 +79,11 @@ pub struct LamClient {
     /// Metrics sink for `lam.*` series (a private registry unless attached
     /// to a federation's via [`Self::set_metrics`]).
     metrics: MetricsRegistry,
+    /// Encoding used for requests (the server mirrors it in replies). Text
+    /// unless negotiated up via [`Self::set_wire_format`].
+    wire_format: WireFormat,
+    /// Lease pool for binary frame buffers.
+    pool: BufferPool,
 }
 
 /// One attempt's failure: a classified network fault, or a protocol error
@@ -127,7 +133,11 @@ impl LamClient {
             retry,
             stats,
             metrics: MetricsRegistry::new(),
+            wire_format: WireFormat::default(),
+            pool: BufferPool::default(),
         };
+        // The bootstrap PING always travels as text: negotiation is applied
+        // by the owner after connect, and text is the universal fallback.
         match client.call(Request::Ping)? {
             Response::Ok => Ok(client),
             other => Err(MdbsError::Net(format!("unexpected ping reply: {other:?}"))),
@@ -142,6 +152,18 @@ impl LamClient {
     /// Points the client's `lam.*` metric series at a shared registry.
     pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
         self.metrics = metrics;
+    }
+
+    /// Switches the request encoding. The LAM mirrors whatever format each
+    /// request arrives in, so this needs no server-side coordination and may
+    /// change between calls.
+    pub fn set_wire_format(&mut self, format: WireFormat) {
+        self.wire_format = format;
+    }
+
+    /// The request encoding in use.
+    pub fn wire_format(&self) -> WireFormat {
+        self.wire_format
     }
 
     /// Sends one logical request and waits for its response, retrying
@@ -176,7 +198,16 @@ impl LamClient {
         span: &Span,
     ) -> (Result<Response, MdbsError>, u32, Vec<FaultKind>) {
         let id = REQUEST_SEQ.fetch_add(1, Ordering::Relaxed);
-        let framed = proto::encode_with_correlation(id, &req.encode());
+        // Encoded once per logical call; every retry resends the same bytes.
+        let encode_start = Instant::now();
+        let framed: Body = match self.wire_format {
+            WireFormat::Text => Body::Text(proto::encode_with_correlation(id, &req.encode())),
+            WireFormat::Binary => Body::Binary(codec::encode_request(&self.pool, Some(id), req)),
+        };
+        self.metrics.observe(
+            &labeled("wire.encode_us", "format", self.wire_format.label()),
+            encode_start.elapsed().as_micros() as u64,
+        );
         let max_attempts =
             if matches!(req, Request::Shutdown) { 1 } else { self.retry.max_attempts.max(1) };
         let overall_deadline = Instant::now() + self.retry.deadline;
@@ -233,9 +264,11 @@ impl LamClient {
     }
 
     /// One send/receive round. Responses whose correlation id does not match
-    /// are stale replies to abandoned attempts and are discarded.
-    fn attempt(&self, id: u64, framed: &str) -> Result<Response, AttemptError> {
-        self.endpoint.send(&self.site, framed).map_err(AttemptError::Net)?;
+    /// are stale replies to abandoned attempts and are discarded. Replies
+    /// are accepted in either wire format — the server mirrors the request's
+    /// format, but a stale text reply must not wedge a binary client.
+    fn attempt(&self, id: u64, framed: &Body) -> Result<Response, AttemptError> {
+        self.endpoint.send(&self.site, framed.clone()).map_err(AttemptError::Net)?;
         let deadline = Instant::now() + self.timeout;
         loop {
             let now = Instant::now();
@@ -243,13 +276,28 @@ impl LamClient {
                 return Err(AttemptError::Net(NetError::Timeout));
             }
             let msg = self.endpoint.recv_timeout(deadline - now).map_err(AttemptError::Net)?;
-            let (corr, body) = proto::split_correlation(&msg.body);
-            match corr {
-                Some(i) if i == id => return Response::decode(body).map_err(AttemptError::Fatal),
-                // A reply to an earlier attempt or an earlier logical call;
-                // the server's dedup cache already answered (or will
-                // answer) the live id.
-                _ => continue,
+            let decode_start = Instant::now();
+            let (matched, format) = match &msg.body {
+                Body::Text(text) => {
+                    let (corr, body) = proto::split_correlation(text);
+                    let matched = (corr == Some(id)).then(|| Response::decode(body));
+                    (matched, WireFormat::Text)
+                }
+                Body::Binary(bytes) => {
+                    let matched = (codec::peek_correlation(bytes) == Some(id))
+                        .then(|| codec::decode_response(bytes).map(|(_, resp)| resp));
+                    (matched, WireFormat::Binary)
+                }
+            };
+            // A reply to an earlier attempt or an earlier logical call is
+            // skipped; the server's dedup cache already answered (or will
+            // answer) the live id.
+            if let Some(result) = matched {
+                self.metrics.observe(
+                    &labeled("wire.decode_us", "format", format.label()),
+                    decode_start.elapsed().as_micros() as u64,
+                );
+                return result.map_err(AttemptError::Fatal);
             }
         }
     }
@@ -635,6 +683,8 @@ pub struct LamFactory {
     /// instead of failing the whole plan — the §3.2 vital semantics then
     /// decide whether the statement survives the loss.
     pub tolerate_unreachable: bool,
+    /// Wire format handed to every client this factory opens.
+    pub wire_format: WireFormat,
 }
 
 impl LamFactory {
@@ -647,6 +697,7 @@ impl LamFactory {
             stats: shared_stats(),
             metrics: MetricsRegistry::new(),
             tolerate_unreachable: false,
+            wire_format: WireFormat::default(),
         }
     }
 }
@@ -663,6 +714,7 @@ impl ServiceFactory for LamFactory {
         ) {
             Ok(mut client) => {
                 client.set_metrics(self.metrics.clone());
+                client.set_wire_format(self.wire_format);
                 Ok(Box::new(client))
             }
             Err(e) if self.tolerate_unreachable => Ok(Box::new(UnreachableService {

@@ -67,6 +67,7 @@
 //! assert_eq!(mt.tables.len(), 2); // a multitable: one table per database
 //! ```
 
+pub mod codec;
 pub mod error;
 pub mod executor;
 pub mod federation;
@@ -84,6 +85,7 @@ pub mod translate;
 pub mod wal;
 pub mod wire;
 
+pub use codec::WireFormat;
 pub use error::MdbsError;
 pub use executor::{DbOutcome, MsqlOutcome, MtxReport, UpdateReport};
 pub use federation::{Federation, FederationCore, RecoveredMtx, RecoveryReport, Session};

@@ -9,7 +9,7 @@
 
 use netsim::FaultKind;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -121,8 +121,9 @@ pub struct ExecStats {
     /// Non-vital subqueries tolerated as failed (graceful degradation,
     /// §3.2's "the multiquery can succeed without them").
     pub degraded: u64,
-    /// Per-task attempt/fault telemetry, keyed by DOL task name.
-    pub per_task: HashMap<String, TaskTelemetry>,
+    /// Per-task attempt/fault telemetry, keyed by DOL task name. Ordered so
+    /// `Debug`/render output is deterministic and diffable.
+    pub per_task: BTreeMap<String, TaskTelemetry>,
 }
 
 impl ExecStats {

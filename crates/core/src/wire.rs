@@ -35,22 +35,28 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Reverses [`escape`].
+/// Reverses [`escape`]. Errors carry the byte offset of the offending
+/// backslash so a corrupt field inside a large payload can be located.
 pub fn unescape(s: &str) -> Result<String, MdbsError> {
     let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
+    let mut chars = s.char_indices();
+    while let Some((pos, c)) = chars.next() {
         if c != '\\' {
             out.push(c);
             continue;
         }
         match chars.next() {
-            Some('\\') => out.push('\\'),
-            Some('p') => out.push('|'),
-            Some('n') => out.push('\n'),
-            Some('r') => out.push('\r'),
-            other => {
-                return Err(MdbsError::Wire(format!("bad escape sequence `\\{other:?}`")));
+            Some((_, '\\')) => out.push('\\'),
+            Some((_, 'p')) => out.push('|'),
+            Some((_, 'n')) => out.push('\n'),
+            Some((_, 'r')) => out.push('\r'),
+            Some((_, other)) => {
+                return Err(MdbsError::Wire(format!(
+                    "bad escape sequence `\\{other}` at byte {pos}"
+                )));
+            }
+            None => {
+                return Err(MdbsError::Wire(format!("trailing backslash at byte {pos}")));
             }
         }
     }
@@ -390,5 +396,16 @@ mod tests {
         assert!(decode_result_set("nonsense").is_err());
         assert!(decode_schema("GRBL x y").is_err());
         assert!(decode_type("char(abc)").is_err());
+    }
+
+    #[test]
+    fn bad_escapes_report_the_offset() {
+        let err = unescape("abc\\x").unwrap_err().to_string();
+        assert!(err.contains("`\\x`") && err.contains("byte 3"), "got: {err}");
+        let err = unescape("abcd\\").unwrap_err().to_string();
+        assert!(err.contains("trailing backslash") && err.contains("byte 4"), "got: {err}");
+        // Offsets are byte offsets, robust to preceding multi-byte chars.
+        let err = unescape("é\\q").unwrap_err().to_string();
+        assert!(err.contains("byte 2"), "got: {err}");
     }
 }

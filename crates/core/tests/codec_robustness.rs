@@ -1,0 +1,266 @@
+//! Adversarial decoder tests: a binary frame decoder fed hostile bytes must
+//! return `MdbsError::Wire` — it must never panic and never silently
+//! misdecode. Covers truncation at every prefix, corrupt tag bytes, overlong
+//! varints, and a seeded bit-flip mutation sweep over a corpus of real
+//! frames.
+
+use mdbs::codec::{decode_request, decode_response, encode_request, encode_response};
+use mdbs::proto::{Request, Response, TaskMode};
+use mdbs::MdbsError;
+use netsim::BufferPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One frame per request variant, payload-bearing ones included.
+fn request_corpus() -> Vec<Vec<u8>> {
+    let pool = BufferPool::default();
+    let payload =
+        "COLS code:int|rate:float|st:char(10)\nR I:1|F:40.0|S:available\nR I:2|N|S:rented\n";
+    let reqs = vec![
+        Request::Begin { name: "g1".into(), database: "avis".into() },
+        Request::Exec { task: "g1".into(), commands: vec!["UPDATE cars SET rate = 1".into()] },
+        Request::Prepare { task: "g1".into() },
+        Request::Task {
+            name: "t1".into(),
+            mode: TaskMode::NoCommit,
+            database: "avis".into(),
+            commands: vec!["SELECT code FROM cars".into(), "odd | text \\ here".into()],
+        },
+        Request::Commit { task: "t1".into() },
+        Request::Abort { task: "t1".into() },
+        Request::Resolve { task: "t1".into(), commit: true },
+        Request::Compensate {
+            task: "t1".into(),
+            database: "avis".into(),
+            commands: vec!["UPDATE cars SET rate = rate / 2".into()],
+        },
+        Request::Partial {
+            database: "avis".into(),
+            sql: "SELECT code FROM cars".into(),
+            baseline: Some("SELECT code FROM cars WHERE rate > 0".into()),
+        },
+        Request::Schema { database: "avis".into() },
+        Request::Load { database: "avis".into(), table: "part_t".into(), payload: payload.into() },
+        Request::DropTemp { database: "avis".into(), table: "part_t".into() },
+        Request::LoadMany {
+            database: "avis".into(),
+            parts: vec![("p1".into(), payload.to_string()), ("p2".into(), String::new())],
+        },
+        Request::DropMany { database: "avis".into(), tables: vec!["p1".into(), "p2".into()] },
+        Request::Ping,
+        Request::Shutdown,
+    ];
+    reqs.iter()
+        .enumerate()
+        .map(|(i, r)| encode_request(&pool, (i % 2 == 0).then_some(i as u64 * 977), r).into_vec())
+        .collect()
+}
+
+/// One frame per response variant.
+fn response_corpus() -> Vec<Vec<u8>> {
+    let pool = BufferPool::default();
+    let payload = "COLS code:int\nR I:1\nR I:2\nR N\n";
+    let resps = [
+        Response::Ok,
+        Response::OkPayload { payload: payload.into() },
+        Response::Err { message: "lock conflict | details\nline2".into() },
+        Response::TaskDone { status: 'C', affected: 3, payload: Some(payload.into()), error: None },
+        Response::TaskDone {
+            status: 'A',
+            affected: 0,
+            payload: None,
+            error: Some("simulated deadlock".into()),
+        },
+        Response::PartialDone {
+            payload: Some(payload.into()),
+            error: None,
+            full_rows: 12,
+            full_bytes: 340,
+            access: Some("probe".into()),
+        },
+    ];
+    resps
+        .iter()
+        .enumerate()
+        .map(|(i, r)| encode_response(&pool, (i % 2 == 1).then_some(i as u64), r).into_vec())
+        .collect()
+}
+
+fn assert_wire_err<T: std::fmt::Debug>(result: Result<T, MdbsError>, context: &str) {
+    match result {
+        Err(MdbsError::Wire(_)) => {}
+        other => panic!("{context}: expected MdbsError::Wire, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_truncation_of_every_request_frame_is_rejected() {
+    for frame in request_corpus() {
+        for cut in 0..frame.len() {
+            assert_wire_err(
+                decode_request(&frame[..cut]),
+                &format!("request frame truncated to {cut}/{} bytes", frame.len()),
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_every_response_frame_is_rejected() {
+    for frame in response_corpus() {
+        for cut in 0..frame.len() {
+            assert_wire_err(
+                decode_response(&frame[..cut]),
+                &format!("response frame truncated to {cut}/{} bytes", frame.len()),
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupt_tag_bytes_are_rejected() {
+    let pool = BufferPool::default();
+    let frame = encode_request(&pool, Some(5), &Request::Ping).into_vec();
+    // The tag is the byte after magic/version/flags/varint-corr; locate it
+    // by re-encoding without correlation (tag is then the last byte).
+    let tagless = encode_request(&pool, None, &Request::Ping).into_vec();
+    let tag_at = tagless.len() - 1;
+    for bad in [0u8, 0x11, 0x40, 0x7f, 0x80, 0x86, 0xff] {
+        let mut corrupt = tagless.clone();
+        corrupt[tag_at] = bad;
+        assert_wire_err(decode_request(&corrupt), &format!("request tag {bad:#04x}"));
+    }
+    // A response tag in a request frame (and vice versa) is also corrupt.
+    let resp_frame = encode_response(&pool, None, &Response::Ok).into_vec();
+    assert_wire_err(decode_request(&resp_frame), "response tag fed to request decoder");
+    assert_wire_err(decode_response(&tagless), "request tag fed to response decoder");
+    // Sanity: the untouched frames decode.
+    decode_request(&frame).unwrap();
+}
+
+#[test]
+fn overlong_and_oversized_varints_are_rejected() {
+    let pool = BufferPool::default();
+    let good = encode_request(&pool, Some(1), &Request::Ping).into_vec();
+    // Frame layout: magic, version, flags(=1), varint corr(=1 byte), tag.
+    // Replace the 1-byte correlation varint with pathological encodings.
+    let (head, tail) = (&good[..3], &good[4..]);
+    // Overlong: 0x81 0x00 still means 1, but wastes a byte — rejected.
+    let mut overlong = head.to_vec();
+    overlong.extend_from_slice(&[0x81, 0x00]);
+    overlong.extend_from_slice(tail);
+    assert_wire_err(decode_request(&overlong), "overlong varint");
+    // Too many continuation bytes for a u64.
+    let mut huge = head.to_vec();
+    huge.extend_from_slice(&[0xff; 10]);
+    huge.push(0x01);
+    huge.extend_from_slice(tail);
+    assert_wire_err(decode_request(&huge), "11-byte varint");
+    // Final byte overflows bit 63.
+    let mut overflow = head.to_vec();
+    overflow.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02]);
+    overflow.extend_from_slice(tail);
+    assert_wire_err(decode_request(&overflow), "u64 overflow varint");
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let pool = BufferPool::default();
+    for extra in [&[0u8][..], &[0u8, 1, 2, 3][..]] {
+        let mut frame = encode_request(&pool, Some(9), &Request::Ping).into_vec();
+        frame.extend_from_slice(extra);
+        assert_wire_err(decode_request(&frame), "trailing bytes after a complete frame");
+    }
+}
+
+/// Seeded mutation sweep: flip bits all over real frames. Every mutant must
+/// either be rejected with `MdbsError::Wire` or decode to a value whose
+/// canonical re-encoding decodes back to the same value — corruption is
+/// *detected* or *harmlessly absorbed*, never a panic and never an unstable
+/// decode.
+#[test]
+fn seeded_bit_flip_sweep_never_panics_or_destabilizes() {
+    let pool = BufferPool::default();
+    let mut rng = StdRng::seed_from_u64(0xB1_C0DEC);
+    let mut rejected = 0u32;
+    let mut absorbed = 0u32;
+    for frame in request_corpus() {
+        for _ in 0..200 {
+            let mut mutant = frame.clone();
+            let flips = rng.gen_range(1usize..4);
+            for _ in 0..flips {
+                let byte = rng.gen_range(0usize..mutant.len());
+                let bit = rng.gen_range(0u32..8);
+                mutant[byte] ^= 1 << bit;
+            }
+            match decode_request(&mutant) {
+                Err(MdbsError::Wire(_)) => rejected += 1,
+                Err(other) => panic!("non-wire error from a corrupt frame: {other:?}"),
+                Ok((corr, req)) => {
+                    // A flip inside a string/int field can yield a different
+                    // but well-formed frame; its decode must be stable.
+                    absorbed += 1;
+                    let re = encode_request(&pool, corr, &req);
+                    let (corr2, req2) = decode_request(&re).expect("re-encode of decoded mutant");
+                    assert_eq!(corr2, corr);
+                    assert_eq!(req2, req);
+                }
+            }
+        }
+    }
+    for frame in response_corpus() {
+        for _ in 0..200 {
+            let mut mutant = frame.clone();
+            let byte = rng.gen_range(0usize..mutant.len());
+            let bit = rng.gen_range(0u32..8);
+            mutant[byte] ^= 1 << bit;
+            match decode_response(&mutant) {
+                Err(MdbsError::Wire(_)) => rejected += 1,
+                Err(other) => panic!("non-wire error from a corrupt frame: {other:?}"),
+                Ok((corr, resp)) => {
+                    absorbed += 1;
+                    let re = encode_response(&pool, corr, &resp);
+                    let (corr2, resp2) = decode_response(&re).expect("re-encode of decoded mutant");
+                    assert_eq!(corr2, corr);
+                    assert_eq!(resp2, resp);
+                }
+            }
+        }
+    }
+    // The sweep must actually exercise the rejection paths (and a strict
+    // format rejects the overwhelming majority of random corruption).
+    assert!(rejected > absorbed, "rejected={rejected} absorbed={absorbed}");
+    assert!(rejected + absorbed == 16 * 200 + 6 * 200);
+}
+
+/// The text decoders share the no-panic guarantee: any char-boundary
+/// truncation of a valid encoding is an error or a benign reinterpretation,
+/// never a panic.
+#[test]
+fn text_truncations_never_panic() {
+    let bodies = [
+        Request::Task {
+            name: "t1".into(),
+            mode: TaskMode::Auto,
+            database: "avis".into(),
+            commands: vec!["SELECT 'ünïcode | pipe' FROM cars".into()],
+        }
+        .encode(),
+        Response::TaskDone {
+            status: 'C',
+            affected: 2,
+            payload: Some("COLS code:int\nR I:1\n".into()),
+            error: Some("partial ünïcode failure".into()),
+        }
+        .encode(),
+    ];
+    for body in &bodies {
+        for cut in 0..=body.len() {
+            if !body.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = Request::decode(&body[..cut]);
+            let _ = Response::decode(&body[..cut]);
+        }
+    }
+}

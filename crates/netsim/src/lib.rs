@@ -22,10 +22,12 @@ pub mod error;
 pub mod latency;
 pub mod message;
 pub mod network;
+pub mod pool;
 pub mod stats;
 
 pub use error::{FaultKind, NetError};
 pub use latency::LatencyModel;
-pub use message::Message;
+pub use message::{Body, Message};
 pub use network::{Endpoint, Network};
+pub use pool::{BufferPool, PooledBuf};
 pub use stats::NetStats;

@@ -1,6 +1,118 @@
 //! Messages exchanged between sites.
 
+use crate::pool::PooledBuf;
 use std::time::Instant;
+
+/// A message payload: line-oriented text (the default and debug format) or a
+/// binary frame leased from a [`crate::pool::BufferPool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// UTF-8 text (SQL, DOL commands, status codes, serialized tables).
+    Text(String),
+    /// A length-prefixed binary frame (see `mdbs::codec`).
+    Binary(PooledBuf),
+}
+
+impl Body {
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Body::Text(s) => s.len(),
+            Body::Binary(b) => b.len(),
+        }
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The text payload, if this is a text body.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Body::Text(s) => Some(s),
+            Body::Binary(_) => None,
+        }
+    }
+
+    /// The binary payload, if this is a binary body.
+    pub fn as_binary(&self) -> Option<&[u8]> {
+        match self {
+            Body::Text(_) => None,
+            Body::Binary(b) => Some(b),
+        }
+    }
+
+    /// True for binary bodies.
+    pub fn is_binary(&self) -> bool {
+        matches!(self, Body::Binary(_))
+    }
+
+    /// The text payload; panics on a binary body. Convenience for tests and
+    /// text-only call sites.
+    pub fn as_str(&self) -> &str {
+        self.as_text().expect("binary body has no text form")
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Self {
+        Body::Text(s)
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Self {
+        Body::Text(s.to_string())
+    }
+}
+
+impl From<&String> for Body {
+    fn from(s: &String) -> Self {
+        Body::Text(s.clone())
+    }
+}
+
+impl From<PooledBuf> for Body {
+    fn from(b: PooledBuf) -> Self {
+        Body::Binary(b)
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(b: Vec<u8>) -> Self {
+        Body::Binary(PooledBuf::detached(b))
+    }
+}
+
+impl PartialEq<str> for Body {
+    fn eq(&self, other: &str) -> bool {
+        self.as_text() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Body {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_text() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Body {
+    fn eq(&self, other: &String) -> bool {
+        self.as_text() == Some(other.as_str())
+    }
+}
+
+impl std::fmt::Display for Body {
+    /// Text bodies render verbatim; binary bodies render as a size tag
+    /// (frames are not printable).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Body::Text(s) => f.write_str(s),
+            Body::Binary(b) => write!(f, "<binary {} bytes>", b.len()),
+        }
+    }
+}
 
 /// A delivered message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -9,9 +121,8 @@ pub struct Message {
     pub from: String,
     /// Receiving site.
     pub to: String,
-    /// Message body (the reproduction ships text: SQL, DOL commands, status
-    /// codes, serialized result tables).
-    pub body: String,
+    /// Message body: text or a binary frame.
+    pub body: Body,
     /// Monotonically increasing per-network sequence number.
     pub seq: u64,
 }
@@ -35,5 +146,27 @@ mod tests {
             Envelope { message: m.clone(), deliver_at: Instant::now() + Duration::from_millis(5) };
         assert_eq!(e.message, m);
         assert!(e.deliver_at > Instant::now());
+    }
+
+    #[test]
+    fn body_text_compat_surface() {
+        let b = Body::from("hello");
+        assert_eq!(b, "hello");
+        assert_eq!(b, "hello".to_string());
+        assert_eq!(b.as_str(), "hello");
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_binary());
+        assert_eq!(format!("{b}"), "hello");
+    }
+
+    #[test]
+    fn body_binary_surface() {
+        let b = Body::from(vec![0xB1u8, 0x01]);
+        assert!(b.is_binary());
+        assert_eq!(b.as_binary(), Some(&[0xB1u8, 0x01][..]));
+        assert_eq!(b.as_text(), None);
+        assert_eq!(b.len(), 2);
+        assert_eq!(format!("{b}"), "<binary 2 bytes>");
+        assert_ne!(b, Body::from("text"));
     }
 }

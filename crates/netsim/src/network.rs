@@ -2,7 +2,7 @@
 
 use crate::error::NetError;
 use crate::latency::LatencyModel;
-use crate::message::{Envelope, Message};
+use crate::message::{Body, Envelope, Message};
 use crate::stats::NetStats;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::{LogicalClock, MetricsRegistry};
@@ -183,12 +183,22 @@ impl Endpoint {
     }
 
     /// Ticks the attached probe (if any) and bumps one `net.*` counter.
-    fn probe_event(&self, counter: &str, bytes: usize) {
+    /// Exactly one clock tick per observable network event — golden traces
+    /// pin tick-derived spans, so the per-format byte counters below ride on
+    /// the same event without extra ticks.
+    fn probe_event(&self, counter: &str, body: Option<&Body>) {
         if let Some(probe) = self.fabric.probe.read().as_ref() {
             probe.clock.tick();
             probe.metrics.counter_add(counter, 1);
-            if bytes > 0 {
-                probe.metrics.counter_add("net.bytes", bytes as u64);
+            if let Some(body) = body {
+                if !body.is_empty() {
+                    probe.metrics.counter_add("net.bytes", body.len() as u64);
+                    let variant = match body {
+                        Body::Text(_) => "net.bytes_text",
+                        Body::Binary(_) => "net.bytes_binary",
+                    };
+                    probe.metrics.counter_add(variant, body.len() as u64);
+                }
             }
         }
     }
@@ -197,11 +207,11 @@ impl Endpoint {
     /// stochastic drop is reported as success (the sender cannot tell — it
     /// will observe a receive timeout instead), mirroring real datagram
     /// behaviour.
-    pub fn send(&self, to: &str, body: impl Into<String>) -> Result<(), NetError> {
+    pub fn send(&self, to: &str, body: impl Into<Body>) -> Result<(), NetError> {
         let body = body.into();
         if self.fabric.partitions.read().contains(&(self.name.clone(), to.to_string())) {
             self.fabric.stats.lock().refused += 1;
-            self.probe_event("net.refused", 0);
+            self.probe_event("net.refused", None);
             return Err(NetError::Partitioned { from: self.name.clone(), to: to.to_string() });
         }
         let sites = self.fabric.sites.read();
@@ -221,7 +231,7 @@ impl Endpoint {
                             forced.remove(key);
                         }
                         self.fabric.stats.lock().record_drop(&self.name, to);
-                        self.probe_event("net.dropped", 0);
+                        self.probe_event("net.dropped", None);
                         return Ok(());
                     }
                 }
@@ -239,7 +249,7 @@ impl Endpoint {
             if let Some(rng) = rng.as_mut() {
                 if rng.gen_bool(p) {
                     self.fabric.stats.lock().record_drop(&self.name, to);
-                    self.probe_event("net.dropped", 0);
+                    self.probe_event("net.dropped", None);
                     return Ok(());
                 }
             }
@@ -248,7 +258,7 @@ impl Endpoint {
         let seq = self.fabric.seq.fetch_add(1, Ordering::Relaxed);
         let message = Message { from: self.name.clone(), to: to.to_string(), body, seq };
         self.fabric.stats.lock().record_send(&self.name, to, message.body.len());
-        self.probe_event("net.messages", message.body.len());
+        self.probe_event("net.messages", Some(&message.body));
         let envelope = Envelope { message, deliver_at: Instant::now() + delay };
         tx.send(envelope).map_err(|_| NetError::Disconnected)?;
         Ok(())
@@ -493,7 +503,31 @@ mod tests {
         assert_eq!(clock.now(), 2, "one tick per observable network event");
         assert_eq!(metrics.counter("net.messages"), 1);
         assert_eq!(metrics.counter("net.bytes"), 5);
+        assert_eq!(metrics.counter("net.bytes_text"), 5);
+        assert_eq!(metrics.counter("net.bytes_binary"), 0);
         assert_eq!(metrics.counter("net.dropped"), 1);
+    }
+
+    #[test]
+    fn binary_bodies_ship_and_count_separately() {
+        let net = Network::new();
+        let clock = LogicalClock::new();
+        let metrics = MetricsRegistry::new();
+        net.attach_probe(clock.clone(), metrics.clone());
+        let a = net.register("a").unwrap();
+        let b = net.register("b").unwrap();
+        let pool = crate::pool::BufferPool::new(4);
+        let mut frame = pool.lease();
+        frame.extend_from_slice(&[0xB1, 0x01, 0x00]);
+        a.send("b", frame).unwrap();
+        let m = b.recv().unwrap();
+        assert_eq!(m.body.as_binary(), Some(&[0xB1u8, 0x01, 0x00][..]));
+        assert_eq!(metrics.counter("net.bytes"), 3);
+        assert_eq!(metrics.counter("net.bytes_binary"), 3);
+        assert_eq!(metrics.counter("net.bytes_text"), 0);
+        assert_eq!(clock.now(), 1, "format does not change tick accounting");
+        drop(m);
+        assert_eq!(pool.idle(), 1, "receiver-side drop refills the sender's pool");
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Lease-style buffer pool for hot-path message sends.
+//!
+//! The binary wire codec encodes every frame into a [`PooledBuf`] leased
+//! from a [`BufferPool`]. The lease travels with the message: cloning a
+//! `PooledBuf` (the fabric clones bodies into reply caches) copies the
+//! bytes but keeps the pool handle, and *every* drop — sender side or
+//! receiver side — clears the buffer and returns it to the pool, so a
+//! steady-state request/reply loop reuses a small working set of
+//! allocations instead of allocating per message.
+
+use parking_lot::Mutex;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct PoolInner {
+    free: Mutex<Vec<Vec<u8>>>,
+    /// Buffers returned beyond this count are dropped instead of retained.
+    capacity: usize,
+    leases: AtomicU64,
+    reuses: AtomicU64,
+}
+
+/// A bounded pool of byte buffers. Cloning shares the pool.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new(32)
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool retaining at most `capacity` idle buffers.
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::new()),
+                capacity,
+                leases: AtomicU64::new(0),
+                reuses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Leases an empty buffer, reusing a returned one when available.
+    pub fn lease(&self) -> PooledBuf {
+        self.inner.leases.fetch_add(1, Ordering::Relaxed);
+        let data = match self.inner.free.lock().pop() {
+            Some(buf) => {
+                self.inner.reuses.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => Vec::new(),
+        };
+        PooledBuf { data, pool: Some(Arc::clone(&self.inner)) }
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+
+    /// Total leases served since creation.
+    pub fn leases(&self) -> u64 {
+        self.inner.leases.load(Ordering::Relaxed)
+    }
+
+    /// Leases satisfied by a recycled buffer (no fresh allocation).
+    pub fn reuses(&self) -> u64 {
+        self.inner.reuses.load(Ordering::Relaxed)
+    }
+}
+
+/// A byte buffer leased from a [`BufferPool`]. Dereferences to `Vec<u8>`.
+/// On drop the storage is cleared (capacity kept) and handed back to the
+/// pool; buffers created with [`PooledBuf::detached`] simply deallocate.
+pub struct PooledBuf {
+    data: Vec<u8>,
+    pool: Option<Arc<PoolInner>>,
+}
+
+impl PooledBuf {
+    /// Wraps an owned vector with no backing pool.
+    pub fn detached(data: Vec<u8>) -> Self {
+        PooledBuf { data, pool: None }
+    }
+
+    /// Extracts the bytes, bypassing the return-to-pool path.
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.pool = None;
+        std::mem::take(&mut self.data)
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.data
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            let mut data = std::mem::take(&mut self.data);
+            let mut free = pool.free.lock();
+            if free.len() < pool.capacity {
+                data.clear();
+                free.push(data);
+            }
+        }
+    }
+}
+
+impl Clone for PooledBuf {
+    /// Copies the bytes but shares the pool, so the clone's eventual drop
+    /// (possibly at the receiving site) also refills the pool.
+    fn clone(&self) -> Self {
+        PooledBuf { data: self.data.clone(), pool: self.pool.clone() }
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PooledBuf({} bytes)", self.data.len())
+    }
+}
+
+impl PartialEq for PooledBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for PooledBuf {}
+
+impl From<Vec<u8>> for PooledBuf {
+    fn from(data: Vec<u8>) -> Self {
+        PooledBuf::detached(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_returns_on_drop_and_reuses() {
+        let pool = BufferPool::new(4);
+        {
+            let mut b = pool.lease();
+            b.extend_from_slice(b"hello");
+            assert_eq!(&b[..], b"hello");
+        }
+        assert_eq!(pool.idle(), 1);
+        let b = pool.lease();
+        assert!(b.is_empty(), "recycled buffer must come back cleared");
+        assert_eq!(pool.reuses(), 1);
+    }
+
+    #[test]
+    fn clone_keeps_pool_so_both_sides_return() {
+        let pool = BufferPool::new(4);
+        let a = pool.lease();
+        let b = a.clone();
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_retention() {
+        let pool = BufferPool::new(1);
+        let a = pool.lease();
+        let b = pool.lease();
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn detached_buffers_skip_the_pool() {
+        let pool = BufferPool::new(4);
+        drop(PooledBuf::detached(vec![1, 2, 3]));
+        assert_eq!(pool.idle(), 0);
+        let owned = pool.lease();
+        assert_eq!(owned.into_vec(), Vec::<u8>::new());
+        assert_eq!(pool.idle(), 0, "into_vec bypasses return");
+    }
+}

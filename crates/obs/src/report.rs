@@ -161,6 +161,18 @@ pub struct JoinSummary {
     pub bytes_saved: u64,
 }
 
+/// Wire-level accounting of one statement: which encoding its LAM traffic
+/// used and how many payload bytes each format put on the (simulated) wire.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireSummary {
+    /// Negotiated format label (`text` or `binary`).
+    pub format: String,
+    /// Bytes shipped as line-oriented text during the statement.
+    pub bytes_text: u64,
+    /// Bytes shipped as binary columnar frames during the statement.
+    pub bytes_binary: u64,
+}
+
 /// The rendered product of an `EXPLAIN` statement: the statement's span tree
 /// plus a per-LAM cost table derived from the task spans.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -173,6 +185,10 @@ pub struct ExplainReport {
     pub costs: Vec<LamCost>,
     /// Join execution summary, when the statement ran a cross-database join.
     pub join: Option<JoinSummary>,
+    /// Wire-format accounting — populated only when the statement shipped
+    /// binary frames, so text-mode renders (and golden traces) are
+    /// unchanged.
+    pub wire: Option<WireSummary>,
 }
 
 impl ExplainReport {
@@ -219,6 +235,7 @@ impl ExplainReport {
             tree,
             costs: by_db.into_values().collect(),
             join,
+            wire: None,
         }
     }
 
@@ -249,6 +266,12 @@ impl ExplainReport {
             out.push_str(&format!("join strategy: {}\n", j.strategy));
             out.push_str(&format!("join keys shipped: {}\n", j.keys_shipped));
             out.push_str(&format!("bytes saved by semijoin: {}\n", j.bytes_saved));
+        }
+        if let Some(w) = &self.wire {
+            out.push('\n');
+            out.push_str(&format!("wire format: {}\n", w.format));
+            out.push_str(&format!("wire bytes (text): {}\n", w.bytes_text));
+            out.push_str(&format!("wire bytes (binary): {}\n", w.bytes_binary));
         }
         out
     }

@@ -1,0 +1,230 @@
+//! Differential equivalence harness: the binary columnar wire codec must be
+//! observably identical to the text proto everywhere above the transport.
+//!
+//! The same suite — Q1–Q4, the cross-database join suite, and a seeded
+//! fault-injection schedule — runs once under `WireFormat::Text` and once
+//! under `WireFormat::Binary`; results, `ExecStats` and the metric registry
+//! must match exactly, modulo the byte counters (`net.bytes*`) and the
+//! wall-clock `wire.*` latency histograms that exist precisely to show the
+//! formats differ on the wire. Golden traces stay pinned to the text
+//! default and are exercised unchanged by `t1_trace_golden`/`d1_dol_golden`.
+
+use mdbs::fixtures::{paper_federation_with, FederationProfiles};
+use mdbs::{ExecStats, Federation, RetryPolicy, WireFormat};
+use netsim::Network;
+use std::time::Duration;
+
+const Q1: &str = "USE avis national
+    LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+    SELECT %code, type, ~rate FROM car WHERE status = 'available'";
+
+const Q2: &str = "USE continental VITAL delta united VITAL
+    UPDATE flight%
+    SET rate% = rate% * 1.1
+    WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+
+const Q3: &str = "USE continental VITAL delta united VITAL
+    UPDATE flight%
+    SET rate% = rate% * 1.1
+    WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+    COMP continental
+    UPDATE flights
+    SET rate = rate / 1.1
+    WHERE source = 'Houston' AND destination = 'San Antonio'";
+
+const Q4: &str = "BEGIN MULTITRANSACTION
+    USE continental delta
+    LET fltab.snu.sstat.clname BE
+        f838.seatnu.seatstatus.clientname
+        f747.snu.sstat.passname
+    UPDATE fltab
+    SET sstat = 'TAKEN', clname = 'wenders'
+    WHERE snu = ( SELECT MIN(snu) FROM fltab WHERE sstat = 'FREE');
+    USE avis national
+    LET cartab.ccode.cstat BE cars.code.carst vehicle.vcode.vstat
+    UPDATE cartab
+    SET cstat = 'TAKEN', client = 'wenders'
+    WHERE ccode = ( SELECT MIN(ccode) FROM cartab WHERE cstat = 'available');
+    COMMIT
+      continental AND national
+      delta AND avis
+    END MULTITRANSACTION";
+
+const JOINS: &[&str] = &[
+    "SELECT f.flnu, g.fnu
+     FROM continental.flights f, delta.flight g
+     WHERE f.source = g.source AND f.destination = g.dest ORDER BY f.flnu, g.fnu",
+    "SELECT f.flnu, c.code FROM continental.flights f, avis.cars c
+     WHERE f.flnu = c.code AND c.rate < f.rate ORDER BY f.flnu",
+    "SELECT a.flnu, b.fnu, c.code
+     FROM continental.flights a, delta.flight b, avis.cars c
+     WHERE a.source = b.source AND c.code = 1 ORDER BY a.flnu, b.fnu",
+];
+
+/// Everything one suite run observes above the transport. Two runs that
+/// differ only in wire format must produce equal `Observed` values.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    q1: String,
+    q2: String,
+    q3: String,
+    q4: String,
+    joins: Vec<String>,
+    explain_tree: String,
+    stats: ExecStats,
+    metrics: Vec<String>,
+}
+
+/// Metric lines that legitimately differ between formats: the byte-volume
+/// counters and the wall-clock serialize/deserialize histograms.
+fn format_invariant(line: &str) -> bool {
+    !(line.contains("net.bytes") || line.contains(" wire."))
+}
+
+fn fresh_federation(format: WireFormat) -> Federation {
+    let mut fed = paper_federation_with(Network::with_seed(0x51), FederationProfiles::default());
+    fed.parallel = false; // deterministic order ⇒ comparable traces/metrics
+    fed.wire_format = format;
+    fed
+}
+
+fn run_suite(format: WireFormat) -> Observed {
+    let mut fed = fresh_federation(format);
+    let q1 = format!("{:?}", fed.execute(Q1).unwrap().into_multitable().unwrap());
+    let q2 = format!("{:?}", fed.execute(Q2).unwrap().into_update().unwrap());
+    let q3 = format!("{:?}", fed.execute(Q3).unwrap().into_update().unwrap());
+    let q4 = format!("{:?}", fed.execute(Q4).unwrap().into_mtx().unwrap());
+    fed.execute("USE continental delta avis").unwrap();
+    let joins = JOINS
+        .iter()
+        .map(|q| format!("{:?}", fed.execute(q).unwrap().into_table().unwrap()))
+        .collect();
+    let explain = fed.execute(&format!("EXPLAIN {}", JOINS[0])).unwrap().into_explain().unwrap();
+    // The wire summary is *supposed* to differ: present exactly when binary
+    // frames shipped.
+    match format {
+        WireFormat::Text => assert!(explain.wire.is_none(), "{:?}", explain.wire),
+        WireFormat::Binary => {
+            let wire = explain.wire.as_ref().expect("binary EXPLAIN reports wire bytes");
+            assert_eq!(wire.format, "binary");
+            assert!(wire.bytes_binary > 0);
+        }
+    }
+    let stats = fed.exec_stats();
+    let metrics = fed
+        .metrics()
+        .render()
+        .lines()
+        .filter(|l| format_invariant(l))
+        .map(str::to_string)
+        .collect();
+    Observed { q1, q2, q3, q4, joins, explain_tree: explain.tree.render(), stats, metrics }
+}
+
+#[test]
+fn suite_is_identical_under_text_and_binary() {
+    let text = run_suite(WireFormat::Text);
+    let binary = run_suite(WireFormat::Binary);
+    assert_eq!(text.q1, binary.q1);
+    assert_eq!(text.q2, binary.q2);
+    assert_eq!(text.q3, binary.q3);
+    assert_eq!(text.q4, binary.q4);
+    assert_eq!(text.joins, binary.joins);
+    assert_eq!(text.explain_tree, binary.explain_tree, "normalized traces diverged");
+    assert_eq!(text.stats, binary.stats);
+    for (t, b) in text.metrics.iter().zip(binary.metrics.iter()) {
+        assert_eq!(t, b, "format-invariant metric diverged");
+    }
+    assert_eq!(text.metrics.len(), binary.metrics.len());
+}
+
+#[test]
+fn binary_ships_fewer_bytes_for_the_same_suite() {
+    let totals: Vec<u64> = [WireFormat::Text, WireFormat::Binary]
+        .iter()
+        .map(|&format| {
+            let mut fed = fresh_federation(format);
+            fed.execute(Q1).unwrap();
+            fed.execute("USE continental delta avis").unwrap();
+            for q in JOINS {
+                fed.execute(q).unwrap();
+            }
+            let m = fed.metrics_registry();
+            match format {
+                WireFormat::Text => assert_eq!(m.counter("net.bytes_binary"), 0),
+                WireFormat::Binary => {
+                    assert!(m.counter("net.bytes_binary") > 0);
+                    // Only the bootstrap PINGs travel as text.
+                    assert!(m.counter("net.bytes_text") < m.counter("net.bytes_binary"));
+                }
+            }
+            m.counter("net.bytes")
+        })
+        .collect();
+    assert!(
+        totals[1] < totals[0],
+        "binary shipped {} bytes, text shipped {}",
+        totals[1],
+        totals[0]
+    );
+}
+
+/// The seeded fault-injection schedule: every link touching site4/site5
+/// drops 30% of messages. Same seed, same serial order ⇒ the same drop
+/// schedule hits both formats, and retries must converge to the same
+/// result with the same fault accounting.
+#[test]
+fn seeded_fault_schedule_is_identical_under_both_formats() {
+    let sites = ["site4", "site5"];
+    let mut observed = Vec::new();
+    for format in [WireFormat::Text, WireFormat::Binary] {
+        let mut fed =
+            paper_federation_with(Network::with_seed(0xA1), FederationProfiles::default());
+        fed.parallel = false;
+        fed.timeout = Duration::from_millis(150);
+        fed.wire_format = format;
+        fed.retry = RetryPolicy::retries(5);
+        for site in &sites {
+            fed.network().set_link_drop_probability("*", site, 0.3);
+            fed.network().set_link_drop_probability(site, "*", 0.3);
+        }
+        let mt = fed.execute(Q1).unwrap().into_multitable().unwrap();
+        let dropped = fed.network().stats().dropped;
+        assert!(dropped > 0, "the drop injection actually fired ({format:?})");
+        observed.push((format!("{mt:?}"), fed.exec_stats(), dropped));
+        for site in &sites {
+            fed.network().clear_link_drop_probability("*", site);
+            fed.network().clear_link_drop_probability(site, "*");
+        }
+    }
+    let (text_mt, text_stats, text_dropped) = &observed[0];
+    let (bin_mt, bin_stats, bin_dropped) = &observed[1];
+    assert_eq!(text_mt, bin_mt, "fault-injected results diverged");
+    assert_eq!(text_stats, bin_stats, "fault accounting diverged");
+    assert_eq!(text_dropped, bin_dropped, "drop schedules diverged");
+}
+
+/// A mixed-format federation: two sessions with different wire formats
+/// coexist on one core because each LAM mirrors the format a request
+/// arrived in.
+#[test]
+fn mixed_format_sessions_coexist() {
+    let mut fed = fresh_federation(WireFormat::Binary);
+    let mut text_session = fed.session();
+    text_session.wire_format = WireFormat::Text;
+    let via_binary = format!("{:?}", fed.execute(Q1).unwrap().into_multitable().unwrap());
+    text_session.execute("USE avis national").unwrap();
+    text_session.execute("LET car.type.status BE cars.cartype.carst vehicle.vty.vstat").unwrap();
+    let via_text = format!(
+        "{:?}",
+        text_session
+            .execute("SELECT %code, type, ~rate FROM car WHERE status = 'available'")
+            .unwrap()
+            .into_multitable()
+            .unwrap()
+    );
+    assert_eq!(via_binary, via_text);
+    let m = fed.metrics_registry();
+    assert!(m.counter("net.bytes_binary") > 0, "primary session shipped binary");
+    assert!(m.counter("net.bytes_text") > 0, "spawned session shipped text");
+}
