@@ -65,12 +65,22 @@ cargo test -q --test wire_differential
 cargo test -q -p mdbs --test codec_proptests
 cargo test -q -p mdbs --test codec_robustness
 
+echo "== planner oracle =="
+# The cost-based planner equivalence gate: for random data, random
+# fresh/stale/absent statistics and random predicate shapes, the costed
+# distributed plan must return exactly the rows of the statistics-free
+# heuristic plan. The ANALYZE lifecycle suite (statement routing, GDD stats
+# cache fetch/hit/invalidate, EXPLAIN estimates) rides along.
+cargo test -q --test planner_oracle
+cargo test -q --test analyze_stats
+
 echo "== bench smoke (--test mode) =="
 # Every benchmark payload must still execute; no timing sweep. This includes
-# b9_cross_join, b10_local_index, b11_concurrency and b12_wire_codec, whose
-# smoke passes also refresh BENCH_cross_join.json, BENCH_local_index.json,
-# BENCH_concurrency.json and BENCH_wire_codec.json (the b12 smoke asserts
-# the ≥2x byte reduction inline).
+# b9_cross_join, b10_local_index, b11_concurrency, b12_wire_codec and
+# b13_planner, whose smoke passes also refresh BENCH_cross_join.json,
+# BENCH_local_index.json, BENCH_concurrency.json, BENCH_wire_codec.json and
+# BENCH_planner.json (the b12 and b13 smokes assert their ≥2x reductions
+# inline).
 cargo bench --workspace -- --test
 
 echo "CI OK"

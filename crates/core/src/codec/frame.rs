@@ -8,7 +8,8 @@
 //! tag byte · fields
 //! ```
 //!
-//! Requests use tags `0x01..=0x10` (declaration order in `proto.rs`),
+//! Requests use tags `0x01..=0x11` (declaration order in `proto.rs`, with
+//! later additions appended),
 //! responses `0x81..=0x85`. Result-set payloads travel as *payload blocks*:
 //! a canonical payload (one produced by `wire::encode_result_set`) ships
 //! columnar (`codec::columnar`); any other string — hand-built payloads,
@@ -48,6 +49,7 @@ const REQ_LOADMANY: u8 = 0x0D;
 const REQ_DROPMANY: u8 = 0x0E;
 const REQ_PING: u8 = 0x0F;
 const REQ_SHUTDOWN: u8 = 0x10;
+const REQ_STATS: u8 = 0x11;
 
 const RESP_TASKDONE: u8 = 0x81;
 const RESP_PARTIALDONE: u8 = 0x82;
@@ -239,6 +241,11 @@ pub fn encode_request(pool: &BufferPool, corr: Option<u64>, req: &Request) -> Po
             buf.push(REQ_SCHEMA);
             write_str(&mut buf, database);
         }
+        Request::Stats { database, table } => {
+            buf.push(REQ_STATS);
+            write_str(&mut buf, database);
+            write_opt_str(&mut buf, table);
+        }
         Request::Load { database, table, payload } => {
             buf.push(REQ_LOAD);
             write_str(&mut buf, database);
@@ -314,6 +321,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<(Option<u64>, Request), MdbsError>
             baseline: read_opt_str(&mut r)?,
         },
         REQ_SCHEMA => Request::Schema { database: r.string()? },
+        REQ_STATS => Request::Stats { database: r.string()?, table: read_opt_str(&mut r)? },
         REQ_LOAD => Request::Load {
             database: r.string()?,
             table: r.string()?,
@@ -490,6 +498,11 @@ mod tests {
             Request::Partial { database: "avis".into(), sql: "SELECT 1".into(), baseline: None },
         );
         roundtrip_request(Some(8), Request::Schema { database: "avis".into() });
+        roundtrip_request(Some(16), Request::Stats { database: "avis".into(), table: None });
+        roundtrip_request(
+            Some(17),
+            Request::Stats { database: "avis".into(), table: Some("cars".into()) },
+        );
         roundtrip_request(
             Some(9),
             Request::Load {

@@ -15,6 +15,7 @@ use crate::codec::WireFormat;
 use crate::error::MdbsError;
 use crate::lamclient::{decode_task_result, LamClient, LamFactory, PartialResult};
 use crate::multitable::{Multitable, MultitableEntry};
+use crate::planner::{self, Estimate, PlannerContext};
 use crate::proto::{Request, Response, TaskMode};
 use crate::retry::{shared_stats, ExecStats, RetryPolicy, SharedExecStats};
 use crate::translate::{DbRoute, DbSubquery, Decomposition, GeneratedPlan, MTX_FAILED};
@@ -25,12 +26,18 @@ use ldbs::engine::ResultSet;
 use ldbs::eval::value_literal;
 use ldbs::value::Value;
 use msql_lang::printer::print_select;
-use msql_lang::{BinaryOp, ColumnRef, Expr, Literal, Select};
+use msql_lang::{BinaryOp, ColumnRef, Expr, Literal, Select, SelectItem};
 use netsim::{FaultKind, Network};
 use obs::{labeled, ExplainReport, MetricsRegistry, SpanCtx};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Default per-edge cap on the distinct key values shipped as a semi-join
+/// `IN (…)` filter. This is the *no-statistics fallback*: when the cost
+/// planner has fresh estimates for both ends of an edge, the decision is an
+/// estimated-bytes comparison instead and the cap does not apply.
+pub const DEFAULT_SEMIJOIN_CAP: usize = 256;
 
 /// Per-database outcome of a modification.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -184,6 +191,10 @@ pub struct Executor {
     /// Encoding every LAM request travels in: line-oriented text (the
     /// default and the golden-trace format) or binary columnar frames.
     pub wire_format: WireFormat,
+    /// Site statistics for cost-based planning of cross-database joins.
+    /// `None` (or a context lacking a table) keeps the heuristic data-flow
+    /// decisions, byte-for-byte.
+    pub planner: Option<PlannerContext>,
     /// Durable multitransaction log. When set, every plan that carries
     /// recovery material logs its lifecycle (BEGIN, first-phase outcomes,
     /// the settle decision, resolutions, END) so
@@ -203,10 +214,11 @@ impl Executor {
             stats: shared_stats(),
             tolerate_unreachable: false,
             semijoin: true,
-            semijoin_cap: 256,
+            semijoin_cap: DEFAULT_SEMIJOIN_CAP,
             trace: SpanCtx::disabled(),
             metrics: MetricsRegistry::new(),
             wire_format: WireFormat::default(),
+            planner: None,
             wal: None,
         }
     }
@@ -411,16 +423,37 @@ impl Executor {
             })
             .collect::<Result<_, _>>()?;
 
+        // Cost-based planning: estimates exist only when the planner context
+        // holds fresh statistics for *every* table of *every* subquery — a
+        // single unanalyzed table keeps the whole join on the heuristics.
+        let estimates: Option<Vec<Estimate>> = self
+            .planner
+            .as_ref()
+            .and_then(|ctx| dec.subqueries.iter().map(|s| ctx.estimate_subquery(s)).collect());
+        if estimates.is_some() {
+            self.metrics.counter_add("planner.costed_joins", 1);
+        }
+
         // 1. Semi-join reduction: run the reducer, harvest its join keys.
         let n = dec.subqueries.len();
         let mut results: Vec<Option<PartialResult>> = vec![None; n];
         let mut filters: Vec<Vec<Expr>> = vec![Vec::new(); n];
         let mut keys_shipped = 0u64;
         if self.semijoin && n > 1 && !dec.join_keys.is_empty() {
-            let reducer = pick_reducer(dec);
+            let reducer = match &estimates {
+                Some(est) => pick_reducer_costed(dec, est),
+                None => pick_reducer(dec),
+            };
             let sub = &dec.subqueries[reducer];
-            let result =
-                self.dispatch_partial(sub, sub_routes[reducer], &[], false, &join_span.ctx())?;
+            let est_rows = estimates.as_ref().map(|e| e[reducer].rows.round() as u64);
+            let result = self.dispatch_partial(
+                sub,
+                sub_routes[reducer],
+                &[],
+                false,
+                est_rows,
+                &join_span.ctx(),
+            )?;
             let rs = wire::decode_result_set(&result.payload)?;
             for key in &dec.join_keys {
                 let (Some(own), Some(other)) =
@@ -439,13 +472,50 @@ impl Executor {
                     .collect();
                 values.sort_by(|a, b| a.total_cmp(b));
                 values.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
-                if values.len() > self.semijoin_cap {
-                    continue; // key set too large — full shipping on this edge
-                }
                 let Some(target) = dec.subqueries.iter().position(|s| s.database == other.database)
                 else {
                     continue;
                 };
+                // Reduce-or-not: costed when both ends have estimates (an
+                // empty key set always reduces — the filter is free and
+                // prunes everything), the fixed cap otherwise.
+                if !values.is_empty() {
+                    let ship = match (&estimates, &self.planner) {
+                        (Some(est), Some(ctx)) => {
+                            // Ship iff the bytes the filter prunes from the
+                            // target's partial exceed the key list's own
+                            // bytes. `min(1, keys/NDV)` of the target's rows
+                            // survive a k-key filter under uniformity.
+                            let key_bytes: f64 = values.iter().map(planner::value_width).sum();
+                            let survives = ctx
+                                .join_key_ndv(
+                                    &dec.subqueries[target],
+                                    other.binding.as_str(),
+                                    other.column.as_str(),
+                                )
+                                .map_or(1.0, |ndv| {
+                                    if ndv == 0 {
+                                        0.0
+                                    } else {
+                                        (values.len() as f64 / ndv as f64).min(1.0)
+                                    }
+                                });
+                            let benefit = est[target].bytes * (1.0 - survives);
+                            let ship = benefit > key_bytes;
+                            let verdict = if ship {
+                                "planner.edges_reduced"
+                            } else {
+                                "planner.edges_skipped"
+                            };
+                            self.metrics.counter_add(verdict, 1);
+                            ship
+                        }
+                        _ => values.len() <= self.semijoin_cap,
+                    };
+                    if !ship {
+                        continue; // predicted (or presumed) too expensive — full shipping
+                    }
+                }
                 let filter = if values.is_empty() {
                     // No key can match; keep the subquery's shape (the
                     // coordinator still needs its column metadata) but let
@@ -487,8 +557,9 @@ impl Executor {
                             let sub = &dec.subqueries[i];
                             let route = sub_routes[i];
                             let extra = filters[i].as_slice();
+                            let est = estimates.as_ref().map(|e| e[i].rows.round() as u64);
                             scope.spawn(move || {
-                                (i, self.dispatch_partial(sub, route, extra, measure, &ctx))
+                                (i, self.dispatch_partial(sub, route, extra, measure, est, &ctx))
                             })
                         })
                         .collect();
@@ -509,6 +580,7 @@ impl Executor {
                                 sub_routes[i],
                                 &filters[i],
                                 measure,
+                                estimates.as_ref().map(|e| e[i].rows.round() as u64),
                                 &join_span.ctx(),
                             ),
                         )
@@ -547,6 +619,9 @@ impl Executor {
         join_span.note("strategy", &strategy);
         join_span.note("keys_shipped", keys_shipped);
         join_span.note("bytes_saved", bytes_saved);
+        if estimates.is_some() {
+            join_span.note("planner", "costed");
+        }
         self.metrics.counter_add(&labeled("join.strategy", "strategy", &strategy), 1);
         self.metrics.counter_add("join.keys_shipped", keys_shipped);
         let route = routes.get(&dec.coordinator).ok_or_else(|| {
@@ -573,10 +648,36 @@ impl Executor {
             )?;
         }
 
-        // 5. Evaluate the modified global query Q' and clean up.
+        // 5. Evaluate the modified global query Q' and clean up. With
+        // estimates, its FROM list is greedily reordered by ascending
+        // estimated partial cardinality, so the coordinator's join builds
+        // its smallest intermediates first. A wildcard projection expands
+        // in FROM order, so reordering would permute columns — skip it.
         let span = join_span.child(format!("lam:global:{}", dec.coordinator));
         span.note("db", &dec.coordinator);
-        let sql = print_select(&dec.global_query);
+        let wildcard = dec
+            .global_query
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)));
+        let sql = match &estimates {
+            Some(est) if n > 1 && !wildcard => {
+                let mut global = dec.global_query.clone();
+                let est_of = |tref: &msql_lang::TableRef| {
+                    dec.subqueries
+                        .iter()
+                        .position(|s| s.part_table == tref.table.as_str())
+                        .map_or(f64::MAX, |i| est[i].rows)
+                };
+                global.from.sort_by(|a, b| est_of(a).total_cmp(&est_of(b)));
+                if global.from != dec.global_query.from {
+                    let order: Vec<&str> = global.from.iter().map(|t| t.table.as_str()).collect();
+                    span.note("join_order", order.join(","));
+                }
+                print_select(&global)
+            }
+            _ => print_select(&dec.global_query),
+        };
         let req = Request::Task {
             name: "QGLOBAL".into(),
             mode: TaskMode::Auto,
@@ -606,12 +707,15 @@ impl Executor {
     /// conjuncts (semi-join filters) ANDed onto its WHERE clause. When
     /// filters were injected and `measure` is set, the LAM also measures the
     /// unreduced subquery so the span/metrics can report bytes saved.
+    /// `est_rows` is the planner's pre-reduction row estimate, noted on the
+    /// partial span so EXPLAIN can show estimated vs. actual.
     fn dispatch_partial(
         &self,
         sub: &DbSubquery,
         route: &DbRoute,
         extra: &[Expr],
         measure: bool,
+        est_rows: Option<u64>,
         ctx: &SpanCtx,
     ) -> Result<PartialResult, MdbsError> {
         let mut client = LamClient::connect_with(
@@ -625,6 +729,9 @@ impl Executor {
         client.set_metrics(self.metrics.clone());
         client.set_wire_format(self.wire_format);
         let span = ctx.child(format!("lam:partial:{}", sub.database));
+        if let Some(est) = est_rows {
+            span.note("est_rows", est);
+        }
         let sql = if extra.is_empty() {
             print_select(&sub.select)
         } else {
@@ -659,6 +766,25 @@ fn pick_reducer(dec: &Decomposition) -> usize {
         if score > best_score {
             best = i;
             best_score = score;
+        }
+    }
+    best
+}
+
+/// Chooses the semi-join reducer from the planner's estimates: among the
+/// subqueries on at least one join edge, the one with the smallest estimated
+/// partial — the most selective site reduces, whatever its conjunct count —
+/// ties broken by plan order.
+fn pick_reducer_costed(dec: &Decomposition, est: &[Estimate]) -> usize {
+    let mut best = 0usize;
+    let mut best_rows = f64::MAX;
+    for (i, sub) in dec.subqueries.iter().enumerate() {
+        if !dec.join_keys.iter().any(|k| k.side_in(&sub.database).is_some()) {
+            continue;
+        }
+        if est[i].rows < best_rows {
+            best = i;
+            best_rows = est[i].rows;
         }
     }
     best

@@ -16,14 +16,16 @@
 
 use crate::codec::WireFormat;
 use crate::error::MdbsError;
-use crate::executor::{DbOutcome, Executor, MsqlOutcome, UpdateReport};
+use crate::executor::{DbOutcome, Executor, MsqlOutcome, UpdateReport, DEFAULT_SEMIJOIN_CAP};
 use crate::gtxn::GlobalTransaction;
 use crate::lam::{spawn_lam_with, LamConfig, LamHandle};
 use crate::lamclient::{LamClient, LamFactory};
+use crate::planner::PlannerContext;
 use crate::retry::{shared_stats, ExecStats, RetryPolicy, SharedExecStats};
 use crate::scope::SessionScope;
 use crate::translate::{
-    self, multitransaction_plan, retrieval_plan, update_plan, DbRoute, MtxQueryPlan, Translated,
+    self, multitransaction_plan, retrieval_plan, update_plan, DbRoute, Decomposition, MtxQueryPlan,
+    Translated,
 };
 use crate::wal::{Wal, WalDecision, WalRecord};
 use catalog::{
@@ -82,6 +84,11 @@ pub struct FederationCore {
     /// Shared metrics registry: the network probe, LAM clients and the
     /// executor all write here; [`Session::metrics`] reads it back.
     metrics: MetricsRegistry,
+    /// The GDD's statistics tier: per database, the site statistics its LAM
+    /// exported over the `STATS` exchange. Filled lazily the first time a
+    /// cross-database join touches the database, invalidated by DDL and
+    /// `ANALYZE` against it.
+    site_stats: RwLock<HashMap<String, Vec<crate::wire::SiteTableStats>>>,
     /// Next session id (the primary session is 0).
     session_seq: AtomicU64,
 }
@@ -118,8 +125,17 @@ pub struct Session {
     /// filters so only matching rows cross the wire.
     pub semijoin: bool,
     /// Per-edge cap on the distinct key values shipped as a semi-join
-    /// filter; beyond it the edge falls back to full shipping.
+    /// filter; beyond it the edge falls back to full shipping. Applies only
+    /// when the cost planner has no estimates for the edge — with fresh
+    /// statistics the decision is an estimated-bytes comparison instead.
     pub semijoin_cap: usize,
+    /// Cost-based planning of cross-database joins (default true): when the
+    /// coordinator holds fresh `ANALYZE` statistics for every table a join
+    /// reads, estimated row/byte counts pick the semi-join reducer, decide
+    /// each reduction edge by predicted benefit and order the modified
+    /// global query by ascending estimated cardinality. Databases without
+    /// statistics keep the heuristic path unchanged.
+    pub cost_planner: bool,
     /// Encoding LAM requests travel in (default [`WireFormat::Text`], the
     /// debug and golden-trace format). [`WireFormat::Binary`] switches this
     /// session's clients to length-prefixed columnar frames; the servers
@@ -209,6 +225,7 @@ impl Federation {
             triggers: RwLock::new(Vec::new()),
             clock,
             metrics,
+            site_stats: RwLock::new(HashMap::new()),
             session_seq: AtomicU64::new(1),
         });
         Federation { session: Session::with_core(core, 0) }
@@ -228,7 +245,8 @@ impl Session {
             lam_config: LamConfig::default(),
             tolerate_unreachable: false,
             semijoin: true,
-            semijoin_cap: 256,
+            semijoin_cap: DEFAULT_SEMIJOIN_CAP,
+            cost_planner: true,
             wire_format: WireFormat::default(),
             stats: shared_stats(),
             trace: None,
@@ -254,6 +272,7 @@ impl Session {
         s.tolerate_unreachable = self.tolerate_unreachable;
         s.semijoin = self.semijoin;
         s.semijoin_cap = self.semijoin_cap;
+        s.cost_planner = self.cost_planner;
         s.wire_format = self.wire_format;
         s
     }
@@ -420,6 +439,7 @@ impl Session {
             trace: self.trace_ctx.clone(),
             metrics: self.core.metrics.clone(),
             wire_format: self.wire_format,
+            planner: None,
             wal: self.wal.clone(),
         }
     }
@@ -847,6 +867,7 @@ impl Session {
             }
             Statement::CreateTable(ct) => self.execute_create_table(ct),
             Statement::DropTable(dt) => self.execute_drop_table(dt),
+            Statement::Analyze(target) => self.execute_analyze(target.as_ref()),
             Statement::CreateIndex(ci) => self.execute_create_index(ci),
             Statement::DropIndex(di) => self.execute_drop_index(di),
             Statement::CreateDatabase(_) | Statement::DropDatabase(_) => {
@@ -996,7 +1017,7 @@ impl Session {
             },
             Translated::CrossDb(dec) => {
                 let started = self.core.clock.now();
-                let rs = self.executor().run_cross_db(&dec, &routes)?;
+                let rs = self.run_cross_db_costed(&dec, &routes)?;
                 self.core
                     .metrics
                     .observe("phase.execute", self.core.clock.now().saturating_sub(started));
@@ -1100,7 +1121,7 @@ impl Session {
                 let mt = self.executor().run_retrieval(&plan)?;
                 mt.tables.into_iter().next().map(|t| t.result).unwrap_or_default()
             }
-            Translated::CrossDb(dec) => self.executor().run_cross_db(&dec, &routes)?,
+            Translated::CrossDb(dec) => self.run_cross_db_costed(&dec, &routes)?,
         };
 
         // 2. Ship the rows as batched INSERT statements.
@@ -1387,6 +1408,9 @@ impl Session {
                     .gdd
                     .write()
                     .put_table(&database, GddTable::new(ct.table.table.as_str(), columns))?;
+                // DDL invalidates whatever statistics were cached for the
+                // database — the next costed join re-pulls them.
+                self.core.site_stats.write().remove(&database);
                 Ok(MsqlOutcome::Admin(format!(
                     "table `{}` created in `{database}`",
                     ct.table.table
@@ -1418,6 +1442,7 @@ impl Session {
         match resp {
             crate::proto::Response::TaskDone { status: 'C', .. } => {
                 let _ = self.core.gdd.write().drop_table(&database, dt.table.table.as_str());
+                self.core.site_stats.write().remove(&database);
                 Ok(MsqlOutcome::Admin(format!(
                     "table `{}` dropped from `{database}`",
                     dt.table.table
@@ -1429,6 +1454,120 @@ impl Session {
             }),
             other => Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
         }
+    }
+
+    /// Ships an ANALYZE to the owning LAM (a qualified target names its
+    /// database; a bare `ANALYZE` requires a single-database scope), then
+    /// invalidates the coordinator's cached statistics for that database so
+    /// the next costed join re-pulls the fresh snapshot.
+    fn execute_analyze(
+        &mut self,
+        target: Option<&msql_lang::TableRef>,
+    ) -> Result<MsqlOutcome, MdbsError> {
+        let database = match target {
+            Some(t) => self.ddl_target(t)?,
+            None => match self.scope.databases.as_slice() {
+                [only] => only.database.clone(),
+                [] => return Err(MdbsError::EmptyScope),
+                _ => {
+                    return Err(MdbsError::Unsupported(
+                        "ANALYZE over a multi-database scope is ambiguous; name the table \
+                         or narrow the scope"
+                            .into(),
+                    ))
+                }
+            },
+        };
+        let routes = self.routes()?;
+        let route = routes
+            .get(&database)
+            .ok_or_else(|| MdbsError::Catalog(format!("no route for `{database}`")))?;
+        // Ship the ANALYZE with the qualifier stripped.
+        let local = Statement::Analyze(target.map(|t| {
+            let mut t = t.clone();
+            t.database = None;
+            t
+        }));
+        let client = self.connect(&route.site, &database)?;
+        let resp = client.call(crate::proto::Request::Task {
+            name: "ANALYZE".into(),
+            mode: crate::proto::TaskMode::Auto,
+            database: database.clone(),
+            commands: vec![print(&local)],
+        })?;
+        match resp {
+            crate::proto::Response::TaskDone { status: 'C', affected, .. } => {
+                self.core.site_stats.write().remove(&database);
+                Ok(MsqlOutcome::Admin(format!("analyzed {affected} table(s) in `{database}`")))
+            }
+            crate::proto::Response::TaskDone { error, .. } => Err(MdbsError::Local {
+                service: database,
+                message: error.unwrap_or_else(|| "ANALYZE failed".into()),
+            }),
+            other => Err(MdbsError::Wire(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Builds the statistics context for one decomposition: per involved
+    /// database, the cached site statistics, pulled over the `STATS`
+    /// exchange on first use. Failures degrade rather than fail — a
+    /// database whose statistics cannot be fetched simply contributes no
+    /// estimates, which keeps its decisions heuristic. `None` when the
+    /// session has the cost planner off or nothing usable was found.
+    fn planner_context(
+        &self,
+        dec: &Decomposition,
+        routes: &HashMap<String, DbRoute>,
+    ) -> Option<PlannerContext> {
+        if !self.cost_planner {
+            return None;
+        }
+        let mut ctx = PlannerContext::default();
+        let mut dbs: Vec<&str> = dec.subqueries.iter().map(|s| s.database.as_str()).collect();
+        dbs.sort_unstable();
+        dbs.dedup();
+        for db in dbs {
+            let cached = self.core.site_stats.read().get(db).cloned();
+            let tables = match cached {
+                Some(t) => {
+                    self.core.metrics.counter_add("planner.stats_cache_hits", 1);
+                    t
+                }
+                None => {
+                    let Some(route) = routes.get(db) else { continue };
+                    let Ok(client) = self.connect(&route.site, db) else { continue };
+                    match client.fetch_stats() {
+                        Ok(t) => {
+                            self.core.metrics.counter_add("planner.stats_fetches", 1);
+                            self.core.site_stats.write().insert(db.to_string(), t.clone());
+                            t
+                        }
+                        Err(_) => {
+                            self.core.metrics.counter_add("planner.stats_fetch_errors", 1);
+                            continue;
+                        }
+                    }
+                }
+            };
+            ctx.insert_db(db, tables);
+        }
+        if ctx.is_empty() {
+            None
+        } else {
+            Some(ctx)
+        }
+    }
+
+    /// Runs a cross-database decomposition with the cost planner's context
+    /// attached (when the session has it enabled and statistics exist).
+    fn run_cross_db_costed(
+        &self,
+        dec: &Decomposition,
+        routes: &HashMap<String, DbRoute>,
+    ) -> Result<ldbs::engine::ResultSet, MdbsError> {
+        let mut ex = self.executor();
+        ex.planner = self.planner_context(dec, routes);
+        ex.run_cross_db(dec, routes)
     }
 
     /// Ships a CREATE INDEX to the owning LAM. Indexes are a local access

@@ -102,6 +102,41 @@ pub fn local_conceptual_schema(
     Ok(out)
 }
 
+/// The optimizer statistics a database has collected via `ANALYZE`, in
+/// exportable form. Tables that were never analyzed are omitted — their
+/// absence tells the coordinator to fall back to heuristics.
+pub fn site_statistics(
+    engine: &Engine,
+    database: &str,
+    table: Option<&str>,
+) -> Result<Vec<wire::SiteTableStats>, MdbsError> {
+    let local = |e: ldbs::DbError| MdbsError::Local {
+        service: engine.service_name.clone(),
+        message: e.to_string(),
+    };
+    let db = engine.database(database).map_err(local)?;
+    let names: Vec<String> = match table {
+        Some(t) => {
+            let name = t.to_ascii_lowercase();
+            db.table(&name).map_err(local)?;
+            vec![name]
+        }
+        None => db.table_names(),
+    };
+    let mut out = Vec::new();
+    for name in names {
+        let t = db.table(&name).expect("listed table exists");
+        if let Some(stats) = t.table_stats() {
+            out.push(wire::SiteTableStats {
+                table: name,
+                dml_since: t.dml_since_analyze(),
+                stats: stats.clone(),
+            });
+        }
+    }
+    Ok(out)
+}
+
 /// Live request counters of one LAM server thread, shared with the handle
 /// (and scraped into the federation's metrics registry on demand).
 #[derive(Debug, Default)]
@@ -622,6 +657,13 @@ fn handle_request(shared: &SrvShared, req: Request) -> Response {
             let engine = shared.engine.lock();
             match local_conceptual_schema(&engine, &database) {
                 Ok(tables) => Response::OkPayload { payload: wire::encode_schema(&tables) },
+                Err(e) => Response::Err { message: e.to_string() },
+            }
+        }
+        Request::Stats { database, table } => {
+            let engine = shared.engine.lock();
+            match site_statistics(&engine, &database, table.as_deref()) {
+                Ok(tables) => Response::OkPayload { payload: wire::encode_stats(&tables) },
                 Err(e) => Response::Err { message: e.to_string() },
             }
         }

@@ -358,6 +358,19 @@ impl LamClient {
         }
     }
 
+    /// Fetches the optimizer statistics this connection's database collected
+    /// via `ANALYZE`. Tables never analyzed are absent from the answer; the
+    /// coordinator caches what it gets in the GDD statistics tier.
+    pub fn fetch_stats(&self) -> Result<Vec<crate::wire::SiteTableStats>, MdbsError> {
+        match self.call(Request::Stats { database: self.database.clone(), table: None })? {
+            Response::OkPayload { payload } => crate::wire::decode_stats(&payload),
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected stats reply: {other:?}"))),
+        }
+    }
+
     /// Evaluates one local subquery of a decomposed cross-database join on
     /// the LAM and ships its serialized result back, annotating `span` and
     /// the `lam.*` metrics with the shipped volume. When `baseline` is set,

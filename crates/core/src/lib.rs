@@ -77,6 +77,7 @@ pub mod lam;
 pub mod lamclient;
 pub mod mtx;
 pub mod multitable;
+pub mod planner;
 pub mod proto;
 pub mod retcode;
 pub mod retry;
@@ -90,6 +91,7 @@ pub use error::MdbsError;
 pub use executor::{DbOutcome, MsqlOutcome, MtxReport, UpdateReport};
 pub use federation::{Federation, FederationCore, RecoveredMtx, RecoveryReport, Session};
 pub use multitable::Multitable;
+pub use planner::PlannerContext;
 pub use retry::{ExecStats, RetryPolicy, TaskTelemetry};
 pub use scope::SessionScope;
 pub use wal::{CrashPlan, CrashWhen, Wal};

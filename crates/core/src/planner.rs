@@ -1,0 +1,534 @@
+//! Cost-based planning of cross-database joins (paper §5).
+//!
+//! The paper argues that multidatabase optimisation is about *data flow
+//! control* — which site reduces, what crosses the wire, in what order the
+//! coordinator combines partials — rather than individual database
+//! operations. This module supplies the missing ingredient: per-site
+//! statistics. Each LDBS collects them locally with `ANALYZE`
+//! ([`ldbs::stats`]), the coordinator pulls them over the `STATS` wire
+//! exchange ([`crate::wire::SiteTableStats`]) and assembles a
+//! [`PlannerContext`], against which the executor estimates every decomposed
+//! subquery's shipped rows and bytes.
+//!
+//! The estimates drive three decisions in [`crate::executor::Executor::run_cross_db`]:
+//!
+//! * **reducer choice** — the semi-join reducer becomes the subquery with the
+//!   smallest estimated partial, not the one with the most WHERE conjuncts;
+//! * **reduce-or-not, per edge** — the key set ships iff the bytes it is
+//!   predicted to prune from the target's partial exceed the bytes of the key
+//!   list itself, replacing the fixed [`crate::executor::DEFAULT_SEMIJOIN_CAP`];
+//! * **global join order** — the modified global query's FROM list is sorted
+//!   by ascending estimated partial cardinality.
+//!
+//! Every decision degrades independently: a database with no (or stale)
+//! statistics simply contributes no estimate, and the affected decision falls
+//! back to the pre-statistics heuristic, byte-for-byte.
+
+use crate::translate::DbSubquery;
+use crate::wire::SiteTableStats;
+use ldbs::eval::literal_value;
+use ldbs::stats::{ColumnStats, TableStats};
+use ldbs::value::{CanonicalKey, Value};
+use msql_lang::{BinaryOp, ColumnRef, Expr, Literal, Select, SelectItem, UnaryOp};
+use std::collections::HashMap;
+
+/// Selectivity assumed for a conjunct the estimator cannot price (an
+/// arithmetic comparison, a LIKE, a subquery…).
+pub const UNKNOWN_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Estimated byte width of a column the statistics say nothing about.
+const DEFAULT_COLUMN_WIDTH: f64 = 8.0;
+
+/// Extra mutations a statistics snapshot tolerates before the planner stops
+/// trusting it (slack for tiny tables, where a handful of inserts would
+/// otherwise invalidate perfectly serviceable statistics).
+pub const STALENESS_SLACK: u64 = 16;
+
+/// Whether a statistics snapshot is still fresh enough to plan with: the
+/// mutations since `ANALYZE` must not exceed half the analyzed row count
+/// (plus [`STALENESS_SLACK`]). Beyond that the estimates are as likely to
+/// mislead as the heuristics they replace.
+pub fn is_fresh(s: &SiteTableStats) -> bool {
+    s.dml_since <= s.stats.row_count / 2 + STALENESS_SLACK
+}
+
+/// Estimated size of one shipped partial result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Expected row count.
+    pub rows: f64,
+    /// Expected payload bytes (rows × estimated row width).
+    pub bytes: f64,
+}
+
+/// The coordinator's statistics context for one statement: database →
+/// table → snapshot, fresh snapshots only (see [`is_fresh`]).
+#[derive(Debug, Clone, Default)]
+pub struct PlannerContext {
+    tables: HashMap<String, HashMap<String, SiteTableStats>>,
+}
+
+impl PlannerContext {
+    /// Installs one database's exported statistics, keeping only snapshots
+    /// that are still [`is_fresh`].
+    pub fn insert_db(&mut self, database: &str, tables: Vec<SiteTableStats>) {
+        let entry = self.tables.entry(database.to_ascii_lowercase()).or_default();
+        for t in tables {
+            if is_fresh(&t) {
+                entry.insert(t.table.to_ascii_lowercase(), t);
+            }
+        }
+    }
+
+    /// True when no usable snapshot was installed at all.
+    pub fn is_empty(&self) -> bool {
+        self.tables.values().all(|t| t.is_empty())
+    }
+
+    /// The snapshot for `database.table`, if fresh statistics exist.
+    pub fn table(&self, database: &str, table: &str) -> Option<&TableStats> {
+        self.tables
+            .get(&database.to_ascii_lowercase())?
+            .get(&table.to_ascii_lowercase())
+            .map(|s| &s.stats)
+    }
+
+    /// Estimates one decomposed subquery's shipped partial. `None` when any
+    /// table it reads lacks fresh statistics — the caller must then keep the
+    /// heuristic path for every decision involving this subquery.
+    pub fn estimate_subquery(&self, sub: &DbSubquery) -> Option<Estimate> {
+        self.estimate_select(&sub.database, &sub.select)
+    }
+
+    /// Estimates an arbitrary single-database SELECT (rows after the WHERE,
+    /// bytes after projection).
+    pub fn estimate_select(&self, database: &str, sel: &Select) -> Option<Estimate> {
+        let bindings = self.bindings(database, sel)?;
+        let mut rows: f64 = 1.0;
+        for (_, ts) in &bindings {
+            rows *= ts.row_count as f64;
+        }
+        if let Some(w) = &sel.where_clause {
+            rows *= selectivity(w, &bindings);
+        }
+        let bytes = rows * row_width(sel, &bindings);
+        Some(Estimate { rows, bytes })
+    }
+
+    /// NDV of `binding.column` inside `sub` — prices a semi-join filter
+    /// shipped *to* that subquery (`min(1, keys / ndv)` of its rows survive).
+    pub fn join_key_ndv(&self, sub: &DbSubquery, binding: &str, column: &str) -> Option<u64> {
+        let bindings = self.bindings(&sub.database, &sub.select)?;
+        let want = binding.to_ascii_lowercase();
+        let (_, ts) = bindings.iter().find(|(name, _)| *name == want)?;
+        ts.column(column).map(|c| c.ndv)
+    }
+
+    /// Resolves a SELECT's FROM list to `(binding name, statistics)` pairs.
+    /// `None` as soon as one table has no fresh snapshot.
+    fn bindings<'a>(
+        &'a self,
+        database: &str,
+        sel: &Select,
+    ) -> Option<Vec<(String, &'a TableStats)>> {
+        let mut out = Vec::with_capacity(sel.from.len());
+        for tref in &sel.from {
+            let ts = self.table(database, tref.table.as_str())?;
+            out.push((tref.binding_name().to_ascii_lowercase(), ts));
+        }
+        Some(out)
+    }
+}
+
+/// Rough encoded width of one value in a shipped partial, in bytes.
+pub fn value_width(v: &Value) -> f64 {
+    match v {
+        Value::Null => 1.0,
+        Value::Int(_) | Value::Float(_) => 8.0,
+        Value::Bool(_) => 1.0,
+        Value::Str(s) => s.len().clamp(1, 255) as f64,
+    }
+}
+
+/// Average width of a column, interpolated from its min/max extremes.
+fn column_width(col: &ColumnStats) -> f64 {
+    match (&col.min, &col.max) {
+        (Some(lo), Some(hi)) => (value_width(lo) + value_width(hi)) / 2.0,
+        _ => DEFAULT_COLUMN_WIDTH,
+    }
+}
+
+/// Resolves a column reference against the FROM bindings: the qualified
+/// binding when given, otherwise the first binding exporting the name.
+fn find_column<'a>(
+    bindings: &[(String, &'a TableStats)],
+    c: &ColumnRef,
+) -> Option<(&'a TableStats, &'a ColumnStats)> {
+    if let Some(t) = &c.table {
+        let want = t.as_str().to_ascii_lowercase();
+        let (_, ts) = bindings.iter().find(|(name, _)| *name == want)?;
+        return ts.column(c.column.as_str()).map(|cs| (*ts, cs));
+    }
+    bindings.iter().find_map(|(_, ts)| ts.column(c.column.as_str()).map(|cs| (*ts, cs)))
+}
+
+/// Estimated row width of a projection, in bytes.
+fn row_width(sel: &Select, bindings: &[(String, &TableStats)]) -> f64 {
+    let mut width = 0.0;
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (_, ts) in bindings {
+                    width += ts.columns.iter().map(column_width).sum::<f64>();
+                }
+            }
+            SelectItem::QualifiedWildcard(name) => {
+                let want = name.as_str().to_ascii_lowercase();
+                if let Some((_, ts)) = bindings.iter().find(|(b, _)| *b == want) {
+                    width += ts.columns.iter().map(column_width).sum::<f64>();
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                width += match expr {
+                    Expr::Column(c) => find_column(bindings, c)
+                        .map_or(DEFAULT_COLUMN_WIDTH, |(_, cs)| column_width(cs)),
+                    _ => DEFAULT_COLUMN_WIDTH,
+                };
+            }
+        }
+    }
+    width.max(1.0)
+}
+
+fn literal_key(l: &Literal) -> Option<CanonicalKey> {
+    literal_value(l).canonical_key()
+}
+
+/// Fraction of a column's rows that are NULL.
+fn null_fraction(ts: &TableStats, col: &ColumnStats) -> f64 {
+    if ts.row_count == 0 {
+        0.0
+    } else {
+        col.null_count as f64 / ts.row_count as f64
+    }
+}
+
+/// Selectivity of `column = literal`: zero outside the observed [min, max]
+/// envelope, `1/NDV` inside it (uniform over the distinct values).
+fn eq_selectivity(col: &ColumnStats, key: &CanonicalKey) -> f64 {
+    if col.ndv == 0 {
+        return 0.0;
+    }
+    if let (Some(lo), Some(hi)) = (
+        col.min.as_ref().and_then(Value::canonical_key),
+        col.max.as_ref().and_then(Value::canonical_key),
+    ) {
+        if *key < lo || *key > hi {
+            return 0.0;
+        }
+    }
+    1.0 / col.ndv as f64
+}
+
+/// Selectivity of a `column < / <= / > / >= literal` comparison: the
+/// equi-depth histogram's fraction below the key when present, the min/max
+/// envelope as a coarse 0-or-1 bound otherwise, [`UNKNOWN_SELECTIVITY`] as
+/// the last resort. Scaled by the non-null fraction (NULL never compares).
+fn range_selectivity(ts: &TableStats, col: &ColumnStats, op: BinaryOp, key: &CanonicalKey) -> f64 {
+    let non_null = 1.0 - null_fraction(ts, col);
+    let below = col.histogram_fraction_below(key).or_else(|| {
+        let lo = col.min.as_ref().and_then(Value::canonical_key)?;
+        let hi = col.max.as_ref().and_then(Value::canonical_key)?;
+        if *key < lo {
+            Some(0.0)
+        } else if *key > hi {
+            Some(1.0)
+        } else {
+            None
+        }
+    });
+    let Some(below) = below else { return UNKNOWN_SELECTIVITY * non_null };
+    let frac = match op {
+        BinaryOp::Lt | BinaryOp::LtEq => below,
+        BinaryOp::Gt | BinaryOp::GtEq => 1.0 - below,
+        _ => UNKNOWN_SELECTIVITY,
+    };
+    (frac * non_null).clamp(0.0, 1.0)
+}
+
+/// Selectivity of a predicate over the FROM bindings. Conservative: anything
+/// the estimator cannot decompose prices at [`UNKNOWN_SELECTIVITY`], and the
+/// result is always clamped into `[0, 1]`.
+pub fn selectivity(e: &Expr, bindings: &[(String, &TableStats)]) -> f64 {
+    let s = match e {
+        Expr::Binary { left, op: BinaryOp::And, right } => {
+            selectivity(left, bindings) * selectivity(right, bindings)
+        }
+        Expr::Binary { left, op: BinaryOp::Or, right } => {
+            let (l, r) = (selectivity(left, bindings), selectivity(right, bindings));
+            l + r - l * r
+        }
+        Expr::Unary { op: UnaryOp::Not, expr } => 1.0 - selectivity(expr, bindings),
+        Expr::Binary { left, op, right } => comparison_selectivity(left, *op, right, bindings),
+        Expr::InList { expr, list, negated } => {
+            let s = match expr.as_ref() {
+                Expr::Column(c) => find_column(bindings, c)
+                    .map(|(_, cs)| {
+                        if cs.ndv == 0 {
+                            0.0
+                        } else {
+                            (list.len() as f64 / cs.ndv as f64).min(1.0)
+                        }
+                    })
+                    .unwrap_or(UNKNOWN_SELECTIVITY),
+                _ => UNKNOWN_SELECTIVITY,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let s = match (expr.as_ref(), low.as_ref(), high.as_ref()) {
+                (Expr::Column(c), Expr::Literal(lo), Expr::Literal(hi)) => {
+                    match (find_column(bindings, c), literal_key(lo), literal_key(hi)) {
+                        (Some((ts, cs)), Some(lo), Some(hi)) => {
+                            let below_hi = range_selectivity(ts, cs, BinaryOp::LtEq, &hi);
+                            let below_lo = range_selectivity(ts, cs, BinaryOp::Lt, &lo);
+                            (below_hi - below_lo).max(0.0)
+                        }
+                        _ => UNKNOWN_SELECTIVITY,
+                    }
+                }
+                _ => UNKNOWN_SELECTIVITY,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let s = match expr.as_ref() {
+                Expr::Column(c) => find_column(bindings, c)
+                    .map(|(ts, cs)| null_fraction(ts, cs))
+                    .unwrap_or(UNKNOWN_SELECTIVITY),
+                _ => UNKNOWN_SELECTIVITY,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        _ => UNKNOWN_SELECTIVITY,
+    };
+    s.clamp(0.0, 1.0)
+}
+
+/// Selectivity of one `left op right` comparison conjunct.
+fn comparison_selectivity(
+    left: &Expr,
+    op: BinaryOp,
+    right: &Expr,
+    bindings: &[(String, &TableStats)],
+) -> f64 {
+    match (left, right) {
+        // column op literal (and the mirrored literal op column).
+        (Expr::Column(c), Expr::Literal(l)) => column_literal(c, op, l, bindings),
+        (Expr::Literal(l), Expr::Column(c)) => column_literal(c, mirror(op), l, bindings),
+        // column = column: a local equi-join conjunct — 1 / max(NDV).
+        (Expr::Column(a), Expr::Column(b)) if op == BinaryOp::Eq => {
+            match (find_column(bindings, a), find_column(bindings, b)) {
+                (Some((_, ca)), Some((_, cb))) => {
+                    let ndv = ca.ndv.max(cb.ndv);
+                    if ndv == 0 {
+                        0.0
+                    } else {
+                        1.0 / ndv as f64
+                    }
+                }
+                _ => UNKNOWN_SELECTIVITY,
+            }
+        }
+        _ => UNKNOWN_SELECTIVITY,
+    }
+}
+
+fn column_literal(
+    c: &ColumnRef,
+    op: BinaryOp,
+    l: &Literal,
+    bindings: &[(String, &TableStats)],
+) -> f64 {
+    let (Some((ts, cs)), Some(key)) = (find_column(bindings, c), literal_key(l)) else {
+        return UNKNOWN_SELECTIVITY;
+    };
+    match op {
+        BinaryOp::Eq => eq_selectivity(cs, &key),
+        BinaryOp::NotEq => 1.0 - eq_selectivity(cs, &key),
+        BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+            range_selectivity(ts, cs, op, &key)
+        }
+        _ => UNKNOWN_SELECTIVITY,
+    }
+}
+
+/// Mirrors a comparison across `=` for `literal op column` conjuncts.
+fn mirror(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldbs::schema::{ColumnSchema, TableSchema};
+    use ldbs::stats::analyze_table;
+    use ldbs::table::Table;
+    use ldbs::value::DataType;
+    use msql_lang::parser::parse_statement;
+    use msql_lang::{QueryBody, Statement};
+
+    /// A `cars` table with `n` rows: code 0..n, carst cycling over three
+    /// statuses with heavy skew towards `available`.
+    fn cars_stats(n: i64) -> SiteTableStats {
+        let mut t = Table::new(TableSchema::new(
+            "cars",
+            vec![
+                ColumnSchema::new("code", DataType::Int),
+                ColumnSchema::new("carst", DataType::Char(10)),
+            ],
+        ));
+        for i in 0..n {
+            let status = if i % 10 == 0 { "rented" } else { "available" };
+            t.insert(vec![Value::Int(i), Value::Str(status.into())]).unwrap();
+        }
+        SiteTableStats { table: "cars".into(), dml_since: 0, stats: analyze_table(&t) }
+    }
+
+    fn select_of(sql: &str) -> Select {
+        let Statement::Query(q) = parse_statement(sql).unwrap() else { panic!("not a query") };
+        let QueryBody::Select(s) = q.body else { panic!("not a select") };
+        s
+    }
+
+    fn ctx() -> PlannerContext {
+        let mut ctx = PlannerContext::default();
+        ctx.insert_db("avis", vec![cars_stats(100)]);
+        ctx
+    }
+
+    #[test]
+    fn equality_estimates_one_over_ndv() {
+        let ctx = ctx();
+        let sel = select_of("SELECT code FROM cars WHERE code = 7");
+        let est = ctx.estimate_select("avis", &sel).unwrap();
+        assert!((est.rows - 1.0).abs() < 1e-9, "100 rows / 100 distinct codes, got {}", est.rows);
+    }
+
+    #[test]
+    fn equality_outside_envelope_is_zero() {
+        let ctx = ctx();
+        let sel = select_of("SELECT code FROM cars WHERE code = 1000");
+        let est = ctx.estimate_select("avis", &sel).unwrap();
+        assert_eq!(est.rows, 0.0);
+    }
+
+    #[test]
+    fn skewed_equality_uses_ndv_not_row_count() {
+        // carst has NDV 2: `= 'rented'` estimates half the rows even though
+        // the true share is 10% — uniform over distinct values, as designed.
+        let ctx = ctx();
+        let sel = select_of("SELECT code FROM cars WHERE carst = 'rented'");
+        let est = ctx.estimate_select("avis", &sel).unwrap();
+        assert!((est.rows - 50.0).abs() < 1e-9, "got {}", est.rows);
+    }
+
+    #[test]
+    fn range_uses_histogram_fraction() {
+        let ctx = ctx();
+        let low = ctx
+            .estimate_select("avis", &select_of("SELECT code FROM cars WHERE code < 10"))
+            .unwrap();
+        let high = ctx
+            .estimate_select("avis", &select_of("SELECT code FROM cars WHERE code < 90"))
+            .unwrap();
+        assert!(low.rows < high.rows, "histogram fraction must be monotone");
+        assert!(high.rows > 50.0, "< 90 covers most of the table, got {}", high.rows);
+    }
+
+    #[test]
+    fn conjunction_multiplies_and_or_unions() {
+        let ctx = ctx();
+        let and = ctx
+            .estimate_select(
+                "avis",
+                &select_of("SELECT code FROM cars WHERE code = 7 AND carst = 'rented'"),
+            )
+            .unwrap();
+        assert!((and.rows - 0.5).abs() < 1e-9, "1/100 × 1/2 of 100 rows, got {}", and.rows);
+        let or = ctx
+            .estimate_select(
+                "avis",
+                &select_of("SELECT code FROM cars WHERE code = 7 OR carst = 'rented'"),
+            )
+            .unwrap();
+        assert!(or.rows > and.rows);
+    }
+
+    #[test]
+    fn in_list_scales_by_ndv_and_null_is_null_fraction() {
+        let ctx = ctx();
+        let inl = ctx
+            .estimate_select("avis", &select_of("SELECT code FROM cars WHERE code IN (1, 2, 3)"))
+            .unwrap();
+        assert!((inl.rows - 3.0).abs() < 1e-9, "got {}", inl.rows);
+        let isnull = ctx
+            .estimate_select("avis", &select_of("SELECT code FROM cars WHERE code IS NULL"))
+            .unwrap();
+        assert_eq!(isnull.rows, 0.0, "no NULL codes were analyzed");
+    }
+
+    #[test]
+    fn missing_table_yields_no_estimate() {
+        let ctx = ctx();
+        assert!(ctx.estimate_select("avis", &select_of("SELECT x FROM unknown")).is_none());
+        assert!(ctx.estimate_select("hertz", &select_of("SELECT code FROM cars")).is_none());
+    }
+
+    #[test]
+    fn stale_snapshots_are_dropped_on_insert() {
+        let mut stats = cars_stats(100);
+        stats.dml_since = 100 / 2 + STALENESS_SLACK + 1;
+        assert!(!is_fresh(&stats));
+        let mut ctx = PlannerContext::default();
+        ctx.insert_db("avis", vec![stats]);
+        assert!(ctx.is_empty());
+        assert!(ctx.estimate_select("avis", &select_of("SELECT code FROM cars")).is_none());
+    }
+
+    #[test]
+    fn bytes_scale_with_projection_width() {
+        let ctx = ctx();
+        let narrow = ctx.estimate_select("avis", &select_of("SELECT code FROM cars")).unwrap();
+        let wide = ctx.estimate_select("avis", &select_of("SELECT code, carst FROM cars")).unwrap();
+        assert_eq!(narrow.rows, wide.rows);
+        assert!(wide.bytes > narrow.bytes);
+    }
+
+    #[test]
+    fn unknown_conjunct_prices_at_one_third() {
+        let ctx = ctx();
+        let est = ctx
+            .estimate_select("avis", &select_of("SELECT code FROM cars WHERE code + 1 = 2"))
+            .unwrap();
+        assert!((est.rows - 100.0 * UNKNOWN_SELECTIVITY).abs() < 1e-9);
+    }
+}

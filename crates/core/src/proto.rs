@@ -128,6 +128,15 @@ pub enum Request {
         /// The database.
         database: String,
     },
+    /// Fetch the optimizer statistics a database has collected via
+    /// `ANALYZE` (the coordinator caches them in the GDD tier). Tables
+    /// without statistics are simply absent from the answer.
+    Stats {
+        /// The database.
+        database: String,
+        /// Restrict the export to one table, or fetch all analyzed tables.
+        table: Option<String>,
+    },
     /// Create a temporary table from a serialized result set and load its
     /// rows (coordinator collection of partial results).
     Load {
@@ -258,6 +267,10 @@ impl Request {
                 out
             }
             Request::Schema { database } => format!("SCHEMA {database}"),
+            Request::Stats { database, table } => match table {
+                Some(t) => format!("STATS {database} {t}"),
+                None => format!("STATS {database}"),
+            },
             Request::Load { database, table, payload } => {
                 format!("LOAD {database} {table}\n{payload}")
             }
@@ -339,6 +352,13 @@ impl Request {
                 Ok(Request::Partial { database: database.to_string(), sql, baseline: lines.next() })
             }
             ["SCHEMA", database] => Ok(Request::Schema { database: database.to_string() }),
+            ["STATS", database] => {
+                Ok(Request::Stats { database: database.to_string(), table: None })
+            }
+            ["STATS", database, table] => Ok(Request::Stats {
+                database: database.to_string(),
+                table: Some(table.to_string()),
+            }),
             ["LOAD", database, table] => Ok(Request::Load {
                 database: database.to_string(),
                 table: table.to_string(),
@@ -509,6 +529,8 @@ mod tests {
             commands: vec!["UPDATE flights SET rate = rate / 1.1".into()],
         });
         roundtrip_request(Request::Schema { database: "avis".into() });
+        roundtrip_request(Request::Stats { database: "avis".into(), table: None });
+        roundtrip_request(Request::Stats { database: "avis".into(), table: Some("cars".into()) });
         roundtrip_request(Request::Load {
             database: "avis".into(),
             table: "part_national".into(),

@@ -15,6 +15,7 @@
 use crate::error::MdbsError;
 use catalog::{GddColumn, GddTable};
 use ldbs::engine::{ColumnMeta, ResultSet};
+use ldbs::stats::{ColumnStats, TableStats};
 use ldbs::value::{DataType, Value};
 use msql_lang::TypeName;
 
@@ -304,6 +305,111 @@ pub fn decode_schema(text: &str) -> Result<Vec<GddTable>, MdbsError> {
     Ok(out)
 }
 
+// --------------------------------------------------------------- statistics
+
+/// One table's optimizer statistics as exported by a site (the answer to a
+/// `STATS` request): the snapshot itself plus the staleness counter the
+/// coordinator uses to decide how much to trust it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteTableStats {
+    /// Table name (lowercase).
+    pub table: String,
+    /// Mutations applied since the snapshot was collected.
+    pub dml_since: u64,
+    /// The statistics snapshot.
+    pub stats: TableStats,
+}
+
+/// Serializes exported statistics. Only analyzed tables appear — a table
+/// that was never `ANALYZE`d is simply absent, telling the coordinator to
+/// fall back to heuristics.
+///
+/// ```text
+/// TABLE cars 1000 7
+/// COL code|997|0|I:1|I:1000|I:125|I:250|...
+/// ```
+///
+/// `COL` fields: name, NDV, null count, min, max, then the equi-depth
+/// histogram bounds. Absent min/max (empty column) encode as `-`.
+pub fn encode_stats(tables: &[SiteTableStats]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!("TABLE {} {} {}\n", escape(&t.table), t.stats.row_count, t.dml_since),
+        );
+        for c in &t.stats.columns {
+            let mut fields = vec![
+                escape(&c.name),
+                c.ndv.to_string(),
+                c.null_count.to_string(),
+                c.min.as_ref().map_or_else(|| "-".to_string(), encode_value),
+                c.max.as_ref().map_or_else(|| "-".to_string(), encode_value),
+            ];
+            fields.extend(c.histogram.iter().map(encode_value));
+            out.push_str("COL ");
+            out.push_str(&fields.join("|"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Deserializes exported statistics.
+pub fn decode_stats(text: &str) -> Result<Vec<SiteTableStats>, MdbsError> {
+    fn parse_u64(s: &str, what: &str) -> Result<u64, MdbsError> {
+        s.parse().map_err(|_| MdbsError::Wire(format!("bad {what} `{s}`")))
+    }
+    fn opt_value(s: &str) -> Result<Option<Value>, MdbsError> {
+        if s == "-" {
+            Ok(None)
+        } else {
+            decode_value(s).map(Some)
+        }
+    }
+    let mut out: Vec<SiteTableStats> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("TABLE ") {
+            let mut words = rest.split(' ');
+            let (name, rows, dml) = match (words.next(), words.next(), words.next(), words.next()) {
+                (Some(n), Some(r), Some(d), None) => (n, r, d),
+                _ => return Err(MdbsError::Wire(format!("bad stats table line `{line}`"))),
+            };
+            out.push(SiteTableStats {
+                table: unescape(name)?,
+                dml_since: parse_u64(dml, "staleness counter")?,
+                stats: TableStats { row_count: parse_u64(rows, "row count")?, columns: Vec::new() },
+            });
+        } else if let Some(rest) = line.strip_prefix("COL ") {
+            let current = out
+                .last_mut()
+                .ok_or_else(|| MdbsError::Wire("stats COL line before any TABLE".into()))?;
+            let fields = split_fields(rest);
+            if fields.len() < 5 {
+                return Err(MdbsError::Wire(format!("bad stats column line `{line}`")));
+            }
+            let mut histogram = Vec::with_capacity(fields.len() - 5);
+            for f in &fields[5..] {
+                histogram.push(decode_value(f)?);
+            }
+            current.stats.columns.push(ColumnStats {
+                name: unescape(&fields[0])?,
+                ndv: parse_u64(&fields[1], "ndv")?,
+                null_count: parse_u64(&fields[2], "null count")?,
+                min: opt_value(&fields[3])?,
+                max: opt_value(&fields[4])?,
+                histogram,
+            });
+        } else {
+            return Err(MdbsError::Wire(format!("bad stats line `{line}`")));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +493,66 @@ mod tests {
         ];
         let enc = encode_schema(&tables);
         assert_eq!(decode_schema(&enc).unwrap(), tables);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let tables = vec![
+            SiteTableStats {
+                table: "cars".into(),
+                dml_since: 7,
+                stats: TableStats {
+                    row_count: 1000,
+                    columns: vec![
+                        ColumnStats {
+                            name: "code".into(),
+                            ndv: 997,
+                            null_count: 0,
+                            min: Some(Value::Int(1)),
+                            max: Some(Value::Int(1000)),
+                            histogram: vec![Value::Int(125), Value::Int(1000)],
+                        },
+                        ColumnStats {
+                            name: "weird|name".into(),
+                            ndv: 2,
+                            null_count: 3,
+                            min: Some(Value::Str("a|b".into())),
+                            max: Some(Value::Str("z\nz".into())),
+                            histogram: vec![],
+                        },
+                    ],
+                },
+            },
+            SiteTableStats {
+                table: "empty".into(),
+                dml_since: 0,
+                stats: TableStats {
+                    row_count: 0,
+                    columns: vec![ColumnStats {
+                        name: "x".into(),
+                        ndv: 0,
+                        null_count: 0,
+                        min: None,
+                        max: None,
+                        histogram: vec![],
+                    }],
+                },
+            },
+        ];
+        let enc = encode_stats(&tables);
+        assert_eq!(decode_stats(&enc).unwrap(), tables);
+        // An empty export is a valid "no statistics" answer.
+        assert_eq!(decode_stats("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn bad_stats_rejected() {
+        assert!(decode_stats("COL a|1|0|-|-").is_err(), "COL before TABLE");
+        assert!(decode_stats("TABLE cars 10").is_err(), "missing staleness");
+        assert!(decode_stats("TABLE cars ten 0").is_err(), "bad row count");
+        assert!(decode_stats("TABLE cars 10 0\nCOL a|1|0|-").is_err(), "too few fields");
+        assert!(decode_stats("TABLE cars 10 0\nCOL a|1|0|-|Q:9").is_err(), "bad value");
+        assert!(decode_stats("GRBL").is_err(), "unknown line");
     }
 
     #[test]

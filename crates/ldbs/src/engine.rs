@@ -8,7 +8,7 @@
 //! service.
 
 use crate::error::DbError;
-use crate::exec::{ddl, dml, select};
+use crate::exec::{analyze, ddl, dml, select};
 use crate::failure::FailurePolicy;
 use crate::profile::{DbmsProfile, StatementClass};
 use crate::table::{Row, Table};
@@ -565,6 +565,37 @@ impl Engine {
                 );
                 out.map(|_| ExecOutcome::Affected(0))
             }
+            Statement::Analyze(target) => {
+                // ANALYZE is DDL-shaped: it triggers the profile's implicit
+                // commit, takes the table locks of its targets, and is
+                // undoable exactly when the profile rolls DDL back.
+                self.ddl_prologue(txn);
+                let tables = analyze::resolve_targets(self.database(&dbname)?, target.as_ref())?;
+                let log_undo = self.profile.ddl_rollbackable;
+                let mut undo = Vec::new();
+                let mut result: Result<usize, DbError> = Ok(tables.len());
+                for table in &tables {
+                    if let Err(e) = self.write_guard(txn, &dbname, table) {
+                        result = Err(e);
+                        break;
+                    }
+                    let db = match self.databases.get_mut(&dbname) {
+                        Some(db) => db,
+                        None => {
+                            result = Err(DbError::UnknownDatabase(dbname.clone()));
+                            break;
+                        }
+                    };
+                    if let Err(e) =
+                        analyze::execute_analyze_table(db, table, log_undo.then_some(&mut undo))
+                    {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                self.absorb_stmt_undo(txn, undo, &result);
+                result.map(ExecOutcome::Affected)
+            }
             Statement::CreateDatabase(name) => {
                 self.ddl_prologue(txn);
                 self.create_database(name)?;
@@ -1052,6 +1083,13 @@ impl Engine {
                             // which the surrounding undo replay has already
                             // restored (newest-first order).
                             let _ = t.create_index(def);
+                        }
+                    }
+                }
+                UndoOp::Analyze { database, table, prev, prev_staleness } => {
+                    if let Some(db) = self.databases.get_mut(&database) {
+                        if let Ok(t) = db.table_mut(&table) {
+                            t.restore_stats(prev.map(|b| *b), prev_staleness);
                         }
                     }
                 }

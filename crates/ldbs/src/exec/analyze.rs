@@ -1,0 +1,127 @@
+//! ANALYZE execution: optimizer statistics collection.
+//!
+//! Like the DDL executors, whether the undo log receives an entry is decided
+//! by the caller from the [`crate::profile::DbmsProfile`]: on Ingres-like
+//! (DDL-rollbackable) systems a rolled-back `ANALYZE` restores the previous
+//! statistics snapshot; on Oracle-like systems it survives the rollback.
+
+use crate::engine::Database;
+use crate::error::DbError;
+use crate::txn::UndoOp;
+use msql_lang::TableRef;
+
+/// Resolves an `ANALYZE` target to concrete table names: the named table
+/// (rejecting wildcards and remote qualifiers), or — without a target —
+/// every table of the database, in sorted order for determinism.
+pub fn resolve_targets(db: &Database, target: Option<&TableRef>) -> Result<Vec<String>, DbError> {
+    match target {
+        Some(t) => {
+            if t.table.is_multiple() {
+                return Err(DbError::NotLocalSql(format!(
+                    "table name `{}` contains a wildcard",
+                    t.table
+                )));
+            }
+            if let Some(d) = &t.database {
+                if d.as_str() != db.name {
+                    return Err(DbError::NotLocalSql(format!("remote database `{d}` in ANALYZE")));
+                }
+            }
+            let name = t.table.as_str().to_ascii_lowercase();
+            db.table(&name)?;
+            Ok(vec![name])
+        }
+        None => Ok(db.table_names()),
+    }
+}
+
+/// Collects fresh statistics for one table. When `undo` is `Some`, the
+/// previous snapshot and staleness counter are recorded so rollback can
+/// restore them.
+pub fn execute_analyze_table(
+    db: &mut Database,
+    table: &str,
+    undo: Option<&mut Vec<UndoOp>>,
+) -> Result<(), DbError> {
+    let database = db.name.clone();
+    let t = db.table_mut(table)?;
+    let (prev, prev_staleness) = t.analyze();
+    if let Some(undo) = undo {
+        undo.push(UndoOp::Analyze {
+            database,
+            table: table.to_string(),
+            prev: prev.map(Box::new),
+            prev_staleness,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msql_lang::parse_statement;
+
+    fn db_with_tables() -> Database {
+        use crate::schema::{ColumnSchema, TableSchema};
+        use crate::table::Table;
+        use crate::value::DataType;
+        let mut db = Database::new("avis");
+        for name in ["cars", "vans"] {
+            db.insert_table(Table::new(TableSchema::new(
+                name,
+                vec![ColumnSchema::new("code", DataType::Int)],
+            )));
+        }
+        db
+    }
+
+    fn analyze_target(sql: &str) -> Option<TableRef> {
+        match parse_statement(sql).unwrap() {
+            msql_lang::Statement::Analyze(t) => t,
+            other => panic!("not ANALYZE: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_analyze_targets_every_table_sorted() {
+        let db = db_with_tables();
+        let t = analyze_target("ANALYZE");
+        assert_eq!(resolve_targets(&db, t.as_ref()).unwrap(), vec!["cars", "vans"]);
+    }
+
+    #[test]
+    fn named_target_resolves_and_missing_errors() {
+        let db = db_with_tables();
+        let t = analyze_target("ANALYZE TABLE vans");
+        assert_eq!(resolve_targets(&db, t.as_ref()).unwrap(), vec!["vans"]);
+        let t = analyze_target("ANALYZE trucks");
+        assert!(matches!(resolve_targets(&db, t.as_ref()), Err(DbError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn remote_qualifier_is_rejected_local_accepted() {
+        let db = db_with_tables();
+        let t = analyze_target("ANALYZE hertz.cars");
+        assert!(matches!(resolve_targets(&db, t.as_ref()), Err(DbError::NotLocalSql(_))));
+        let t = analyze_target("ANALYZE avis.cars");
+        assert_eq!(resolve_targets(&db, t.as_ref()).unwrap(), vec!["cars"]);
+    }
+
+    #[test]
+    fn execute_records_undo_when_asked() {
+        let mut db = db_with_tables();
+        let mut undo = Vec::new();
+        execute_analyze_table(&mut db, "cars", Some(&mut undo)).unwrap();
+        assert!(db.table("cars").unwrap().table_stats().is_some());
+        match &undo[..] {
+            [UndoOp::Analyze { database, table, prev: None, prev_staleness: 0 }] => {
+                assert_eq!(database, "avis");
+                assert_eq!(table, "cars");
+            }
+            other => panic!("unexpected undo: {other:?}"),
+        }
+        // Without an undo sink nothing is recorded.
+        execute_analyze_table(&mut db, "vans", None).unwrap();
+    }
+}

@@ -1,6 +1,7 @@
-//! Statement execution: retrieval ([`select`]), modification ([`dml`]) and
-//! schema changes ([`ddl`]).
+//! Statement execution: retrieval ([`select`]), modification ([`dml`]),
+//! schema changes ([`ddl`]) and statistics collection ([`analyze`]).
 
+pub mod analyze;
 pub mod ddl;
 pub mod dml;
 pub mod select;

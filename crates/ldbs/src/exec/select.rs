@@ -385,6 +385,9 @@ fn choose_probe(source: &Source, si: usize, sargs: &[(usize, usize, Sarg)]) -> O
             continue;
         }
         if let Sarg::Eq(v) = sarg {
+            if probe_priced_out(source.table, column(*ci), 1) {
+                continue;
+            }
             if let Some(idx) = source.table.index_on(column(*ci), false) {
                 return Some(idx.probe_eq(std::slice::from_ref(v)));
             }
@@ -395,6 +398,9 @@ fn choose_probe(source: &Source, si: usize, sargs: &[(usize, usize, Sarg)]) -> O
             continue;
         }
         if let Sarg::In(values) = sarg {
+            if probe_priced_out(source.table, column(*ci), values.len()) {
+                continue;
+            }
             if let Some(idx) = source.table.index_on(column(*ci), false) {
                 return Some(idx.probe_eq(values));
             }
@@ -443,6 +449,26 @@ fn choose_probe(source: &Source, si: usize, sargs: &[(usize, usize, Sarg)]) -> O
         return idx.probe_range(&lo, &hi);
     }
     None
+}
+
+/// NDV pricing of an equality/IN probe against the scan it replaces: with
+/// `ANALYZE` statistics present, a probe over `keys` values of a column with
+/// NDV distinct values is expected to return `rows × min(1, keys/NDV)`
+/// candidates; at half the table or more, the index walk plus candidate
+/// materialization costs more than scanning, so the probe is skipped. The
+/// residual WHERE still filters either way, so the choice only moves cost.
+/// Without statistics every probe wins, exactly as before `ANALYZE` existed.
+fn probe_priced_out(table: &Table, column: &str, keys: usize) -> bool {
+    let Some(stats) = table.table_stats() else { return false };
+    if stats.row_count == 0 {
+        return false;
+    }
+    let Some(col) = stats.column(column) else { return false };
+    if col.ndv == 0 {
+        return false;
+    }
+    let expected = stats.row_count as f64 * (keys as f64 / col.ndv as f64).min(1.0);
+    expected * 2.0 >= stats.row_count as f64
 }
 
 /// Equality conjuncts of the WHERE tree joining source 0 to source 1,
@@ -1435,6 +1461,26 @@ mod tests {
         let slow = execute_select_with(&db, &sel, &[], false).unwrap();
         assert_eq!(fast.rows, slow.rows);
         assert!(fast.rows.is_empty());
+    }
+
+    #[test]
+    fn ndv_pricing_skips_low_cardinality_probes() {
+        let mut db = indexed_avis();
+        let cars = db.table_mut("cars").unwrap();
+        cars.create_index(IndexDef::new("cars_st", "carst", IndexKind::Hash)).unwrap();
+        cars.analyze();
+        // carst has 2 distinct values over 4 rows: an equality probe expects
+        // half the table, so it is priced out in favour of the scan.
+        let (rs, stats) = run_stats(&db, "SELECT code FROM cars WHERE carst = 'available'");
+        assert_eq!(rs.rows.len(), 3);
+        assert!(!stats.probed.get(), "low-NDV equality must scan once analyzed");
+        // code is unique: the probe stays the cheaper path.
+        let (_, stats) = run_stats(&db, "SELECT code FROM cars WHERE code = 3");
+        assert!(stats.probed.get(), "high-NDV equality still probes");
+        // An IN list covering 3 of the 4 distinct keys is priced out too.
+        let (rs, stats) = run_stats(&db, "SELECT code FROM cars WHERE code IN (1, 2, 3)");
+        assert_eq!(rs.rows.len(), 3);
+        assert!(!stats.probed.get(), "wide IN must scan once analyzed");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod failure;
 pub mod index;
 pub mod profile;
 pub mod schema;
+pub mod stats;
 pub mod table;
 pub mod txn;
 pub mod value;
@@ -51,5 +52,6 @@ pub use engine::{Engine, ExecOutcome, ResultSet};
 pub use error::DbError;
 pub use profile::DbmsProfile;
 pub use schema::{ColumnSchema, IndexDef, IndexKind, TableSchema};
+pub use stats::{ColumnStats, TableStats};
 pub use txn::{TxnId, TxnState};
 pub use value::{CanonicalKey, DataType, Value};

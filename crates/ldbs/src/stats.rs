@@ -1,0 +1,226 @@
+//! Optimizer statistics collected by `ANALYZE`.
+//!
+//! One pass over a table yields, per column: the number of distinct values
+//! (NDV), the NULL count, the min/max, and a small equi-depth histogram.
+//! Distinctness and ordering both come from [`Value::canonical_key`], so an
+//! `INT 2` and a `FLOAT 2.0` count as one value exactly where SQL equality
+//! says they are one value. Statistics are a *snapshot*: the table tracks a
+//! staleness counter (`dml_since_analyze`) that the cost layer can consult
+//! before trusting them.
+
+use crate::table::Table;
+use crate::value::{CanonicalKey, Value};
+
+/// Maximum number of equi-depth histogram buckets collected per column.
+pub const HISTOGRAM_BUCKETS: usize = 8;
+
+/// Statistics for one column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name (lowercase).
+    pub name: String,
+    /// Number of distinct non-null values (by canonical key, so values that
+    /// compare SQL-equal count once).
+    pub ndv: u64,
+    /// Number of NULLs (including NaN floats, which have no canonical key
+    /// and never satisfy a predicate).
+    pub null_count: u64,
+    /// Smallest non-null value, if any rows exist.
+    pub min: Option<Value>,
+    /// Largest non-null value, if any rows exist.
+    pub max: Option<Value>,
+    /// Equi-depth histogram: ascending bucket upper bounds over the sorted
+    /// non-null values. At most [`HISTOGRAM_BUCKETS`] entries; the last one
+    /// equals `max`. Empty when the column holds no non-null values.
+    pub histogram: Vec<Value>,
+}
+
+impl ColumnStats {
+    /// Fraction of buckets whose upper bound is strictly below `key` — a
+    /// crude but monotone estimate of `P(column < value)` that equi-depth
+    /// construction makes robust to skew.
+    pub fn histogram_fraction_below(&self, key: &CanonicalKey) -> Option<f64> {
+        if self.histogram.is_empty() {
+            return None;
+        }
+        let below =
+            self.histogram.iter().filter(|b| b.canonical_key().is_some_and(|bk| bk < *key)).count();
+        Some(below as f64 / self.histogram.len() as f64)
+    }
+}
+
+/// Statistics for one table, as of the last `ANALYZE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Number of rows at collection time.
+    pub row_count: u64,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Statistics for the column named `name` (case-insensitive).
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().find(|c| c.name == lower)
+    }
+}
+
+/// Scans `table` once and computes fresh statistics for every column.
+pub fn analyze_table(table: &Table) -> TableStats {
+    let row_count = table.len() as u64;
+    let mut columns = Vec::with_capacity(table.schema.arity());
+    for (ci, col) in table.schema.columns.iter().enumerate() {
+        let mut null_count = 0u64;
+        let mut keyed: Vec<(CanonicalKey, &Value)> = Vec::new();
+        for (_, row) in table.iter() {
+            let v = &row[ci];
+            match v.canonical_key() {
+                Some(k) => keyed.push((k, v)),
+                None => null_count += 1,
+            }
+        }
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut ndv = 0u64;
+        for (i, (k, _)) in keyed.iter().enumerate() {
+            if i == 0 || keyed[i - 1].0 != *k {
+                ndv += 1;
+            }
+        }
+        let min = keyed.first().map(|(_, v)| (*v).clone());
+        let max = keyed.last().map(|(_, v)| (*v).clone());
+        let histogram = equi_depth(&keyed);
+        columns.push(ColumnStats { name: col.name.clone(), ndv, null_count, min, max, histogram });
+    }
+    TableStats { row_count, columns }
+}
+
+/// Equi-depth bucket upper bounds over canonically sorted values. Adjacent
+/// buckets that end on the same value collapse into one, so heavy hitters
+/// occupy (visibly) many buckets without duplicating boundaries.
+fn equi_depth(sorted: &[(CanonicalKey, &Value)]) -> Vec<Value> {
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    let n = sorted.len();
+    let buckets = HISTOGRAM_BUCKETS.min(n);
+    let mut out: Vec<Value> = Vec::with_capacity(buckets);
+    let mut last_key: Option<&CanonicalKey> = None;
+    for b in 1..=buckets {
+        let pos = b * n / buckets - 1;
+        let (key, value) = &sorted[pos];
+        if last_key != Some(key) {
+            out.push((*value).clone());
+            last_key = Some(key);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnSchema, TableSchema};
+    use crate::value::DataType;
+
+    fn table_with(rows: Vec<Vec<Value>>) -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "cars",
+            vec![
+                ColumnSchema::new("code", DataType::Int),
+                ColumnSchema::new("carst", DataType::Char(10)),
+            ],
+        ));
+        for row in rows {
+            t.insert(row).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn counts_rows_ndv_nulls_min_max() {
+        let t = table_with(vec![
+            vec![Value::Int(1), Value::Str("available".into())],
+            vec![Value::Int(2), Value::Str("available".into())],
+            vec![Value::Int(2), Value::Null],
+            vec![Value::Int(7), Value::Str("rented".into())],
+        ]);
+        let s = analyze_table(&t);
+        assert_eq!(s.row_count, 4);
+        let code = s.column("CODE").unwrap();
+        assert_eq!(code.ndv, 3);
+        assert_eq!(code.null_count, 0);
+        assert_eq!(code.min, Some(Value::Int(1)));
+        assert_eq!(code.max, Some(Value::Int(7)));
+        let carst = s.column("carst").unwrap();
+        assert_eq!(carst.ndv, 2);
+        assert_eq!(carst.null_count, 1);
+        assert_eq!(carst.min, Some(Value::Str("available".into())));
+        assert_eq!(carst.max, Some(Value::Str("rented".into())));
+    }
+
+    #[test]
+    fn ndv_folds_sql_equal_values_across_types() {
+        let mut t =
+            Table::new(TableSchema::new("r", vec![ColumnSchema::new("x", DataType::Float)]));
+        t.insert(vec![Value::Int(2)]).unwrap();
+        t.insert(vec![Value::Float(2.0)]).unwrap();
+        t.insert(vec![Value::Float(3.5)]).unwrap();
+        let s = analyze_table(&t);
+        assert_eq!(s.column("x").unwrap().ndv, 2);
+    }
+
+    #[test]
+    fn empty_table_yields_empty_column_stats() {
+        let t = table_with(vec![]);
+        let s = analyze_table(&t);
+        assert_eq!(s.row_count, 0);
+        let code = s.column("code").unwrap();
+        assert_eq!(code.ndv, 0);
+        assert_eq!(code.min, None);
+        assert_eq!(code.max, None);
+        assert!(code.histogram.is_empty());
+    }
+
+    #[test]
+    fn histogram_is_equi_depth_and_bounded() {
+        // 64 rows, values 0..64: bucket bounds land every 8 values.
+        let rows: Vec<Vec<Value>> =
+            (0..64).map(|i| vec![Value::Int(i), Value::Str("s".into())]).collect();
+        let s = analyze_table(&table_with(rows));
+        let h = &s.column("code").unwrap().histogram;
+        assert_eq!(h.len(), HISTOGRAM_BUCKETS);
+        assert_eq!(h.first(), Some(&Value::Int(7)));
+        assert_eq!(h.last(), Some(&Value::Int(63)));
+        // Ascending.
+        for w in h.windows(2) {
+            assert!(w[0].canonical_key() < w[1].canonical_key());
+        }
+    }
+
+    #[test]
+    fn histogram_collapses_heavy_hitters() {
+        // 70 copies of one value plus 10 others: equi-depth bounds mostly
+        // land on the heavy hitter, which collapses to one boundary.
+        let mut rows: Vec<Vec<Value>> = (0..70).map(|_| vec![Value::Int(5), Value::Null]).collect();
+        rows.extend((10..20).map(|i| vec![Value::Int(i), Value::Null]));
+        let s = analyze_table(&table_with(rows));
+        let code = s.column("code").unwrap();
+        assert!(code.histogram.len() < HISTOGRAM_BUCKETS);
+        assert_eq!(code.histogram.first(), Some(&Value::Int(5)));
+        // The estimate still sees most of the mass at/below 5.
+        let frac = code.histogram_fraction_below(&Value::Int(6).canonical_key().unwrap()).unwrap();
+        assert!(frac > 0.0);
+    }
+
+    #[test]
+    fn histogram_fraction_is_monotone() {
+        let rows: Vec<Vec<Value>> = (0..40).map(|i| vec![Value::Int(i), Value::Null]).collect();
+        let s = analyze_table(&table_with(rows));
+        let code = s.column("code").unwrap();
+        let lo = code.histogram_fraction_below(&Value::Int(3).canonical_key().unwrap()).unwrap();
+        let hi = code.histogram_fraction_below(&Value::Int(39).canonical_key().unwrap()).unwrap();
+        assert!(lo <= hi);
+        assert!(hi > 0.8);
+    }
+}

@@ -7,6 +7,7 @@
 use crate::error::DbError;
 use crate::index::Index;
 use crate::schema::{IndexDef, TableSchema};
+use crate::stats::{analyze_table, TableStats};
 use crate::value::Value;
 use std::collections::BTreeMap;
 
@@ -30,12 +31,24 @@ pub struct Table {
     rows: BTreeMap<RowId, Row>,
     next_id: RowId,
     indexes: Vec<Index>,
+    /// Optimizer statistics from the last `ANALYZE`, if any.
+    stats: Option<TableStats>,
+    /// Mutations applied since the last `ANALYZE` — the staleness signal the
+    /// cost layer consults before trusting `stats`.
+    dml_since_analyze: u64,
 }
 
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: BTreeMap::new(), next_id: 1, indexes: Vec::new() }
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_id: 1,
+            indexes: Vec::new(),
+            stats: None,
+            dml_since_analyze: 0,
+        }
     }
 
     /// Number of live rows.
@@ -83,6 +96,7 @@ impl Table {
             idx.insert(id, &row);
         }
         self.rows.insert(id, row);
+        self.dml_since_analyze += 1;
         Ok(id)
     }
 
@@ -95,6 +109,7 @@ impl Table {
         if id >= self.next_id {
             self.next_id = id + 1;
         }
+        self.dml_since_analyze += 1;
     }
 
     /// Removes a row, returning it.
@@ -103,6 +118,7 @@ impl Table {
         for idx in &mut self.indexes {
             idx.remove(id, &row);
         }
+        self.dml_since_analyze += 1;
         Some(row)
     }
 
@@ -123,7 +139,34 @@ impl Table {
             idx.remove(id, &old);
             idx.insert(id, new);
         }
+        self.dml_since_analyze += 1;
         Ok(old)
+    }
+
+    /// (Re)collects optimizer statistics and resets the staleness counter.
+    /// Returns the previous snapshot and counter so `ANALYZE` can be undone
+    /// on engines whose profile rolls DDL back.
+    pub fn analyze(&mut self) -> (Option<TableStats>, u64) {
+        let fresh = analyze_table(self);
+        let prev = self.stats.replace(fresh);
+        let prev_staleness = std::mem::replace(&mut self.dml_since_analyze, 0);
+        (prev, prev_staleness)
+    }
+
+    /// The statistics snapshot from the last `ANALYZE`, if any.
+    pub fn table_stats(&self) -> Option<&TableStats> {
+        self.stats.as_ref()
+    }
+
+    /// Mutations applied since the last `ANALYZE` (staleness indicator).
+    pub fn dml_since_analyze(&self) -> u64 {
+        self.dml_since_analyze
+    }
+
+    /// Restores a previous statistics snapshot (undo of `ANALYZE`).
+    pub fn restore_stats(&mut self, stats: Option<TableStats>, dml_since_analyze: u64) {
+        self.stats = stats;
+        self.dml_since_analyze = dml_since_analyze;
     }
 
     /// Iterates `(id, row)` in id order.
@@ -281,6 +324,32 @@ mod tests {
         assert!(t.index_on("code", true).is_none());
         t.create_index(IndexDef::new("b", "code", IndexKind::BTree)).unwrap();
         assert_eq!(t.index_on("code", true).unwrap().def.name, "b");
+    }
+
+    #[test]
+    fn staleness_counter_tracks_every_mutation_path() {
+        let mut t = table();
+        assert_eq!(t.dml_since_analyze(), 0);
+        assert!(t.table_stats().is_none());
+        let a = t.insert(vec![Value::Int(1), Value::Float(10.0)]).unwrap();
+        assert_eq!(t.dml_since_analyze(), 1);
+        let (prev, prev_staleness) = t.analyze();
+        assert!(prev.is_none());
+        assert_eq!(prev_staleness, 1);
+        assert_eq!(t.dml_since_analyze(), 0);
+        assert_eq!(t.table_stats().unwrap().row_count, 1);
+        t.replace(a, vec![Value::Int(2), Value::Null]).unwrap();
+        let row = t.remove(a).unwrap();
+        t.restore(a, row);
+        assert_eq!(t.dml_since_analyze(), 3);
+        // Rollback of an ANALYZE restores the prior snapshot wholesale.
+        let snapshot = t.table_stats().cloned();
+        let (prev, prev_staleness) = t.analyze();
+        assert_eq!(prev, snapshot);
+        assert_eq!(prev_staleness, 3);
+        t.restore_stats(prev, prev_staleness);
+        assert_eq!(t.table_stats(), snapshot.as_ref());
+        assert_eq!(t.dml_since_analyze(), 3);
     }
 
     #[test]

@@ -129,6 +129,19 @@ pub enum UndoOp {
         /// The dropped index definition.
         def: crate::schema::IndexDef,
     },
+    /// Statistics were (re)collected by `ANALYZE`; undo restores the
+    /// previous snapshot and staleness counter.
+    Analyze {
+        /// Database name.
+        database: String,
+        /// Table name.
+        table: String,
+        /// The statistics in place before the `ANALYZE` (None if never
+        /// analyzed).
+        prev: Option<Box<crate::stats::TableStats>>,
+        /// The staleness counter before the `ANALYZE`.
+        prev_staleness: u64,
+    },
 }
 
 /// A live transaction: its state, its undo log, and the write locks it

@@ -853,6 +853,9 @@ pub enum Statement {
     /// `EXPLAIN <statement>`: execute the target with tracing and return the
     /// measured profile instead of its outcome.
     Explain(Box<Statement>),
+    /// `ANALYZE [<table>]`: collect optimizer statistics for one table, or —
+    /// without a target — for every table of the database in scope.
+    Analyze(Option<TableRef>),
 }
 
 impl Statement {

@@ -221,6 +221,15 @@ impl Parser {
             let inner = self.parse_statement()?;
             return Ok(Statement::Explain(Box::new(inner)));
         }
+        if self.eat_kw("analyze") {
+            let _ = self.eat_kw("table");
+            let table = if matches!(self.peek(), TokenKind::Ident(_)) && !self.starts_statement() {
+                Some(self.parse_table_ref()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Analyze(table));
+        }
         Err(ParseError::new(format!("unexpected token `{}`", self.peek()), self.span()))
     }
 
@@ -1310,6 +1319,34 @@ mod tests {
         assert_eq!(ct.columns.len(), 4);
         assert!(ct.columns[0].not_null);
         assert_eq!(ct.columns[1].type_name, TypeName::Char(16));
+    }
+
+    #[test]
+    fn parses_analyze_forms() {
+        let s = parse_statement("ANALYZE").unwrap();
+        assert!(matches!(s, Statement::Analyze(None)));
+
+        let s = parse_statement("ANALYZE cars").unwrap();
+        let Statement::Analyze(Some(t)) = s else { panic!() };
+        assert_eq!(t.table.as_str(), "cars");
+        assert!(t.database.is_none());
+
+        // Optional TABLE keyword and a database qualifier.
+        let s = parse_statement("ANALYZE TABLE avis.cars").unwrap();
+        let Statement::Analyze(Some(t)) = s else { panic!() };
+        assert_eq!(t.database.as_ref().unwrap().as_str(), "avis");
+        assert_eq!(t.table.as_str(), "cars");
+    }
+
+    #[test]
+    fn analyze_print_parse_roundtrip() {
+        for sql in ["ANALYZE", "ANALYZE cars", "ANALYZE avis.cars"] {
+            let stmt = parse_statement(sql).unwrap();
+            let printed = crate::printer::print(&stmt);
+            assert_eq!(printed, sql, "printer is canonical");
+            let reparsed = parse_statement(&printed).unwrap();
+            assert_eq!(crate::printer::print(&reparsed), printed, "roundtrip is stable");
+        }
     }
 
     #[test]

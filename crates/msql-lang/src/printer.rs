@@ -83,6 +83,13 @@ fn write_statement(out: &mut String, stmt: &Statement) {
             out.push_str("EXPLAIN ");
             write_statement(out, inner);
         }
+        Statement::Analyze(table) => {
+            out.push_str("ANALYZE");
+            if let Some(t) = table {
+                out.push(' ');
+                write_table_name(out, t);
+            }
+        }
     }
 }
 

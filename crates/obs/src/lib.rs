@@ -23,5 +23,8 @@ pub mod span;
 
 pub use clock::LogicalClock;
 pub use metrics::{labeled, quantile, Histogram, MetricsRegistry, MetricsSnapshot};
-pub use report::{ExplainReport, JoinSummary, LamCost, SpanNode, SpanTree, WireSummary};
+pub use report::{
+    ExplainReport, JoinSummary, LamCost, PlannerRow, PlannerSummary, SpanNode, SpanTree,
+    WireSummary,
+};
 pub use span::{Span, SpanCtx, SpanRecord, Tracer};

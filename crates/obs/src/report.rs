@@ -161,6 +161,28 @@ pub struct JoinSummary {
     pub bytes_saved: u64,
 }
 
+/// One partial dispatched under cost-based planning: the optimizer's row
+/// estimate next to what the site actually returned.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlannerRow {
+    /// Database the partial ran against.
+    pub database: String,
+    /// Rows the cost model predicted the partial would return.
+    pub est_rows: u64,
+    /// Rows the partial actually returned.
+    pub actual_rows: u64,
+}
+
+/// Estimated-versus-actual accounting for a costed cross-database statement,
+/// derived from `lam:partial:*` spans carrying an `est_rows` note. Absent
+/// when the statement ran on the heuristic (statistics-free) path, so
+/// renders and golden traces without ANALYZE are unchanged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlannerSummary {
+    /// Per-database rows, sorted by database name.
+    pub rows: Vec<PlannerRow>,
+}
+
 /// Wire-level accounting of one statement: which encoding its LAM traffic
 /// used and how many payload bytes each format put on the (simulated) wire.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -185,6 +207,9 @@ pub struct ExplainReport {
     pub costs: Vec<LamCost>,
     /// Join execution summary, when the statement ran a cross-database join.
     pub join: Option<JoinSummary>,
+    /// Estimated-versus-actual planner rows — populated only when the
+    /// statement ran under cost-based planning (fresh statistics present).
+    pub planner: Option<PlannerSummary>,
     /// Wire-format accounting — populated only when the statement shipped
     /// binary frames, so text-mode renders (and golden traces) are
     /// unchanged.
@@ -197,10 +222,21 @@ impl ExplainReport {
     pub fn from_tree(statement: impl Into<String>, tree: SpanTree) -> ExplainReport {
         let mut by_db: BTreeMap<String, LamCost> = BTreeMap::new();
         let mut join: Option<JoinSummary> = None;
+        let mut planned: BTreeMap<String, PlannerRow> = BTreeMap::new();
         tree.visit(&mut |node| {
             let note =
                 |key: &str| node.notes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
             let num = |key: &str| note(key).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+            if node.name.starts_with("lam:partial:") && note("est_rows").is_some() {
+                if let Some(db) = note("db") {
+                    let row = planned.entry(db.to_string()).or_insert_with(|| PlannerRow {
+                        database: db.to_string(),
+                        ..PlannerRow::default()
+                    });
+                    row.est_rows += num("est_rows");
+                    row.actual_rows += num("rows");
+                }
+            }
             if node.name == "join" {
                 if let Some(strategy) = note("strategy") {
                     join = Some(JoinSummary {
@@ -235,6 +271,11 @@ impl ExplainReport {
             tree,
             costs: by_db.into_values().collect(),
             join,
+            planner: if planned.is_empty() {
+                None
+            } else {
+                Some(PlannerSummary { rows: planned.into_values().collect() })
+            },
             wire: None,
         }
     }
@@ -266,6 +307,16 @@ impl ExplainReport {
             out.push_str(&format!("join strategy: {}\n", j.strategy));
             out.push_str(&format!("join keys shipped: {}\n", j.keys_shipped));
             out.push_str(&format!("bytes saved by semijoin: {}\n", j.bytes_saved));
+        }
+        if let Some(p) = &self.planner {
+            out.push('\n');
+            out.push_str("planner estimates:\n");
+            for r in &p.rows {
+                out.push_str(&format!(
+                    "  [{}] est rows: {}  actual rows: {}\n",
+                    r.database, r.est_rows, r.actual_rows
+                ));
+            }
         }
         if let Some(w) = &self.wire {
             out.push('\n');
@@ -334,6 +385,39 @@ mod tests {
         assert!(text.contains("avis"));
         assert!(text.contains("access path [avis]: probe"));
         assert!(report.join.is_none(), "no join span, no join summary");
+    }
+
+    #[test]
+    fn explain_report_extracts_planner_summary() {
+        let tracer = Tracer::new(LogicalClock::new());
+        {
+            let root = tracer.root("statement");
+            let a = root.child("lam:partial:avis");
+            a.note("db", "avis");
+            a.note("est_rows", 3);
+            a.note("rows", 2);
+            drop(a);
+            let b = root.child("lam:partial:national");
+            b.note("db", "national");
+            b.note("est_rows", 7);
+            b.note("rows", 7);
+        }
+        let mut tree = SpanTree::from_records(&tracer.records());
+        tree.normalize();
+        let report = ExplainReport::from_tree("SELECT 1", tree);
+        let p = report.planner.as_ref().expect("planner summary extracted");
+        assert_eq!(p.rows.len(), 2);
+        assert_eq!(p.rows[0].database, "avis");
+        assert_eq!(p.rows[0].est_rows, 3);
+        assert_eq!(p.rows[0].actual_rows, 2);
+        assert_eq!(p.rows[1].database, "national");
+        let text = report.render();
+        assert!(text.contains("planner estimates:"));
+        assert!(text.contains("[avis] est rows: 3  actual rows: 2"));
+        // Without est_rows notes the section stays absent.
+        let plain = ExplainReport::from_tree("SELECT 1", sample_tree());
+        assert!(plain.planner.is_none(), "no est_rows note, no planner section");
+        assert!(!plain.render().contains("planner estimates"));
     }
 
     #[test]

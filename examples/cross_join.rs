@@ -9,7 +9,10 @@
 //! bytes the reduction saved; turning `Federation::semijoin` off shows the
 //! same rows shipping the full partials instead. Creating a secondary index
 //! on the reduced side's join column then flips its partial from a full
-//! scan to an index probe (`access=probe`), with identical rows.
+//! scan to an index probe (`access=probe`), with identical rows. Finally,
+//! ANALYZE on both sites switches the join to the cost-based planner: the
+//! reducer is chosen by estimated partial size and EXPLAIN reports the
+//! estimates next to the actual row counts.
 //!
 //! ```sh
 //! cargo run --example cross_join
@@ -98,4 +101,25 @@ fn main() {
     let probed = indexed.execute(QUERY).expect("join").into_table().expect("a table");
     assert_eq!(rows.rows, probed.rows, "the index probe must not change the result");
     println!("indexed probe returned the same {} row(s)", probed.rows.len());
+
+    // ANALYZE both sites and the same join plans by estimated shipped bytes
+    // instead of conjunct counting: the smallest estimated partial reduces
+    // (planner=costed on the join span), each partial carries its est_rows,
+    // and EXPLAIN closes with estimates next to the actual row counts.
+    println!();
+    println!("-- EXPLAIN again, costed: after ANALYZE on both sites --");
+    let mut costed = paper_federation();
+    costed.parallel = false;
+    costed.execute("USE continental delta").expect("scope");
+    costed.execute("ANALYZE continental.flights").expect("ANALYZE continental");
+    costed.execute("ANALYZE delta.flight").expect("ANALYZE delta");
+    let report = costed
+        .execute(&format!("EXPLAIN {QUERY}"))
+        .expect("EXPLAIN costed join")
+        .into_explain()
+        .expect("an explain report");
+    println!("{}", report.render());
+    let planned = costed.execute(QUERY).expect("join").into_table().expect("a table");
+    assert_eq!(rows.rows, planned.rows, "the costed plan must not change the result");
+    println!("costed plan returned the same {} row(s)", planned.rows.len());
 }

@@ -1,0 +1,146 @@
+//! ANALYZE lifecycle at the federation level: statement routing, the GDD's
+//! statistics cache (fetch / hit / invalidate), and the costed planner's
+//! visibility in EXPLAIN.
+
+use mdbs::fixtures::paper_federation;
+use mdbs::MsqlOutcome;
+
+/// Reads one counter from the session metrics, defaulting to zero.
+fn counter(fed: &mdbs::Federation, name: &str) -> u64 {
+    fed.metrics().counters.iter().find(|(n, _)| n.as_str() == name).map(|(_, v)| *v).unwrap_or(0)
+}
+
+const EQUI_JOIN: &str = "SELECT f.flnu, g.fnu
+     FROM continental.flights f, delta.flight g
+     WHERE f.source = g.source AND f.destination = g.dest
+     ORDER BY f.flnu, g.fnu";
+
+#[test]
+fn analyze_ships_to_the_owning_site() {
+    let mut fed = paper_federation();
+    let MsqlOutcome::Admin(msg) = fed.execute("ANALYZE avis.cars").unwrap() else {
+        panic!("ANALYZE should yield an admin outcome");
+    };
+    assert!(msg.contains("analyzed 1 table(s) in `avis`"), "{msg}");
+    // Bare ANALYZE walks every table of a single-database scope.
+    fed.execute("USE avis").unwrap();
+    let MsqlOutcome::Admin(msg) = fed.execute("ANALYZE").unwrap() else {
+        panic!("bare ANALYZE should yield an admin outcome");
+    };
+    assert!(msg.contains("in `avis`"), "{msg}");
+}
+
+#[test]
+fn bare_analyze_rejects_ambiguous_scope() {
+    let mut fed = paper_federation();
+    fed.execute("USE avis national").unwrap();
+    let err = fed.execute("ANALYZE").unwrap_err();
+    assert!(err.to_string().contains("ambiguous"), "{err}");
+}
+
+#[test]
+fn stats_cache_fetches_once_then_hits() {
+    let mut fed = paper_federation();
+    fed.execute("ANALYZE continental.flights").unwrap();
+    fed.execute("ANALYZE delta.flight").unwrap();
+    fed.execute("USE continental delta").unwrap();
+
+    fed.execute(EQUI_JOIN).unwrap();
+    assert_eq!(counter(&fed, "planner.stats_fetches"), 2, "one STATS fetch per database");
+    assert_eq!(
+        counter(&fed, "planner.costed_joins"),
+        1,
+        "fresh stats put the join on the costed path"
+    );
+
+    fed.execute(EQUI_JOIN).unwrap();
+    assert_eq!(counter(&fed, "planner.stats_fetches"), 2, "second join must reuse the cache");
+    assert_eq!(counter(&fed, "planner.stats_cache_hits"), 2);
+    assert_eq!(counter(&fed, "planner.costed_joins"), 2);
+}
+
+#[test]
+fn ddl_and_analyze_invalidate_the_stats_cache() {
+    let mut fed = paper_federation();
+    fed.execute("ANALYZE continental.flights").unwrap();
+    fed.execute("ANALYZE delta.flight").unwrap();
+    fed.execute("USE continental delta").unwrap();
+    fed.execute(EQUI_JOIN).unwrap();
+    assert_eq!(counter(&fed, "planner.stats_fetches"), 2);
+
+    // DDL against continental drops its cached statistics; the next costed
+    // join must re-fetch that database (and only that one).
+    fed.execute("CREATE TABLE continental.scratch (x INT)").unwrap();
+    fed.execute(EQUI_JOIN).unwrap();
+    assert_eq!(counter(&fed, "planner.stats_fetches"), 3, "DDL must invalidate one database");
+
+    // Re-ANALYZE also invalidates, so fresh snapshots are picked up.
+    fed.execute("ANALYZE delta.flight").unwrap();
+    fed.execute(EQUI_JOIN).unwrap();
+    assert_eq!(counter(&fed, "planner.stats_fetches"), 4, "ANALYZE must invalidate its database");
+}
+
+#[test]
+fn disabling_the_planner_skips_stats_fetches() {
+    let mut fed = paper_federation();
+    fed.cost_planner = false;
+    fed.execute("ANALYZE continental.flights").unwrap();
+    fed.execute("ANALYZE delta.flight").unwrap();
+    fed.execute("USE continental delta").unwrap();
+    fed.execute(EQUI_JOIN).unwrap();
+    assert_eq!(counter(&fed, "planner.stats_fetches"), 0);
+    assert_eq!(counter(&fed, "planner.costed_joins"), 0);
+}
+
+#[test]
+fn costed_explain_reports_estimated_vs_actual_rows() {
+    let mut fed = paper_federation();
+    fed.parallel = false; // deterministic trace
+    fed.execute("ANALYZE continental.flights").unwrap();
+    fed.execute("ANALYZE delta.flight").unwrap();
+    fed.execute("USE continental delta").unwrap();
+    let report = fed.execute(&format!("EXPLAIN {EQUI_JOIN}")).unwrap().into_explain().unwrap();
+    let planner = report.planner.as_ref().expect("costed EXPLAIN carries planner estimates");
+    assert_eq!(planner.rows.len(), 2, "{planner:?}");
+    for row in &planner.rows {
+        assert!(row.actual_rows > 0, "paper fixture partials are non-empty: {row:?}");
+    }
+    let text = report.render();
+    assert!(text.contains("planner estimates:"), "{text}");
+    assert!(text.contains("est rows:"), "{text}");
+
+    // Without statistics the same EXPLAIN has no planner section at all —
+    // the heuristic path renders byte-identically to the pre-planner days.
+    let mut plain = paper_federation();
+    plain.parallel = false;
+    plain.execute("USE continental delta").unwrap();
+    let report = plain.execute(&format!("EXPLAIN {EQUI_JOIN}")).unwrap().into_explain().unwrap();
+    assert!(report.planner.is_none());
+    assert!(!report.render().contains("planner estimates"));
+}
+
+#[test]
+fn analyze_survives_rollback_semantics() {
+    // DML after ANALYZE drifts the staleness counter, but the snapshot is
+    // still served until it crosses the freshness threshold; the costed and
+    // heuristic paths agree throughout.
+    let mut fed = paper_federation();
+    fed.execute("ANALYZE continental.flights").unwrap();
+    fed.execute("ANALYZE delta.flight").unwrap();
+    fed.execute("USE continental delta").unwrap();
+    let before = fed.execute(EQUI_JOIN).unwrap().into_table().unwrap();
+    {
+        let engine = fed.engine("svc_continental").unwrap();
+        let mut engine = engine.lock();
+        engine
+            .execute(
+                "continental",
+                "INSERT INTO flights VALUES (9, 'Houston', 'am', 'San Antonio', 'pm', 'mon', 55.0)",
+            )
+            .unwrap();
+    }
+    // The cache still holds the pre-DML snapshot; re-ANALYZE refreshes it.
+    fed.execute("ANALYZE continental.flights").unwrap();
+    let after = fed.execute(EQUI_JOIN).unwrap().into_table().unwrap();
+    assert!(after.rows.len() > before.rows.len(), "new Houston flight joins delta rows");
+}
