@@ -74,13 +74,20 @@ echo "== planner oracle =="
 cargo test -q --test planner_oracle
 cargo test -q --test analyze_stats
 
+echo "== aggregate oracle =="
+# The aggregate/top-k pushdown equivalence gate: for random data (empty
+# groups, all-NULL columns, empty sites, single-site degenerates), a query
+# with pushdown on must return exactly the rows of the same query with
+# pushdown off AND of an independent plain-Rust reference evaluator.
+cargo test -q --test aggregate_oracle
+
 echo "== bench smoke (--test mode) =="
 # Every benchmark payload must still execute; no timing sweep. This includes
-# b9_cross_join, b10_local_index, b11_concurrency, b12_wire_codec and
-# b13_planner, whose smoke passes also refresh BENCH_cross_join.json,
-# BENCH_local_index.json, BENCH_concurrency.json, BENCH_wire_codec.json and
-# BENCH_planner.json (the b12 and b13 smokes assert their ≥2x reductions
-# inline).
+# b9_cross_join, b10_local_index, b11_concurrency, b12_wire_codec,
+# b13_planner and b14_aggregate, whose smoke passes also refresh
+# BENCH_cross_join.json, BENCH_local_index.json, BENCH_concurrency.json,
+# BENCH_wire_codec.json, BENCH_planner.json and BENCH_aggregate.json (the
+# b12, b13 and b14 smokes assert their ≥2x reductions inline).
 cargo bench --workspace -- --test
 
 echo "CI OK"

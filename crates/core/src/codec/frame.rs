@@ -50,12 +50,14 @@ const REQ_DROPMANY: u8 = 0x0E;
 const REQ_PING: u8 = 0x0F;
 const REQ_SHUTDOWN: u8 = 0x10;
 const REQ_STATS: u8 = 0x11;
+const REQ_PARTIALAGG: u8 = 0x12;
 
 const RESP_TASKDONE: u8 = 0x81;
 const RESP_PARTIALDONE: u8 = 0x82;
 const RESP_OK: u8 = 0x83;
 const RESP_OKPAYLOAD: u8 = 0x84;
 const RESP_ERR: u8 = 0x85;
+const RESP_PARTIALAGGDONE: u8 = 0x86;
 
 const PAYLOAD_VERBATIM: u8 = 0;
 const PAYLOAD_COLUMNAR: u8 = 1;
@@ -237,6 +239,12 @@ pub fn encode_request(pool: &BufferPool, corr: Option<u64>, req: &Request) -> Po
             write_str(&mut buf, sql);
             write_opt_str(&mut buf, baseline);
         }
+        Request::PartialAgg { database, sql, baseline } => {
+            buf.push(REQ_PARTIALAGG);
+            write_str(&mut buf, database);
+            write_str(&mut buf, sql);
+            write_opt_str(&mut buf, baseline);
+        }
         Request::Schema { database } => {
             buf.push(REQ_SCHEMA);
             write_str(&mut buf, database);
@@ -320,6 +328,11 @@ pub fn decode_request(bytes: &[u8]) -> Result<(Option<u64>, Request), MdbsError>
             sql: r.string()?,
             baseline: read_opt_str(&mut r)?,
         },
+        REQ_PARTIALAGG => Request::PartialAgg {
+            database: r.string()?,
+            sql: r.string()?,
+            baseline: read_opt_str(&mut r)?,
+        },
         REQ_SCHEMA => Request::Schema { database: r.string()? },
         REQ_STATS => Request::Stats { database: r.string()?, table: read_opt_str(&mut r)? },
         REQ_LOAD => Request::Load {
@@ -373,6 +386,14 @@ pub fn encode_response(pool: &BufferPool, corr: Option<u64>, resp: &Response) ->
             write_opt_str(&mut buf, error);
             write_opt_payload(&mut buf, payload);
         }
+        Response::PartialAggDone { payload, error, groups, full_rows, full_bytes } => {
+            buf.push(RESP_PARTIALAGGDONE);
+            write_u64(&mut buf, *groups);
+            write_u64(&mut buf, *full_rows);
+            write_u64(&mut buf, *full_bytes);
+            write_opt_str(&mut buf, error);
+            write_opt_payload(&mut buf, payload);
+        }
         Response::Ok => buf.push(RESP_OK),
         Response::OkPayload { payload } => {
             buf.push(RESP_OKPAYLOAD);
@@ -409,6 +430,13 @@ pub fn decode_response(bytes: &[u8]) -> Result<(Option<u64>, Response), MdbsErro
             full_rows: r.u64()?,
             full_bytes: r.u64()?,
             access: read_opt_str(&mut r)?,
+            error: read_opt_str(&mut r)?,
+            payload: read_opt_payload(&mut r)?,
+        },
+        RESP_PARTIALAGGDONE => Response::PartialAggDone {
+            groups: r.u64()?,
+            full_rows: r.u64()?,
+            full_bytes: r.u64()?,
             error: read_opt_str(&mut r)?,
             payload: read_opt_payload(&mut r)?,
         },
@@ -496,6 +524,24 @@ mod tests {
         roundtrip_request(
             Some(6),
             Request::Partial { database: "avis".into(), sql: "SELECT 1".into(), baseline: None },
+        );
+        roundtrip_request(
+            Some(18),
+            Request::PartialAgg {
+                database: "avis".into(),
+                sql: "SELECT cartype AS b_c_cartype, COUNT(*) AS agg_cnt FROM cars \
+                      GROUP BY cartype"
+                    .into(),
+                baseline: Some("SELECT code\nFROM cars".into()),
+            },
+        );
+        roundtrip_request(
+            Some(19),
+            Request::PartialAgg {
+                database: "avis".into(),
+                sql: "SELECT COUNT(*) AS agg_cnt FROM cars".into(),
+                baseline: None,
+            },
         );
         roundtrip_request(Some(8), Request::Schema { database: "avis".into() });
         roundtrip_request(Some(16), Request::Stats { database: "avis".into(), table: None });
@@ -585,6 +631,26 @@ mod tests {
                 full_rows: 0,
                 full_bytes: 0,
                 access: None,
+            },
+        );
+        roundtrip_response(
+            Some(7),
+            Response::PartialAggDone {
+                payload: Some("COLS b_c_cartype:char(16)|agg_cnt:int\nR S:bus|I:3\n".into()),
+                error: None,
+                groups: 1,
+                full_rows: 40,
+                full_bytes: 900,
+            },
+        );
+        roundtrip_response(
+            Some(8),
+            Response::PartialAggDone {
+                payload: None,
+                error: Some("unknown column | details\nline2".into()),
+                groups: 0,
+                full_rows: 0,
+                full_bytes: 0,
             },
         );
     }

@@ -14,11 +14,14 @@
 use crate::codec::WireFormat;
 use crate::error::MdbsError;
 use crate::lamclient::{decode_task_result, LamClient, LamFactory, PartialResult};
+use crate::merge;
 use crate::multitable::{Multitable, MultitableEntry};
 use crate::planner::{self, Estimate, PlannerContext};
 use crate::proto::{Request, Response, TaskMode};
 use crate::retry::{shared_stats, ExecStats, RetryPolicy, SharedExecStats};
-use crate::translate::{DbRoute, DbSubquery, Decomposition, GeneratedPlan, MTX_FAILED};
+use crate::translate::{
+    DbRoute, DbSubquery, Decomposition, GeneratedPlan, PushdownPlan, MTX_FAILED,
+};
 use crate::wal::{Wal, WalObserver, WalRecord};
 use crate::wire;
 use dol::{DolEngine, DolOutcome, TaskStatus};
@@ -28,7 +31,7 @@ use ldbs::value::Value;
 use msql_lang::printer::print_select;
 use msql_lang::{BinaryOp, ColumnRef, Expr, Literal, Select, SelectItem};
 use netsim::{FaultKind, Network};
-use obs::{labeled, ExplainReport, MetricsRegistry, SpanCtx};
+use obs::{labeled, ExplainReport, MetricsRegistry, Span, SpanCtx};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -183,6 +186,13 @@ pub struct Executor {
     /// Per-edge cap on the distinct key values shipped as an `IN (…)`
     /// filter; an edge whose key set exceeds it falls back to full shipping.
     pub semijoin_cap: usize,
+    /// Aggregate/top-k pushdown of cross-database joins: when the
+    /// decomposition proved the query's aggregates decomposable (or it is a
+    /// pure-product top-k), each site computes partial aggregates (or a
+    /// site-local top-k) and the MDBS layer merges them, instead of shipping
+    /// full partials to a coordinator. Off — or an ineligible query — takes
+    /// the classic coordinator path, byte-for-byte.
+    pub agg_pushdown: bool,
     /// Where execution spans hang (disabled unless the federation is
     /// tracing the statement).
     pub trace: SpanCtx,
@@ -215,6 +225,7 @@ impl Executor {
             tolerate_unreachable: false,
             semijoin: true,
             semijoin_cap: DEFAULT_SEMIJOIN_CAP,
+            agg_pushdown: true,
             trace: SpanCtx::disabled(),
             metrics: MetricsRegistry::new(),
             wire_format: WireFormat::default(),
@@ -432,6 +443,17 @@ impl Executor {
             .and_then(|ctx| dec.subqueries.iter().map(|s| ctx.estimate_subquery(s)).collect());
         if estimates.is_some() {
             self.metrics.counter_add("planner.costed_joins", 1);
+        }
+
+        // Aggregate/top-k pushdown: when decomposition proved the query
+        // eligible, skip the coordinator flow entirely — each site computes
+        // its partial aggregates (or local top-k) and the merge happens
+        // here, at the MDBS layer. Any ineligible query carries
+        // `pushdown: None` and continues on the classic path unchanged.
+        if self.agg_pushdown {
+            if let Some(plan) = &dec.pushdown {
+                return self.run_pushdown(dec, plan, &sub_routes, estimates.as_deref(), &join_span);
+            }
         }
 
         // 1. Semi-join reduction: run the reducer, harvest its join keys.
@@ -742,6 +764,171 @@ impl Executor {
         let result = client.run_partial(&sql, baseline.as_deref(), &span)?;
         if let Some(access) = &result.access {
             span.note("access", access);
+        }
+        if result.full_bytes > 0 {
+            let saved = result.full_bytes.saturating_sub(result.payload.len() as u64);
+            span.note("saved", saved);
+            self.metrics.counter_add(&labeled("lam.bytes_saved", "db", &sub.database), saved);
+        }
+        Ok(result)
+    }
+
+    /// Executes an aggregate/top-k pushdown plan: every site evaluates its
+    /// rewritten subquery (partial aggregates grouped by join + group keys,
+    /// or a site-local top-k), the reduced partials cross the wire, and the
+    /// merge happens here at the MDBS layer — no coordinator round trips.
+    /// Under tracing, each site also measures (never ships) its *unpushed*
+    /// subquery so EXPLAIN can show the pushdown's savings.
+    fn run_pushdown(
+        &self,
+        dec: &Decomposition,
+        plan: &PushdownPlan,
+        sub_routes: &[&DbRoute],
+        estimates: Option<&[Estimate]>,
+        join_span: &Span,
+    ) -> Result<ResultSet, MdbsError> {
+        let (kind, site_sql): (&str, Vec<String>) = match plan {
+            PushdownPlan::Aggregate(p) => {
+                ("agg", p.sites.iter().map(|s| print_select(&s.select)).collect())
+            }
+            PushdownPlan::TopK(p) => {
+                ("topk", p.sites.iter().map(|s| print_select(&s.select)).collect())
+            }
+        };
+        let measure = join_span.is_enabled();
+        let n = dec.subqueries.len();
+        let dispatched: Vec<(usize, Result<PartialResult, MdbsError>)> = if self.parallel && n > 1 {
+            let ctx = join_span.ctx();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .map(|i| {
+                        let ctx = ctx.clone();
+                        let sub = &dec.subqueries[i];
+                        let sql = site_sql[i].as_str();
+                        let est = estimates.map(|e| e[i].rows.round() as u64);
+                        scope.spawn(move || {
+                            (
+                                i,
+                                self.dispatch_pushed(
+                                    sub,
+                                    sub_routes[i],
+                                    sql,
+                                    kind,
+                                    measure,
+                                    est,
+                                    &ctx,
+                                ),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pushed dispatch thread panicked"))
+                    .collect()
+            })
+        } else {
+            (0..n)
+                .map(|i| {
+                    (
+                        i,
+                        self.dispatch_pushed(
+                            &dec.subqueries[i],
+                            sub_routes[i],
+                            &site_sql[i],
+                            kind,
+                            measure,
+                            estimates.map(|e| e[i].rows.round() as u64),
+                            &join_span.ctx(),
+                        ),
+                    )
+                })
+                .collect()
+        };
+        let mut results: Vec<Option<PartialResult>> = vec![None; n];
+        let mut first_err: Option<(usize, MdbsError)> = None;
+        for (i, r) in dispatched {
+            match r {
+                Ok(p) => results[i] = Some(p),
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        let partials: Vec<PartialResult> =
+            results.into_iter().map(|r| r.expect("every site dispatched")).collect();
+        let parts: Vec<ResultSet> = partials
+            .iter()
+            .map(|p| wire::decode_result_set(&p.payload))
+            .collect::<Result<_, _>>()?;
+
+        let shipped: u64 = parts.iter().map(|p| p.rows.len() as u64).sum();
+        let bytes_saved: u64 =
+            partials.iter().map(|p| p.full_bytes.saturating_sub(p.payload.len() as u64)).sum();
+        self.metrics.counter_add("agg.pushdown", 1);
+        let merged = match plan {
+            PushdownPlan::Aggregate(p) => {
+                let rs = merge::merge_aggregate(p, &parts)?;
+                self.metrics.counter_add("agg.groups_merged", rs.rows.len() as u64);
+                rs
+            }
+            PushdownPlan::TopK(p) => {
+                self.metrics.counter_add("topk.rows_shipped", shipped);
+                merge::merge_topk(p, &parts)?
+            }
+        };
+        join_span.note("strategy", format!("{kind}-pushdown"));
+        join_span.note("keys_shipped", 0u64);
+        join_span.note("bytes_saved", bytes_saved);
+        if estimates.is_some() {
+            join_span.note("planner", "costed");
+        }
+        self.metrics
+            .counter_add(&labeled("join.strategy", "strategy", &format!("{kind}-pushdown")), 1);
+        Ok(merged)
+    }
+
+    /// Connects to one site's LAM and evaluates its *pushed* (pre-aggregated
+    /// or top-k-limited) subquery there. `est_rows` is the planner's
+    /// estimate for the site's *unpushed* partial, noted on the span so
+    /// EXPLAIN can contrast shipped rows against what full shipping would
+    /// have cost; when `measure` is set the LAM also measures (never ships)
+    /// the unpushed subquery for the same comparison.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_pushed(
+        &self,
+        sub: &DbSubquery,
+        route: &DbRoute,
+        sql: &str,
+        kind: &str,
+        measure: bool,
+        est_rows: Option<u64>,
+        ctx: &SpanCtx,
+    ) -> Result<PartialResult, MdbsError> {
+        let mut client = LamClient::connect_with(
+            &self.net,
+            &route.site,
+            &sub.database,
+            self.timeout,
+            self.retry.clone(),
+            SharedExecStats::clone(&self.stats),
+        )?;
+        client.set_metrics(self.metrics.clone());
+        client.set_wire_format(self.wire_format);
+        let span = ctx.child(format!("lam:partial:{}", sub.database));
+        if let Some(est) = est_rows {
+            span.note("est_rows", est);
+        }
+        span.note("pushed", kind);
+        let baseline = measure.then(|| print_select(&sub.select));
+        let result = client.run_partial_agg(sql, baseline.as_deref(), &span)?;
+        if result.full_rows > 0 {
+            span.note("full_rows", result.full_rows);
         }
         if result.full_bytes > 0 {
             let saved = result.full_bytes.saturating_sub(result.payload.len() as u64);

@@ -136,6 +136,13 @@ pub struct Session {
     /// global query by ascending estimated cardinality. Databases without
     /// statistics keep the heuristic path unchanged.
     pub cost_planner: bool,
+    /// Aggregate/top-k pushdown of cross-database joins (default true):
+    /// when decomposition proves a 2-site query's aggregates decomposable
+    /// (or it is a pure-product top-k), each site pre-aggregates (or limits)
+    /// locally and the MDBS layer merges the reduced partials. Off — or any
+    /// ineligible query — executes the classic ship-everything coordinator
+    /// plan, byte-for-byte.
+    pub agg_pushdown: bool,
     /// Encoding LAM requests travel in (default [`WireFormat::Text`], the
     /// debug and golden-trace format). [`WireFormat::Binary`] switches this
     /// session's clients to length-prefixed columnar frames; the servers
@@ -247,6 +254,7 @@ impl Session {
             semijoin: true,
             semijoin_cap: DEFAULT_SEMIJOIN_CAP,
             cost_planner: true,
+            agg_pushdown: true,
             wire_format: WireFormat::default(),
             stats: shared_stats(),
             trace: None,
@@ -273,6 +281,7 @@ impl Session {
         s.semijoin = self.semijoin;
         s.semijoin_cap = self.semijoin_cap;
         s.cost_planner = self.cost_planner;
+        s.agg_pushdown = self.agg_pushdown;
         s.wire_format = self.wire_format;
         s
     }
@@ -436,6 +445,7 @@ impl Session {
             tolerate_unreachable: self.tolerate_unreachable,
             semijoin: self.semijoin,
             semijoin_cap: self.semijoin_cap,
+            agg_pushdown: self.agg_pushdown,
             trace: self.trace_ctx.clone(),
             metrics: self.core.metrics.clone(),
             wire_format: self.wire_format,

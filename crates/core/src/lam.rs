@@ -653,6 +653,9 @@ fn handle_request(shared: &SrvShared, req: Request) -> Response {
         Request::Partial { database, sql, baseline } => {
             run_partial(shared, &database, &sql, baseline.as_deref())
         }
+        Request::PartialAgg { database, sql, baseline } => {
+            run_partial_agg(shared, &database, &sql, baseline.as_deref())
+        }
         Request::Schema { database } => {
             let engine = shared.engine.lock();
             match local_conceptual_schema(&engine, &database) {
@@ -847,6 +850,50 @@ fn run_partial(shared: &SrvShared, database: &str, sql: &str, baseline: Option<&
         _ => (0, 0),
     };
     Response::PartialDone { payload: Some(payload), error: None, full_rows, full_bytes, access }
+}
+
+/// Evaluates a pushed-down (pre-aggregating or top-k) site query. Mirrors
+/// [`run_partial`] but reports the reduced group/row count it shipped, and
+/// the baseline it measures is the *unpushed* subquery — the rows the
+/// classic plan would have put on the wire.
+fn run_partial_agg(
+    shared: &SrvShared,
+    database: &str,
+    sql: &str,
+    baseline: Option<&str>,
+) -> Response {
+    let mut engine = shared.engine.lock();
+    let (payload, groups) = match engine.execute(database, sql) {
+        Ok(ExecOutcome::Rows(rs)) => (wire::encode_result_set(&rs), rs.rows.len() as u64),
+        Ok(ExecOutcome::Affected(_)) => {
+            return Response::PartialAggDone {
+                payload: None,
+                error: Some("pushed subquery did not produce rows".to_string()),
+                groups: 0,
+                full_rows: 0,
+                full_bytes: 0,
+            };
+        }
+        Err(e) => {
+            return Response::PartialAggDone {
+                payload: None,
+                error: Some(e.to_string()),
+                groups: 0,
+                full_rows: 0,
+                full_bytes: 0,
+            };
+        }
+    };
+    // Measure — but never ship — the unpushed subquery. A baseline failure
+    // only zeroes the measurement.
+    let (full_rows, full_bytes) = match baseline.map(|b| engine.execute(database, b)) {
+        Some(Ok(ExecOutcome::Rows(rs))) => {
+            let encoded = wire::encode_result_set(&rs);
+            (rs.rows.len() as u64, encoded.len() as u64)
+        }
+        _ => (0, 0),
+    };
+    Response::PartialAggDone { payload: Some(payload), error: None, groups, full_rows, full_bytes }
 }
 
 fn finish_task(shared: &SrvShared, task: &str, commit: bool) -> Response {

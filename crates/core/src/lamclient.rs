@@ -415,6 +415,57 @@ impl LamClient {
         }
     }
 
+    /// Evaluates a pushed-down (pre-aggregating or top-k) site query on the
+    /// LAM and ships its reduced result back, annotating `span` and the
+    /// `lam.*` metrics with the shipped volume. When `baseline` is set, the
+    /// LAM also measures (without shipping) the *unpushed* subquery so the
+    /// pushdown's savings are quantifiable.
+    pub fn run_partial_agg(
+        &self,
+        sql: &str,
+        baseline: Option<&str>,
+        span: &Span,
+    ) -> Result<PartialResult, MdbsError> {
+        let req = Request::PartialAgg {
+            database: self.database.clone(),
+            sql: sql.to_string(),
+            baseline: baseline.map(str::to_string),
+        };
+        let (result, attempts, faults) = self.call_traced(&req, span);
+        self.record_obs(span, attempts, &faults);
+        match result? {
+            Response::PartialAggDone {
+                payload: Some(p),
+                error: None,
+                groups: _,
+                full_rows,
+                full_bytes,
+            } => {
+                let rows = payload_rows(&p);
+                span.note("rows", rows);
+                span.note("bytes", p.len());
+                let db = self.database.as_str();
+                self.metrics.counter_add(&labeled("lam.rows", "db", db), rows);
+                self.metrics.counter_add(&labeled("lam.bytes", "db", db), p.len() as u64);
+                Ok(PartialResult {
+                    payload: p,
+                    rows,
+                    full_rows,
+                    full_bytes,
+                    attempts,
+                    access: None,
+                })
+            }
+            Response::PartialAggDone { error: Some(message), .. } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            Response::Err { message } => {
+                Err(MdbsError::Local { service: self.site.clone(), message })
+            }
+            other => Err(MdbsError::Wire(format!("unexpected partialagg reply: {other:?}"))),
+        }
+    }
+
     /// Loads a serialized partial result as a temporary table (coordinator
     /// collection).
     pub fn load_partial(&self, table: &str, payload: &str) -> Result<(), MdbsError> {

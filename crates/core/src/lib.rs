@@ -75,6 +75,7 @@ pub mod fixtures;
 pub mod gtxn;
 pub mod lam;
 pub mod lamclient;
+pub mod merge;
 pub mod mtx;
 pub mod multitable;
 pub mod planner;

@@ -123,6 +123,20 @@ pub enum Request {
         /// Unreduced subquery to measure (result discarded, never shipped).
         baseline: Option<String>,
     },
+    /// Evaluate one pre-reduced site query of an aggregation/top-k pushdown
+    /// and return its serialized result set. Like [`Request::Partial`] but
+    /// the subquery aggregates (or truncates) locally, so the response also
+    /// reports how many reduced groups/rows it shipped; `baseline` (sent
+    /// only under tracing) is the unpushed subquery, evaluated to measure
+    /// the row/byte volume the pushdown kept off the wire.
+    PartialAgg {
+        /// Target database.
+        database: String,
+        /// The pushed-down (pre-aggregating or top-k) site query.
+        sql: String,
+        /// Unpushed subquery to measure (result discarded, never shipped).
+        baseline: Option<String>,
+    },
     /// Fetch the public Local Conceptual Schema of a database.
     Schema {
         /// The database.
@@ -207,6 +221,21 @@ pub enum Response {
         /// (`probe` or `scan`), when the engine reported one.
         access: Option<String>,
     },
+    /// A [`Request::PartialAgg`] finished: the pre-reduced result set plus
+    /// the measured volume of the unpushed baseline (zero when no baseline
+    /// was requested or it failed).
+    PartialAggDone {
+        /// Serialized result set of the pushed site query.
+        payload: Option<String>,
+        /// Error description when the site query failed.
+        error: Option<String>,
+        /// Reduced groups (or top-k rows) the site shipped.
+        groups: u64,
+        /// Rows the unpushed subquery would have shipped.
+        full_rows: u64,
+        /// Payload bytes the unpushed subquery would have shipped.
+        full_bytes: u64,
+    },
     /// Generic success.
     Ok,
     /// Success with a payload (schema replies).
@@ -258,6 +287,16 @@ impl Request {
             }
             Request::Partial { database, sql, baseline } => {
                 let mut out = format!("PARTIAL {database}\n");
+                out.push_str(&escape(sql));
+                out.push('\n');
+                if let Some(b) = baseline {
+                    out.push_str(&escape(b));
+                    out.push('\n');
+                }
+                out
+            }
+            Request::PartialAgg { database, sql, baseline } => {
+                let mut out = format!("PARTIALAGG {database}\n");
                 out.push_str(&escape(sql));
                 out.push('\n');
                 if let Some(b) = baseline {
@@ -351,6 +390,18 @@ impl Request {
                     .ok_or_else(|| MdbsError::Wire("PARTIAL without a subquery".to_string()))?;
                 Ok(Request::Partial { database: database.to_string(), sql, baseline: lines.next() })
             }
+            ["PARTIALAGG", database] => {
+                let lines = decode_commands(payload)?;
+                let mut lines = lines.into_iter();
+                let sql = lines
+                    .next()
+                    .ok_or_else(|| MdbsError::Wire("PARTIALAGG without a subquery".to_string()))?;
+                Ok(Request::PartialAgg {
+                    database: database.to_string(),
+                    sql,
+                    baseline: lines.next(),
+                })
+            }
             ["SCHEMA", database] => Ok(Request::Schema { database: database.to_string() }),
             ["STATS", database] => {
                 Ok(Request::Stats { database: database.to_string(), table: None })
@@ -431,6 +482,17 @@ impl Response {
                 }
                 out
             }
+            Response::PartialAggDone { payload, error, groups, full_rows, full_bytes } => {
+                let err = match error {
+                    Some(e) => escape(e),
+                    None => "-".to_string(),
+                };
+                let mut out = format!("OK PARTIALAGG {groups} {full_rows} {full_bytes} {err}\n");
+                if let Some(p) = payload {
+                    out.push_str(p);
+                }
+                out
+            }
             Response::Ok => "OK".to_string(),
             Response::OkPayload { payload } => format!("OK PAYLOAD\n{payload}"),
             Response::Err { message } => format!("ERR {}", escape(message)),
@@ -451,6 +513,29 @@ impl Response {
         }
         if header == "OK PAYLOAD" {
             return Ok(Response::OkPayload { payload: payload.to_string() });
+        }
+        // `OK PARTIALAGG` must be tested before `OK PARTIAL `: the latter is
+        // a prefix of the former.
+        if let Some(rest) = header.strip_prefix("OK PARTIALAGG ") {
+            // `<groups> <full_rows> <full_bytes> <error-or-dash>`; the error
+            // is the tail of the line (it may contain spaces).
+            let mut parts = rest.splitn(4, ' ');
+            let groups_text = parts.next().unwrap_or("");
+            let rows_text = parts.next().unwrap_or("");
+            let bytes_text = parts.next().unwrap_or("");
+            let err = parts.next().unwrap_or("-");
+            let groups: u64 = groups_text
+                .parse()
+                .map_err(|_| MdbsError::Wire(format!("bad group count `{groups_text}`")))?;
+            let full_rows: u64 = rows_text
+                .parse()
+                .map_err(|_| MdbsError::Wire(format!("bad baseline rows `{rows_text}`")))?;
+            let full_bytes: u64 = bytes_text
+                .parse()
+                .map_err(|_| MdbsError::Wire(format!("bad baseline bytes `{bytes_text}`")))?;
+            let error = if err == "-" { None } else { Some(unescape(err)?) };
+            let payload = if payload.is_empty() { None } else { Some(payload.to_string()) };
+            return Ok(Response::PartialAggDone { payload, error, groups, full_rows, full_bytes });
         }
         if let Some(rest) = header.strip_prefix("OK PARTIAL ") {
             // `<full_rows> <full_bytes> <access-or-dash> <error-or-dash>`;
@@ -555,6 +640,17 @@ mod tests {
             sql: "SELECT code AS b_c_code FROM cars WHERE rate IN (10, 20)".into(),
             baseline: Some("SELECT code AS b_c_code\nFROM cars".into()),
         });
+        roundtrip_request(Request::PartialAgg {
+            database: "avis".into(),
+            sql: "SELECT cartype AS b_c_cartype, COUNT(*) AS agg_cnt FROM cars GROUP BY cartype"
+                .into(),
+            baseline: None,
+        });
+        roundtrip_request(Request::PartialAgg {
+            database: "avis".into(),
+            sql: "SELECT COUNT(*) AS agg_cnt FROM cars".into(),
+            baseline: Some("SELECT code AS b_c_code\nFROM cars".into()),
+        });
         roundtrip_request(Request::LoadMany { database: "avis".into(), parts: vec![] });
         roundtrip_request(Request::LoadMany {
             database: "avis".into(),
@@ -631,6 +727,51 @@ mod tests {
             full_bytes: 0,
             access: Some("scan".into()),
         });
+        roundtrip_response(Response::PartialAggDone {
+            payload: Some("COLS b_c_cartype:char agg_cnt:int\nR S:bus I:3\n".into()),
+            error: None,
+            groups: 1,
+            full_rows: 40,
+            full_bytes: 900,
+        });
+        roundtrip_response(Response::PartialAggDone {
+            payload: None,
+            error: Some("unknown column | details\nline2".into()),
+            groups: 0,
+            full_rows: 0,
+            full_bytes: 0,
+        });
+    }
+
+    #[test]
+    fn partialagg_without_sql_rejected() {
+        assert!(Request::decode("PARTIALAGG avis").is_err());
+        assert!(Request::decode("PARTIALAGG avis\n").is_err());
+    }
+
+    #[test]
+    fn partialagg_header_is_not_mistaken_for_partial() {
+        // `OK PARTIAL ` is a prefix of `OK PARTIALAGG `; make sure the
+        // decoder keeps the two apart in both directions.
+        let agg = Response::PartialAggDone {
+            payload: None,
+            error: None,
+            groups: 2,
+            full_rows: 5,
+            full_bytes: 100,
+        };
+        assert!(matches!(
+            Response::decode(&agg.encode()).unwrap(),
+            Response::PartialAggDone { groups: 2, full_rows: 5, full_bytes: 100, .. }
+        ));
+        let plain = Response::PartialDone {
+            payload: None,
+            error: None,
+            full_rows: 5,
+            full_bytes: 100,
+            access: None,
+        };
+        assert!(matches!(Response::decode(&plain.encode()).unwrap(), Response::PartialDone { .. }));
     }
 
     #[test]

@@ -99,6 +99,143 @@ pub struct Decomposition {
     pub global_query: Select,
     /// Cross-database equi-join edges extracted from the global conjuncts.
     pub join_keys: Vec<JoinKey>,
+    /// Aggregation / top-k pushdown plan, when the query's shape allows the
+    /// sites to pre-reduce their partials and the MDBS layer to merge them
+    /// without a coordinator. `None` means the classic ship-everything plan
+    /// (above fields) is the only option; the fields above are *always*
+    /// populated so the executor can fall back byte-identically.
+    pub pushdown: Option<PushdownPlan>,
+}
+
+/// A plan for answering a cross-database query from pre-reduced partials
+/// merged at the MDBS layer, instead of shipping raw rows to a coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PushdownPlan {
+    /// Decomposable GROUP BY aggregation: sites group by (join keys ∪ own
+    /// group keys) and ship partial states; groups are hash-merged here.
+    Aggregate(AggPushdown),
+    /// Site-local top-k under `ORDER BY … LIMIT k` on a pure product: each
+    /// site ships its own top k rows and the merge takes the global top k.
+    TopK(TopKPushdown),
+}
+
+/// The kind of a pushed aggregate, with its decomposable partial state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// `COUNT(*)` — derived from the per-group row counts alone.
+    CountStar,
+    /// `COUNT(col)` — per-group non-null count, scaled by the other side.
+    Count,
+    /// `SUM(col)` — per-group partial sum, scaled by the other side's count.
+    Sum,
+    /// `AVG(col)` — kept as an exact (sum, count) pair until the final merge.
+    Avg,
+    /// `MIN(col)` — per-group minimum, folded across matching groups.
+    Min,
+    /// `MAX(col)` — per-group maximum, folded across matching groups.
+    Max,
+}
+
+/// One aggregate of the global query and where its partial state lives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggState {
+    /// Aggregate kind.
+    pub kind: AggKind,
+    /// Index (into [`AggPushdown::sites`]) of the site owning the argument
+    /// column. Unused for `CountStar`, which reads both sites' row counts.
+    pub site: usize,
+    /// Shipped column holding the partial value (sum for `Sum`/`Avg`,
+    /// min/max for `Min`/`Max`). `None` for the count-only kinds.
+    pub value_col: Option<String>,
+    /// Shipped column holding the partial non-null count (`Count`, `Avg`).
+    pub count_col: Option<String>,
+}
+
+/// One column of the merged output, in user projection order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggOutput {
+    /// A GROUP BY key, identified by its slot in the grouping tuple.
+    Key {
+        /// Position in the grouping tuple.
+        slot: usize,
+        /// User-visible column name.
+        name: String,
+    },
+    /// An aggregate, identified by its index in [`AggPushdown::aggs`].
+    Agg {
+        /// Index into [`AggPushdown::aggs`].
+        agg: usize,
+        /// User-visible column name.
+        name: String,
+    },
+}
+
+/// One site of an aggregate pushdown: the rewritten subquery plus the
+/// shipped-column names the merge reads back out of its partial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSite {
+    /// The site's rewritten subquery: GROUP BY (join keys ∪ own group keys)
+    /// projecting the keys, `COUNT(*)`, and the owned partial states.
+    pub select: Select,
+    /// Shipped aliases of this site's join-key columns, aligned with
+    /// [`Decomposition::join_keys`] edge order across both sites.
+    pub join_cols: Vec<String>,
+    /// Shipped aliases of this site's GROUP BY keys as `(slot, alias)`.
+    pub key_cols: Vec<(usize, String)>,
+    /// Shipped alias of the per-group `COUNT(*)`.
+    pub count_col: String,
+}
+
+/// A decomposable aggregation pushed down to the sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggPushdown {
+    /// One entry per decomposition subquery, same order.
+    pub sites: Vec<AggSite>,
+    /// Number of GROUP BY keys in the global grouping tuple.
+    pub slots: usize,
+    /// The global aggregates, in first-appearance order.
+    pub aggs: Vec<AggState>,
+    /// Output columns in user projection order.
+    pub output: Vec<AggOutput>,
+    /// `ORDER BY` over the merged output as `(output index, direction)`.
+    pub order_by: Vec<(usize, SortOrder)>,
+    /// `LIMIT` applied after the merge (never pushed below the grouping).
+    pub limit: Option<u64>,
+}
+
+/// One site of a top-k pushdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKSite {
+    /// The site's subquery with its own ORDER BY components, deterministic
+    /// tie-breaks and `LIMIT k` appended.
+    pub select: Select,
+}
+
+/// One component of the global ORDER BY, pointing at a shipped column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKOrder {
+    /// Site owning the column.
+    pub site: usize,
+    /// Shipped (renamed) column alias.
+    pub col: String,
+    /// Sort direction.
+    pub order: SortOrder,
+}
+
+/// A site-local top-k pushdown for `ORDER BY … LIMIT k` over a pure product
+/// (no cross-database conjuncts): any global top-k row is the pairing of
+/// per-site rows that each survive their own site's top k.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKPushdown {
+    /// One entry per decomposition subquery, same order.
+    pub sites: Vec<TopKSite>,
+    /// Output columns in user projection order as
+    /// `(site, shipped column, user-visible name)`.
+    pub output: Vec<(usize, String, String)>,
+    /// The global ORDER BY sequence over shipped columns.
+    pub order_by: Vec<TopKOrder>,
+    /// `LIMIT k`.
+    pub limit: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -308,6 +445,7 @@ pub fn decompose(
                 group_by: Vec::new(),
                 having: None,
                 order_by: Vec::new(),
+                limit: None,
             },
             part_table: format!("part_{db}"),
         });
@@ -394,6 +532,7 @@ pub fn decompose(
             .iter()
             .map(|o| Ok(OrderByItem { expr: rewrite(&o.expr)?, order: o.order }))
             .collect::<Result<_, MdbsError>>()?,
+        limit: sel.limit,
     };
 
     // Cross-database equi-join edges among the global conjuncts. Every
@@ -421,7 +560,307 @@ pub fn decompose(
         join_keys.push(JoinKey { left: side(lb, &lcol), right: side(rb, &rcol) });
     }
 
-    Ok(Decomposition { subqueries, coordinator, global_query, join_keys })
+    // Pushdown analysis. Pure: only inspects what was built above, so every
+    // unsupported shape degrades to `pushdown: None` with the classic plan
+    // untouched (byte-identical fallback).
+    let pushdown = plan_aggregate_pushdown(
+        sel,
+        &bindings,
+        &databases,
+        &subqueries,
+        &global_conjuncts,
+        &join_keys,
+    )
+    .map(PushdownPlan::Aggregate)
+    .or_else(|| {
+        plan_topk_pushdown(sel, &bindings, &databases, &subqueries, &global_conjuncts)
+            .map(PushdownPlan::TopK)
+    });
+
+    Ok(Decomposition { subqueries, coordinator, global_query, join_keys, pushdown })
+}
+
+/// Plans an aggregate pushdown, or `None` when the query's shape is not
+/// decomposable. Supported shape: exactly two sites, every global conjunct a
+/// cross-database equi-join edge, GROUP BY keys and aggregate arguments all
+/// plain columns, no DISTINCT / HAVING / `COUNT(DISTINCT …)`, and every
+/// ORDER BY expression matching a projected item. Each site then groups by
+/// (its join-key columns ∪ its GROUP BY keys) and ships per-group partial
+/// states that merge exactly (Yan-Larson eager aggregation): counts and sums
+/// scale by the other side's group cardinality, min/max fold, and AVG stays
+/// a (sum, count) pair until the end.
+fn plan_aggregate_pushdown(
+    sel: &Select,
+    bindings: &[Binding],
+    databases: &[String],
+    subqueries: &[DbSubquery],
+    global_conjuncts: &[Expr],
+    join_keys: &[JoinKey],
+) -> Option<AggPushdown> {
+    if databases.len() != 2 || subqueries.len() != 2 {
+        return None;
+    }
+    if sel.distinct || sel.having.is_some() {
+        return None;
+    }
+    // Every global conjunct must be one of the extracted equi-join edges;
+    // anything else (inequalities, OR trees, constants) blocks the pushdown.
+    if join_keys.len() != global_conjuncts.len() {
+        return None;
+    }
+    let site_of = |b: &Binding| databases.iter().position(|d| *d == b.database).unwrap();
+
+    // GROUP BY keys: plain resolvable columns only.
+    let mut slots: Vec<(usize, String, String)> = Vec::new(); // (site, binding, column)
+    for g in &sel.group_by {
+        let Expr::Column(c) = g else { return None };
+        let (b, col) = resolve_column(c, bindings).ok()?;
+        slots.push((site_of(b), b.name.clone(), col));
+    }
+
+    // Projected items: group keys and decomposable aggregates.
+    let mut aggs: Vec<AggState> = Vec::new();
+    let mut agg_args: Vec<Option<(usize, String, String)>> = Vec::new(); // (site, binding, col)
+    let mut output: Vec<AggOutput> = Vec::new();
+    for item in &sel.items {
+        let SelectItem::Expr { expr, alias, .. } = item else { return None };
+        match expr {
+            Expr::Column(c) => {
+                let (b, col) = resolve_column(c, bindings).ok()?;
+                let slot = slots
+                    .iter()
+                    .position(|(s, bn, cn)| *s == site_of(b) && *bn == b.name && *cn == col)?;
+                let name = alias.clone().unwrap_or_else(|| c.column.as_str().to_string());
+                output.push(AggOutput::Key { slot, name });
+            }
+            Expr::Aggregate { kind, arg, distinct } => {
+                if *distinct {
+                    return None;
+                }
+                let (akind, arg_site) = match (kind, arg) {
+                    (AggregateKind::Count, None) => (AggKind::CountStar, None),
+                    (_, Some(a)) => {
+                        let Expr::Column(c) = a.as_ref() else { return None };
+                        let (b, col) = resolve_column(c, bindings).ok()?;
+                        let k = match kind {
+                            AggregateKind::Count => AggKind::Count,
+                            AggregateKind::Sum => AggKind::Sum,
+                            AggregateKind::Avg => AggKind::Avg,
+                            AggregateKind::Min => AggKind::Min,
+                            AggregateKind::Max => AggKind::Max,
+                        };
+                        (k, Some((site_of(b), b.name.clone(), col)))
+                    }
+                    // SUM(*) etc. never parse; COUNT with no argument is the
+                    // only argument-free aggregate.
+                    _ => return None,
+                };
+                let i = aggs.len();
+                let (value_col, count_col) = match akind {
+                    AggKind::CountStar => (None, None),
+                    AggKind::Count => (None, Some(format!("agg{i}_c"))),
+                    AggKind::Sum => (Some(format!("agg{i}_s")), None),
+                    AggKind::Avg => (Some(format!("agg{i}_s")), Some(format!("agg{i}_c"))),
+                    AggKind::Min | AggKind::Max => (Some(format!("agg{i}_m")), None),
+                };
+                aggs.push(AggState {
+                    kind: akind,
+                    site: arg_site.as_ref().map(|(s, _, _)| *s).unwrap_or(0),
+                    value_col,
+                    count_col,
+                });
+                agg_args.push(arg_site);
+                let name = alias.clone().unwrap_or_else(|| kind.name().to_ascii_lowercase());
+                output.push(AggOutput::Agg { agg: i, name });
+            }
+            _ => return None,
+        }
+    }
+    // Not an aggregate query at all → nothing to push.
+    if aggs.is_empty() && slots.is_empty() {
+        return None;
+    }
+    // The merge emits groups in sorted-key order, not the engine's
+    // first-seen order, so a bare LIMIT without ORDER BY would truncate a
+    // different prefix. ORDER BY itself must map onto projected items.
+    if sel.limit.is_some() && sel.order_by.is_empty() {
+        return None;
+    }
+    let mut order_by: Vec<(usize, SortOrder)> = Vec::new();
+    for o in &sel.order_by {
+        let pos = sel.items.iter().position(|it| match it {
+            SelectItem::Expr { expr, .. } => *expr == o.expr,
+            _ => false,
+        })?;
+        order_by.push((pos, o.order));
+    }
+
+    // Per-site rewritten subqueries.
+    let mut sites = Vec::with_capacity(subqueries.len());
+    for (si, sub) in subqueries.iter().enumerate() {
+        let db = &sub.database;
+        let mut items: Vec<SelectItem> = Vec::new();
+        let mut group_by: Vec<Expr> = Vec::new();
+        let push_key = |items: &mut Vec<SelectItem>,
+                        group_by: &mut Vec<Expr>,
+                        binding: &str,
+                        column: &str,
+                        alias: String| {
+            if items
+                .iter()
+                .any(|it| matches!(it, SelectItem::Expr { alias: Some(a), .. } if *a == alias))
+            {
+                return;
+            }
+            let expr = Expr::Column(ColumnRef::with_table(binding.to_string(), column.to_string()));
+            group_by.push(expr.clone());
+            items.push(SelectItem::Expr { expr, alias: Some(alias), optional: false });
+        };
+        let mut join_cols = Vec::with_capacity(join_keys.len());
+        for k in join_keys {
+            let side = k.side_in(db)?;
+            push_key(
+                &mut items,
+                &mut group_by,
+                &side.binding,
+                &side.column,
+                side.part_column.clone(),
+            );
+            join_cols.push(side.part_column.clone());
+        }
+        let mut key_cols = Vec::new();
+        for (slot, (s, bn, cn)) in slots.iter().enumerate() {
+            if *s == si {
+                let alias = part_column(bn, cn);
+                push_key(&mut items, &mut group_by, bn, cn, alias.clone());
+                key_cols.push((slot, alias));
+            }
+        }
+        let count_col = "agg_cnt".to_string();
+        items.push(SelectItem::Expr {
+            expr: Expr::Aggregate { kind: AggregateKind::Count, arg: None, distinct: false },
+            alias: Some(count_col.clone()),
+            optional: false,
+        });
+        for (ai, (a, arg)) in aggs.iter().zip(&agg_args).enumerate() {
+            let Some((arg_site, bn, cn)) = arg else { continue };
+            if *arg_site != si {
+                continue;
+            }
+            let arg_expr = Expr::Column(ColumnRef::with_table(bn.clone(), cn.clone()));
+            let mut push_agg = |kind: AggregateKind, alias: &str| {
+                items.push(SelectItem::Expr {
+                    expr: Expr::Aggregate {
+                        kind,
+                        arg: Some(Box::new(arg_expr.clone())),
+                        distinct: false,
+                    },
+                    alias: Some(alias.to_string()),
+                    optional: false,
+                });
+            };
+            match a.kind {
+                AggKind::CountStar => {}
+                AggKind::Count => push_agg(AggregateKind::Count, &format!("agg{ai}_c")),
+                AggKind::Sum => push_agg(AggregateKind::Sum, &format!("agg{ai}_s")),
+                AggKind::Avg => {
+                    push_agg(AggregateKind::Sum, &format!("agg{ai}_s"));
+                    push_agg(AggregateKind::Count, &format!("agg{ai}_c"));
+                }
+                AggKind::Min => push_agg(AggregateKind::Min, &format!("agg{ai}_m")),
+                AggKind::Max => push_agg(AggregateKind::Max, &format!("agg{ai}_m")),
+            }
+        }
+        sites.push(AggSite {
+            select: Select {
+                distinct: false,
+                items,
+                from: sub.select.from.clone(),
+                where_clause: sub.select.where_clause.clone(),
+                group_by,
+                having: None,
+                order_by: Vec::new(),
+                limit: None,
+            },
+            join_cols,
+            key_cols,
+            count_col,
+        });
+    }
+
+    Some(AggPushdown { sites, slots: slots.len(), aggs, output, order_by, limit: sel.limit })
+}
+
+/// Plans a top-k pushdown, or `None` when the shape does not allow one.
+/// Supported shape: exactly two sites, an empty global WHERE (pure product —
+/// a cross-database conjunct could eliminate a row pairing and invalidate
+/// per-site pruning), plain-column projection and ORDER BY, no aggregation
+/// machinery, and `LIMIT k`. Each site orders by its own components of the
+/// global sort (their relative order preserved), breaks ties over its
+/// remaining projected columns for determinism, and ships only its top k;
+/// the global top k is then a merge of the ≤ k×k candidate pairings.
+fn plan_topk_pushdown(
+    sel: &Select,
+    bindings: &[Binding],
+    databases: &[String],
+    subqueries: &[DbSubquery],
+    global_conjuncts: &[Expr],
+) -> Option<TopKPushdown> {
+    if databases.len() != 2 || subqueries.len() != 2 {
+        return None;
+    }
+    if !global_conjuncts.is_empty() {
+        return None;
+    }
+    if sel.distinct || !sel.group_by.is_empty() || sel.having.is_some() {
+        return None;
+    }
+    if sel.order_by.is_empty() {
+        return None;
+    }
+    let limit = sel.limit?;
+    let site_of = |b: &Binding| databases.iter().position(|d| *d == b.database).unwrap();
+
+    let mut output: Vec<(usize, String, String)> = Vec::new();
+    for item in &sel.items {
+        let SelectItem::Expr { expr: Expr::Column(c), alias, .. } = item else { return None };
+        let (b, col) = resolve_column(c, bindings).ok()?;
+        let name = alias.clone().unwrap_or_else(|| c.column.as_str().to_string());
+        output.push((site_of(b), part_column(&b.name, &col), name));
+    }
+    // The global sort sequence, each component resolved to its owning site.
+    let mut order_by: Vec<TopKOrder> = Vec::new();
+    let mut site_orders: Vec<Vec<OrderByItem>> = vec![Vec::new(); subqueries.len()];
+    for o in &sel.order_by {
+        let Expr::Column(c) = &o.expr else { return None };
+        let (b, col) = resolve_column(c, bindings).ok()?;
+        let site = site_of(b);
+        order_by.push(TopKOrder { site, col: part_column(&b.name, &col), order: o.order });
+        site_orders[site].push(OrderByItem {
+            expr: Expr::Column(ColumnRef::with_table(b.name.clone(), col)),
+            order: o.order,
+        });
+    }
+
+    let mut sites = Vec::with_capacity(subqueries.len());
+    for (si, sub) in subqueries.iter().enumerate() {
+        let mut order = site_orders[si].clone();
+        // Deterministic tie-break: every other shipped column, ascending, so
+        // the site's kept prefix (and thus the shipped bytes) is stable
+        // across runs even when the ordered components tie.
+        for it in &sub.select.items {
+            let SelectItem::Expr { expr, .. } = it else { continue };
+            if !order.iter().any(|o| o.expr == *expr) {
+                order.push(OrderByItem { expr: expr.clone(), order: SortOrder::Asc });
+            }
+        }
+        let mut select = sub.select.clone();
+        select.order_by = order;
+        select.limit = Some(limit);
+        sites.push(TopKSite { select });
+    }
+
+    Some(TopKPushdown { sites, output, order_by, limit })
 }
 
 /// `b_<binding>_<column>` — the renamed projection of a needed column.
@@ -828,5 +1267,149 @@ mod tests {
     fn unknown_qualifier_is_error() {
         let err = decompose(&select("SELECT x FROM delta.flight"), &scope(), &gdd());
         assert!(matches!(err, Err(MdbsError::NotInScope(_))));
+    }
+
+    #[test]
+    fn group_by_aggregation_plans_a_pushdown() {
+        let d = decompose(
+            &select(
+                "SELECT c.cartype, COUNT(*), SUM(f.rate), AVG(c.rate)
+                 FROM avis.cars c, continental.flights f
+                 WHERE c.rate = f.rate GROUP BY c.cartype",
+            ),
+            &scope(),
+            &gdd(),
+        )
+        .unwrap();
+        let Some(PushdownPlan::Aggregate(p)) = &d.pushdown else {
+            panic!("expected aggregate pushdown: {:?}", d.pushdown)
+        };
+        assert_eq!(p.sites.len(), 2);
+        assert_eq!(p.slots, 1);
+        assert_eq!(p.aggs.len(), 3);
+        assert_eq!(p.aggs[0].kind, AggKind::CountStar);
+        assert_eq!(p.aggs[1].kind, AggKind::Sum);
+        assert_eq!(p.aggs[2].kind, AggKind::Avg);
+        assert!(p.aggs[2].value_col.is_some() && p.aggs[2].count_col.is_some());
+        // Site 0 (avis) groups by its join key and the GROUP BY key, ships
+        // COUNT(*) and the AVG partial; site 1 ships SUM's partial.
+        let avis = print_select(&p.sites[0].select);
+        assert!(avis.contains("GROUP BY c.rate, c.cartype"), "{avis}");
+        assert!(avis.contains("COUNT(*) AS agg_cnt"), "{avis}");
+        assert!(avis.contains("SUM(c.rate) AS agg2_s"), "{avis}");
+        assert!(avis.contains("COUNT(c.rate) AS agg2_c"), "{avis}");
+        let cont = print_select(&p.sites[1].select);
+        assert!(cont.contains("SUM(f.rate) AS agg1_s"), "{cont}");
+        assert_eq!(p.sites[0].join_cols, vec!["b_c_rate".to_string()]);
+        assert_eq!(p.sites[1].join_cols, vec!["b_f_rate".to_string()]);
+        assert_eq!(p.sites[0].key_cols, vec![(0, "b_c_cartype".to_string())]);
+        assert!(p.sites[1].key_cols.is_empty());
+        // Output order mirrors the projection.
+        assert_eq!(p.output[0], AggOutput::Key { slot: 0, name: "cartype".into() });
+        assert_eq!(p.output[1], AggOutput::Agg { agg: 0, name: "count".into() });
+        // The classic plan is still fully populated for fallback.
+        assert!(print_select(&d.global_query).contains("part_avis"));
+    }
+
+    #[test]
+    fn join_key_that_is_also_group_key_is_shipped_once() {
+        let d = decompose(
+            &select(
+                "SELECT c.rate, COUNT(*) FROM avis.cars c, continental.flights f
+                 WHERE c.rate = f.rate GROUP BY c.rate",
+            ),
+            &scope(),
+            &gdd(),
+        )
+        .unwrap();
+        let Some(PushdownPlan::Aggregate(p)) = &d.pushdown else { panic!() };
+        let avis = print_select(&p.sites[0].select);
+        assert_eq!(avis.matches("b_c_rate").count(), 1, "{avis}");
+        assert_eq!(p.sites[0].key_cols, vec![(0, "b_c_rate".to_string())]);
+    }
+
+    #[test]
+    fn unsupported_aggregate_shapes_fall_back() {
+        let cases = [
+            // non-equi global conjunct
+            "SELECT COUNT(*) FROM avis.cars c, continental.flights f WHERE c.rate < f.rate",
+            // HAVING
+            "SELECT c.cartype, COUNT(*) FROM avis.cars c, continental.flights f
+             WHERE c.rate = f.rate GROUP BY c.cartype HAVING COUNT(*) > 1",
+            // DISTINCT aggregation
+            "SELECT DISTINCT c.cartype FROM avis.cars c, continental.flights f
+             WHERE c.rate = f.rate GROUP BY c.cartype",
+            // COUNT(DISTINCT …)
+            "SELECT COUNT(DISTINCT c.code) FROM avis.cars c, continental.flights f
+             WHERE c.rate = f.rate",
+            // aggregate over an expression
+            "SELECT SUM(c.rate + 1) FROM avis.cars c, continental.flights f
+             WHERE c.rate = f.rate",
+            // projected column outside GROUP BY
+            "SELECT c.code, COUNT(*) FROM avis.cars c, continental.flights f
+             WHERE c.rate = f.rate GROUP BY c.cartype",
+            // LIMIT without ORDER BY truncates first-seen groups, not merged
+            "SELECT c.cartype, COUNT(*) FROM avis.cars c, continental.flights f
+             WHERE c.rate = f.rate GROUP BY c.cartype LIMIT 2",
+        ];
+        for sql in cases {
+            let d = decompose(&select(sql), &scope(), &gdd()).unwrap();
+            assert!(d.pushdown.is_none(), "expected fallback for {sql}");
+        }
+    }
+
+    #[test]
+    fn ordered_limited_product_plans_a_topk_pushdown() {
+        let d = decompose(
+            &select(
+                "SELECT c.code, f.flnu FROM avis.cars c, continental.flights f
+                 WHERE c.carst = 'available'
+                 ORDER BY c.code DESC, f.flnu LIMIT 5",
+            ),
+            &scope(),
+            &gdd(),
+        )
+        .unwrap();
+        let Some(PushdownPlan::TopK(p)) = &d.pushdown else {
+            panic!("expected top-k pushdown: {:?}", d.pushdown)
+        };
+        assert_eq!(p.limit, 5);
+        assert_eq!(p.output.len(), 2);
+        assert_eq!(p.output[0], (0, "b_c_code".to_string(), "code".to_string()));
+        assert_eq!(p.order_by.len(), 2);
+        assert_eq!(p.order_by[0].site, 0);
+        assert_eq!(p.order_by[0].order, SortOrder::Desc);
+        // Each site keeps its local filter, orders by its own components and
+        // caps at k.
+        let avis = print_select(&p.sites[0].select);
+        assert!(avis.contains("carst = 'available'"), "{avis}");
+        assert!(avis.contains("ORDER BY c.code DESC"), "{avis}");
+        assert!(avis.ends_with("LIMIT 5"), "{avis}");
+        let cont = print_select(&p.sites[1].select);
+        assert!(cont.contains("ORDER BY f.flnu"), "{cont}");
+        assert!(cont.ends_with("LIMIT 5"), "{cont}");
+    }
+
+    #[test]
+    fn unsupported_topk_shapes_fall_back() {
+        let cases = [
+            // cross-database conjunct: per-site pruning could starve pairs
+            "SELECT c.code, f.flnu FROM avis.cars c, continental.flights f
+             WHERE c.rate = f.rate ORDER BY c.code LIMIT 5",
+            // no LIMIT
+            "SELECT c.code FROM avis.cars c, continental.flights f ORDER BY c.code",
+            // no ORDER BY
+            "SELECT c.code FROM avis.cars c, continental.flights f LIMIT 5",
+            // DISTINCT collapses across sites after pairing
+            "SELECT DISTINCT c.code FROM avis.cars c, continental.flights f
+             ORDER BY c.code LIMIT 5",
+            // computed projection
+            "SELECT c.rate + 1 FROM avis.cars c, continental.flights f
+             ORDER BY c.rate LIMIT 5",
+        ];
+        for sql in cases {
+            let d = decompose(&select(sql), &scope(), &gdd()).unwrap();
+            assert!(d.pushdown.is_none(), "expected fallback for {sql}");
+        }
     }
 }

@@ -638,7 +638,16 @@ impl<'a> Rewriter<'a> {
         for o in &s.order_by {
             order_by.push(OrderByItem { expr: self.rewrite_expr(&o.expr)?, order: o.order });
         }
-        Ok(Select { distinct: s.distinct, items, from, where_clause, group_by, having, order_by })
+        Ok(Select {
+            distinct: s.distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit: s.limit,
+        })
     }
 
     /// Rewrites a column that targets a specific table (SET / INSERT column

@@ -17,7 +17,10 @@ use crate::scope::SessionScope;
 use catalog::GlobalDataDictionary;
 use msql_lang::{QueryBody, Select};
 
-pub use decompose::{decompose, DbSubquery, Decomposition, JoinKey, JoinSide};
+pub use decompose::{
+    decompose, AggKind, AggOutput, AggPushdown, AggSite, AggState, DbSubquery, Decomposition,
+    JoinKey, JoinSide, PushdownPlan, TopKOrder, TopKPushdown, TopKSite,
+};
 pub use disambiguate::disambiguate;
 pub use expand::{expand, LocalQuery};
 pub use plangen::{

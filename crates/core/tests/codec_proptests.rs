@@ -107,6 +107,8 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         }),
         (ident(), nasty_string(), proptest::option::of(nasty_string()))
             .prop_map(|(database, sql, baseline)| Request::Partial { database, sql, baseline }),
+        (ident(), nasty_string(), proptest::option::of(nasty_string()))
+            .prop_map(|(database, sql, baseline)| Request::PartialAgg { database, sql, baseline }),
         ident().prop_map(|database| Request::Schema { database }),
         (ident(), ident(), payload_strategy())
             .prop_map(|(database, table, payload)| { Request::Load { database, table, payload } }),
@@ -149,6 +151,17 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                     full_bytes,
                     access: access.map(str::to_string),
                 }
+            }),
+        (
+            proptest::option::of(payload_strategy()),
+            proptest::option::of(nasty_string()),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(payload, error, groups, full_rows, full_bytes)| {
+                let payload = payload.filter(|p| !p.is_empty());
+                Response::PartialAggDone { payload, error, groups, full_rows, full_bytes }
             }),
         Just(Response::Ok),
         payload_strategy().prop_map(|payload| Response::OkPayload { payload }),

@@ -39,6 +39,11 @@ fn request_corpus() -> Vec<Vec<u8>> {
             sql: "SELECT code FROM cars".into(),
             baseline: Some("SELECT code FROM cars WHERE rate > 0".into()),
         },
+        Request::PartialAgg {
+            database: "avis".into(),
+            sql: "SELECT cartype, COUNT(*) AS agg_cnt FROM cars GROUP BY cartype".into(),
+            baseline: Some("SELECT cartype FROM cars".into()),
+        },
         Request::Schema { database: "avis".into() },
         Request::Load { database: "avis".into(), table: "part_t".into(), payload: payload.into() },
         Request::DropTemp { database: "avis".into(), table: "part_t".into() },
@@ -77,6 +82,13 @@ fn response_corpus() -> Vec<Vec<u8>> {
             full_rows: 12,
             full_bytes: 340,
             access: Some("probe".into()),
+        },
+        Response::PartialAggDone {
+            payload: Some("COLS b_c_cartype:char(16)|agg_cnt:int\nR S:bus|I:3\n".into()),
+            error: None,
+            groups: 1,
+            full_rows: 12,
+            full_bytes: 340,
         },
     ];
     resps
@@ -230,7 +242,7 @@ fn seeded_bit_flip_sweep_never_panics_or_destabilizes() {
     // The sweep must actually exercise the rejection paths (and a strict
     // format rejects the overwhelming majority of random corruption).
     assert!(rejected > absorbed, "rejected={rejected} absorbed={absorbed}");
-    assert!(rejected + absorbed == 16 * 200 + 6 * 200);
+    assert!(rejected + absorbed == 17 * 200 + 7 * 200);
 }
 
 /// The text decoders share the no-panic guarantee: any char-boundary

@@ -243,6 +243,11 @@ fn execute_select_impl(
         });
     }
 
+    // LIMIT: applied last, after ORDER BY and DISTINCT (SQL evaluation order).
+    if let Some(n) = sel.limit {
+        rows.truncate(n as usize);
+    }
+
     // Column metadata: static inference refined by the first non-null value.
     let columns = build_column_meta(&mut names, &sources, sel, &rows);
     Ok(ResultSet { columns, rows })

@@ -452,6 +452,8 @@ pub struct Select {
     pub having: Option<Expr>,
     /// ORDER BY keys.
     pub order_by: Vec<OrderByItem>,
+    /// `LIMIT n` row cap, applied after ORDER BY and DISTINCT.
+    pub limit: Option<u64>,
 }
 
 impl Select {
@@ -465,6 +467,7 @@ impl Select {
             group_by: Vec::new(),
             having: None,
             order_by: Vec::new(),
+            limit: None,
         }
     }
 }

@@ -747,7 +747,16 @@ impl Parser {
                 }
             }
         }
-        Ok(Select { distinct, items, from, where_clause, group_by, having, order_by })
+        let limit = if self.eat_kw("limit") {
+            let n = self.expect_number()?;
+            if n < 0 {
+                return Err(ParseError::new(format!("negative LIMIT `{n}`"), self.span()));
+            }
+            Some(n as u64)
+        } else {
+            None
+        };
+        Ok(Select { distinct, items, from, where_clause, group_by, having, order_by, limit })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem, ParseError> {

@@ -320,6 +320,9 @@ fn write_select(out: &mut String, sel: &Select) {
             }
         }
     }
+    if let Some(n) = sel.limit {
+        let _ = write!(out, " LIMIT {n}");
+    }
 }
 
 fn write_insert(out: &mut String, ins: &Insert) {

@@ -110,6 +110,7 @@ fn ident_strategy() -> impl Strategy<Value = String> {
                 | "view"
                 | "column"
                 | "on"
+                | "limit"
         )
     })
 }
@@ -289,8 +290,9 @@ fn select_strategy() -> impl Strategy<Value = Select> {
             }),
             0..3,
         ),
+        prop::option::of(0u64..20),
     )
-        .prop_map(|(distinct, items, from, where_clause, order_by)| Select {
+        .prop_map(|(distinct, items, from, where_clause, order_by, limit)| Select {
             distinct,
             items,
             from,
@@ -298,6 +300,7 @@ fn select_strategy() -> impl Strategy<Value = Select> {
             group_by: Vec::new(),
             having: None,
             order_by,
+            limit,
         })
 }
 
@@ -325,6 +328,7 @@ fn normalise_select(s: &Select) -> Select {
             .iter()
             .map(|o| OrderByItem { expr: normalise(&o.expr), order: o.order })
             .collect(),
+        limit: s.limit,
     }
 }
 

@@ -24,7 +24,7 @@ pub mod span;
 pub use clock::LogicalClock;
 pub use metrics::{labeled, quantile, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use report::{
-    ExplainReport, JoinSummary, LamCost, PlannerRow, PlannerSummary, SpanNode, SpanTree,
-    WireSummary,
+    ExplainReport, JoinSummary, LamCost, PlannerRow, PlannerSummary, PushdownRow, PushdownSummary,
+    SpanNode, SpanTree, WireSummary,
 };
 pub use span::{Span, SpanCtx, SpanRecord, Tracer};

@@ -183,6 +183,33 @@ pub struct PlannerSummary {
     pub rows: Vec<PlannerRow>,
 }
 
+/// One site of an aggregate/top-k pushdown: the rows its rewritten (pre-
+/// aggregated or limited) subquery actually shipped, next to what shipping
+/// the full partial would have cost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PushdownRow {
+    /// Database the pushed subquery ran against.
+    pub database: String,
+    /// Rows the pushed site query shipped across the wire.
+    pub shipped_rows: u64,
+    /// Rows the *unpushed* subquery would have shipped: the measured
+    /// baseline when the LAM reported one, the planner's estimate otherwise
+    /// (0 when neither is known).
+    pub unpushed_rows: u64,
+}
+
+/// Aggregate/top-k pushdown accounting, derived from `lam:partial:*` spans
+/// carrying a `pushed` note. Absent when the statement took the classic
+/// coordinator path, so existing renders and golden traces are unchanged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PushdownSummary {
+    /// What was pushed: `agg` (decomposable aggregates) or `topk`
+    /// (pure-product ORDER BY/LIMIT).
+    pub kind: String,
+    /// Per-database rows, sorted by database name.
+    pub rows: Vec<PushdownRow>,
+}
+
 /// Wire-level accounting of one statement: which encoding its LAM traffic
 /// used and how many payload bytes each format put on the (simulated) wire.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -210,6 +237,9 @@ pub struct ExplainReport {
     /// Estimated-versus-actual planner rows — populated only when the
     /// statement ran under cost-based planning (fresh statistics present).
     pub planner: Option<PlannerSummary>,
+    /// Aggregate/top-k pushdown accounting — populated only when the
+    /// statement's sites pre-aggregated (or limited) before shipping.
+    pub pushdown: Option<PushdownSummary>,
     /// Wire-format accounting — populated only when the statement shipped
     /// binary frames, so text-mode renders (and golden traces) are
     /// unchanged.
@@ -223,6 +253,8 @@ impl ExplainReport {
         let mut by_db: BTreeMap<String, LamCost> = BTreeMap::new();
         let mut join: Option<JoinSummary> = None;
         let mut planned: BTreeMap<String, PlannerRow> = BTreeMap::new();
+        let mut pushed_kind: Option<String> = None;
+        let mut pushed: BTreeMap<String, PushdownRow> = BTreeMap::new();
         tree.visit(&mut |node| {
             let note =
                 |key: &str| node.notes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
@@ -235,6 +267,23 @@ impl ExplainReport {
                     });
                     row.est_rows += num("est_rows");
                     row.actual_rows += num("rows");
+                }
+            }
+            if node.name.starts_with("lam:partial:") {
+                if let (Some(kind), Some(db)) = (note("pushed"), note("db")) {
+                    pushed_kind.get_or_insert_with(|| kind.to_string());
+                    let row = pushed.entry(db.to_string()).or_insert_with(|| PushdownRow {
+                        database: db.to_string(),
+                        ..PushdownRow::default()
+                    });
+                    row.shipped_rows += num("rows");
+                    // The measured unpushed baseline when the LAM reported
+                    // one, the planner's pre-pushdown estimate otherwise.
+                    row.unpushed_rows += if note("full_rows").is_some() {
+                        num("full_rows")
+                    } else {
+                        num("est_rows")
+                    };
                 }
             }
             if node.name == "join" {
@@ -276,6 +325,8 @@ impl ExplainReport {
             } else {
                 Some(PlannerSummary { rows: planned.into_values().collect() })
             },
+            pushdown: pushed_kind
+                .map(|kind| PushdownSummary { kind, rows: pushed.into_values().collect() }),
             wire: None,
         }
     }
@@ -315,6 +366,16 @@ impl ExplainReport {
                 out.push_str(&format!(
                     "  [{}] est rows: {}  actual rows: {}\n",
                     r.database, r.est_rows, r.actual_rows
+                ));
+            }
+        }
+        if let Some(p) = &self.pushdown {
+            out.push('\n');
+            out.push_str(&format!("aggregate pushdown: {}\n", p.kind));
+            for r in &p.rows {
+                out.push_str(&format!(
+                    "  [{}] shipped rows: {}  unpushed rows: {}\n",
+                    r.database, r.shipped_rows, r.unpushed_rows
                 ));
             }
         }
@@ -418,6 +479,43 @@ mod tests {
         let plain = ExplainReport::from_tree("SELECT 1", sample_tree());
         assert!(plain.planner.is_none(), "no est_rows note, no planner section");
         assert!(!plain.render().contains("planner estimates"));
+    }
+
+    #[test]
+    fn explain_report_extracts_pushdown_summary() {
+        let tracer = Tracer::new(LogicalClock::new());
+        {
+            let root = tracer.root("statement");
+            let a = root.child("lam:partial:avis");
+            a.note("db", "avis");
+            a.note("pushed", "agg");
+            a.note("rows", 3);
+            a.note("full_rows", 40);
+            drop(a);
+            let b = root.child("lam:partial:national");
+            b.note("db", "national");
+            b.note("pushed", "agg");
+            b.note("est_rows", 25);
+            b.note("rows", 5);
+        }
+        let mut tree = SpanTree::from_records(&tracer.records());
+        tree.normalize();
+        let report = ExplainReport::from_tree("SELECT 1", tree);
+        let p = report.pushdown.as_ref().expect("pushdown summary extracted");
+        assert_eq!(p.kind, "agg");
+        assert_eq!(p.rows.len(), 2);
+        assert_eq!(p.rows[0].database, "avis");
+        assert_eq!(p.rows[0].shipped_rows, 3);
+        assert_eq!(p.rows[0].unpushed_rows, 40, "measured baseline wins");
+        assert_eq!(p.rows[1].database, "national");
+        assert_eq!(p.rows[1].unpushed_rows, 25, "falls back to the estimate");
+        let text = report.render();
+        assert!(text.contains("aggregate pushdown: agg"));
+        assert!(text.contains("[avis] shipped rows: 3  unpushed rows: 40"));
+        // Without a `pushed` note the section stays absent.
+        let plain = ExplainReport::from_tree("SELECT 1", sample_tree());
+        assert!(plain.pushdown.is_none(), "no pushed note, no pushdown section");
+        assert!(!plain.render().contains("aggregate pushdown"));
     }
 
     #[test]

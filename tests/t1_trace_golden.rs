@@ -62,6 +62,12 @@ const CROSS_DB_JOIN: &str = "USE continental delta
     FROM continental.flights f, delta.flight g
     WHERE f.source = g.source AND f.destination = g.dest";
 
+const AGGREGATE_PUSHDOWN: &str = "USE continental delta
+    SELECT f.source, COUNT(*), MIN(g.rate)
+    FROM continental.flights f, delta.flight g
+    WHERE f.source = g.source
+    GROUP BY f.source";
+
 /// Executes `msql` on a freshly set-up federation (serial task execution,
 /// so the span tree is ordered deterministically) and renders the
 /// normalized trace.
@@ -162,6 +168,46 @@ fn q4_fallback_state_trace_is_golden() {
 #[test]
 fn cross_db_join_trace_is_golden() {
     check("cross_db_join", paper_federation, CROSS_DB_JOIN);
+}
+
+#[test]
+fn aggregate_pushdown_explain_is_golden() {
+    // A decomposable 2-site GROUP BY runs as an aggregate pushdown: each
+    // site ships per-group partial states instead of its full partial, and
+    // EXPLAIN pins the `pushed=agg` span notes, the `agg-pushdown` join
+    // strategy and the shipped-versus-unpushed "aggregate pushdown" table.
+    let render = |_: ()| {
+        let mut fed = paper_federation();
+        fed.parallel = false;
+        fed.execute(&format!("EXPLAIN {AGGREGATE_PUSHDOWN}"))
+            .expect("EXPLAIN pushed GROUP BY")
+            .into_explain()
+            .expect("an explain report")
+            .render()
+    };
+    let first = render(());
+    let second = render(());
+    assert_eq!(first, second, "EXPLAIN output differs between two identical runs");
+    assert!(first.contains("pushed=agg"), "partial spans should carry the pushed note:\n{first}");
+    assert!(
+        first.contains("strategy=agg-pushdown"),
+        "the join span should name the pushdown strategy:\n{first}"
+    );
+    assert!(
+        first.contains("aggregate pushdown: agg"),
+        "the report should render the pushdown section:\n{first}"
+    );
+
+    let path = golden_path("aggregate_pushdown");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &first).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing golden file {path:?} — generate it with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(first, want, "EXPLAIN golden drift — regenerate with UPDATE_GOLDEN=1 if intended");
 }
 
 #[test]
