@@ -1,0 +1,28 @@
+use mdbs::fixtures::paper_federation;
+
+fn run(pushdown: bool) -> Vec<Vec<ldbs::value::Value>> {
+    let mut fed = paper_federation();
+    fed.agg_pushdown = pushdown;
+    fed.execute("USE avis national").unwrap();
+    fed.execute("CREATE TABLE avis.t1 (k INT, g INT, v INT)").unwrap();
+    fed.execute("CREATE TABLE national.t2 (k INT, w INT)").unwrap();
+    {
+        let engine = fed.engine("svc_avis").unwrap();
+        let mut engine = engine.lock();
+        engine.execute("avis", "INSERT INTO t1 VALUES (1, 0, 3)").unwrap();
+        engine.execute("avis", "INSERT INTO t1 VALUES (1, 1, 4)").unwrap();
+    }
+    // national.t2 left EMPTY
+    let outcome = fed.execute("SELECT t.g, COUNT(*) FROM avis.t1 t, national.t2 u GROUP BY t.g").unwrap();
+    match outcome {
+        mdbs::MsqlOutcome::Table(rs) => rs.rows,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn review_pure_product_group_by_empty_site() {
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on, off, "pushdown-on diverged: on={on:?} off={off:?}");
+}
